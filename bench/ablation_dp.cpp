@@ -1,0 +1,56 @@
+// Ablation (extension): differentially private uploads under Byzantine
+// servers — the privacy/robustness/accuracy triangle. Clients clip their
+// round update to C and add Gaussian noise z·C per coordinate (the §II DP
+// defense family); Fed-MS's trimmed-mean filter runs unchanged on top.
+//
+// Expected shape: accuracy degrades smoothly with the noise multiplier z;
+// clipping alone (z = 0) is nearly free; the robustness of the trimmed
+// mean against the Byzantine PSs is unaffected by DP noise (which is
+// i.i.d. across clients and averages out at the PSs).
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace fedms;
+  core::CliFlags flags(
+      "ablation_dp: DP-SGD-style clipped+noised uploads vs accuracy, under "
+      "Byzantine PSs");
+  benchcommon::add_common_flags(flags);
+  flags.add_double("clip", 2.0, "L2 clip norm C for round updates");
+  flags.add_double("eps", 0.2, "fraction of Byzantine PSs");
+  if (!flags.parse(argc, argv)) return 1;
+
+  fl::FedMsConfig base = benchcommon::fed_from_flags(flags);
+  base.rounds = std::min<std::size_t>(base.rounds, 25);
+  base.eval_every = base.rounds;
+  base.byzantine = static_cast<std::size_t>(
+      flags.get_double("eps") * double(base.servers) + 0.5);
+  base.attack = "noise";
+  base.client_filter = "trmean:0.2";
+  fl::WorkloadConfig workload = benchcommon::workload_from_flags(flags);
+  const double clip = flags.get_double("clip");
+
+  std::printf("# DP-upload ablation — clip C=%.2f, %s\n", clip,
+              base.to_string().c_str());
+  metrics::Table table({"noise multiplier z", "final_accuracy"});
+  const double multipliers[] = {-1.0, 0.0, 0.01, 0.05, 0.2, 1.0};
+  for (const double z : multipliers) {
+    fl::FedMsConfig fed = base;
+    if (z < 0.0) {
+      fed.dp_clip_norm = 0.0;  // no DP at all (reference)
+    } else {
+      fed.dp_clip_norm = clip;
+      fed.dp_noise_multiplier = z;
+    }
+    const fl::RunResult result = fl::run_experiment(workload, fed);
+    table.add_row({z < 0.0 ? "off" : metrics::Table::fmt(z, 2),
+                   metrics::Table::fmt(
+                       *result.final_eval().eval_accuracy, 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n# Expected shape: 'off' == z=0.00 (clipping alone is ~free at "
+      "this C); accuracy\n# decays smoothly as z grows, independent of the "
+      "Byzantine-PS defense.\n");
+  return 0;
+}

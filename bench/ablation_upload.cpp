@@ -1,0 +1,52 @@
+// Ablation (DESIGN.md §5.6): upload strategy versus accuracy and traffic.
+// Sparse uploading trades per-PS aggregation coverage (E|N_i| = K/P clients
+// instead of K) for a P-fold communication saving; this bench measures how
+// much accuracy that trade actually costs under attack.
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace fedms;
+  core::CliFlags flags(
+      "ablation_upload: accuracy + traffic of sparse vs multi:m vs full "
+      "uploading under attack");
+  benchcommon::add_common_flags(flags);
+  flags.add_string("attack", "noise", "attack on Byzantine PSs");
+  flags.add_double("eps", 0.2, "fraction of Byzantine PSs");
+  if (!flags.parse(argc, argv)) return 1;
+
+  fl::FedMsConfig base = benchcommon::fed_from_flags(flags);
+  base.rounds = std::min<std::size_t>(base.rounds, 25);
+  base.eval_every = base.rounds;
+  base.byzantine = static_cast<std::size_t>(
+      flags.get_double("eps") * double(base.servers) + 0.5);
+  base.attack = flags.get_string("attack");
+  base.client_filter = "trmean:0.2";
+  fl::WorkloadConfig workload = benchcommon::workload_from_flags(flags);
+
+  std::printf("# Upload-strategy ablation — %s\n", base.to_string().c_str());
+  metrics::Table table({"upload", "final_accuracy", "uplink MB/round",
+                        "relative uplink cost"});
+  double sparse_bytes = 0.0;
+  const char* strategies[] = {"sparse", "multi:2", "multi:5", "full"};
+  for (const char* strategy : strategies) {
+    fl::FedMsConfig fed = base;
+    fed.upload = strategy;
+    const fl::RunResult result = fl::run_experiment(workload, fed);
+    const double bytes_per_round =
+        double(result.uplink_total.bytes) / double(result.rounds.size());
+    if (sparse_bytes == 0.0) sparse_bytes = bytes_per_round;
+    table.add_row({strategy,
+                   metrics::Table::fmt(*result.final_eval().eval_accuracy, 3),
+                   metrics::Table::fmt(bytes_per_round / 1e6, 3),
+                   metrics::Table::fmt(bytes_per_round / sparse_bytes, 1) +
+                       "x"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n# Expected shape: accuracy differences are small (Lemma 3's "
+      "variance term\n# (K-P)/(K-1)*4/P*eta^2*E^2*G^2 is a lower-order "
+      "error), while uplink cost grows\n# linearly in the number of PSs "
+      "uploaded to — sparse is the efficient point.\n");
+  return 0;
+}

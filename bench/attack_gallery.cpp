@@ -1,0 +1,53 @@
+// Attack gallery: final accuracy of Fed-MS (trmean_0.2) versus undefended
+// FedAvg (mean) under EVERY server-side attack in the zoo, at the paper's
+// ε = 20% — one table summarizing the whole threat surface.
+//
+// Expected shape: Fed-MS stays near the attack-free ceiling for every
+// filterable attack; "edgeoftrim" and "alie" (lies hidden inside the benign
+// range) cost a bounded slice rather than collapsing — the behaviour
+// Lemma 2's Pσ²/(P−2B)² error term describes; vanilla collapses under
+// value-replacing attacks and merely degrades under mild ones.
+
+#include "byz/attack.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace fedms;
+  core::CliFlags flags(
+      "attack_gallery: Fed-MS vs undefended FedAvg under every server-side "
+      "attack in the zoo");
+  benchcommon::add_common_flags(flags);
+  flags.add_double("eps", 0.2, "fraction of Byzantine PSs");
+  if (!flags.parse(argc, argv)) return 1;
+
+  fl::FedMsConfig base = benchcommon::fed_from_flags(flags);
+  base.rounds = std::min<std::size_t>(base.rounds, 25);
+  base.eval_every = base.rounds;
+  base.byzantine = static_cast<std::size_t>(
+      flags.get_double("eps") * double(base.servers) + 0.5);
+  fl::WorkloadConfig workload = benchcommon::workload_from_flags(flags);
+
+  std::printf("# Attack gallery — %s\n", base.to_string().c_str());
+  metrics::Table table(
+      {"attack", "Fed-MS (trmean:0.2)", "VanillaFL (mean)"});
+  for (const auto& attack : byz::list_attack_names()) {
+    std::vector<std::string> row{attack};
+    for (const char* filter : {"trmean:0.2", "mean"}) {
+      fl::FedMsConfig fed = base;
+      fed.attack = attack;
+      if (attack == "benign") fed.byzantine = 0;
+      fed.client_filter = filter;
+      const fl::RunResult result = fl::run_experiment(workload, fed);
+      row.push_back(
+          metrics::Table::fmt(*result.final_eval().eval_accuracy, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n# Reading: 'benign' is the ceiling. Value-replacing attacks "
+      "(random, zero, signflip,\n# nan, collusion) are trimmed out "
+      "entirely; range-hugging attacks (alie, edgeoftrim)\n# survive the "
+      "trim but are bounded; crash merely removes a minority of models.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Shared plumbing for the figure-regeneration benches.
+//
+// Every figure bench prints:
+//   * a header block stating the paper figure it regenerates and the
+//     Table-II configuration in effect;
+//   * one CSV row per (series, round):
+//       figure,series,attack,round,accuracy,loss,train_loss
+//   * a summary table of final accuracies for quick shape comparison with
+//     the paper.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.h"
+#include "fl/experiment.h"
+#include "metrics/recorder.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+namespace fedms::benchcommon {
+
+// Registers the flags every figure bench shares. Figure-specific flags are
+// added by the caller before parse().
+// Runs the experiment `repeats` times under derived seeds (fed.seed +
+// 1000·r) and averages the evaluated-round series point-wise — error-bar
+// quality figures at repeats >= 3.
+inline fedms::metrics::Series run_averaged(
+    const std::string& figure, const std::string& name,
+    const fedms::fl::WorkloadConfig& workload,
+    fedms::fl::FedMsConfig fed, std::size_t repeats) {
+  fedms::metrics::Series mean_series{figure, name, fed.attack, {}};
+  for (std::size_t r = 0; r < repeats; ++r) {
+    fedms::fl::FedMsConfig run_fed = fed;
+    run_fed.seed = fed.seed + 1000 * r;
+    const fedms::fl::RunResult result =
+        fedms::fl::run_experiment(workload, run_fed);
+    const fedms::metrics::Series series =
+        fedms::metrics::series_from_run(figure, name, fed.attack, result);
+    if (r == 0) {
+      mean_series.points = series.points;
+    } else {
+      // Evaluated rounds are identical across repeats (same cadence).
+      for (std::size_t i = 0; i < mean_series.points.size(); ++i) {
+        mean_series.points[i].accuracy += series.points[i].accuracy;
+        mean_series.points[i].loss += series.points[i].loss;
+        mean_series.points[i].train_loss += series.points[i].train_loss;
+      }
+    }
+  }
+  for (auto& p : mean_series.points) {
+    p.accuracy /= double(repeats);
+    p.loss /= double(repeats);
+    p.train_loss /= double(repeats);
+  }
+  return mean_series;
+}
+
+inline void add_common_flags(core::CliFlags& flags) {
+  flags.add_int("repeats", 1,
+                "average each series over N runs under derived seeds");
+  flags.add_int("clients", 50, "number of end clients K (Table II: 50)");
+  flags.add_int("servers", 10, "number of edge PSs P (Table II: 10)");
+  flags.add_int("rounds", 40, "global training rounds (paper plots 60)");
+  flags.add_int("local-iters", 3, "local SGD iterations E (Table II: 3)");
+  flags.add_int("seed", 7, "root seed (all randomness derives from it)");
+  flags.add_int("eval-every", 2, "evaluate every N rounds");
+  flags.add_int("samples", 3000, "synthetic dataset size");
+  flags.add_string("model", "mlp", "client model: mlp|logistic|mobilenet");
+  flags.add_bool("quick", false,
+                 "smoke-test scale (few rounds; for CI, not for figures)");
+}
+
+inline fedms::fl::FedMsConfig fed_from_flags(const core::CliFlags& flags) {
+  fedms::fl::FedMsConfig fed;
+  fed.clients = static_cast<std::size_t>(flags.get_int("clients"));
+  fed.servers = static_cast<std::size_t>(flags.get_int("servers"));
+  fed.rounds = static_cast<std::size_t>(flags.get_int("rounds"));
+  fed.local_iterations =
+      static_cast<std::size_t>(flags.get_int("local-iters"));
+  fed.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  fed.eval_every = static_cast<std::size_t>(flags.get_int("eval-every"));
+  if (flags.get_bool("quick")) {
+    fed.rounds = 4;
+    fed.eval_every = 2;
+  }
+  return fed;
+}
+
+inline fedms::fl::WorkloadConfig workload_from_flags(
+    const core::CliFlags& flags) {
+  fedms::fl::WorkloadConfig workload;
+  workload.samples = static_cast<std::size_t>(flags.get_int("samples"));
+  workload.model = flags.get_string("model");
+  if (flags.get_bool("quick")) workload.samples = 600;
+  return workload;
+}
+
+inline void print_series(const metrics::Series& series, bool with_header) {
+  if (with_header)
+    std::printf("figure,series,attack,round,accuracy,loss,train_loss\n");
+  for (const auto& p : series.points)
+    std::printf("%s,%s,%s,%llu,%.4f,%.4f,%.4f\n", series.figure.c_str(),
+                series.name.c_str(), series.attack.c_str(),
+                static_cast<unsigned long long>(p.round), p.accuracy, p.loss,
+                p.train_loss);
+}
+
+inline double final_accuracy(const metrics::Series& series) {
+  return series.points.empty() ? 0.0 : series.points.back().accuracy;
+}
+
+}  // namespace fedms::benchcommon

@@ -1,0 +1,68 @@
+// Extension experiment (the paper's stated future work, §VII): FEEL with
+// Byzantine parameter servers AND Byzantine clients simultaneously.
+//
+// Grid: client attack × PS-side aggregation rule, with the server side
+// fixed to the paper's Fig.-2 setting (ε = 20% Byzantine PSs, Noise attack,
+// client filter trmean_0.2). Expected shape: a plain-mean PS collapses
+// under update-reversal (signflip) and garbage (random/zero) client
+// attacks, while robust PS rules (trimmed mean / median / multi-krum)
+// restore near attack-free accuracy — on top of the client-side filter
+// already defeating the Byzantine PSs.
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace fedms;
+  core::CliFlags flags(
+      "ext_byzantine_clients: joint Byzantine servers + Byzantine clients "
+      "grid (extension of the paper's future-work scenario)");
+  benchcommon::add_common_flags(flags);
+  flags.add_double("client-eps", 0.2, "fraction of Byzantine clients");
+  flags.add_double("server-eps", 0.2, "fraction of Byzantine PSs");
+  if (!flags.parse(argc, argv)) return 1;
+
+  fl::FedMsConfig base = benchcommon::fed_from_flags(flags);
+  base.rounds = std::min<std::size_t>(base.rounds, 25);
+  base.eval_every = base.rounds;
+  base.byzantine = static_cast<std::size_t>(
+      flags.get_double("server-eps") * double(base.servers) + 0.5);
+  base.attack = base.byzantine == 0 ? "benign" : "noise";
+  base.client_filter = "trmean:0.2";
+  base.byzantine_clients = static_cast<std::size_t>(
+      flags.get_double("client-eps") * double(base.clients) + 0.5);
+  fl::WorkloadConfig workload = benchcommon::workload_from_flags(flags);
+
+  std::printf("# Byzantine servers + clients extension — %s\n",
+              base.to_string().c_str());
+
+  const char* client_attacks[] = {"benign", "signflip", "zero", "random",
+                                  "noise"};
+  const char* ps_rules[] = {"mean", "trmean:0.25", "median", "multikrum:1:3"};
+
+  metrics::Table table({"client attack \\ PS rule", "mean", "trmean:0.25",
+                        "median", "multikrum:1:3"});
+  for (const char* attack : client_attacks) {
+    std::vector<std::string> row{attack};
+    for (const char* rule : ps_rules) {
+      fl::FedMsConfig fed = base;
+      fed.client_attack = attack;
+      fed.byzantine_clients =
+          std::string(attack) == "benign" ? 0 : base.byzantine_clients;
+      fed.server_aggregator = rule;
+      const fl::RunResult result = fl::run_experiment(workload, fed);
+      row.push_back(
+          metrics::Table::fmt(*result.final_eval().eval_accuracy, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n# Expected shape: the 'benign' row is the ceiling; with Byzantine "
+      "clients active,\n# the 'mean' column degrades (signflip cancels the "
+      "mean update under sparse upload)\n# while robust PS rules recover "
+      "most of the ceiling. Note: with sparse uploading a PS\n# sees only "
+      "~K/P uploads, so per-PS Byzantine fractions fluctuate round to "
+      "round —\n# robust rules with margin (trim 0.25 > client-eps 0.2) "
+      "absorb that variance.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Regenerates Fig. 2 (a-d) of the paper: average test accuracy versus
+// training epoch under the four server-side Byzantine attacks — Noise,
+// Random, Safeguard, Backward — at ε = 20% Byzantine PSs, D_α = 10.
+//
+// Series per panel (paper legend):
+//   Fed-MS   : trimmed-mean filter, β = 0.2 (= ε)
+//   Fed-MS-  : trimmed-mean filter, β = 0.1 (< ε, under-trimmed variant)
+//   VanillaFL: plain mean, no Byzantine defense
+//
+// Paper shape to reproduce: Fed-MS climbs to ~73-76%; Fed-MS- only survives
+// Noise/Backward (10-30% above vanilla) and collapses (<20%) under Random
+// and Safeguard; vanilla collapses under Random/Safeguard and degrades
+// under Noise; under Backward all converge with Fed-MS ~2% of vanilla.
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace fedms;
+  core::CliFlags flags(
+      "fig2_attacks: accuracy vs epochs under Noise/Random/Safeguard/"
+      "Backward server attacks (paper Fig. 2)");
+  benchcommon::add_common_flags(flags);
+  flags.add_double("alpha", 10.0, "Dirichlet D_alpha (paper: 10)");
+  flags.add_double("eps", 0.2, "fraction of Byzantine PSs (paper: 0.2)");
+  if (!flags.parse(argc, argv)) return 1;
+
+  fl::FedMsConfig base = benchcommon::fed_from_flags(flags);
+  fl::WorkloadConfig workload = benchcommon::workload_from_flags(flags);
+  workload.dirichlet_alpha = flags.get_double("alpha");
+  base.byzantine = static_cast<std::size_t>(
+      flags.get_double("eps") * double(base.servers) + 0.5);
+
+  const char* panels[] = {"a", "b", "c", "d"};
+  const char* attacks[] = {"noise", "random", "safeguard", "backward"};
+  struct Algo {
+    const char* name;
+    const char* filter;
+  };
+  const Algo algos[] = {{"Fed-MS", "trmean:0.2"},
+                        {"Fed-MS-", "trmean:0.1"},
+                        {"VanillaFL", "mean"}};
+
+  std::printf("# Fed-MS reproduction of Fig. 2 — %s\n",
+              base.to_string().c_str());
+  metrics::Table summary({"panel", "attack", "algorithm", "final_accuracy"});
+  bool header = true;
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (const Algo& algo : algos) {
+      fl::FedMsConfig fed = base;
+      fed.attack = attacks[p];
+      fed.client_filter = algo.filter;
+      const metrics::Series series = benchcommon::run_averaged(
+          std::string("fig2") + panels[p], algo.name, workload, fed,
+          std::size_t(flags.get_int("repeats")));
+      benchcommon::print_series(series, header);
+      header = false;
+      summary.add_row({std::string("fig2") + panels[p], attacks[p],
+                       algo.name,
+                       metrics::Table::fmt(
+                           benchcommon::final_accuracy(series))});
+    }
+  }
+  std::printf("\n# Final accuracy summary (compare with paper Fig. 2)\n");
+  summary.print(std::cout);
+  return 0;
+}

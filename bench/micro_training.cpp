@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark): the training substrate — tensor
+// kernels and one client's local-training step for each model in the zoo.
+// These bound the simulation's wall-clock budget per federated round.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "nn/classifier.h"
+#include "nn/model_zoo.h"
+#include "nn/optimizer.h"
+#include "nn/params.h"
+#include "tensor/conv.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace fedms;
+using tensor::Tensor;
+
+void BM_MatMul(benchmark::State& state) {
+  core::Rng rng(1);
+  const std::size_t n = std::size_t(state.range(0));
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(tensor::matmul(a, b));
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(n * n * n));
+}
+
+void BM_Conv2dForward(benchmark::State& state) {
+  core::Rng rng(1);
+  const Tensor input = Tensor::randn({8, 3, 8, 8}, rng);
+  const Tensor weight = Tensor::randn({8, 3, 3, 3}, rng);
+  const Tensor bias = Tensor::randn({8}, rng);
+  const tensor::Conv2dSpec spec{1, 1};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        tensor::conv2d_forward(input, weight, bias, spec));
+}
+
+void BM_DepthwiseConvForward(benchmark::State& state) {
+  core::Rng rng(1);
+  const Tensor input = Tensor::randn({8, 16, 8, 8}, rng);
+  const Tensor weight = Tensor::randn({16, 1, 3, 3}, rng);
+  const Tensor bias = Tensor::randn({16}, rng);
+  const tensor::Conv2dSpec spec{1, 1};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        tensor::depthwise_conv2d_forward(input, weight, bias, spec));
+}
+
+// One local-training step (forward + backward + SGD) of a model on a
+// synthetic mini-batch — the unit of client work in the simulation.
+void bm_local_step(benchmark::State& state, const std::string& model_name) {
+  core::Rng rng(2);
+  std::unique_ptr<nn::Sequential> net;
+  Tensor inputs;
+  if (model_name == "mobilenet") {
+    nn::MobileNetV2Config config;
+    net = nn::make_mobilenet_v2_tiny(config, rng);
+    inputs = Tensor::randn({32, 3, 8, 8}, rng);
+  } else if (model_name == "mlp") {
+    net = nn::make_mlp(64, {32}, 10, rng);
+    inputs = Tensor::randn({32, 64}, rng);
+  } else {
+    net = nn::make_logistic(64, 10, rng);
+    inputs = Tensor::randn({32, 64}, rng);
+  }
+  nn::Classifier classifier(std::move(net));
+  nn::Sgd sgd(std::make_unique<nn::ConstantSchedule>(0.1));
+  const auto params = classifier.params();
+  std::vector<std::size_t> labels(32);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 10;
+
+  state.counters["params"] =
+      double(nn::parameter_count(classifier.net()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.compute_gradients(inputs, labels));
+    sgd.step(params);
+  }
+}
+
+void BM_LocalStepLogistic(benchmark::State& state) {
+  bm_local_step(state, "logistic");
+}
+void BM_LocalStepMlp(benchmark::State& state) {
+  bm_local_step(state, "mlp");
+}
+void BM_LocalStepMobileNet(benchmark::State& state) {
+  bm_local_step(state, "mobilenet");
+}
+
+}  // namespace
+
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128);
+BENCHMARK(BM_Conv2dForward);
+BENCHMARK(BM_DepthwiseConvForward);
+BENCHMARK(BM_LocalStepLogistic);
+BENCHMARK(BM_LocalStepMlp);
+BENCHMARK(BM_LocalStepMobileNet);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,219 @@
+// Validates Theorem 1: on an L-smooth, μ-strongly-convex federated
+// objective with the paper's learning-rate schedule η_t = 2/(μ(γ+t)),
+// γ = max(8L/μ, E), Fed-MS's expected optimality gap E[F(w̄_t) − F*]
+// decays as O(1/T), and the error grows with the Byzantine term
+// 4P/(P−2B)² · E²G² as Δ predicts.
+//
+// The bench runs the *actual* Fed-MS stack (sparse upload, Byzantine
+// dissemination, trimmed-mean filter) over a QuadraticProblem whose optimum
+// is known in closed form, and prints two panels:
+//
+//   Panel A (homogeneous clients, Γ = 0): gap-vs-round series whose
+//   log-log slope is ≈ −1 — the O(1/T) rate of Theorem 1 — for every
+//   admissible Byzantine count B < P/2.
+//
+//   Panel B (heterogeneous clients, Γ > 0): the same sweep exhibits an
+//   early 1/t phase followed by an η-independent error floor. This is a
+//   *reproduction finding*, not a bug: under sparse uploading the P server
+//   aggregates are a skewed sample of client models, the trimmed mean of a
+//   skewed sample carries a bias proportional to its spread (∝ η), and a
+//   bias ∝ η balances the ∝ η gradient step at an η-independent offset.
+//   The paper's proof step (22) bounds ‖w̄−w*‖² by E₁ + E₂ alone, dropping
+//   the cross term 2⟨w̄−v̄, v̄−w*⟩ that carries this bias. With full upload
+//   (identical server aggregates — trmean degenerates to the true mean) or
+//   homogeneous data (symmetric spread) the floor vanishes, which panel A
+//   and the comm-cost ablation corroborate. See EXPERIMENTS.md.
+
+#include <cmath>
+
+#include "common.h"
+#include "data/convex.h"
+#include "fl/quadratic_learner.h"
+
+namespace {
+
+using namespace fedms;
+
+struct TheoryResult {
+  std::vector<double> gaps;  // gap after each round
+  double slope = 0.0;        // log-log regression slope
+};
+
+TheoryResult run_theory_once(const data::QuadraticProblem& problem,
+                             std::size_t servers, std::size_t byzantine,
+                             std::size_t local_iterations,
+                             std::size_t rounds, const std::string& attack,
+                             double beta, std::uint64_t seed) {
+  fl::FedMsConfig fed;
+  fed.clients = problem.clients();
+  fed.servers = servers;
+  fed.byzantine = byzantine;
+  fed.local_iterations = local_iterations;
+  fed.rounds = rounds;
+  fed.attack = byzantine == 0 ? "benign" : attack;
+  fed.client_filter =
+      beta > 0.0 ? "trmean:" + std::to_string(beta) : "mean";
+  fed.seed = seed;
+  fed.eval_every = rounds;  // gaps tracked via the callback instead
+
+  const core::SeedSequence seeds(seed);
+  std::vector<fl::LearnerPtr> learners;
+  learners.reserve(problem.clients());
+  for (std::size_t k = 0; k < problem.clients(); ++k)
+    learners.push_back(std::make_unique<fl::QuadraticLearner>(
+        problem, k, local_iterations, seeds.make_rng("grad-noise", k),
+        /*initial_value=*/3.0f));
+
+  TheoryResult result;
+  fl::FedMsRun run(fed, std::move(learners));
+  run.set_round_callback([&](std::uint64_t, const auto& clients) {
+    // w̄_t: average of client iterates after the filter step.
+    std::vector<double> mean(problem.dimension(), 0.0);
+    for (const auto& learner : clients) {
+      const auto w = learner->parameters();
+      for (std::size_t j = 0; j < w.size(); ++j) mean[j] += w[j];
+    }
+    std::vector<float> wbar(problem.dimension());
+    for (std::size_t j = 0; j < wbar.size(); ++j)
+      wbar[j] = static_cast<float>(mean[j] / double(clients.size()));
+    result.gaps.push_back(problem.global_value(wbar) -
+                          problem.optimal_value());
+  });
+  run.run();
+
+  return result;
+}
+
+// Averages the gap trajectory over several independent runs (the theorem
+// bounds the gap *in expectation*; single-run gaps fluctuate too much for a
+// stable rate fit) and fits the log-log slope of the noise-dominated tail.
+TheoryResult run_theory(const data::QuadraticProblem& problem,
+                        std::size_t servers, std::size_t byzantine,
+                        std::size_t local_iterations, std::size_t rounds,
+                        const std::string& attack, double beta,
+                        std::uint64_t seed, std::size_t repeats = 5) {
+  TheoryResult result;
+  result.gaps.assign(rounds, 0.0);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const TheoryResult one =
+        run_theory_once(problem, servers, byzantine, local_iterations,
+                        rounds, attack, beta, seed + 1000 * r);
+    for (std::size_t t = 0; t < rounds; ++t) result.gaps[t] += one.gaps[t];
+  }
+  for (auto& g : result.gaps) g /= double(repeats);
+
+  // Theorem 1 predicts gap ≈ C/(γ + t_steps); fitting log(gap) against
+  // log(γ_rounds + t) rather than log(t) removes the early flat region the
+  // schedule offset γ creates. The first eighth of the run is skipped: the
+  // deterministic transient contracts geometrically (the theorem is an
+  // upper bound), and the 1/T rate shows in the noise-dominated phase.
+  const double gamma_rounds =
+      std::max(8.0 * problem.config().smoothness / problem.config().mu,
+               double(local_iterations)) /
+      double(local_iterations);
+  std::vector<double> log_t, log_gap;
+  for (std::size_t t = result.gaps.size() / 8; t < result.gaps.size(); ++t) {
+    if (result.gaps[t] <= 0.0) continue;
+    log_t.push_back(std::log(gamma_rounds + double(t)));
+    log_gap.push_back(std::log(result.gaps[t]));
+  }
+  if (log_t.size() >= 2)
+    result.slope = metrics::regression_slope(log_t, log_gap);
+  return result;
+}
+
+void run_panel(const char* panel, double heterogeneity, std::size_t clients,
+               std::size_t dimension, double mu, double smoothness,
+               double noise, std::size_t servers, std::size_t local_iters,
+               std::size_t rounds, const std::string& attack,
+               std::uint64_t seed) {
+  data::QuadraticProblemConfig config;
+  config.clients = clients;
+  config.dimension = dimension;
+  config.mu = mu;
+  config.smoothness = smoothness;
+  config.heterogeneity = heterogeneity;
+  config.gradient_noise = noise;
+  core::Rng problem_rng(core::SeedSequence(seed).derive("problem"));
+  const data::QuadraticProblem problem(config, problem_rng);
+
+  std::printf(
+      "\n# Panel %s: heterogeneity=%.1f  Gamma=%.4f  (K=%zu P=%zu E=%zu "
+      "T=%zu mu=%.2f L=%.2f sigma=%.2f attack=%s)\n",
+      panel, heterogeneity, problem.heterogeneity_gamma(), clients, servers,
+      local_iters, rounds, mu, smoothness, noise, attack.c_str());
+  std::printf("series,round,gap\n");
+  metrics::Table summary({"B", "beta", "final_gap", "loglog_slope",
+                          "byz_error_term 4P/(P-2B)^2"});
+  const std::size_t byz_counts[] = {0, 1, 2, 3, 4};
+  for (const std::size_t byz : byz_counts) {
+    if (2 * byz > servers) continue;
+    const double beta = double(byz) / double(servers);
+    const TheoryResult result =
+        run_theory(problem, servers, byz, local_iters, rounds, attack,
+                   byz == 0 ? 0.2 : beta, seed);
+    for (std::size_t t = 0; t < result.gaps.size(); ++t)
+      if (t % (rounds / 20 + 1) == 0 || t + 1 == result.gaps.size())
+        std::printf("%s:B=%zu,%zu,%.6g\n", panel, byz, t, result.gaps[t]);
+    const double p = double(servers);
+    const double byz_term = 4.0 * p / ((p - 2.0 * byz) * (p - 2.0 * byz));
+    summary.add_row({std::to_string(byz), metrics::Table::fmt(beta, 2),
+                     metrics::Table::fmt(result.gaps.back(), 6),
+                     metrics::Table::fmt(result.slope, 3),
+                     metrics::Table::fmt(byz_term, 3)});
+  }
+  summary.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedms;
+  core::CliFlags flags(
+      "theory_convergence: O(1/T) optimality-gap validation of Theorem 1 on "
+      "a strongly convex quadratic federated objective");
+  flags.add_int("clients", 50, "K");
+  flags.add_int("servers", 10, "P");
+  flags.add_int("local-iters", 3, "E");
+  flags.add_int("rounds", 400, "training rounds T");
+  flags.add_int("dimension", 32, "problem dimension d");
+  flags.add_double("mu", 1.0, "strong convexity");
+  flags.add_double("smoothness", 8.0, "L");
+  flags.add_double("noise", 0.5, "gradient noise sigma");
+  flags.add_double("heterogeneity", 1.0,
+                   "client-center spread for panel B");
+  flags.add_string("attack", "random", "attack on Byzantine PSs");
+  flags.add_int("seed", 7, "root seed");
+  flags.add_bool("quick", false, "smoke-test scale");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const std::size_t clients =
+      static_cast<std::size_t>(flags.get_int("clients"));
+  const std::size_t servers =
+      static_cast<std::size_t>(flags.get_int("servers"));
+  const std::size_t local_iters =
+      static_cast<std::size_t>(flags.get_int("local-iters"));
+  std::size_t rounds = static_cast<std::size_t>(flags.get_int("rounds"));
+  if (flags.get_bool("quick")) rounds = 20;
+  const std::size_t dimension =
+      static_cast<std::size_t>(flags.get_int("dimension"));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  std::printf("# Theorem-1 validation (gap = F(w_bar_t) - F*)\n");
+  run_panel("A", 0.0, clients, dimension, flags.get_double("mu"),
+            flags.get_double("smoothness"), flags.get_double("noise"),
+            servers, local_iters, rounds, flags.get_string("attack"), seed);
+  run_panel("B", flags.get_double("heterogeneity"), clients, dimension,
+            flags.get_double("mu"), flags.get_double("smoothness"),
+            flags.get_double("noise"), servers, local_iters, rounds,
+            flags.get_string("attack"), seed);
+  std::printf(
+      "\n# Reading the panels: Panel A's loglog_slope ~ -1 is the O(1/T) "
+      "rate of Theorem 1\n# (homogeneous clients, Gamma = 0); final gaps "
+      "grow with B following 4P/(P-2B)^2.\n# Panel B shows the same decay "
+      "hitting an eta-independent floor caused by trimmed-mean\n# skew "
+      "bias under sparse upload + heterogeneity (see header comment and "
+      "EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: Byzantine-resilient federated learning with Fed-MS.
+//
+// Sets up the paper's Table-II topology (K = 50 clients, P = 10 edge
+// parameter servers, 2 of them Byzantine running the Random attack),
+// trains a 10-class classifier federatedly, and shows that Fed-MS's
+// trimmed-mean filter keeps learning while undefended FedAvg collapses.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "fl/experiment.h"
+
+int main() {
+  using namespace fedms;
+
+  // 1. Describe the workload: a synthetic 10-class dataset partitioned
+  //    non-iid (Dirichlet α = 10) across the clients, and a small MLP.
+  fl::WorkloadConfig workload;
+  workload.samples = 3000;
+  workload.feature_dimension = 64;
+  workload.classes = 10;
+  workload.dirichlet_alpha = 10.0;
+  workload.model = "mlp";
+
+  // 2. Describe the federation: Table-II scale, 20% Byzantine servers
+  //    replaying the Random attack (replace the aggregate with U[-10,10]).
+  fl::FedMsConfig fed;
+  fed.clients = 50;
+  fed.servers = 10;
+  fed.byzantine = 2;
+  fed.local_iterations = 3;
+  fed.rounds = 15;
+  fed.attack = "random";
+  fed.client_filter = "trmean:0.2";  // Fed-MS defense, β = B/P
+  fed.seed = 7;
+
+  std::printf("Fed-MS quickstart — %s\n", fed.to_string().c_str());
+
+  // 3. Run Fed-MS.
+  fl::RunResult defended = fl::run_experiment(workload, fed);
+
+  // 4. Re-run the identical federation with no defense (vanilla FedAvg
+  //    averages all P received models, Byzantine ones included).
+  fed.client_filter = "mean";
+  fl::RunResult undefended = fl::run_experiment(workload, fed);
+
+  std::printf("\n%-8s %-22s %-22s\n", "round", "Fed-MS accuracy",
+              "Vanilla FL accuracy");
+  for (std::size_t i = 0; i < defended.rounds.size(); ++i) {
+    const auto& a = defended.rounds[i];
+    const auto& b = undefended.rounds[i];
+    if (!a.eval_accuracy) continue;
+    std::printf("%-8llu %-22.4f %-22.4f\n",
+                static_cast<unsigned long long>(a.round),
+                *a.eval_accuracy, *b.eval_accuracy);
+  }
+
+  std::printf(
+      "\nFed-MS final accuracy:   %.1f%%\n"
+      "Vanilla final accuracy:  %.1f%%  (under the same Byzantine attack)\n",
+      100.0 * *defended.final_eval().eval_accuracy,
+      100.0 * *undefended.final_eval().eval_accuracy);
+  std::printf("uplink per round: %llu messages (sparse upload ⇒ K)\n",
+              static_cast<unsigned long long>(
+                  defended.rounds.front().uplink_messages));
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Robust-aggregation laboratory: compares the client-side defense Def()
+// choices — plain mean, the paper's trimmed mean, coordinate median, Krum,
+// and geometric median — first on hand-crafted model vectors (to see what
+// each rule actually computes), then as the filter inside a full Fed-MS
+// run under a server-side attack.
+
+#include <cstdio>
+#include <iostream>
+
+#include "fl/aggregators.h"
+#include "fl/experiment.h"
+#include "metrics/table.h"
+
+namespace {
+
+using namespace fedms;
+
+void micro_demo() {
+  std::printf("— Filter behaviour on one coordinate —\n");
+  // Eight honest servers report values near 1.0; two Byzantine servers
+  // report 100 (a coordinated large lie).
+  std::vector<fl::ModelVector> models;
+  const float honest[] = {0.9f, 0.95f, 1.0f, 1.0f, 1.02f, 1.05f, 1.1f, 1.2f};
+  for (const float v : honest) models.push_back({v});
+  models.push_back({100.0f});
+  models.push_back({100.0f});
+
+  metrics::Table table({"rule", "output", "comment"});
+  table.add_row({"mean", metrics::Table::fmt(fl::mean_aggregate(models)[0]),
+                 "dragged by the lies"});
+  table.add_row({"trmean(0.2)",
+                 metrics::Table::fmt(fl::trimmed_mean(models, 0.2)[0]),
+                 "paper's Def(): trims 2 high + 2 low"});
+  table.add_row({"trmean(0.1)",
+                 metrics::Table::fmt(fl::trimmed_mean(models, 0.1)[0]),
+                 "under-trimmed: one lie survives"});
+  table.add_row({"median",
+                 metrics::Table::fmt(fl::coordinate_median(models)[0]),
+                 "robust order statistic"});
+  table.add_row({"krum(f=2)", metrics::Table::fmt(fl::krum(models, 2)[0]),
+                 "selects one representative model"});
+  table.add_row({"geomedian",
+                 metrics::Table::fmt(fl::geometric_median(models)[0]),
+                 "Weiszfeld fixed point"});
+  table.print(std::cout);
+
+  std::printf("\nPaper's worked example: trmean_0.2{1,2,3,4,5} = %.0f "
+              "(removes 1 and 5, averages the rest)\n\n",
+              fl::trimmed_mean({{1}, {2}, {3}, {4}, {5}}, 0.2)[0]);
+}
+
+void training_comparison() {
+  std::printf("— Def() choices inside a full Fed-MS run (Random attack, "
+              "eps=20%%) —\n");
+  fl::WorkloadConfig workload;
+  workload.samples = 2000;
+  fl::FedMsConfig base;
+  base.clients = 30;
+  base.servers = 10;
+  base.byzantine = 2;
+  base.attack = "random";
+  base.rounds = 12;
+  base.eval_every = 12;
+  base.seed = 21;
+
+  metrics::Table table({"client filter Def()", "final test accuracy"});
+  const char* filters[] = {"mean", "trmean:0.2", "median", "krum:2",
+                           "geomedian"};
+  for (const char* filter : filters) {
+    fl::FedMsConfig fed = base;
+    fed.client_filter = filter;
+    const fl::RunResult result = fl::run_experiment(workload, fed);
+    table.add_row({filter,
+                   metrics::Table::fmt(*result.final_eval().eval_accuracy,
+                                       3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nAll robust rules survive the attack; the paper adopts the trimmed\n"
+      "mean because it admits the Lemma-2 error bound P*sigma^2/(P-2B)^2\n"
+      "and degenerates gracefully to the mean when B = 0.\n");
+}
+
+}  // namespace
+
+int main() {
+  micro_demo();
+  training_comparison();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Theory playground: the convergence machinery of Section V on a strongly
+// convex quadratic problem with a closed-form optimum.
+//
+// Demonstrates:
+//   * the Theorem-1 learning-rate schedule η_t = 2/(μ(γ+t)) and its
+//     non-increasing, η_t ≤ 2η_{t+E} property;
+//   * the optimality gap F(w̄_t) − F* shrinking ~1/t under Fed-MS with
+//     Byzantine servers active;
+//   * the Δ error constant of Theorem 1 evaluated term by term, showing
+//     which error source dominates at the paper's parameters.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "data/convex.h"
+#include "fl/fedms.h"
+#include "fl/quadratic_learner.h"
+#include "metrics/table.h"
+
+int main() {
+  using namespace fedms;
+
+  data::QuadraticProblemConfig pc;
+  pc.clients = 50;
+  pc.dimension = 32;
+  pc.mu = 1.0;
+  pc.smoothness = 8.0;
+  pc.heterogeneity = 0.0;  // Γ = 0: the clean Theorem-1 regime
+  pc.gradient_noise = 0.5;
+  core::Rng problem_rng(4242);
+  const data::QuadraticProblem problem(pc, problem_rng);
+
+  const std::size_t E = 3, P = 10, B = 2, K = pc.clients;
+  const double gamma = std::max(8.0 * pc.smoothness / pc.mu, double(E));
+  std::printf("Theorem-1 schedule: eta_t = 2/(mu*(gamma+t)), gamma = "
+              "max(8L/mu, E) = %.0f\n", gamma);
+  for (const std::uint64_t t : {0ull, 10ull, 100ull, 1000ull})
+    std::printf("  eta_%-5llu = %.5f\n", (unsigned long long)t,
+                2.0 / (pc.mu * (gamma + double(t))));
+
+  // Δ term-by-term (G estimated as the gradient-norm bound near w0 = 0).
+  double g_sq = 0.0;
+  const std::vector<float> w0(pc.dimension, 3.0f);  // the common start w₀
+  for (std::size_t k = 0; k < K; ++k) {
+    const auto g = problem.local_gradient(k, w0);
+    double n = 0.0;
+    for (const float v : g) n += double(v) * v;
+    g_sq = std::max(g_sq, n);
+  }
+  const double sigma_sq = pc.gradient_noise * pc.gradient_noise;
+  const double term_gamma = 6.0 * pc.smoothness * problem.heterogeneity_gamma();
+  const double term_drift = 8.0 * double(E * E) * g_sq;
+  const double term_noise = sigma_sq;
+  const double term_byz =
+      4.0 * double(P) / double((P - 2 * B) * (P - 2 * B)) * double(E * E) *
+      g_sq;
+  const double term_sparse = (double(K - P) / double(K - 1)) * 4.0 /
+                             double(P) * double(E * E) * g_sq;
+  metrics::Table delta({"Delta term", "value", "source"});
+  delta.add_row({"6*L*Gamma", metrics::Table::fmt(term_gamma, 3),
+                 "data heterogeneity"});
+  delta.add_row({"8*E^2*G^2", metrics::Table::fmt(term_drift, 3),
+                 "local drift over E steps"});
+  delta.add_row({"avg sigma_k^2", metrics::Table::fmt(term_noise, 3),
+                 "stochastic gradients"});
+  delta.add_row({"4P/(P-2B)^2*E^2*G^2", metrics::Table::fmt(term_byz, 3),
+                 "Byzantine PSs (trimmed-mean error)"});
+  delta.add_row({"(K-P)/(K-1)*4/P*E^2*G^2",
+                 metrics::Table::fmt(term_sparse, 3),
+                 "sparse-upload partial participation"});
+  std::printf("\nError constant Delta of Theorem 1 (G^2 ~ %.2f near w0):\n",
+              g_sq);
+  delta.print(std::cout);
+
+  // Run the actual algorithm and watch the gap fall.
+  fl::FedMsConfig fed;
+  fed.clients = K;
+  fed.servers = P;
+  fed.byzantine = B;
+  fed.local_iterations = E;
+  fed.rounds = 200;
+  fed.attack = "random";
+  fed.client_filter = "trmean:0.2";
+  fed.seed = 3;
+  fed.eval_every = fed.rounds;
+
+  core::SeedSequence seeds(fed.seed);
+  std::vector<fl::LearnerPtr> learners;
+  for (std::size_t k = 0; k < K; ++k)
+    learners.push_back(std::make_unique<fl::QuadraticLearner>(
+        problem, k, E, seeds.make_rng("noise", k), /*initial_value=*/3.0f));
+  fl::FedMsRun run(fed, std::move(learners));
+  std::vector<double> gaps;
+  run.set_round_callback([&](std::uint64_t, const auto& clients) {
+    std::vector<double> mean(pc.dimension, 0.0);
+    for (const auto& learner : clients) {
+      const auto w = learner->parameters();
+      for (std::size_t j = 0; j < w.size(); ++j) mean[j] += w[j];
+    }
+    std::vector<float> wbar(pc.dimension);
+    for (std::size_t j = 0; j < wbar.size(); ++j)
+      wbar[j] = static_cast<float>(mean[j] / double(K));
+    gaps.push_back(problem.global_value(wbar) - problem.optimal_value());
+  });
+  run.run();
+
+  std::printf("\nOptimality gap F(w_bar_t) - F* under Fed-MS with B=%zu "
+              "Byzantine PSs (Random attack):\n", std::size_t(B));
+  for (const std::size_t t : {1ul, 2ul, 5ul, 10ul, 25ul, 50ul, 100ul, 199ul})
+    std::printf("  round %-4zu gap = %.3e   gap*(gamma/E+t) = %.3e\n", t,
+                gaps[t], gaps[t] * (gamma / double(E) + double(t)));
+  std::printf(
+      "\ngap*(gamma/E+t) stabilising to a constant is the O(1/T) rate of "
+      "Theorem 1.\n");
+  return 0;
+}

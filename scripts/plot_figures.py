@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Plot the paper-reproduction figures from the bench binaries' CSV output.
+
+Usage:
+    ./build/bench/fig2_attacks  > fig2.csv
+    ./build/bench/fig3_byzantine_fraction > fig3.csv
+    ./build/bench/fig5_heterogeneity > fig5.csv
+    python3 scripts/plot_figures.py fig2.csv fig3.csv fig5.csv -o figures/
+
+Each input file is the stdout of a figure bench: comment lines start with
+'#', data rows follow the schema
+
+    figure,series,attack,round,accuracy,loss,train_loss
+
+One PNG is produced per distinct `figure` value (fig2a, fig2b, ...), with
+one accuracy-vs-round curve per `series` — the same panels the paper plots.
+Requires matplotlib; no other dependencies.
+"""
+
+import argparse
+import collections
+import csv
+import os
+import sys
+
+HEADER = ["figure", "series", "attack", "round", "accuracy", "loss",
+          "train_loss"]
+
+
+def read_rows(path):
+    rows = []
+    with open(path, newline="") as handle:
+        for record in csv.reader(handle):
+            if not record or record[0].startswith("#"):
+                continue
+            if record[:3] == HEADER[:3]:  # header line
+                continue
+            if len(record) != len(HEADER):
+                continue  # summary tables etc.
+            try:
+                rows.append({
+                    "figure": record[0],
+                    "series": record[1],
+                    "round": int(record[3]),
+                    "accuracy": float(record[4]),
+                })
+            except ValueError:
+                continue
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+", help="bench stdout CSV files")
+    parser.add_argument("-o", "--output-dir", default="figures")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("plot_figures.py requires matplotlib "
+                 "(pip install matplotlib)")
+
+    panels = collections.defaultdict(
+        lambda: collections.defaultdict(list))
+    for path in args.inputs:
+        for row in read_rows(path):
+            panels[row["figure"]][row["series"]].append(
+                (row["round"], row["accuracy"]))
+
+    if not panels:
+        sys.exit("no data rows found — pass the stdout of a figure bench")
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    for figure, series in sorted(panels.items()):
+        fig, axis = plt.subplots(figsize=(5, 3.4))
+        for name, points in sorted(series.items()):
+            points.sort()
+            axis.plot([p[0] for p in points], [p[1] for p in points],
+                      marker="o", markersize=2.5, linewidth=1.2, label=name)
+        axis.set_xlabel("training round")
+        axis.set_ylabel("test accuracy")
+        axis.set_ylim(0.0, 1.0)
+        axis.set_title(figure)
+        axis.grid(alpha=0.3)
+        axis.legend(fontsize=7)
+        fig.tight_layout()
+        out = os.path.join(args.output_dir, f"{figure}.png")
+        fig.savefig(out, dpi=160)
+        plt.close(fig)
+        print(f"wrote {out} ({len(series)} series)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#include "byz/attack.h"
+
+#include "byz/attacks.h"
+#include "core/contracts.h"
+
+namespace fedms::byz {
+
+AttackPtr make_attack(const std::string& name) {
+  if (name == "benign") return std::make_unique<BenignAttack>();
+  if (name == "noise") return std::make_unique<NoiseAttack>();
+  if (name == "random") return std::make_unique<RandomAttack>();
+  if (name == "safeguard") return std::make_unique<SafeguardAttack>();
+  if (name == "backward") return std::make_unique<BackwardAttack>();
+  if (name == "zero") return std::make_unique<ZeroAttack>();
+  if (name == "signflip") return std::make_unique<SignFlipAttack>();
+  if (name == "inconsistent") return std::make_unique<InconsistentAttack>();
+  if (name == "collusion") return std::make_unique<CollusionAttack>();
+  if (name == "nan") return std::make_unique<NanAttack>();
+  if (name == "crash") return std::make_unique<CrashAttack>();
+  if (name == "alie") return std::make_unique<AlieAttack>();
+  if (name == "edgeoftrim") return std::make_unique<EdgeOfTrimAttack>();
+  FEDMS_EXPECTS(!"unknown attack name");
+  return nullptr;
+}
+
+std::vector<std::string> list_attack_names() {
+  return {"benign",     "noise",        "random", "safeguard",
+          "backward",   "zero",         "signflip", "inconsistent",
+          "collusion",  "nan",          "crash",  "alie",
+          "edgeoftrim"};
+}
+
+}  // namespace fedms::byz

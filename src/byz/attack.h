@@ -1,0 +1,54 @@
+// Byzantine parameter-server behaviour.
+//
+// An Attack is what a compromised PS does at the *dissemination* edge: it
+// takes the honest aggregate a_{t+1}^i the PS just computed and produces the
+// payload actually sent to one specific client. The per-recipient signature
+// implements the paper's strong model ("a Byzantine PS can send various
+// tampered models to different clients"), and the context hands the attack
+// the PS's full aggregate history and round index — the paper's adaptive
+// adversary has complete knowledge of the algorithm and FL state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace fedms::byz {
+
+struct AttackContext {
+  std::uint64_t round = 0;          // t (dissemination for round t+1)
+  std::size_t server_index = 0;     // which PS is attacking
+  std::size_t recipient_client = 0; // client this payload goes to
+  // Honest aggregate of this PS for the current round (a_{t+1}^i).
+  const std::vector<float>* honest_aggregate = nullptr;
+  // This PS's honest aggregates of earlier rounds, oldest first; the entry
+  // for the current round is NOT included.
+  const std::vector<std::vector<float>>* history = nullptr;
+  // The common initial model w₀ every PS held before round 0.
+  const std::vector<float>* initial_model = nullptr;
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  // Produces the tampered payload for one recipient. `rng` is the attacking
+  // PS's private randomness stream.
+  virtual std::vector<float> tamper(const AttackContext& context,
+                                    core::Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using AttackPtr = std::unique_ptr<Attack>;
+
+// Builds an attack by name: "benign", "noise", "random", "safeguard",
+// "backward", "zero", "signflip", "inconsistent", "collusion", "nan".
+// Contract-violates on an unknown name; `list_attack_names()` enumerates.
+AttackPtr make_attack(const std::string& name);
+std::vector<std::string> list_attack_names();
+
+}  // namespace fedms::byz

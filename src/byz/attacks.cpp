@@ -1,0 +1,174 @@
+#include "byz/attacks.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/contracts.h"
+
+namespace fedms::byz {
+
+namespace {
+
+const std::vector<float>& honest(const AttackContext& context) {
+  FEDMS_EXPECTS(context.honest_aggregate != nullptr);
+  return *context.honest_aggregate;
+}
+
+}  // namespace
+
+std::vector<float> BenignAttack::tamper(const AttackContext& context,
+                                        core::Rng& /*rng*/) const {
+  return honest(context);
+}
+
+NoiseAttack::NoiseAttack(double stddev) : stddev_(stddev) {
+  FEDMS_EXPECTS(stddev >= 0.0);
+}
+
+std::vector<float> NoiseAttack::tamper(const AttackContext& context,
+                                       core::Rng& rng) const {
+  std::vector<float> out = honest(context);
+  for (auto& v : out) v += static_cast<float>(rng.normal(0.0, stddev_));
+  return out;
+}
+
+RandomAttack::RandomAttack(double lo, double hi) : lo_(lo), hi_(hi) {
+  FEDMS_EXPECTS(lo < hi);
+}
+
+std::vector<float> RandomAttack::tamper(const AttackContext& context,
+                                        core::Rng& rng) const {
+  std::vector<float> out(honest(context).size());
+  for (auto& v : out) v = static_cast<float>(rng.uniform(lo_, hi_));
+  return out;
+}
+
+SafeguardAttack::SafeguardAttack(double gamma, double amplification)
+    : gamma_(gamma), amplification_(amplification) {
+  FEDMS_EXPECTS(gamma > 0.0);
+  FEDMS_EXPECTS(amplification > 0.0);
+}
+
+std::vector<float> SafeguardAttack::tamper(const AttackContext& context,
+                                           core::Rng& /*rng*/) const {
+  std::vector<float> out = honest(context);
+  FEDMS_EXPECTS(context.initial_model != nullptr);
+  const std::vector<float>& anchor = *context.initial_model;
+  FEDMS_EXPECTS(anchor.size() == out.size());
+  // ã = a − γ·A·(a − w₀): steps backwards along the cumulative
+  // pseudo-gradient (total training progress since the initial model).
+  const float strength = static_cast<float>(gamma_ * amplification_);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] -= strength * (out[i] - anchor[i]);
+  return out;
+}
+
+BackwardAttack::BackwardAttack(std::size_t lag) : lag_(lag) {
+  FEDMS_EXPECTS(lag > 0);
+}
+
+std::vector<float> BackwardAttack::tamper(const AttackContext& context,
+                                          core::Rng& /*rng*/) const {
+  FEDMS_EXPECTS(context.history != nullptr);
+  const auto& history = *context.history;
+  // history holds rounds [0, t); the current aggregate corresponds to round
+  // t. Lag T means replay the aggregate from round t − T, i.e. history
+  // index size() − (T − 1) − 1; before that exists, replay the oldest.
+  if (history.empty()) return honest(context);
+  if (history.size() < lag_) return history.front();
+  return history[history.size() - lag_];
+}
+
+std::vector<float> ZeroAttack::tamper(const AttackContext& context,
+                                      core::Rng& /*rng*/) const {
+  return std::vector<float>(honest(context).size(), 0.0f);
+}
+
+SignFlipAttack::SignFlipAttack(double scale) : scale_(scale) {
+  FEDMS_EXPECTS(scale > 0.0);
+}
+
+std::vector<float> SignFlipAttack::tamper(const AttackContext& context,
+                                          core::Rng& /*rng*/) const {
+  std::vector<float> out = honest(context);
+  for (auto& v : out) v *= static_cast<float>(-scale_);
+  return out;
+}
+
+InconsistentAttack::InconsistentAttack(double stddev) : stddev_(stddev) {
+  FEDMS_EXPECTS(stddev > 0.0);
+}
+
+std::vector<float> InconsistentAttack::tamper(const AttackContext& context,
+                                              core::Rng& /*rng*/) const {
+  // Derive a per-(server, round, recipient) stream so each client receives
+  // a different lie, reproducibly.
+  core::SeedSequence seeds(0xfeed5eedULL ^
+                           (std::uint64_t(context.server_index) << 32));
+  core::Rng stream =
+      seeds.make_rng("inconsistent",
+                     context.round * 1000003ULL + context.recipient_client);
+  std::vector<float> out = honest(context);
+  for (auto& v : out) v += static_cast<float>(stream.normal(0.0, stddev_));
+  return out;
+}
+
+CollusionAttack::CollusionAttack(double shift) : shift_(shift) {}
+
+std::vector<float> CollusionAttack::tamper(const AttackContext& context,
+                                           core::Rng& /*rng*/) const {
+  std::vector<float> out = honest(context);
+  for (auto& v : out) v += static_cast<float>(shift_);
+  return out;
+}
+
+std::vector<float> NanAttack::tamper(const AttackContext& context,
+                                     core::Rng& /*rng*/) const {
+  return std::vector<float>(honest(context).size(),
+                            std::numeric_limits<float>::quiet_NaN());
+}
+
+std::vector<float> CrashAttack::tamper(const AttackContext& /*context*/,
+                                       core::Rng& /*rng*/) const {
+  return {};  // empty payload = no dissemination
+}
+
+AlieAttack::AlieAttack(double z) : z_(z) { FEDMS_EXPECTS(z > 0.0); }
+
+std::vector<float> AlieAttack::tamper(const AttackContext& context,
+                                      core::Rng& /*rng*/) const {
+  std::vector<float> out = honest(context);
+  FEDMS_EXPECTS(context.history != nullptr);
+  if (context.history->empty()) return out;
+  // Per-coordinate spread proxy: |a_t − a_{t−1}| over the recent history.
+  const auto& history = *context.history;
+  std::vector<float> spread(out.size(), 0.0f);
+  const std::vector<float>* previous = &history.back();
+  for (std::size_t j = 0; j < out.size(); ++j)
+    spread[j] = std::abs(out[j] - (*previous)[j]);
+  const float z = static_cast<float>(z_);
+  for (std::size_t j = 0; j < out.size(); ++j) out[j] += z * spread[j];
+  return out;
+}
+
+EdgeOfTrimAttack::EdgeOfTrimAttack(double margin) : margin_(margin) {
+  FEDMS_EXPECTS(margin > 0.0);
+}
+
+std::vector<float> EdgeOfTrimAttack::tamper(const AttackContext& context,
+                                            core::Rng& /*rng*/) const {
+  std::vector<float> out = honest(context);
+  FEDMS_EXPECTS(context.history != nullptr);
+  if (context.history->empty()) return out;
+  const std::vector<float>& previous = context.history->back();
+  FEDMS_EXPECTS(previous.size() == out.size());
+  // Shift backwards by `margin` one-round progresses: comparable in size to
+  // the spread among honest server aggregates, so the lie sits at the edge
+  // of the benign range instead of being an obvious outlier.
+  const float margin = static_cast<float>(margin_);
+  for (std::size_t j = 0; j < out.size(); ++j)
+    out[j] -= margin * (out[j] - previous[j]);
+  return out;
+}
+
+}  // namespace fedms::byz

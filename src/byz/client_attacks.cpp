@@ -1,0 +1,100 @@
+#include "byz/client_attacks.h"
+
+#include "core/contracts.h"
+
+namespace fedms::byz {
+
+namespace {
+
+const std::vector<float>& honest(const ClientAttackContext& context) {
+  FEDMS_EXPECTS(context.honest_update != nullptr);
+  return *context.honest_update;
+}
+
+const std::vector<float>& start(const ClientAttackContext& context) {
+  FEDMS_EXPECTS(context.round_start != nullptr);
+  FEDMS_EXPECTS(context.round_start->size() ==
+                context.honest_update->size());
+  return *context.round_start;
+}
+
+}  // namespace
+
+std::vector<float> BenignClient::forge(const ClientAttackContext& context,
+                                       core::Rng& /*rng*/) const {
+  return honest(context);
+}
+
+ClientSignFlip::ClientSignFlip(double lambda) : lambda_(lambda) {
+  FEDMS_EXPECTS(lambda > 0.0);
+}
+
+std::vector<float> ClientSignFlip::forge(const ClientAttackContext& context,
+                                         core::Rng& /*rng*/) const {
+  const auto& w = honest(context);
+  const auto& w0 = start(context);
+  std::vector<float> out(w.size());
+  const float lambda = static_cast<float>(lambda_);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    out[i] = w0[i] - lambda * (w[i] - w0[i]);
+  return out;
+}
+
+ClientScaling::ClientScaling(double lambda) : lambda_(lambda) {
+  FEDMS_EXPECTS(lambda > 0.0);
+}
+
+std::vector<float> ClientScaling::forge(const ClientAttackContext& context,
+                                        core::Rng& /*rng*/) const {
+  const auto& w = honest(context);
+  const auto& w0 = start(context);
+  std::vector<float> out(w.size());
+  const float lambda = static_cast<float>(lambda_);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    out[i] = w0[i] + lambda * (w[i] - w0[i]);
+  return out;
+}
+
+ClientNoise::ClientNoise(double stddev) : stddev_(stddev) {
+  FEDMS_EXPECTS(stddev >= 0.0);
+}
+
+std::vector<float> ClientNoise::forge(const ClientAttackContext& context,
+                                      core::Rng& rng) const {
+  std::vector<float> out = honest(context);
+  for (auto& v : out) v += static_cast<float>(rng.normal(0.0, stddev_));
+  return out;
+}
+
+std::vector<float> ClientZero::forge(const ClientAttackContext& context,
+                                     core::Rng& /*rng*/) const {
+  return std::vector<float>(honest(context).size(), 0.0f);
+}
+
+ClientRandom::ClientRandom(double lo, double hi) : lo_(lo), hi_(hi) {
+  FEDMS_EXPECTS(lo < hi);
+}
+
+std::vector<float> ClientRandom::forge(const ClientAttackContext& context,
+                                       core::Rng& rng) const {
+  std::vector<float> out(honest(context).size());
+  for (auto& v : out) v = static_cast<float>(rng.uniform(lo_, hi_));
+  return out;
+}
+
+ClientAttackPtr make_client_attack(const std::string& name) {
+  if (name == "benign") return std::make_unique<BenignClient>();
+  if (name == "signflip") return std::make_unique<ClientSignFlip>();
+  if (name == "scaling") return std::make_unique<ClientScaling>();
+  if (name == "noise") return std::make_unique<ClientNoise>();
+  if (name == "zero") return std::make_unique<ClientZero>();
+  if (name == "random") return std::make_unique<ClientRandom>();
+  FEDMS_EXPECTS(!"unknown client attack name");
+  return nullptr;
+}
+
+std::vector<std::string> list_client_attack_names() {
+  return {"benign", "signflip", "scaling", "noise", "zero", "random"};
+}
+
+}  // namespace fedms::byz

@@ -1,0 +1,108 @@
+// Byzantine *client* behaviour — the paper's stated future work ("the FEEL
+// problem with both Byzantine PSs and clients"), implemented here as an
+// extension.
+//
+// A Byzantine client forges the local model it uploads during the
+// aggregation stage. Classical model-poisoning attacks operate on the
+// round's update delta Δ = w_local − w_global (the model the client started
+// the round from), so the context carries both.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace fedms::byz {
+
+struct ClientAttackContext {
+  std::uint64_t round = 0;
+  std::size_t client_index = 0;
+  // The honestly trained local model w_{t,E}^k.
+  const std::vector<float>* honest_update = nullptr;
+  // The (filtered) global model this client started the round from.
+  const std::vector<float>* round_start = nullptr;
+};
+
+class ClientAttack {
+ public:
+  virtual ~ClientAttack() = default;
+  virtual std::vector<float> forge(const ClientAttackContext& context,
+                                   core::Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+using ClientAttackPtr = std::unique_ptr<ClientAttack>;
+
+// Uploads the honest local model (used for the non-Byzantine majority).
+class BenignClient final : public ClientAttack {
+ public:
+  std::vector<float> forge(const ClientAttackContext& context,
+                           core::Rng& rng) const override;
+  std::string name() const override { return "benign"; }
+};
+
+// Uploads w_start − λ·Δ: the update direction reversed and scaled.
+class ClientSignFlip final : public ClientAttack {
+ public:
+  explicit ClientSignFlip(double lambda = 4.0);
+  std::vector<float> forge(const ClientAttackContext& context,
+                           core::Rng& rng) const override;
+  std::string name() const override { return "signflip"; }
+
+ private:
+  double lambda_;
+};
+
+// Uploads w_start + λ·Δ: the honest update amplified (model replacement /
+// boosting), which dominates a plain mean.
+class ClientScaling final : public ClientAttack {
+ public:
+  explicit ClientScaling(double lambda = 10.0);
+  std::vector<float> forge(const ClientAttackContext& context,
+                           core::Rng& rng) const override;
+  std::string name() const override { return "scaling"; }
+
+ private:
+  double lambda_;
+};
+
+// Adds N(0, σ²) to the honest local model.
+class ClientNoise final : public ClientAttack {
+ public:
+  explicit ClientNoise(double stddev = 2.0);
+  std::vector<float> forge(const ClientAttackContext& context,
+                           core::Rng& rng) const override;
+  std::string name() const override { return "noise"; }
+
+ private:
+  double stddev_;
+};
+
+// Uploads all-zeros (erases its contribution and drags the mean).
+class ClientZero final : public ClientAttack {
+ public:
+  std::vector<float> forge(const ClientAttackContext& context,
+                           core::Rng& rng) const override;
+  std::string name() const override { return "zero"; }
+};
+
+// Uploads U[lo, hi]^d garbage.
+class ClientRandom final : public ClientAttack {
+ public:
+  ClientRandom(double lo = -10.0, double hi = 10.0);
+  std::vector<float> forge(const ClientAttackContext& context,
+                           core::Rng& rng) const override;
+  std::string name() const override { return "random"; }
+
+ private:
+  double lo_, hi_;
+};
+
+// "benign", "signflip", "scaling", "noise", "zero", "random".
+ClientAttackPtr make_client_attack(const std::string& name);
+std::vector<std::string> list_client_attack_names();
+
+}  // namespace fedms::byz

@@ -1,0 +1,142 @@
+#include "core/cli.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/contracts.h"
+
+namespace fedms::core {
+
+namespace {
+
+std::string bool_to_string(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+void CliFlags::add_int(const std::string& name, std::int64_t default_value,
+                       const std::string& help) {
+  FEDMS_EXPECTS(!flags_.count(name));
+  flags_[name] = Flag{Kind::kInt, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+
+void CliFlags::add_double(const std::string& name, double default_value,
+                          const std::string& help) {
+  FEDMS_EXPECTS(!flags_.count(name));
+  flags_[name] = Flag{Kind::kDouble, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+
+void CliFlags::add_string(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  FEDMS_EXPECTS(!flags_.count(name));
+  flags_[name] = Flag{Kind::kString, help, default_value};
+  order_.push_back(name);
+}
+
+void CliFlags::add_bool(const std::string& name, bool default_value,
+                        const std::string& help) {
+  FEDMS_EXPECTS(!flags_.count(name));
+  flags_[name] = Flag{Kind::kBool, help, bool_to_string(default_value)};
+  order_.push_back(name);
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n",
+                   arg.c_str());
+      return false;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+    }
+    const auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s (try --help)\n", arg.c_str());
+      return false;
+    }
+    if (eq == std::string::npos) {
+      if (it->second.kind == Kind::kBool) {
+        value = "true";  // bare --flag enables a boolean
+      } else {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "flag --%s expects a value\n", arg.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+    }
+    // Validate by kind.
+    try {
+      switch (it->second.kind) {
+        case Kind::kInt:
+          (void)std::stoll(value);
+          break;
+        case Kind::kDouble:
+          (void)std::stod(value);
+          break;
+        case Kind::kBool:
+          if (value != "true" && value != "false" && value != "1" &&
+              value != "0")
+            throw std::invalid_argument(value);
+          value = (value == "true" || value == "1") ? "true" : "false";
+          break;
+        case Kind::kString:
+          break;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "invalid value for --%s: '%s'\n", arg.c_str(),
+                   value.c_str());
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::find(const std::string& name,
+                                     Kind kind) const {
+  const auto it = flags_.find(name);
+  FEDMS_EXPECTS(it != flags_.end());
+  FEDMS_EXPECTS(it->second.kind == kind);
+  return it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return std::stoll(find(name, Kind::kInt).value);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::stod(find(name, Kind::kDouble).value);
+}
+
+std::string CliFlags::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  return find(name, Kind::kBool).value == "true";
+}
+
+void CliFlags::print_usage(const std::string& program) const {
+  std::fprintf(stderr, "%s\n\nusage: %s [flags]\n", description_.c_str(),
+               program.c_str());
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    std::fprintf(stderr, "  --%-22s %s (default: %s)\n", name.c_str(),
+                 f.help.c_str(), f.value.c_str());
+  }
+}
+
+}  // namespace fedms::core

@@ -1,0 +1,58 @@
+// Tiny declarative command-line flag parser used by the bench and example
+// binaries (`--rounds 60 --alpha 10 --attack noise`).
+//
+// Flags are registered with a default and a help string; `parse` consumes
+// `--name value` and `--name=value` forms, supports `--help`, and rejects
+// unknown flags so typos in experiment sweeps fail loudly instead of
+// silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedms::core {
+
+class CliFlags {
+ public:
+  explicit CliFlags(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  // Parses argv. Returns false (after printing usage) if --help was given or
+  // on a parse error; callers should then exit. Exits with the parse
+  // diagnostic already printed to stderr.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace fedms::core

@@ -1,0 +1,15 @@
+#include "core/contracts.h"
+
+#include <cstdio>
+
+namespace fedms::core {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line) {
+  std::fprintf(stderr, "[fedms] %s violated: %s (%s:%d)\n", kind, expr, file,
+               line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fedms::core

@@ -1,0 +1,40 @@
+// Lightweight precondition/postcondition contracts in the spirit of the
+// C++ Core Guidelines GSL `Expects`/`Ensures`.
+//
+// Violations are programming errors, not runtime conditions the caller is
+// expected to handle, so they terminate via `std::abort` after printing the
+// failing expression and location. They stay enabled in release builds: this
+// library simulates Byzantine faults on purpose, and silent memory stomps
+// would invalidate every experiment.
+#pragma once
+
+#include <cstdlib>
+
+namespace fedms::core {
+
+// Prints a contract-violation diagnostic to stderr and aborts.
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line);
+
+}  // namespace fedms::core
+
+#define FEDMS_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::fedms::core::contract_failure("Precondition", #cond, __FILE__,       \
+                                      __LINE__);                             \
+  } while (0)
+
+#define FEDMS_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::fedms::core::contract_failure("Postcondition", #cond, __FILE__,      \
+                                      __LINE__);                             \
+  } while (0)
+
+#define FEDMS_ASSERT(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::fedms::core::contract_failure("Invariant", #cond, __FILE__,          \
+                                      __LINE__);                             \
+  } while (0)

@@ -1,0 +1,122 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+#include "core/contracts.h"
+
+namespace fedms::core {
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // All-zero state is the one forbidden fixed point of xoshiro; SplitMix64
+  // cannot produce four consecutive zeros, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0)
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  FEDMS_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  FEDMS_EXPECTS(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  spare_normal_ = mag * std::sin(kTwoPi * u2);
+  has_spare_normal_ = true;
+  return mag * std::cos(kTwoPi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  FEDMS_EXPECTS(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+double Rng::gamma(double shape) {
+  FEDMS_EXPECTS(shape > 0.0);
+  // Marsaglia & Tsang (2000). For shape < 1, boost via Gamma(shape+1) and a
+  // uniform power correction.
+  if (shape < 1.0) {
+    const double u = uniform();
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  FEDMS_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform() < p;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  FEDMS_EXPECTS(k <= n);
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    using std::swap;
+    const std::size_t j = i + uniform_index(n - i);
+    swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::uint64_t SeedSequence::derive(std::string_view tag,
+                                   std::uint64_t index) const {
+  // FNV-1a over the tag, then mix in root and index through SplitMix64.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t state = root_ ^ h;
+  (void)splitmix64(state);
+  state ^= index * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
+Rng SeedSequence::make_rng(std::string_view tag, std::uint64_t index) const {
+  return Rng(derive(tag, index));
+}
+
+}  // namespace fedms::core

@@ -1,0 +1,9 @@
+#include "core/stopwatch.h"
+
+namespace fedms::core {
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace fedms::core

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch used by the benchmark harnesses for coarse timing of
+// simulation phases (training vs aggregation vs filtering).
+#pragma once
+
+#include <chrono>
+
+namespace fedms::core {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last reset().
+  double seconds() const;
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fedms::core

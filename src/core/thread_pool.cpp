@@ -1,0 +1,101 @@
+#include "core/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace fedms::core {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Per-call state shared between the caller and the worker tasks. Held by
+// shared_ptr so a worker that picks its task up late (after parallel_for
+// already observed completion and returned) still touches live memory.
+struct ParallelForState {
+  explicit ParallelForState(std::size_t total) : n(total) {}
+
+  const std::size_t n;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::function<void(std::size_t)> body;
+
+  void run_chunk() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == n) {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>(n);
+  state->body = body;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t w = 0; w < workers_.size(); ++w)
+      tasks_.push([state] { state->run_chunk(); });
+  }
+  cv_.notify_all();
+  state->run_chunk();  // the calling thread participates
+
+  {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done_cv.wait(lock,
+                        [&] { return state->done.load() >= state->n; });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace fedms::core

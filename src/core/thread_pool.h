@@ -1,0 +1,45 @@
+// Fixed-size thread pool with a parallel-for helper.
+//
+// The FEEL simulator trains K client models per round; those local trainings
+// are embarrassingly parallel, so `Client` fan-out runs through this pool.
+// With `worker_count == 0` the pool degrades to inline execution on the
+// calling thread, which is the default on single-core hosts and keeps the
+// per-client RNG streams identical regardless of parallelism.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedms::core {
+
+class ThreadPool {
+ public:
+  // worker_count == 0 -> run tasks inline (deterministic, no threads).
+  explicit ThreadPool(std::size_t worker_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  // Runs body(i) for i in [0, n). Blocks until every iteration finished.
+  // Exceptions thrown by `body` propagate (the first one captured).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace fedms::core

@@ -1,0 +1,79 @@
+#include "data/convex.h"
+
+#include <cmath>
+
+#include "core/contracts.h"
+
+namespace fedms::data {
+
+QuadraticProblem::QuadraticProblem(const QuadraticProblemConfig& config,
+                                   core::Rng& rng)
+    : config_(config), dimension_(config.dimension) {
+  FEDMS_EXPECTS(config.clients > 0 && config.dimension > 0);
+  FEDMS_EXPECTS(config.mu > 0.0 && config.smoothness >= config.mu);
+  FEDMS_EXPECTS(config.heterogeneity >= 0.0 && config.gradient_noise >= 0.0);
+
+  curvature_.resize(config.clients);
+  centers_.resize(config.clients);
+  for (std::size_t k = 0; k < config.clients; ++k) {
+    curvature_[k].resize(dimension_);
+    centers_[k].resize(dimension_);
+    for (std::size_t j = 0; j < dimension_; ++j) {
+      curvature_[k][j] = rng.uniform(config.mu, config.smoothness);
+      centers_[k][j] = config.heterogeneity * rng.normal();
+    }
+  }
+
+  // w*_j = (Σ_k a_kj c_kj) / (Σ_k a_kj), coordinate-wise.
+  optimum_.resize(dimension_);
+  for (std::size_t j = 0; j < dimension_; ++j) {
+    double num = 0.0, den = 0.0;
+    for (std::size_t k = 0; k < config.clients; ++k) {
+      num += curvature_[k][j] * centers_[k][j];
+      den += curvature_[k][j];
+    }
+    optimum_[j] = static_cast<float>(num / den);
+  }
+  optimal_value_ = global_value(optimum_);
+}
+
+double QuadraticProblem::local_value(std::size_t k,
+                                     const std::vector<float>& w) const {
+  FEDMS_EXPECTS(k < clients());
+  FEDMS_EXPECTS(w.size() == dimension_);
+  double acc = 0.0;
+  for (std::size_t j = 0; j < dimension_; ++j) {
+    const double d = double(w[j]) - centers_[k][j];
+    acc += 0.5 * curvature_[k][j] * d * d;
+  }
+  return acc;
+}
+
+std::vector<float> QuadraticProblem::local_gradient(
+    std::size_t k, const std::vector<float>& w) const {
+  FEDMS_EXPECTS(k < clients());
+  FEDMS_EXPECTS(w.size() == dimension_);
+  std::vector<float> grad(dimension_);
+  for (std::size_t j = 0; j < dimension_; ++j)
+    grad[j] = static_cast<float>(curvature_[k][j] *
+                                 (double(w[j]) - centers_[k][j]));
+  return grad;
+}
+
+std::vector<float> QuadraticProblem::stochastic_gradient(
+    std::size_t k, const std::vector<float>& w, core::Rng& rng) const {
+  std::vector<float> grad = local_gradient(k, w);
+  // Per-coordinate stddev σ/√d makes E‖noise‖² = σ².
+  const double per_coord =
+      config_.gradient_noise / std::sqrt(double(dimension_));
+  for (auto& g : grad) g += static_cast<float>(rng.normal(0.0, per_coord));
+  return grad;
+}
+
+double QuadraticProblem::global_value(const std::vector<float>& w) const {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < clients(); ++k) acc += local_value(k, w);
+  return acc / double(clients());
+}
+
+}  // namespace fedms::data

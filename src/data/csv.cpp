@@ -1,0 +1,112 @@
+#include "data/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fedms::data {
+
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+bool parse_float(const std::string& text, float& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  const auto result = std::from_chars(begin, end, out);
+  return result.ec == std::errc{};
+}
+
+}  // namespace
+
+Dataset read_csv(std::istream& is) {
+  Dataset dataset;
+  std::vector<float> features;
+  std::size_t dimension = 0;
+  std::size_t line_number = 0;
+  std::string line;
+  std::size_t max_label = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto fields = split_fields(line);
+    if (fields.size() < 2)
+      throw std::runtime_error("fedms: csv line " +
+                               std::to_string(line_number) +
+                               " needs >= 2 columns");
+    float probe = 0.0f;
+    if (dataset.labels.empty() && features.empty() &&
+        !parse_float(fields.front(), probe)) {
+      continue;  // header line
+    }
+    if (dimension == 0) {
+      dimension = fields.size() - 1;
+    } else if (fields.size() - 1 != dimension) {
+      throw std::runtime_error("fedms: csv line " +
+                               std::to_string(line_number) +
+                               " has inconsistent column count");
+    }
+    for (std::size_t i = 0; i < dimension; ++i) {
+      float value = 0.0f;
+      if (!parse_float(fields[i], value))
+        throw std::runtime_error("fedms: csv line " +
+                                 std::to_string(line_number) +
+                                 " field " + std::to_string(i) +
+                                 " is not numeric");
+      features.push_back(value);
+    }
+    float label_value = 0.0f;
+    if (!parse_float(fields.back(), label_value) || label_value < 0.0f ||
+        label_value != float(std::size_t(label_value)))
+      throw std::runtime_error("fedms: csv line " +
+                               std::to_string(line_number) +
+                               " label must be a non-negative integer");
+    const std::size_t label = std::size_t(label_value);
+    max_label = std::max(max_label, label);
+    dataset.labels.push_back(label);
+  }
+  if (dataset.labels.empty())
+    throw std::runtime_error("fedms: csv contains no samples");
+  dataset.features =
+      tensor::Tensor({dataset.labels.size(), dimension}, std::move(features));
+  dataset.num_classes = max_label + 1;
+  check_dataset(dataset);
+  return dataset;
+}
+
+Dataset load_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("fedms: cannot open csv: " + path);
+  return read_csv(is);
+}
+
+void write_csv(std::ostream& os, const Dataset& dataset) {
+  check_dataset(dataset);
+  const std::size_t d = dataset.sample_numel();
+  for (std::size_t j = 0; j < d; ++j) os << 'f' << j << ',';
+  os << "label\n";
+  const float* p = dataset.features.data();
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    for (std::size_t j = 0; j < d; ++j) os << p[i * d + j] << ',';
+    os << dataset.labels[i] << '\n';
+  }
+}
+
+void save_csv(const std::string& path, const Dataset& dataset) {
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("fedms: cannot open csv for write: " + path);
+  write_csv(os, dataset);
+}
+
+}  // namespace fedms::data

@@ -1,0 +1,26 @@
+// CSV dataset loading — lets downstream users run the federated stack on
+// their own tabular data instead of the synthetic generators.
+//
+// Expected layout: one sample per line, `dimension` numeric feature columns
+// followed by one integer label column. A header line is auto-detected (a
+// first line whose first field is not numeric) and skipped. Separator is
+// ','; blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace fedms::data {
+
+// Throws std::runtime_error on I/O failure or malformed rows (wrong column
+// count, non-numeric features, negative labels).
+Dataset load_csv(const std::string& path);
+Dataset read_csv(std::istream& is);
+
+// Writes a dataset back out in the same layout (header: f0..f{d-1},label).
+void save_csv(const std::string& path, const Dataset& dataset);
+void write_csv(std::ostream& os, const Dataset& dataset);
+
+}  // namespace fedms::data

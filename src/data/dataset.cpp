@@ -1,0 +1,47 @@
+#include "data/dataset.h"
+
+#include <cstring>
+
+#include "core/contracts.h"
+
+namespace fedms::data {
+
+void check_dataset(const Dataset& dataset) {
+  FEDMS_EXPECTS(dataset.features.rank() >= 1);
+  FEDMS_EXPECTS(dataset.features.dim(0) == dataset.labels.size());
+  FEDMS_EXPECTS(dataset.num_classes > 0);
+  for (const std::size_t y : dataset.labels)
+    FEDMS_EXPECTS(y < dataset.num_classes);
+}
+
+Batch make_batch(const Dataset& dataset,
+                 const std::vector<std::size_t>& indices) {
+  FEDMS_EXPECTS(!indices.empty());
+  const std::size_t sample_numel = dataset.sample_numel();
+  tensor::Shape batch_shape = dataset.features.shape();
+  batch_shape[0] = indices.size();
+  Batch batch{Tensor(batch_shape), {}};
+  batch.labels.reserve(indices.size());
+  const float* src = dataset.features.data();
+  float* dst = batch.inputs.data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t idx = indices[i];
+    FEDMS_EXPECTS(idx < dataset.size());
+    std::memcpy(dst + i * sample_numel, src + idx * sample_numel,
+                sizeof(float) * sample_numel);
+    batch.labels.push_back(dataset.labels[idx]);
+  }
+  return batch;
+}
+
+std::vector<std::size_t> label_histogram(
+    const Dataset& dataset, const std::vector<std::size_t>& indices) {
+  std::vector<std::size_t> counts(dataset.num_classes, 0);
+  for (const std::size_t idx : indices) {
+    FEDMS_EXPECTS(idx < dataset.size());
+    ++counts[dataset.labels[idx]];
+  }
+  return counts;
+}
+
+}  // namespace fedms::data

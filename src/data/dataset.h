@@ -1,0 +1,47 @@
+// Labelled dataset container and batch assembly.
+//
+// Features are a single contiguous tensor whose first axis indexes samples:
+// rank-2 (N x d) for vector data, rank-4 (N x C x H x W) for image-like
+// data. A federated client's local dataset D_k is represented as an index
+// list into one shared Dataset, so partitioning never copies sample storage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedms::data {
+
+using tensor::Tensor;
+
+struct Dataset {
+  Tensor features;                   // (N x ...) sample-major
+  std::vector<std::size_t> labels;   // N class indices
+  std::size_t num_classes = 0;
+
+  std::size_t size() const { return labels.size(); }
+  // Feature scalars per sample.
+  std::size_t sample_numel() const {
+    return size() == 0 ? 0 : features.numel() / size();
+  }
+};
+
+// Validates internal consistency (first axis == labels.size(), labels in
+// range). Returns silently on success; contract-violates otherwise.
+void check_dataset(const Dataset& dataset);
+
+struct Batch {
+  Tensor inputs;                    // (B x ...) same trailing shape
+  std::vector<std::size_t> labels;  // B
+};
+
+// Gathers the given sample indices into a dense batch.
+Batch make_batch(const Dataset& dataset,
+                 const std::vector<std::size_t>& indices);
+
+// Per-class sample counts of a subset (rows of the Fig.-4 heat map).
+std::vector<std::size_t> label_histogram(
+    const Dataset& dataset, const std::vector<std::size_t>& indices);
+
+}  // namespace fedms::data

@@ -1,0 +1,120 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/contracts.h"
+
+namespace fedms::data {
+
+PartitionIndices iid_partition(const Dataset& dataset, std::size_t clients,
+                               core::Rng& rng) {
+  FEDMS_EXPECTS(clients > 0);
+  FEDMS_EXPECTS(dataset.size() >= clients);
+  std::vector<std::size_t> perm(dataset.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.shuffle(perm);
+  PartitionIndices parts(clients);
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    parts[i % clients].push_back(perm[i]);
+  return parts;
+}
+
+PartitionIndices dirichlet_partition(const Dataset& dataset,
+                                     std::size_t clients, double alpha,
+                                     core::Rng& rng,
+                                     std::size_t min_samples_per_client) {
+  FEDMS_EXPECTS(clients > 0);
+  FEDMS_EXPECTS(alpha > 0.0);
+  FEDMS_EXPECTS(dataset.size() >= clients * min_samples_per_client);
+
+  // Bucket sample indices by class, shuffled within each class.
+  std::vector<std::vector<std::size_t>> by_class(dataset.num_classes);
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    by_class[dataset.labels[i]].push_back(i);
+  for (auto& bucket : by_class) rng.shuffle(bucket);
+
+  PartitionIndices parts(clients);
+  for (const auto& bucket : by_class) {
+    if (bucket.empty()) continue;
+    // p ~ Dir(alpha): normalized Gamma(alpha) draws.
+    std::vector<double> proportions(clients);
+    double total = 0.0;
+    for (auto& p : proportions) {
+      p = rng.gamma(alpha);
+      total += p;
+    }
+    // Convert proportions to cumulative cut points over the bucket.
+    std::size_t assigned = 0;
+    double cumulative = 0.0;
+    for (std::size_t k = 0; k < clients; ++k) {
+      cumulative += proportions[k] / total;
+      const std::size_t cut =
+          (k + 1 == clients)
+              ? bucket.size()
+              : std::min(bucket.size(),
+                         static_cast<std::size_t>(cumulative *
+                                                  double(bucket.size())));
+      for (std::size_t i = assigned; i < cut; ++i)
+        parts[k].push_back(bucket[i]);
+      assigned = cut;
+    }
+  }
+
+  // Rebalance: move samples from the largest clients to any client below
+  // the minimum, so local training always has data.
+  for (std::size_t k = 0; k < clients; ++k) {
+    while (parts[k].size() < min_samples_per_client) {
+      const auto largest = std::max_element(
+          parts.begin(), parts.end(),
+          [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      FEDMS_ASSERT(largest->size() > min_samples_per_client);
+      parts[k].push_back(largest->back());
+      largest->pop_back();
+    }
+  }
+  return parts;
+}
+
+PartitionIndices shard_partition(const Dataset& dataset, std::size_t clients,
+                                 std::size_t shards_per_client,
+                                 core::Rng& rng) {
+  FEDMS_EXPECTS(clients > 0 && shards_per_client > 0);
+  const std::size_t shard_count = clients * shards_per_client;
+  FEDMS_EXPECTS(dataset.size() >= shard_count);
+
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return dataset.labels[a] < dataset.labels[b];
+            });
+
+  std::vector<std::size_t> shard_ids(shard_count);
+  std::iota(shard_ids.begin(), shard_ids.end(), std::size_t{0});
+  rng.shuffle(shard_ids);
+
+  const std::size_t shard_size = dataset.size() / shard_count;
+  PartitionIndices parts(clients);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t client = s / shards_per_client;
+    const std::size_t shard = shard_ids[s];
+    const std::size_t begin = shard * shard_size;
+    const std::size_t end =
+        (shard + 1 == shard_count) ? dataset.size() : begin + shard_size;
+    for (std::size_t i = begin; i < end; ++i)
+      parts[client].push_back(order[i]);
+  }
+  return parts;
+}
+
+std::vector<std::vector<std::size_t>> partition_label_counts(
+    const Dataset& dataset, const PartitionIndices& partition) {
+  std::vector<std::vector<std::size_t>> counts;
+  counts.reserve(partition.size());
+  for (const auto& indices : partition)
+    counts.push_back(label_histogram(dataset, indices));
+  return counts;
+}
+
+}  // namespace fedms::data

@@ -1,0 +1,42 @@
+// Federated data partitioning.
+//
+// `dirichlet_partition` is the paper's heterogeneity mechanism (Hsu et al.,
+// "Measuring the effects of non-identical data distribution", 2019): for
+// each class c, a proportion vector p_c ~ Dir(α,...,α) over the K clients is
+// drawn and the class's samples are split accordingly. Small α (e.g. 1)
+// gives highly skewed local label distributions; α = 1000 is near-iid —
+// exactly the D_α ∈ {1, 5, 10, 1000} sweep of the paper's Fig. 4/5.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace fedms::data {
+
+using PartitionIndices = std::vector<std::vector<std::size_t>>;
+
+// Even, shuffled iid split into `clients` parts (sizes differ by <= 1).
+PartitionIndices iid_partition(const Dataset& dataset, std::size_t clients,
+                               core::Rng& rng);
+
+// Dirichlet(alpha) label-skew split. Every client is guaranteed at least
+// `min_samples_per_client` samples (rebalanced from the largest clients),
+// so no client starts a round with an empty local dataset.
+PartitionIndices dirichlet_partition(const Dataset& dataset,
+                                     std::size_t clients, double alpha,
+                                     core::Rng& rng,
+                                     std::size_t min_samples_per_client = 1);
+
+// Pathological shard split (McMahan et al. 2017): sorts by label, cuts into
+// `shards_per_client * clients` shards, deals each client its shards.
+PartitionIndices shard_partition(const Dataset& dataset, std::size_t clients,
+                                 std::size_t shards_per_client,
+                                 core::Rng& rng);
+
+// K x num_classes matrix of per-client class counts (Fig. 4's data).
+std::vector<std::vector<std::size_t>> partition_label_counts(
+    const Dataset& dataset, const PartitionIndices& partition);
+
+}  // namespace fedms::data

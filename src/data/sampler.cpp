@@ -1,0 +1,43 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+
+#include "core/contracts.h"
+
+namespace fedms::data {
+
+MiniBatchSampler::MiniBatchSampler(std::vector<std::size_t> pool,
+                                   std::size_t batch_size, core::Rng rng)
+    : pool_(std::move(pool)), batch_size_(batch_size), rng_(rng) {
+  FEDMS_EXPECTS(!pool_.empty());
+  FEDMS_EXPECTS(batch_size > 0);
+}
+
+std::vector<std::size_t> MiniBatchSampler::next_batch() {
+  const std::size_t n = std::min(batch_size_, pool_.size());
+  std::vector<std::size_t> batch(n);
+  for (auto& idx : batch) idx = pool_[rng_.uniform_index(pool_.size())];
+  return batch;
+}
+
+EpochSampler::EpochSampler(std::vector<std::size_t> pool,
+                           std::size_t batch_size, core::Rng rng)
+    : pool_(std::move(pool)), batch_size_(batch_size), rng_(rng) {
+  FEDMS_EXPECTS(!pool_.empty());
+  FEDMS_EXPECTS(batch_size > 0);
+  rng_.shuffle(pool_);
+}
+
+std::vector<std::size_t> EpochSampler::next_batch() {
+  if (cursor_ >= pool_.size()) {
+    rng_.shuffle(pool_);
+    cursor_ = 0;
+  }
+  const std::size_t end = std::min(cursor_ + batch_size_, pool_.size());
+  std::vector<std::size_t> batch(pool_.begin() + std::ptrdiff_t(cursor_),
+                                 pool_.begin() + std::ptrdiff_t(end));
+  cursor_ = end;
+  return batch;
+}
+
+}  // namespace fedms::data

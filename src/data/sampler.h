@@ -1,0 +1,50 @@
+// Mini-batch sampling over a client's local index set.
+//
+// The paper's local step draws a mini-batch ξ uniformly at random from D_k
+// per SGD iteration (Assumption 3 relies on uniform sampling), so the
+// default sampler draws with replacement. An epoch-style without-replacement
+// sampler is provided for the examples.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace fedms::data {
+
+class MiniBatchSampler {
+ public:
+  // `pool` holds the global dataset indices the client owns.
+  MiniBatchSampler(std::vector<std::size_t> pool, std::size_t batch_size,
+                   core::Rng rng);
+
+  // Uniform with-replacement draw of batch_size indices from the pool
+  // (batches smaller pools up to the pool size).
+  std::vector<std::size_t> next_batch();
+
+  std::size_t pool_size() const { return pool_.size(); }
+  std::size_t batch_size() const { return batch_size_; }
+
+ private:
+  std::vector<std::size_t> pool_;
+  std::size_t batch_size_;
+  core::Rng rng_;
+};
+
+class EpochSampler {
+ public:
+  EpochSampler(std::vector<std::size_t> pool, std::size_t batch_size,
+               core::Rng rng);
+
+  // Sequential batches over a per-epoch shuffle; reshuffles when exhausted.
+  // The final batch of an epoch may be short.
+  std::vector<std::size_t> next_batch();
+
+ private:
+  std::vector<std::size_t> pool_;
+  std::size_t batch_size_;
+  std::size_t cursor_ = 0;
+  core::Rng rng_;
+};
+
+}  // namespace fedms::data

@@ -1,0 +1,130 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "core/contracts.h"
+
+namespace fedms::data {
+
+namespace {
+
+// Draws `num_classes` random unit vectors of length `dim` used as class
+// means. Not orthogonalized: in high dimension random directions are nearly
+// orthogonal already, and mild overlap keeps the task non-trivial.
+std::vector<std::vector<float>> make_class_means(std::size_t num_classes,
+                                                 std::size_t dim,
+                                                 float separation,
+                                                 core::Rng& rng) {
+  std::vector<std::vector<float>> means(num_classes,
+                                        std::vector<float>(dim, 0.0f));
+  for (auto& mean : means) {
+    double norm_sq = 0.0;
+    for (auto& v : mean) {
+      v = static_cast<float>(rng.normal());
+      norm_sq += double(v) * v;
+    }
+    const float scale =
+        separation / static_cast<float>(std::sqrt(std::max(norm_sq, 1e-12)));
+    for (auto& v : mean) v *= scale;
+  }
+  return means;
+}
+
+}  // namespace
+
+Dataset make_gaussian_classes(const GaussianClassesConfig& config,
+                              core::Rng& rng) {
+  FEDMS_EXPECTS(config.samples > 0 && config.dimension > 0 &&
+                config.num_classes > 1);
+  const auto means = make_class_means(config.num_classes, config.dimension,
+                                      config.class_separation, rng);
+  Dataset dataset;
+  dataset.num_classes = config.num_classes;
+  dataset.features = Tensor({config.samples, config.dimension});
+  dataset.labels.resize(config.samples);
+  float* p = dataset.features.data();
+  for (std::size_t i = 0; i < config.samples; ++i) {
+    const std::size_t y = i % config.num_classes;  // balanced classes
+    dataset.labels[i] = y;
+    for (std::size_t j = 0; j < config.dimension; ++j)
+      p[i * config.dimension + j] =
+          means[y][j] +
+          static_cast<float>(rng.normal(0.0, config.noise_stddev));
+  }
+  // Shuffle so class labels are not stored in round-robin order.
+  std::vector<std::size_t> perm(config.samples);
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+  Dataset shuffled;
+  shuffled.num_classes = dataset.num_classes;
+  shuffled.features = Tensor(dataset.features.shape());
+  shuffled.labels.resize(config.samples);
+  float* q = shuffled.features.data();
+  for (std::size_t i = 0; i < config.samples; ++i) {
+    std::memcpy(q + i * config.dimension, p + perm[i] * config.dimension,
+                sizeof(float) * config.dimension);
+    shuffled.labels[i] = dataset.labels[perm[i]];
+  }
+  return shuffled;
+}
+
+Dataset make_synthetic_images(const SyntheticImagesConfig& config,
+                              core::Rng& rng) {
+  FEDMS_EXPECTS(config.samples > 0 && config.channels > 0 &&
+                config.image_size > 0 && config.num_classes > 1);
+  const std::size_t pixel_count =
+      config.channels * config.image_size * config.image_size;
+  const auto templates = make_class_means(
+      config.num_classes, pixel_count, config.class_separation, rng);
+  Dataset dataset;
+  dataset.num_classes = config.num_classes;
+  dataset.features = Tensor(
+      {config.samples, config.channels, config.image_size, config.image_size});
+  dataset.labels.resize(config.samples);
+  float* p = dataset.features.data();
+  std::vector<std::size_t> order(config.samples);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t slot = 0; slot < config.samples; ++slot) {
+    const std::size_t i = order[slot];
+    const std::size_t y = i % config.num_classes;
+    dataset.labels[slot] = y;
+    for (std::size_t j = 0; j < pixel_count; ++j)
+      p[slot * pixel_count + j] =
+          templates[y][j] +
+          static_cast<float>(rng.normal(0.0, config.noise_stddev));
+  }
+  return dataset;
+}
+
+TrainTestSplit split_train_test(const Dataset& dataset, double test_fraction,
+                                core::Rng& rng) {
+  FEDMS_EXPECTS(test_fraction > 0.0 && test_fraction < 1.0);
+  FEDMS_EXPECTS(dataset.size() >= 2);
+  std::vector<std::size_t> perm(dataset.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+  std::size_t test_count = static_cast<std::size_t>(
+      std::round(test_fraction * double(dataset.size())));
+  test_count = std::max<std::size_t>(1, test_count);
+  test_count = std::min(test_count, dataset.size() - 1);
+
+  auto gather = [&](std::size_t begin, std::size_t end) {
+    std::vector<std::size_t> indices(perm.begin() + std::ptrdiff_t(begin),
+                                     perm.begin() + std::ptrdiff_t(end));
+    Batch batch = make_batch(dataset, indices);
+    Dataset out;
+    out.features = std::move(batch.inputs);
+    out.labels = std::move(batch.labels);
+    out.num_classes = dataset.num_classes;
+    return out;
+  };
+
+  TrainTestSplit split;
+  split.test = gather(0, test_count);
+  split.train = gather(test_count, dataset.size());
+  return split;
+}
+
+}  // namespace fedms::data

@@ -1,0 +1,54 @@
+// Synthetic dataset generators — the stand-ins for CIFAR-10.
+//
+// The harness environment has no CIFAR-10 download and no GPU, so the
+// figure experiments run on learnable synthetic data with the same 10-class
+// structure. What the paper's evaluation actually manipulates — non-iid
+// Dirichlet splits, Byzantine tampering of aggregated models — operates on
+// labels and parameter vectors, not on pixel statistics, so any dataset a
+// model can fit exhibits the same collapse-vs-resilience contrast.
+#pragma once
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace fedms::data {
+
+struct GaussianClassesConfig {
+  std::size_t samples = 1000;      // total, spread ~evenly over classes
+  std::size_t dimension = 64;      // feature dimension
+  std::size_t num_classes = 10;
+  // Distance between class means, in units of the within-class stddev;
+  // smaller separations make the task harder (lower attainable accuracy).
+  float class_separation = 2.0f;
+  float noise_stddev = 1.0f;
+};
+
+// Vector data (N x d): each class y has a fixed random unit-mean direction
+// m_y scaled by `class_separation`; samples are m_y + N(0, noise²).
+Dataset make_gaussian_classes(const GaussianClassesConfig& config,
+                              core::Rng& rng);
+
+struct SyntheticImagesConfig {
+  std::size_t samples = 1000;
+  std::size_t channels = 3;   // CIFAR-like RGB
+  std::size_t image_size = 8; // square
+  std::size_t num_classes = 10;
+  float class_separation = 2.0f;
+  float noise_stddev = 1.0f;
+};
+
+// Image data (N x C x H x W): a fixed random spatial template per class,
+// plus i.i.d. pixel noise. Exercises the convolutional model path.
+Dataset make_synthetic_images(const SyntheticImagesConfig& config,
+                              core::Rng& rng);
+
+// Deterministically splits a dataset into train/test by shuffling indices
+// with `rng` and copying out two dense datasets.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+TrainTestSplit split_train_test(const Dataset& dataset, double test_fraction,
+                                core::Rng& rng);
+
+}  // namespace fedms::data

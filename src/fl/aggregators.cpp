@@ -1,0 +1,340 @@
+#include "fl/aggregators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/contracts.h"
+
+namespace fedms::fl {
+
+namespace {
+
+void check_models(const std::vector<ModelVector>& models) {
+  FEDMS_EXPECTS(!models.empty());
+  const std::size_t d = models.front().size();
+  FEDMS_EXPECTS(d > 0);
+  for (const auto& m : models) FEDMS_EXPECTS(m.size() == d);
+}
+
+// NaN-aware comparison key: NaN sorts as +∞ so the trim removes it from
+// the high side (±∞ already order correctly and land in the tails).
+inline float sort_key(float v) {
+  return std::isnan(v) ? std::numeric_limits<float>::infinity() : v;
+}
+
+}  // namespace
+
+ModelVector mean_aggregate(const std::vector<ModelVector>& models) {
+  check_models(models);
+  const std::size_t d = models.front().size();
+  ModelVector out(d, 0.0f);
+  const double inv = 1.0 / double(models.size());
+  for (std::size_t j = 0; j < d; ++j) {
+    double acc = 0.0;
+    for (const auto& m : models) acc += m[j];
+    out[j] = static_cast<float>(acc * inv);
+  }
+  return out;
+}
+
+ModelVector trimmed_mean(const std::vector<ModelVector>& models,
+                         double beta) {
+  check_models(models);
+  FEDMS_EXPECTS(beta >= 0.0 && beta < 0.5);
+  const std::size_t p = models.size();
+  const std::size_t trim = static_cast<std::size_t>(beta * double(p));
+  FEDMS_EXPECTS(2 * trim < p);
+  const std::size_t d = models.front().size();
+  const std::size_t kept = p - 2 * trim;
+
+  ModelVector out(d);
+  std::vector<float> column(p);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t i = 0; i < p; ++i) column[i] = sort_key(models[i][j]);
+    std::sort(column.begin(), column.end());
+    double acc = 0.0;
+    for (std::size_t i = trim; i < p - trim; ++i) acc += column[i];
+    out[j] = static_cast<float>(acc / double(kept));
+  }
+  return out;
+}
+
+ModelVector coordinate_median(const std::vector<ModelVector>& models) {
+  check_models(models);
+  const std::size_t p = models.size();
+  const std::size_t d = models.front().size();
+  ModelVector out(d);
+  std::vector<float> column(p);
+  const std::size_t mid = (p - 1) / 2;  // lower median
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t i = 0; i < p; ++i) column[i] = sort_key(models[i][j]);
+    std::nth_element(column.begin(), column.begin() + std::ptrdiff_t(mid),
+                     column.end());
+    out[j] = column[mid];
+  }
+  return out;
+}
+
+namespace {
+
+// Krum scores: for each model, the summed squared distance to its
+// n − f − 2 nearest other models. Lower is more central.
+std::vector<double> krum_scores(const std::vector<ModelVector>& models,
+                                std::size_t byzantine_count) {
+  const std::size_t n = models.size();
+  FEDMS_EXPECTS(n > byzantine_count + 2);
+  const std::size_t closest = n - byzantine_count - 2;
+  const std::size_t d = models.front().size();
+
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double delta = double(sort_key(models[a][j])) -
+                             double(sort_key(models[b][j]));
+        acc += delta * delta;
+      }
+      // ±inf inputs produce inf or NaN distances; clamp to a huge finite
+      // value so the sorts below keep a strict weak ordering.
+      if (!std::isfinite(acc)) acc = std::numeric_limits<double>::max();
+      dist[a][b] = dist[b][a] = acc;
+    }
+
+  std::vector<double> scores(n);
+  std::vector<double> row;
+  for (std::size_t a = 0; a < n; ++a) {
+    row.clear();
+    for (std::size_t b = 0; b < n; ++b)
+      if (b != a) row.push_back(dist[a][b]);
+    std::partial_sort(row.begin(), row.begin() + std::ptrdiff_t(closest),
+                      row.end());
+    double score = 0.0;
+    for (std::size_t i = 0; i < closest; ++i) score += row[i];
+    // Non-finite scores (a model containing ±inf/NaN yields inf or NaN
+    // distances) must never win the argmin — NaN would poison the
+    // comparison order — so pin them to +infinity.
+    scores[a] = std::isfinite(score)
+                    ? score
+                    : std::numeric_limits<double>::infinity();
+  }
+  return scores;
+}
+
+}  // namespace
+
+ModelVector krum(const std::vector<ModelVector>& models,
+                 std::size_t byzantine_count) {
+  check_models(models);
+  const std::vector<double> scores = krum_scores(models, byzantine_count);
+  const std::size_t best = static_cast<std::size_t>(
+      std::min_element(scores.begin(), scores.end()) - scores.begin());
+  return models[best];
+}
+
+ModelVector multi_krum(const std::vector<ModelVector>& models,
+                       std::size_t byzantine_count, std::size_t select) {
+  check_models(models);
+  FEDMS_EXPECTS(select > 0 && select <= models.size());
+  const std::vector<double> scores = krum_scores(models, byzantine_count);
+  std::vector<std::size_t> order(models.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + std::ptrdiff_t(select),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return scores[a] < scores[b];
+                    });
+  std::vector<ModelVector> selected;
+  selected.reserve(select);
+  for (std::size_t i = 0; i < select; ++i)
+    selected.push_back(models[order[i]]);
+  return mean_aggregate(selected);
+}
+
+ModelVector bulyan(const std::vector<ModelVector>& models,
+                   std::size_t byzantine_count) {
+  check_models(models);
+  const std::size_t n = models.size();
+  const std::size_t f = byzantine_count;
+  FEDMS_EXPECTS(n >= 4 * f + 3);
+  // Selection phase: iteratively pick the Krum winner from the remainder
+  // until n − 2f candidates are chosen.
+  std::vector<ModelVector> pool = models;
+  std::vector<ModelVector> selected;
+  const std::size_t select_count = n - 2 * f;
+  while (selected.size() < select_count) {
+    if (pool.size() <= 2) {
+      // Too few left for a meaningful Krum score; take the rest as-is (the
+      // trimming phase still removes f extremes per coordinate).
+      for (auto& m : pool) {
+        if (selected.size() == select_count) break;
+        selected.push_back(std::move(m));
+      }
+      break;
+    }
+    // Krum needs pool > f_local + 2; clamp f for the shrinking pool.
+    const std::size_t f_local = std::min(f, pool.size() - 3);
+    const std::vector<double> scores = krum_scores(pool, f_local);
+    const std::size_t best = static_cast<std::size_t>(
+        std::min_element(scores.begin(), scores.end()) - scores.begin());
+    selected.push_back(pool[best]);
+    pool.erase(pool.begin() + std::ptrdiff_t(best));
+  }
+  FEDMS_ASSERT(!selected.empty());
+  // Aggregation phase: coordinate-wise trimmed mean over the selection,
+  // trimming f per side (requires select_count > 2f, i.e. n > 4f ✓).
+  return trimmed_mean(selected,
+                      double(f) / double(selected.size()) + 1e-12);
+}
+
+ModelVector geometric_median(const std::vector<ModelVector>& models,
+                             std::size_t max_iterations, double tolerance) {
+  check_models(models);
+  const std::size_t n = models.size();
+  const std::size_t d = models.front().size();
+  constexpr double kSmoothing = 1e-8;  // Weiszfeld smoothing term
+
+  // Models containing any non-finite coordinate cannot contribute to a
+  // finite median; Weiszfeld runs over the finite subset (a geometric
+  // median tolerates a minority of outliers by design — a non-finite value
+  // is just the limit case). All-poisoned input degenerates to zeros.
+  std::vector<const ModelVector*> finite_models;
+  finite_models.reserve(n);
+  for (const auto& m : models) {
+    bool finite = true;
+    for (const float v : m) finite &= bool(std::isfinite(v));
+    if (finite) finite_models.push_back(&m);
+  }
+  if (finite_models.empty()) return ModelVector(d, 0.0f);
+
+  // Start from the coordinate mean of the finite subset.
+  std::vector<double> estimate(d, 0.0);
+  for (const auto* m : finite_models)
+    for (std::size_t j = 0; j < d; ++j) estimate[j] += (*m)[j];
+  for (auto& v : estimate) v /= double(finite_models.size());
+
+  std::vector<double> next(d);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double weight_sum = 0.0;
+    for (const auto* m : finite_models) {
+      double dist_sq = kSmoothing;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double delta = estimate[j] - (*m)[j];
+        dist_sq += delta * delta;
+      }
+      const double w = 1.0 / std::sqrt(dist_sq);
+      weight_sum += w;
+      for (std::size_t j = 0; j < d; ++j) next[j] += w * (*m)[j];
+    }
+    double shift_sq = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      next[j] /= weight_sum;
+      const double delta = next[j] - estimate[j];
+      shift_sq += delta * delta;
+    }
+    estimate.swap(next);
+    if (shift_sq < tolerance * tolerance) break;
+  }
+
+  ModelVector out(d);
+  for (std::size_t j = 0; j < d; ++j) out[j] = static_cast<float>(estimate[j]);
+  return out;
+}
+
+ModelVector MeanAggregator::aggregate(
+    const std::vector<ModelVector>& models) const {
+  return mean_aggregate(models);
+}
+
+TrimmedMeanAggregator::TrimmedMeanAggregator(double beta) : beta_(beta) {
+  FEDMS_EXPECTS(beta >= 0.0 && beta < 0.5);
+}
+
+ModelVector TrimmedMeanAggregator::aggregate(
+    const std::vector<ModelVector>& models) const {
+  return trimmed_mean(models, beta_);
+}
+
+std::string TrimmedMeanAggregator::name() const {
+  return "trmean:" + std::to_string(beta_);
+}
+
+ModelVector MedianAggregator::aggregate(
+    const std::vector<ModelVector>& models) const {
+  return coordinate_median(models);
+}
+
+KrumAggregator::KrumAggregator(std::size_t byzantine_count)
+    : byzantine_count_(byzantine_count) {}
+
+ModelVector KrumAggregator::aggregate(
+    const std::vector<ModelVector>& models) const {
+  return krum(models, byzantine_count_);
+}
+
+ModelVector GeometricMedianAggregator::aggregate(
+    const std::vector<ModelVector>& models) const {
+  return geometric_median(models);
+}
+
+MultiKrumAggregator::MultiKrumAggregator(std::size_t byzantine_count,
+                                         std::size_t select)
+    : byzantine_count_(byzantine_count), select_(select) {
+  FEDMS_EXPECTS(select > 0);
+}
+
+ModelVector MultiKrumAggregator::aggregate(
+    const std::vector<ModelVector>& models) const {
+  return multi_krum(models, byzantine_count_,
+                    std::min(select_, models.size()));
+}
+
+BulyanAggregator::BulyanAggregator(std::size_t byzantine_count)
+    : byzantine_count_(byzantine_count) {}
+
+ModelVector BulyanAggregator::aggregate(
+    const std::vector<ModelVector>& models) const {
+  return bulyan(models, byzantine_count_);
+}
+
+ModelVector aggregate_or_mean(const Aggregator& rule,
+                              const std::vector<ModelVector>& models) {
+  FEDMS_EXPECTS(!models.empty());
+  if (models.size() < rule.min_models()) return mean_aggregate(models);
+  return rule.aggregate(models);
+}
+
+AggregatorPtr make_aggregator(const std::string& spec) {
+  if (spec == "mean") return std::make_unique<MeanAggregator>();
+  if (spec == "median") return std::make_unique<MedianAggregator>();
+  if (spec == "geomedian")
+    return std::make_unique<GeometricMedianAggregator>();
+  const auto colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (head == "trmean") {
+    FEDMS_EXPECTS(!arg.empty());
+    return std::make_unique<TrimmedMeanAggregator>(std::stod(arg));
+  }
+  if (head == "krum") {
+    FEDMS_EXPECTS(!arg.empty());
+    return std::make_unique<KrumAggregator>(std::stoul(arg));
+  }
+  if (head == "bulyan") {
+    FEDMS_EXPECTS(!arg.empty());
+    return std::make_unique<BulyanAggregator>(std::stoul(arg));
+  }
+  if (head == "multikrum") {
+    const auto second_colon = arg.find(':');
+    FEDMS_EXPECTS(second_colon != std::string::npos);
+    return std::make_unique<MultiKrumAggregator>(
+        std::stoul(arg.substr(0, second_colon)),
+        std::stoul(arg.substr(second_colon + 1)));
+  }
+  FEDMS_EXPECTS(!"unknown aggregator spec");
+  return nullptr;
+}
+
+}  // namespace fedms::fl

@@ -1,0 +1,152 @@
+// Aggregation rules over collections of flat model vectors.
+//
+// Two distinct places in Fed-MS aggregate:
+//   * each PS averages the local models it received (plain mean);
+//   * each client runs the defense Def() over the P disseminated global
+//     models — the paper's choice is the coordinate-wise β-trimmed mean.
+// The same interface also hosts the classical Byzantine-robust baselines
+// (coordinate median, Krum, geometric median) so ablation benches can swap
+// the client-side filter and compare them under *server-side* attacks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fedms::fl {
+
+using ModelVector = std::vector<float>;
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  // Combines the given models (all the same dimension, at least one).
+  virtual ModelVector aggregate(
+      const std::vector<ModelVector>& models) const = 0;
+
+  virtual std::string name() const = 0;
+
+  // Minimum number of input models the rule is defined for (e.g. Krum
+  // needs n > f + 2). `aggregate_or_mean` falls back to the mean below it.
+  virtual std::size_t min_models() const { return 1; }
+};
+
+using AggregatorPtr = std::unique_ptr<Aggregator>;
+
+// ---- free-function kernels (also used directly by tests/benches) ----
+
+// Arithmetic mean per coordinate.
+ModelVector mean_aggregate(const std::vector<ModelVector>& models);
+
+// The paper's trmean_β: per coordinate, discard the ⌊β·P⌋ largest and
+// ⌊β·P⌋ smallest values and average the rest (e.g. trmean_0.2 over
+// {1,2,3,4,5} = mean{2,3,4} = 3). Non-finite values sort as +∞ so NaN
+// poisoning lands in the trimmed tail whenever the trim budget covers it.
+// Precondition: 0 ≤ β < 0.5 and at least one value survives the trim.
+ModelVector trimmed_mean(const std::vector<ModelVector>& models, double beta);
+
+// Per-coordinate median (lower of the two middles for even counts — the
+// β→0.5 limit of the trimmed mean family).
+ModelVector coordinate_median(const std::vector<ModelVector>& models);
+
+// Krum (Blanchard et al. 2017): returns the single model whose summed
+// squared distance to its n − f − 2 nearest neighbours is smallest.
+// Precondition: models.size() > f + 2.
+ModelVector krum(const std::vector<ModelVector>& models,
+                 std::size_t byzantine_count);
+
+// Smoothed geometric median via Weiszfeld iterations (Pillutla et al.).
+ModelVector geometric_median(const std::vector<ModelVector>& models,
+                             std::size_t max_iterations = 64,
+                             double tolerance = 1e-8);
+
+// ---- Aggregator wrappers ----
+
+class MeanAggregator final : public Aggregator {
+ public:
+  ModelVector aggregate(const std::vector<ModelVector>& models) const override;
+  std::string name() const override { return "mean"; }
+};
+
+class TrimmedMeanAggregator final : public Aggregator {
+ public:
+  explicit TrimmedMeanAggregator(double beta);
+  ModelVector aggregate(const std::vector<ModelVector>& models) const override;
+  std::string name() const override;
+  double beta() const { return beta_; }
+
+ private:
+  double beta_;
+};
+
+class MedianAggregator final : public Aggregator {
+ public:
+  ModelVector aggregate(const std::vector<ModelVector>& models) const override;
+  std::string name() const override { return "median"; }
+};
+
+class KrumAggregator final : public Aggregator {
+ public:
+  explicit KrumAggregator(std::size_t byzantine_count);
+  ModelVector aggregate(const std::vector<ModelVector>& models) const override;
+  std::string name() const override { return "krum"; }
+  std::size_t min_models() const override { return byzantine_count_ + 3; }
+
+ private:
+  std::size_t byzantine_count_;
+};
+
+class GeometricMedianAggregator final : public Aggregator {
+ public:
+  ModelVector aggregate(const std::vector<ModelVector>& models) const override;
+  std::string name() const override { return "geomedian"; }
+};
+
+// Krum that averages the m best-scoring models instead of returning one
+// (Multi-Krum, Blanchard et al. 2017). Precondition: n > f + 2.
+ModelVector multi_krum(const std::vector<ModelVector>& models,
+                       std::size_t byzantine_count, std::size_t select);
+
+// Bulyan (El Mhamdi et al. 2018): repeatedly runs Krum to select
+// n − 2f candidates, then takes the coordinate-wise β-trimmed mean of the
+// selection. Precondition: n ≥ 4f + 3.
+ModelVector bulyan(const std::vector<ModelVector>& models,
+                   std::size_t byzantine_count);
+
+class MultiKrumAggregator final : public Aggregator {
+ public:
+  MultiKrumAggregator(std::size_t byzantine_count, std::size_t select);
+  ModelVector aggregate(const std::vector<ModelVector>& models) const override;
+  std::string name() const override { return "multikrum"; }
+  std::size_t min_models() const override { return byzantine_count_ + 3; }
+
+ private:
+  std::size_t byzantine_count_;
+  std::size_t select_;
+};
+
+class BulyanAggregator final : public Aggregator {
+ public:
+  explicit BulyanAggregator(std::size_t byzantine_count);
+  ModelVector aggregate(const std::vector<ModelVector>& models) const override;
+  std::string name() const override { return "bulyan"; }
+  std::size_t min_models() const override { return 4 * byzantine_count_ + 3; }
+
+ private:
+  std::size_t byzantine_count_;
+};
+
+// Factory for CLI use: "mean", "trmean:<beta>", "median", "krum:<f>",
+// "multikrum:<f>:<m>", "bulyan:<f>", "geomedian".
+AggregatorPtr make_aggregator(const std::string& spec);
+
+// Applies `rule` when its preconditions hold for models.size() (e.g. the
+// trimmed mean needs at least one survivor, Krum needs n > f + 2); falls
+// back to the plain mean otherwise. Used where the model count is not
+// statically known — a PS aggregating whatever subset N_i uploaded, or a
+// client filtering after network loss.
+ModelVector aggregate_or_mean(const Aggregator& rule,
+                              const std::vector<ModelVector>& models);
+
+}  // namespace fedms::fl

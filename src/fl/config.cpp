@@ -1,0 +1,49 @@
+#include "fl/config.h"
+
+#include <sstream>
+
+#include "core/contracts.h"
+
+namespace fedms::fl {
+
+void FedMsConfig::validate() const {
+  FEDMS_EXPECTS(clients > 0);
+  FEDMS_EXPECTS(servers > 0);
+  // The paper's feasibility condition: Byzantine PSs are a minority.
+  FEDMS_EXPECTS(2 * byzantine <= servers);
+  FEDMS_EXPECTS(local_iterations > 0);
+  FEDMS_EXPECTS(rounds > 0);
+  FEDMS_EXPECTS(eval_every > 0);
+  FEDMS_EXPECTS(network_loss_rate >= 0.0 && network_loss_rate < 1.0);
+  FEDMS_EXPECTS(byzantine_placement == "first" ||
+                byzantine_placement == "random");
+  FEDMS_EXPECTS(byzantine_clients <= clients);
+  FEDMS_EXPECTS(byzantine_client_placement == "first" ||
+                byzantine_client_placement == "random");
+  FEDMS_EXPECTS(participation > 0.0 && participation <= 1.0);
+  FEDMS_EXPECTS(participation_strategy == "uniform" ||
+                participation_strategy == "highloss");
+  FEDMS_EXPECTS(upload_compression == "none" ||
+                upload_compression == "fp16" ||
+                upload_compression == "int8");
+  FEDMS_EXPECTS(dp_clip_norm >= 0.0);
+  FEDMS_EXPECTS(dp_noise_multiplier >= 0.0);
+  // Noise without clipping has unbounded sensitivity — reject it.
+  if (dp_noise_multiplier > 0.0) FEDMS_EXPECTS(dp_clip_norm > 0.0);
+}
+
+std::string FedMsConfig::to_string() const {
+  std::ostringstream os;
+  os << "K=" << clients << " P=" << servers << " B=" << byzantine
+     << " (eps=" << byzantine_fraction() << ")"
+     << " E=" << local_iterations << " T=" << rounds
+     << " upload=" << upload << " filter=" << client_filter
+     << " attack=" << attack << " seed=" << seed;
+  if (byzantine_clients > 0)
+    os << " byz_clients=" << byzantine_clients << " (" << client_attack
+       << ") ps_agg=" << server_aggregator;
+  if (participation < 1.0) os << " participation=" << participation;
+  return os.str();
+}
+
+}  // namespace fedms::fl

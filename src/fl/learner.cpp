@@ -1,0 +1,6 @@
+#include "fl/learner.h"
+
+// LocalLearner is an interface; its out-of-line anchor lives here so the
+// vtable has a home translation unit.
+
+namespace fedms::fl {}  // namespace fedms::fl

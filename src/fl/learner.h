@@ -1,0 +1,47 @@
+// The local-training abstraction a federated client drives.
+//
+// The orchestrator is agnostic to what is being learned: a LocalLearner
+// exposes its parameters as a flat ℝ^d vector and can run E local SGD
+// steps. Two implementations ship: `NnLearner` (neural classifier on a
+// dataset partition — the paper's experimental setting) and
+// `QuadraticLearner` (strongly convex objective — the Theorem-1 setting).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace fedms::fl {
+
+struct LearnerEval {
+  double loss = 0.0;
+  double accuracy = 0.0;  // 0 for learners with no classification notion
+};
+
+class LocalLearner {
+ public:
+  virtual ~LocalLearner() = default;
+
+  // Dimension d of the flat parameter vector.
+  virtual std::size_t dimension() const = 0;
+
+  // Current parameters as the flat payload uploaded to PSs.
+  virtual std::vector<float> parameters() = 0;
+
+  // Installs a (filtered) global model for the next local round.
+  virtual void set_parameters(const std::vector<float>& flat) = 0;
+
+  // Runs `steps` mini-batch SGD iterations on the local objective. The
+  // learner owns its learning-rate schedule; the global step count persists
+  // across rounds so non-increasing schedules behave as in the analysis.
+  // Returns the mean training loss across the executed steps.
+  virtual double local_training(std::size_t steps) = 0;
+
+  // Evaluates the learner's current model (test accuracy for classifiers;
+  // global objective value for convex learners).
+  virtual LearnerEval evaluate() = 0;
+};
+
+using LearnerPtr = std::unique_ptr<LocalLearner>;
+
+}  // namespace fedms::fl

@@ -1,0 +1,82 @@
+#include "fl/nn_learner.h"
+
+#include <algorithm>
+
+#include "core/contracts.h"
+#include "nn/params.h"
+
+namespace fedms::fl {
+
+NnLearner::NnLearner(const data::Dataset& train,
+                     std::vector<std::size_t> pool,
+                     const data::Dataset& test,
+                     std::unique_ptr<nn::Sequential> model,
+                     const NnLearnerOptions& options, core::Rng sampler_rng,
+                     std::vector<std::size_t> test_pool)
+    : train_(train),
+      test_(test),
+      test_pool_(std::move(test_pool)),
+      classifier_(std::move(model)),
+      sampler_(std::move(pool), options.batch_size, sampler_rng),
+      optimizer_(options.lr_schedule.empty()
+                     ? std::make_unique<nn::ConstantSchedule>(
+                           options.learning_rate)
+                     : nn::make_schedule(options.lr_schedule),
+                 nn::SgdOptions{options.momentum, options.weight_decay}),
+      options_(options) {
+  dimension_ = nn::state_count(classifier_.net());
+  FEDMS_EXPECTS(dimension_ > 0);
+}
+
+std::vector<float> NnLearner::parameters() {
+  return nn::flatten_state(classifier_.net());
+}
+
+void NnLearner::set_parameters(const std::vector<float>& flat) {
+  FEDMS_EXPECTS(flat.size() == dimension_);
+  nn::load_state(classifier_.net(), flat);
+}
+
+double NnLearner::local_training(std::size_t steps) {
+  FEDMS_EXPECTS(steps > 0);
+  double loss_sum = 0.0;
+  const auto params = classifier_.params();
+  for (std::size_t i = 0; i < steps; ++i) {
+    const auto batch_indices = sampler_.next_batch();
+    const data::Batch batch = data::make_batch(train_, batch_indices);
+    loss_sum += classifier_.compute_gradients(batch.inputs, batch.labels);
+    optimizer_.step(params);
+  }
+  return loss_sum / double(steps);
+}
+
+LearnerEval NnLearner::evaluate() {
+  const std::size_t available =
+      test_pool_.empty() ? test_.size() : test_pool_.size();
+  const std::size_t cap =
+      options_.eval_sample_cap == 0
+          ? available
+          : std::min(options_.eval_sample_cap, available);
+  FEDMS_EXPECTS(cap > 0);
+  constexpr std::size_t kEvalBatch = 256;
+  double loss_sum = 0.0;
+  std::size_t correct = 0, seen = 0;
+  std::vector<std::size_t> indices;
+  for (std::size_t begin = 0; begin < cap; begin += kEvalBatch) {
+    const std::size_t end = std::min(begin + kEvalBatch, cap);
+    indices.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i)
+      indices[i - begin] = test_pool_.empty() ? i : test_pool_[i];
+    const data::Batch batch = data::make_batch(test_, indices);
+    const nn::EvalResult result =
+        classifier_.evaluate(batch.inputs, batch.labels);
+    loss_sum += result.loss * double(result.sample_count);
+    correct += static_cast<std::size_t>(
+        result.accuracy * double(result.sample_count) + 0.5);
+    seen += result.sample_count;
+  }
+  return LearnerEval{loss_sum / double(seen),
+                     double(correct) / double(seen)};
+}
+
+}  // namespace fedms::fl

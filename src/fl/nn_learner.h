@@ -1,0 +1,67 @@
+// LocalLearner over a neural classifier and a partition of a shared dataset
+// — client k of the paper's experimental setup.
+//
+// The flat payload is the model's full state (trainable parameters followed
+// by batch-norm running statistics), matching the paper's setting where the
+// entire MobileNet state is what PSs aggregate and disseminate.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "data/sampler.h"
+#include "fl/learner.h"
+#include "nn/classifier.h"
+#include "nn/optimizer.h"
+
+namespace fedms::fl {
+
+struct NnLearnerOptions {
+  std::size_t batch_size = 32;
+  double learning_rate = 0.05;
+  // Non-empty overrides learning_rate with a schedule spec:
+  // "constant:<lr>" | "invdecay:<phi>:<gamma>" | "step:<base>:<factor>:<n>".
+  // The global step count persists across rounds, so a decaying schedule
+  // satisfies the analysis' non-increasing η_t requirement end to end.
+  std::string lr_schedule;
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+  // Cap on test samples used per evaluate() call (0 = use the full set).
+  std::size_t eval_sample_cap = 0;
+};
+
+class NnLearner final : public LocalLearner {
+ public:
+  // `train` and `test` must outlive the learner. `pool` holds this client's
+  // sample indices into `train` (its local dataset D_k). `test_pool`
+  // optionally restricts evaluation to this client's local test shard
+  // (federated evaluation); empty means the full test set.
+  NnLearner(const data::Dataset& train, std::vector<std::size_t> pool,
+            const data::Dataset& test,
+            std::unique_ptr<nn::Sequential> model,
+            const NnLearnerOptions& options, core::Rng sampler_rng,
+            std::vector<std::size_t> test_pool = {});
+
+  std::size_t dimension() const override { return dimension_; }
+  std::vector<float> parameters() override;
+  void set_parameters(const std::vector<float>& flat) override;
+  double local_training(std::size_t steps) override;
+  LearnerEval evaluate() override;
+
+  nn::Classifier& classifier() { return classifier_; }
+  std::size_t local_sample_count() const { return sampler_.pool_size(); }
+
+ private:
+  const data::Dataset& train_;
+  const data::Dataset& test_;
+  std::vector<std::size_t> test_pool_;  // empty = whole test set
+  nn::Classifier classifier_;
+  data::MiniBatchSampler sampler_;
+  nn::Sgd optimizer_;
+  NnLearnerOptions options_;
+  std::size_t dimension_ = 0;
+};
+
+}  // namespace fedms::fl

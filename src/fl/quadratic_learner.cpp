@@ -1,0 +1,57 @@
+#include "fl/quadratic_learner.h"
+
+#include <algorithm>
+
+#include "core/contracts.h"
+
+namespace fedms::fl {
+
+QuadraticLearner::QuadraticLearner(const data::QuadraticProblem& problem,
+                                   std::size_t client_index,
+                                   std::size_t local_iterations,
+                                   core::Rng noise_rng, float initial_value)
+    : problem_(problem),
+      client_(client_index),
+      w_(problem.dimension(), initial_value),
+      noise_rng_(noise_rng) {
+  FEDMS_EXPECTS(client_index < problem.clients());
+  FEDMS_EXPECTS(local_iterations > 0);
+  const double mu = problem.config().mu;
+  const double smoothness = problem.config().smoothness;
+  phi_ = 2.0 / mu;
+  gamma_ = std::max(8.0 * smoothness / mu, double(local_iterations));
+}
+
+std::size_t QuadraticLearner::dimension() const {
+  return problem_.dimension();
+}
+
+void QuadraticLearner::set_parameters(const std::vector<float>& flat) {
+  FEDMS_EXPECTS(flat.size() == w_.size());
+  w_ = flat;
+}
+
+double QuadraticLearner::current_lr() const {
+  return phi_ / (gamma_ + double(step_));
+}
+
+double QuadraticLearner::local_training(std::size_t steps) {
+  double loss_sum = 0.0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double lr = current_lr();
+    const auto grad = problem_.stochastic_gradient(client_, w_, noise_rng_);
+    for (std::size_t j = 0; j < w_.size(); ++j)
+      w_[j] -= static_cast<float>(lr) * grad[j];
+    ++step_;
+    loss_sum += problem_.local_value(client_, w_);
+  }
+  return loss_sum / double(steps);
+}
+
+LearnerEval QuadraticLearner::evaluate() {
+  // "Loss" is the exact global objective value at this client's iterate;
+  // the optimality gap is loss − problem.optimal_value().
+  return LearnerEval{problem_.global_value(w_), 0.0};
+}
+
+}  // namespace fedms::fl

@@ -1,0 +1,41 @@
+// LocalLearner over one client of a QuadraticProblem — the setting of the
+// paper's convergence analysis, with the Theorem-1 learning-rate schedule
+// η_t = 2 / (μ(γ + t)), γ = max(8L/μ, E).
+#pragma once
+
+#include "core/rng.h"
+#include "data/convex.h"
+#include "fl/learner.h"
+
+namespace fedms::fl {
+
+class QuadraticLearner final : public LocalLearner {
+ public:
+  // `problem` must outlive the learner. `local_iterations` is E, needed to
+  // form the schedule's γ. All clients start from the common initial model
+  // w₀ = initial_value·1 (non-zero values keep the starting point away
+  // from the optimum even on homogeneous problems).
+  QuadraticLearner(const data::QuadraticProblem& problem,
+                   std::size_t client_index, std::size_t local_iterations,
+                   core::Rng noise_rng, float initial_value = 0.0f);
+
+  std::size_t dimension() const override;
+  std::vector<float> parameters() override { return w_; }
+  void set_parameters(const std::vector<float>& flat) override;
+  double local_training(std::size_t steps) override;
+  LearnerEval evaluate() override;
+
+  std::uint64_t global_step() const { return step_; }
+  double current_lr() const;
+
+ private:
+  const data::QuadraticProblem& problem_;
+  std::size_t client_;
+  std::vector<float> w_;
+  std::uint64_t step_ = 0;  // global SGD step t, persists across rounds
+  double phi_ = 0.0;        // schedule numerator 2/μ
+  double gamma_ = 0.0;      // schedule offset max(8L/μ, E)
+  core::Rng noise_rng_;
+};
+
+}  // namespace fedms::fl

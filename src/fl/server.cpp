@@ -1,0 +1,59 @@
+#include "fl/server.h"
+
+#include "core/contracts.h"
+#include "fl/aggregators.h"
+
+namespace fedms::fl {
+
+ParameterServer::ParameterServer(std::size_t index, byz::AttackPtr attack,
+                                 core::Rng rng, std::size_t history_limit)
+    : index_(index),
+      attack_(std::move(attack)),
+      rng_(rng),
+      history_limit_(history_limit) {
+  FEDMS_EXPECTS(history_limit > 0);
+}
+
+void ParameterServer::set_initial_model(std::vector<float> w0) {
+  FEDMS_EXPECTS(!w0.empty());
+  initial_model_ = w0;
+  aggregate_ = std::move(w0);
+}
+
+void ParameterServer::set_aggregator(
+    std::shared_ptr<const Aggregator> aggregator) {
+  aggregator_ = std::move(aggregator);
+}
+
+void ParameterServer::aggregate_round(
+    std::uint64_t /*round*/, const std::vector<std::vector<float>>& received) {
+  last_upload_count_ = received.size();
+  // Archive the previous round's aggregate before overwriting it.
+  if (!aggregate_.empty()) {
+    history_.push_back(aggregate_);
+    if (history_.size() > history_limit_)
+      history_.erase(history_.begin());
+  }
+  if (!received.empty()) {
+    aggregate_ = aggregator_ ? aggregate_or_mean(*aggregator_, received)
+                             : mean_aggregate(received);
+  }
+  // Otherwise keep the previous aggregate (sparse upload left N_i empty).
+  FEDMS_ENSURES(!aggregate_.empty());
+}
+
+std::vector<float> ParameterServer::disseminate(std::uint64_t round,
+                                                std::size_t client) {
+  FEDMS_EXPECTS(!aggregate_.empty());
+  if (!attack_) return aggregate_;
+  byz::AttackContext context;
+  context.round = round;
+  context.server_index = index_;
+  context.recipient_client = client;
+  context.honest_aggregate = &aggregate_;
+  context.history = &history_;
+  context.initial_model = &initial_model_;
+  return attack_->tamper(context, rng_);
+}
+
+}  // namespace fedms::fl

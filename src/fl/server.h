@@ -1,0 +1,72 @@
+// Edge-side parameter server.
+//
+// Every PS — benign or Byzantine — aggregates honestly (the mean of the
+// local models it received); a Byzantine PS lies at the *dissemination*
+// edge, where its Attack rewrites the payload per recipient. Modelling it
+// this way keeps the honest aggregate available as the attack's input,
+// which Safeguard and Backward need (they are functions of the PS's own
+// aggregation history).
+//
+// If a PS receives no uploads in a round (possible under sparse uploading:
+// P(N_i = ∅) = (1 − 1/P)^K per round), it re-disseminates its previous
+// aggregate — the initial model w₀ before any round has completed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "byz/attack.h"
+#include "core/rng.h"
+#include "fl/aggregators.h"
+
+namespace fedms::fl {
+
+class ParameterServer {
+ public:
+  // `attack == nullptr` means a benign PS. `rng` seeds the attack's private
+  // randomness.
+  ParameterServer(std::size_t index, byz::AttackPtr attack, core::Rng rng,
+                  std::size_t history_limit = 16);
+
+  std::size_t index() const { return index_; }
+  bool is_byzantine() const { return attack_ != nullptr; }
+  const byz::Attack* attack() const { return attack_.get(); }
+
+  // Model every PS holds before round 0 (w₀), used when N_i is empty.
+  void set_initial_model(std::vector<float> w0);
+
+  // Installs a robust PS-side aggregation rule (defense against Byzantine
+  // clients); nullptr (the default) means the paper's plain mean.
+  void set_aggregator(std::shared_ptr<const Aggregator> aggregator);
+
+  // Model-aggregation stage of round `round`: the aggregation rule applied
+  // to the received local models, or the previous aggregate when none
+  // arrived.
+  void aggregate_round(std::uint64_t round,
+                       const std::vector<std::vector<float>>& received);
+
+  // Payload sent to `client` in the dissemination stage (honest aggregate
+  // for a benign PS; the attack's output for a Byzantine one).
+  std::vector<float> disseminate(std::uint64_t round, std::size_t client);
+
+  const std::vector<float>& honest_aggregate() const { return aggregate_; }
+  // Honest aggregates of completed earlier rounds, oldest first, bounded by
+  // history_limit.
+  const std::vector<std::vector<float>>& history() const { return history_; }
+  // Clients that uploaded in the last aggregate_round (|N_i| statistics).
+  std::size_t last_upload_count() const { return last_upload_count_; }
+
+ private:
+  std::size_t index_;
+  byz::AttackPtr attack_;
+  core::Rng rng_;
+  std::size_t history_limit_;
+  std::shared_ptr<const Aggregator> aggregator_;  // nullptr -> plain mean
+  std::vector<float> initial_model_;  // w₀, kept for attacks that anchor on it
+  std::vector<float> aggregate_;
+  std::vector<std::vector<float>> history_;
+  std::size_t last_upload_count_ = 0;
+};
+
+}  // namespace fedms::fl

@@ -1,0 +1,56 @@
+#include "fl/upload.h"
+
+#include <algorithm>
+
+#include "core/contracts.h"
+
+namespace fedms::fl {
+
+std::vector<std::size_t> SparseUpload::select_servers(
+    std::size_t /*client*/, std::uint64_t /*round*/, std::size_t server_count,
+    core::Rng& rng) const {
+  FEDMS_EXPECTS(server_count > 0);
+  return {rng.uniform_index(server_count)};
+}
+
+std::vector<std::size_t> FullUpload::select_servers(
+    std::size_t /*client*/, std::uint64_t /*round*/, std::size_t server_count,
+    core::Rng& /*rng*/) const {
+  FEDMS_EXPECTS(server_count > 0);
+  std::vector<std::size_t> all(server_count);
+  for (std::size_t i = 0; i < server_count; ++i) all[i] = i;
+  return all;
+}
+
+std::vector<std::size_t> RoundRobinUpload::select_servers(
+    std::size_t client, std::uint64_t round, std::size_t server_count,
+    core::Rng& /*rng*/) const {
+  FEDMS_EXPECTS(server_count > 0);
+  return {(client + std::size_t(round)) % server_count};
+}
+
+MultiUpload::MultiUpload(std::size_t m) : m_(m) { FEDMS_EXPECTS(m > 0); }
+
+std::vector<std::size_t> MultiUpload::select_servers(
+    std::size_t /*client*/, std::uint64_t /*round*/, std::size_t server_count,
+    core::Rng& rng) const {
+  FEDMS_EXPECTS(server_count > 0);
+  const std::size_t m = std::min(m_, server_count);
+  return rng.sample_without_replacement(server_count, m);
+}
+
+std::string MultiUpload::name() const {
+  return "multi:" + std::to_string(m_);
+}
+
+UploadStrategyPtr make_upload_strategy(const std::string& spec) {
+  if (spec == "sparse") return std::make_unique<SparseUpload>();
+  if (spec == "full") return std::make_unique<FullUpload>();
+  if (spec == "roundrobin") return std::make_unique<RoundRobinUpload>();
+  if (spec.rfind("multi:", 0) == 0)
+    return std::make_unique<MultiUpload>(std::stoul(spec.substr(6)));
+  FEDMS_EXPECTS(!"unknown upload strategy spec");
+  return nullptr;
+}
+
+}  // namespace fedms::fl

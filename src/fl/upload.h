@@ -1,0 +1,87 @@
+// Model-upload strategies for the aggregation stage.
+//
+// The paper's sparse uploading strategy has each client pick ONE PS
+// uniformly at random per round, giving total upload cost K — identical to
+// single-PS FedAvg — at the price of each PS seeing only a random subset
+// N_i of clients (E|N_i| = K/P). The alternatives exist for the
+// communication/accuracy ablation: upload-to-all restores full aggregation
+// at P× the cost; m-of-P interpolates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace fedms::fl {
+
+class UploadStrategy {
+ public:
+  virtual ~UploadStrategy() = default;
+
+  // PS indices (distinct, within [0, server_count)) that `client` uploads
+  // its model to in this round. `rng` is the client's private stream.
+  virtual std::vector<std::size_t> select_servers(std::size_t client,
+                                                  std::uint64_t round,
+                                                  std::size_t server_count,
+                                                  core::Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using UploadStrategyPtr = std::unique_ptr<UploadStrategy>;
+
+// The paper's strategy: one uniformly random PS.
+class SparseUpload final : public UploadStrategy {
+ public:
+  std::vector<std::size_t> select_servers(std::size_t client,
+                                          std::uint64_t round,
+                                          std::size_t server_count,
+                                          core::Rng& rng) const override;
+  std::string name() const override { return "sparse"; }
+};
+
+// Upload to every PS (cost K×P, the trivial solution of §IV-A).
+class FullUpload final : public UploadStrategy {
+ public:
+  std::vector<std::size_t> select_servers(std::size_t client,
+                                          std::uint64_t round,
+                                          std::size_t server_count,
+                                          core::Rng& rng) const override;
+  std::string name() const override { return "full"; }
+};
+
+// Deterministic rotation: client k uploads to PS (k + round) mod P.
+// Perfectly balanced |N_i| every round (no empty-PS rounds), but the
+// assignment is predictable, which an adaptive adversary could exploit —
+// and Lemma 3's unbiasedness argument needs the *uniform* randomness of
+// SparseUpload. Kept as an engineering ablation.
+class RoundRobinUpload final : public UploadStrategy {
+ public:
+  std::vector<std::size_t> select_servers(std::size_t client,
+                                          std::uint64_t round,
+                                          std::size_t server_count,
+                                          core::Rng& rng) const override;
+  std::string name() const override { return "roundrobin"; }
+};
+
+// Upload to m distinct uniformly random PSs (m clamped to server_count).
+class MultiUpload final : public UploadStrategy {
+ public:
+  explicit MultiUpload(std::size_t m);
+  std::vector<std::size_t> select_servers(std::size_t client,
+                                          std::uint64_t round,
+                                          std::size_t server_count,
+                                          core::Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  std::size_t m_;
+};
+
+// "sparse", "full", or "multi:<m>".
+UploadStrategyPtr make_upload_strategy(const std::string& spec);
+
+}  // namespace fedms::fl

@@ -1,0 +1,85 @@
+#include "metrics/classification.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "core/contracts.h"
+
+namespace fedms::metrics {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  FEDMS_EXPECTS(num_classes > 0);
+}
+
+void ConfusionMatrix::add(std::size_t predicted, std::size_t actual) {
+  FEDMS_EXPECTS(predicted < classes_ && actual < classes_);
+  ++counts_[actual * classes_ + predicted];
+  ++total_;
+}
+
+void ConfusionMatrix::add_batch(const std::vector<std::size_t>& predicted,
+                                const std::vector<std::size_t>& actual) {
+  FEDMS_EXPECTS(predicted.size() == actual.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    add(predicted[i], actual[i]);
+}
+
+std::size_t ConfusionMatrix::count(std::size_t actual,
+                                   std::size_t predicted) const {
+  FEDMS_EXPECTS(predicted < classes_ && actual < classes_);
+  return counts_[actual * classes_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < classes_; ++c)
+    correct += counts_[c * classes_ + c];
+  return double(correct) / double(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  FEDMS_EXPECTS(cls < classes_);
+  std::size_t predicted_as = 0;
+  for (std::size_t a = 0; a < classes_; ++a)
+    predicted_as += counts_[a * classes_ + cls];
+  if (predicted_as == 0) return 0.0;
+  return double(counts_[cls * classes_ + cls]) / double(predicted_as);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  FEDMS_EXPECTS(cls < classes_);
+  std::size_t actual_count = 0;
+  for (std::size_t p = 0; p < classes_; ++p)
+    actual_count += counts_[cls * classes_ + p];
+  if (actual_count == 0) return 0.0;
+  return double(counts_[cls * classes_ + cls]) / double(actual_count);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < classes_; ++c) sum += f1(c);
+  return sum / double(classes_);
+}
+
+void ConfusionMatrix::print(std::ostream& os) const {
+  os << "confusion matrix (rows = actual, cols = predicted):\n";
+  for (std::size_t a = 0; a < classes_; ++a) {
+    for (std::size_t p = 0; p < classes_; ++p)
+      os << std::setw(6) << counts_[a * classes_ + p];
+    os << "   | recall " << std::fixed << std::setprecision(3) << recall(a)
+       << '\n';
+  }
+  os << "accuracy " << std::setprecision(4) << accuracy() << ", macro-F1 "
+     << macro_f1() << '\n';
+}
+
+}  // namespace fedms::metrics

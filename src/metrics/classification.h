@@ -1,0 +1,42 @@
+// Classification quality beyond plain accuracy: confusion matrix and
+// per-class precision/recall/F1. Used by the examples to inspect *what* a
+// Byzantine attack breaks (typically a subset of classes collapses first)
+// rather than just how much.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace fedms::metrics {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::size_t predicted, std::size_t actual);
+  void add_batch(const std::vector<std::size_t>& predicted,
+                 const std::vector<std::size_t>& actual);
+
+  std::size_t num_classes() const { return classes_; }
+  std::size_t total() const { return total_; }
+  // counts()[actual][predicted]
+  std::size_t count(std::size_t actual, std::size_t predicted) const;
+
+  double accuracy() const;
+  // Per-class one-vs-rest metrics; 0 when the denominator is empty.
+  double precision(std::size_t cls) const;
+  double recall(std::size_t cls) const;
+  double f1(std::size_t cls) const;
+  // Unweighted mean over classes (macro averaging).
+  double macro_f1() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // row-major [actual][predicted]
+};
+
+}  // namespace fedms::metrics

@@ -1,0 +1,39 @@
+#include "metrics/recorder.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace fedms::metrics {
+
+Series series_from_run(const std::string& figure, const std::string& name,
+                       const std::string& attack,
+                       const fl::RunResult& result) {
+  Series series{figure, name, attack, {}};
+  for (const auto& record : result.rounds) {
+    if (!record.eval_accuracy.has_value()) continue;
+    series.points.push_back(SeriesPoint{
+        record.round, *record.eval_accuracy,
+        record.eval_loss.value_or(0.0), record.train_loss});
+  }
+  return series;
+}
+
+void Recorder::add(Series series) { series_.push_back(std::move(series)); }
+
+void Recorder::write_csv(std::ostream& os) const {
+  os << "figure,series,attack,round,accuracy,loss,train_loss\n";
+  for (const auto& s : series_)
+    for (const auto& p : s.points)
+      os << s.figure << ',' << s.name << ',' << s.attack << ',' << p.round
+         << ',' << p.accuracy << ',' << p.loss << ',' << p.train_loss
+         << '\n';
+}
+
+void Recorder::write_csv_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("fedms: cannot write " + path);
+  write_csv(os);
+}
+
+}  // namespace fedms::metrics

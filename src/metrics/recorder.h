@@ -1,0 +1,50 @@
+// Experiment series recording and CSV/TSV output.
+//
+// The figure benches print one row per (series, round) in a fixed schema so
+// their stdout regenerates the paper's plotted series and can be piped
+// straight into any plotting tool:
+//   figure,series,attack,round,accuracy,loss,train_loss
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fl/fedms.h"
+
+namespace fedms::metrics {
+
+struct SeriesPoint {
+  std::uint64_t round = 0;
+  double accuracy = 0.0;
+  double loss = 0.0;
+  double train_loss = 0.0;
+};
+
+struct Series {
+  std::string figure;  // e.g. "fig2a"
+  std::string name;    // e.g. "Fed-MS", "Fed-MS-", "VanillaFL"
+  std::string attack;  // e.g. "noise"
+  std::vector<SeriesPoint> points;
+};
+
+// Extracts the evaluated rounds of a run into a Series.
+Series series_from_run(const std::string& figure, const std::string& name,
+                       const std::string& attack,
+                       const fl::RunResult& result);
+
+class Recorder {
+ public:
+  void add(Series series);
+  const std::vector<Series>& series() const { return series_; }
+
+  // Writes the CSV header plus every point of every series.
+  void write_csv(std::ostream& os) const;
+  // Same, into a file (overwrites). Throws on I/O failure.
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<Series> series_;
+};
+
+}  // namespace fedms::metrics

@@ -1,0 +1,54 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.h"
+
+namespace fedms::metrics {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  s.mean = sum / double(values.size());
+  if (values.size() >= 2) {
+    double sq = 0.0;
+    for (const double v : values) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / double(values.size() - 1));
+  }
+  return s;
+}
+
+double regression_slope(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  FEDMS_EXPECTS(x.size() == y.size());
+  FEDMS_EXPECTS(x.size() >= 2);
+  const double n = double(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  FEDMS_EXPECTS(std::abs(denom) > 1e-12);
+  return (n * sxy - sx * sy) / denom;
+}
+
+double tail_mean(const std::vector<double>& values, std::size_t window) {
+  FEDMS_EXPECTS(!values.empty());
+  const std::size_t n = std::min(window == 0 ? values.size() : window,
+                                 values.size());
+  double sum = 0.0;
+  for (std::size_t i = values.size() - n; i < values.size(); ++i)
+    sum += values[i];
+  return sum / double(n);
+}
+
+}  // namespace fedms::metrics

@@ -1,0 +1,27 @@
+// Small statistics helpers for summarizing repeated runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fedms::metrics {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1), 0 if n < 2
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(const std::vector<double>& values);
+
+// Linear least-squares slope of y against x (used to check the O(1/T)
+// rate: log(gap) vs log(t) should have slope ≈ -1).
+double regression_slope(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+// Mean of the final `window` values of a series (smoothed "final accuracy").
+double tail_mean(const std::vector<double>& values, std::size_t window);
+
+}  // namespace fedms::metrics

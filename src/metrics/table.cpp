@@ -1,0 +1,49 @@
+#include "metrics/table.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/contracts.h"
+
+namespace fedms::metrics {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  FEDMS_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FEDMS_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(int(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    rule += std::string(widths[c], '-') + "  ";
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace fedms::metrics

@@ -1,0 +1,25 @@
+// Fixed-width console table printing for the bench harness headers and
+// summary blocks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fedms::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double value, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fedms::metrics

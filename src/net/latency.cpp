@@ -1,0 +1,42 @@
+#include "net/latency.h"
+
+#include <algorithm>
+
+#include "core/contracts.h"
+
+namespace fedms::net {
+
+void LatencyModel::set_link(const NodeId& node, LinkModel link) {
+  FEDMS_EXPECTS(link.bandwidth_bytes_per_sec > 0.0);
+  FEDMS_EXPECTS(link.rtt_sec >= 0.0);
+  links_[node] = link;
+}
+
+const LinkModel& LatencyModel::link_for(const NodeId& node) const {
+  const auto it = links_.find(node);
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+double LatencyModel::transfer_seconds(std::uint64_t bytes) const {
+  FEDMS_EXPECTS(default_link_.bandwidth_bytes_per_sec > 0.0);
+  return default_link_.rtt_sec / 2.0 +
+         double(bytes) / default_link_.bandwidth_bytes_per_sec;
+}
+
+double LatencyModel::transfer_seconds(std::uint64_t bytes,
+                                      const NodeId& node) const {
+  const LinkModel& link = link_for(node);
+  return link.rtt_sec / 2.0 + double(bytes) / link.bandwidth_bytes_per_sec;
+}
+
+double LatencyModel::stage_seconds(
+    const std::vector<Message>& messages) const {
+  std::map<NodeId, std::uint64_t> bytes_per_link;
+  for (const Message& m : messages) bytes_per_link[m.from] += wire_size(m);
+  double worst = 0.0;
+  for (const auto& [node, bytes] : bytes_per_link)
+    worst = std::max(worst, transfer_seconds(bytes, node));
+  return worst;
+}
+
+}  // namespace fedms::net

@@ -1,0 +1,66 @@
+// Coarse latency model for a round of the synchronous protocol.
+//
+// Links are modelled as independent (each client and PS has its own access
+// link), so a communication stage takes as long as its busiest link:
+//   stage_time = max over links (rtt/2 + bytes_on_link / bandwidth).
+// This is what makes upload-to-all P× more expensive than sparse upload in
+// *time* as well as bytes: with upload-to-all every client's uplink carries
+// P model payloads.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/message.h"
+
+namespace fedms::net {
+
+struct LinkModel {
+  double bandwidth_bytes_per_sec = 12.5e6;  // 100 Mbit/s edge link
+  double rtt_sec = 0.02;                    // 20 ms
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LinkModel link = {}) : default_link_(link) {}
+
+  // Overrides the link parameters of one node (heterogeneous edge
+  // networks: a slow client uplink makes that client the stage straggler).
+  void set_link(const NodeId& node, LinkModel link);
+  const LinkModel& link_for(const NodeId& node) const;
+  const LinkModel& default_link() const { return default_link_; }
+
+  // Draws per-node bandwidths log-uniformly in
+  // [default/spread, default*spread] for all client and server nodes —
+  // a quick way to model heterogeneous edge links.
+  template <typename Rng>
+  void randomize_links(std::size_t clients, std::size_t servers,
+                       double spread, Rng& rng) {
+    auto draw = [&] {
+      LinkModel link = default_link_;
+      const double factor =
+          std::exp(rng.uniform(-std::log(spread), std::log(spread)));
+      link.bandwidth_bytes_per_sec *= factor;
+      return link;
+    };
+    for (std::size_t k = 0; k < clients; ++k) set_link(client_id(k), draw());
+    for (std::size_t s = 0; s < servers; ++s) set_link(server_id(s), draw());
+  }
+
+  // Time for one synchronous stage given the messages it carries.
+  // Bytes are grouped per sending link; the stage completes when the
+  // slowest link finishes.
+  double stage_seconds(const std::vector<Message>& messages) const;
+
+  // Convenience: seconds to move `bytes` over the given (or default) link.
+  double transfer_seconds(std::uint64_t bytes) const;
+  double transfer_seconds(std::uint64_t bytes, const NodeId& node) const;
+
+ private:
+  LinkModel default_link_;
+  std::map<NodeId, LinkModel> links_;
+};
+
+}  // namespace fedms::net

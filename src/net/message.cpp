@@ -1,0 +1,22 @@
+#include "net/message.h"
+
+namespace fedms::net {
+
+std::size_t wire_size(const Message& message) {
+  if (message.encoded_bytes > 0)
+    return kMessageHeaderBytes + message.encoded_bytes;
+  return kMessageHeaderBytes + sizeof(std::uint64_t) +
+         sizeof(float) * message.payload.size();
+}
+
+const char* to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kModelUpload:
+      return "upload";
+    case MessageKind::kModelBroadcast:
+      return "broadcast";
+  }
+  return "?";
+}
+
+}  // namespace fedms::net

@@ -1,0 +1,42 @@
+// Messages exchanged over the simulated network.
+//
+// The payload is the flat float vector the FL layer works with; its
+// wire size is what `tensor::write_floats` would emit plus a fixed header,
+// so communication-cost measurements reflect the actual serialized bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/node_id.h"
+
+namespace fedms::net {
+
+enum class MessageKind {
+  kModelUpload,     // client -> PS: local model after E local steps
+  kModelBroadcast,  // PS -> client: aggregated (possibly tampered) model
+};
+
+struct Message {
+  NodeId from;
+  NodeId to;
+  MessageKind kind = MessageKind::kModelUpload;
+  std::uint64_t round = 0;
+  std::vector<float> payload;
+  // When a lossy codec was applied, `payload` holds the *decoded* values
+  // the receiver observes and this field holds the encoded size actually
+  // sent over the wire. 0 means uncompressed (size derived from payload).
+  std::size_t encoded_bytes = 0;
+};
+
+// Simulated wire size in bytes: header + length-prefixed float payload, or
+// header + encoded_bytes when a codec was applied.
+std::size_t wire_size(const Message& message);
+
+// Fixed per-message header budget (addressing, round, kind, length).
+inline constexpr std::size_t kMessageHeaderBytes = 64;
+
+const char* to_string(MessageKind kind);
+
+}  // namespace fedms::net

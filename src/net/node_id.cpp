@@ -1,0 +1,10 @@
+#include "net/node_id.h"
+
+namespace fedms::net {
+
+std::string to_string(const NodeId& id) {
+  return (id.kind == NodeKind::kClient ? "client#" : "server#") +
+         std::to_string(id.index);
+}
+
+}  // namespace fedms::net

@@ -1,0 +1,29 @@
+// Addressing for the simulated edge network: end-side clients and
+// edge-side parameter servers.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <string>
+
+namespace fedms::net {
+
+enum class NodeKind { kClient, kServer };
+
+struct NodeId {
+  NodeKind kind = NodeKind::kClient;
+  std::size_t index = 0;
+
+  friend auto operator<=>(const NodeId&, const NodeId&) = default;
+};
+
+inline NodeId client_id(std::size_t index) {
+  return {NodeKind::kClient, index};
+}
+inline NodeId server_id(std::size_t index) {
+  return {NodeKind::kServer, index};
+}
+
+std::string to_string(const NodeId& id);
+
+}  // namespace fedms::net

@@ -1,0 +1,56 @@
+#include "net/sim_network.h"
+
+#include "core/contracts.h"
+
+namespace fedms::net {
+
+TrafficStats& TrafficStats::operator+=(const TrafficStats& other) {
+  messages += other.messages;
+  bytes += other.bytes;
+  dropped_messages += other.dropped_messages;
+  return *this;
+}
+
+void SimNetwork::set_loss_rate(double rate) {
+  FEDMS_EXPECTS(rate >= 0.0 && rate < 1.0);
+  loss_rate_ = rate;
+}
+
+void SimNetwork::send(Message message) {
+  TrafficStats& direction =
+      message.from.kind == NodeKind::kClient ? uplink_ : downlink_;
+  if (loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) {
+    ++direction.dropped_messages;
+    return;
+  }
+  direction.messages += 1;
+  direction.bytes += wire_size(message);
+  inboxes_[message.to].push_back(std::move(message));
+}
+
+std::vector<Message> SimNetwork::drain_inbox(const NodeId& node) {
+  const auto it = inboxes_.find(node);
+  if (it == inboxes_.end()) return {};
+  std::vector<Message> messages = std::move(it->second);
+  inboxes_.erase(it);
+  return messages;
+}
+
+std::size_t SimNetwork::pending_count() const {
+  std::size_t n = 0;
+  for (const auto& [node, inbox] : inboxes_) n += inbox.size();
+  return n;
+}
+
+TrafficStats SimNetwork::total() const {
+  TrafficStats stats = uplink_;
+  stats += downlink_;
+  return stats;
+}
+
+void SimNetwork::reset_stats() {
+  uplink_ = TrafficStats{};
+  downlink_ = TrafficStats{};
+}
+
+}  // namespace fedms::net

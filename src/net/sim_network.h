@@ -1,0 +1,68 @@
+// Round-synchronous simulated network.
+//
+// The FEEL protocol is synchronous (the paper's clients are synchronized
+// across the three stages), so the network is modelled as a per-round
+// message bus: senders `send()` during a stage, receivers `drain_inbox()`
+// at the stage boundary. The bus keeps cumulative traffic statistics split
+// by direction — the quantity behind the paper's claim that sparse
+// uploading costs K model-transfers versus K×P for upload-to-all.
+//
+// Failure injection: an optional uniform loss rate drops messages at send
+// time (deterministically, from the bus's own RNG), which the robustness
+// tests use to check that aggregation degrades gracefully when uploads go
+// missing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/rng.h"
+#include "net/message.h"
+
+namespace fedms::net {
+
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t dropped_messages = 0;
+
+  TrafficStats& operator+=(const TrafficStats& other);
+};
+
+class SimNetwork {
+ public:
+  SimNetwork() : rng_(0) {}
+  explicit SimNetwork(core::Rng rng) : rng_(rng) {}
+
+  // Fraction of messages dropped at send time (failure injection).
+  void set_loss_rate(double rate);
+  double loss_rate() const { return loss_rate_; }
+
+  // Queues a message for its destination (unless dropped) and records
+  // traffic. Payloads are moved, not copied.
+  void send(Message message);
+
+  // Removes and returns every queued message addressed to `node`, in send
+  // order.
+  std::vector<Message> drain_inbox(const NodeId& node);
+
+  // Number of queued (undelivered) messages across all inboxes.
+  std::size_t pending_count() const;
+
+  // Cumulative stats by direction.
+  const TrafficStats& uplink() const { return uplink_; }      // client -> PS
+  const TrafficStats& downlink() const { return downlink_; }  // PS -> client
+  TrafficStats total() const;
+  void reset_stats();
+
+ private:
+  std::map<NodeId, std::vector<Message>> inboxes_;
+  TrafficStats uplink_;
+  TrafficStats downlink_;
+  double loss_rate_ = 0.0;
+  core::Rng rng_;
+};
+
+}  // namespace fedms::net

@@ -1,0 +1,38 @@
+// Pointwise activation layers. ReLU6 is the activation used by MobileNet V2.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace fedms::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class ReLU6 final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU6"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace fedms::nn

@@ -1,0 +1,122 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace fedms::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Tensor::ones({channels})),
+      beta_({channels}),
+      grad_gamma_({channels}),
+      grad_beta_({channels}),
+      running_mean_({channels}),
+      running_var_(Tensor::ones({channels})),
+      cached_inv_std_({channels}) {
+  FEDMS_EXPECTS(channels > 0);
+  FEDMS_EXPECTS(eps > 0.0f);
+  FEDMS_EXPECTS(momentum >= 0.0f && momentum <= 1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
+  FEDMS_EXPECTS(input.rank() == 4 && input.dim(1) == channels_);
+  const std::size_t N = input.dim(0), C = channels_, H = input.dim(2),
+                    W = input.dim(3);
+  const std::size_t m = N * H * W;
+  FEDMS_EXPECTS(m > 0);
+  Tensor out(input.shape());
+  cached_training_ = training;
+
+  if (training) {
+    cached_xhat_ = Tensor(input.shape());
+    for (std::size_t c = 0; c < C; ++c) {
+      double mean = 0.0;
+      for (std::size_t n = 0; n < N; ++n)
+        for (std::size_t h = 0; h < H; ++h)
+          for (std::size_t w = 0; w < W; ++w) mean += input.at(n, c, h, w);
+      mean /= double(m);
+      double var = 0.0;
+      for (std::size_t n = 0; n < N; ++n)
+        for (std::size_t h = 0; h < H; ++h)
+          for (std::size_t w = 0; w < W; ++w) {
+            const double d = input.at(n, c, h, w) - mean;
+            var += d * d;
+          }
+      var /= double(m);  // biased variance, as in training-time BN
+      const float inv_std = 1.0f / std::sqrt(float(var) + eps_);
+      cached_inv_std_[c] = inv_std;
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * float(mean);
+      running_var_[c] =
+          (1.0f - momentum_) * running_var_[c] + momentum_ * float(var);
+      const float g = gamma_[c], b = beta_[c];
+      for (std::size_t n = 0; n < N; ++n)
+        for (std::size_t h = 0; h < H; ++h)
+          for (std::size_t w = 0; w < W; ++w) {
+            const float xhat =
+                (input.at(n, c, h, w) - float(mean)) * inv_std;
+            cached_xhat_.at(n, c, h, w) = xhat;
+            out.at(n, c, h, w) = g * xhat + b;
+          }
+    }
+  } else {
+    for (std::size_t c = 0; c < C; ++c) {
+      const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
+      const float g = gamma_[c], b = beta_[c], mu = running_mean_[c];
+      for (std::size_t n = 0; n < N; ++n)
+        for (std::size_t h = 0; h < H; ++h)
+          for (std::size_t w = 0; w < W; ++w)
+            out.at(n, c, h, w) =
+                g * (input.at(n, c, h, w) - mu) * inv_std + b;
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  FEDMS_EXPECTS(cached_training_);
+  FEDMS_EXPECTS(grad_output.same_shape(cached_xhat_));
+  const std::size_t N = grad_output.dim(0), C = channels_,
+                    H = grad_output.dim(2), W = grad_output.dim(3);
+  const double m = double(N * H * W);
+  Tensor grad_input(grad_output.shape());
+
+  for (std::size_t c = 0; c < C; ++c) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t n = 0; n < N; ++n)
+      for (std::size_t h = 0; h < H; ++h)
+        for (std::size_t w = 0; w < W; ++w) {
+          const double dy = grad_output.at(n, c, h, w);
+          sum_dy += dy;
+          sum_dy_xhat += dy * cached_xhat_.at(n, c, h, w);
+        }
+    grad_beta_[c] += float(sum_dy);
+    grad_gamma_[c] += float(sum_dy_xhat);
+    const double k = double(gamma_[c]) * cached_inv_std_[c];
+    const double mean_dy = sum_dy / m;
+    const double mean_dy_xhat = sum_dy_xhat / m;
+    for (std::size_t n = 0; n < N; ++n)
+      for (std::size_t h = 0; h < H; ++h)
+        for (std::size_t w = 0; w < W; ++w) {
+          const double dy = grad_output.at(n, c, h, w);
+          const double xhat = cached_xhat_.at(n, c, h, w);
+          grad_input.at(n, c, h, w) =
+              float(k * (dy - mean_dy - xhat * mean_dy_xhat));
+        }
+  }
+  return grad_input;
+}
+
+void BatchNorm2d::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&gamma_, &grad_gamma_, "bn.gamma"});
+  out.push_back({&beta_, &grad_beta_, "bn.beta"});
+}
+
+void BatchNorm2d::collect_buffers(std::vector<Tensor*>& out) {
+  out.push_back(&running_mean_);
+  out.push_back(&running_var_);
+}
+
+}  // namespace fedms::nn

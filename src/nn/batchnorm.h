@@ -1,0 +1,45 @@
+// Per-channel batch normalization for NCHW activations (the normalization
+// MobileNet V2 uses after every convolution).
+//
+// Training mode normalizes with batch statistics and updates exponential
+// running averages; evaluation mode normalizes with the running averages.
+// The running statistics are model *buffers*: not trained by SGD but still
+// part of the payload a federated client uploads, so they are exposed via
+// collect_buffers() and included in the FL parameter flattening.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace fedms::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  void collect_buffers(std::vector<Tensor*>& out) override;
+  std::string name() const override { return "BatchNorm2d"; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float eps_;
+  float momentum_;
+  Tensor gamma_;  // scale, (C)
+  Tensor beta_;   // shift, (C)
+  Tensor grad_gamma_;
+  Tensor grad_beta_;
+  Tensor running_mean_;  // buffers
+  Tensor running_var_;
+  // Caches from the last training-mode forward.
+  Tensor cached_xhat_;     // normalized input, same shape as input
+  Tensor cached_inv_std_;  // (C)
+  bool cached_training_ = false;
+};
+
+}  // namespace fedms::nn

@@ -1,0 +1,100 @@
+#include "nn/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.h"
+
+namespace fedms::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'M', 'C', 'K'};
+
+struct Entry {
+  std::string name;
+  tensor::Tensor* value;
+};
+
+// Parameters (by their declared names) followed by buffers.
+std::vector<Entry> state_entries(Layer& model) {
+  std::vector<Entry> entries;
+  std::vector<ParamRef> refs;
+  model.collect_params(refs);
+  for (std::size_t i = 0; i < refs.size(); ++i)
+    entries.push_back({refs[i].name + "#" + std::to_string(i),
+                       refs[i].value});
+  std::vector<tensor::Tensor*> buffers;
+  model.collect_buffers(buffers);
+  for (std::size_t i = 0; i < buffers.size(); ++i)
+    entries.push_back({"buffer#" + std::to_string(i), buffers[i]});
+  return entries;
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("fedms: truncated checkpoint");
+  return v;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, Layer& model) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os)
+    throw std::runtime_error("fedms: cannot open checkpoint for write: " +
+                             path);
+  os.write(kMagic, sizeof kMagic);
+  const auto entries = state_entries(model);
+  write_u64(os, entries.size());
+  for (const auto& entry : entries) {
+    write_u64(os, entry.name.size());
+    os.write(entry.name.data(),
+             static_cast<std::streamsize>(entry.name.size()));
+    tensor::write_tensor(os, *entry.value);
+  }
+  if (!os) throw std::runtime_error("fedms: checkpoint write failed");
+}
+
+void load_checkpoint(const std::string& path, Layer& model) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    throw std::runtime_error("fedms: cannot open checkpoint for read: " +
+                             path);
+  char magic[4] = {};
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("fedms: bad checkpoint magic");
+
+  const auto entries = state_entries(model);
+  const std::uint64_t count = read_u64(is);
+  if (count != entries.size())
+    throw std::runtime_error(
+        "fedms: checkpoint entry count mismatch (file has " +
+        std::to_string(count) + ", model has " +
+        std::to_string(entries.size()) + ")");
+  for (const auto& entry : entries) {
+    const std::uint64_t name_len = read_u64(is);
+    if (name_len > 4096)
+      throw std::runtime_error("fedms: implausible checkpoint name");
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!is) throw std::runtime_error("fedms: truncated checkpoint name");
+    if (name != entry.name)
+      throw std::runtime_error("fedms: checkpoint entry '" + name +
+                               "' does not match model entry '" +
+                               entry.name + "'");
+    tensor::Tensor loaded = tensor::read_tensor(is);
+    if (loaded.shape() != entry.value->shape())
+      throw std::runtime_error("fedms: shape mismatch for '" + name + "'");
+    *entry.value = std::move(loaded);
+  }
+}
+
+}  // namespace fedms::nn

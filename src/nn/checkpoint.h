@@ -1,0 +1,22 @@
+// Model checkpointing: saves and restores a model's full state (trainable
+// parameters and buffers) with per-tensor names and shapes, so loading into
+// a mismatched architecture fails with a diagnostic instead of silently
+// scrambling weights.
+//
+// Format: "FMCK" | u64 entry_count | entries, each
+//   u64 name_len | name bytes | tensor (tensor/serialize.h format)
+#pragma once
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace fedms::nn {
+
+void save_checkpoint(const std::string& path, Layer& model);
+
+// Throws std::runtime_error on I/O failure, malformed files, or any
+// name/shape mismatch with `model`'s current architecture.
+void load_checkpoint(const std::string& path, Layer& model);
+
+}  // namespace fedms::nn

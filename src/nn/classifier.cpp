@@ -1,0 +1,50 @@
+#include "nn/classifier.h"
+
+#include "core/contracts.h"
+#include "tensor/ops.h"
+
+namespace fedms::nn {
+
+Classifier::Classifier(std::unique_ptr<Sequential> net)
+    : net_(std::move(net)) {
+  FEDMS_EXPECTS(net_ != nullptr);
+}
+
+double Classifier::compute_gradients(const Tensor& inputs,
+                                     const std::vector<std::size_t>& labels) {
+  net_->zero_grads();
+  const Tensor logits = net_->forward(inputs, /*training=*/true);
+  const double loss = loss_.forward(logits, labels);
+  net_->backward(loss_.backward());
+  return loss;
+}
+
+std::vector<std::size_t> Classifier::predict(const Tensor& inputs) {
+  const Tensor logits = net_->forward(inputs, /*training=*/false);
+  return tensor::argmax_rows(logits);
+}
+
+EvalResult Classifier::evaluate(const Tensor& inputs,
+                                const std::vector<std::size_t>& labels) {
+  FEDMS_EXPECTS(labels.size() == inputs.dim(0));
+  const Tensor logits = net_->forward(inputs, /*training=*/false);
+  SoftmaxCrossEntropy eval_loss;  // local: do not disturb training caches
+  EvalResult result;
+  result.loss = eval_loss.forward(logits, labels);
+  const auto predictions = tensor::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (predictions[i] == labels[i]) ++correct;
+  result.sample_count = labels.size();
+  result.accuracy =
+      labels.empty() ? 0.0 : double(correct) / double(labels.size());
+  return result;
+}
+
+std::vector<ParamRef> Classifier::params() {
+  std::vector<ParamRef> refs;
+  net_->collect_params(refs);
+  return refs;
+}
+
+}  // namespace fedms::nn

@@ -1,0 +1,45 @@
+// Classifier: a network plus a softmax-cross-entropy head, exposing the
+// train/eval operations the federated `Client` drives.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "nn/sequential.h"
+
+namespace fedms::nn {
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;  // fraction in [0, 1]
+  std::size_t sample_count = 0;
+};
+
+class Classifier {
+ public:
+  explicit Classifier(std::unique_ptr<Sequential> net);
+
+  // Zeroes gradients, then forward + loss + backward on one mini-batch.
+  // Returns the mean batch loss. Gradients are left in the accumulators for
+  // the optimizer to consume.
+  double compute_gradients(const Tensor& inputs,
+                           const std::vector<std::size_t>& labels);
+
+  // Forward in eval mode; returns per-row predicted class indices.
+  std::vector<std::size_t> predict(const Tensor& inputs);
+
+  // Loss and accuracy over a labelled batch (eval mode, no gradients).
+  EvalResult evaluate(const Tensor& inputs,
+                      const std::vector<std::size_t>& labels);
+
+  Sequential& net() { return *net_; }
+  std::vector<ParamRef> params();
+
+ private:
+  std::unique_ptr<Sequential> net_;
+  SoftmaxCrossEntropy loss_;
+};
+
+}  // namespace fedms::nn

@@ -1,0 +1,36 @@
+#include "nn/dropout.h"
+
+#include "tensor/ops.h"
+
+namespace fedms::nn {
+
+Dropout::Dropout(double drop_probability, core::Rng rng)
+    : drop_probability_(drop_probability), rng_(rng) {
+  FEDMS_EXPECTS(drop_probability >= 0.0 && drop_probability < 1.0);
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  last_forward_training_ = training;
+  if (!training || drop_probability_ == 0.0) return input;
+  mask_ = Tensor(input.shape());
+  const float keep_scale =
+      static_cast<float>(1.0 / (1.0 - drop_probability_));
+  Tensor out = input;
+  float* po = out.data();
+  float* pm = mask_.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    const float scale = rng_.bernoulli(drop_probability_) ? 0.0f : keep_scale;
+    pm[i] = scale;
+    po[i] *= scale;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!last_forward_training_ || drop_probability_ == 0.0)
+    return grad_output;
+  FEDMS_EXPECTS(grad_output.same_shape(mask_));
+  return tensor::mul(grad_output, mask_);
+}
+
+}  // namespace fedms::nn

@@ -1,0 +1,29 @@
+// Inverted dropout: during training, each activation is zeroed with
+// probability p and survivors are scaled by 1/(1−p) so evaluation needs no
+// rescaling. Draws from its own deterministic RNG stream, keeping runs
+// reproducible per seed.
+#pragma once
+
+#include "core/rng.h"
+#include "nn/layer.h"
+
+namespace fedms::nn {
+
+class Dropout final : public Layer {
+ public:
+  Dropout(double drop_probability, core::Rng rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+  double drop_probability() const { return drop_probability_; }
+
+ private:
+  double drop_probability_;
+  core::Rng rng_;
+  Tensor mask_;  // scale factors from the last training forward
+  bool last_forward_training_ = false;
+};
+
+}  // namespace fedms::nn

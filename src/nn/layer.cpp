@@ -1,0 +1,11 @@
+#include "nn/layer.h"
+
+namespace fedms::nn {
+
+void Layer::zero_grads() {
+  std::vector<ParamRef> refs;
+  collect_params(refs);
+  for (const auto& ref : refs) ref.grad->fill(0.0f);
+}
+
+}  // namespace fedms::nn

@@ -1,0 +1,54 @@
+// Layer abstraction with explicit forward/backward.
+//
+// There is deliberately no autograd tape: every layer caches what its own
+// backward needs and implements the chain rule by hand. For a library whose
+// purpose is simulating *federated aggregation* this keeps the training
+// substrate small, fully inspectable, and easy to verify with finite
+// differences (see tests/nn_gradcheck_test.cpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedms::nn {
+
+using tensor::Tensor;
+
+// Non-owning view of one trainable parameter and its gradient accumulator.
+struct ParamRef {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  std::string name;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Computes the layer output, caching whatever backward() needs.
+  // `training` toggles behaviours like batch-norm statistics.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  // Given dLoss/dOutput, accumulates parameter gradients (+=) and returns
+  // dLoss/dInput. Must be called after a matching forward().
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  // Appends this layer's trainable parameters.
+  virtual void collect_params(std::vector<ParamRef>& out) { (void)out; }
+
+  // Appends non-trainable persistent state (e.g. batch-norm running stats)
+  // that is still part of the model payload exchanged in federated learning.
+  virtual void collect_buffers(std::vector<Tensor*>& out) { (void)out; }
+
+  virtual std::string name() const = 0;
+
+  // Zeroes every gradient accumulator exposed by collect_params().
+  void zero_grads();
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace fedms::nn

@@ -1,0 +1,45 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace fedms::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               core::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Tensor::randn({out_features, in_features}, rng, 0.0f,
+                            std::sqrt(2.0f / float(in_features)))),
+      bias_({out_features}),
+      grad_weight_({out_features, in_features}),
+      grad_bias_({out_features}) {
+  FEDMS_EXPECTS(in_features > 0 && out_features > 0);
+}
+
+Tensor Linear::forward(const Tensor& input, bool /*training*/) {
+  FEDMS_EXPECTS(input.rank() == 2 && input.dim(1) == in_features_);
+  cached_input_ = input;
+  Tensor out = tensor::matmul_transB(input, weight_);  // (batch x out)
+  tensor::add_bias_rows(out, bias_);
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  FEDMS_EXPECTS(grad_output.rank() == 2 &&
+                grad_output.dim(1) == out_features_);
+  FEDMS_EXPECTS(cached_input_.numel() > 0);
+  // dW += dY^T X ; db += column-sums of dY ; dX = dY W.
+  tensor::add_inplace(grad_weight_,
+                      tensor::matmul_transA(grad_output, cached_input_));
+  tensor::add_inplace(grad_bias_, tensor::sum_rows(grad_output));
+  return tensor::matmul(grad_output, weight_);
+}
+
+void Linear::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&weight_, &grad_weight_, "linear.weight"});
+  out.push_back({&bias_, &grad_bias_, "linear.bias"});
+}
+
+}  // namespace fedms::nn

@@ -1,0 +1,35 @@
+// Fully connected layer: y = x W^T + b, x is (batch x in), W is (out x in).
+#pragma once
+
+#include "core/rng.h"
+#include "nn/layer.h"
+
+namespace fedms::nn {
+
+class Linear final : public Layer {
+ public:
+  // He-initialized weight (suits the ReLU nets in the model zoo), zero bias.
+  Linear(std::size_t in_features, std::size_t out_features, core::Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  std::string name() const override { return "Linear"; }
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Tensor weight_;       // (out x in)
+  Tensor bias_;         // (out)
+  Tensor grad_weight_;  // accumulators, += in backward
+  Tensor grad_bias_;
+  Tensor cached_input_;  // (batch x in) from the last forward
+};
+
+}  // namespace fedms::nn

@@ -1,0 +1,57 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "core/contracts.h"
+#include "tensor/ops.h"
+
+namespace fedms::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    const std::vector<std::size_t>& labels) {
+  FEDMS_EXPECTS(logits.rank() == 2);
+  FEDMS_EXPECTS(labels.size() == logits.dim(0));
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  cached_probs_ = tensor::softmax_rows(logits);
+  cached_labels_ = labels;
+  double loss = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    FEDMS_EXPECTS(labels[i] < classes);
+    // Clamp to avoid log(0) when a float32 softmax underflows.
+    const double p =
+        std::max(double(cached_probs_.at(i, labels[i])), 1e-12);
+    loss -= std::log(p);
+  }
+  return loss / double(batch);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  FEDMS_EXPECTS(cached_probs_.numel() > 0);
+  const std::size_t batch = cached_probs_.dim(0);
+  Tensor grad = cached_probs_;
+  const float inv_batch = 1.0f / float(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    grad.at(i, cached_labels_[i]) -= 1.0f;
+  }
+  tensor::scale_inplace(grad, inv_batch);
+  return grad;
+}
+
+double MeanSquaredError::forward(const Tensor& prediction,
+                                 const Tensor& target) {
+  FEDMS_EXPECTS(prediction.same_shape(target));
+  FEDMS_EXPECTS(prediction.numel() > 0);
+  cached_prediction_ = prediction;
+  cached_target_ = target;
+  return tensor::squared_l2_distance(prediction, target) /
+         double(prediction.numel());
+}
+
+Tensor MeanSquaredError::backward() const {
+  FEDMS_EXPECTS(cached_prediction_.numel() > 0);
+  Tensor grad = tensor::sub(cached_prediction_, cached_target_);
+  tensor::scale_inplace(grad, 2.0f / float(grad.numel()));
+  return grad;
+}
+
+}  // namespace fedms::nn

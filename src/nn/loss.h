@@ -1,0 +1,40 @@
+// Loss functions. SoftmaxCrossEntropy fuses row-softmax with negative
+// log-likelihood so its backward is the numerically clean `p - onehot(y)`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedms::nn {
+
+using tensor::Tensor;
+
+class SoftmaxCrossEntropy {
+ public:
+  // logits: (batch x classes), labels: batch class indices.
+  // Returns mean loss over the batch and caches for backward().
+  double forward(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+  // dLoss/dLogits of the last forward (mean reduction).
+  Tensor backward() const;
+
+ private:
+  Tensor cached_probs_;
+  std::vector<std::size_t> cached_labels_;
+};
+
+// Mean squared error against a target tensor; used by the strongly convex
+// theory experiments where exact optima are computable.
+class MeanSquaredError {
+ public:
+  double forward(const Tensor& prediction, const Tensor& target);
+  Tensor backward() const;
+
+ private:
+  Tensor cached_prediction_;
+  Tensor cached_target_;
+};
+
+}  // namespace fedms::nn

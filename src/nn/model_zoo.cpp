@@ -1,0 +1,105 @@
+#include "nn/model_zoo.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv_layers.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace fedms::nn {
+
+std::unique_ptr<Sequential> make_mlp(std::size_t in_features,
+                                     const std::vector<std::size_t>& hidden,
+                                     std::size_t classes, core::Rng& rng) {
+  FEDMS_EXPECTS(in_features > 0 && classes > 0);
+  auto net = std::make_unique<Sequential>();
+  std::size_t prev = in_features;
+  for (const std::size_t width : hidden) {
+    net->emplace<Linear>(prev, width, rng);
+    net->emplace<ReLU>();
+    prev = width;
+  }
+  net->emplace<Linear>(prev, classes, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_logistic(std::size_t in_features,
+                                          std::size_t classes,
+                                          core::Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Linear>(in_features, classes, rng);
+  return net;
+}
+
+LayerPtr make_inverted_residual(std::size_t in_channels,
+                                std::size_t out_channels,
+                                std::size_t expansion, std::size_t stride,
+                                core::Rng& rng) {
+  FEDMS_EXPECTS(expansion >= 1 && (stride == 1 || stride == 2));
+  const std::size_t expanded = in_channels * expansion;
+  auto block = std::make_unique<Sequential>();
+  if (expansion > 1) {
+    block->emplace<Conv2d>(in_channels, expanded, /*kernel=*/1, /*stride=*/1,
+                           /*padding=*/0, rng, /*with_bias=*/false);
+    block->emplace<BatchNorm2d>(expanded);
+    block->emplace<ReLU6>();
+  }
+  block->emplace<DepthwiseConv2d>(expanded, /*kernel=*/3, stride,
+                                  /*padding=*/1, rng, /*with_bias=*/false);
+  block->emplace<BatchNorm2d>(expanded);
+  block->emplace<ReLU6>();
+  // Linear bottleneck: no activation after the projection.
+  block->emplace<Conv2d>(expanded, out_channels, /*kernel=*/1, /*stride=*/1,
+                         /*padding=*/0, rng, /*with_bias=*/false);
+  block->emplace<BatchNorm2d>(out_channels);
+  if (stride == 1 && in_channels == out_channels)
+    return std::make_unique<Residual>(std::move(block));
+  return block;
+}
+
+std::unique_ptr<Sequential> make_lenet_tiny(std::size_t in_channels,
+                                            std::size_t image_size,
+                                            std::size_t classes,
+                                            core::Rng& rng) {
+  FEDMS_EXPECTS(in_channels > 0 && classes > 0);
+  FEDMS_EXPECTS(image_size % 4 == 0 && image_size >= 4);
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(in_channels, 6, /*kernel=*/3, /*stride=*/1,
+                       /*padding=*/1, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>(2);
+  net->emplace<Conv2d>(6, 12, /*kernel=*/3, /*stride=*/1, /*padding=*/1,
+                       rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>(2);
+  net->emplace<Flatten>();
+  const std::size_t flat = 12 * (image_size / 4) * (image_size / 4);
+  net->emplace<Linear>(flat, 24, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(24, classes, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_mobilenet_v2_tiny(
+    const MobileNetV2Config& config, core::Rng& rng) {
+  FEDMS_EXPECTS(config.in_channels > 0 && config.classes > 0);
+  FEDMS_EXPECTS(!config.stages.empty());
+  auto net = std::make_unique<Sequential>();
+  // Stem: 3x3 conv, stride 1 (inputs here are already small).
+  net->emplace<Conv2d>(config.in_channels, config.stem_channels,
+                       /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng,
+                       /*with_bias=*/false);
+  net->emplace<BatchNorm2d>(config.stem_channels);
+  net->emplace<ReLU6>();
+  std::size_t channels = config.stem_channels;
+  for (const auto& [out_channels, stride] : config.stages) {
+    net->add(make_inverted_residual(channels, out_channels, config.expansion,
+                                    stride, rng));
+    channels = out_channels;
+  }
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(channels, config.classes, rng);
+  return net;
+}
+
+}  // namespace fedms::nn

@@ -1,0 +1,64 @@
+// Model factories.
+//
+// The paper trains MobileNet V2 on CIFAR-10; this repo provides a
+// width-scaled MobileNet-V2-style network (inverted residual blocks with
+// depthwise-separable convolutions, ReLU6, linear bottlenecks) that is
+// trainable on a single CPU core, plus an MLP and a multinomial logistic
+// model used by the fast figure benches and the convex theory experiments.
+// The federated layer is model-agnostic (it sees a flat ℝ^d vector), so the
+// choice of model changes wall-clock, not Byzantine dynamics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/sequential.h"
+
+namespace fedms::nn {
+
+// MLP: in -> hidden[0] -> ... -> classes with ReLU between linear layers.
+std::unique_ptr<Sequential> make_mlp(std::size_t in_features,
+                                     const std::vector<std::size_t>& hidden,
+                                     std::size_t classes, core::Rng& rng);
+
+// Multinomial logistic regression (single linear layer). With L2 weight
+// decay its objective is strongly convex — the Theorem-1 assumptions.
+std::unique_ptr<Sequential> make_logistic(std::size_t in_features,
+                                          std::size_t classes,
+                                          core::Rng& rng);
+
+// Configuration for the scaled MobileNet V2.
+struct MobileNetV2Config {
+  std::size_t in_channels = 3;
+  std::size_t image_size = 8;     // square input
+  std::size_t classes = 10;
+  std::size_t stem_channels = 8;  // first conv width
+  std::size_t expansion = 2;      // inverted-residual expansion factor t
+  // Per-stage (output_channels, stride); residual skip is applied when
+  // stride == 1 and channels are preserved, as in the original network.
+  std::vector<std::pair<std::size_t, std::size_t>> stages = {
+      {8, 1}, {16, 2}, {16, 1}};
+};
+
+std::unique_ptr<Sequential> make_mobilenet_v2_tiny(
+    const MobileNetV2Config& config, core::Rng& rng);
+
+// LeNet-style classic CNN: two conv+ReLU+maxpool stages, then two fully
+// connected layers. The second CNN family in the zoo (standard conv +
+// pooling, no normalization), complementing MobileNet's depthwise blocks.
+// `image_size` must be divisible by 4 (two 2x2 pools).
+std::unique_ptr<Sequential> make_lenet_tiny(std::size_t in_channels,
+                                            std::size_t image_size,
+                                            std::size_t classes,
+                                            core::Rng& rng);
+
+// One MobileNet V2 inverted-residual block: 1x1 expand + BN + ReLU6,
+// 3x3 depthwise (stride s) + BN + ReLU6, 1x1 project + BN (linear).
+// Wrapped in a Residual when stride == 1 and in_channels == out_channels.
+LayerPtr make_inverted_residual(std::size_t in_channels,
+                                std::size_t out_channels,
+                                std::size_t expansion, std::size_t stride,
+                                core::Rng& rng);
+
+}  // namespace fedms::nn

@@ -1,0 +1,154 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "core/contracts.h"
+#include "tensor/ops.h"
+
+namespace fedms::nn {
+
+ConstantSchedule::ConstantSchedule(double lr) : lr_(lr) {
+  FEDMS_EXPECTS(lr > 0.0);
+}
+
+InverseDecaySchedule::InverseDecaySchedule(double phi, double gamma)
+    : phi_(phi), gamma_(gamma) {
+  FEDMS_EXPECTS(phi > 0.0 && gamma > 0.0);
+}
+
+StepDecaySchedule::StepDecaySchedule(double base_lr, double factor,
+                                     std::uint64_t every)
+    : base_lr_(base_lr), factor_(factor), every_(every) {
+  FEDMS_EXPECTS(base_lr > 0.0 && factor > 0.0 && every > 0);
+}
+
+double StepDecaySchedule::lr(std::uint64_t step) const {
+  return base_lr_ * std::pow(factor_, double(step / every_));
+}
+
+std::unique_ptr<LrSchedule> make_schedule(const std::string& spec) {
+  // Split on ':' into head + numeric args.
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t colon = spec.find(':', begin);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(begin));
+      break;
+    }
+    parts.push_back(spec.substr(begin, colon - begin));
+    begin = colon + 1;
+  }
+  FEDMS_EXPECTS(!parts.empty());
+  const std::string& head = parts.front();
+  if (head == "constant") {
+    FEDMS_EXPECTS(parts.size() == 2);
+    return std::make_unique<ConstantSchedule>(std::stod(parts[1]));
+  }
+  if (head == "invdecay") {
+    FEDMS_EXPECTS(parts.size() == 3);
+    return std::make_unique<InverseDecaySchedule>(std::stod(parts[1]),
+                                                  std::stod(parts[2]));
+  }
+  if (head == "step") {
+    FEDMS_EXPECTS(parts.size() == 4);
+    return std::make_unique<StepDecaySchedule>(
+        std::stod(parts[1]), std::stod(parts[2]),
+        std::stoull(parts[3]));
+  }
+  FEDMS_EXPECTS(!"unknown schedule spec");
+  return nullptr;
+}
+
+Sgd::Sgd(std::unique_ptr<LrSchedule> schedule, SgdOptions options)
+    : schedule_(std::move(schedule)), options_(options) {
+  FEDMS_EXPECTS(schedule_ != nullptr);
+  FEDMS_EXPECTS(options_.momentum >= 0.0 && options_.momentum < 1.0);
+  FEDMS_EXPECTS(options_.weight_decay >= 0.0);
+}
+
+void Sgd::step(const std::vector<ParamRef>& params) {
+  const float lr = static_cast<float>(schedule_->lr(step_count_));
+  const float mu = static_cast<float>(options_.momentum);
+  const float wd = static_cast<float>(options_.weight_decay);
+
+  if (mu > 0.0f && momentum_buffers_.size() != params.size()) {
+    momentum_buffers_.clear();
+    momentum_buffers_.reserve(params.size());
+    for (const auto& p : params)
+      momentum_buffers_.emplace_back(p.value->shape());
+  }
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& w = *params[i].value;
+    const Tensor& g = *params[i].grad;
+    FEDMS_EXPECTS(w.same_shape(g));
+    if (mu > 0.0f) {
+      Tensor& v = momentum_buffers_[i];
+      FEDMS_EXPECTS(v.same_shape(w));
+      float* pv = v.data();
+      float* pw = w.data();
+      const float* pg = g.data();
+      for (std::size_t j = 0; j < w.numel(); ++j) {
+        const float grad_j = pg[j] + wd * pw[j];
+        pv[j] = mu * pv[j] + grad_j;
+        pw[j] -= lr * pv[j];
+      }
+    } else {
+      float* pw = w.data();
+      const float* pg = g.data();
+      for (std::size_t j = 0; j < w.numel(); ++j)
+        pw[j] -= lr * (pg[j] + wd * pw[j]);
+    }
+  }
+  ++step_count_;
+}
+
+Adam::Adam(std::unique_ptr<LrSchedule> schedule, AdamOptions options)
+    : schedule_(std::move(schedule)), options_(options) {
+  FEDMS_EXPECTS(schedule_ != nullptr);
+  FEDMS_EXPECTS(options_.beta1 >= 0.0 && options_.beta1 < 1.0);
+  FEDMS_EXPECTS(options_.beta2 >= 0.0 && options_.beta2 < 1.0);
+  FEDMS_EXPECTS(options_.epsilon > 0.0);
+  FEDMS_EXPECTS(options_.weight_decay >= 0.0);
+}
+
+void Adam::step(const std::vector<ParamRef>& params) {
+  if (first_moment_.size() != params.size()) {
+    first_moment_.clear();
+    second_moment_.clear();
+    for (const auto& p : params) {
+      first_moment_.emplace_back(p.value->shape());
+      second_moment_.emplace_back(p.value->shape());
+    }
+  }
+  ++step_count_;
+  const double lr = schedule_->lr(step_count_ - 1);
+  const double b1 = options_.beta1, b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, double(step_count_));
+  const double bias2 = 1.0 - std::pow(b2, double(step_count_));
+  const float wd = static_cast<float>(options_.weight_decay);
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& w = *params[i].value;
+    const Tensor& g = *params[i].grad;
+    FEDMS_EXPECTS(w.same_shape(g));
+    Tensor& m = first_moment_[i];
+    Tensor& v = second_moment_[i];
+    float* pw = w.data();
+    const float* pg = g.data();
+    float* pm = m.data();
+    float* pv = v.data();
+    for (std::size_t j = 0; j < w.numel(); ++j) {
+      const double grad = double(pg[j]) + double(wd) * pw[j];
+      pm[j] = static_cast<float>(b1 * pm[j] + (1.0 - b1) * grad);
+      pv[j] = static_cast<float>(b2 * pv[j] + (1.0 - b2) * grad * grad);
+      const double m_hat = pm[j] / bias1;
+      const double v_hat = pv[j] / bias2;
+      pw[j] -= static_cast<float>(
+          lr * m_hat / (std::sqrt(v_hat) + options_.epsilon));
+    }
+  }
+}
+
+}  // namespace fedms::nn

@@ -1,0 +1,118 @@
+// SGD optimizer and learning-rate schedules.
+//
+// `InverseDecaySchedule` implements the paper's Theorem-1 rate
+// η_t = φ/(γ + t) with φ = 2/μ, γ = max(8L/μ, E), used by the theory
+// benches; the figure benches use a constant rate as the experimental
+// section of the paper does for MobileNet training.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedms::nn {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  // Learning rate to apply at global step t (0-based).
+  virtual double lr(std::uint64_t step) const = 0;
+};
+
+class ConstantSchedule final : public LrSchedule {
+ public:
+  explicit ConstantSchedule(double lr);
+  double lr(std::uint64_t /*step*/) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+// η_t = phi / (gamma + t). The paper's Theorem-1 choice is
+// phi = 2/μ, gamma = max(8L/μ, E).
+class InverseDecaySchedule final : public LrSchedule {
+ public:
+  InverseDecaySchedule(double phi, double gamma);
+  double lr(std::uint64_t step) const override {
+    return phi_ / (gamma_ + double(step));
+  }
+
+ private:
+  double phi_;
+  double gamma_;
+};
+
+// Multiplies a base rate by `factor` every `every` steps.
+class StepDecaySchedule final : public LrSchedule {
+ public:
+  StepDecaySchedule(double base_lr, double factor, std::uint64_t every);
+  double lr(std::uint64_t step) const override;
+
+ private:
+  double base_lr_;
+  double factor_;
+  std::uint64_t every_;
+};
+
+// Builds a schedule from a textual spec:
+//   "constant:<lr>" | "invdecay:<phi>:<gamma>" | "step:<base>:<factor>:<every>"
+// Contract-violates on malformed specs.
+std::unique_ptr<LrSchedule> make_schedule(const std::string& spec);
+
+struct SgdOptions {
+  double momentum = 0.0;      // classical momentum (0 disables)
+  double weight_decay = 0.0;  // decoupled L2 on parameter values
+};
+
+// Stateless w.r.t. the model: operates on whatever ParamRefs are passed,
+// keyed by position, so the same optimizer can be re-bound after a client
+// loads a new global model.
+class Sgd {
+ public:
+  Sgd(std::unique_ptr<LrSchedule> schedule, SgdOptions options = {});
+
+  // Applies one update: w -= lr(step) * (g + weight_decay * w), with
+  // momentum buffering when enabled. Does NOT zero the gradients.
+  void step(const std::vector<ParamRef>& params);
+
+  double current_lr() const { return schedule_->lr(step_count_); }
+  std::uint64_t step_count() const { return step_count_; }
+  void reset_step_count() { step_count_ = 0; }
+
+ private:
+  std::unique_ptr<LrSchedule> schedule_;
+  SgdOptions options_;
+  std::uint64_t step_count_ = 0;
+  std::vector<Tensor> momentum_buffers_;
+};
+
+// Adam (Kingma & Ba 2015) with bias-corrected first/second moments.
+// Provided for the substrate's completeness; the paper's analysis and all
+// figure benches use plain SGD.
+struct AdamOptions {
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;  // L2 on parameter values, added to gradients
+};
+
+class Adam {
+ public:
+  Adam(std::unique_ptr<LrSchedule> schedule, AdamOptions options = {});
+
+  // One update over the given parameters. Does NOT zero gradients.
+  void step(const std::vector<ParamRef>& params);
+
+  std::uint64_t step_count() const { return step_count_; }
+
+ private:
+  std::unique_ptr<LrSchedule> schedule_;
+  AdamOptions options_;
+  std::uint64_t step_count_ = 0;
+  std::vector<Tensor> first_moment_;
+  std::vector<Tensor> second_moment_;
+};
+
+}  // namespace fedms::nn

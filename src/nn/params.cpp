@@ -1,0 +1,93 @@
+#include "nn/params.h"
+
+#include <cstring>
+
+#include "core/contracts.h"
+
+namespace fedms::nn {
+
+namespace {
+
+std::vector<ParamRef> param_refs(Layer& model) {
+  std::vector<ParamRef> refs;
+  model.collect_params(refs);
+  return refs;
+}
+
+std::vector<Tensor*> buffer_refs(Layer& model) {
+  std::vector<Tensor*> refs;
+  model.collect_buffers(refs);
+  return refs;
+}
+
+}  // namespace
+
+std::size_t parameter_count(Layer& model) {
+  std::size_t n = 0;
+  for (const auto& ref : param_refs(model)) n += ref.value->numel();
+  return n;
+}
+
+std::size_t state_count(Layer& model) {
+  std::size_t n = parameter_count(model);
+  for (const auto* buf : buffer_refs(model)) n += buf->numel();
+  return n;
+}
+
+std::vector<float> flatten_params(Layer& model) {
+  std::vector<float> flat;
+  flat.reserve(parameter_count(model));
+  for (const auto& ref : param_refs(model)) {
+    const Tensor& t = *ref.value;
+    flat.insert(flat.end(), t.data(), t.data() + t.numel());
+  }
+  return flat;
+}
+
+void load_params(Layer& model, const std::vector<float>& flat) {
+  std::size_t offset = 0;
+  for (const auto& ref : param_refs(model)) {
+    Tensor& t = *ref.value;
+    FEDMS_EXPECTS(offset + t.numel() <= flat.size());
+    std::memcpy(t.data(), flat.data() + offset, sizeof(float) * t.numel());
+    offset += t.numel();
+  }
+  FEDMS_EXPECTS(offset == flat.size());
+}
+
+std::vector<float> flatten_grads(Layer& model) {
+  std::vector<float> flat;
+  flat.reserve(parameter_count(model));
+  for (const auto& ref : param_refs(model)) {
+    const Tensor& t = *ref.grad;
+    flat.insert(flat.end(), t.data(), t.data() + t.numel());
+  }
+  return flat;
+}
+
+std::vector<float> flatten_state(Layer& model) {
+  std::vector<float> flat = flatten_params(model);
+  flat.reserve(state_count(model));
+  for (const auto* buf : buffer_refs(model))
+    flat.insert(flat.end(), buf->data(), buf->data() + buf->numel());
+  return flat;
+}
+
+void load_state(Layer& model, const std::vector<float>& flat) {
+  std::size_t offset = 0;
+  for (const auto& ref : param_refs(model)) {
+    Tensor& t = *ref.value;
+    FEDMS_EXPECTS(offset + t.numel() <= flat.size());
+    std::memcpy(t.data(), flat.data() + offset, sizeof(float) * t.numel());
+    offset += t.numel();
+  }
+  for (Tensor* buf : buffer_refs(model)) {
+    FEDMS_EXPECTS(offset + buf->numel() <= flat.size());
+    std::memcpy(buf->data(), flat.data() + offset,
+                sizeof(float) * buf->numel());
+    offset += buf->numel();
+  }
+  FEDMS_EXPECTS(offset == flat.size());
+}
+
+}  // namespace fedms::nn

@@ -1,0 +1,34 @@
+// Flattening between a model's structured parameters and the flat ℝ^d
+// vector the federated-learning layer exchanges.
+//
+// The paper's algorithm and analysis operate on w ∈ ℝ^d; everything above
+// `src/nn` (aggregators, attacks, trimmed-mean filter, network payloads)
+// sees only `std::vector<float>`. `flatten_state`/`load_state` additionally
+// include model buffers (batch-norm running stats) so the uploaded payload
+// is the complete model, as in the paper's MobileNet setting.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedms::nn {
+
+// Total number of trainable scalars.
+std::size_t parameter_count(Layer& model);
+// Total number of scalars including buffers.
+std::size_t state_count(Layer& model);
+
+// Trainable parameters -> flat vector (layer order, tensor order).
+std::vector<float> flatten_params(Layer& model);
+// Flat vector -> trainable parameters. Size must match parameter_count.
+void load_params(Layer& model, const std::vector<float>& flat);
+
+// Gradients -> flat vector, same ordering as flatten_params.
+std::vector<float> flatten_grads(Layer& model);
+
+// Parameters followed by buffers.
+std::vector<float> flatten_state(Layer& model);
+void load_state(Layer& model, const std::vector<float>& flat);
+
+}  // namespace fedms::nn

@@ -1,0 +1,109 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+#include "tensor/conv.h"
+
+namespace fedms::nn {
+
+namespace {
+
+std::size_t pool_out(std::size_t in, std::size_t kernel,
+                     std::size_t stride) {
+  return tensor::conv_out_size(in, kernel, stride, /*padding=*/0);
+}
+
+}  // namespace
+
+MaxPool2d::MaxPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  FEDMS_EXPECTS(kernel > 0);
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+  FEDMS_EXPECTS(input.rank() == 4);
+  const std::size_t N = input.dim(0), C = input.dim(1), H = input.dim(2),
+                    W = input.dim(3);
+  const std::size_t Hout = pool_out(H, kernel_, stride_);
+  const std::size_t Wout = pool_out(W, kernel_, stride_);
+  cached_input_shape_ = input.shape();
+  Tensor out({N, C, Hout, Wout});
+  cached_argmax_.assign(out.numel(), 0);
+  std::size_t flat = 0;
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t c = 0; c < C; ++c)
+      for (std::size_t ho = 0; ho < Hout; ++ho)
+        for (std::size_t wo = 0; wo < Wout; ++wo, ++flat) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_index = 0;
+          for (std::size_t kh = 0; kh < kernel_; ++kh)
+            for (std::size_t kw = 0; kw < kernel_; ++kw) {
+              const std::size_t h = ho * stride_ + kh;
+              const std::size_t w = wo * stride_ + kw;
+              const float v = input.at(n, c, h, w);
+              if (v > best) {
+                best = v;
+                best_index = ((n * C + c) * H + h) * W + w;
+              }
+            }
+          out[flat] = best;
+          cached_argmax_[flat] = best_index;
+        }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  FEDMS_EXPECTS(!cached_input_shape_.empty());
+  FEDMS_EXPECTS(grad_output.numel() == cached_argmax_.size());
+  Tensor grad_input(cached_input_shape_);
+  for (std::size_t i = 0; i < grad_output.numel(); ++i)
+    grad_input[cached_argmax_[i]] += grad_output[i];
+  return grad_input;
+}
+
+AvgPool2d::AvgPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  FEDMS_EXPECTS(kernel > 0);
+}
+
+Tensor AvgPool2d::forward(const Tensor& input, bool /*training*/) {
+  FEDMS_EXPECTS(input.rank() == 4);
+  const std::size_t N = input.dim(0), C = input.dim(1), H = input.dim(2),
+                    W = input.dim(3);
+  const std::size_t Hout = pool_out(H, kernel_, stride_);
+  const std::size_t Wout = pool_out(W, kernel_, stride_);
+  cached_input_shape_ = input.shape();
+  Tensor out({N, C, Hout, Wout});
+  const float inv = 1.0f / float(kernel_ * kernel_);
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t c = 0; c < C; ++c)
+      for (std::size_t ho = 0; ho < Hout; ++ho)
+        for (std::size_t wo = 0; wo < Wout; ++wo) {
+          double acc = 0.0;
+          for (std::size_t kh = 0; kh < kernel_; ++kh)
+            for (std::size_t kw = 0; kw < kernel_; ++kw)
+              acc += input.at(n, c, ho * stride_ + kh, wo * stride_ + kw);
+          out.at(n, c, ho, wo) = static_cast<float>(acc) * inv;
+        }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  FEDMS_EXPECTS(!cached_input_shape_.empty());
+  FEDMS_EXPECTS(grad_output.rank() == 4);
+  Tensor grad_input(cached_input_shape_);
+  const std::size_t Hout = grad_output.dim(2), Wout = grad_output.dim(3);
+  const float inv = 1.0f / float(kernel_ * kernel_);
+  for (std::size_t n = 0; n < grad_output.dim(0); ++n)
+    for (std::size_t c = 0; c < grad_output.dim(1); ++c)
+      for (std::size_t ho = 0; ho < Hout; ++ho)
+        for (std::size_t wo = 0; wo < Wout; ++wo) {
+          const float g = grad_output.at(n, c, ho, wo) * inv;
+          for (std::size_t kh = 0; kh < kernel_; ++kh)
+            for (std::size_t kw = 0; kw < kernel_; ++kw)
+              grad_input.at(n, c, ho * stride_ + kh, wo * stride_ + kw) += g;
+        }
+  return grad_input;
+}
+
+}  // namespace fedms::nn

@@ -1,0 +1,40 @@
+// Spatial pooling layers (NCHW).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace fedms::nn {
+
+// Max pooling with square window; backward routes the gradient to the
+// argmax tap of each window (first on ties).
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t kernel, std::size_t stride = 0);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;  // 0 at construction means stride = kernel
+  tensor::Shape cached_input_shape_;
+  std::vector<std::size_t> cached_argmax_;  // flat input index per output
+};
+
+// Average pooling with square window; backward spreads uniformly.
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::size_t kernel, std::size_t stride = 0);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  tensor::Shape cached_input_shape_;
+};
+
+}  // namespace fedms::nn

@@ -1,0 +1,58 @@
+#include "nn/sequential.h"
+
+#include "tensor/ops.h"
+
+namespace fedms::nn {
+
+void Sequential::add(LayerPtr layer) {
+  FEDMS_EXPECTS(layer != nullptr);
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::collect_params(std::vector<ParamRef>& out) {
+  for (auto& layer : layers_) layer->collect_params(out);
+}
+
+void Sequential::collect_buffers(std::vector<Tensor*>& out) {
+  for (auto& layer : layers_) layer->collect_buffers(out);
+}
+
+Residual::Residual(LayerPtr inner) : inner_(std::move(inner)) {
+  FEDMS_EXPECTS(inner_ != nullptr);
+}
+
+Tensor Residual::forward(const Tensor& input, bool training) {
+  Tensor out = inner_->forward(input, training);
+  FEDMS_EXPECTS(out.same_shape(input));
+  tensor::add_inplace(out, input);
+  return out;
+}
+
+Tensor Residual::backward(const Tensor& grad_output) {
+  Tensor g = inner_->backward(grad_output);
+  tensor::add_inplace(g, grad_output);  // identity branch
+  return g;
+}
+
+void Residual::collect_params(std::vector<ParamRef>& out) {
+  inner_->collect_params(out);
+}
+
+void Residual::collect_buffers(std::vector<Tensor*>& out) {
+  inner_->collect_buffers(out);
+}
+
+}  // namespace fedms::nn

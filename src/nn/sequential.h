@@ -1,0 +1,56 @@
+// Layer composition: Sequential chains layers; Residual wraps an inner layer
+// with an identity skip connection (the shape-preserving case MobileNet V2's
+// inverted-residual blocks use when stride == 1 and channels match).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedms::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  void add(LayerPtr layer);
+
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    add(std::move(layer));
+    return ref;
+  }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  void collect_buffers(std::vector<Tensor*>& out) override;
+  std::string name() const override { return "Sequential"; }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+// y = inner(x) + x. The inner layer must preserve shape.
+class Residual final : public Layer {
+ public:
+  explicit Residual(LayerPtr inner);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  void collect_buffers(std::vector<Tensor*>& out) override;
+  std::string name() const override { return "Residual"; }
+
+ private:
+  LayerPtr inner_;
+};
+
+}  // namespace fedms::nn

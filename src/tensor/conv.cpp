@@ -1,0 +1,209 @@
+#include "tensor/conv.h"
+
+namespace fedms::tensor {
+
+std::size_t conv_out_size(std::size_t in, std::size_t kernel,
+                          std::size_t stride, std::size_t padding) {
+  FEDMS_EXPECTS(stride > 0);
+  FEDMS_EXPECTS(in + 2 * padding >= kernel);
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+namespace {
+
+// Shared bounds checking for the conv entry points.
+void check_conv_args(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, bool depthwise) {
+  FEDMS_EXPECTS(input.rank() == 4 && weight.rank() == 4);
+  if (depthwise) {
+    FEDMS_EXPECTS(weight.dim(1) == 1);
+    FEDMS_EXPECTS(weight.dim(0) == input.dim(1));
+  } else {
+    FEDMS_EXPECTS(weight.dim(1) == input.dim(1));
+  }
+  if (bias.numel() > 0)
+    FEDMS_EXPECTS(bias.rank() == 1 && bias.dim(0) == weight.dim(0));
+}
+
+}  // namespace
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec) {
+  check_conv_args(input, weight, bias, /*depthwise=*/false);
+  const std::size_t N = input.dim(0), Cin = input.dim(1), H = input.dim(2),
+                    W = input.dim(3);
+  const std::size_t Cout = weight.dim(0), KH = weight.dim(2),
+                    KW = weight.dim(3);
+  const std::size_t Hout = conv_out_size(H, KH, spec.stride, spec.padding);
+  const std::size_t Wout = conv_out_size(W, KW, spec.stride, spec.padding);
+  Tensor out({N, Cout, Hout, Wout});
+  const bool has_bias = bias.numel() > 0;
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t co = 0; co < Cout; ++co)
+      for (std::size_t ho = 0; ho < Hout; ++ho)
+        for (std::size_t wo = 0; wo < Wout; ++wo) {
+          double acc = has_bias ? bias[co] : 0.0;
+          for (std::size_t ci = 0; ci < Cin; ++ci)
+            for (std::size_t kh = 0; kh < KH; ++kh) {
+              const std::ptrdiff_t hi =
+                  std::ptrdiff_t(ho * spec.stride + kh) -
+                  std::ptrdiff_t(spec.padding);
+              if (hi < 0 || hi >= std::ptrdiff_t(H)) continue;
+              for (std::size_t kw = 0; kw < KW; ++kw) {
+                const std::ptrdiff_t wi =
+                    std::ptrdiff_t(wo * spec.stride + kw) -
+                    std::ptrdiff_t(spec.padding);
+                if (wi < 0 || wi >= std::ptrdiff_t(W)) continue;
+                acc += double(input.at(n, ci, std::size_t(hi),
+                                       std::size_t(wi))) *
+                       weight.at(co, ci, kh, kw);
+              }
+            }
+          out.at(n, co, ho, wo) = static_cast<float>(acc);
+        }
+  return out;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output,
+                            const Conv2dSpec& spec) {
+  FEDMS_EXPECTS(grad_output.rank() == 4);
+  const std::size_t N = input.dim(0), Cin = input.dim(1), H = input.dim(2),
+                    W = input.dim(3);
+  const std::size_t Cout = weight.dim(0), KH = weight.dim(2),
+                    KW = weight.dim(3);
+  const std::size_t Hout = grad_output.dim(2), Wout = grad_output.dim(3);
+  FEDMS_EXPECTS(grad_output.dim(0) == N && grad_output.dim(1) == Cout);
+
+  Conv2dGrads g{Tensor(input.shape()), Tensor(weight.shape()),
+                Tensor({Cout})};
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t co = 0; co < Cout; ++co)
+      for (std::size_t ho = 0; ho < Hout; ++ho)
+        for (std::size_t wo = 0; wo < Wout; ++wo) {
+          const float go = grad_output.at(n, co, ho, wo);
+          if (go == 0.0f) continue;
+          g.grad_bias[co] += go;
+          for (std::size_t ci = 0; ci < Cin; ++ci)
+            for (std::size_t kh = 0; kh < KH; ++kh) {
+              const std::ptrdiff_t hi =
+                  std::ptrdiff_t(ho * spec.stride + kh) -
+                  std::ptrdiff_t(spec.padding);
+              if (hi < 0 || hi >= std::ptrdiff_t(H)) continue;
+              for (std::size_t kw = 0; kw < KW; ++kw) {
+                const std::ptrdiff_t wi =
+                    std::ptrdiff_t(wo * spec.stride + kw) -
+                    std::ptrdiff_t(spec.padding);
+                if (wi < 0 || wi >= std::ptrdiff_t(W)) continue;
+                const std::size_t h = std::size_t(hi), w = std::size_t(wi);
+                g.grad_weight.at(co, ci, kh, kw) += go * input.at(n, ci, h, w);
+                g.grad_input.at(n, ci, h, w) += go * weight.at(co, ci, kh, kw);
+              }
+            }
+        }
+  return g;
+}
+
+Tensor depthwise_conv2d_forward(const Tensor& input, const Tensor& weight,
+                                const Tensor& bias, const Conv2dSpec& spec) {
+  check_conv_args(input, weight, bias, /*depthwise=*/true);
+  const std::size_t N = input.dim(0), C = input.dim(1), H = input.dim(2),
+                    W = input.dim(3);
+  const std::size_t KH = weight.dim(2), KW = weight.dim(3);
+  const std::size_t Hout = conv_out_size(H, KH, spec.stride, spec.padding);
+  const std::size_t Wout = conv_out_size(W, KW, spec.stride, spec.padding);
+  Tensor out({N, C, Hout, Wout});
+  const bool has_bias = bias.numel() > 0;
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t c = 0; c < C; ++c)
+      for (std::size_t ho = 0; ho < Hout; ++ho)
+        for (std::size_t wo = 0; wo < Wout; ++wo) {
+          double acc = has_bias ? bias[c] : 0.0;
+          for (std::size_t kh = 0; kh < KH; ++kh) {
+            const std::ptrdiff_t hi = std::ptrdiff_t(ho * spec.stride + kh) -
+                                      std::ptrdiff_t(spec.padding);
+            if (hi < 0 || hi >= std::ptrdiff_t(H)) continue;
+            for (std::size_t kw = 0; kw < KW; ++kw) {
+              const std::ptrdiff_t wi = std::ptrdiff_t(wo * spec.stride + kw) -
+                                        std::ptrdiff_t(spec.padding);
+              if (wi < 0 || wi >= std::ptrdiff_t(W)) continue;
+              acc += double(input.at(n, c, std::size_t(hi), std::size_t(wi))) *
+                     weight.at(c, 0, kh, kw);
+            }
+          }
+          out.at(n, c, ho, wo) = static_cast<float>(acc);
+        }
+  return out;
+}
+
+Conv2dGrads depthwise_conv2d_backward(const Tensor& input,
+                                      const Tensor& weight,
+                                      const Tensor& grad_output,
+                                      const Conv2dSpec& spec) {
+  FEDMS_EXPECTS(grad_output.rank() == 4);
+  const std::size_t N = input.dim(0), C = input.dim(1), H = input.dim(2),
+                    W = input.dim(3);
+  const std::size_t KH = weight.dim(2), KW = weight.dim(3);
+  const std::size_t Hout = grad_output.dim(2), Wout = grad_output.dim(3);
+  FEDMS_EXPECTS(grad_output.dim(0) == N && grad_output.dim(1) == C);
+
+  Conv2dGrads g{Tensor(input.shape()), Tensor(weight.shape()), Tensor({C})};
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t c = 0; c < C; ++c)
+      for (std::size_t ho = 0; ho < Hout; ++ho)
+        for (std::size_t wo = 0; wo < Wout; ++wo) {
+          const float go = grad_output.at(n, c, ho, wo);
+          if (go == 0.0f) continue;
+          g.grad_bias[c] += go;
+          for (std::size_t kh = 0; kh < KH; ++kh) {
+            const std::ptrdiff_t hi = std::ptrdiff_t(ho * spec.stride + kh) -
+                                      std::ptrdiff_t(spec.padding);
+            if (hi < 0 || hi >= std::ptrdiff_t(H)) continue;
+            for (std::size_t kw = 0; kw < KW; ++kw) {
+              const std::ptrdiff_t wi = std::ptrdiff_t(wo * spec.stride + kw) -
+                                        std::ptrdiff_t(spec.padding);
+              if (wi < 0 || wi >= std::ptrdiff_t(W)) continue;
+              const std::size_t h = std::size_t(hi), w = std::size_t(wi);
+              g.grad_weight.at(c, 0, kh, kw) += go * input.at(n, c, h, w);
+              g.grad_input.at(n, c, h, w) += go * weight.at(c, 0, kh, kw);
+            }
+          }
+        }
+  return g;
+}
+
+Tensor global_avg_pool_forward(const Tensor& input) {
+  FEDMS_EXPECTS(input.rank() == 4);
+  const std::size_t N = input.dim(0), C = input.dim(1), H = input.dim(2),
+                    W = input.dim(3);
+  FEDMS_EXPECTS(H > 0 && W > 0);
+  Tensor out({N, C});
+  const double inv = 1.0 / double(H * W);
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t c = 0; c < C; ++c) {
+      double acc = 0.0;
+      for (std::size_t h = 0; h < H; ++h)
+        for (std::size_t w = 0; w < W; ++w) acc += input.at(n, c, h, w);
+      out.at(n, c) = static_cast<float>(acc * inv);
+    }
+  return out;
+}
+
+Tensor global_avg_pool_backward(const Tensor& grad_output,
+                                const Shape& input_shape) {
+  FEDMS_EXPECTS(grad_output.rank() == 2 && input_shape.size() == 4);
+  const std::size_t N = input_shape[0], C = input_shape[1], H = input_shape[2],
+                    W = input_shape[3];
+  FEDMS_EXPECTS(grad_output.dim(0) == N && grad_output.dim(1) == C);
+  Tensor g(input_shape);
+  const float inv = 1.0f / float(H * W);
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t c = 0; c < C; ++c) {
+      const float v = grad_output.at(n, c) * inv;
+      for (std::size_t h = 0; h < H; ++h)
+        for (std::size_t w = 0; w < W; ++w) g.at(n, c, h, w) = v;
+    }
+  return g;
+}
+
+}  // namespace fedms::tensor

@@ -1,0 +1,51 @@
+// 2-D convolution kernels (NCHW activations, OIHW weights) with explicit
+// backward passes, plus depthwise convolution and global average pooling —
+// the building blocks of the MobileNet-V2-style model in `src/nn`.
+//
+// Implementations are direct (non-im2col) loops: for the toy image sizes the
+// simulation trains on (≤ 16x16), directness wins on clarity and is fast
+// enough, and the explicit index arithmetic is what the gradient-check tests
+// in tests/tensor_conv_test.cpp validate.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace fedms::tensor {
+
+struct Conv2dSpec {
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+};
+
+// Output spatial size for one axis.
+std::size_t conv_out_size(std::size_t in, std::size_t kernel,
+                          std::size_t stride, std::size_t padding);
+
+// input:  (N, Cin, H, W), weight: (Cout, Cin, KH, KW), bias: (Cout) or empty.
+// Returns (N, Cout, Hout, Wout).
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec);
+
+// Gradients of conv2d. grad_output: (N, Cout, Hout, Wout).
+struct Conv2dGrads {
+  Tensor grad_input;
+  Tensor grad_weight;
+  Tensor grad_bias;
+};
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output, const Conv2dSpec& spec);
+
+// Depthwise conv: weight (C, 1, KH, KW); each channel convolved separately.
+Tensor depthwise_conv2d_forward(const Tensor& input, const Tensor& weight,
+                                const Tensor& bias, const Conv2dSpec& spec);
+Conv2dGrads depthwise_conv2d_backward(const Tensor& input,
+                                      const Tensor& weight,
+                                      const Tensor& grad_output,
+                                      const Conv2dSpec& spec);
+
+// (N, C, H, W) -> (N, C): mean over the spatial extent.
+Tensor global_avg_pool_forward(const Tensor& input);
+// Spreads grad (N, C) back uniformly over (N, C, H, W).
+Tensor global_avg_pool_backward(const Tensor& grad_output, const Shape& input_shape);
+
+}  // namespace fedms::tensor

@@ -1,0 +1,151 @@
+#include "tensor/conv_im2col.h"
+
+#include "tensor/ops.h"
+
+namespace fedms::tensor {
+
+Tensor im2col(const Tensor& input, std::size_t batch_index,
+              std::size_t kernel_h, std::size_t kernel_w,
+              const Conv2dSpec& spec) {
+  FEDMS_EXPECTS(input.rank() == 4);
+  FEDMS_EXPECTS(batch_index < input.dim(0));
+  const std::size_t C = input.dim(1), H = input.dim(2), W = input.dim(3);
+  const std::size_t Hout = conv_out_size(H, kernel_h, spec.stride,
+                                         spec.padding);
+  const std::size_t Wout = conv_out_size(W, kernel_w, spec.stride,
+                                         spec.padding);
+  Tensor columns({C * kernel_h * kernel_w, Hout * Wout});
+  float* out = columns.data();
+  const std::size_t out_cols = Hout * Wout;
+  for (std::size_t c = 0; c < C; ++c)
+    for (std::size_t kh = 0; kh < kernel_h; ++kh)
+      for (std::size_t kw = 0; kw < kernel_w; ++kw) {
+        const std::size_t row = (c * kernel_h + kh) * kernel_w + kw;
+        float* dst = out + row * out_cols;
+        for (std::size_t ho = 0; ho < Hout; ++ho) {
+          const std::ptrdiff_t hi = std::ptrdiff_t(ho * spec.stride + kh) -
+                                    std::ptrdiff_t(spec.padding);
+          for (std::size_t wo = 0; wo < Wout; ++wo) {
+            const std::ptrdiff_t wi =
+                std::ptrdiff_t(wo * spec.stride + kw) -
+                std::ptrdiff_t(spec.padding);
+            const bool inside = hi >= 0 && hi < std::ptrdiff_t(H) &&
+                                wi >= 0 && wi < std::ptrdiff_t(W);
+            dst[ho * Wout + wo] =
+                inside ? input.at(batch_index, c, std::size_t(hi),
+                                  std::size_t(wi))
+                       : 0.0f;
+          }
+        }
+      }
+  return columns;
+}
+
+void col2im_accumulate(const Tensor& columns, std::size_t kernel_h,
+                       std::size_t kernel_w, const Conv2dSpec& spec,
+                       Tensor& image_grad, std::size_t batch_index) {
+  FEDMS_EXPECTS(image_grad.rank() == 4);
+  FEDMS_EXPECTS(batch_index < image_grad.dim(0));
+  const std::size_t C = image_grad.dim(1), H = image_grad.dim(2),
+                    W = image_grad.dim(3);
+  const std::size_t Hout = conv_out_size(H, kernel_h, spec.stride,
+                                         spec.padding);
+  const std::size_t Wout = conv_out_size(W, kernel_w, spec.stride,
+                                         spec.padding);
+  FEDMS_EXPECTS(columns.rank() == 2 &&
+                columns.dim(0) == C * kernel_h * kernel_w &&
+                columns.dim(1) == Hout * Wout);
+  const float* src = columns.data();
+  for (std::size_t c = 0; c < C; ++c)
+    for (std::size_t kh = 0; kh < kernel_h; ++kh)
+      for (std::size_t kw = 0; kw < kernel_w; ++kw) {
+        const std::size_t row = (c * kernel_h + kh) * kernel_w + kw;
+        const float* column = src + row * (Hout * Wout);
+        for (std::size_t ho = 0; ho < Hout; ++ho) {
+          const std::ptrdiff_t hi = std::ptrdiff_t(ho * spec.stride + kh) -
+                                    std::ptrdiff_t(spec.padding);
+          if (hi < 0 || hi >= std::ptrdiff_t(H)) continue;
+          for (std::size_t wo = 0; wo < Wout; ++wo) {
+            const std::ptrdiff_t wi =
+                std::ptrdiff_t(wo * spec.stride + kw) -
+                std::ptrdiff_t(spec.padding);
+            if (wi < 0 || wi >= std::ptrdiff_t(W)) continue;
+            image_grad.at(batch_index, c, std::size_t(hi),
+                          std::size_t(wi)) += column[ho * Wout + wo];
+          }
+        }
+      }
+}
+
+Tensor conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
+                             const Tensor& bias, const Conv2dSpec& spec) {
+  FEDMS_EXPECTS(input.rank() == 4 && weight.rank() == 4);
+  FEDMS_EXPECTS(weight.dim(1) == input.dim(1));
+  const std::size_t N = input.dim(0);
+  const std::size_t Cout = weight.dim(0), KH = weight.dim(2),
+                    KW = weight.dim(3);
+  const std::size_t Hout =
+      conv_out_size(input.dim(2), KH, spec.stride, spec.padding);
+  const std::size_t Wout =
+      conv_out_size(input.dim(3), KW, spec.stride, spec.padding);
+  const bool has_bias = bias.numel() > 0;
+  if (has_bias) FEDMS_EXPECTS(bias.rank() == 1 && bias.dim(0) == Cout);
+
+  // Weights viewed as (Cout x Cin*KH*KW).
+  const Tensor weight_matrix =
+      weight.reshaped({Cout, weight.numel() / Cout});
+  Tensor output({N, Cout, Hout, Wout});
+  for (std::size_t n = 0; n < N; ++n) {
+    const Tensor columns = im2col(input, n, KH, KW, spec);
+    Tensor result = matmul(weight_matrix, columns);  // (Cout x Hout*Wout)
+    float* dst = output.data() + n * Cout * Hout * Wout;
+    const float* src = result.data();
+    for (std::size_t co = 0; co < Cout; ++co) {
+      const float b = has_bias ? bias[co] : 0.0f;
+      for (std::size_t i = 0; i < Hout * Wout; ++i)
+        dst[co * Hout * Wout + i] = src[co * Hout * Wout + i] + b;
+    }
+  }
+  return output;
+}
+
+Conv2dGrads conv2d_backward_im2col(const Tensor& input, const Tensor& weight,
+                                   const Tensor& grad_output,
+                                   const Conv2dSpec& spec) {
+  FEDMS_EXPECTS(input.rank() == 4 && weight.rank() == 4 &&
+                grad_output.rank() == 4);
+  const std::size_t N = input.dim(0);
+  const std::size_t Cout = weight.dim(0), KH = weight.dim(2),
+                    KW = weight.dim(3);
+  const std::size_t Hout = grad_output.dim(2), Wout = grad_output.dim(3);
+  FEDMS_EXPECTS(grad_output.dim(0) == N && grad_output.dim(1) == Cout);
+
+  const std::size_t patch = weight.numel() / Cout;  // Cin*KH*KW
+  const Tensor weight_matrix = weight.reshaped({Cout, patch});
+  Conv2dGrads grads{Tensor(input.shape()), Tensor(weight.shape()),
+                    Tensor({Cout})};
+  Tensor grad_weight_matrix({Cout, patch});
+  for (std::size_t n = 0; n < N; ++n) {
+    // dY for this image as a (Cout x Hout*Wout) matrix.
+    Tensor grad_matrix({Cout, Hout * Wout});
+    const float* src = grad_output.data() + n * Cout * Hout * Wout;
+    float* gm = grad_matrix.data();
+    for (std::size_t i = 0; i < Cout * Hout * Wout; ++i) gm[i] = src[i];
+
+    const Tensor columns = im2col(input, n, KH, KW, spec);
+    // dW += dY * columns^T ; dColumns = W^T * dY ; db += row sums of dY.
+    add_inplace(grad_weight_matrix, matmul_transB(grad_matrix, columns));
+    const Tensor grad_columns = matmul_transA(weight_matrix, grad_matrix);
+    col2im_accumulate(grad_columns, KH, KW, spec, grads.grad_input, n);
+    for (std::size_t co = 0; co < Cout; ++co) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < Hout * Wout; ++i)
+        acc += gm[co * Hout * Wout + i];
+      grads.grad_bias[co] += static_cast<float>(acc);
+    }
+  }
+  grads.grad_weight = grad_weight_matrix.reshaped(weight.shape());
+  return grads;
+}
+
+}  // namespace fedms::tensor

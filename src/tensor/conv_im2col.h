@@ -1,0 +1,38 @@
+// im2col-based convolution: lowers conv2d onto matrix multiplication.
+//
+// The direct loops in tensor/conv.h are the readable reference used by the
+// gradient-check tests; this is the throughput path — im2col materializes
+// each receptive field as a matrix column so the whole convolution becomes
+// one (Cout × Cin·KH·KW) · (Cin·KH·KW × Hout·Wout) GEMM per image, which
+// the cache-blocked matmul executes far faster than scattered direct loops.
+// `conv2d_forward_im2col` / `conv2d_backward_im2col` are drop-in
+// equivalents of their direct counterparts (equivalence is tested to
+// float tolerance in tests/tensor_im2col_test.cpp), and `nn::Conv2d`
+// selects this backend for kernels larger than 1×1.
+#pragma once
+
+#include "tensor/conv.h"
+#include "tensor/tensor.h"
+
+namespace fedms::tensor {
+
+// Lowers one image (C, H, W view into `input` at batch index n) to a
+// (C*KH*KW) x (Hout*Wout) matrix. Out-of-bounds (padding) taps are 0.
+Tensor im2col(const Tensor& input, std::size_t batch_index,
+              std::size_t kernel_h, std::size_t kernel_w,
+              const Conv2dSpec& spec);
+
+// Inverse scatter-add of im2col: accumulates a (C*KH*KW) x (Hout*Wout)
+// matrix of column gradients back into a (C, H, W) image gradient.
+void col2im_accumulate(const Tensor& columns, std::size_t kernel_h,
+                       std::size_t kernel_w, const Conv2dSpec& spec,
+                       Tensor& image_grad, std::size_t batch_index);
+
+// Same contracts as conv2d_forward / conv2d_backward in tensor/conv.h.
+Tensor conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
+                             const Tensor& bias, const Conv2dSpec& spec);
+Conv2dGrads conv2d_backward_im2col(const Tensor& input, const Tensor& weight,
+                                   const Tensor& grad_output,
+                                   const Conv2dSpec& spec);
+
+}  // namespace fedms::tensor

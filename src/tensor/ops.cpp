@@ -1,0 +1,268 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedms::tensor {
+
+namespace {
+
+void expect_same_shape(const Tensor& a, const Tensor& b) {
+  FEDMS_EXPECTS(a.same_shape(b));
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  expect_same_shape(a, b);
+  Tensor out = a;
+  add_inplace(out, b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  expect_same_shape(a, b);
+  Tensor out = a;
+  sub_inplace(out, b);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  expect_same_shape(a, b);
+  Tensor out = a;
+  mul_inplace(out, b);
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  scale_inplace(out, s);
+  return out;
+}
+
+void add_inplace(Tensor& dst, const Tensor& src) {
+  expect_same_shape(dst, src);
+  float* d = dst.data();
+  const float* s = src.data();
+  const std::size_t n = dst.numel();
+  for (std::size_t i = 0; i < n; ++i) d[i] += s[i];
+}
+
+void sub_inplace(Tensor& dst, const Tensor& src) {
+  expect_same_shape(dst, src);
+  float* d = dst.data();
+  const float* s = src.data();
+  const std::size_t n = dst.numel();
+  for (std::size_t i = 0; i < n; ++i) d[i] -= s[i];
+}
+
+void mul_inplace(Tensor& dst, const Tensor& src) {
+  expect_same_shape(dst, src);
+  float* d = dst.data();
+  const float* s = src.data();
+  const std::size_t n = dst.numel();
+  for (std::size_t i = 0; i < n; ++i) d[i] *= s[i];
+}
+
+void scale_inplace(Tensor& dst, float s) {
+  float* d = dst.data();
+  const std::size_t n = dst.numel();
+  for (std::size_t i = 0; i < n; ++i) d[i] *= s;
+}
+
+void axpy(Tensor& dst, float alpha, const Tensor& src) {
+  expect_same_shape(dst, src);
+  float* d = dst.data();
+  const float* s = src.data();
+  const std::size_t n = dst.numel();
+  for (std::size_t i = 0; i < n; ++i) d[i] += alpha * s[i];
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  FEDMS_EXPECTS(a.rank() == 2 && b.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  FEDMS_EXPECTS(b.dim(0) == k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: the inner j-loop streams both B's row and C's row.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transA(const Tensor& a, const Tensor& b) {
+  FEDMS_EXPECTS(a.rank() == 2 && b.rank() == 2);
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  FEDMS_EXPECTS(b.dim(0) == k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transB(const Tensor& a, const Tensor& b) {
+  FEDMS_EXPECTS(a.rank() == 2 && b.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  FEDMS_EXPECTS(b.dim(1) == k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  FEDMS_EXPECTS(a.rank() == 2);
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  return t;
+}
+
+void add_bias_rows(Tensor& matrix, const Tensor& bias) {
+  FEDMS_EXPECTS(matrix.rank() == 2 && bias.rank() == 1);
+  FEDMS_EXPECTS(matrix.dim(1) == bias.dim(0));
+  const std::size_t m = matrix.dim(0), n = matrix.dim(1);
+  float* p = matrix.data();
+  const float* b = bias.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) p[i * n + j] += b[j];
+}
+
+Tensor sum_rows(const Tensor& matrix) {
+  FEDMS_EXPECTS(matrix.rank() == 2);
+  const std::size_t m = matrix.dim(0), n = matrix.dim(1);
+  Tensor out({n});
+  const float* p = matrix.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) out[j] += p[i * n + j];
+  return out;
+}
+
+double sum(const Tensor& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) acc += a[i];
+  return acc;
+}
+
+double mean(const Tensor& a) {
+  FEDMS_EXPECTS(a.numel() > 0);
+  return sum(a) / static_cast<double>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  FEDMS_EXPECTS(a.numel() > 0);
+  return *std::max_element(a.data(), a.data() + a.numel());
+}
+
+float min_value(const Tensor& a) {
+  FEDMS_EXPECTS(a.numel() > 0);
+  return *std::min_element(a.data(), a.data() + a.numel());
+}
+
+std::size_t argmax(const Tensor& a) {
+  FEDMS_EXPECTS(a.numel() > 0);
+  return static_cast<std::size_t>(
+      std::max_element(a.data(), a.data() + a.numel()) - a.data());
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& a) {
+  FEDMS_EXPECTS(a.rank() == 2);
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  FEDMS_EXPECTS(n > 0);
+  std::vector<std::size_t> out(m);
+  const float* p = a.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = p + i * n;
+    out[i] = static_cast<std::size_t>(std::max_element(row, row + n) - row);
+  }
+  return out;
+}
+
+double squared_l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) acc += double(p[i]) * p[i];
+  return acc;
+}
+
+double l2_norm(const Tensor& a) { return std::sqrt(squared_l2_norm(a)); }
+
+double squared_l2_distance(const Tensor& a, const Tensor& b) {
+  expect_same_shape(a, b);
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double d = double(pa[i]) - pb[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  expect_same_shape(a, b);
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) acc += double(pa[i]) * pb[i];
+  return acc;
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out = a;
+  float* p = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) p[i] = std::max(0.0f, p[i]);
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  FEDMS_EXPECTS(logits.rank() == 2);
+  const std::size_t m = logits.dim(0), n = logits.dim(1);
+  Tensor out = logits;
+  float* p = out.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = p + i * n;
+    const float mx = *std::max_element(row, row + n);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < n; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+}  // namespace fedms::tensor

@@ -1,0 +1,67 @@
+// Element-wise, linear-algebra, and reduction kernels over `Tensor`.
+//
+// Free functions (Core Guidelines C.4: make a function a member only if it
+// needs access to the representation). All binary ops require identical
+// shapes except where a documented broadcast applies. In-place variants take
+// the destination first and are used on hot paths (optimizer updates,
+// aggregation) to avoid allocation churn.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedms::tensor {
+
+// ---- element-wise (allocating) ----
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);  // Hadamard product
+Tensor scale(const Tensor& a, float s);
+
+// ---- element-wise (in place) ----
+void add_inplace(Tensor& dst, const Tensor& src);
+void sub_inplace(Tensor& dst, const Tensor& src);
+void mul_inplace(Tensor& dst, const Tensor& src);
+void scale_inplace(Tensor& dst, float s);
+// dst += alpha * src (BLAS axpy), the optimizer's workhorse.
+void axpy(Tensor& dst, float alpha, const Tensor& src);
+
+// ---- matrix ops ----
+// C = A(mxk) * B(kxn). Plain triple loop with k-inner blocking; adequate for
+// the model sizes simulated here.
+Tensor matmul(const Tensor& a, const Tensor& b);
+// C = A^T * B where A is (k x m), B is (k x n).
+Tensor matmul_transA(const Tensor& a, const Tensor& b);
+// C = A * B^T where A is (m x k), B is (n x k).
+Tensor matmul_transB(const Tensor& a, const Tensor& b);
+Tensor transpose(const Tensor& a);  // 2-D only
+
+// Adds a length-n bias row-wise to an (m x n) matrix.
+void add_bias_rows(Tensor& matrix, const Tensor& bias);
+// Sums an (m x n) matrix over rows into a length-n vector.
+Tensor sum_rows(const Tensor& matrix);
+
+// ---- reductions ----
+double sum(const Tensor& a);
+double mean(const Tensor& a);
+float max_value(const Tensor& a);
+float min_value(const Tensor& a);
+// Index of the max element of a 1-D tensor (first on ties).
+std::size_t argmax(const Tensor& a);
+// Row-wise argmax of a 2-D tensor.
+std::vector<std::size_t> argmax_rows(const Tensor& a);
+// L2 norm (sqrt of sum of squares, accumulated in double).
+double l2_norm(const Tensor& a);
+double squared_l2_norm(const Tensor& a);
+// Squared L2 distance between same-shaped tensors.
+double squared_l2_distance(const Tensor& a, const Tensor& b);
+double dot(const Tensor& a, const Tensor& b);
+
+// ---- nonlinearities used by tests (layer classes own their backward) ----
+Tensor relu(const Tensor& a);
+// Row-wise numerically-stable softmax of a 2-D (batch x classes) tensor.
+Tensor softmax_rows(const Tensor& logits);
+
+}  // namespace fedms::tensor

@@ -1,0 +1,90 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace fedms::tensor {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'M', 'T', '0'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("fedms: truncated tensor stream");
+  return v;
+}
+
+}  // namespace
+
+std::size_t serialized_size(const Shape& shape) {
+  return sizeof(kMagic) + sizeof(std::uint64_t) * (1 + shape.size()) +
+         sizeof(float) * shape_numel(shape);
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  os.write(kMagic, sizeof kMagic);
+  write_u64(os, t.rank());
+  for (const std::size_t d : t.shape()) write_u64(os, d);
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(sizeof(float) * t.numel()));
+}
+
+Tensor read_tensor(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("fedms: bad tensor magic");
+  const std::uint64_t rank = read_u64(is);
+  if (rank > 8) throw std::runtime_error("fedms: implausible tensor rank");
+  Shape shape(rank);
+  std::size_t numel = 1;
+  for (auto& d : shape) {
+    d = read_u64(is);
+    if (d != 0 && numel > (std::size_t(1) << 32) / d)
+      throw std::runtime_error("fedms: implausible tensor size");
+    numel *= d;
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(sizeof(float) * t.numel()));
+  if (!is) throw std::runtime_error("fedms: truncated tensor data");
+  return t;
+}
+
+void save_tensor(const std::string& path, const Tensor& t) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("fedms: cannot open for write: " + path);
+  write_tensor(os, t);
+}
+
+Tensor load_tensor(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("fedms: cannot open for read: " + path);
+  return read_tensor(is);
+}
+
+void write_floats(std::ostream& os, const std::vector<float>& values) {
+  write_u64(os, values.size());
+  os.write(reinterpret_cast<const char*>(values.data()),
+           static_cast<std::streamsize>(sizeof(float) * values.size()));
+}
+
+std::vector<float> read_floats(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  std::vector<float> values(n);
+  is.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(sizeof(float) * n));
+  if (!is) throw std::runtime_error("fedms: truncated float payload");
+  return values;
+}
+
+}  // namespace fedms::tensor

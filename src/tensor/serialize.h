@@ -1,0 +1,34 @@
+// Binary (de)serialization of tensors and raw float vectors.
+//
+// Two uses: (1) the simulated network (`src/net`) measures message sizes by
+// serializing the actual payload, so communication-cost numbers reflect real
+// bytes-on-the-wire; (2) examples can checkpoint trained models.
+//
+// Format (little-endian, as on every platform this targets):
+//   magic "FMT0" | u64 rank | u64 dims[rank] | f32 data[numel]
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedms::tensor {
+
+// Serialized byte size of a tensor with the given shape.
+std::size_t serialized_size(const Shape& shape);
+
+void write_tensor(std::ostream& os, const Tensor& t);
+// Throws std::runtime_error on malformed input.
+Tensor read_tensor(std::istream& is);
+
+void save_tensor(const std::string& path, const Tensor& t);
+Tensor load_tensor(const std::string& path);
+
+// Flat float payloads (model uploads). Size = 8 + 4*n bytes.
+void write_floats(std::ostream& os, const std::vector<float>& values);
+std::vector<float> read_floats(std::istream& is);
+
+}  // namespace fedms::tensor

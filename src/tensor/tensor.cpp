@@ -1,0 +1,96 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace fedms::tensor {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) n *= d;
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << 'x';
+    os << shape[i];
+  }
+  if (shape.empty()) os << "scalar";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  FEDMS_EXPECTS(data_.size() == shape_numel(shape_));
+}
+
+Tensor Tensor::randn(Shape shape, core::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_)
+    v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, core::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::from_list(std::initializer_list<float> values) {
+  return Tensor({values.size()}, std::vector<float>(values));
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  FEDMS_EXPECTS(rank() == 2 && i < shape_[0] && j < shape_[1]);
+  return data_[i * shape_[1] + j];
+}
+
+float Tensor::at(std::size_t i, std::size_t j) const {
+  FEDMS_EXPECTS(rank() == 2 && i < shape_[0] && j < shape_[1]);
+  return data_[i * shape_[1] + j];
+}
+
+float& Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w) {
+  FEDMS_EXPECTS(rank() == 4 && n < shape_[0] && c < shape_[1] &&
+                h < shape_[2] && w < shape_[3]);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+                 std::size_t w) const {
+  FEDMS_EXPECTS(rank() == 4 && n < shape_[0] && c < shape_[1] &&
+                h < shape_[2] && w < shape_[3]);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  FEDMS_EXPECTS(shape_numel(new_shape) == numel());
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::reshape(Shape new_shape) {
+  FEDMS_EXPECTS(shape_numel(new_shape) == numel());
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+bool Tensor::all_finite() const {
+  for (const float v : data_)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+}  // namespace fedms::tensor

@@ -1,0 +1,102 @@
+// Dense row-major float32 tensor with value semantics.
+//
+// This is the numerical substrate for the from-scratch neural-network layer
+// library (`src/nn`). Design choices, in Core-Guidelines spirit:
+//   * value type (Rule C.20): copy/move are the compiler defaults over
+//     `std::vector<float>`, so tensors are regular and cheap to move;
+//   * always contiguous row-major — no stride views. The models here are
+//     small (≤ a few hundred k parameters); correctness and simplicity beat
+//     zero-copy slicing, and `reshape` is free;
+//   * float32 storage to match the federated-learning payloads being
+//     simulated (model uploads are float32 in the paper's setting), with
+//     double accumulation inside reductions for accuracy.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/contracts.h"
+#include "core/rng.h"
+
+namespace fedms::tensor {
+
+using Shape = std::vector<std::size_t>;
+
+// Number of elements of a shape (product of dims; empty shape -> 1 scalar).
+std::size_t shape_numel(const Shape& shape);
+// "2x3x4" textual form for diagnostics.
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  // Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+  // Tensor adopting the given flat data (data.size() must equal numel).
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+  // I.i.d. N(mean, stddev^2) entries.
+  static Tensor randn(Shape shape, core::Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  // I.i.d. U[lo, hi) entries.
+  static Tensor rand_uniform(Shape shape, core::Rng& rng, float lo,
+                             float hi);
+  // 1-D tensor from a list (convenience for tests).
+  static Tensor from_list(std::initializer_list<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t axis) const {
+    FEDMS_EXPECTS(axis < shape_.size());
+    return shape_[axis];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](std::size_t flat_index) {
+    FEDMS_EXPECTS(flat_index < data_.size());
+    return data_[flat_index];
+  }
+  float operator[](std::size_t flat_index) const {
+    FEDMS_EXPECTS(flat_index < data_.size());
+    return data_[flat_index];
+  }
+
+  // Multi-dimensional access; the overloads cover the ranks used in the
+  // library (2-D matrices, 4-D NCHW activations).
+  float& at(std::size_t i, std::size_t j);
+  float at(std::size_t i, std::size_t j) const;
+  float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  // Returns a tensor sharing no storage with a new shape of equal numel.
+  Tensor reshaped(Shape new_shape) const;
+  // In-place reshape (numel must match).
+  void reshape(Shape new_shape);
+
+  void fill(float value);
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // True if every element is finite (no NaN/Inf) — used by failure-injection
+  // tests and the NaN-poisoning attack handling.
+  bool all_finite() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fedms::tensor

@@ -1,0 +1,227 @@
+#include "byz/attacks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedms::byz {
+namespace {
+
+struct Fixture {
+  std::vector<float> aggregate = {1.0f, -2.0f, 3.0f, 0.5f};
+  std::vector<std::vector<float>> history;
+  std::vector<float> initial = {0.0f, 0.0f, 0.0f, 0.0f};
+  core::Rng rng{7};
+
+  AttackContext context(std::uint64_t round = 3, std::size_t server = 0,
+                        std::size_t client = 0) {
+    AttackContext ctx;
+    ctx.round = round;
+    ctx.server_index = server;
+    ctx.recipient_client = client;
+    ctx.honest_aggregate = &aggregate;
+    ctx.history = &history;
+    ctx.initial_model = &initial;
+    return ctx;
+  }
+};
+
+TEST(Benign, IdentityPassThrough) {
+  Fixture f;
+  BenignAttack attack;
+  EXPECT_EQ(attack.tamper(f.context(), f.rng), f.aggregate);
+}
+
+TEST(Noise, ZeroMeanPerturbationWithConfiguredStddev) {
+  Fixture f;
+  NoiseAttack attack(0.5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto out = attack.tamper(f.context(), f.rng);
+    ASSERT_EQ(out.size(), f.aggregate.size());
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      const double d = double(out[j]) - f.aggregate[j];
+      sum += d;
+      sq += d * d;
+    }
+  }
+  const double count = double(n) * double(f.aggregate.size());
+  EXPECT_NEAR(sum / count, 0.0, 0.02);
+  EXPECT_NEAR(sq / count, 0.25, 0.02);
+}
+
+TEST(Random, ReplacesWithinInterval) {
+  Fixture f;
+  RandomAttack attack;  // paper default [-10, 10]
+  for (int i = 0; i < 200; ++i) {
+    const auto out = attack.tamper(f.context(), f.rng);
+    for (const float v : out) {
+      EXPECT_GE(v, -10.0f);
+      EXPECT_LE(v, 10.0f);
+    }
+  }
+}
+
+TEST(Random, IgnoresAggregateContent) {
+  Fixture f;
+  RandomAttack attack(-1.0, 1.0);
+  // Statistically: outputs should not cluster near the honest aggregate's
+  // coordinate 2 value of 3.0, which is outside [-1, 1].
+  const auto out = attack.tamper(f.context(), f.rng);
+  EXPECT_LE(out[2], 1.0f);
+}
+
+TEST(Safeguard, ReversesCumulativeProgress) {
+  Fixture f;
+  SafeguardAttack attack(/*gamma=*/0.5, /*amplification=*/1.0);
+  // anchor w0 = 0: tampered = a - 0.5*(a - 0) = 0.5*a.
+  const auto out = attack.tamper(f.context(), f.rng);
+  for (std::size_t j = 0; j < out.size(); ++j)
+    EXPECT_NEAR(out[j], 0.5f * f.aggregate[j], 1e-6f);
+}
+
+TEST(Safeguard, AmplificationScalesReversal) {
+  Fixture f;
+  SafeguardAttack attack(0.5, 4.0);
+  // tampered = a - 2*(a - 0) = -a.
+  const auto out = attack.tamper(f.context(), f.rng);
+  for (std::size_t j = 0; j < out.size(); ++j)
+    EXPECT_NEAR(out[j], -f.aggregate[j], 1e-6f);
+}
+
+TEST(Backward, ReplaysLaggedAggregate) {
+  Fixture f;
+  f.history = {{10.0f, 10, 10, 10}, {20.0f, 20, 20, 20},
+               {30.0f, 30, 30, 30}};
+  BackwardAttack attack(/*lag=*/2);
+  // Current round's aggregate corresponds to "t"; lag 2 -> history[size-2].
+  const auto out = attack.tamper(f.context(), f.rng);
+  EXPECT_FLOAT_EQ(out[0], 20.0f);
+}
+
+TEST(Backward, ClampsToOldestWhenHistoryShort) {
+  Fixture f;
+  f.history = {{5.0f, 5, 5, 5}};
+  BackwardAttack attack(3);
+  const auto out = attack.tamper(f.context(), f.rng);
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+}
+
+TEST(Backward, NoHistoryFallsBackToHonest) {
+  Fixture f;
+  BackwardAttack attack(2);
+  EXPECT_EQ(attack.tamper(f.context(), f.rng), f.aggregate);
+}
+
+TEST(Zero, ErasesAggregate) {
+  Fixture f;
+  ZeroAttack attack;
+  for (const float v : attack.tamper(f.context(), f.rng))
+    EXPECT_EQ(v, 0.0f);
+}
+
+TEST(SignFlip, NegatesAndScales) {
+  Fixture f;
+  SignFlipAttack attack(2.0);
+  const auto out = attack.tamper(f.context(), f.rng);
+  for (std::size_t j = 0; j < out.size(); ++j)
+    EXPECT_FLOAT_EQ(out[j], -2.0f * f.aggregate[j]);
+}
+
+TEST(Inconsistent, DifferentClientsGetDifferentModels) {
+  Fixture f;
+  InconsistentAttack attack;
+  const auto to_a = attack.tamper(f.context(3, 0, /*client=*/0), f.rng);
+  const auto to_b = attack.tamper(f.context(3, 0, /*client=*/1), f.rng);
+  EXPECT_NE(to_a, to_b);
+}
+
+TEST(Inconsistent, SameClientSameRoundIsDeterministic) {
+  Fixture f;
+  InconsistentAttack attack;
+  const auto first = attack.tamper(f.context(3, 0, 5), f.rng);
+  const auto second = attack.tamper(f.context(3, 0, 5), f.rng);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Collusion, SameShiftForEveryRecipient) {
+  Fixture f;
+  CollusionAttack attack(5.0);
+  const auto to_a = attack.tamper(f.context(3, 0, 0), f.rng);
+  const auto to_b = attack.tamper(f.context(3, 1, 9), f.rng);
+  EXPECT_EQ(to_a, to_b);
+  for (std::size_t j = 0; j < to_a.size(); ++j)
+    EXPECT_FLOAT_EQ(to_a[j], f.aggregate[j] + 5.0f);
+}
+
+TEST(Nan, PoisonsEveryCoordinate) {
+  Fixture f;
+  NanAttack attack;
+  for (const float v : attack.tamper(f.context(), f.rng))
+    EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(Factory, BuildsEveryListedAttack) {
+  for (const auto& name : list_attack_names()) {
+    const AttackPtr attack = make_attack(name);
+    ASSERT_NE(attack, nullptr) << name;
+    EXPECT_EQ(attack->name(), name);
+  }
+}
+
+TEST(Factory, OutputSizesMatchInput) {
+  Fixture f;
+  f.history = {{1, 1, 1, 1}};
+  for (const auto& name : list_attack_names()) {
+    const auto out = make_attack(name)->tamper(f.context(), f.rng);
+    if (name == "crash") {
+      EXPECT_TRUE(out.empty());  // crash = silence, not a payload
+      continue;
+    }
+    EXPECT_EQ(out.size(), f.aggregate.size()) << name;
+  }
+}
+
+TEST(Crash, DisseminatesNothing) {
+  Fixture f;
+  CrashAttack attack;
+  EXPECT_TRUE(attack.tamper(f.context(), f.rng).empty());
+}
+
+TEST(Alie, ShiftsByZTimesRecentSpread) {
+  Fixture f;
+  f.history = {{0.5f, -2.5f, 2.0f, 0.5f}};
+  AlieAttack attack(2.0);
+  const auto out = attack.tamper(f.context(), f.rng);
+  // spread = |a - a_prev| = {0.5, 0.5, 1.0, 0}; out = a + 2*spread.
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], -1.0f);
+  EXPECT_FLOAT_EQ(out[2], 5.0f);
+  EXPECT_FLOAT_EQ(out[3], 0.5f);
+}
+
+TEST(Alie, NoHistoryFallsBackToHonest) {
+  Fixture f;
+  AlieAttack attack;
+  EXPECT_EQ(attack.tamper(f.context(), f.rng), f.aggregate);
+}
+
+TEST(EdgeOfTrim, ShiftsBackByMarginProgress) {
+  Fixture f;
+  f.history = {{0.0f, -1.0f, 2.0f, 0.0f}};
+  EdgeOfTrimAttack attack(1.0);
+  const auto out = attack.tamper(f.context(), f.rng);
+  // out = a - 1.0*(a - a_prev) = a_prev.
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], -1.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+  EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(FactoryDeath, UnknownNameAborts) {
+  EXPECT_DEATH((void)make_attack("totally-bogus"), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::byz

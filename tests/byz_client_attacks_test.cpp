@@ -1,0 +1,110 @@
+#include "byz/client_attacks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedms::byz {
+namespace {
+
+struct Fixture {
+  std::vector<float> honest = {1.0f, 2.0f, -1.0f};
+  std::vector<float> start = {0.5f, 1.5f, 0.0f};
+  core::Rng rng{11};
+
+  ClientAttackContext context(std::uint64_t round = 2,
+                              std::size_t client = 3) {
+    ClientAttackContext ctx;
+    ctx.round = round;
+    ctx.client_index = client;
+    ctx.honest_update = &honest;
+    ctx.round_start = &start;
+    return ctx;
+  }
+};
+
+TEST(BenignClientAttack, UploadsHonestModel) {
+  Fixture f;
+  BenignClient attack;
+  EXPECT_EQ(attack.forge(f.context(), f.rng), f.honest);
+}
+
+TEST(ClientSignFlipAttack, ReversesUpdateDelta) {
+  Fixture f;
+  ClientSignFlip attack(2.0);
+  const auto out = attack.forge(f.context(), f.rng);
+  // delta = honest - start = {0.5, 0.5, -1}; out = start - 2*delta.
+  EXPECT_FLOAT_EQ(out[0], 0.5f - 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 1.5f - 1.0f);
+  EXPECT_FLOAT_EQ(out[2], 0.0f + 2.0f);
+}
+
+TEST(ClientScalingAttack, AmplifiesUpdateDelta) {
+  Fixture f;
+  ClientScaling attack(10.0);
+  const auto out = attack.forge(f.context(), f.rng);
+  EXPECT_FLOAT_EQ(out[0], 0.5f + 5.0f);
+  EXPECT_FLOAT_EQ(out[2], 0.0f - 10.0f);
+}
+
+TEST(ClientNoiseAttack, PerturbsAroundHonest) {
+  Fixture f;
+  ClientNoise attack(0.5);
+  double sq = 0.0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const auto out = attack.forge(f.context(), f.rng);
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      const double d = double(out[j]) - f.honest[j];
+      sq += d * d;
+    }
+  }
+  EXPECT_NEAR(sq / double(n * 3), 0.25, 0.03);
+}
+
+TEST(ClientZeroAttack, UploadsZeros) {
+  Fixture f;
+  ClientZero attack;
+  for (const float v : attack.forge(f.context(), f.rng))
+    EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ClientRandomAttack, RespectsInterval) {
+  Fixture f;
+  ClientRandom attack(-3.0, 3.0);
+  for (int i = 0; i < 100; ++i)
+    for (const float v : attack.forge(f.context(), f.rng)) {
+      EXPECT_GE(v, -3.0f);
+      EXPECT_LE(v, 3.0f);
+    }
+}
+
+TEST(ClientAttackFactory, BuildsEveryListedAttack) {
+  for (const auto& name : list_client_attack_names()) {
+    const ClientAttackPtr attack = make_client_attack(name);
+    ASSERT_NE(attack, nullptr) << name;
+    EXPECT_EQ(attack->name(), name);
+  }
+}
+
+TEST(ClientAttackFactory, OutputSizesMatchInput) {
+  Fixture f;
+  for (const auto& name : list_client_attack_names()) {
+    const auto out = make_client_attack(name)->forge(f.context(), f.rng);
+    EXPECT_EQ(out.size(), f.honest.size()) << name;
+  }
+}
+
+TEST(ClientAttackFactoryDeath, UnknownNameAborts) {
+  EXPECT_DEATH((void)make_client_attack("bogus"), "Precondition");
+}
+
+TEST(ClientAttackDeath, MismatchedVectorsAbort) {
+  Fixture f;
+  f.start.pop_back();
+  ClientSignFlip attack;
+  EXPECT_DEATH((void)attack.forge(f.context(), f.rng), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::byz

@@ -1,0 +1,115 @@
+#include "core/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace fedms::core {
+namespace {
+
+CliFlags make_flags() {
+  CliFlags flags("test program");
+  flags.add_int("rounds", 10, "rounds");
+  flags.add_double("alpha", 1.5, "alpha");
+  flags.add_string("attack", "noise", "attack");
+  flags.add_bool("verbose", false, "verbose");
+  return flags;
+}
+
+TEST(CliFlags, DefaultsApply) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv));
+  EXPECT_EQ(flags.get_int("rounds"), 10);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha"), 1.5);
+  EXPECT_EQ(flags.get_string("attack"), "noise");
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, SpaceSeparatedValues) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--rounds", "42", "--alpha", "0.25",
+                        "--attack", "random"};
+  ASSERT_TRUE(flags.parse(7, argv));
+  EXPECT_EQ(flags.get_int("rounds"), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha"), 0.25);
+  EXPECT_EQ(flags.get_string("attack"), "random");
+}
+
+TEST(CliFlags, EqualsSyntax) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--rounds=5", "--verbose=true"};
+  ASSERT_TRUE(flags.parse(3, argv));
+  EXPECT_EQ(flags.get_int("rounds"), 5);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, BareBooleanEnables) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, BooleanNumericForms) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--verbose=1"};
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  CliFlags flags2 = make_flags();
+  const char* argv2[] = {"prog", "--verbose=0"};
+  ASSERT_TRUE(flags2.parse(2, argv2));
+  EXPECT_FALSE(flags2.get_bool("verbose"));
+}
+
+TEST(CliFlags, UnknownFlagRejected) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(flags.parse(3, argv));
+}
+
+TEST(CliFlags, MissingValueRejected) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--rounds"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlags, BadIntRejected) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--rounds", "abc"};
+  EXPECT_FALSE(flags.parse(3, argv));
+}
+
+TEST(CliFlags, BadBoolRejected) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--verbose=maybe"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlags, PositionalRejected) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlags, HelpReturnsFalse) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlags, LastValueWins) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--rounds", "1", "--rounds", "2"};
+  ASSERT_TRUE(flags.parse(5, argv));
+  EXPECT_EQ(flags.get_int("rounds"), 2);
+}
+
+TEST(CliFlags, NegativeNumbersParse) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--rounds", "-3", "--alpha", "-0.5"};
+  ASSERT_TRUE(flags.parse(5, argv));
+  EXPECT_EQ(flags.get_int("rounds"), -3);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha"), -0.5);
+}
+
+}  // namespace
+}  // namespace fedms::core

@@ -1,0 +1,223 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace fedms::core {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_index(17), 17u);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (const int c : counts) {
+    // Each bucket should get about n/10 = 5000; allow wide slack.
+    EXPECT_GT(c, 4400);
+    EXPECT_LT(c, 5600);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, GammaMomentsMatch) {
+  // Gamma(k, 1) has mean k and variance k.
+  for (const double shape : {0.5, 1.0, 2.5, 10.0}) {
+    Rng rng(19);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.gamma(shape);
+      EXPECT_GT(x, 0.0);
+      sum += x;
+      sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, shape, 0.05 * shape + 0.02);
+    EXPECT_NEAR(var, shape, 0.15 * shape + 0.05);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++heads;
+  EXPECT_NEAR(double(heads) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleActuallyMoves) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  rng.shuffle(v);
+  int moved = 0;
+  for (int i = 0; i < 100; ++i)
+    if (v[i] != i) ++moved;
+  EXPECT_GT(moved, 50);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_without_replacement(20, 7);
+    EXPECT_EQ(sample.size(), 7u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (const auto idx : sample) EXPECT_LT(idx, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(41);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementUniform) {
+  Rng rng(43);
+  std::vector<int> counts(10, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    for (const auto idx : rng.sample_without_replacement(10, 3))
+      ++counts[idx];
+  // Each element appears in a 3-of-10 sample with probability 0.3.
+  for (const int c : counts) EXPECT_NEAR(double(c) / n, 0.3, 0.02);
+}
+
+TEST(SeedSequence, DifferentTagsGiveDifferentSeeds) {
+  const SeedSequence seeds(99);
+  EXPECT_NE(seeds.derive("a"), seeds.derive("b"));
+  EXPECT_NE(seeds.derive("a", 0), seeds.derive("a", 1));
+}
+
+TEST(SeedSequence, Deterministic) {
+  const SeedSequence a(123), b(123);
+  EXPECT_EQ(a.derive("client", 7), b.derive("client", 7));
+}
+
+TEST(SeedSequence, RootSeedChangesEverything) {
+  const SeedSequence a(1), b(2);
+  EXPECT_NE(a.derive("x", 3), b.derive("x", 3));
+}
+
+TEST(SeedSequence, DerivedStreamsLookIndependent) {
+  const SeedSequence seeds(7);
+  Rng a = seeds.make_rng("alpha");
+  Rng b = seeds.make_rng("beta");
+  // Correlation of two independent uniform streams should be near zero.
+  const int n = 20000;
+  double sa = 0, sb = 0, sab = 0, saa = 0, sbb = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.uniform(), y = b.uniform();
+    sa += x;
+    sb += y;
+    sab += x * y;
+    saa += x * x;
+    sbb += y * y;
+  }
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double var_a = saa / n - (sa / n) * (sa / n);
+  const double var_b = sbb / n - (sb / n) * (sb / n);
+  EXPECT_LT(std::abs(cov / std::sqrt(var_a * var_b)), 0.03);
+}
+
+TEST(Splitmix, KnownNonZeroAndDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  std::uint64_t s3 = 0;
+  EXPECT_NE(splitmix64(s3), 0u);
+}
+
+}  // namespace
+}  // namespace fedms::core

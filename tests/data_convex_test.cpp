@@ -1,0 +1,136 @@
+#include "data/convex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedms::data {
+namespace {
+
+QuadraticProblem make_problem(std::uint64_t seed = 1,
+                              double heterogeneity = 1.0,
+                              double noise = 0.5) {
+  QuadraticProblemConfig config;
+  config.clients = 10;
+  config.dimension = 8;
+  config.mu = 1.0;
+  config.smoothness = 4.0;
+  config.heterogeneity = heterogeneity;
+  config.gradient_noise = noise;
+  core::Rng rng(seed);
+  return QuadraticProblem(config, rng);
+}
+
+TEST(Quadratic, OptimumIsStationaryPoint) {
+  const QuadraticProblem problem = make_problem();
+  // Average gradient at w* must vanish.
+  std::vector<double> grad_sum(problem.dimension(), 0.0);
+  for (std::size_t k = 0; k < problem.clients(); ++k) {
+    const auto g = problem.local_gradient(k, problem.optimum());
+    for (std::size_t j = 0; j < g.size(); ++j) grad_sum[j] += g[j];
+  }
+  for (const double g : grad_sum)
+    EXPECT_NEAR(g / double(problem.clients()), 0.0, 1e-4);
+}
+
+TEST(Quadratic, OptimalValueIsGlobalMinimum) {
+  const QuadraticProblem problem = make_problem(2);
+  core::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> w(problem.dimension());
+    for (auto& v : w) v = float(rng.normal(0.0, 2.0));
+    EXPECT_GE(problem.global_value(w), problem.optimal_value() - 1e-6);
+  }
+}
+
+TEST(Quadratic, LocalValueNonNegativeAndZeroAtCenter) {
+  const QuadraticProblem problem = make_problem(4);
+  // F_k(w) = 1/2 (w-c)'A(w-c) >= 0 everywhere.
+  core::Rng rng(5);
+  std::vector<float> w(problem.dimension());
+  for (auto& v : w) v = float(rng.normal());
+  for (std::size_t k = 0; k < problem.clients(); ++k)
+    EXPECT_GE(problem.local_value(k, w), 0.0);
+}
+
+TEST(Quadratic, GradientMatchesFiniteDifference) {
+  const QuadraticProblem problem = make_problem(6);
+  core::Rng rng(7);
+  std::vector<float> w(problem.dimension());
+  for (auto& v : w) v = float(rng.normal());
+  const float eps = 1e-3f;
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto grad = problem.local_gradient(k, w);
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      std::vector<float> up = w, down = w;
+      up[j] += eps;
+      down[j] -= eps;
+      const double numeric =
+          (problem.local_value(k, up) - problem.local_value(k, down)) /
+          (2.0 * eps);
+      EXPECT_NEAR(grad[j], numeric, 1e-2);
+    }
+  }
+}
+
+TEST(Quadratic, StochasticGradientUnbiasedWithRightVariance) {
+  const QuadraticProblem problem = make_problem(8, 1.0, 0.7);
+  core::Rng rng(9);
+  const std::vector<float> w(problem.dimension(), 0.5f);
+  const auto exact = problem.local_gradient(0, w);
+  std::vector<double> mean(w.size(), 0.0);
+  double total_noise_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto g = problem.stochastic_gradient(0, w, rng);
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      mean[j] += g[j];
+      const double d = double(g[j]) - exact[j];
+      total_noise_sq += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < w.size(); ++j)
+    EXPECT_NEAR(mean[j] / n, exact[j], 0.02);
+  // Assumption 3: E||noise||^2 = sigma^2 = 0.49.
+  EXPECT_NEAR(total_noise_sq / n, 0.49, 0.03);
+}
+
+TEST(Quadratic, HomogeneousProblemHasZeroGamma) {
+  const QuadraticProblem problem = make_problem(10, /*heterogeneity=*/0.0);
+  EXPECT_NEAR(problem.heterogeneity_gamma(), 0.0, 1e-9);
+  for (const float v : problem.optimum()) EXPECT_NEAR(v, 0.0f, 1e-6f);
+}
+
+TEST(Quadratic, HeterogeneityRaisesGamma) {
+  const QuadraticProblem low = make_problem(11, 0.1);
+  const QuadraticProblem high = make_problem(11, 2.0);
+  EXPECT_GT(high.heterogeneity_gamma(), low.heterogeneity_gamma());
+}
+
+TEST(Quadratic, CurvatureWithinSpectrumBounds) {
+  const QuadraticProblem problem = make_problem(12);
+  // Sanity via gradients: for unit basis vectors e_j around c_k, the
+  // gradient slope equals the diagonal entry, in [mu, L].
+  const std::vector<float> zero(problem.dimension(), 0.0f);
+  std::vector<float> e(problem.dimension(), 0.0f);
+  for (std::size_t j = 0; j < problem.dimension(); ++j) {
+    e[j] = 1.0f;
+    const auto g1 = problem.local_gradient(0, e);
+    const auto g0 = problem.local_gradient(0, zero);
+    const double slope = double(g1[j]) - g0[j];
+    EXPECT_GE(slope, 1.0 - 1e-4);
+    EXPECT_LE(slope, 4.0 + 1e-4);
+    e[j] = 0.0f;
+  }
+}
+
+TEST(QuadraticDeath, RejectsBadConfig) {
+  QuadraticProblemConfig config;
+  config.mu = 2.0;
+  config.smoothness = 1.0;  // L < mu
+  core::Rng rng(13);
+  EXPECT_DEATH(QuadraticProblem(config, rng), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::data

@@ -1,0 +1,101 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/rng.h"
+#include "data/synthetic.h"
+
+namespace fedms::data {
+namespace {
+
+TEST(Csv, ParsesPlainRows) {
+  std::istringstream is("1.5,2.5,0\n-1.0,0.25,1\n3,4,2\n");
+  const Dataset d = read_csv(is);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.sample_numel(), 2u);
+  EXPECT_EQ(d.num_classes, 3u);
+  EXPECT_FLOAT_EQ(d.features.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(d.features.at(1, 1), 0.25f);
+  EXPECT_EQ(d.labels, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Csv, SkipsHeaderAndBlankLines) {
+  std::istringstream is("x,y,label\n\n1,2,0\n\n3,4,1\n");
+  const Dataset d = read_csv(is);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Csv, HandlesWindowsLineEndings) {
+  std::istringstream is("1,2,0\r\n3,4,1\r\n");
+  const Dataset d = read_csv(is);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_FLOAT_EQ(d.features.at(1, 0), 3.0f);
+}
+
+TEST(Csv, RejectsInconsistentColumns) {
+  std::istringstream is("1,2,0\n1,2,3,0\n");
+  EXPECT_THROW((void)read_csv(is), std::runtime_error);
+}
+
+TEST(Csv, RejectsNonNumericFeature) {
+  std::istringstream is("1,abc,0\n");
+  EXPECT_THROW((void)read_csv(is), std::runtime_error);
+}
+
+TEST(Csv, RejectsFractionalLabel) {
+  std::istringstream is("1,2,0.5\n");
+  EXPECT_THROW((void)read_csv(is), std::runtime_error);
+}
+
+TEST(Csv, RejectsNegativeLabel) {
+  std::istringstream is("1,2,-1\n");
+  EXPECT_THROW((void)read_csv(is), std::runtime_error);
+}
+
+TEST(Csv, RejectsEmptyInput) {
+  std::istringstream is("feature,label\n");
+  EXPECT_THROW((void)read_csv(is), std::runtime_error);
+}
+
+TEST(Csv, WriteReadRoundTrip) {
+  GaussianClassesConfig config;
+  config.samples = 40;
+  config.dimension = 5;
+  config.num_classes = 4;
+  core::Rng rng(1);
+  const Dataset original = make_gaussian_classes(config, rng);
+
+  std::stringstream buffer;
+  write_csv(buffer, original);
+  const Dataset loaded = read_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.labels, original.labels);
+  EXPECT_EQ(loaded.num_classes, original.num_classes);
+  for (std::size_t i = 0; i < original.features.numel(); ++i)
+    EXPECT_NEAR(loaded.features[i], original.features[i],
+                std::abs(original.features[i]) * 1e-5f + 1e-5f);
+}
+
+TEST(Csv, FileRoundTrip) {
+  GaussianClassesConfig config;
+  config.samples = 10;
+  config.dimension = 3;
+  config.num_classes = 2;
+  core::Rng rng(2);
+  const Dataset original = make_gaussian_classes(config, rng);
+  const std::string path = ::testing::TempDir() + "/fedms_data.csv";
+  save_csv(path, original);
+  const Dataset loaded = load_csv(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW((void)load_csv("/nonexistent/data.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fedms::data

@@ -1,0 +1,85 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace fedms::data {
+namespace {
+
+using tensor::Tensor;
+
+Dataset small_dataset() {
+  Dataset d;
+  d.features = Tensor({4, 2}, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8});
+  d.labels = {0, 1, 2, 1};
+  d.num_classes = 3;
+  return d;
+}
+
+TEST(Dataset, SizeAndSampleNumel) {
+  const Dataset d = small_dataset();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.sample_numel(), 2u);
+}
+
+TEST(Dataset, CheckAcceptsConsistent) {
+  check_dataset(small_dataset());  // must not abort
+}
+
+TEST(DatasetDeath, CheckRejectsBadLabels) {
+  Dataset d = small_dataset();
+  d.labels[2] = 7;  // >= num_classes
+  EXPECT_DEATH(check_dataset(d), "Precondition");
+}
+
+TEST(DatasetDeath, CheckRejectsSizeMismatch) {
+  Dataset d = small_dataset();
+  d.labels.pop_back();
+  EXPECT_DEATH(check_dataset(d), "Precondition");
+}
+
+TEST(Batch, GathersRowsAndLabels) {
+  const Dataset d = small_dataset();
+  const Batch batch = make_batch(d, {2, 0});
+  ASSERT_EQ(batch.inputs.dim(0), 2u);
+  EXPECT_FLOAT_EQ(batch.inputs.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(batch.inputs.at(0, 1), 6.0f);
+  EXPECT_FLOAT_EQ(batch.inputs.at(1, 0), 1.0f);
+  EXPECT_EQ(batch.labels, (std::vector<std::size_t>{2, 0}));
+}
+
+TEST(Batch, RepeatedIndicesAllowed) {
+  const Dataset d = small_dataset();
+  const Batch batch = make_batch(d, {1, 1, 1});
+  EXPECT_EQ(batch.inputs.dim(0), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_FLOAT_EQ(batch.inputs.at(i, 0), 3.0f);
+}
+
+TEST(Batch, Gathers4DImages) {
+  Dataset d;
+  d.features = Tensor({3, 1, 2, 2});
+  for (std::size_t i = 0; i < 12; ++i) d.features[i] = float(i);
+  d.labels = {0, 1, 0};
+  d.num_classes = 2;
+  const Batch batch = make_batch(d, {2});
+  ASSERT_EQ(batch.inputs.rank(), 4u);
+  EXPECT_FLOAT_EQ(batch.inputs.at(0, 0, 0, 0), 8.0f);
+}
+
+TEST(BatchDeath, OutOfRangeIndexAborts) {
+  const Dataset d = small_dataset();
+  EXPECT_DEATH((void)make_batch(d, {9}), "Precondition");
+}
+
+TEST(Histogram, CountsPerClass) {
+  const Dataset d = small_dataset();
+  const auto counts = label_histogram(d, {0, 1, 2, 3});
+  EXPECT_EQ(counts, (std::vector<std::size_t>{1, 2, 1}));
+  const auto subset = label_histogram(d, {1, 3});
+  EXPECT_EQ(subset, (std::vector<std::size_t>{0, 2, 0}));
+  const auto empty = label_histogram(d, {});
+  EXPECT_EQ(empty, (std::vector<std::size_t>{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace fedms::data

@@ -1,0 +1,144 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/synthetic.h"
+
+namespace fedms::data {
+namespace {
+
+Dataset ten_class_dataset(std::size_t samples, std::uint64_t seed) {
+  GaussianClassesConfig config;
+  config.samples = samples;
+  config.dimension = 4;
+  config.num_classes = 10;
+  core::Rng rng(seed);
+  return make_gaussian_classes(config, rng);
+}
+
+// Every sample index appears in exactly one part.
+void expect_exact_cover(const PartitionIndices& parts, std::size_t n) {
+  std::vector<int> seen(n, 0);
+  for (const auto& part : parts)
+    for (const std::size_t idx : part) {
+      ASSERT_LT(idx, n);
+      seen[idx]++;
+    }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i], 1) << "index " << i;
+}
+
+TEST(IidPartition, ExactCoverAndBalancedSizes) {
+  const Dataset d = ten_class_dataset(103, 1);
+  core::Rng rng(2);
+  const PartitionIndices parts = iid_partition(d, 10, rng);
+  ASSERT_EQ(parts.size(), 10u);
+  expect_exact_cover(parts, d.size());
+  for (const auto& part : parts) {
+    EXPECT_GE(part.size(), 10u);
+    EXPECT_LE(part.size(), 11u);
+  }
+}
+
+class DirichletAlpha : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletAlpha, ExactCoverAtEveryAlpha) {
+  const Dataset d = ten_class_dataset(500, 3);
+  core::Rng rng(4);
+  const PartitionIndices parts = dirichlet_partition(d, 20, GetParam(), rng);
+  ASSERT_EQ(parts.size(), 20u);
+  expect_exact_cover(parts, d.size());
+}
+
+TEST_P(DirichletAlpha, RespectsMinimumSamples) {
+  const Dataset d = ten_class_dataset(500, 5);
+  core::Rng rng(6);
+  const PartitionIndices parts =
+      dirichlet_partition(d, 20, GetParam(), rng, /*min=*/8);
+  for (const auto& part : parts) EXPECT_GE(part.size(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAlphas, DirichletAlpha,
+                         ::testing::Values(1.0, 5.0, 10.0, 1000.0));
+
+// The paper's Fig.-4 property: heterogeneity (TV distance of local label
+// distributions from the global one) decreases monotonically in alpha.
+TEST(Dirichlet, SkewDecreasesWithAlpha) {
+  const Dataset d = ten_class_dataset(2000, 7);
+  auto mean_tv = [&](double alpha) {
+    core::Rng rng(8);
+    const PartitionIndices parts = dirichlet_partition(d, 20, alpha, rng);
+    const auto counts = partition_label_counts(d, parts);
+    double tv_sum = 0.0;
+    for (const auto& row : counts) {
+      double n = 0.0;
+      for (const auto c : row) n += double(c);
+      double tv = 0.0;
+      for (std::size_t c = 0; c < row.size(); ++c)
+        tv += std::abs(double(row[c]) / n - 0.1);  // global is balanced
+      tv_sum += 0.5 * tv;
+    }
+    return tv_sum / double(counts.size());
+  };
+  const double tv1 = mean_tv(1.0);
+  const double tv10 = mean_tv(10.0);
+  const double tv1000 = mean_tv(1000.0);
+  EXPECT_GT(tv1, tv10);
+  EXPECT_GT(tv10, tv1000);
+  EXPECT_LT(tv1000, 0.1);
+  EXPECT_GT(tv1, 0.25);
+}
+
+TEST(Dirichlet, DeterministicPerRng) {
+  const Dataset d = ten_class_dataset(300, 9);
+  core::Rng a(10), b(10);
+  EXPECT_EQ(dirichlet_partition(d, 10, 1.0, a),
+            dirichlet_partition(d, 10, 1.0, b));
+}
+
+TEST(ShardPartition, ExactCoverAndLabelConcentration) {
+  const Dataset d = ten_class_dataset(500, 11);
+  core::Rng rng(12);
+  const PartitionIndices parts = shard_partition(d, 25, 2, rng);
+  ASSERT_EQ(parts.size(), 25u);
+  expect_exact_cover(parts, d.size());
+  // Two shards of label-sorted data -> each client sees few classes.
+  const auto counts = partition_label_counts(d, parts);
+  for (const auto& row : counts) {
+    int classes_present = 0;
+    for (const auto c : row)
+      if (c > 0) ++classes_present;
+    EXPECT_LE(classes_present, 4);
+  }
+}
+
+TEST(LabelCounts, SumsMatchPartSizes) {
+  const Dataset d = ten_class_dataset(200, 13);
+  core::Rng rng(14);
+  const PartitionIndices parts = dirichlet_partition(d, 5, 0.5, rng);
+  const auto counts = partition_label_counts(d, parts);
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    std::size_t total = 0;
+    for (const auto c : counts[k]) total += c;
+    EXPECT_EQ(total, parts[k].size());
+  }
+}
+
+TEST(PartitionDeath, RejectsMoreClientsThanSamples) {
+  const Dataset d = ten_class_dataset(20, 15);
+  core::Rng rng(16);
+  EXPECT_DEATH((void)iid_partition(d, 30, rng), "Precondition");
+  EXPECT_DEATH((void)dirichlet_partition(d, 30, 1.0, rng), "Precondition");
+}
+
+TEST(PartitionDeath, RejectsNonPositiveAlpha) {
+  const Dataset d = ten_class_dataset(100, 17);
+  core::Rng rng(18);
+  EXPECT_DEATH((void)dirichlet_partition(d, 5, 0.0, rng), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::data

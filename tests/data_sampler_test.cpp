@@ -1,0 +1,103 @@
+#include "data/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace fedms::data {
+namespace {
+
+std::vector<std::size_t> pool_of(std::size_t n, std::size_t offset = 0) {
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = offset + i;
+  return pool;
+}
+
+TEST(MiniBatchSampler, BatchSizeRespected) {
+  MiniBatchSampler sampler(pool_of(100), 32, core::Rng(1));
+  EXPECT_EQ(sampler.next_batch().size(), 32u);
+  EXPECT_EQ(sampler.pool_size(), 100u);
+  EXPECT_EQ(sampler.batch_size(), 32u);
+}
+
+TEST(MiniBatchSampler, SmallPoolCapsBatch) {
+  MiniBatchSampler sampler(pool_of(5), 32, core::Rng(2));
+  EXPECT_EQ(sampler.next_batch().size(), 5u);
+}
+
+TEST(MiniBatchSampler, DrawsOnlyFromPool) {
+  MiniBatchSampler sampler(pool_of(10, 100), 8, core::Rng(3));
+  for (int i = 0; i < 50; ++i)
+    for (const std::size_t idx : sampler.next_batch()) {
+      EXPECT_GE(idx, 100u);
+      EXPECT_LT(idx, 110u);
+    }
+}
+
+TEST(MiniBatchSampler, WithReplacementEventuallyRepeats) {
+  MiniBatchSampler sampler(pool_of(4), 16, core::Rng(4));
+  const auto batch = sampler.next_batch();
+  std::set<std::size_t> unique(batch.begin(), batch.end());
+  EXPECT_LT(unique.size(), batch.size());  // 16 draws from 4 must repeat
+}
+
+TEST(MiniBatchSampler, UniformCoverage) {
+  MiniBatchSampler sampler(pool_of(10), 10, core::Rng(5));
+  std::map<std::size_t, int> counts;
+  const int draws = 3000;
+  for (int i = 0; i < draws / 10; ++i)
+    for (const std::size_t idx : sampler.next_batch()) ++counts[idx];
+  for (const auto& [idx, count] : counts)
+    EXPECT_NEAR(double(count) / draws, 0.1, 0.03);
+}
+
+TEST(MiniBatchSampler, DeterministicPerRng) {
+  MiniBatchSampler a(pool_of(50), 8, core::Rng(6));
+  MiniBatchSampler b(pool_of(50), 8, core::Rng(6));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(a.next_batch(), b.next_batch());
+}
+
+TEST(EpochSampler, CoversPoolExactlyOncePerEpoch) {
+  EpochSampler sampler(pool_of(10), 3, core::Rng(7));
+  std::vector<std::size_t> epoch;
+  while (epoch.size() < 10) {
+    const auto batch = sampler.next_batch();
+    epoch.insert(epoch.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(epoch.size(), 10u);
+  std::sort(epoch.begin(), epoch.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(epoch[i], i);
+}
+
+TEST(EpochSampler, FinalBatchMayBeShort) {
+  EpochSampler sampler(pool_of(10), 4, core::Rng(8));
+  EXPECT_EQ(sampler.next_batch().size(), 4u);
+  EXPECT_EQ(sampler.next_batch().size(), 4u);
+  EXPECT_EQ(sampler.next_batch().size(), 2u);
+}
+
+TEST(EpochSampler, ReshufflesBetweenEpochs) {
+  EpochSampler sampler(pool_of(32), 32, core::Rng(9));
+  const auto epoch1 = sampler.next_batch();
+  const auto epoch2 = sampler.next_batch();
+  EXPECT_NE(epoch1, epoch2);  // same multiset, near-surely different order
+  auto sorted1 = epoch1, sorted2 = epoch2;
+  std::sort(sorted1.begin(), sorted1.end());
+  std::sort(sorted2.begin(), sorted2.end());
+  EXPECT_EQ(sorted1, sorted2);
+}
+
+TEST(SamplerDeath, EmptyPoolRejected) {
+  EXPECT_DEATH(MiniBatchSampler({}, 4, core::Rng(10)), "Precondition");
+  EXPECT_DEATH(EpochSampler({}, 4, core::Rng(11)), "Precondition");
+}
+
+TEST(SamplerDeath, ZeroBatchRejected) {
+  EXPECT_DEATH(MiniBatchSampler(pool_of(4), 0, core::Rng(12)),
+               "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::data

@@ -1,0 +1,146 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace fedms::data {
+namespace {
+
+TEST(GaussianClasses, ShapesAndBalance) {
+  GaussianClassesConfig config;
+  config.samples = 500;
+  config.dimension = 16;
+  config.num_classes = 10;
+  core::Rng rng(1);
+  const Dataset d = make_gaussian_classes(config, rng);
+  check_dataset(d);
+  EXPECT_EQ(d.size(), 500u);
+  EXPECT_EQ(d.features.dim(1), 16u);
+  const auto counts = label_histogram(d, [&] {
+    std::vector<std::size_t> all(d.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }());
+  for (const std::size_t c : counts) EXPECT_EQ(c, 50u);
+}
+
+TEST(GaussianClasses, DeterministicPerSeed) {
+  GaussianClassesConfig config;
+  config.samples = 50;
+  core::Rng a(7), b(7);
+  const Dataset da = make_gaussian_classes(config, a);
+  const Dataset db = make_gaussian_classes(config, b);
+  EXPECT_EQ(da.labels, db.labels);
+  for (std::size_t i = 0; i < da.features.numel(); ++i)
+    EXPECT_EQ(da.features[i], db.features[i]);
+}
+
+TEST(GaussianClasses, LabelsAreShuffled) {
+  GaussianClassesConfig config;
+  config.samples = 100;
+  core::Rng rng(2);
+  const Dataset d = make_gaussian_classes(config, rng);
+  // Round-robin order would be 0,1,2,...; expect many breaks.
+  int breaks = 0;
+  for (std::size_t i = 1; i < d.size(); ++i)
+    if (d.labels[i] != (d.labels[i - 1] + 1) % d.num_classes) ++breaks;
+  EXPECT_GT(breaks, 50);
+}
+
+TEST(GaussianClasses, SeparationControlsClusterDistance) {
+  // Within-class scatter stays ~noise; between-class mean distance grows
+  // with class_separation.
+  auto class_mean_distance = [](float separation) {
+    GaussianClassesConfig config;
+    config.samples = 400;
+    config.dimension = 32;
+    config.num_classes = 2;
+    config.class_separation = separation;
+    config.noise_stddev = 0.1f;
+    core::Rng rng(3);
+    const Dataset d = make_gaussian_classes(config, rng);
+    std::vector<double> mean0(32, 0.0), mean1(32, 0.0);
+    std::size_t n0 = 0, n1 = 0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      auto& mean = d.labels[i] == 0 ? mean0 : mean1;
+      (d.labels[i] == 0 ? n0 : n1)++;
+      for (std::size_t j = 0; j < 32; ++j)
+        mean[j] += d.features[i * 32 + j];
+    }
+    double dist_sq = 0.0;
+    for (std::size_t j = 0; j < 32; ++j) {
+      const double diff = mean0[j] / double(n0) - mean1[j] / double(n1);
+      dist_sq += diff * diff;
+    }
+    return std::sqrt(dist_sq);
+  };
+  EXPECT_GT(class_mean_distance(4.0f), class_mean_distance(1.0f) * 2.0);
+}
+
+TEST(SyntheticImages, ShapeIsNCHW) {
+  SyntheticImagesConfig config;
+  config.samples = 60;
+  config.channels = 3;
+  config.image_size = 8;
+  core::Rng rng(4);
+  const Dataset d = make_synthetic_images(config, rng);
+  check_dataset(d);
+  ASSERT_EQ(d.features.rank(), 4u);
+  EXPECT_EQ(d.features.dim(0), 60u);
+  EXPECT_EQ(d.features.dim(1), 3u);
+  EXPECT_EQ(d.features.dim(2), 8u);
+  EXPECT_EQ(d.features.dim(3), 8u);
+}
+
+TEST(SyntheticImages, AllFinite) {
+  SyntheticImagesConfig config;
+  config.samples = 30;
+  core::Rng rng(5);
+  const Dataset d = make_synthetic_images(config, rng);
+  EXPECT_TRUE(d.features.all_finite());
+}
+
+TEST(TrainTest, SplitSizesAndDisjointness) {
+  GaussianClassesConfig config;
+  config.samples = 100;
+  config.dimension = 4;
+  core::Rng rng(6);
+  const Dataset d = make_gaussian_classes(config, rng);
+  core::Rng split_rng(7);
+  const TrainTestSplit split = split_train_test(d, 0.25, split_rng);
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  check_dataset(split.train);
+  check_dataset(split.test);
+  // Union of features must equal the original multiset; quick proxy: total
+  // sums match.
+  const double total = tensor::sum(d.features);
+  EXPECT_NEAR(tensor::sum(split.train.features) +
+                  tensor::sum(split.test.features),
+              total, 1e-2);
+}
+
+TEST(TrainTest, TinyFractionStillNonEmpty) {
+  GaussianClassesConfig config;
+  config.samples = 30;
+  config.dimension = 2;
+  core::Rng rng(8);
+  const Dataset d = make_gaussian_classes(config, rng);
+  core::Rng split_rng(9);
+  const TrainTestSplit split = split_train_test(d, 0.001, split_rng);
+  EXPECT_GE(split.test.size(), 1u);
+  EXPECT_GE(split.train.size(), 1u);
+}
+
+TEST(SyntheticDeath, RejectsDegenerateConfigs) {
+  core::Rng rng(10);
+  GaussianClassesConfig config;
+  config.num_classes = 1;
+  EXPECT_DEATH((void)make_gaussian_classes(config, rng), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::data

@@ -1,0 +1,146 @@
+// Integration tests for the Byzantine-clients extension (the paper's stated
+// future work): PSs defend with robust aggregation while clients defend
+// against Byzantine PSs with the trimmed-mean filter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/experiment.h"
+
+namespace fedms::fl {
+namespace {
+
+WorkloadConfig workload() {
+  WorkloadConfig config;
+  config.samples = 800;
+  config.feature_dimension = 16;
+  config.classes = 4;
+  config.class_separation = 4.0f;
+  config.model = "mlp";
+  config.mlp_hidden = {12};
+  config.eval_sample_cap = 200;
+  return config;
+}
+
+FedMsConfig base_fed() {
+  FedMsConfig fed;
+  fed.clients = 20;
+  fed.servers = 5;
+  fed.byzantine = 0;
+  fed.local_iterations = 2;
+  fed.rounds = 12;
+  fed.attack = "benign";
+  fed.client_filter = "trmean:0.2";
+  fed.eval_every = 12;
+  fed.seed = 31;
+  return fed;
+}
+
+TEST(ByzClients, SignFlipBreaksMeanPs) {
+  // 4/20 clients reversing their update with lambda = 4 cancels the mean
+  // update entirely (16·Δ − 4·4Δ = 0): no progress for an undefended PS.
+  FedMsConfig fed = base_fed();
+  fed.byzantine_clients = 4;
+  fed.client_attack = "signflip";
+  fed.server_aggregator = "mean";
+  // Full upload so every PS sees all clients (isolates the PS-side rule).
+  fed.upload = "full";
+  const RunResult result = run_experiment(workload(), fed);
+  EXPECT_LT(*result.final_eval().eval_accuracy, 0.5);
+}
+
+TEST(ByzClients, TrimmedMeanPsSurvivesSignFlip) {
+  FedMsConfig fed = base_fed();
+  fed.byzantine_clients = 4;
+  fed.client_attack = "signflip";
+  fed.server_aggregator = "trmean:0.25";
+  fed.upload = "full";
+  const RunResult result = run_experiment(workload(), fed);
+  EXPECT_GT(*result.final_eval().eval_accuracy, 0.6);
+}
+
+TEST(ByzClients, MedianPsSurvivesRandomClients) {
+  FedMsConfig fed = base_fed();
+  fed.byzantine_clients = 4;
+  fed.client_attack = "random";
+  fed.server_aggregator = "median";
+  fed.upload = "full";
+  const RunResult result = run_experiment(workload(), fed);
+  EXPECT_GT(*result.final_eval().eval_accuracy, 0.6);
+}
+
+TEST(ByzClients, CombinedByzantineServersAndClients) {
+  // The full future-work scenario: Byzantine PSs tamper dissemination AND
+  // Byzantine clients poison uploads; both defenses are needed.
+  FedMsConfig fed = base_fed();
+  fed.byzantine = 1;
+  fed.attack = "random";
+  fed.byzantine_clients = 4;
+  fed.client_attack = "signflip";
+  fed.server_aggregator = "trmean:0.25";
+  fed.upload = "full";
+  const RunResult defended = run_experiment(workload(), fed);
+  EXPECT_GT(*defended.final_eval().eval_accuracy, 0.55);
+
+  FedMsConfig undefended = fed;
+  undefended.server_aggregator = "mean";
+  undefended.client_filter = "mean";
+  const RunResult broken = run_experiment(workload(), undefended);
+  EXPECT_LT(*broken.final_eval().eval_accuracy,
+            *defended.final_eval().eval_accuracy - 0.15);
+}
+
+TEST(ByzClients, BenignClientAttackIsNoop) {
+  FedMsConfig fed = base_fed();
+  const RunResult plain = run_experiment(workload(), fed);
+  fed.byzantine_clients = 4;
+  fed.client_attack = "benign";
+  const RunResult with_benign = run_experiment(workload(), fed);
+  EXPECT_DOUBLE_EQ(*plain.final_eval().eval_accuracy,
+                   *with_benign.final_eval().eval_accuracy);
+}
+
+TEST(ByzClients, RandomPlacementPicksRequestedCount) {
+  FedMsConfig fed = base_fed();
+  fed.byzantine_clients = 5;
+  fed.client_attack = "zero";
+  fed.byzantine_client_placement = "random";
+  // Runs without contract violations and still trains.
+  const RunResult result = run_experiment(workload(), fed);
+  EXPECT_TRUE(result.final_eval().eval_accuracy.has_value());
+}
+
+TEST(Participation, FractionControlsUplinkVolume) {
+  FedMsConfig fed = base_fed();
+  fed.participation = 0.5;
+  fed.rounds = 6;
+  fed.eval_every = 6;
+  const RunResult result = run_experiment(workload(), fed);
+  for (const auto& round : result.rounds)
+    EXPECT_EQ(round.uplink_messages, fed.clients / 2);
+}
+
+TEST(Participation, PartialParticipationStillLearns) {
+  FedMsConfig fed = base_fed();
+  fed.participation = 0.4;
+  fed.rounds = 16;
+  fed.eval_every = 16;
+  const RunResult result = run_experiment(workload(), fed);
+  EXPECT_GT(*result.final_eval().eval_accuracy, 0.6);
+}
+
+TEST(ParticipationDeath, RejectsZeroFraction) {
+  FedMsConfig fed = base_fed();
+  fed.participation = 0.0;
+  EXPECT_DEATH(fed.validate(), "Precondition");
+}
+
+TEST(ByzClientsDeath, RejectsMoreByzantineThanClients) {
+  FedMsConfig fed = base_fed();
+  fed.byzantine_clients = fed.clients + 1;
+  EXPECT_DEATH(fed.validate(), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::fl

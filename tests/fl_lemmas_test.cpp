@@ -1,0 +1,219 @@
+// Empirical verification of the paper's supporting lemmas with their exact
+// constants, on constructions that satisfy the assumptions by design.
+// (Lemma 2's scalar bound and the Eq.-7 sandwich live in
+// fl_aggregators_test.cpp; Theorem 1 end-to-end lives in
+// bench/theory_convergence and fl_quadratic_test.cpp.)
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "data/convex.h"
+#include "fl/aggregators.h"
+#include "fl/upload.h"
+
+namespace fedms::fl {
+namespace {
+
+double squared_norm(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (const double x : v) acc += x * x;
+  return acc;
+}
+
+// Lemma 1: with all clients starting a round from the common model w̄_{t0}
+// and running up to E local SGD steps with non-increasing η (η_{t0} ≤ 2η_t
+// inside the window) and E‖∇F_k(w,ξ)‖² ≤ G², the client spread satisfies
+//   E[(1/K) Σ_k ‖w̄_t − w_t^k‖²] ≤ 4 η_t² E² G².
+TEST(Lemma1, ClientDriftBoundHolds) {
+  const std::size_t K = 30, d = 16, E = 5;
+  const double eta = 0.02;
+
+  data::QuadraticProblemConfig config;
+  config.clients = K;
+  config.dimension = d;
+  config.mu = 1.0;
+  config.smoothness = 4.0;
+  config.heterogeneity = 1.0;
+  config.gradient_noise = 0.3;
+  core::Rng problem_rng(1);
+  const data::QuadraticProblem problem(config, problem_rng);
+
+  const core::SeedSequence seeds(2);
+  const int trials = 200;
+  double spread_sum = 0.0;
+  double g_sq_max = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    // Common round start w̄_{t0}: a random point near the optimum region.
+    core::Rng start_rng = seeds.make_rng("start", std::uint64_t(trial));
+    std::vector<float> start(d);
+    for (auto& v : start) v = float(start_rng.normal(0.0, 1.5));
+
+    std::vector<std::vector<float>> clients(K, start);
+    for (std::size_t k = 0; k < K; ++k) {
+      core::Rng noise_rng =
+          seeds.make_rng("noise", std::uint64_t(trial) * 1000 + k);
+      for (std::size_t step = 0; step < E; ++step) {
+        const auto grad =
+            problem.stochastic_gradient(k, clients[k], noise_rng);
+        double g_sq = 0.0;
+        for (std::size_t j = 0; j < d; ++j) {
+          g_sq += double(grad[j]) * grad[j];
+          clients[k][j] -= float(eta) * grad[j];
+        }
+        g_sq_max = std::max(g_sq_max, g_sq);  // empirical G²
+      }
+    }
+    // Spread around the client mean after the E local steps.
+    std::vector<double> mean(d, 0.0);
+    for (const auto& w : clients)
+      for (std::size_t j = 0; j < d; ++j) mean[j] += w[j];
+    for (auto& m : mean) m /= double(K);
+    double spread = 0.0;
+    for (const auto& w : clients) {
+      std::vector<double> delta(d);
+      for (std::size_t j = 0; j < d; ++j) delta[j] = double(w[j]) - mean[j];
+      spread += squared_norm(delta);
+    }
+    spread_sum += spread / double(K);
+  }
+  const double mean_spread = spread_sum / double(trials);
+  const double bound = 4.0 * eta * eta * double(E * E) * g_sq_max;
+  EXPECT_LE(mean_spread, bound);
+  EXPECT_GT(mean_spread, 0.0);
+}
+
+// Lemma 3: under sparse uploading the mean of per-server aggregates is an
+// unbiased estimate of the client mean, with variance bounded by
+//   (K − P)/(K − 1) · (4/P) · η² E² G²
+// when every client model lies within 2ηEG of the mean (the drift radius
+// Lemma 1 provides). Verified with frozen client vectors at exactly that
+// radius and many random assignments; trials with an empty N_i are skipped
+// (the estimator conditions on non-empty, as does the algorithm's
+// keep-previous-aggregate fallback).
+TEST(Lemma3, SparseUploadVarianceBoundHolds) {
+  const std::size_t K = 40, P = 8, d = 6;
+  const double eta = 0.05, E = 3.0, G = 2.0;
+  const double radius = 2.0 * eta * E * G;  // max ‖v_k − v̄‖
+
+  core::Rng rng(3);
+  std::vector<std::vector<float>> clients(K, std::vector<float>(d, 0.0f));
+  for (auto& v : clients) {
+    // Random direction scaled to exactly `radius` (worst case).
+    double norm_sq = 0.0;
+    for (auto& x : v) {
+      x = float(rng.normal());
+      norm_sq += double(x) * x;
+    }
+    const float scale = float(radius / std::sqrt(norm_sq));
+    for (auto& x : v) x *= scale;
+  }
+  std::vector<double> v_bar(d, 0.0);
+  for (const auto& v : clients)
+    for (std::size_t j = 0; j < d; ++j) v_bar[j] += v[j];
+  for (auto& x : v_bar) x /= double(K);
+
+  SparseUpload strategy;
+  core::Rng choice_rng(4);
+  const int trials = 30000;
+  int used = 0;
+  double variance_sum = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::vector<double>> sums(P, std::vector<double>(d, 0.0));
+    std::vector<std::size_t> counts(P, 0);
+    for (std::size_t k = 0; k < K; ++k) {
+      const std::size_t s = strategy.select_servers(k, 0, P, choice_rng)[0];
+      ++counts[s];
+      for (std::size_t j = 0; j < d; ++j) sums[s][j] += clients[k][j];
+    }
+    bool empty = false;
+    for (const auto c : counts) empty |= (c == 0);
+    if (empty) continue;
+    ++used;
+    std::vector<double> a_bar(d, 0.0);
+    for (std::size_t s = 0; s < P; ++s)
+      for (std::size_t j = 0; j < d; ++j)
+        a_bar[j] += sums[s][j] / double(counts[s]) / double(P);
+    std::vector<double> delta(d);
+    for (std::size_t j = 0; j < d; ++j) delta[j] = a_bar[j] - v_bar[j];
+    variance_sum += squared_norm(delta);
+  }
+  ASSERT_GT(used, trials / 2);
+  const double measured = variance_sum / double(used);
+  const double bound = (double(K - P) / double(K - 1)) * 4.0 / double(P) *
+                       eta * eta * E * E * G * G;
+  EXPECT_LE(measured, bound);
+  EXPECT_GT(measured, 0.0);
+}
+
+// Corollary 4: combining sparse upload with B tampered server aggregates
+// and the trimmed-mean filter, the deviation of the filtered model from
+// the client mean is bounded by the sum of the Byzantine and sparse terms:
+//   E‖ē − v̄‖² ≤ 4P/(P−2B)²·η²E²G² + (K−P)/(K−1)·4/P·η²E²G².
+TEST(Corollary4, CombinedEstimationErrorBounded) {
+  const std::size_t K = 40, P = 10, B = 2, d = 6;
+  const double eta = 0.05, E = 3.0, G = 2.0;
+  const double radius = 2.0 * eta * E * G;
+
+  core::Rng rng(5);
+  std::vector<std::vector<float>> clients(K, std::vector<float>(d, 0.0f));
+  for (auto& v : clients) {
+    double norm_sq = 0.0;
+    for (auto& x : v) {
+      x = float(rng.normal());
+      norm_sq += double(x) * x;
+    }
+    const float scale = float(radius / std::sqrt(norm_sq));
+    for (auto& x : v) x *= scale;
+  }
+  std::vector<double> v_bar(d, 0.0);
+  for (const auto& v : clients)
+    for (std::size_t j = 0; j < d; ++j) v_bar[j] += v[j];
+  for (auto& x : v_bar) x /= double(K);
+
+  SparseUpload strategy;
+  core::Rng choice_rng(6);
+  core::Rng attack_rng(7);
+  const int trials = 20000;
+  int used = 0;
+  double error_sum = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<ModelVector> aggregates(P, ModelVector(d, 0.0f));
+    std::vector<std::size_t> counts(P, 0);
+    for (std::size_t k = 0; k < K; ++k) {
+      const std::size_t s = strategy.select_servers(k, 0, P, choice_rng)[0];
+      ++counts[s];
+      for (std::size_t j = 0; j < d; ++j) aggregates[s][j] += clients[k][j];
+    }
+    bool empty = false;
+    for (const auto c : counts) empty |= (c == 0);
+    if (empty) continue;
+    ++used;
+    for (std::size_t s = 0; s < P; ++s)
+      for (std::size_t j = 0; j < d; ++j)
+        aggregates[s][j] /= float(counts[s]);
+    // B Byzantine servers replace their aggregate with garbage.
+    for (std::size_t s = 0; s < B; ++s)
+      for (std::size_t j = 0; j < d; ++j)
+        aggregates[s][j] = float(attack_rng.uniform(-100.0, 100.0));
+    const ModelVector filtered =
+        trimmed_mean(aggregates, double(B) / double(P));
+    std::vector<double> delta(d);
+    for (std::size_t j = 0; j < d; ++j)
+      delta[j] = double(filtered[j]) - v_bar[j];
+    error_sum += squared_norm(delta);
+  }
+  ASSERT_GT(used, trials / 2);
+  const double measured = error_sum / double(used);
+  const double eeg = eta * eta * E * E * G * G;
+  const double byz_term =
+      4.0 * double(P) / double((P - 2 * B) * (P - 2 * B)) * eeg;
+  const double sparse_term =
+      (double(K - P) / double(K - 1)) * 4.0 / double(P) * eeg;
+  EXPECT_LE(measured, byz_term + sparse_term);
+  EXPECT_GT(measured, 0.0);
+}
+
+}  // namespace
+}  // namespace fedms::fl

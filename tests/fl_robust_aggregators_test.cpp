@@ -1,0 +1,161 @@
+// Tests for the extended robust-aggregation baselines: Multi-Krum, Bulyan,
+// and the precondition-aware aggregate_or_mean dispatcher.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/rng.h"
+#include "fl/aggregators.h"
+
+namespace fedms::fl {
+namespace {
+
+std::vector<ModelVector> clustered_with_outliers(std::size_t honest,
+                                                 std::size_t byzantine,
+                                                 std::size_t dim,
+                                                 std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<ModelVector> models;
+  for (std::size_t i = 0; i < honest; ++i) {
+    ModelVector m(dim);
+    for (auto& v : m) v = 1.0f + 0.05f * float(rng.normal());
+    models.push_back(std::move(m));
+  }
+  for (std::size_t i = 0; i < byzantine; ++i)
+    models.push_back(ModelVector(dim, i % 2 == 0 ? 300.0f : -300.0f));
+  return models;
+}
+
+TEST(MultiKrum, AveragesSelectedClusterMembers) {
+  const auto models = clustered_with_outliers(9, 2, 6, 1);
+  const auto out = multi_krum(models, 2, 5);
+  for (const float v : out) EXPECT_NEAR(v, 1.0f, 0.1f);
+}
+
+TEST(MultiKrum, SelectOneEqualsKrum) {
+  const auto models = clustered_with_outliers(7, 2, 4, 2);
+  EXPECT_EQ(multi_krum(models, 2, 1), krum(models, 2));
+}
+
+TEST(MultiKrum, SelectAllEqualsMean) {
+  core::Rng rng(3);
+  std::vector<ModelVector> models(6, ModelVector(4));
+  for (auto& m : models)
+    for (auto& v : m) v = float(rng.normal());
+  const auto mk = multi_krum(models, 1, models.size());
+  const auto mean = mean_aggregate(models);
+  for (std::size_t j = 0; j < mean.size(); ++j)
+    EXPECT_NEAR(mk[j], mean[j], 1e-5f);
+}
+
+TEST(Bulyan, RobustToFByzantine) {
+  // n = 11 >= 4f + 3 with f = 2.
+  const auto models = clustered_with_outliers(9, 2, 6, 4);
+  const auto out = bulyan(models, 2);
+  for (const float v : out) EXPECT_NEAR(v, 1.0f, 0.1f);
+}
+
+TEST(Bulyan, FixedPointOnIdenticalInputs) {
+  const ModelVector model = {2.0f, -1.0f};
+  const std::vector<ModelVector> models(7, model);
+  const auto out = bulyan(models, 1);
+  EXPECT_NEAR(out[0], 2.0f, 1e-5f);
+  EXPECT_NEAR(out[1], -1.0f, 1e-5f);
+}
+
+TEST(BulyanDeath, RequiresEnoughModels) {
+  const std::vector<ModelVector> models(6, ModelVector{1.0f});
+  EXPECT_DEATH((void)bulyan(models, 1), "Precondition");  // needs >= 7
+}
+
+TEST(Factory, ParsesExtendedSpecs) {
+  EXPECT_EQ(make_aggregator("bulyan:2")->name(), "bulyan");
+  EXPECT_EQ(make_aggregator("multikrum:2:5")->name(), "multikrum");
+}
+
+TEST(FactoryDeath, RejectsMalformedMultiKrum) {
+  EXPECT_DEATH((void)make_aggregator("multikrum:2"), "Precondition");
+}
+
+TEST(MinModels, ReflectsRulePreconditions) {
+  EXPECT_EQ(make_aggregator("mean")->min_models(), 1u);
+  EXPECT_EQ(make_aggregator("trmean:0.2")->min_models(), 1u);
+  EXPECT_EQ(make_aggregator("krum:2")->min_models(), 5u);
+  EXPECT_EQ(make_aggregator("multikrum:2:3")->min_models(), 5u);
+  EXPECT_EQ(make_aggregator("bulyan:1")->min_models(), 7u);
+}
+
+TEST(AggregateOrMean, UsesRuleWhenEnoughModels) {
+  const auto rule = make_aggregator("krum:1");
+  const auto models = clustered_with_outliers(5, 1, 3, 5);
+  const auto out = aggregate_or_mean(*rule, models);
+  for (const float v : out) EXPECT_NEAR(v, 1.0f, 0.2f);
+}
+
+TEST(AggregateOrMean, FallsBackBelowMinimum) {
+  const auto rule = make_aggregator("krum:2");  // needs 5
+  const std::vector<ModelVector> models = {{1.0f}, {3.0f}};
+  const auto out = aggregate_or_mean(*rule, models);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);  // mean
+}
+
+TEST(AggregateOrMean, TrimmedMeanAdaptsTrimToCount) {
+  // beta = 0.2 over 3 models trims floor(0.6) = 0 per side -> plain mean.
+  const auto rule = make_aggregator("trmean:0.2");
+  const std::vector<ModelVector> models = {{0.0f}, {3.0f}, {30.0f}};
+  EXPECT_FLOAT_EQ(aggregate_or_mean(*rule, models)[0], 11.0f);
+}
+
+TEST(AggregateOrMeanDeath, EmptyInputAborts) {
+  const auto rule = make_aggregator("mean");
+  EXPECT_DEATH((void)aggregate_or_mean(*rule, {}), "Precondition");
+}
+
+// The robust baselines under *coordinated* attacks: trimmed mean, median,
+// multi-krum, bulyan must all stay near the honest cluster.
+class RobustRules : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RobustRules, SurviveCoordinatedOutliers) {
+  const auto rule = make_aggregator(GetParam());
+  const auto models = clustered_with_outliers(9, 2, 8, 6);
+  const auto out = rule->aggregate(models);
+  for (const float v : out) EXPECT_NEAR(v, 1.0f, 0.3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Defenses, RobustRules,
+                         ::testing::Values("trmean:0.2", "median", "krum:2",
+                                           "multikrum:2:5", "bulyan:2",
+                                           "geomedian"));
+
+// Non-finite fuzzing: robust rules must produce finite output whenever the
+// number of poisoned inputs stays within their declared Byzantine budget,
+// wherever the NaN/±inf values land.
+TEST_P(RobustRules, FiniteOutputUnderBudgetedNonFinitePoisoning) {
+  const auto rule = make_aggregator(GetParam());
+  core::Rng rng(99);
+  const std::size_t p = 11, f = 2, d = 12;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<ModelVector> models(p, ModelVector(d));
+    for (auto& m : models)
+      for (auto& v : m) v = float(rng.normal());
+    // Poison f whole models with a random mix of NaN and ±inf.
+    for (const std::size_t victim :
+         rng.sample_without_replacement(p, f)) {
+      for (auto& v : models[victim]) {
+        const auto kind = rng.uniform_index(3);
+        v = kind == 0   ? std::numeric_limits<float>::quiet_NaN()
+            : kind == 1 ? std::numeric_limits<float>::infinity()
+                        : -std::numeric_limits<float>::infinity();
+      }
+    }
+    const ModelVector out = rule->aggregate(models);
+    for (const float v : out)
+      EXPECT_TRUE(std::isfinite(v)) << GetParam() << " trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace fedms::fl

@@ -1,0 +1,106 @@
+#include "fl/server.h"
+
+#include <gtest/gtest.h>
+
+#include "byz/attack.h"
+#include "byz/attacks.h"
+
+namespace fedms::fl {
+namespace {
+
+TEST(Server, BenignAggregatesMean) {
+  ParameterServer server(0, nullptr, core::Rng(1));
+  server.set_initial_model({0.0f, 0.0f});
+  server.aggregate_round(0, {{1, 10}, {3, 20}});
+  EXPECT_EQ(server.honest_aggregate(), (std::vector<float>{2, 15}));
+  EXPECT_EQ(server.last_upload_count(), 2u);
+  EXPECT_FALSE(server.is_byzantine());
+}
+
+TEST(Server, BenignDisseminatesHonestAggregate) {
+  ParameterServer server(0, nullptr, core::Rng(2));
+  server.set_initial_model({1.0f});
+  server.aggregate_round(0, {{4.0f}});
+  EXPECT_EQ(server.disseminate(0, 7), (std::vector<float>{4.0f}));
+  // Every client receives the same payload from a benign PS.
+  EXPECT_EQ(server.disseminate(0, 0), server.disseminate(0, 42));
+}
+
+TEST(Server, EmptyRoundKeepsPreviousAggregate) {
+  ParameterServer server(0, nullptr, core::Rng(3));
+  server.set_initial_model({9.0f});
+  server.aggregate_round(0, {});
+  EXPECT_EQ(server.honest_aggregate(), (std::vector<float>{9.0f}));
+  EXPECT_EQ(server.last_upload_count(), 0u);
+  server.aggregate_round(1, {{5.0f}});
+  server.aggregate_round(2, {});
+  EXPECT_EQ(server.honest_aggregate(), (std::vector<float>{5.0f}));
+}
+
+TEST(Server, HistoryArchivesPreviousRounds) {
+  ParameterServer server(0, nullptr, core::Rng(4));
+  server.set_initial_model({0.0f});
+  server.aggregate_round(0, {{1.0f}});
+  server.aggregate_round(1, {{2.0f}});
+  server.aggregate_round(2, {{3.0f}});
+  // history = [w0, round-0 aggregate, round-1 aggregate].
+  ASSERT_EQ(server.history().size(), 3u);
+  EXPECT_EQ(server.history()[0], (std::vector<float>{0.0f}));
+  EXPECT_EQ(server.history()[1], (std::vector<float>{1.0f}));
+  EXPECT_EQ(server.history()[2], (std::vector<float>{2.0f}));
+}
+
+TEST(Server, HistoryBoundedByLimit) {
+  ParameterServer server(0, nullptr, core::Rng(5), /*history_limit=*/3);
+  server.set_initial_model({0.0f});
+  for (std::uint64_t t = 0; t < 10; ++t)
+    server.aggregate_round(t, {{float(t + 1)}});
+  ASSERT_EQ(server.history().size(), 3u);
+  // Oldest entries were evicted; newest archived is round 8's aggregate.
+  EXPECT_EQ(server.history().back(), (std::vector<float>{9.0f}));
+}
+
+TEST(Server, ByzantineTampersDissemination) {
+  ParameterServer server(2, byz::make_attack("zero"), core::Rng(6));
+  server.set_initial_model({1.0f, 1.0f});
+  server.aggregate_round(0, {{6.0f, 8.0f}});
+  EXPECT_TRUE(server.is_byzantine());
+  // Honest aggregate is intact internally...
+  EXPECT_EQ(server.honest_aggregate(), (std::vector<float>{6, 8}));
+  // ...but dissemination lies.
+  EXPECT_EQ(server.disseminate(0, 0), (std::vector<float>{0, 0}));
+}
+
+TEST(Server, SafeguardUsesInitialModelAnchor) {
+  auto attack = std::make_unique<byz::SafeguardAttack>(0.5, 1.0);
+  ParameterServer server(0, std::move(attack), core::Rng(7));
+  server.set_initial_model({2.0f});
+  server.aggregate_round(0, {{6.0f}});
+  // tampered = 6 - 0.5*(6 - 2) = 4.
+  EXPECT_EQ(server.disseminate(0, 0), (std::vector<float>{4.0f}));
+}
+
+TEST(Server, BackwardAttackReplaysHistoryThroughServer) {
+  ParameterServer server(0, std::make_unique<byz::BackwardAttack>(2),
+                         core::Rng(8));
+  server.set_initial_model({0.0f});
+  server.aggregate_round(0, {{1.0f}});
+  server.aggregate_round(1, {{2.0f}});
+  server.aggregate_round(2, {{3.0f}});
+  // history = [0, 1, 2]; lag 2 over current round (t=2, aggregate 3)
+  // replays history[size-2] = the round-0 aggregate = 1.
+  EXPECT_EQ(server.disseminate(2, 0), (std::vector<float>{1.0f}));
+}
+
+TEST(ServerDeath, DisseminateBeforeInitializationAborts) {
+  ParameterServer server(0, nullptr, core::Rng(9));
+  EXPECT_DEATH((void)server.disseminate(0, 0), "Precondition");
+}
+
+TEST(ServerDeath, EmptyInitialModelAborts) {
+  ParameterServer server(0, nullptr, core::Rng(10));
+  EXPECT_DEATH(server.set_initial_model({}), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::fl

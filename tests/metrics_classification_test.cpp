@@ -1,0 +1,122 @@
+#include "metrics/classification.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fl/experiment.h"
+
+namespace fedms::metrics {
+namespace {
+
+TEST(Confusion, PerfectPredictions) {
+  ConfusionMatrix cm(3);
+  cm.add_batch({0, 1, 2, 1}, {0, 1, 2, 1});
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.count(1, 1), 2u);
+  EXPECT_EQ(cm.count(0, 2), 0u);
+}
+
+TEST(Confusion, HandCheckedMetrics) {
+  // actual 0 predicted {0,0,1}; actual 1 predicted {1,0}.
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  cm.add(1, 1);
+  cm.add(0, 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 3.0 / 5.0);
+  // Class 0: TP=2, FP=1 (actual 1 predicted 0), FN=1.
+  EXPECT_DOUBLE_EQ(cm.precision(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.f1(0), 2.0 / 3.0);
+  // Class 1: TP=1, FP=1, FN=1.
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.5);
+}
+
+TEST(Confusion, DegenerateClassesGiveZeroNotNan) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);  // classes 1 and 2 never appear
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(1), 0.0);
+}
+
+TEST(Confusion, EmptyMatrixAccuracyZero) {
+  ConfusionMatrix cm(2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(Confusion, PrintIsWellFormed) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  std::ostringstream os;
+  cm.print(os);
+  EXPECT_NE(os.str().find("accuracy"), std::string::npos);
+  EXPECT_NE(os.str().find("recall"), std::string::npos);
+}
+
+TEST(ConfusionDeath, OutOfRangeClassAborts) {
+  ConfusionMatrix cm(2);
+  EXPECT_DEATH(cm.add(2, 0), "Precondition");
+  EXPECT_DEATH((void)cm.precision(5), "Precondition");
+}
+
+TEST(CentralizedBaseline, BeatsOrMatchesFederatedUnderAttack) {
+  fl::WorkloadConfig workload;
+  workload.samples = 800;
+  workload.feature_dimension = 16;
+  workload.classes = 4;
+  workload.class_separation = 4.0f;
+  workload.mlp_hidden = {12};
+  workload.eval_sample_cap = 200;
+  fl::FedMsConfig fed;
+  fed.clients = 12;
+  fed.servers = 4;
+  fed.byzantine = 1;
+  fed.attack = "noise";
+  fed.client_filter = "trmean:0.25";
+  fed.rounds = 10;
+  fed.eval_every = 10;
+  fed.seed = 41;
+
+  const fl::CentralizedResult central =
+      fl::run_centralized_baseline(workload, fed, /*epochs=*/10);
+  const fl::RunResult federated = fl::run_experiment(workload, fed);
+  EXPECT_GT(central.final_accuracy, 0.7);
+  // Centralized training on pooled data is the upper bound (within noise).
+  EXPECT_GE(central.final_accuracy,
+            *federated.final_eval().eval_accuracy - 0.05);
+  EXPECT_EQ(central.epoch_accuracy.size(), 10u);
+}
+
+TEST(CentralizedBaseline, AccuracyImprovesOverEpochs) {
+  fl::WorkloadConfig workload;
+  workload.samples = 600;
+  workload.feature_dimension = 12;
+  workload.classes = 4;
+  workload.class_separation = 4.0f;
+  workload.mlp_hidden = {8};
+  fl::FedMsConfig fed;
+  fed.seed = 42;
+  fed.clients = 8;
+  fed.servers = 4;
+  const fl::CentralizedResult result =
+      fl::run_centralized_baseline(workload, fed, 8);
+  EXPECT_GT(result.epoch_accuracy.back(),
+            result.epoch_accuracy.front());
+}
+
+TEST(CentralizedBaselineDeath, RejectsZeroEpochs) {
+  fl::WorkloadConfig workload;
+  fl::FedMsConfig fed;
+  EXPECT_DEATH((void)fl::run_centralized_baseline(workload, fed, 0),
+               "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::metrics

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "metrics/recorder.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+namespace fedms::metrics {
+namespace {
+
+TEST(Stats, SummaryOfKnownValues) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_EQ(s.count, 4u);
+  // Sample stddev of {1,2,3,4} = sqrt(5/3).
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummaryEdgeCases) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const Summary one = summarize({7.0});
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+}
+
+TEST(Stats, RegressionSlopeExactOnLine) {
+  // y = -2x + 3.
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(-2.0 * i + 3.0);
+  }
+  EXPECT_NEAR(regression_slope(x, y), -2.0, 1e-12);
+}
+
+TEST(Stats, RegressionSlopeRecoversPowerLaw) {
+  // gap = 10/t on a log-log scale has slope -1.
+  std::vector<double> log_t, log_gap;
+  for (int t = 1; t <= 100; ++t) {
+    log_t.push_back(std::log(double(t)));
+    log_gap.push_back(std::log(10.0 / double(t)));
+  }
+  EXPECT_NEAR(regression_slope(log_t, log_gap), -1.0, 1e-12);
+}
+
+TEST(Stats, TailMean) {
+  const std::vector<double> v = {1, 2, 3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(tail_mean(v, 2), 5.5);
+  EXPECT_DOUBLE_EQ(tail_mean(v, 100), 3.5);  // clamps to all
+  EXPECT_DOUBLE_EQ(tail_mean(v, 0), 3.5);    // 0 = all
+}
+
+TEST(StatsDeath, RegressionNeedsTwoPoints) {
+  EXPECT_DEATH((void)regression_slope({1.0}, {1.0}), "Precondition");
+  EXPECT_DEATH((void)regression_slope({1, 2}, {1}), "Precondition");
+}
+
+fl::RunResult fake_run() {
+  fl::RunResult result;
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    fl::RoundRecord record;
+    record.round = t;
+    record.train_loss = 2.0 - 0.1 * double(t);
+    if (t % 2 == 1) {
+      record.eval_accuracy = 0.5 + 0.1 * double(t);
+      record.eval_loss = 1.0 - 0.1 * double(t);
+    }
+    result.rounds.push_back(record);
+  }
+  return result;
+}
+
+TEST(Recorder, SeriesFromRunKeepsOnlyEvaluatedRounds) {
+  const Series series =
+      series_from_run("fig2a", "Fed-MS", "noise", fake_run());
+  ASSERT_EQ(series.points.size(), 2u);
+  EXPECT_EQ(series.points[0].round, 1u);
+  EXPECT_DOUBLE_EQ(series.points[0].accuracy, 0.6);
+  EXPECT_EQ(series.points[1].round, 3u);
+  EXPECT_DOUBLE_EQ(series.points[1].accuracy, 0.8);
+}
+
+TEST(Recorder, CsvFormat) {
+  Recorder recorder;
+  recorder.add(series_from_run("fig2a", "Fed-MS", "noise", fake_run()));
+  std::ostringstream os;
+  recorder.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("figure,series,attack,round,accuracy,loss,train_loss"),
+            std::string::npos);
+  EXPECT_NE(csv.find("fig2a,Fed-MS,noise,1,0.6"), std::string::npos);
+}
+
+TEST(Recorder, MultipleSeriesAppend) {
+  Recorder recorder;
+  recorder.add(series_from_run("f", "a", "x", fake_run()));
+  recorder.add(series_from_run("f", "b", "x", fake_run()));
+  EXPECT_EQ(recorder.series().size(), 2u);
+}
+
+TEST(RunResult, FinalEvalReturnsLastEvaluated) {
+  const fl::RunResult result = fake_run();
+  EXPECT_EQ(result.final_eval().round, 3u);
+}
+
+TEST(RunResultDeath, FinalEvalOnUnevaluatedRunAborts) {
+  fl::RunResult result;
+  result.rounds.push_back({});
+  EXPECT_DEATH((void)result.final_eval(), "Precondition");
+}
+
+TEST(TablePrint, AlignsColumnsAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta-longer", "2.5"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("beta-longer"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrint, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(TableDeath, RowWidthMustMatchHeader) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.add_row({"only-one"}), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::metrics

@@ -1,0 +1,121 @@
+#include "nn/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/batchnorm.h"
+#include "nn/conv_layers.h"
+#include "nn/linear.h"
+#include "nn/model_zoo.h"
+#include "nn/params.h"
+#include "nn/sequential.h"
+
+namespace fedms::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Checkpoint, RoundTripRestoresParameters) {
+  core::Rng rng(1);
+  auto model = make_mlp(8, {6}, 3, rng);
+  const std::vector<float> original = flatten_params(*model);
+  const std::string path = temp_path("ckpt_mlp.bin");
+  save_checkpoint(path, *model);
+
+  // Scramble, then restore.
+  std::vector<float> scrambled(original.size(), -1.0f);
+  load_params(*model, scrambled);
+  load_checkpoint(path, *model);
+  EXPECT_EQ(flatten_params(*model), original);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RestoresBatchNormBuffers) {
+  core::Rng rng(2);
+  Sequential model;
+  model.emplace<Conv2d>(1, 2, 3, 1, 1, rng, false);
+  auto& bn = model.emplace<BatchNorm2d>(2);
+  bn.forward(tensor::Tensor::full({2, 2, 4, 4}, 3.0f), true);
+  const float saved_mean = bn.running_mean()[0];
+  ASSERT_NE(saved_mean, 0.0f);
+
+  const std::string path = temp_path("ckpt_bn.bin");
+  save_checkpoint(path, model);
+  bn.forward(tensor::Tensor::full({2, 2, 4, 4}, -9.0f), true);
+  ASSERT_NE(bn.running_mean()[0], saved_mean);
+  load_checkpoint(path, model);
+  EXPECT_FLOAT_EQ(bn.running_mean()[0], saved_mean);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadIntoAnotherInstanceOfSameArchitecture) {
+  core::Rng rng_a(3), rng_b(99);
+  auto a = make_logistic(5, 4, rng_a);
+  auto b = make_logistic(5, 4, rng_b);
+  const std::string path = temp_path("ckpt_logistic.bin");
+  save_checkpoint(path, *a);
+  load_checkpoint(path, *b);
+  EXPECT_EQ(flatten_params(*a), flatten_params(*b));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MismatchedArchitectureThrows) {
+  core::Rng rng(4);
+  auto small = make_logistic(5, 4, rng);
+  auto big = make_mlp(5, {7}, 4, rng);
+  const std::string path = temp_path("ckpt_mismatch.bin");
+  save_checkpoint(path, *small);
+  EXPECT_THROW(load_checkpoint(path, *big), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ShapeMismatchThrows) {
+  core::Rng rng(5);
+  auto a = make_logistic(5, 4, rng);
+  auto b = make_logistic(6, 4, rng);  // same entry names, wrong shapes
+  const std::string path = temp_path("ckpt_shape.bin");
+  save_checkpoint(path, *a);
+  EXPECT_THROW(load_checkpoint(path, *b), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptFileThrows) {
+  const std::string path = temp_path("ckpt_corrupt.bin");
+  std::ofstream(path) << "not a checkpoint at all";
+  core::Rng rng(6);
+  auto model = make_logistic(3, 2, rng);
+  EXPECT_THROW(load_checkpoint(path, *model), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  core::Rng rng(7);
+  auto model = make_logistic(3, 2, rng);
+  EXPECT_THROW(load_checkpoint("/nonexistent/ckpt.bin", *model),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, MobileNetFullStateRoundTrip) {
+  core::Rng rng(8);
+  MobileNetV2Config config;
+  config.image_size = 4;
+  config.stem_channels = 4;
+  config.stages = {{4, 1}};
+  auto model = make_mobilenet_v2_tiny(config, rng);
+  // Touch the BN buffers so the state is non-trivial.
+  model->forward(tensor::Tensor::randn({2, 3, 4, 4}, rng), true);
+  const std::vector<float> state = flatten_state(*model);
+  const std::string path = temp_path("ckpt_mobilenet.bin");
+  save_checkpoint(path, *model);
+  load_state(*model, std::vector<float>(state.size(), 0.5f));
+  load_checkpoint(path, *model);
+  EXPECT_EQ(flatten_state(*model), state);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fedms::nn

@@ -1,0 +1,243 @@
+// Central finite-difference gradient checks for every layer and for whole
+// models from the zoo: the backward passes are hand-written, so this is the
+// test that keeps them honest.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/classifier.h"
+#include "nn/conv_layers.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/model_zoo.h"
+#include "nn/params.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+
+namespace fedms::nn {
+namespace {
+
+using tensor::Tensor;
+
+// Loss = sum of layer outputs; checks dLoss/dInput and dLoss/dParams.
+void gradcheck_layer(Layer& layer, Tensor input, double tolerance = 2e-2,
+                     float eps = 1e-2f) {
+  auto loss_of = [&]() {
+    return tensor::sum(layer.forward(input, /*training=*/true));
+  };
+
+  layer.zero_grads();
+  const Tensor out = layer.forward(input, true);
+  const Tensor grad_input = layer.backward(Tensor::ones(out.shape()));
+
+  // Input gradient.
+  for (std::size_t i = 0; i < input.numel(); i += 2) {
+    const float saved = input[i];
+    input[i] = saved + eps;
+    const double up = loss_of();
+    input[i] = saved - eps;
+    const double down = loss_of();
+    input[i] = saved;
+    EXPECT_NEAR(grad_input[i], (up - down) / (2.0 * eps), tolerance)
+        << "input grad, index " << i;
+  }
+
+  // Parameter gradients.
+  std::vector<ParamRef> refs;
+  layer.collect_params(refs);
+  for (const auto& ref : refs) {
+    for (std::size_t i = 0; i < ref.value->numel(); i += 3) {
+      const float saved = (*ref.value)[i];
+      (*ref.value)[i] = saved + eps;
+      const double up = loss_of();
+      (*ref.value)[i] = saved - eps;
+      const double down = loss_of();
+      (*ref.value)[i] = saved;
+      EXPECT_NEAR((*ref.grad)[i], (up - down) / (2.0 * eps), tolerance)
+          << ref.name << " grad, index " << i;
+    }
+  }
+}
+
+TEST(GradCheck, Linear) {
+  core::Rng rng(1);
+  Linear layer(5, 4, rng);
+  gradcheck_layer(layer, Tensor::randn({3, 5}, rng));
+}
+
+TEST(GradCheck, ReLUAwayFromKink) {
+  core::Rng rng(2);
+  ReLU layer;
+  // Keep inputs away from 0 where the derivative is undefined.
+  Tensor input = Tensor::randn({4, 6}, rng);
+  for (std::size_t i = 0; i < input.numel(); ++i)
+    if (std::abs(input[i]) < 0.1f) input[i] = 0.5f;
+  gradcheck_layer(layer, input);
+}
+
+TEST(GradCheck, ReLU6AwayFromKinks) {
+  core::Rng rng(3);
+  ReLU6 layer;
+  Tensor input = Tensor::randn({4, 6}, rng, 2.0f, 1.5f);
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    if (std::abs(input[i]) < 0.1f) input[i] = 0.5f;
+    if (std::abs(input[i] - 6.0f) < 0.1f) input[i] = 5.5f;
+  }
+  gradcheck_layer(layer, input);
+}
+
+TEST(GradCheck, TanhLayer) {
+  core::Rng rng(4);
+  Tanh layer;
+  gradcheck_layer(layer, Tensor::randn({3, 5}, rng), 2e-2, 5e-3f);
+}
+
+TEST(GradCheck, Conv2dLayer) {
+  core::Rng rng(5);
+  Conv2d layer(2, 3, 3, 1, 1, rng);
+  gradcheck_layer(layer, Tensor::randn({2, 2, 4, 4}, rng));
+}
+
+TEST(GradCheck, DepthwiseConv2dLayer) {
+  core::Rng rng(6);
+  DepthwiseConv2d layer(3, 3, 1, 1, rng);
+  gradcheck_layer(layer, Tensor::randn({2, 3, 4, 4}, rng));
+}
+
+TEST(GradCheck, GlobalAvgPoolLayer) {
+  core::Rng rng(7);
+  GlobalAvgPool layer;
+  gradcheck_layer(layer, Tensor::randn({2, 3, 3, 3}, rng));
+}
+
+TEST(GradCheck, BatchNormLayer) {
+  core::Rng rng(8);
+  BatchNorm2d layer(2);
+  gradcheck_layer(layer, Tensor::randn({3, 2, 3, 3}, rng), 3e-2, 1e-2f);
+}
+
+TEST(GradCheck, ResidualBlock) {
+  core::Rng rng(9);
+  auto inner = std::make_unique<Linear>(4, 4, rng);
+  Residual layer(std::move(inner));
+  gradcheck_layer(layer, Tensor::randn({2, 4}, rng));
+}
+
+TEST(GradCheck, InvertedResidualBlock) {
+  core::Rng rng(10);
+  LayerPtr block = make_inverted_residual(4, 4, 2, 1, rng);
+  gradcheck_layer(*block, Tensor::randn({2, 4, 4, 4}, rng), 4e-2);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyGradient) {
+  core::Rng rng(11);
+  Tensor logits = Tensor::randn({4, 5}, rng);
+  const std::vector<std::size_t> labels = {0, 2, 4, 1};
+  SoftmaxCrossEntropy loss;
+  loss.forward(logits, labels);
+  const Tensor grad = loss.backward();
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    SoftmaxCrossEntropy up_loss;
+    const double up = up_loss.forward(logits, labels);
+    logits[i] = saved - eps;
+    SoftmaxCrossEntropy down_loss;
+    const double down = down_loss.forward(logits, labels);
+    logits[i] = saved;
+    EXPECT_NEAR(grad[i], (up - down) / (2.0 * eps), 1e-3);
+  }
+}
+
+TEST(GradCheck, MeanSquaredErrorGradient) {
+  core::Rng rng(12);
+  Tensor pred = Tensor::randn({3, 4}, rng);
+  const Tensor target = Tensor::randn({3, 4}, rng);
+  MeanSquaredError loss;
+  loss.forward(pred, target);
+  const Tensor grad = loss.backward();
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const float saved = pred[i];
+    pred[i] = saved + eps;
+    MeanSquaredError up_loss;
+    const double up = up_loss.forward(pred, target);
+    pred[i] = saved - eps;
+    MeanSquaredError down_loss;
+    const double down = down_loss.forward(pred, target);
+    pred[i] = saved;
+    EXPECT_NEAR(grad[i], (up - down) / (2.0 * eps), 1e-3);
+  }
+}
+
+// End-to-end parameter gradients of full zoo models through the
+// cross-entropy loss, checked on a handful of parameters each.
+class ModelGradCheck : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ModelGradCheck, EndToEndParameterGradients) {
+  const std::string model_name = GetParam();
+  core::Rng rng(13);
+  std::unique_ptr<Sequential> net;
+  Tensor inputs;
+  if (model_name == "mobilenet") {
+    nn::MobileNetV2Config config;
+    config.image_size = 4;
+    config.stem_channels = 4;
+    config.stages = {{4, 1}};
+    net = make_mobilenet_v2_tiny(config, rng);
+    inputs = Tensor::randn({4, 3, 4, 4}, rng);
+  } else if (model_name == "mlp") {
+    net = make_mlp(6, {5}, 3, rng);
+    inputs = Tensor::randn({4, 6}, rng);
+  } else {
+    net = make_logistic(6, 3, rng);
+    inputs = Tensor::randn({4, 6}, rng);
+  }
+  const std::vector<std::size_t> labels = {0, 1, 2, 1};
+
+  Classifier classifier(std::move(net));
+  classifier.compute_gradients(inputs, labels);
+  const std::vector<float> analytic = flatten_grads(classifier.net());
+  std::vector<float> flat = flatten_params(classifier.net());
+
+  const float eps = 2e-2f;
+  SoftmaxCrossEntropy probe;
+  auto loss_at = [&](const std::vector<float>& params) {
+    load_params(classifier.net(), params);
+    const Tensor logits = classifier.net().forward(inputs, true);
+    return probe.forward(logits, labels);
+  };
+  auto numeric_at = [&](std::size_t i, float h) {
+    const float saved = flat[i];
+    flat[i] = saved + h;
+    const double up = loss_at(flat);
+    flat[i] = saved - h;
+    const double down = loss_at(flat);
+    flat[i] = saved;
+    return (up - down) / (2.0 * double(h));
+  };
+  const std::size_t stride = std::max<std::size_t>(1, flat.size() / 25);
+  for (std::size_t i = 0; i < flat.size(); i += stride) {
+    const double coarse = numeric_at(i, eps);
+    const double fine = numeric_at(i, eps / 2);
+    // A central difference that changes materially with the step size means
+    // the perturbation crosses a ReLU/ReLU6 kink — the numeric estimate is
+    // meaningless there, so skip that parameter.
+    if (std::abs(coarse - fine) >
+        0.2 * std::max(std::abs(coarse), std::abs(fine)) + 1e-3)
+      continue;
+    EXPECT_NEAR(analytic[i], fine, 3e-2) << model_name << " param " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelZoo, ModelGradCheck,
+                         ::testing::Values("logistic", "mlp", "mobilenet"));
+
+}  // namespace
+}  // namespace fedms::nn

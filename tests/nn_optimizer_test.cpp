@@ -1,0 +1,125 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedms::nn {
+namespace {
+
+using tensor::Tensor;
+
+struct OneParam {
+  Tensor value = Tensor::from_list({1.0f});
+  Tensor grad = Tensor::from_list({0.5f});
+  std::vector<ParamRef> refs() { return {{&value, &grad, "w"}}; }
+};
+
+TEST(Schedules, ConstantIsConstant) {
+  ConstantSchedule schedule(0.1);
+  EXPECT_DOUBLE_EQ(schedule.lr(0), 0.1);
+  EXPECT_DOUBLE_EQ(schedule.lr(1000000), 0.1);
+}
+
+TEST(Schedules, InverseDecayFormula) {
+  // The paper's Theorem-1 choice: eta_t = 2/(mu*(gamma+t)).
+  const double mu = 2.0, L = 8.0, E = 3.0;
+  const double gamma = std::max(8.0 * L / mu, E);
+  InverseDecaySchedule schedule(2.0 / mu, gamma);
+  EXPECT_DOUBLE_EQ(schedule.lr(0), 1.0 / gamma);
+  EXPECT_DOUBLE_EQ(schedule.lr(10), 1.0 / (gamma + 10));
+}
+
+TEST(Schedules, InverseDecaySatisfiesPaperConditions) {
+  // Non-increasing and eta_t <= 2*eta_{t+E} for E = 5.
+  InverseDecaySchedule schedule(2.0, 40.0);
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    EXPECT_LE(schedule.lr(t + 1), schedule.lr(t));
+    EXPECT_LE(schedule.lr(t), 2.0 * schedule.lr(t + 5));
+  }
+}
+
+TEST(Schedules, StepDecayHalves) {
+  StepDecaySchedule schedule(1.0, 0.5, 10);
+  EXPECT_DOUBLE_EQ(schedule.lr(0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.lr(9), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.lr(10), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.lr(25), 0.25);
+}
+
+TEST(Sgd, VanillaStep) {
+  OneParam p;
+  Sgd sgd(std::make_unique<ConstantSchedule>(0.1));
+  sgd.step(p.refs());
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+  EXPECT_EQ(sgd.step_count(), 1u);
+}
+
+TEST(Sgd, FollowsSchedule) {
+  OneParam p;
+  Sgd sgd(std::make_unique<InverseDecaySchedule>(1.0, 1.0));
+  sgd.step(p.refs());  // lr = 1/(1+0) = 1
+  EXPECT_NEAR(p.value[0], 1.0f - 1.0f * 0.5f, 1e-6f);
+  sgd.step(p.refs());  // lr = 1/2
+  EXPECT_NEAR(p.value[0], 0.5f - 0.5f * 0.5f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  OneParam p;
+  p.grad.fill(0.0f);
+  Sgd sgd(std::make_unique<ConstantSchedule>(0.1),
+          SgdOptions{0.0, 0.5});
+  sgd.step(p.refs());
+  // w -= lr * wd * w = 1 - 0.1*0.5*1.
+  EXPECT_NEAR(p.value[0], 0.95f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  OneParam p;
+  Sgd sgd(std::make_unique<ConstantSchedule>(1.0),
+          SgdOptions{0.5, 0.0});
+  sgd.step(p.refs());  // v = 0.5; w = 1 - 0.5 = 0.5
+  EXPECT_NEAR(p.value[0], 0.5f, 1e-6f);
+  sgd.step(p.refs());  // v = 0.5*0.5 + 0.5 = 0.75; w = 0.5 - 0.75 = -0.25
+  EXPECT_NEAR(p.value[0], -0.25f, 1e-6f);
+}
+
+TEST(Sgd, ResetStepCountRestartsSchedule) {
+  OneParam p;
+  Sgd sgd(std::make_unique<InverseDecaySchedule>(1.0, 1.0));
+  sgd.step(p.refs());
+  sgd.step(p.refs());
+  EXPECT_EQ(sgd.step_count(), 2u);
+  sgd.reset_step_count();
+  EXPECT_EQ(sgd.step_count(), 0u);
+  EXPECT_DOUBLE_EQ(sgd.current_lr(), 1.0);
+}
+
+TEST(Sgd, MultipleParamsUpdatedIndependently) {
+  Tensor w1 = Tensor::from_list({1.0f, 2.0f});
+  Tensor g1 = Tensor::from_list({1.0f, 0.0f});
+  Tensor w2 = Tensor::from_list({3.0f});
+  Tensor g2 = Tensor::from_list({-1.0f});
+  std::vector<ParamRef> refs = {{&w1, &g1, "a"}, {&w2, &g2, "b"}};
+  Sgd sgd(std::make_unique<ConstantSchedule>(0.5));
+  sgd.step(refs);
+  EXPECT_NEAR(w1[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(w1[1], 2.0f, 1e-6f);
+  EXPECT_NEAR(w2[0], 3.5f, 1e-6f);
+}
+
+TEST(SgdDeath, RejectsBadOptions) {
+  EXPECT_DEATH(Sgd(std::make_unique<ConstantSchedule>(0.1),
+                   SgdOptions{1.5, 0.0}),
+               "Precondition");
+  EXPECT_DEATH(Sgd(nullptr), "Precondition");
+}
+
+TEST(SchedulesDeath, RejectNonPositive) {
+  EXPECT_DEATH(ConstantSchedule(0.0), "Precondition");
+  EXPECT_DEATH(InverseDecaySchedule(0.0, 1.0), "Precondition");
+  EXPECT_DEATH(StepDecaySchedule(1.0, 0.5, 0), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::nn

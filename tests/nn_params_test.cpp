@@ -1,0 +1,112 @@
+#include "nn/params.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/batchnorm.h"
+#include "nn/conv_layers.h"
+#include "nn/linear.h"
+#include "nn/model_zoo.h"
+#include "nn/sequential.h"
+
+namespace fedms::nn {
+namespace {
+
+TEST(Params, CountMatchesLayerSizes) {
+  core::Rng rng(1);
+  Sequential net;
+  net.emplace<Linear>(4, 3, rng);   // 12 + 3
+  net.emplace<Linear>(3, 2, rng);   // 6 + 2
+  EXPECT_EQ(parameter_count(net), 23u);
+  EXPECT_EQ(state_count(net), 23u);  // no buffers
+}
+
+TEST(Params, BatchNormAddsBuffersToState) {
+  core::Rng rng(2);
+  Sequential net;
+  net.emplace<Conv2d>(1, 2, 3, 1, 1, rng, /*with_bias=*/false);  // 18
+  net.emplace<BatchNorm2d>(2);  // gamma 2 + beta 2; buffers 2 + 2
+  EXPECT_EQ(parameter_count(net), 22u);
+  EXPECT_EQ(state_count(net), 26u);
+}
+
+TEST(Params, FlattenLoadRoundtrip) {
+  core::Rng rng(3);
+  Sequential net;
+  net.emplace<Linear>(5, 4, rng);
+  net.emplace<Linear>(4, 2, rng);
+  const std::vector<float> original = flatten_params(net);
+  std::vector<float> modified = original;
+  for (auto& v : modified) v += 1.0f;
+  load_params(net, modified);
+  EXPECT_EQ(flatten_params(net), modified);
+  load_params(net, original);
+  EXPECT_EQ(flatten_params(net), original);
+}
+
+TEST(Params, StateRoundtripIncludesRunningStats) {
+  core::Rng rng(4);
+  Sequential net;
+  net.emplace<Conv2d>(1, 2, 3, 1, 1, rng, false);
+  auto& bn = net.emplace<BatchNorm2d>(2);
+  // Touch the running stats so they are distinguishable.
+  bn.forward(tensor::Tensor::full({2, 2, 3, 3}, 4.0f), true);
+  const std::vector<float> state = flatten_state(net);
+
+  // A fresh copy of the same architecture...
+  core::Rng rng2(99);
+  Sequential other;
+  other.emplace<Conv2d>(1, 2, 3, 1, 1, rng2, false);
+  auto& bn2 = other.emplace<BatchNorm2d>(2);
+  load_state(other, state);
+  EXPECT_EQ(flatten_state(other), state);
+  EXPECT_FLOAT_EQ(bn2.running_mean()[0], bn.running_mean()[0]);
+  EXPECT_FLOAT_EQ(bn2.running_var()[1], bn.running_var()[1]);
+}
+
+TEST(Params, GradsFlattenInSameOrder) {
+  core::Rng rng(5);
+  Sequential net;
+  net.emplace<Linear>(2, 2, rng);
+  net.forward(tensor::Tensor::ones({1, 2}), true);
+  net.backward(tensor::Tensor::ones({1, 2}));
+  const std::vector<float> grads = flatten_grads(net);
+  EXPECT_EQ(grads.size(), parameter_count(net));
+  // Linear backward with all-ones input/grad: dW entries 1, db entries 1.
+  for (const float g : grads) EXPECT_FLOAT_EQ(g, 1.0f);
+}
+
+TEST(Params, ModelZooDimensions) {
+  core::Rng rng(6);
+  auto logistic = make_logistic(64, 10, rng);
+  EXPECT_EQ(parameter_count(*logistic), 64u * 10 + 10);
+  auto mlp = make_mlp(64, {32}, 10, rng);
+  EXPECT_EQ(parameter_count(*mlp), 64u * 32 + 32 + 32 * 10 + 10);
+}
+
+TEST(Params, MobileNetHasBuffers) {
+  core::Rng rng(7);
+  MobileNetV2Config config;
+  auto net = make_mobilenet_v2_tiny(config, rng);
+  EXPECT_GT(parameter_count(*net), 0u);
+  EXPECT_GT(state_count(*net), parameter_count(*net));
+}
+
+TEST(Params, IdenticalSeedsGiveIdenticalModels) {
+  core::Rng rng_a(42), rng_b(42);
+  auto a = make_mlp(8, {4}, 3, rng_a);
+  auto b = make_mlp(8, {4}, 3, rng_b);
+  EXPECT_EQ(flatten_params(*a), flatten_params(*b));
+}
+
+TEST(ParamsDeath, LoadWrongSizeAborts) {
+  core::Rng rng(8);
+  Sequential net;
+  net.emplace<Linear>(2, 2, rng);
+  EXPECT_DEATH(load_params(net, std::vector<float>(3, 0.0f)),
+               "Precondition");
+  EXPECT_DEATH(load_state(net, std::vector<float>(100, 0.0f)),
+               "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::nn

@@ -1,0 +1,144 @@
+#include "nn/pooling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "nn/classifier.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace fedms::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(MaxPool, SelectsWindowMaxima) {
+  Tensor input({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) input[i] = float(i);
+  MaxPool2d pool(2);
+  const Tensor out = pool.forward(input, true);
+  ASSERT_EQ(out.dim(2), 2u);
+  ASSERT_EQ(out.dim(3), 2u);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 0), 13.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 15.0f);
+}
+
+TEST(MaxPool, HandlesNegativeInputs) {
+  const Tensor input({1, 1, 2, 2}, std::vector<float>{-4, -3, -2, -1});
+  MaxPool2d pool(2);
+  EXPECT_FLOAT_EQ(pool.forward(input, true)[0], -1.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  Tensor input({1, 1, 2, 2}, std::vector<float>{1, 9, 3, 2});
+  MaxPool2d pool(2);
+  pool.forward(input, true);
+  const Tensor grad = pool.backward(Tensor::full({1, 1, 1, 1}, 5.0f));
+  EXPECT_FLOAT_EQ(grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(grad[1], 5.0f);  // the max position
+  EXPECT_FLOAT_EQ(grad[2], 0.0f);
+  EXPECT_FLOAT_EQ(grad[3], 0.0f);
+}
+
+TEST(MaxPool, OverlappingStride) {
+  Tensor input({1, 1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) input[i] = float(i);
+  MaxPool2d pool(2, 1);  // stride 1 -> 2x2 output
+  const Tensor out = pool.forward(input, true);
+  ASSERT_EQ(out.dim(2), 2u);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 8.0f);
+}
+
+TEST(AvgPool, ComputesWindowMeans) {
+  Tensor input({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  AvgPool2d pool(2);
+  EXPECT_FLOAT_EQ(pool.forward(input, true)[0], 2.5f);
+}
+
+TEST(AvgPool, BackwardSpreadsUniformly) {
+  Tensor input({1, 1, 2, 2});
+  AvgPool2d pool(2);
+  pool.forward(input, true);
+  const Tensor grad = pool.backward(Tensor::full({1, 1, 1, 1}, 8.0f));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(grad[i], 2.0f);
+}
+
+TEST(AvgPool, GradCheck) {
+  core::Rng rng(1);
+  AvgPool2d pool(2);
+  Tensor input = Tensor::randn({2, 2, 4, 4}, rng);
+  const Tensor out = pool.forward(input, true);
+  const Tensor grad_input = pool.backward(Tensor::ones(out.shape()));
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < input.numel(); i += 3) {
+    const float saved = input[i];
+    input[i] = saved + eps;
+    const double up = tensor::sum(pool.forward(input, true));
+    input[i] = saved - eps;
+    const double down = tensor::sum(pool.forward(input, true));
+    input[i] = saved;
+    EXPECT_NEAR(grad_input[i], (up - down) / (2.0 * eps), 1e-2);
+  }
+}
+
+TEST(MaxPool, GradCheckAwayFromTies) {
+  core::Rng rng(2);
+  MaxPool2d pool(2);
+  // Large spread makes ties / argmax flips under eps-perturbation unlikely.
+  Tensor input = Tensor::randn({1, 2, 4, 4}, rng, 0.0f, 10.0f);
+  const Tensor out = pool.forward(input, true);
+  const Tensor grad_input = pool.backward(Tensor::ones(out.shape()));
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < input.numel(); i += 2) {
+    const float saved = input[i];
+    input[i] = saved + eps;
+    const double up = tensor::sum(pool.forward(input, true));
+    input[i] = saved - eps;
+    const double down = tensor::sum(pool.forward(input, true));
+    input[i] = saved;
+    EXPECT_NEAR(grad_input[i], (up - down) / (2.0 * eps), 1e-2);
+  }
+}
+
+TEST(LeNet, ShapesAndForward) {
+  core::Rng rng(3);
+  auto net = make_lenet_tiny(3, 8, 10, rng);
+  const Tensor logits = net->forward(Tensor::randn({2, 3, 8, 8}, rng), true);
+  ASSERT_EQ(logits.dim(0), 2u);
+  EXPECT_EQ(logits.dim(1), 10u);
+}
+
+TEST(LeNet, LearnsSeparableImages) {
+  core::Rng data_rng(4), model_rng(5);
+  data::SyntheticImagesConfig config;
+  config.samples = 90;
+  config.image_size = 8;
+  config.num_classes = 3;
+  config.class_separation = 5.0f;
+  const data::Dataset dataset = data::make_synthetic_images(config, data_rng);
+
+  Classifier classifier(make_lenet_tiny(3, 8, 3, model_rng));
+  Sgd sgd(std::make_unique<ConstantSchedule>(0.05));
+  const auto params = classifier.params();
+  std::vector<std::size_t> all(dataset.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const data::Batch batch = data::make_batch(dataset, all);
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    classifier.compute_gradients(batch.inputs, batch.labels);
+    sgd.step(params);
+  }
+  EXPECT_GT(classifier.evaluate(batch.inputs, batch.labels).accuracy, 0.8);
+}
+
+TEST(LeNetDeath, RejectsIndivisibleImageSize) {
+  core::Rng rng(6);
+  EXPECT_DEATH((void)make_lenet_tiny(3, 6, 10, rng), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::nn

@@ -1,0 +1,143 @@
+// Training-substrate integration: the classifier + optimizer actually learn.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "nn/classifier.h"
+#include "nn/model_zoo.h"
+#include "nn/params.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace fedms::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Classifier, EvaluateCountsCorrectPredictions) {
+  core::Rng rng(1);
+  auto net = make_logistic(2, 2, rng);
+  // Force the decision: class = argmax(w x): w row0 = (1, 0), row1 = (0, 1).
+  std::vector<float> params(parameter_count(*net), 0.0f);
+  params[0] = 1.0f;  // w[0][0]
+  params[3] = 1.0f;  // w[1][1]
+  load_params(*net, params);
+  Classifier classifier(std::move(net));
+
+  const Tensor inputs({4, 2},
+                      std::vector<float>{2, 0, 0, 2, 3, 1, 1, 3});
+  const auto predictions = classifier.predict(inputs);
+  EXPECT_EQ(predictions, (std::vector<std::size_t>{0, 1, 0, 1}));
+
+  const EvalResult half = classifier.evaluate(inputs, {0, 1, 1, 0});
+  EXPECT_DOUBLE_EQ(half.accuracy, 0.5);
+  EXPECT_EQ(half.sample_count, 4u);
+  const EvalResult full = classifier.evaluate(inputs, {0, 1, 0, 1});
+  EXPECT_DOUBLE_EQ(full.accuracy, 1.0);
+}
+
+TEST(Classifier, GradientStepReducesBatchLoss) {
+  core::Rng rng(2);
+  Classifier classifier(make_mlp(4, {8}, 3, rng));
+  Sgd sgd(std::make_unique<ConstantSchedule>(0.1));
+  const auto params = classifier.params();
+
+  const Tensor inputs = Tensor::randn({16, 4}, rng);
+  std::vector<std::size_t> labels(16);
+  for (std::size_t i = 0; i < 16; ++i) labels[i] = i % 3;
+
+  const double first = classifier.compute_gradients(inputs, labels);
+  sgd.step(params);
+  double last = first;
+  for (int i = 0; i < 20; ++i) {
+    last = classifier.compute_gradients(inputs, labels);
+    sgd.step(params);
+  }
+  EXPECT_LT(last, first * 0.7);
+}
+
+class ZooLearns : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZooLearns, SeparableDataToHighAccuracy) {
+  const std::string model_name = GetParam();
+  core::Rng data_rng(3);
+
+  data::Dataset dataset;
+  std::unique_ptr<Sequential> net;
+  core::Rng model_rng(4);
+  if (model_name == "mobilenet") {
+    data::SyntheticImagesConfig config;
+    config.samples = 120;
+    config.image_size = 6;
+    config.num_classes = 3;
+    config.class_separation = 5.0f;
+    dataset = data::make_synthetic_images(config, data_rng);
+    MobileNetV2Config mconfig;
+    mconfig.image_size = 6;
+    mconfig.classes = 3;
+    mconfig.stem_channels = 8;
+    mconfig.stages = {{8, 1}};
+    net = make_mobilenet_v2_tiny(mconfig, model_rng);
+  } else {
+    data::GaussianClassesConfig config;
+    config.samples = 200;
+    config.dimension = 16;
+    config.num_classes = 4;
+    config.class_separation = 4.0f;
+    dataset = data::make_gaussian_classes(config, data_rng);
+    net = model_name == "mlp" ? make_mlp(16, {12}, 4, model_rng)
+                              : make_logistic(16, 4, model_rng);
+  }
+  data::check_dataset(dataset);
+
+  Classifier classifier(std::move(net));
+  Sgd sgd(std::make_unique<ConstantSchedule>(
+      model_name == "mobilenet" ? 0.15 : 0.3));
+  const auto params = classifier.params();
+
+  std::vector<std::size_t> all(dataset.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const data::Batch batch = data::make_batch(dataset, all);
+
+  const int epochs = model_name == "mobilenet" ? 120 : 60;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    classifier.compute_gradients(batch.inputs, batch.labels);
+    sgd.step(params);
+  }
+  const EvalResult result = classifier.evaluate(batch.inputs, batch.labels);
+  EXPECT_GT(result.accuracy, 0.75) << model_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelZoo, ZooLearns,
+                         ::testing::Values("logistic", "mlp", "mobilenet"));
+
+TEST(Classifier, EvaluateDoesNotDisturbTrainingCaches) {
+  core::Rng rng(5);
+  Classifier classifier(make_mlp(4, {4}, 2, rng));
+  const Tensor inputs = Tensor::randn({8, 4}, rng);
+  const std::vector<std::size_t> labels = {0, 1, 0, 1, 0, 1, 0, 1};
+  const double loss1 = classifier.compute_gradients(inputs, labels);
+  classifier.evaluate(inputs, labels);  // interleaved eval
+  const double loss2 = classifier.compute_gradients(inputs, labels);
+  // No optimizer step in between: the loss must be identical.
+  EXPECT_DOUBLE_EQ(loss1, loss2);
+}
+
+TEST(Loss, CrossEntropyOfUniformIsLogClasses) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits({2, 4});  // all-zero logits -> uniform softmax
+  const double value = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(value, std::log(4.0), 1e-6);
+}
+
+TEST(Loss, PerfectPredictionHasTinyLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  logits.at(0, 1) = 50.0f;
+  EXPECT_LT(loss.forward(logits, {1}), 1e-6);
+}
+
+}  // namespace
+}  // namespace fedms::nn

@@ -1,0 +1,110 @@
+// Equivalence of the im2col GEMM convolution path against the direct-loop
+// reference, plus unit tests of the lowering itself.
+
+#include "tensor/conv_im2col.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace fedms::tensor {
+namespace {
+
+TEST(Im2col, IdentityFor1x1Kernel) {
+  core::Rng rng(1);
+  const Tensor input = Tensor::randn({1, 2, 3, 3}, rng);
+  const Tensor columns = im2col(input, 0, 1, 1, Conv2dSpec{1, 0});
+  // 1x1 im2col is just a (C x H*W) view of the image.
+  ASSERT_EQ(columns.dim(0), 2u);
+  ASSERT_EQ(columns.dim(1), 9u);
+  for (std::size_t c = 0; c < 2; ++c)
+    for (std::size_t i = 0; i < 9; ++i)
+      EXPECT_EQ(columns.at(c, i), input.at(0, c, i / 3, i % 3));
+}
+
+TEST(Im2col, PaddingTapsAreZero) {
+  const Tensor input = Tensor::ones({1, 1, 2, 2});
+  const Tensor columns = im2col(input, 0, 3, 3, Conv2dSpec{1, 1});
+  // Output position (0,0): the (kh=0, kw=0) tap reads input(-1,-1) -> 0.
+  EXPECT_EQ(columns.at(0, 0), 0.0f);
+  // The (kh=1, kw=1) tap reads input(0,0) -> 1.
+  EXPECT_EQ(columns.at(4, 0), 1.0f);
+}
+
+TEST(Im2col, ColumnCountMatchesOutputSize) {
+  core::Rng rng(2);
+  const Tensor input = Tensor::randn({2, 3, 5, 7}, rng);
+  const Tensor columns = im2col(input, 1, 3, 3, Conv2dSpec{2, 1});
+  const std::size_t hout = conv_out_size(5, 3, 2, 1);
+  const std::size_t wout = conv_out_size(7, 3, 2, 1);
+  EXPECT_EQ(columns.dim(0), 3u * 9u);
+  EXPECT_EQ(columns.dim(1), hout * wout);
+}
+
+TEST(Col2im, InverseOfIm2colForNonOverlappingTaps) {
+  // stride == kernel => each input pixel is read exactly once, so
+  // col2im(im2col(x)) == x.
+  core::Rng rng(3);
+  const Tensor input = Tensor::randn({1, 2, 4, 4}, rng);
+  const Conv2dSpec spec{2, 0};
+  const Tensor columns = im2col(input, 0, 2, 2, spec);
+  Tensor reconstructed({1, 2, 4, 4});
+  col2im_accumulate(columns, 2, 2, spec, reconstructed, 0);
+  for (std::size_t i = 0; i < input.numel(); ++i)
+    EXPECT_FLOAT_EQ(reconstructed[i], input[i]);
+}
+
+struct ConvCase {
+  std::size_t batch, cin, cout, size, kernel, stride, padding;
+};
+
+class Im2colEquivalence : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Im2colEquivalence, ForwardMatchesDirect) {
+  const ConvCase c = GetParam();
+  core::Rng rng(4);
+  const Tensor input = Tensor::randn({c.batch, c.cin, c.size, c.size}, rng);
+  const Tensor weight =
+      Tensor::randn({c.cout, c.cin, c.kernel, c.kernel}, rng);
+  const Tensor bias = Tensor::randn({c.cout}, rng);
+  const Conv2dSpec spec{c.stride, c.padding};
+  const Tensor direct = conv2d_forward(input, weight, bias, spec);
+  const Tensor fast = conv2d_forward_im2col(input, weight, bias, spec);
+  ASSERT_TRUE(direct.same_shape(fast));
+  for (std::size_t i = 0; i < direct.numel(); ++i)
+    EXPECT_NEAR(direct[i], fast[i], 1e-4f) << "index " << i;
+}
+
+TEST_P(Im2colEquivalence, BackwardMatchesDirect) {
+  const ConvCase c = GetParam();
+  core::Rng rng(5);
+  const Tensor input = Tensor::randn({c.batch, c.cin, c.size, c.size}, rng);
+  const Tensor weight =
+      Tensor::randn({c.cout, c.cin, c.kernel, c.kernel}, rng);
+  const Conv2dSpec spec{c.stride, c.padding};
+  const Tensor output =
+      conv2d_forward(input, weight, Tensor(), spec);
+  const Tensor grad_out = Tensor::randn(output.shape(), rng);
+
+  const Conv2dGrads direct =
+      conv2d_backward(input, weight, grad_out, spec);
+  const Conv2dGrads fast =
+      conv2d_backward_im2col(input, weight, grad_out, spec);
+  for (std::size_t i = 0; i < direct.grad_input.numel(); ++i)
+    EXPECT_NEAR(direct.grad_input[i], fast.grad_input[i], 1e-3f);
+  for (std::size_t i = 0; i < direct.grad_weight.numel(); ++i)
+    EXPECT_NEAR(direct.grad_weight[i], fast.grad_weight[i], 1e-3f);
+  for (std::size_t i = 0; i < direct.grad_bias.numel(); ++i)
+    EXPECT_NEAR(direct.grad_bias[i], fast.grad_bias[i], 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Im2colEquivalence,
+    ::testing::Values(ConvCase{2, 3, 4, 8, 3, 1, 1},
+                      ConvCase{1, 2, 5, 6, 3, 2, 1},
+                      ConvCase{3, 1, 2, 5, 3, 1, 0},
+                      ConvCase{2, 4, 4, 4, 1, 1, 0},
+                      ConvCase{1, 3, 2, 7, 5, 2, 2}));
+
+}  // namespace
+}  // namespace fedms::tensor

@@ -1,0 +1,194 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedms::tensor {
+namespace {
+
+Tensor t2x2(float a, float b, float c, float d) {
+  return Tensor({2, 2}, std::vector<float>{a, b, c, d});
+}
+
+TEST(ElementWise, AddSubMulScale) {
+  const Tensor a = t2x2(1, 2, 3, 4);
+  const Tensor b = t2x2(10, 20, 30, 40);
+  const Tensor sum = add(a, b);
+  EXPECT_EQ(sum.at(1, 1), 44.0f);
+  const Tensor diff = sub(b, a);
+  EXPECT_EQ(diff.at(0, 0), 9.0f);
+  const Tensor prod = mul(a, b);
+  EXPECT_EQ(prod.at(0, 1), 40.0f);
+  const Tensor scaled = scale(a, 0.5f);
+  EXPECT_EQ(scaled.at(1, 0), 1.5f);
+}
+
+TEST(ElementWise, InPlaceVariants) {
+  Tensor a = t2x2(1, 2, 3, 4);
+  add_inplace(a, t2x2(1, 1, 1, 1));
+  EXPECT_EQ(a.at(0, 0), 2.0f);
+  sub_inplace(a, t2x2(2, 2, 2, 2));
+  EXPECT_EQ(a.at(0, 0), 0.0f);
+  mul_inplace(a, t2x2(3, 3, 3, 3));
+  EXPECT_EQ(a.at(1, 1), 9.0f);
+  scale_inplace(a, 2.0f);
+  EXPECT_EQ(a.at(1, 1), 18.0f);
+}
+
+TEST(ElementWise, Axpy) {
+  Tensor y = t2x2(1, 1, 1, 1);
+  axpy(y, 2.0f, t2x2(1, 2, 3, 4));
+  EXPECT_EQ(y.at(0, 0), 3.0f);
+  EXPECT_EQ(y.at(1, 1), 9.0f);
+}
+
+TEST(MatMul, HandChecked2x2) {
+  const Tensor a = t2x2(1, 2, 3, 4);
+  const Tensor b = t2x2(5, 6, 7, 8);
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(MatMul, RectangularShapes) {
+  const Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 1}, std::vector<float>{1, 1, 1});
+  const Tensor c = matmul(a, b);
+  ASSERT_EQ(c.dim(0), 2u);
+  ASSERT_EQ(c.dim(1), 1u);
+  EXPECT_EQ(c.at(0, 0), 6.0f);
+  EXPECT_EQ(c.at(1, 0), 15.0f);
+}
+
+TEST(MatMul, TransAMatchesExplicitTranspose) {
+  core::Rng rng(1);
+  const Tensor a = Tensor::randn({4, 3}, rng);
+  const Tensor b = Tensor::randn({4, 5}, rng);
+  const Tensor direct = matmul_transA(a, b);
+  const Tensor expected = matmul(transpose(a), b);
+  ASSERT_TRUE(direct.same_shape(expected));
+  for (std::size_t i = 0; i < direct.numel(); ++i)
+    EXPECT_NEAR(direct[i], expected[i], 1e-4f);
+}
+
+TEST(MatMul, TransBMatchesExplicitTranspose) {
+  core::Rng rng(2);
+  const Tensor a = Tensor::randn({4, 3}, rng);
+  const Tensor b = Tensor::randn({5, 3}, rng);
+  const Tensor direct = matmul_transB(a, b);
+  const Tensor expected = matmul(a, transpose(b));
+  ASSERT_TRUE(direct.same_shape(expected));
+  for (std::size_t i = 0; i < direct.numel(); ++i)
+    EXPECT_NEAR(direct[i], expected[i], 1e-4f);
+}
+
+TEST(MatMul, IdentityIsNeutral) {
+  core::Rng rng(3);
+  const Tensor a = Tensor::randn({3, 3}, rng);
+  Tensor eye({3, 3});
+  for (std::size_t i = 0; i < 3; ++i) eye.at(i, i) = 1.0f;
+  const Tensor c = matmul(a, eye);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(c[i], a[i]);
+}
+
+TEST(Transpose, Roundtrip) {
+  core::Rng rng(4);
+  const Tensor a = Tensor::randn({3, 7}, rng);
+  const Tensor back = transpose(transpose(a));
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(back[i], a[i]);
+}
+
+TEST(Rows, AddBiasRows) {
+  Tensor m({2, 3}, std::vector<float>{0, 0, 0, 1, 1, 1});
+  add_bias_rows(m, Tensor::from_list({10, 20, 30}));
+  EXPECT_EQ(m.at(0, 1), 20.0f);
+  EXPECT_EQ(m.at(1, 2), 31.0f);
+}
+
+TEST(Rows, SumRows) {
+  const Tensor m({3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor s = sum_rows(m);
+  ASSERT_EQ(s.dim(0), 2u);
+  EXPECT_EQ(s[0], 9.0f);
+  EXPECT_EQ(s[1], 12.0f);
+}
+
+TEST(Reductions, SumMeanMinMax) {
+  const Tensor t = Tensor::from_list({-1, 3, 2, 0});
+  EXPECT_DOUBLE_EQ(sum(t), 4.0);
+  EXPECT_DOUBLE_EQ(mean(t), 1.0);
+  EXPECT_EQ(max_value(t), 3.0f);
+  EXPECT_EQ(min_value(t), -1.0f);
+}
+
+TEST(Reductions, ArgmaxFirstOnTies) {
+  EXPECT_EQ(argmax(Tensor::from_list({1, 5, 5, 2})), 1u);
+  EXPECT_EQ(argmax(Tensor::from_list({7})), 0u);
+}
+
+TEST(Reductions, ArgmaxRows) {
+  const Tensor m({2, 3}, std::vector<float>{1, 9, 2, 8, 1, 3});
+  const auto idx = argmax_rows(m);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 0u);
+}
+
+TEST(Norms, L2AndDistances) {
+  const Tensor a = Tensor::from_list({3, 4});
+  EXPECT_DOUBLE_EQ(l2_norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(squared_l2_norm(a), 25.0);
+  const Tensor b = Tensor::from_list({0, 0});
+  EXPECT_DOUBLE_EQ(squared_l2_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), 0.0);
+}
+
+TEST(NonLinear, Relu) {
+  const Tensor t = relu(Tensor::from_list({-2, 0, 3}));
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_EQ(t[1], 0.0f);
+  EXPECT_EQ(t[2], 3.0f);
+}
+
+TEST(NonLinear, SoftmaxRowsSumToOne) {
+  core::Rng rng(8);
+  const Tensor logits = Tensor::randn({4, 10}, rng, 0.0f, 3.0f);
+  const Tensor p = softmax_rows(logits);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_GT(p.at(i, j), 0.0f);
+      row_sum += p.at(i, j);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-5);
+  }
+}
+
+TEST(NonLinear, SoftmaxStableUnderLargeLogits) {
+  const Tensor logits({1, 3}, std::vector<float>{1000, 1001, 1002});
+  const Tensor p = softmax_rows(logits);
+  EXPECT_TRUE(p.all_finite());
+  EXPECT_GT(p.at(0, 2), p.at(0, 1));
+  EXPECT_GT(p.at(0, 1), p.at(0, 0));
+}
+
+TEST(NonLinear, SoftmaxPreservesOrdering) {
+  const Tensor logits({1, 3}, std::vector<float>{0.1f, 0.5f, -0.3f});
+  const Tensor p = softmax_rows(logits);
+  EXPECT_GT(p.at(0, 1), p.at(0, 0));
+  EXPECT_GT(p.at(0, 0), p.at(0, 2));
+}
+
+TEST(OpsDeath, ShapeMismatchAborts) {
+  const Tensor a({2, 2});
+  const Tensor b({2, 3});
+  EXPECT_DEATH((void)add(a, b), "Precondition");
+  EXPECT_DEATH((void)matmul(a, Tensor({3, 2})), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::tensor

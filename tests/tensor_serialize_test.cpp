@@ -1,0 +1,98 @@
+#include "tensor/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace fedms::tensor {
+namespace {
+
+TEST(Serialize, TensorRoundtrip) {
+  core::Rng rng(1);
+  const Tensor original = Tensor::randn({3, 4, 5}, rng);
+  std::stringstream buffer;
+  write_tensor(buffer, original);
+  const Tensor loaded = read_tensor(buffer);
+  ASSERT_TRUE(loaded.same_shape(original));
+  for (std::size_t i = 0; i < original.numel(); ++i)
+    EXPECT_EQ(loaded[i], original[i]);
+}
+
+TEST(Serialize, ScalarAndEmptyShapes) {
+  std::stringstream buffer;
+  write_tensor(buffer, Tensor({1}));
+  const Tensor t = read_tensor(buffer);
+  EXPECT_EQ(t.numel(), 1u);
+}
+
+TEST(Serialize, SerializedSizeMatchesStream) {
+  const Tensor t({7, 3});
+  std::stringstream buffer;
+  write_tensor(buffer, t);
+  EXPECT_EQ(buffer.str().size(), serialized_size(t.shape()));
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream buffer("XXXXgarbage-data-here");
+  EXPECT_THROW((void)read_tensor(buffer), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedDataThrows) {
+  core::Rng rng(2);
+  const Tensor t = Tensor::randn({10}, rng);
+  std::stringstream buffer;
+  write_tensor(buffer, t);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 8);  // chop the tail
+  std::stringstream truncated(bytes);
+  EXPECT_THROW((void)read_tensor(truncated), std::runtime_error);
+}
+
+TEST(Serialize, EmptyStreamThrows) {
+  std::stringstream buffer;
+  EXPECT_THROW((void)read_tensor(buffer), std::runtime_error);
+}
+
+TEST(Serialize, ImplausibleRankThrows) {
+  // Magic + rank = 1000.
+  std::stringstream buffer;
+  buffer.write("FMT0", 4);
+  const std::uint64_t rank = 1000;
+  buffer.write(reinterpret_cast<const char*>(&rank), sizeof rank);
+  EXPECT_THROW((void)read_tensor(buffer), std::runtime_error);
+}
+
+TEST(Serialize, FloatsRoundtrip) {
+  const std::vector<float> values = {1.5f, -2.25f, 0.0f, 1e-20f};
+  std::stringstream buffer;
+  write_floats(buffer, values);
+  const std::vector<float> loaded = read_floats(buffer);
+  EXPECT_EQ(loaded, values);
+}
+
+TEST(Serialize, EmptyFloatsRoundtrip) {
+  std::stringstream buffer;
+  write_floats(buffer, {});
+  EXPECT_TRUE(read_floats(buffer).empty());
+}
+
+TEST(Serialize, FileRoundtrip) {
+  core::Rng rng(3);
+  const Tensor original = Tensor::randn({4, 4}, rng);
+  const std::string path = ::testing::TempDir() + "/fedms_tensor_test.bin";
+  save_tensor(path, original);
+  const Tensor loaded = load_tensor(path);
+  ASSERT_TRUE(loaded.same_shape(original));
+  for (std::size_t i = 0; i < original.numel(); ++i)
+    EXPECT_EQ(loaded[i], original[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW((void)load_tensor("/nonexistent/dir/t.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fedms::tensor

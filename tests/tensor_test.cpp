@@ -1,0 +1,152 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fedms::tensor {
+namespace {
+
+TEST(Shape, NumelProducts) {
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_numel({5}), 5u);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({2, 0, 4}), 0u);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(shape_to_string({2, 3}), "2x3");
+  EXPECT_EQ(shape_to_string({7}), "7");
+  EXPECT_EQ(shape_to_string({}), "scalar");
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.numel(), 12u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullValue) {
+  Tensor t = Tensor::full({2, 2}, 3.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 3.5f);
+}
+
+TEST(Tensor, OnesAndZerosFactories) {
+  EXPECT_EQ(Tensor::ones({3})[1], 1.0f);
+  EXPECT_EQ(Tensor::zeros({3})[1], 0.0f);
+}
+
+TEST(Tensor, FromListMakes1D) {
+  Tensor t = Tensor::from_list({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(t[2], 3.0f);
+}
+
+TEST(Tensor, AdoptsDataVector) {
+  Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, RowMajor2DIndexing) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[1 * 3 + 2], 7.0f);
+}
+
+TEST(Tensor, RowMajor4DIndexing) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(0, 0), 1.0f);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  t.reshape({6});
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t[5], 6.0f);
+}
+
+TEST(Tensor, FillOverwrites) {
+  Tensor t({4});
+  t.fill(2.0f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.0f);
+}
+
+TEST(Tensor, RandnMomentsRoughlyMatch) {
+  core::Rng rng(5);
+  Tensor t = Tensor::randn({10000}, rng, 1.0f, 2.0f);
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sq += double(t[i]) * t[i];
+  }
+  const double mean = sum / double(t.numel());
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(sq / double(t.numel()) - mean * mean, 4.0, 0.3);
+}
+
+TEST(Tensor, RandUniformBounds) {
+  core::Rng rng(6);
+  Tensor t = Tensor::rand_uniform({1000}, rng, -2.0f, 3.0f);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -2.0f);
+    EXPECT_LT(t[i], 3.0f);
+  }
+}
+
+TEST(Tensor, AllFiniteDetectsNanAndInf) {
+  Tensor t({3});
+  EXPECT_TRUE(t.all_finite());
+  t[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(t.all_finite());
+  t[1] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(t.all_finite());
+  t[1] = 0.0f;
+  EXPECT_TRUE(t.all_finite());
+}
+
+TEST(Tensor, SameShapeComparesShapes) {
+  Tensor a({2, 3}), b({2, 3}), c({3, 2});
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a({2});
+  Tensor b = a;
+  b[0] = 5.0f;
+  EXPECT_EQ(a[0], 0.0f);
+  EXPECT_EQ(b[0], 5.0f);
+}
+
+TEST(TensorDeath, ReshapeWrongNumelAborts) {
+  Tensor t({2, 3});
+  EXPECT_DEATH(t.reshape({5}), "Precondition");
+}
+
+TEST(TensorDeath, OutOfRangeIndexAborts) {
+  Tensor t({2, 2});
+  EXPECT_DEATH((void)t.at(2, 0), "Precondition");
+}
+
+TEST(TensorDeath, MismatchedDataSizeAborts) {
+  EXPECT_DEATH(Tensor({2, 2}, std::vector<float>{1, 2, 3}), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::tensor
