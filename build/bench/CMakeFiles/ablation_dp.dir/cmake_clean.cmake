@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dp.dir/ablation_dp.cpp.o"
+  "CMakeFiles/ablation_dp.dir/ablation_dp.cpp.o.d"
+  "ablation_dp"
+  "ablation_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

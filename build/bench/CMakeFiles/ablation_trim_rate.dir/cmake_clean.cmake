@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trim_rate.dir/ablation_trim_rate.cpp.o"
+  "CMakeFiles/ablation_trim_rate.dir/ablation_trim_rate.cpp.o.d"
+  "ablation_trim_rate"
+  "ablation_trim_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trim_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

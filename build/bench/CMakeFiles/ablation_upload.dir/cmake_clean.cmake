@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_upload.dir/ablation_upload.cpp.o"
+  "CMakeFiles/ablation_upload.dir/ablation_upload.cpp.o.d"
+  "ablation_upload"
+  "ablation_upload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_upload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

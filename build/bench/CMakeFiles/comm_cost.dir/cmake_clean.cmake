@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_cost.dir/comm_cost.cpp.o"
+  "CMakeFiles/comm_cost.dir/comm_cost.cpp.o.d"
+  "comm_cost"
+  "comm_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_byzantine_clients.dir/ext_byzantine_clients.cpp.o"
+  "CMakeFiles/ext_byzantine_clients.dir/ext_byzantine_clients.cpp.o.d"
+  "ext_byzantine_clients"
+  "ext_byzantine_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_byzantine_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

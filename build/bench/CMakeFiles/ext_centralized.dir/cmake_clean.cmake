@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_centralized.dir/ext_centralized.cpp.o"
+  "CMakeFiles/ext_centralized.dir/ext_centralized.cpp.o.d"
+  "ext_centralized"
+  "ext_centralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_attacks.dir/fig2_attacks.cpp.o"
+  "CMakeFiles/fig2_attacks.dir/fig2_attacks.cpp.o.d"
+  "fig2_attacks"
+  "fig2_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_byzantine_fraction.dir/fig3_byzantine_fraction.cpp.o"
+  "CMakeFiles/fig3_byzantine_fraction.dir/fig3_byzantine_fraction.cpp.o.d"
+  "fig3_byzantine_fraction"
+  "fig3_byzantine_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_byzantine_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

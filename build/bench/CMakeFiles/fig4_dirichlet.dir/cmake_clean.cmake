@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dirichlet.dir/fig4_dirichlet.cpp.o"
+  "CMakeFiles/fig4_dirichlet.dir/fig4_dirichlet.cpp.o.d"
+  "fig4_dirichlet"
+  "fig4_dirichlet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dirichlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_dirichlet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_heterogeneity.dir/fig5_heterogeneity.cpp.o"
+  "CMakeFiles/fig5_heterogeneity.dir/fig5_heterogeneity.cpp.o.d"
+  "fig5_heterogeneity"
+  "fig5_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_aggregators.dir/micro_aggregators.cpp.o"
+  "CMakeFiles/micro_aggregators.dir/micro_aggregators.cpp.o.d"
+  "micro_aggregators"
+  "micro_aggregators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_aggregators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

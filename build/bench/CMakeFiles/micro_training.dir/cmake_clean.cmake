@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_training.dir/micro_training.cpp.o"
+  "CMakeFiles/micro_training.dir/micro_training.cpp.o.d"
+  "micro_training"
+  "micro_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_convergence.dir/theory_convergence.cpp.o"
+  "CMakeFiles/theory_convergence.dir/theory_convergence.cpp.o.d"
+  "theory_convergence"
+  "theory_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

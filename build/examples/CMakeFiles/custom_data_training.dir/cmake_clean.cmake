@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_data_training.dir/custom_data_training.cpp.o"
+  "CMakeFiles/custom_data_training.dir/custom_data_training.cpp.o.d"
+  "custom_data_training"
+  "custom_data_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_data_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

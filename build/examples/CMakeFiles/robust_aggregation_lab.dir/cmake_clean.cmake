@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_aggregation_lab.dir/robust_aggregation_lab.cpp.o"
+  "CMakeFiles/robust_aggregation_lab.dir/robust_aggregation_lab.cpp.o.d"
+  "robust_aggregation_lab"
+  "robust_aggregation_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_aggregation_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

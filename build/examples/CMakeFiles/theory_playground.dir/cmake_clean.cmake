@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_playground.dir/theory_playground.cpp.o"
+  "CMakeFiles/theory_playground.dir/theory_playground.cpp.o.d"
+  "theory_playground"
+  "theory_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

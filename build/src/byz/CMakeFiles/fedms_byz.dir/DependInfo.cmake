@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/byz/attack.cpp" "src/byz/CMakeFiles/fedms_byz.dir/attack.cpp.o" "gcc" "src/byz/CMakeFiles/fedms_byz.dir/attack.cpp.o.d"
+  "/root/repo/src/byz/attacks.cpp" "src/byz/CMakeFiles/fedms_byz.dir/attacks.cpp.o" "gcc" "src/byz/CMakeFiles/fedms_byz.dir/attacks.cpp.o.d"
+  "/root/repo/src/byz/client_attacks.cpp" "src/byz/CMakeFiles/fedms_byz.dir/client_attacks.cpp.o" "gcc" "src/byz/CMakeFiles/fedms_byz.dir/client_attacks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedms_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

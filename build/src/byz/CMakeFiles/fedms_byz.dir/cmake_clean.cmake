@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedms_byz.dir/attack.cpp.o"
+  "CMakeFiles/fedms_byz.dir/attack.cpp.o.d"
+  "CMakeFiles/fedms_byz.dir/attacks.cpp.o"
+  "CMakeFiles/fedms_byz.dir/attacks.cpp.o.d"
+  "CMakeFiles/fedms_byz.dir/client_attacks.cpp.o"
+  "CMakeFiles/fedms_byz.dir/client_attacks.cpp.o.d"
+  "libfedms_byz.a"
+  "libfedms_byz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedms_byz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedms_byz.a"
+)

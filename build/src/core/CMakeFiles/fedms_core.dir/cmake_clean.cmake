@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedms_core.dir/cli.cpp.o"
+  "CMakeFiles/fedms_core.dir/cli.cpp.o.d"
+  "CMakeFiles/fedms_core.dir/contracts.cpp.o"
+  "CMakeFiles/fedms_core.dir/contracts.cpp.o.d"
+  "CMakeFiles/fedms_core.dir/log.cpp.o"
+  "CMakeFiles/fedms_core.dir/log.cpp.o.d"
+  "CMakeFiles/fedms_core.dir/rng.cpp.o"
+  "CMakeFiles/fedms_core.dir/rng.cpp.o.d"
+  "CMakeFiles/fedms_core.dir/stopwatch.cpp.o"
+  "CMakeFiles/fedms_core.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/fedms_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/fedms_core.dir/thread_pool.cpp.o.d"
+  "libfedms_core.a"
+  "libfedms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

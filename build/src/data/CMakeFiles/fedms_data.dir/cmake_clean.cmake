@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedms_data.dir/convex.cpp.o"
+  "CMakeFiles/fedms_data.dir/convex.cpp.o.d"
+  "CMakeFiles/fedms_data.dir/csv.cpp.o"
+  "CMakeFiles/fedms_data.dir/csv.cpp.o.d"
+  "CMakeFiles/fedms_data.dir/dataset.cpp.o"
+  "CMakeFiles/fedms_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/fedms_data.dir/partition.cpp.o"
+  "CMakeFiles/fedms_data.dir/partition.cpp.o.d"
+  "CMakeFiles/fedms_data.dir/sampler.cpp.o"
+  "CMakeFiles/fedms_data.dir/sampler.cpp.o.d"
+  "CMakeFiles/fedms_data.dir/synthetic.cpp.o"
+  "CMakeFiles/fedms_data.dir/synthetic.cpp.o.d"
+  "libfedms_data.a"
+  "libfedms_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedms_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/aggregators.cpp" "src/fl/CMakeFiles/fedms_fl.dir/aggregators.cpp.o" "gcc" "src/fl/CMakeFiles/fedms_fl.dir/aggregators.cpp.o.d"
+  "/root/repo/src/fl/compression.cpp" "src/fl/CMakeFiles/fedms_fl.dir/compression.cpp.o" "gcc" "src/fl/CMakeFiles/fedms_fl.dir/compression.cpp.o.d"
+  "/root/repo/src/fl/config.cpp" "src/fl/CMakeFiles/fedms_fl.dir/config.cpp.o" "gcc" "src/fl/CMakeFiles/fedms_fl.dir/config.cpp.o.d"
+  "/root/repo/src/fl/experiment.cpp" "src/fl/CMakeFiles/fedms_fl.dir/experiment.cpp.o" "gcc" "src/fl/CMakeFiles/fedms_fl.dir/experiment.cpp.o.d"
+  "/root/repo/src/fl/fedms.cpp" "src/fl/CMakeFiles/fedms_fl.dir/fedms.cpp.o" "gcc" "src/fl/CMakeFiles/fedms_fl.dir/fedms.cpp.o.d"
+  "/root/repo/src/fl/learner.cpp" "src/fl/CMakeFiles/fedms_fl.dir/learner.cpp.o" "gcc" "src/fl/CMakeFiles/fedms_fl.dir/learner.cpp.o.d"
+  "/root/repo/src/fl/nn_learner.cpp" "src/fl/CMakeFiles/fedms_fl.dir/nn_learner.cpp.o" "gcc" "src/fl/CMakeFiles/fedms_fl.dir/nn_learner.cpp.o.d"
+  "/root/repo/src/fl/quadratic_learner.cpp" "src/fl/CMakeFiles/fedms_fl.dir/quadratic_learner.cpp.o" "gcc" "src/fl/CMakeFiles/fedms_fl.dir/quadratic_learner.cpp.o.d"
+  "/root/repo/src/fl/server.cpp" "src/fl/CMakeFiles/fedms_fl.dir/server.cpp.o" "gcc" "src/fl/CMakeFiles/fedms_fl.dir/server.cpp.o.d"
+  "/root/repo/src/fl/upload.cpp" "src/fl/CMakeFiles/fedms_fl.dir/upload.cpp.o" "gcc" "src/fl/CMakeFiles/fedms_fl.dir/upload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedms_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedms_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedms_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fedms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/byz/CMakeFiles/fedms_byz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedms_fl.dir/aggregators.cpp.o"
+  "CMakeFiles/fedms_fl.dir/aggregators.cpp.o.d"
+  "CMakeFiles/fedms_fl.dir/compression.cpp.o"
+  "CMakeFiles/fedms_fl.dir/compression.cpp.o.d"
+  "CMakeFiles/fedms_fl.dir/config.cpp.o"
+  "CMakeFiles/fedms_fl.dir/config.cpp.o.d"
+  "CMakeFiles/fedms_fl.dir/experiment.cpp.o"
+  "CMakeFiles/fedms_fl.dir/experiment.cpp.o.d"
+  "CMakeFiles/fedms_fl.dir/fedms.cpp.o"
+  "CMakeFiles/fedms_fl.dir/fedms.cpp.o.d"
+  "CMakeFiles/fedms_fl.dir/learner.cpp.o"
+  "CMakeFiles/fedms_fl.dir/learner.cpp.o.d"
+  "CMakeFiles/fedms_fl.dir/nn_learner.cpp.o"
+  "CMakeFiles/fedms_fl.dir/nn_learner.cpp.o.d"
+  "CMakeFiles/fedms_fl.dir/quadratic_learner.cpp.o"
+  "CMakeFiles/fedms_fl.dir/quadratic_learner.cpp.o.d"
+  "CMakeFiles/fedms_fl.dir/server.cpp.o"
+  "CMakeFiles/fedms_fl.dir/server.cpp.o.d"
+  "CMakeFiles/fedms_fl.dir/upload.cpp.o"
+  "CMakeFiles/fedms_fl.dir/upload.cpp.o.d"
+  "libfedms_fl.a"
+  "libfedms_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedms_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedms_metrics.dir/classification.cpp.o"
+  "CMakeFiles/fedms_metrics.dir/classification.cpp.o.d"
+  "CMakeFiles/fedms_metrics.dir/json.cpp.o"
+  "CMakeFiles/fedms_metrics.dir/json.cpp.o.d"
+  "CMakeFiles/fedms_metrics.dir/recorder.cpp.o"
+  "CMakeFiles/fedms_metrics.dir/recorder.cpp.o.d"
+  "CMakeFiles/fedms_metrics.dir/stats.cpp.o"
+  "CMakeFiles/fedms_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/fedms_metrics.dir/table.cpp.o"
+  "CMakeFiles/fedms_metrics.dir/table.cpp.o.d"
+  "libfedms_metrics.a"
+  "libfedms_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedms_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedms_net.dir/latency.cpp.o"
+  "CMakeFiles/fedms_net.dir/latency.cpp.o.d"
+  "CMakeFiles/fedms_net.dir/message.cpp.o"
+  "CMakeFiles/fedms_net.dir/message.cpp.o.d"
+  "CMakeFiles/fedms_net.dir/node_id.cpp.o"
+  "CMakeFiles/fedms_net.dir/node_id.cpp.o.d"
+  "CMakeFiles/fedms_net.dir/sim_network.cpp.o"
+  "CMakeFiles/fedms_net.dir/sim_network.cpp.o.d"
+  "libfedms_net.a"
+  "libfedms_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedms_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/fedms_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/fedms_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/fedms_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/classifier.cpp" "src/nn/CMakeFiles/fedms_nn.dir/classifier.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/classifier.cpp.o.d"
+  "/root/repo/src/nn/conv_layers.cpp" "src/nn/CMakeFiles/fedms_nn.dir/conv_layers.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/conv_layers.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/fedms_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/fedms_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/fedms_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/fedms_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/fedms_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/fedms_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/params.cpp" "src/nn/CMakeFiles/fedms_nn.dir/params.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/params.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/fedms_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/fedms_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/fedms_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fedms_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fedms_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

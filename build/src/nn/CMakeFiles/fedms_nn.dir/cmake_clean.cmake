@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedms_nn.dir/activations.cpp.o"
+  "CMakeFiles/fedms_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/fedms_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/fedms_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/classifier.cpp.o"
+  "CMakeFiles/fedms_nn.dir/classifier.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/conv_layers.cpp.o"
+  "CMakeFiles/fedms_nn.dir/conv_layers.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/dropout.cpp.o"
+  "CMakeFiles/fedms_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/layer.cpp.o"
+  "CMakeFiles/fedms_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/linear.cpp.o"
+  "CMakeFiles/fedms_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/loss.cpp.o"
+  "CMakeFiles/fedms_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/fedms_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fedms_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/params.cpp.o"
+  "CMakeFiles/fedms_nn.dir/params.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/pooling.cpp.o"
+  "CMakeFiles/fedms_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/fedms_nn.dir/sequential.cpp.o"
+  "CMakeFiles/fedms_nn.dir/sequential.cpp.o.d"
+  "libfedms_nn.a"
+  "libfedms_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedms_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

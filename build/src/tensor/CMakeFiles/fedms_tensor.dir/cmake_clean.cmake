@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedms_tensor.dir/conv.cpp.o"
+  "CMakeFiles/fedms_tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/fedms_tensor.dir/conv_im2col.cpp.o"
+  "CMakeFiles/fedms_tensor.dir/conv_im2col.cpp.o.d"
+  "CMakeFiles/fedms_tensor.dir/ops.cpp.o"
+  "CMakeFiles/fedms_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/fedms_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/fedms_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/fedms_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fedms_tensor.dir/tensor.cpp.o.d"
+  "libfedms_tensor.a"
+  "libfedms_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedms_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

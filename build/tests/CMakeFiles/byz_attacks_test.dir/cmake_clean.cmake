@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byz_attacks_test.dir/byz_attacks_test.cpp.o"
+  "CMakeFiles/byz_attacks_test.dir/byz_attacks_test.cpp.o.d"
+  "byz_attacks_test"
+  "byz_attacks_test.pdb"
+  "byz_attacks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byz_attacks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_cli_test.cpp" "tests/CMakeFiles/core_cli_test.dir/core_cli_test.cpp.o" "gcc" "tests/CMakeFiles/core_cli_test.dir/core_cli_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/fedms_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fedms_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedms_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedms_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedms_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fedms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/byz/CMakeFiles/fedms_byz.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fedms_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cli_test.dir/core_cli_test.cpp.o"
+  "CMakeFiles/core_cli_test.dir/core_cli_test.cpp.o.d"
+  "core_cli_test"
+  "core_cli_test.pdb"
+  "core_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_thread_pool_test.dir/core_thread_pool_test.cpp.o"
+  "CMakeFiles/core_thread_pool_test.dir/core_thread_pool_test.cpp.o.d"
+  "core_thread_pool_test"
+  "core_thread_pool_test.pdb"
+  "core_thread_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

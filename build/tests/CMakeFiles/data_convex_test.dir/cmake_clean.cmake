@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_convex_test.dir/data_convex_test.cpp.o"
+  "CMakeFiles/data_convex_test.dir/data_convex_test.cpp.o.d"
+  "data_convex_test"
+  "data_convex_test.pdb"
+  "data_convex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_convex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_partition_test.dir/data_partition_test.cpp.o"
+  "CMakeFiles/data_partition_test.dir/data_partition_test.cpp.o.d"
+  "data_partition_test"
+  "data_partition_test.pdb"
+  "data_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

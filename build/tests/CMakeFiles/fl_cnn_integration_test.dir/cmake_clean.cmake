@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_cnn_integration_test.dir/fl_cnn_integration_test.cpp.o"
+  "CMakeFiles/fl_cnn_integration_test.dir/fl_cnn_integration_test.cpp.o.d"
+  "fl_cnn_integration_test"
+  "fl_cnn_integration_test.pdb"
+  "fl_cnn_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_cnn_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

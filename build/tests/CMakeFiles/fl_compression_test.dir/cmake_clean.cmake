@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_compression_test.dir/fl_compression_test.cpp.o"
+  "CMakeFiles/fl_compression_test.dir/fl_compression_test.cpp.o.d"
+  "fl_compression_test"
+  "fl_compression_test.pdb"
+  "fl_compression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_compression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_config_test.dir/fl_config_test.cpp.o"
+  "CMakeFiles/fl_config_test.dir/fl_config_test.cpp.o.d"
+  "fl_config_test"
+  "fl_config_test.pdb"
+  "fl_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_dp_test.dir/fl_dp_test.cpp.o"
+  "CMakeFiles/fl_dp_test.dir/fl_dp_test.cpp.o.d"
+  "fl_dp_test"
+  "fl_dp_test.pdb"
+  "fl_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_execution_test.dir/fl_execution_test.cpp.o"
+  "CMakeFiles/fl_execution_test.dir/fl_execution_test.cpp.o.d"
+  "fl_execution_test"
+  "fl_execution_test.pdb"
+  "fl_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_experiment_test.dir/fl_experiment_test.cpp.o"
+  "CMakeFiles/fl_experiment_test.dir/fl_experiment_test.cpp.o.d"
+  "fl_experiment_test"
+  "fl_experiment_test.pdb"
+  "fl_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_fedms_integration_test.dir/fl_fedms_integration_test.cpp.o"
+  "CMakeFiles/fl_fedms_integration_test.dir/fl_fedms_integration_test.cpp.o.d"
+  "fl_fedms_integration_test"
+  "fl_fedms_integration_test.pdb"
+  "fl_fedms_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_fedms_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

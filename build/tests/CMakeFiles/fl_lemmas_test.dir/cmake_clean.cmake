@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_lemmas_test.dir/fl_lemmas_test.cpp.o"
+  "CMakeFiles/fl_lemmas_test.dir/fl_lemmas_test.cpp.o.d"
+  "fl_lemmas_test"
+  "fl_lemmas_test.pdb"
+  "fl_lemmas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_lemmas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

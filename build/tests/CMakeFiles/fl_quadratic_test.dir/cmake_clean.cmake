@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_quadratic_test.dir/fl_quadratic_test.cpp.o"
+  "CMakeFiles/fl_quadratic_test.dir/fl_quadratic_test.cpp.o.d"
+  "fl_quadratic_test"
+  "fl_quadratic_test.pdb"
+  "fl_quadratic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_quadratic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_robust_aggregators_test.dir/fl_robust_aggregators_test.cpp.o"
+  "CMakeFiles/fl_robust_aggregators_test.dir/fl_robust_aggregators_test.cpp.o.d"
+  "fl_robust_aggregators_test"
+  "fl_robust_aggregators_test.pdb"
+  "fl_robust_aggregators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_robust_aggregators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

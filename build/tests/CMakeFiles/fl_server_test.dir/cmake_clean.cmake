@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_server_test.dir/fl_server_test.cpp.o"
+  "CMakeFiles/fl_server_test.dir/fl_server_test.cpp.o.d"
+  "fl_server_test"
+  "fl_server_test.pdb"
+  "fl_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_upload_test.dir/fl_upload_test.cpp.o"
+  "CMakeFiles/fl_upload_test.dir/fl_upload_test.cpp.o.d"
+  "fl_upload_test"
+  "fl_upload_test.pdb"
+  "fl_upload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_upload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_classification_test.dir/metrics_classification_test.cpp.o"
+  "CMakeFiles/metrics_classification_test.dir/metrics_classification_test.cpp.o.d"
+  "metrics_classification_test"
+  "metrics_classification_test.pdb"
+  "metrics_classification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_classification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_json_test.dir/metrics_json_test.cpp.o"
+  "CMakeFiles/metrics_json_test.dir/metrics_json_test.cpp.o.d"
+  "metrics_json_test"
+  "metrics_json_test.pdb"
+  "metrics_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

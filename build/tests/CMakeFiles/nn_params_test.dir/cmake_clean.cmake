@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_params_test.dir/nn_params_test.cpp.o"
+  "CMakeFiles/nn_params_test.dir/nn_params_test.cpp.o.d"
+  "nn_params_test"
+  "nn_params_test.pdb"
+  "nn_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedms_sim.dir/fedms_sim.cpp.o"
+  "CMakeFiles/fedms_sim.dir/fedms_sim.cpp.o.d"
+  "fedms_sim"
+  "fedms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
