@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Full verification gate: a fresh RelWithDebInfo build + the entire ctest
+# suite, then an ASan/UBSan build (-DFEDMS_SANITIZE=ON) exercising the
+# event-driven runtime tests (the subsystem with the most pointer-juggling
+# callbacks). Run from anywhere inside the repo.
+#
+#   scripts/check.sh            # full gate
+#   scripts/check.sh --fast     # reuse build dirs instead of wiping them
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="$repo/build-check"
+asan_build="$repo/build-asan"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+if [[ $fast -eq 0 ]]; then
+  rm -rf "$build" "$asan_build"
+fi
+
+echo "== configure + build (RelWithDebInfo) =="
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j "$jobs"
+
+echo "== ctest (full suite) =="
+ctest --test-dir "$build" --output-on-failure
+
+echo "== configure + build (ASan + UBSan) =="
+cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFEDMS_SANITIZE=ON
+cmake --build "$asan_build" -j "$jobs" \
+  --target runtime_event_queue_test runtime_fault_test runtime_async_test
+
+echo "== runtime tests under ASan/UBSan =="
+# Death tests fork; ASan is fine with that but needs the default allocator
+# not to complain about the intentional aborts.
+for t in runtime_event_queue_test runtime_fault_test runtime_async_test; do
+  "$asan_build/tests/$t"
+done
+
+echo "== all checks passed =="

@@ -1,12 +1,19 @@
 #include "net/message.h"
 
+#include "core/contracts.h"
+
 namespace fedms::net {
 
+std::size_t payload_bytes(const Message& message) {
+  return sizeof(std::uint64_t) + sizeof(float) * message.payload.size();
+}
+
 std::size_t wire_size(const Message& message) {
-  if (message.encoded_bytes > 0)
+  if (message.encoded_bytes > 0) {
+    FEDMS_EXPECTS(!message.payload.empty());
     return kMessageHeaderBytes + message.encoded_bytes;
-  return kMessageHeaderBytes + sizeof(std::uint64_t) +
-         sizeof(float) * message.payload.size();
+  }
+  return kMessageHeaderBytes + payload_bytes(message);
 }
 
 const char* to_string(MessageKind kind) {
@@ -15,6 +22,8 @@ const char* to_string(MessageKind kind) {
       return "upload";
     case MessageKind::kModelBroadcast:
       return "broadcast";
+    case MessageKind::kRetryRequest:
+      return "retry";
   }
   return "?";
 }

@@ -16,6 +16,7 @@ namespace fedms::net {
 enum class MessageKind {
   kModelUpload,     // client -> PS: local model after E local steps
   kModelBroadcast,  // PS -> client: aggregated (possibly tampered) model
+  kRetryRequest,    // client -> PS: re-request a missed broadcast (runtime)
 };
 
 struct Message {
@@ -30,8 +31,13 @@ struct Message {
   std::size_t encoded_bytes = 0;
 };
 
+// Raw serialized payload size (length prefix + floats), ignoring any codec.
+std::size_t payload_bytes(const Message& message);
+
 // Simulated wire size in bytes: header + length-prefixed float payload, or
-// header + encoded_bytes when a codec was applied.
+// header + encoded_bytes when a codec was applied. Contract: a nonzero
+// encoded_bytes requires a non-empty decoded payload — an "encoded" size
+// on a message that carries nothing is always an accounting bug.
 std::size_t wire_size(const Message& message);
 
 // Fixed per-message header budget (addressing, round, kind, length).

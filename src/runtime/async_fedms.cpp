@@ -1,0 +1,426 @@
+#include "runtime/async_fedms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "byz/attack.h"
+#include "core/contracts.h"
+#include "fl/experiment.h"
+#include "net/message.h"
+
+namespace fedms::runtime {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, const std::string& text) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+fl::RunResult AsyncRunResult::as_run_result() const {
+  fl::RunResult result;
+  result.rounds.reserve(rounds.size());
+  for (const AsyncRoundRecord& record : rounds)
+    result.rounds.push_back(record.base);
+  result.uplink_total = uplink_total;
+  result.downlink_total = downlink_total;
+  result.simulated_comm_seconds = virtual_seconds;
+  return result;
+}
+
+const AsyncRoundRecord& AsyncRunResult::final_eval() const {
+  for (auto it = rounds.rbegin(); it != rounds.rend(); ++it)
+    if (it->base.eval_accuracy.has_value()) return *it;
+  FEDMS_EXPECTS(!"async run never evaluated");
+  return rounds.back();
+}
+
+AsyncFedMsRun::AsyncFedMsRun(fl::FedMsConfig config, RuntimeOptions options,
+                             std::vector<fl::LearnerPtr> learners)
+    : config_(std::move(config)),
+      options_(std::move(options)),
+      learners_(std::move(learners)) {
+  config_.validate();
+  options_.validate();
+  FEDMS_EXPECTS(learners_.size() == config_.clients);
+  for (const auto& learner : learners_) FEDMS_EXPECTS(learner != nullptr);
+  // Extensions the event-driven runtime does not model (yet): use the
+  // synchronous FedMsRun for these. worker_threads is ignored — handlers
+  // run inline in deterministic event order.
+  FEDMS_EXPECTS(config_.byzantine_clients == 0);
+  FEDMS_EXPECTS(config_.dp_clip_norm == 0.0);
+  FEDMS_EXPECTS(config_.participation == 1.0);
+  // Uniform network loss is expressed as FaultPlan::drop_rate here.
+  FEDMS_EXPECTS(config_.network_loss_rate == 0.0);
+  for (const ServerCrash& crash : options_.faults.crashes)
+    FEDMS_EXPECTS(crash.server < config_.servers);
+
+  const core::SeedSequence seeds(config_.seed);
+
+  // Byzantine-PS placement: identical derivation to the synchronous loop,
+  // so the same seed puts the same PSs under attack in both runtimes.
+  std::vector<bool> is_byzantine(config_.servers, false);
+  if (config_.byzantine_placement == "first") {
+    for (std::size_t i = 0; i < config_.byzantine; ++i) is_byzantine[i] = true;
+  } else {
+    core::Rng placement_rng = seeds.make_rng("byz-placement");
+    for (const std::size_t i : placement_rng.sample_without_replacement(
+             config_.servers, config_.byzantine))
+      is_byzantine[i] = true;
+  }
+  servers_.reserve(config_.servers);
+  for (std::size_t i = 0; i < config_.servers; ++i) {
+    byz::AttackPtr attack;
+    if (is_byzantine[i]) attack = byz::make_attack(config_.attack);
+    servers_.emplace_back(i, std::move(attack), seeds.make_rng("attack", i));
+  }
+  if (config_.server_aggregator != "mean") {
+    std::shared_ptr<const fl::Aggregator> rule(
+        fl::make_aggregator(config_.server_aggregator));
+    for (auto& server : servers_) server.set_aggregator(rule);
+  }
+
+  filter_ = fl::make_aggregator(config_.client_filter);
+  quorum_ = options_.quorum(config_.byzantine, config_.client_filter);
+  upload_ = fl::make_upload_strategy(config_.upload);
+  if (config_.upload_compression != "none")
+    upload_codec_ = fl::make_codec(config_.upload_compression);
+  faults_ = FaultInjector(options_.faults, seeds.make_rng("fault-injector"));
+
+  client_rngs_.reserve(config_.clients);
+  for (std::size_t k = 0; k < config_.clients; ++k)
+    client_rngs_.push_back(seeds.make_rng("ps-choice", k));
+
+  const std::vector<float> w0 = learners_.front()->parameters();
+  FEDMS_EXPECTS(w0.size() == learners_.front()->dimension());
+  for (auto& server : servers_) server.set_initial_model(w0);
+  clients_.resize(config_.clients);
+  for (ClientState& client : clients_) client.last_feasible = w0;
+  round_losses_.assign(config_.clients, 0.0);
+}
+
+void AsyncFedMsRun::trace(std::uint64_t round, const std::string& event,
+                          const net::NodeId& from, const net::NodeId& to) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof buffer, "r%llu t=%.9f %s %s->%s",
+                static_cast<unsigned long long>(round), queue_.now(),
+                event.c_str(), net::to_string(from).c_str(),
+                net::to_string(to).c_str());
+  result_->trace_hash = fnv1a(result_->trace_hash, buffer);
+  if (options_.record_trace) result_->trace.emplace_back(buffer);
+}
+
+void AsyncFedMsRun::trace_node(std::uint64_t round, const std::string& event,
+                               const net::NodeId& node) {
+  trace(round, event, node, node);
+}
+
+void AsyncFedMsRun::send(net::Message message, std::uint64_t round,
+                         std::function<void(net::Message)> deliver) {
+  const net::NodeId from = message.from;
+  const net::NodeId to = message.to;
+  net::TrafficStats& direction =
+      from.kind == net::NodeKind::kClient ? uplink_ : downlink_;
+  if (faults_.omits(from)) {
+    ++record_->omissions;
+    trace(round, "omit", from, to);
+    return;
+  }
+  const FaultInjector::LinkFate fate = faults_.message_fate(from, to);
+  if (fate.dropped) {
+    ++record_->messages_dropped;
+    ++direction.dropped_messages;
+    trace(round, "drop", from, to);
+    return;
+  }
+  const std::size_t bytes = net::wire_size(message);
+  // Per-message latency: the sender's link (straggler-scaled), plus any
+  // fault-injected extra delay. Copies ship back to back on the link.
+  const double unit =
+      latency_.transfer_seconds(bytes, from) * faults_.straggler_factor(from);
+  for (std::size_t copy = 0; copy < fate.copies; ++copy) {
+    direction.messages += 1;
+    direction.bytes += bytes;
+    const double arrival =
+        unit * double(copy + 1) + fate.extra_delay;
+    trace(round, copy == 0 ? "send" : "send-dup", from, to);
+    net::Message shipped =
+        copy + 1 == fate.copies ? std::move(message) : message;
+    queue_.schedule_after(
+        arrival, [this, round, shipped = std::move(shipped), from, to,
+                  deliver]() mutable {
+          trace(round, "deliver", from, to);
+          deliver(std::move(shipped));
+        });
+  }
+}
+
+void AsyncFedMsRun::client_filter_deadline(std::size_t k,
+                                           std::uint64_t round) {
+  ClientState& client = clients_[k];
+  if (client.done) return;
+  const std::size_t received = client.candidates.size();
+  if (received >= quorum_ || client.retries_used >= options_.max_retries) {
+    finish_client(k, round);
+    return;
+  }
+  // Short of quorum with retry budget left: re-request the missing PSs'
+  // models, back off, and recheck.
+  trace_node(round, "retry", net::client_id(k));
+  for (std::size_t s = 0; s < config_.servers; ++s) {
+    if (client.candidates.count(s)) continue;
+    net::Message request;
+    request.from = net::client_id(k);
+    request.to = net::server_id(s);
+    request.kind = net::MessageKind::kRetryRequest;
+    request.round = round;
+    ++record_->retry_requests;
+    send(std::move(request), round, [this, round, k, s](net::Message) {
+      ServerState& state = server_states_[s];
+      if (state.crashed || !state.aggregated) {
+        trace_node(round, "retry-unanswered", net::server_id(s));
+        return;
+      }
+      net::Message response;
+      response.from = net::server_id(s);
+      response.to = net::client_id(k);
+      response.kind = net::MessageKind::kModelBroadcast;
+      response.round = round;
+      // Byzantine PSs tamper retries too (fresh attack randomness).
+      response.payload = servers_[s].disseminate(round, k);
+      if (response.payload.empty()) return;  // crash-attack PS stays silent
+      send(std::move(response), round, [this, round, k, s](net::Message m) {
+        ClientState& c = clients_[k];
+        if (c.done) {
+          ++record_->messages_late;
+          return;
+        }
+        if (!c.candidates.emplace(s, std::move(m.payload)).second)
+          ++record_->messages_duplicated;
+      });
+    });
+  }
+  const double backoff =
+      options_.retry_backoff_seconds *
+      std::pow(options_.backoff_multiplier, double(client.retries_used));
+  ++client.retries_used;
+  queue_.schedule_after(backoff,
+                        [this, k, round] { client_filter_deadline(k, round); });
+}
+
+void AsyncFedMsRun::finish_client(std::size_t k, std::uint64_t round) {
+  ClientState& client = clients_[k];
+  const std::size_t received = client.candidates.size();
+  if (received >= quorum_) {
+    // P'-adaptive filter: fl::trimmed_mean derives its per-side trim count
+    // ⌊β·P'⌋ from the candidate-set size, so handing it the incomplete set
+    // IS the adaptive recomputation. Map order fixes the input order.
+    std::vector<fl::ModelVector> models;
+    models.reserve(received);
+    for (auto& [server, model] : client.candidates)
+      models.push_back(std::move(model));
+    const fl::ModelVector filtered = fl::aggregate_or_mean(*filter_, models);
+    learners_[k]->set_parameters(filtered);
+    client.last_feasible = filtered;
+    trace_node(round, "filter", net::client_id(k));
+  } else {
+    // P' <= 2B (or below the configured quorum): the trimmed mean can no
+    // longer out-vote the Byzantine minority — reuse the last model that
+    // passed a feasible filter instead of ingesting a corruptible set.
+    ++record_->fallbacks;
+    learners_[k]->set_parameters(client.last_feasible);
+    trace_node(round, "fallback", net::client_id(k));
+  }
+  record_->min_candidates = clients_done_ == 0
+                                ? received
+                                : std::min(record_->min_candidates, received);
+  record_->max_candidates = std::max(record_->max_candidates, received);
+  record_->mean_candidates += double(received);
+  client.done = true;
+  ++clients_done_;
+}
+
+void AsyncFedMsRun::execute_round(std::uint64_t round,
+                                  AsyncRunResult& result) {
+  AsyncRoundRecord record;
+  record.base.round = round;
+  record.start_seconds = queue_.now();
+  record_ = &record;
+  const net::TrafficStats up_before = uplink_;
+  const net::TrafficStats down_before = downlink_;
+
+  // Reset per-round state (last_feasible persists across rounds).
+  for (ClientState& client : clients_) {
+    client.candidates.clear();
+    client.retries_used = 0;
+    client.done = false;
+  }
+  server_states_.assign(config_.servers, ServerState{});
+  for (std::size_t s = 0; s < config_.servers; ++s) {
+    server_states_[s].crashed = faults_.server_crashed(s, round);
+    if (server_states_[s].crashed) ++record.crashed_servers;
+  }
+  clients_done_ = 0;
+  std::fill(round_losses_.begin(), round_losses_.end(), 0.0);
+
+  const double t0 = queue_.now();
+  const double t_aggregate = t0 + options_.upload_window_seconds;
+  const double t_filter = t_aggregate + options_.broadcast_timeout_seconds;
+
+  // Local training completes per client after straggler-scaled compute
+  // time; the handler uploads and arms that client's filter deadline.
+  for (std::size_t k = 0; k < config_.clients; ++k) {
+    const double done =
+        t0 + options_.compute_seconds *
+                 faults_.straggler_factor(net::client_id(k));
+    queue_.schedule_at(done, [this, k, round, t_filter] {
+      round_losses_[k] =
+          learners_[k]->local_training(config_.local_iterations);
+      trace_node(round, "trained", net::client_id(k));
+      std::vector<float> payload = learners_[k]->parameters();
+      std::size_t encoded_bytes = 0;
+      if (upload_codec_) {
+        const std::vector<std::uint8_t> encoded =
+            upload_codec_->encode(payload);
+        encoded_bytes = encoded.size();
+        payload = upload_codec_->decode(encoded);
+      }
+      const auto targets = upload_->select_servers(
+          k, round, config_.servers, client_rngs_[k]);
+      FEDMS_ASSERT(!targets.empty());
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        const std::size_t s = targets[i];
+        net::Message m;
+        m.from = net::client_id(k);
+        m.to = net::server_id(s);
+        m.kind = net::MessageKind::kModelUpload;
+        m.round = round;
+        m.payload = (i + 1 == targets.size()) ? std::move(payload) : payload;
+        m.encoded_bytes = encoded_bytes;
+        send(std::move(m), round, [this, round, k, s](net::Message msg) {
+          ServerState& state = server_states_[s];
+          if (state.crashed) return;  // wasted upload
+          if (state.aggregated) {
+            ++record_->messages_late;
+            trace(round, "late-upload", net::client_id(k),
+                  net::server_id(s));
+            return;
+          }
+          if (!state.received.emplace(k, std::move(msg.payload)).second)
+            ++record_->messages_duplicated;
+        });
+      }
+      // A straggler that finishes training after the shared deadline still
+      // filters — on its own timeline, never before it trained.
+      queue_.schedule_at(std::max(queue_.now(), t_filter), [this, k, round] {
+        client_filter_deadline(k, round);
+      });
+    });
+  }
+
+  // PS aggregation deadline: live PSs aggregate whatever arrived in the
+  // window and disseminate to every client.
+  for (std::size_t s = 0; s < config_.servers; ++s) {
+    queue_.schedule_at(t_aggregate, [this, s, round] {
+      ServerState& state = server_states_[s];
+      if (state.crashed) {
+        trace_node(round, "crashed", net::server_id(s));
+        return;
+      }
+      std::vector<fl::ModelVector> received;
+      received.reserve(state.received.size());
+      for (auto& [client, model] : state.received)
+        received.push_back(std::move(model));
+      servers_[s].aggregate_round(round, received);
+      state.aggregated = true;
+      for (std::size_t k = 0; k < config_.clients; ++k) {
+        net::Message m;
+        m.from = net::server_id(s);
+        m.to = net::client_id(k);
+        m.kind = net::MessageKind::kModelBroadcast;
+        m.round = round;
+        m.payload = servers_[s].disseminate(round, k);
+        if (m.payload.empty()) continue;  // crash-attack PS stays silent
+        send(std::move(m), round, [this, round, k, s](net::Message msg) {
+          ClientState& client = clients_[k];
+          if (client.done) {
+            ++record_->messages_late;
+            trace(round, "late-broadcast", net::server_id(s),
+                  net::client_id(k));
+            return;
+          }
+          if (!client.candidates.emplace(s, std::move(msg.payload)).second)
+            ++record_->messages_duplicated;
+        });
+      }
+    });
+  }
+
+  queue_.drain();
+  FEDMS_ASSERT(clients_done_ == config_.clients);
+  record.end_seconds = queue_.now();
+
+  // ---- Telemetry ----
+  double loss_sum = 0.0;
+  for (const double loss : round_losses_) loss_sum += loss;
+  record.base.train_loss = loss_sum / double(config_.clients);
+  record.mean_candidates /= double(config_.clients);
+  record.base.upload_seconds = t_aggregate - t0;
+  record.base.broadcast_seconds = record.end_seconds - t_aggregate;
+  if ((round + 1) % config_.eval_every == 0 ||
+      round + 1 == config_.rounds) {
+    const std::size_t eval_count =
+        config_.eval_clients == 0
+            ? learners_.size()
+            : std::min(config_.eval_clients, learners_.size());
+    double acc_sum = 0.0, eval_loss_sum = 0.0;
+    for (std::size_t k = 0; k < eval_count; ++k) {
+      const fl::LearnerEval eval = learners_[k]->evaluate();
+      acc_sum += eval.accuracy;
+      eval_loss_sum += eval.loss;
+    }
+    record.base.eval_accuracy = acc_sum / double(eval_count);
+    record.base.eval_loss = eval_loss_sum / double(eval_count);
+  }
+  record.base.uplink_bytes = uplink_.bytes - up_before.bytes;
+  record.base.downlink_bytes = downlink_.bytes - down_before.bytes;
+  record.base.uplink_messages = uplink_.messages - up_before.messages;
+  record.base.downlink_messages = downlink_.messages - down_before.messages;
+  result.rounds.push_back(std::move(record));
+  record_ = nullptr;
+}
+
+AsyncRunResult AsyncFedMsRun::run() {
+  AsyncRunResult result;
+  result.trace_hash = kFnvOffset;
+  result.rounds.reserve(config_.rounds);
+  result_ = &result;
+  for (std::uint64_t t = 0; t < config_.rounds; ++t)
+    execute_round(t, result);
+  result.virtual_seconds = queue_.now();
+  result.uplink_total = uplink_;
+  result.downlink_total = downlink_;
+  result_ = nullptr;
+  return result;
+}
+
+AsyncRunResult run_async_experiment(const fl::WorkloadConfig& workload,
+                                    const fl::FedMsConfig& fed,
+                                    const RuntimeOptions& options) {
+  const fl::Workload data = fl::make_workload(workload, fed);
+  auto learners = fl::make_nn_learners(data, workload, fed);
+  AsyncFedMsRun run(fed, options, std::move(learners));
+  return run.run();
+}
+
+}  // namespace fedms::runtime

@@ -1,0 +1,166 @@
+// Event-driven Fed-MS: the round protocol of `fl::FedMsRun` executed as
+// scheduled message deliveries on a virtual clock instead of a lock-step
+// loop.
+//
+// One round, as events on the EventQueue (t0 = round start):
+//
+//   t0 + compute·straggler(k)      client k finishes E local steps and
+//                                  uploads to its chosen PS(s); each
+//                                  message is individually delayed by the
+//                                  sender's link (LatencyModel) and the
+//                                  FaultInjector (drop/dup/delay).
+//   t0 + upload_window             every live PS aggregates whatever
+//                                  arrived in time (late uploads are
+//                                  counted and ignored) and disseminates
+//                                  to all K clients — Byzantine PSs tamper
+//                                  per recipient; crashed PSs are silent.
+//   t0 + upload_window + timeout   client k runs the Def() filter over the
+//                                  P' <= P candidates it actually holds,
+//                                  with the adaptive trim count ⌊β·P'⌋.
+//                                  Short of quorum (P' <= 2B) it first
+//                                  retries missing PSs with bounded
+//                                  exponential backoff, then falls back to
+//                                  its last feasible model.
+//
+// The round ends when the queue drains; the next round starts at that
+// virtual time. Every handler runs in deterministic (time, seq) order, so
+// a given (seed, fault plan) replays bit-identically — the event-trace
+// hash in the result is the regression handle for that property.
+//
+// Unsupported extensions (sync-loop only, rejected at construction):
+// Byzantine clients, differential privacy, partial participation, and
+// `network_loss_rate` (subsumed by FaultPlan::drop_rate).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fl/config.h"
+#include "fl/fedms.h"
+#include "net/latency.h"
+#include "runtime/event_queue.h"
+#include "runtime/fault.h"
+#include "runtime/policy.h"
+
+namespace fedms::fl {
+struct WorkloadConfig;  // fl/experiment.h
+}
+
+namespace fedms::runtime {
+
+struct AsyncRoundRecord {
+  // The synchronous-loop telemetry (round, losses, traffic, stage times —
+  // upload_seconds/broadcast_seconds hold the virtual duration of the two
+  // communication legs), so sync tooling can consume async runs unchanged.
+  fl::RoundRecord base;
+  double start_seconds = 0.0;  // virtual time the round began
+  double end_seconds = 0.0;    // virtual time the queue drained
+  // Fault/telemetry counters for this round.
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_late = 0;        // delivered after the deadline
+  std::uint64_t messages_duplicated = 0;  // extra copies delivered
+  std::uint64_t omissions = 0;            // PS send-side omissions
+  std::uint64_t retry_requests = 0;       // client re-requests sent
+  std::uint64_t fallbacks = 0;            // clients that used last-feasible
+  std::size_t crashed_servers = 0;        // cumulative crashed PSs
+  // Candidate-set sizes P' across clients at filter time.
+  std::size_t min_candidates = 0;
+  std::size_t max_candidates = 0;
+  double mean_candidates = 0.0;
+};
+
+struct AsyncRunResult {
+  std::vector<AsyncRoundRecord> rounds;
+  net::TrafficStats uplink_total;
+  net::TrafficStats downlink_total;
+  double virtual_seconds = 0.0;  // final clock value
+  // FNV-1a over the formatted event trace; equal traces <=> equal hashes
+  // for determinism tests.
+  std::uint64_t trace_hash = 0;
+  // The formatted trace itself, when RuntimeOptions::record_trace.
+  std::vector<std::string> trace;
+
+  // Projection onto the synchronous result type (metrics::series_from_run,
+  // write_run_json, ... all apply).
+  fl::RunResult as_run_result() const;
+  const AsyncRoundRecord& final_eval() const;
+};
+
+class AsyncFedMsRun {
+ public:
+  AsyncFedMsRun(fl::FedMsConfig config, RuntimeOptions options,
+                std::vector<fl::LearnerPtr> learners);
+
+  // Mutable before run(): heterogeneous per-node links.
+  net::LatencyModel& latency_model() { return latency_; }
+
+  AsyncRunResult run();
+
+  const std::vector<fl::LearnerPtr>& learners() const { return learners_; }
+  const std::vector<fl::ParameterServer>& servers() const {
+    return servers_;
+  }
+  const RuntimeOptions& options() const { return options_; }
+
+ private:
+  struct ClientState {
+    // Candidates received this round, keyed by PS index (duplicates
+    // deduplicate here; map order fixes the filter's input order).
+    std::map<std::size_t, fl::ModelVector> candidates;
+    std::size_t retries_used = 0;
+    bool done = false;
+    std::vector<float> last_feasible;  // w0 until a filter succeeds
+  };
+  struct ServerState {
+    std::map<std::size_t, fl::ModelVector> received;  // keyed by client
+    bool aggregated = false;
+    bool crashed = false;
+  };
+
+  void execute_round(std::uint64_t round, AsyncRunResult& result);
+  // Routes one message through the fault injector + latency model and
+  // schedules its delivery event(s). `deliver` runs per arriving copy.
+  void send(net::Message message, std::uint64_t round,
+            std::function<void(net::Message)> deliver);
+  void client_filter_deadline(std::size_t k, std::uint64_t round);
+  void finish_client(std::size_t k, std::uint64_t round);
+  void trace(std::uint64_t round, const std::string& event,
+             const net::NodeId& from, const net::NodeId& to);
+  void trace_node(std::uint64_t round, const std::string& event,
+                  const net::NodeId& node);
+
+  fl::FedMsConfig config_;
+  RuntimeOptions options_;
+  std::vector<fl::LearnerPtr> learners_;
+  std::vector<fl::ParameterServer> servers_;
+  fl::AggregatorPtr filter_;
+  std::size_t quorum_ = 1;
+  fl::UploadStrategyPtr upload_;
+  fl::PayloadCodecPtr upload_codec_;  // nullptr -> uncompressed
+  net::LatencyModel latency_;
+  EventQueue queue_;
+  FaultInjector faults_;
+  std::vector<core::Rng> client_rngs_;  // PS-selection streams
+
+  // Per-round working state.
+  std::vector<ClientState> clients_;
+  std::vector<ServerState> server_states_;
+  std::vector<double> round_losses_;
+  std::size_t clients_done_ = 0;
+  AsyncRoundRecord* record_ = nullptr;  // current round's record
+  AsyncRunResult* result_ = nullptr;    // current run (trace + totals)
+  net::TrafficStats uplink_;
+  net::TrafficStats downlink_;
+};
+
+// Convenience used by tools/fedms_sim and the fault-sweep bench: builds
+// the Table-II NN workload (fl::make_workload + make_nn_learners) and runs
+// it on the event-driven runtime.
+AsyncRunResult run_async_experiment(const fl::WorkloadConfig& workload,
+                                    const fl::FedMsConfig& fed,
+                                    const RuntimeOptions& options);
+
+}  // namespace fedms::runtime

@@ -1,0 +1,49 @@
+#include "runtime/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/contracts.h"
+
+namespace fedms::runtime {
+
+bool EventQueue::later(const Entry& a, const Entry& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.seq > b.seq;
+}
+
+void EventQueue::schedule_at(double time, Callback fn) {
+  FEDMS_EXPECTS(time >= now_);
+  FEDMS_EXPECTS(fn != nullptr);
+  heap_.push_back(Entry{time, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+void EventQueue::schedule_after(double delay, Callback fn) {
+  FEDMS_EXPECTS(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = entry.time;
+  entry.fn();
+  return true;
+}
+
+std::size_t EventQueue::drain() {
+  std::size_t processed = 0;
+  while (step()) ++processed;
+  return processed;
+}
+
+void EventQueue::advance_to(double time) {
+  FEDMS_EXPECTS(time >= now_);
+  FEDMS_EXPECTS(heap_.empty() || heap_.front().time >= time);
+  now_ = time;
+}
+
+}  // namespace fedms::runtime

@@ -1,0 +1,67 @@
+// Deterministic discrete-event scheduler: a virtual clock plus a priority
+// event queue.
+//
+// The asynchronous round runtime (async_fedms.h) models every message
+// delivery, aggregation deadline, and client timeout as an event on this
+// queue. Events are ordered by (virtual time, insertion sequence): the
+// sequence tie-break makes the processing order — and therefore every RNG
+// draw made inside a handler — a pure function of the schedule, so a run
+// with the same seed and fault plan replays bit-identically.
+//
+// The clock only moves forward, and only by popping events (or an explicit
+// `advance_to`); handlers may schedule further events at or after `now()`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fedms::runtime {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Current virtual time in seconds (0 at construction).
+  double now() const { return now_; }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  // Total events ever scheduled (monotone; also the next tie-break seq).
+  std::uint64_t scheduled_total() const { return next_seq_; }
+
+  // Schedules `fn` at absolute virtual time `time` (>= now()).
+  void schedule_at(double time, Callback fn);
+  // Schedules `fn` at now() + delay (delay >= 0).
+  void schedule_after(double delay, Callback fn);
+
+  // Pops and runs the earliest event, advancing the clock to its time.
+  // Returns false (clock untouched) when the queue is empty.
+  bool step();
+
+  // Runs events until the queue is empty; returns how many were processed.
+  // Handlers that keep scheduling bounded follow-ups (retries) terminate;
+  // an unbounded self-rescheduling handler would not — that is the
+  // caller's contract, as with any event loop.
+  std::size_t drain();
+
+  // Moves the clock forward with no event (idle time between rounds).
+  void advance_to(double time);
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  // Min-heap on (time, seq) via std::push_heap/pop_heap with a "later-than"
+  // comparator. A std::priority_queue would force a copy out of top();
+  // keeping the vector lets us move the callback.
+  static bool later(const Entry& a, const Entry& b);
+
+  std::vector<Entry> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace fedms::runtime

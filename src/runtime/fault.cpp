@@ -1,0 +1,215 @@
+#include "runtime/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/contracts.h"
+
+namespace fedms::runtime {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+double parse_double(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  FEDMS_EXPECTS(end != text.c_str() && *end == '\0');
+  return value;
+}
+
+std::size_t parse_index(const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  FEDMS_EXPECTS(end != text.c_str() && *end == '\0');
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const {
+  return crashes.empty() && omission_rate == 0.0 && drop_rate == 0.0 &&
+         duplicate_rate == 0.0 && delay_rate == 0.0 &&
+         client_stragglers.empty() && server_stragglers.empty();
+}
+
+void FaultPlan::validate() const {
+  FEDMS_EXPECTS(omission_rate >= 0.0 && omission_rate < 1.0);
+  FEDMS_EXPECTS(drop_rate >= 0.0 && drop_rate < 1.0);
+  FEDMS_EXPECTS(duplicate_rate >= 0.0 && duplicate_rate <= 1.0);
+  FEDMS_EXPECTS(delay_rate >= 0.0 && delay_rate <= 1.0);
+  FEDMS_EXPECTS(delay_seconds >= 0.0);
+  FEDMS_EXPECTS(delay_jitter_seconds >= 0.0);
+  if (delay_rate > 0.0)
+    FEDMS_EXPECTS(delay_seconds > 0.0 || delay_jitter_seconds > 0.0);
+  for (const auto& [node, factor] : client_stragglers)
+    FEDMS_EXPECTS(factor >= 1.0);
+  for (const auto& [node, factor] : server_stragglers)
+    FEDMS_EXPECTS(factor >= 1.0);
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    const auto eq = clause.find('=');
+    // Malformed clause (missing '=') fails loudly.
+    FEDMS_EXPECTS(eq != std::string::npos);
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (key == "crash") {
+      for (const std::string& item : split(value, ',')) {
+        const auto at = item.find('@');
+        FEDMS_EXPECTS(at != std::string::npos);  // crash=<server>@<round>
+        plan.crashes.push_back(ServerCrash{
+            parse_index(item.substr(0, at)),
+            static_cast<std::uint64_t>(parse_index(item.substr(at + 1)))});
+      }
+    } else if (key == "drop") {
+      plan.drop_rate = parse_double(value);
+    } else if (key == "dup") {
+      plan.duplicate_rate = parse_double(value);
+    } else if (key == "omit") {
+      plan.omission_rate = parse_double(value);
+    } else if (key == "delay") {
+      const auto parts = split(value, ':');
+      // delay=<p>:<seconds>[:<jitter>]
+      FEDMS_EXPECTS(parts.size() == 2 || parts.size() == 3);
+      plan.delay_rate = parse_double(parts[0]);
+      plan.delay_seconds = parse_double(parts[1]);
+      if (parts.size() == 3)
+        plan.delay_jitter_seconds = parse_double(parts[2]);
+    } else if (key == "straggler" || key == "sstraggler") {
+      auto& table = key == "straggler" ? plan.client_stragglers
+                                       : plan.server_stragglers;
+      for (const std::string& item : split(value, ',')) {
+        const auto colon = item.find(':');
+        FEDMS_EXPECTS(colon != std::string::npos);  // <node>:<factor>
+        table[parse_index(item.substr(0, colon))] =
+            parse_double(item.substr(colon + 1));
+      }
+    } else {
+      FEDMS_EXPECTS(!"fault plan: unknown clause key");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  const char* sep = "";
+  if (!crashes.empty()) {
+    os << "crash=";
+    for (std::size_t i = 0; i < crashes.size(); ++i)
+      os << (i ? "," : "") << crashes[i].server << '@' << crashes[i].round;
+    sep = ";";
+  }
+  if (drop_rate > 0.0) {
+    os << sep << "drop=" << drop_rate;
+    sep = ";";
+  }
+  if (duplicate_rate > 0.0) {
+    os << sep << "dup=" << duplicate_rate;
+    sep = ";";
+  }
+  if (omission_rate > 0.0) {
+    os << sep << "omit=" << omission_rate;
+    sep = ";";
+  }
+  if (delay_rate > 0.0) {
+    os << sep << "delay=" << delay_rate << ':' << delay_seconds;
+    if (delay_jitter_seconds > 0.0) os << ':' << delay_jitter_seconds;
+    sep = ";";
+  }
+  auto emit_stragglers = [&](const char* key,
+                             const std::map<std::size_t, double>& table) {
+    if (table.empty()) return;
+    os << sep << key << '=';
+    const char* item_sep = "";
+    for (const auto& [node, factor] : table) {
+      os << item_sep << node << ':' << factor;
+      item_sep = ",";
+    }
+    sep = ";";
+  };
+  emit_stragglers("straggler", client_stragglers);
+  emit_stragglers("sstraggler", server_stragglers);
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, core::Rng rng)
+    : plan_(std::move(plan)), rng_(rng) {
+  plan_.validate();
+}
+
+bool FaultInjector::server_crashed(std::size_t server,
+                                   std::uint64_t round) const {
+  for (const ServerCrash& crash : plan_.crashes)
+    if (crash.server == server && crash.round <= round) return true;
+  return false;
+}
+
+std::size_t FaultInjector::crashed_count(std::uint64_t round) const {
+  std::size_t count = 0;
+  // Crash entries may repeat a server at different rounds; count each
+  // server once.
+  std::vector<std::size_t> seen;
+  for (const ServerCrash& crash : plan_.crashes) {
+    if (crash.round > round) continue;
+    bool duplicate = false;
+    for (const std::size_t s : seen) duplicate |= s == crash.server;
+    if (!duplicate) {
+      seen.push_back(crash.server);
+      ++count;
+    }
+  }
+  return count;
+}
+
+double FaultInjector::straggler_factor(const net::NodeId& node) const {
+  const auto& table = node.kind == net::NodeKind::kClient
+                          ? plan_.client_stragglers
+                          : plan_.server_stragglers;
+  const auto it = table.find(node.index);
+  return it == table.end() ? 1.0 : it->second;
+}
+
+bool FaultInjector::omits(const net::NodeId& from) {
+  if (from.kind != net::NodeKind::kServer || plan_.omission_rate <= 0.0)
+    return false;
+  return rng_.bernoulli(plan_.omission_rate);
+}
+
+FaultInjector::LinkFate FaultInjector::message_fate(const net::NodeId&,
+                                                    const net::NodeId&) {
+  LinkFate fate;
+  if (plan_.drop_rate > 0.0 && rng_.bernoulli(plan_.drop_rate)) {
+    fate.dropped = true;
+    return fate;
+  }
+  if (plan_.duplicate_rate > 0.0 && rng_.bernoulli(plan_.duplicate_rate))
+    fate.copies = 2;
+  if (plan_.delay_rate > 0.0 && rng_.bernoulli(plan_.delay_rate)) {
+    fate.extra_delay = plan_.delay_seconds;
+    if (plan_.delay_jitter_seconds > 0.0)
+      fate.extra_delay += rng_.uniform(0.0, plan_.delay_jitter_seconds);
+  }
+  return fate;
+}
+
+}  // namespace fedms::runtime

@@ -1,0 +1,100 @@
+// Composable fault plans for the event-driven runtime.
+//
+// A FaultPlan is pure data describing which failures the simulation should
+// inject: parameter-server crashes at a given round, probabilistic
+// per-message omission/drop/delay/duplication, and per-node straggler
+// slowdown factors. The FaultInjector turns a plan plus a seeded RNG into
+// concrete per-message decisions; because every decision draws from the
+// injector's single stream in event-queue order, the whole failure
+// schedule is deterministic in the root seed.
+//
+// Fault taxonomy (matched to the Byzantine-servers setting of the paper):
+//   * crash       — PS s is silent from round r on: it neither aggregates,
+//                   broadcasts, nor answers retries. Distinct from the
+//                   `crash` *attack*, which silences only the tampered
+//                   payloads of a Byzantine PS.
+//   * omission    — a PS "forgets" to send an individual message with
+//                   probability `omission_rate` (send-side fault).
+//   * drop        — the link loses a message with probability `drop_rate`.
+//   * delay       — with probability `delay_rate` a message takes
+//                   `delay_seconds` (+ uniform jitter) extra to arrive,
+//                   which is how messages come to miss deadlines.
+//   * duplicate   — with probability `duplicate_rate` the link delivers an
+//                   extra copy (receivers deduplicate; traffic is billed).
+//   * straggler   — node-specific multiplier >= 1 applied to compute and
+//                   link-transfer times.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "net/node_id.h"
+
+namespace fedms::runtime {
+
+struct ServerCrash {
+  std::size_t server = 0;
+  std::uint64_t round = 0;  // crashed from the start of this round onward
+};
+
+struct FaultPlan {
+  std::vector<ServerCrash> crashes;
+  double omission_rate = 0.0;   // PS send-side omission probability
+  double drop_rate = 0.0;       // per-message loss probability
+  double duplicate_rate = 0.0;  // per-message duplication probability
+  double delay_rate = 0.0;      // probability of extra delivery delay
+  double delay_seconds = 0.0;   // fixed extra delay when delayed
+  double delay_jitter_seconds = 0.0;  // + uniform [0, jitter) on top
+  std::map<std::size_t, double> client_stragglers;  // client -> factor >= 1
+  std::map<std::size_t, double> server_stragglers;  // server -> factor >= 1
+
+  bool empty() const;
+  // Contract-checks ranges (probabilities in [0, 1), factors >= 1, ...).
+  void validate() const;
+
+  // Round-trips through the CLI spec format: semicolon-separated clauses
+  //   crash=<s>@<r>[,<s>@<r>...]   e.g. crash=3@5,4@5
+  //   drop=<p>  dup=<p>  omit=<p>
+  //   delay=<p>:<seconds>[:<jitter>]
+  //   straggler=<client>:<factor>[,...]
+  //   sstraggler=<server>:<factor>[,...]
+  // The empty string parses to the no-fault plan.
+  static FaultPlan parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() : FaultInjector(FaultPlan{}, core::Rng(0)) {}
+  FaultInjector(FaultPlan plan, core::Rng rng);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // True when `server` is crash-scheduled at or before `round`.
+  bool server_crashed(std::size_t server, std::uint64_t round) const;
+  // Number of servers crashed at or before `round`.
+  std::size_t crashed_count(std::uint64_t round) const;
+
+  // Slowdown multiplier for the node (1.0 when not a straggler).
+  double straggler_factor(const net::NodeId& node) const;
+
+  // Send-side omission draw for a PS sender. Consumes randomness.
+  bool omits(const net::NodeId& from);
+
+  // Link-level fate of one message. Consumes randomness.
+  struct LinkFate {
+    bool dropped = false;
+    std::size_t copies = 1;      // 2 when duplicated
+    double extra_delay = 0.0;    // seconds added to every copy
+  };
+  LinkFate message_fate(const net::NodeId& from, const net::NodeId& to);
+
+ private:
+  FaultPlan plan_;
+  core::Rng rng_;
+};
+
+}  // namespace fedms::runtime

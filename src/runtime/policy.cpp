@@ -1,0 +1,35 @@
+#include "runtime/policy.h"
+
+#include <cmath>
+
+#include "core/contracts.h"
+
+namespace fedms::runtime {
+
+void RuntimeOptions::validate() const {
+  FEDMS_EXPECTS(compute_seconds >= 0.0);
+  FEDMS_EXPECTS(upload_window_seconds > 0.0);
+  FEDMS_EXPECTS(broadcast_timeout_seconds > 0.0);
+  FEDMS_EXPECTS(retry_backoff_seconds > 0.0);
+  FEDMS_EXPECTS(backoff_multiplier >= 1.0);
+  faults.validate();
+}
+
+std::size_t RuntimeOptions::quorum(std::size_t byzantine,
+                                   const std::string& client_filter) const {
+  if (min_candidates > 0) return min_candidates;
+  if (client_filter == "mean") return 1;
+  return 2 * byzantine + 1;
+}
+
+std::size_t adaptive_trim_count(std::size_t received, double beta) {
+  FEDMS_EXPECTS(beta >= 0.0 && beta < 0.5);
+  return static_cast<std::size_t>(
+      std::floor(beta * static_cast<double>(received)));
+}
+
+bool trim_feasible(std::size_t received, std::size_t trim) {
+  return received > 2 * trim;
+}
+
+}  // namespace fedms::runtime

@@ -1,0 +1,25 @@
+// JSON export of event-driven run telemetry: everything metrics'
+// write_run_json emits for the synchronous loop, plus the async/fault
+// counters (virtual time, late/dropped/duplicated messages, per-client
+// candidate counts, retries, fallback activations) that the fault-sweep
+// benches plot accuracy against.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fl/config.h"
+#include "runtime/async_fedms.h"
+
+namespace fedms::runtime {
+
+// Serializes {"config", "options", "fault_plan", "rounds", "totals"}.
+void write_async_run_json(std::ostream& os, const fl::FedMsConfig& config,
+                          const RuntimeOptions& options,
+                          const AsyncRunResult& result);
+void save_async_run_json(const std::string& path,
+                         const fl::FedMsConfig& config,
+                         const RuntimeOptions& options,
+                         const AsyncRunResult& result);
+
+}  // namespace fedms::runtime

@@ -171,6 +171,60 @@ TEST(Latency, RandomizedLinksStayWithinSpread) {
   EXPECT_TRUE(any_different);
 }
 
+TEST(Message, WireSizeUsesEncodedBytesForCompressedPayloads) {
+  // A codec shrank the 100-float payload to 2 bytes/value on the wire:
+  // wire_size must bill the encoded size, not the float payload.
+  Message m = upload(0, 0, 100);
+  m.encoded_bytes = 8 + 200;
+  EXPECT_EQ(wire_size(m), kMessageHeaderBytes + 8 + 200);
+  // The uncompressed payload accounting is unchanged.
+  m.encoded_bytes = 0;
+  EXPECT_EQ(wire_size(m), kMessageHeaderBytes + payload_bytes(m));
+}
+
+TEST(MessageDeath, RejectsEncodedBytesWithoutPayload) {
+  // encoded_bytes > 0 claims a compressed payload, so an empty payload is
+  // a bookkeeping bug (e.g. billing a stale size after a move).
+  Message m = upload(0, 0, 0);
+  m.encoded_bytes = 64;
+  EXPECT_DEATH(wire_size(m), "Precondition");
+}
+
+TEST(Latency, RandomizeLinksIsDeterministicUnderFixedSeed) {
+  auto draw_bandwidths = [](std::uint64_t seed) {
+    LatencyModel model;
+    core::Rng rng(seed);
+    model.randomize_links(6, 3, /*spread=*/5.0, rng);
+    std::vector<double> bw;
+    for (std::size_t k = 0; k < 6; ++k)
+      bw.push_back(model.link_for(client_id(k)).bandwidth_bytes_per_sec);
+    for (std::size_t s = 0; s < 3; ++s)
+      bw.push_back(model.link_for(server_id(s)).bandwidth_bytes_per_sec);
+    return bw;
+  };
+  EXPECT_EQ(draw_bandwidths(9), draw_bandwidths(9));
+  EXPECT_NE(draw_bandwidths(9), draw_bandwidths(10));
+}
+
+TEST(Latency, HeterogeneousStageIsDominatedBySlowestLink) {
+  LatencyModel model;
+  // Client 1 has a 100x slower uplink than everyone else.
+  LinkModel slow = model.default_link();
+  slow.bandwidth_bytes_per_sec /= 100.0;
+  model.set_link(client_id(1), slow);
+
+  std::vector<Message> stage;
+  for (std::size_t k = 0; k < 4; ++k) stage.push_back(upload(k, 0, 10000));
+  const double t_stage = model.stage_seconds(stage);
+  // The stage takes as long as the slow client alone...
+  const double t_slow =
+      model.transfer_seconds(wire_size(stage[1]), client_id(1));
+  EXPECT_DOUBLE_EQ(t_stage, t_slow);
+  // ...and removing it makes the stage ~100x cheaper on bandwidth.
+  stage.erase(stage.begin() + 1);
+  EXPECT_LT(model.stage_seconds(stage), t_stage / 10.0);
+}
+
 TEST(Latency, UploadToAllIsPTimesSlower) {
   LinkModel link;
   link.rtt_sec = 0.0;  // isolate the bandwidth term

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/event_queue.h"
+
+namespace fedms::runtime {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty) {
+  EventQueue queue;
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.step());
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+}
+
+TEST(EventQueue, ProcessesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&] { order.push_back(3); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.drain(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i)
+    queue.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  queue.drain();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime) {
+  EventQueue queue;
+  double seen = -1.0;
+  queue.schedule_at(0.5, [&] { seen = queue.now(); });
+  EXPECT_TRUE(queue.step());
+  EXPECT_DOUBLE_EQ(seen, 0.5);
+  EXPECT_DOUBLE_EQ(queue.now(), 0.5);
+}
+
+TEST(EventQueue, HandlersCanScheduleFollowUps) {
+  EventQueue queue;
+  std::vector<double> times;
+  // A bounded retry chain: each handler schedules the next until 3 ran.
+  std::function<void()> chain = [&] {
+    times.push_back(queue.now());
+    if (times.size() < 3) queue.schedule_after(0.25, chain);
+  };
+  queue.schedule_at(1.0, chain);
+  queue.drain();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.25);
+  EXPECT_DOUBLE_EQ(times[2], 1.5);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelativeToNow) {
+  EventQueue queue;
+  queue.schedule_at(2.0, [] {});
+  queue.step();
+  double seen = -1.0;
+  queue.schedule_after(0.5, [&] { seen = queue.now(); });
+  queue.drain();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(EventQueue, AdvanceToMovesIdleClock) {
+  EventQueue queue;
+  queue.advance_to(4.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueue, CountsScheduledEvents) {
+  EventQueue queue;
+  queue.schedule_at(1.0, [] {});
+  queue.schedule_at(2.0, [] {});
+  EXPECT_EQ(queue.pending(), 2u);
+  EXPECT_EQ(queue.scheduled_total(), 2u);
+  queue.drain();
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(queue.scheduled_total(), 2u);
+}
+
+TEST(EventQueueDeath, RejectsSchedulingInThePast) {
+  EventQueue queue;
+  queue.schedule_at(2.0, [] {});
+  queue.step();
+  EXPECT_DEATH(queue.schedule_at(1.0, [] {}), "Precondition");
+}
+
+TEST(EventQueueDeath, RejectsRewindingTheClock) {
+  EventQueue queue;
+  queue.advance_to(3.0);
+  EXPECT_DEATH(queue.advance_to(1.0), "Precondition");
+}
+
+}  // namespace
+}  // namespace fedms::runtime

@@ -19,6 +19,8 @@
 #include "metrics/recorder.h"
 #include "metrics/stats.h"
 #include "metrics/table.h"
+#include "runtime/async_fedms.h"
+#include "runtime/telemetry.h"
 
 int main(int argc, char** argv) {
   using namespace fedms;
@@ -70,6 +72,24 @@ int main(int argc, char** argv) {
                    "overrides --lr: constant:<lr> | invdecay:<phi>:<gamma> "
                    "| step:<base>:<factor>:<every>");
   flags.add_int("batch", 32, "mini-batch size");
+  // Event-driven runtime + fault injection.
+  flags.add_string("runtime", "sync",
+                   "execution engine: sync (lock-step loop) | async "
+                   "(event-driven virtual clock with fault injection)");
+  flags.add_string("fault-plan", "",
+                   "async-only fault spec: crash=<ps>@<round>,...;"
+                   "drop=<p>;dup=<p>;omit=<p>;delay=<p>:<sec>[:<jitter>];"
+                   "straggler=<client>:<factor>,...;sstraggler=<ps>:<factor>");
+  flags.add_double("compute-time", 0.05,
+                   "async: simulated local-training seconds per round");
+  flags.add_double("upload-window", 0.25,
+                   "async: PS aggregation deadline from round start (s)");
+  flags.add_double("timeout", 0.25,
+                   "async: client filter deadline past the PS deadline (s)");
+  flags.add_int("retries", 2,
+                "async: re-requests to missing PSs before falling back");
+  flags.add_double("backoff", 0.1,
+                   "async: initial retry backoff seconds (doubles each try)");
   // Harness.
   flags.add_int("seed", 1, "root seed");
   flags.add_int("eval-every", 2, "evaluate every N rounds");
@@ -113,17 +133,49 @@ int main(int argc, char** argv) {
   fed.eval_every = std::size_t(flags.get_int("eval-every"));
   fed.validate();
 
+  const std::string runtime_kind = flags.get_string("runtime");
+  if (runtime_kind != "sync" && runtime_kind != "async") {
+    std::fprintf(stderr, "--runtime must be sync or async (got \"%s\")\n",
+                 runtime_kind.c_str());
+    return 1;
+  }
+  const bool async = runtime_kind == "async";
+  runtime::RuntimeOptions runtime_options;
+  runtime_options.compute_seconds = flags.get_double("compute-time");
+  runtime_options.upload_window_seconds = flags.get_double("upload-window");
+  runtime_options.broadcast_timeout_seconds = flags.get_double("timeout");
+  runtime_options.max_retries = std::size_t(flags.get_int("retries"));
+  runtime_options.retry_backoff_seconds = flags.get_double("backoff");
+  runtime_options.faults =
+      runtime::FaultPlan::parse(flags.get_string("fault-plan"));
+  runtime_options.validate();
+  if (!async && !runtime_options.faults.empty()) {
+    std::fprintf(stderr, "--fault-plan requires --runtime async\n");
+    return 1;
+  }
+
   const std::size_t repeats =
       std::max<std::size_t>(1, std::size_t(flags.get_int("repeats")));
 
   std::printf("# fedms_sim — %s\n", fed.to_string().c_str());
+  if (async && !runtime_options.faults.empty())
+    std::printf("# fault plan: %s\n",
+                runtime_options.faults.to_string().c_str());
   metrics::Recorder recorder;
   std::vector<double> final_accuracies;
   bool header = true;
   for (std::size_t r = 0; r < repeats; ++r) {
     fl::FedMsConfig run_fed = fed;
     run_fed.seed = fed.seed + 1000 * r;
-    const fl::RunResult result = fl::run_experiment(workload, run_fed);
+    runtime::AsyncRunResult async_result;
+    fl::RunResult result;
+    if (async) {
+      async_result =
+          runtime::run_async_experiment(workload, run_fed, runtime_options);
+      result = async_result.as_run_result();
+    } else {
+      result = fl::run_experiment(workload, run_fed);
+    }
     const metrics::Series series = metrics::series_from_run(
         "sim", "run" + std::to_string(r), run_fed.attack, result);
     for (const auto& p : series.points) {
@@ -142,7 +194,11 @@ int main(int argc, char** argv) {
     if (r == 0) {
       const std::string json_path = flags.get_string("json");
       if (!json_path.empty()) {
-        metrics::save_run_json(json_path, run_fed, result);
+        if (async)
+          runtime::save_async_run_json(json_path, run_fed, runtime_options,
+                                       async_result);
+        else
+          metrics::save_run_json(json_path, run_fed, result);
         std::printf("# telemetry written to %s\n", json_path.c_str());
       }
       const double mb_up = double(result.uplink_total.bytes) / 1e6;
@@ -155,6 +211,24 @@ int main(int argc, char** argv) {
           mb_down,
           static_cast<unsigned long long>(result.downlink_total.messages),
           result.simulated_comm_seconds);
+      if (async) {
+        std::uint64_t dropped = 0, late = 0, retries = 0, fallbacks = 0;
+        for (const auto& round : async_result.rounds) {
+          dropped += round.messages_dropped;
+          late += round.messages_late;
+          retries += round.retry_requests;
+          fallbacks += round.fallbacks;
+        }
+        std::printf(
+            "# faults: %llu dropped, %llu late, %llu retries, %llu "
+            "fallbacks, virtual time %.2f s, trace hash %016llx\n",
+            static_cast<unsigned long long>(dropped),
+            static_cast<unsigned long long>(late),
+            static_cast<unsigned long long>(retries),
+            static_cast<unsigned long long>(fallbacks),
+            async_result.virtual_seconds,
+            static_cast<unsigned long long>(async_result.trace_hash));
+      }
     }
   }
 
