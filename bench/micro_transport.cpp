@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark): the transport subsystem — frame
+// codec throughput (encode / decode / round-trip with CRC32C), the
+// in-memory hub, and real kernel socketpairs. Payloads span 1 KB to 4 MB
+// of float32 model state, bracketing everything a Fed-MS round ships.
+//
+// Machine-readable output comes from google-benchmark itself:
+//   micro_transport --benchmark_format=csv
+//   micro_transport --benchmark_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <sys/socket.h>
+
+#include <thread>
+
+#include "core/rng.h"
+#include "transport/frame.h"
+#include "transport/socket_transport.h"
+#include "transport/transport.h"
+
+namespace {
+
+using namespace fedms;
+
+// Float counts for 1 KB, 64 KB, 1 MB, 4 MB payload sections.
+constexpr std::int64_t kDims[] = {256, 16384, 262144, 1 << 20};
+
+net::Message upload_of(std::size_t dim) {
+  core::Rng rng(1);
+  net::Message m;
+  m.from = net::client_id(0);
+  m.to = net::server_id(0);
+  m.kind = net::MessageKind::kModelUpload;
+  m.round = 0;
+  m.payload.resize(dim);
+  for (auto& v : m.payload) v = float(rng.normal());
+  return m;
+}
+
+void set_frame_bytes(benchmark::State& state, const net::Message& m) {
+  state.SetBytesProcessed(
+      std::int64_t(state.iterations()) *
+      std::int64_t(transport::FrameCodec::framed_size(m)));
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+
+void BM_FrameEncode(benchmark::State& state) {
+  const transport::FrameCodec codec;
+  const net::Message m = upload_of(std::size_t(state.range(0)));
+  std::vector<std::uint8_t> frame;
+  for (auto _ : state) {
+    codec.encode_to(m, frame);
+    benchmark::DoNotOptimize(frame.data());
+  }
+  set_frame_bytes(state, m);
+}
+
+void BM_FrameDecode(benchmark::State& state) {
+  const transport::FrameCodec codec;
+  const net::Message m = upload_of(std::size_t(state.range(0)));
+  const std::vector<std::uint8_t> frame = codec.encode(m);
+  for (auto _ : state) {
+    auto result = codec.decode(frame);
+    benchmark::DoNotOptimize(result.message.payload.data());
+  }
+  set_frame_bytes(state, m);
+}
+
+void BM_FrameRoundTrip(benchmark::State& state) {
+  const transport::FrameCodec codec;
+  const net::Message m = upload_of(std::size_t(state.range(0)));
+  std::vector<std::uint8_t> frame;
+  for (auto _ : state) {
+    codec.encode_to(m, frame);
+    auto result = codec.decode(frame);
+    benchmark::DoNotOptimize(result.message.payload.data());
+  }
+  set_frame_bytes(state, m);
+}
+
+// In-memory backend: one send + one receive through the hub per iteration.
+void BM_InMemoryTransport(benchmark::State& state) {
+  transport::InMemoryHub hub;
+  auto client = hub.make_endpoint(net::client_id(0));
+  auto server = hub.make_endpoint(net::server_id(0));
+  const net::Message m = upload_of(std::size_t(state.range(0)));
+  for (auto _ : state) {
+    client->send(m);
+    auto received = server->receive(5.0);
+    benchmark::DoNotOptimize(received->payload.data());
+  }
+  set_frame_bytes(state, m);
+}
+
+// Socketpair backend: a peer thread echoes a tiny control ack for every
+// data frame it receives, so each iteration measures one full kernel
+// round-trip (write + read on both ends) without unbounded in-flight data.
+void BM_SocketpairTransport(benchmark::State& state) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    state.SkipWithError("socketpair failed");
+    return;
+  }
+  auto client = transport::SocketTransport::from_connected_fd(
+      net::client_id(0), net::server_id(0), fds[0]);
+  auto server = transport::SocketTransport::from_connected_fd(
+      net::server_id(0), net::client_id(0), fds[1]);
+
+  std::thread echo([&] {
+    net::Message ack;
+    ack.from = net::server_id(0);
+    ack.to = net::client_id(0);
+    ack.kind = net::MessageKind::kRoundSync;
+    while (true) {
+      const auto m = server->receive(10.0);
+      if (!m.has_value() || m->kind == net::MessageKind::kHello) break;
+      server->send(ack);
+    }
+  });
+
+  const net::Message m = upload_of(std::size_t(state.range(0)));
+  for (auto _ : state) {
+    client->send(m);
+    auto ack = client->receive(10.0);
+    benchmark::DoNotOptimize(ack.has_value());
+  }
+
+  net::Message stop;
+  stop.from = net::client_id(0);
+  stop.to = net::server_id(0);
+  stop.kind = net::MessageKind::kHello;
+  client->send(stop);
+  echo.join();
+  set_frame_bytes(state, m);
+}
+
+void payload_args(benchmark::internal::Benchmark* bench) {
+  for (std::int64_t dim : kDims) bench->Arg(dim);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FrameEncode)->Apply(payload_args);
+BENCHMARK(BM_FrameDecode)->Apply(payload_args);
+BENCHMARK(BM_FrameRoundTrip)->Apply(payload_args);
+BENCHMARK(BM_InMemoryTransport)->Apply(payload_args);
+BENCHMARK(BM_SocketpairTransport)->Apply(payload_args);
+
+BENCHMARK_MAIN();

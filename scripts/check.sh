@@ -27,17 +27,32 @@ cmake --build "$build" -j "$jobs"
 echo "== ctest (full suite) =="
 ctest --test-dir "$build" --output-on-failure
 
+echo "== multi-process smoke (4 clients + 2 PSs over Unix sockets) =="
+# Real processes, real sockets: the launcher forks one process per node,
+# runs 2 full Fed-MS rounds, then verifies the final accuracy, per-client
+# model CRCs, and per-direction byte totals bit-for-bit against the
+# round-synchronous simulator.
+"$build/tools/fedms_node" --mode launch --backend unix \
+  --clients 4 --servers 2 --byzantine 1 --rounds 2 --samples 400 --verify
+
 echo "== configure + build (ASan + UBSan) =="
 cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DFEDMS_SANITIZE=ON
 cmake --build "$asan_build" -j "$jobs" \
-  --target runtime_event_queue_test runtime_fault_test runtime_async_test
+  --target runtime_event_queue_test runtime_fault_test runtime_async_test \
+           transport_frame_test transport_inmem_test transport_socket_test \
+           fedms_node
 
-echo "== runtime tests under ASan/UBSan =="
+echo "== runtime + transport tests under ASan/UBSan =="
 # Death tests fork; ASan is fine with that but needs the default allocator
 # not to complain about the intentional aborts.
-for t in runtime_event_queue_test runtime_fault_test runtime_async_test; do
+for t in runtime_event_queue_test runtime_fault_test runtime_async_test \
+         transport_frame_test transport_inmem_test transport_socket_test; do
   "$asan_build/tests/$t"
 done
+
+echo "== multi-process smoke under ASan/UBSan =="
+"$asan_build/tools/fedms_node" --mode launch --backend unix \
+  --clients 2 --servers 2 --byzantine 1 --rounds 1 --samples 200 --verify
 
 echo "== all checks passed =="

@@ -3,6 +3,7 @@
 #include "core/contracts.h"
 #include "data/synthetic.h"
 #include "nn/model_zoo.h"
+#include "nn/params.h"
 
 namespace fedms::fl {
 
@@ -103,6 +104,41 @@ std::vector<LearnerPtr> make_nn_learners(const Workload& data,
                                    : std::vector<std::size_t>{}));
   }
   return learners;
+}
+
+LearnerPtr make_nn_learner(const Workload& data,
+                           const WorkloadConfig& workload,
+                           const FedMsConfig& fed, std::size_t k) {
+  FEDMS_EXPECTS(data.partition.size() == fed.clients);
+  FEDMS_EXPECTS(k < fed.clients);
+  const core::SeedSequence seeds(fed.seed);
+  const std::uint64_t model_seed = seeds.derive("model-init");
+
+  NnLearnerOptions options;
+  options.batch_size = workload.batch_size;
+  options.learning_rate = workload.learning_rate;
+  options.lr_schedule = workload.lr_schedule;
+  options.momentum = workload.momentum;
+  options.weight_decay = workload.weight_decay;
+  options.eval_sample_cap = workload.eval_sample_cap;
+
+  std::vector<std::size_t> test_pool;
+  if (workload.local_test_shards) {
+    core::Rng shard_rng = seeds.make_rng("test-shards");
+    test_pool = data::iid_partition(data.test, fed.clients, shard_rng)[k];
+  }
+
+  return std::make_unique<NnLearner>(
+      data.train, data.partition[k], data.test,
+      build_model(workload, model_seed), options,
+      seeds.make_rng("client-sampler", k), std::move(test_pool));
+}
+
+std::vector<float> initial_model(const WorkloadConfig& workload,
+                                 const FedMsConfig& fed) {
+  const core::SeedSequence seeds(fed.seed);
+  auto model = build_model(workload, seeds.derive("model-init"));
+  return nn::flatten_state(*model);
 }
 
 Experiment make_experiment(const WorkloadConfig& workload,

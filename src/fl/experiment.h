@@ -68,6 +68,20 @@ std::vector<LearnerPtr> make_nn_learners(const Workload& data,
                                          const WorkloadConfig& workload,
                                          const FedMsConfig& fed);
 
+// Client k's learner alone — bit-identical to make_nn_learners(...)[k].
+// This is what a single-client *process* builds: every client derives its
+// own RNG streams from the shared seed, so building one learner or all of
+// them yields the same per-client state.
+LearnerPtr make_nn_learner(const Workload& data,
+                           const WorkloadConfig& workload,
+                           const FedMsConfig& fed, std::size_t k);
+
+// The common initial model w₀ (trainable parameters + batch-norm running
+// stats, flattened) — what every PS starts from. Needs no dataset, so a
+// PS process can compute it without synthesizing the workload.
+std::vector<float> initial_model(const WorkloadConfig& workload,
+                                 const FedMsConfig& fed);
+
 // One-call experiment: workload + learners + FedMsRun::run().
 RunResult run_experiment(const WorkloadConfig& workload,
                          const FedMsConfig& fed);

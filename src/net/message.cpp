@@ -24,6 +24,10 @@ const char* to_string(MessageKind kind) {
       return "broadcast";
     case MessageKind::kRetryRequest:
       return "retry";
+    case MessageKind::kHello:
+      return "hello";
+    case MessageKind::kRoundSync:
+      return "roundsync";
   }
   return "?";
 }

@@ -16,9 +16,14 @@ void SimNetwork::set_loss_rate(double rate) {
   loss_rate_ = rate;
 }
 
+TrafficStats& SimNetwork::direction_for(const NodeId& sender,
+                                        TrafficStats& uplink,
+                                        TrafficStats& downlink) {
+  return sender.kind == NodeKind::kClient ? uplink : downlink;
+}
+
 void SimNetwork::send(Message message) {
-  TrafficStats& direction =
-      message.from.kind == NodeKind::kClient ? uplink_ : downlink_;
+  TrafficStats& direction = direction_for(message.from, uplink_, downlink_);
   if (loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) {
     ++direction.dropped_messages;
     return;

@@ -11,6 +11,15 @@
 // time (deterministically, from the bus's own RNG), which the robustness
 // tests use to check that aggregation degrades gracefully when uploads go
 // missing.
+//
+// Drop attribution contract (shared with the event-driven runtime and the
+// transport telemetry so the counters stay comparable): a lost message is
+// billed to the *sender's* direction — client-origin drops land in
+// `uplink().dropped_messages`, PS-origin drops in `downlink()` — and a
+// dropped message contributes neither to `messages` nor `bytes`.
+// Send-side omissions (a PS "forgetting" to send; see runtime::FaultPlan)
+// are a different fault: the message never reached the link, so they are
+// counted separately and never appear as link drops.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +65,13 @@ class SimNetwork {
   const TrafficStats& downlink() const { return downlink_; }  // PS -> client
   TrafficStats total() const;
   void reset_stats();
+
+  // The direction a message from `sender` is billed to (uplink for
+  // client-origin traffic, downlink for PS-origin) — the single attribution
+  // rule for delivered bytes *and* drops.
+  static TrafficStats& direction_for(const NodeId& sender,
+                                     TrafficStats& uplink,
+                                     TrafficStats& downlink);
 
  private:
   std::map<NodeId, std::vector<Message>> inboxes_;

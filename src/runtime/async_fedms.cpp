@@ -130,7 +130,7 @@ void AsyncFedMsRun::send(net::Message message, std::uint64_t round,
   const net::NodeId from = message.from;
   const net::NodeId to = message.to;
   net::TrafficStats& direction =
-      from.kind == net::NodeKind::kClient ? uplink_ : downlink_;
+      net::SimNetwork::direction_for(from, uplink_, downlink_);
   if (faults_.omits(from)) {
     ++record_->omissions;
     trace(round, "omit", from, to);
@@ -210,9 +210,9 @@ void AsyncFedMsRun::client_filter_deadline(std::size_t k,
       });
     });
   }
-  const double backoff =
-      options_.retry_backoff_seconds *
-      std::pow(options_.backoff_multiplier, double(client.retries_used));
+  const Backoff schedule{options_.retry_backoff_seconds,
+                         options_.backoff_multiplier, options_.max_retries};
+  const double backoff = schedule.delay_seconds(client.retries_used);
   ++client.retries_used;
   queue_.schedule_after(backoff,
                         [this, k, round] { client_filter_deadline(k, round); });

@@ -22,6 +22,12 @@ std::size_t RuntimeOptions::quorum(std::size_t byzantine,
   return 2 * byzantine + 1;
 }
 
+double Backoff::delay_seconds(std::size_t attempt) const {
+  FEDMS_EXPECTS(attempt < max_attempts);
+  FEDMS_EXPECTS(initial_seconds > 0.0 && multiplier >= 1.0);
+  return initial_seconds * std::pow(multiplier, double(attempt));
+}
+
 std::size_t adaptive_trim_count(std::size_t received, double beta) {
   FEDMS_EXPECTS(beta >= 0.0 && beta < 0.5);
   return static_cast<std::size_t>(

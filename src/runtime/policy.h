@@ -52,6 +52,23 @@ struct RuntimeOptions {
                      const std::string& client_filter) const;
 };
 
+// Bounded exponential backoff schedule: attempt i (0-based) waits
+// initial_seconds * multiplier^i, up to `max_attempts` attempts. Shared by
+// the event-driven runtime's broadcast re-requests and the socket
+// transport's connect retry, so both layers present the same retry policy.
+struct Backoff {
+  double initial_seconds = 0.1;
+  double multiplier = 2.0;
+  std::size_t max_attempts = 2;
+
+  // Wait before re-check `attempt` (0-based). Precondition: attempt is
+  // within the budget.
+  double delay_seconds(std::size_t attempt) const;
+  bool exhausted(std::size_t attempts_used) const {
+    return attempts_used >= max_attempts;
+  }
+};
+
 // ⌊β·received⌋ — the adaptive per-side trim count over an incomplete
 // candidate set (mirrors fl::trimmed_mean's internal count).
 std::size_t adaptive_trim_count(std::size_t received, double beta);

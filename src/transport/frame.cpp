@@ -1,0 +1,307 @@
+#include "transport/frame.h"
+
+#include <cstring>
+
+#include "core/contracts.h"
+
+namespace fedms::transport {
+
+namespace {
+
+// Field offsets of the fixed header (see frame.h for the layout table).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffKind = 6;
+constexpr std::size_t kOffFormat = 7;
+constexpr std::size_t kOffRound = 8;
+constexpr std::size_t kOffFromIndex = 16;
+constexpr std::size_t kOffToIndex = 24;
+constexpr std::size_t kOffPayloadLen = 32;
+constexpr std::size_t kOffFromKind = 40;
+constexpr std::size_t kOffToKind = 41;
+constexpr std::size_t kOffReserved = 42;
+constexpr std::size_t kReservedBytes = 18;
+static_assert(kOffReserved + kReservedBytes == net::kFrameHeaderBytes,
+              "header fields must exactly fill the 60-byte frame header");
+static_assert(net::kFrameHeaderBytes + net::kFrameTrailerBytes ==
+                  net::kMessageHeaderBytes,
+              "frame overhead must equal the simulation's per-message "
+              "header budget");
+
+// Refuse absurd payload lengths before trusting them (a corrupted length
+// field must not drive a multi-gigabyte allocation).
+constexpr std::uint64_t kMaxFramePayloadBytes = 1ull << 31;  // 2 GiB
+
+void put_u16(std::uint8_t* out, std::uint16_t v) {
+  out[0] = std::uint8_t(v);
+  out[1] = std::uint8_t(v >> 8);
+}
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = std::uint8_t(v >> (8 * i));
+}
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = std::uint8_t(v >> (8 * i));
+}
+std::uint16_t get_u16(const std::uint8_t* in) {
+  return std::uint16_t(in[0] | (std::uint16_t(in[1]) << 8));
+}
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(in[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(in[i]) << (8 * i);
+  return v;
+}
+
+struct Crc32cTable {
+  std::uint32_t entries[256];
+  Crc32cTable() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& crc_table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+PayloadFormat format_for_codec(const std::string& name) {
+  if (name == "fp16") return PayloadFormat::kFp16;
+  if (name == "int8") return PayloadFormat::kInt8;
+  return PayloadFormat::kRawFloat32;
+}
+
+}  // namespace
+
+const char* to_string(FrameError error) {
+  switch (error) {
+    case FrameError::kNone:
+      return "ok";
+    case FrameError::kTruncated:
+      return "truncated";
+    case FrameError::kBadMagic:
+      return "bad-magic";
+    case FrameError::kBadVersion:
+      return "bad-version";
+    case FrameError::kBadKind:
+      return "bad-kind";
+    case FrameError::kBadFormat:
+      return "bad-format";
+    case FrameError::kBadNodeKind:
+      return "bad-node-kind";
+    case FrameError::kBadReserved:
+      return "bad-reserved";
+    case FrameError::kLengthMismatch:
+      return "length-mismatch";
+    case FrameError::kCrcMismatch:
+      return "crc-mismatch";
+    case FrameError::kBadPayload:
+      return "bad-payload";
+  }
+  return "?";
+}
+
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t size,
+                     std::uint32_t seed) {
+  const Crc32cTable& table = crc_table();
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = (crc >> 8) ^ table.entries[(crc ^ data[i]) & 0xFFu];
+  return ~crc;
+}
+
+std::uint32_t crc32c_floats(const std::vector<float>& values) {
+  static_assert(sizeof(float) == 4);
+  return crc32c(reinterpret_cast<const std::uint8_t*>(values.data()),
+                values.size() * sizeof(float));
+}
+
+FrameCodec::FrameCodec(const std::string& payload_codec)
+    : payload_codec_name_(payload_codec) {
+  if (payload_codec != "none") {
+    payload_codec_ = fl::make_codec(payload_codec);
+    compressed_format_ = format_for_codec(payload_codec);
+    FEDMS_EXPECTS(compressed_format_ != PayloadFormat::kRawFloat32);
+  }
+}
+
+std::size_t FrameCodec::framed_size(const net::Message& message) {
+  // The accounting definition and the frame layout are one and the same;
+  // encode() ENSURES this equality on every frame it emits.
+  return net::wire_size(message);
+}
+
+std::vector<std::uint8_t> FrameCodec::encode(
+    const net::Message& message) const {
+  std::vector<std::uint8_t> out;
+  encode_to(message, out);
+  return out;
+}
+
+void FrameCodec::encode_to(const net::Message& message,
+                           std::vector<std::uint8_t>& out) const {
+  const std::size_t start = out.size();
+  const bool compressed = message.encoded_bytes > 0;
+
+  // The compressed path ships the codec's output verbatim when the message
+  // carries it; otherwise re-encode the (already lossy-round-tripped)
+  // payload — for the shipped codecs re-encoding the decoded values is
+  // size-stable, which the contract below pins.
+  std::vector<std::uint8_t> reencoded;
+  const std::vector<std::uint8_t>* encoded = nullptr;
+  if (compressed) {
+    FEDMS_EXPECTS(!message.payload.empty());
+    FEDMS_EXPECTS(payload_codec_ != nullptr);
+    if (!message.encoded.empty()) {
+      encoded = &message.encoded;
+    } else {
+      reencoded = payload_codec_->encode(message.payload);
+      encoded = &reencoded;
+    }
+    FEDMS_EXPECTS(encoded->size() == message.encoded_bytes);
+  }
+
+  const std::uint64_t payload_len =
+      compressed ? std::uint64_t(message.encoded_bytes)
+                 : std::uint64_t(net::payload_bytes(message));
+  out.resize(start + net::kFrameHeaderBytes + std::size_t(payload_len) +
+             net::kFrameTrailerBytes);
+  std::uint8_t* frame = out.data() + start;
+
+  std::memset(frame, 0, net::kFrameHeaderBytes);
+  put_u32(frame + kOffMagic, kFrameMagic);
+  put_u16(frame + kOffVersion, kProtocolVersion);
+  frame[kOffKind] = static_cast<std::uint8_t>(message.kind);
+  frame[kOffFormat] = static_cast<std::uint8_t>(
+      compressed ? compressed_format_ : PayloadFormat::kRawFloat32);
+  put_u64(frame + kOffRound, message.round);
+  put_u64(frame + kOffFromIndex, message.from.index);
+  put_u64(frame + kOffToIndex, message.to.index);
+  put_u64(frame + kOffPayloadLen, payload_len);
+  frame[kOffFromKind] =
+      message.from.kind == net::NodeKind::kServer ? 1 : 0;
+  frame[kOffToKind] = message.to.kind == net::NodeKind::kServer ? 1 : 0;
+
+  std::uint8_t* payload = frame + net::kFrameHeaderBytes;
+  if (compressed) {
+    std::memcpy(payload, encoded->data(), encoded->size());
+  } else {
+    put_u64(payload, message.payload.size());
+    if (!message.payload.empty())
+      std::memcpy(payload + 8, message.payload.data(),
+                  message.payload.size() * sizeof(float));
+  }
+
+  const std::size_t body = net::kFrameHeaderBytes + std::size_t(payload_len);
+  put_u32(frame + body, crc32c(frame, body));
+
+  // The drift guard: real bytes == simulated accounting, always.
+  FEDMS_ENSURES(out.size() - start == net::wire_size(message));
+}
+
+std::optional<std::size_t> FrameCodec::frame_size(const std::uint8_t* data,
+                                                  std::size_t size,
+                                                  FrameError* error) {
+  if (error) *error = FrameError::kNone;
+  if (size < net::kFrameHeaderBytes) return std::nullopt;
+  if (get_u32(data + kOffMagic) != kFrameMagic) {
+    if (error) *error = FrameError::kBadMagic;
+    return std::nullopt;
+  }
+  if (get_u16(data + kOffVersion) != kProtocolVersion) {
+    if (error) *error = FrameError::kBadVersion;
+    return std::nullopt;
+  }
+  const std::uint64_t payload_len = get_u64(data + kOffPayloadLen);
+  if (payload_len > kMaxFramePayloadBytes) {
+    if (error) *error = FrameError::kLengthMismatch;
+    return std::nullopt;
+  }
+  return net::kFrameHeaderBytes + std::size_t(payload_len) +
+         net::kFrameTrailerBytes;
+}
+
+FrameCodec::DecodeResult FrameCodec::decode(
+    const std::vector<std::uint8_t>& buffer) const {
+  return decode(buffer.data(), buffer.size());
+}
+
+FrameCodec::DecodeResult FrameCodec::decode(const std::uint8_t* data,
+                                            std::size_t size) const {
+  DecodeResult result;
+  auto fail = [&result](FrameError error) -> DecodeResult& {
+    result.error = error;
+    return result;
+  };
+
+  FrameError header_error = FrameError::kNone;
+  const std::optional<std::size_t> total =
+      frame_size(data, size, &header_error);
+  if (header_error != FrameError::kNone) return fail(header_error);
+  if (!total.has_value() || size < *total) return fail(FrameError::kTruncated);
+  if (size > *total) return fail(FrameError::kLengthMismatch);
+
+  const std::uint8_t kind = data[kOffKind];
+  if (kind >= net::kMessageKindCount) return fail(FrameError::kBadKind);
+  const std::uint8_t format = data[kOffFormat];
+  if (format >= kPayloadFormatCount) return fail(FrameError::kBadFormat);
+  const std::uint8_t from_kind = data[kOffFromKind];
+  const std::uint8_t to_kind = data[kOffToKind];
+  if (from_kind > 1 || to_kind > 1) return fail(FrameError::kBadNodeKind);
+  for (std::size_t i = 0; i < kReservedBytes; ++i)
+    if (data[kOffReserved + i] != 0) return fail(FrameError::kBadReserved);
+
+  const std::size_t payload_len =
+      *total - net::kFrameHeaderBytes - net::kFrameTrailerBytes;
+  const std::size_t body = net::kFrameHeaderBytes + payload_len;
+  if (crc32c(data, body) != get_u32(data + body))
+    return fail(FrameError::kCrcMismatch);
+
+  net::Message& message = result.message;
+  message.kind = static_cast<net::MessageKind>(kind);
+  message.round = get_u64(data + kOffRound);
+  message.from.kind =
+      from_kind == 1 ? net::NodeKind::kServer : net::NodeKind::kClient;
+  message.from.index = std::size_t(get_u64(data + kOffFromIndex));
+  message.to.kind =
+      to_kind == 1 ? net::NodeKind::kServer : net::NodeKind::kClient;
+  message.to.index = std::size_t(get_u64(data + kOffToIndex));
+
+  const std::uint8_t* payload = data + net::kFrameHeaderBytes;
+  if (format == std::uint8_t(PayloadFormat::kRawFloat32)) {
+    if (payload_len < 8) return fail(FrameError::kLengthMismatch);
+    const std::uint64_t count = get_u64(payload);
+    if ((payload_len - 8) / sizeof(float) != count ||
+        (payload_len - 8) % sizeof(float) != 0)
+      return fail(FrameError::kLengthMismatch);
+    message.payload.resize(std::size_t(count));
+    if (count > 0)
+      std::memcpy(message.payload.data(), payload + 8,
+                  std::size_t(count) * sizeof(float));
+  } else {
+    // Compressed payload: both ends must have agreed on the session codec.
+    if (payload_codec_ == nullptr ||
+        format != std::uint8_t(compressed_format_))
+      return fail(FrameError::kBadFormat);
+    if (payload_len == 0) return fail(FrameError::kLengthMismatch);
+    message.encoded.assign(payload, payload + payload_len);
+    try {
+      message.payload = payload_codec_->decode(message.encoded);
+    } catch (const std::exception&) {
+      return fail(FrameError::kBadPayload);
+    }
+    if (message.payload.empty()) return fail(FrameError::kBadPayload);
+    message.encoded_bytes = payload_len;
+  }
+  return result;
+}
+
+}  // namespace fedms::transport

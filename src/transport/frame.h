@@ -1,0 +1,132 @@
+// Versioned binary wire format for net::Message — the on-the-wire
+// representation behind the byte counts the simulation has always billed.
+//
+// Frame layout (little-endian, fixed 60-byte header + payload + 4-byte
+// CRC32C trailer; total overhead = net::kMessageHeaderBytes = 64):
+//
+//   offset size field
+//   0      4    magic "FMS1"
+//   4      2    protocol version (kProtocolVersion)
+//   6      1    message kind (net::MessageKind)
+//   7      1    payload format (PayloadFormat)
+//   8      8    round
+//   16     8    from node index
+//   24     8    to node index
+//   32     8    payload length in bytes
+//   40     1    from node kind (0 = client, 1 = server)
+//   41     1    to node kind
+//   42     18   reserved, must be zero
+//   60     L    payload section
+//   60+L   4    CRC32C over bytes [0, 60+L)
+//
+// Payload section by format:
+//   kRawFloat32 : u64 value count + count×f32  (L = 8 + 4·count)
+//   kFp16/kInt8 : the fl::PayloadCodec's encoded buffer, verbatim
+//                 (L = Message::encoded_bytes)
+//
+// The encoder contract-checks that every frame's size equals
+// net::wire_size(message), so the simulated accounting and the real bytes
+// can never drift. The decoder never throws and never aborts on untrusted
+// input: every truncation, bit flip, or malformed payload comes back as a
+// FrameError.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fl/compression.h"
+#include "net/message.h"
+
+namespace fedms::transport {
+
+inline constexpr std::uint32_t kFrameMagic = 0x31534D46u;  // "FMS1"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+// Layout constants live in net/message.h so the simulation's accounting is
+// defined by the same numbers; pin them here for readers of this header.
+inline constexpr std::size_t kFrameHeaderBytes = net::kFrameHeaderBytes;
+inline constexpr std::size_t kFrameTrailerBytes = net::kFrameTrailerBytes;
+
+enum class PayloadFormat : std::uint8_t {
+  kRawFloat32 = 0,
+  kFp16 = 1,
+  kInt8 = 2,
+};
+inline constexpr std::uint8_t kPayloadFormatCount = 3;
+
+enum class FrameError {
+  kNone = 0,
+  kTruncated,       // fewer bytes than the header/frame announces
+  kBadMagic,        // not a Fed-MS frame
+  kBadVersion,      // protocol version mismatch
+  kBadKind,         // unknown MessageKind
+  kBadFormat,       // unknown PayloadFormat, or format needs a codec we lack
+  kBadNodeKind,     // node kind byte out of range
+  kBadReserved,     // reserved header bytes not zero
+  kLengthMismatch,  // payload length inconsistent with its own contents
+  kCrcMismatch,     // CRC32C trailer does not match (bit corruption)
+  kBadPayload,      // CRC passed but the codec rejected the payload
+};
+
+const char* to_string(FrameError error);
+
+// CRC32C (Castagnoli), reflected polynomial 0x82F63B78 — the checksum used
+// by the frame trailer. `seed` allows incremental computation.
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t size,
+                     std::uint32_t seed = 0);
+// Convenience: CRC32C over a float vector's byte representation (used to
+// fingerprint model states across process boundaries).
+std::uint32_t crc32c_floats(const std::vector<float>& values);
+
+class FrameCodec {
+ public:
+  // `payload_codec` is the session's upload compression spec ("none",
+  // "fp16", "int8") — the out-of-band agreement both ends derive from the
+  // run config. Frames carrying compressed payloads require the matching
+  // codec on both sides.
+  explicit FrameCodec(const std::string& payload_codec = "none");
+
+  const std::string& payload_codec() const { return payload_codec_name_; }
+
+  // Total on-the-wire size encode() will produce — delegates to
+  // net::wire_size, the shared accounting definition.
+  static std::size_t framed_size(const net::Message& message);
+
+  // Serializes one frame. For compressed messages (encoded_bytes > 0) the
+  // encoded buffer is shipped verbatim when `message.encoded` carries it;
+  // otherwise the payload is re-encoded with the session codec (the sizes
+  // must agree — contract-checked). ENSURES the output size equals
+  // framed_size(message).
+  std::vector<std::uint8_t> encode(const net::Message& message) const;
+  void encode_to(const net::Message& message,
+                 std::vector<std::uint8_t>& out) const;
+
+  struct DecodeResult {
+    net::Message message;
+    FrameError error = FrameError::kNone;
+    bool ok() const { return error == FrameError::kNone; }
+  };
+
+  // Decodes exactly one frame from `data`. Trailing bytes beyond the
+  // frame's own length are an error (use frame_size() to split a stream).
+  DecodeResult decode(const std::uint8_t* data, std::size_t size) const;
+  DecodeResult decode(const std::vector<std::uint8_t>& buffer) const;
+
+  // Stream framing: the total frame size announced by a (possibly partial)
+  // buffer, or nullopt when fewer than kFrameHeaderBytes are available.
+  // Sets `error` (when non-null) if the header is already invalid — an
+  // unrecoverable stream for a socket reader.
+  static std::optional<std::size_t> frame_size(const std::uint8_t* data,
+                                               std::size_t size,
+                                               FrameError* error = nullptr);
+
+ private:
+  std::string payload_codec_name_;
+  fl::PayloadCodecPtr payload_codec_;  // nullptr for "none"
+  PayloadFormat compressed_format_ = PayloadFormat::kRawFloat32;
+};
+
+}  // namespace fedms::transport

@@ -1,0 +1,123 @@
+// Socket-backed Transport: the Fed-MS protocol over real process
+// boundaries — Unix-domain sockets or localhost TCP, nonblocking I/O.
+//
+// Topology: every parameter server listens; every client connects to
+// every PS (the protocol is strictly client<->PS, so the client side of
+// the mesh is the whole mesh). Connections are identified by a kHello
+// frame sent immediately after connect. Connect races the listener coming
+// up, so the client retries with the same bounded exponential backoff
+// policy the event-driven runtime uses for broadcast re-requests
+// (runtime::Backoff).
+//
+// Failure semantics:
+//   * A frame whose CRC32C check fails is counted in the receiving
+//     endpoint's stats and dropped; the stream stays usable (framing is
+//     recovered from the intact length field). The protocol layer sees a
+//     missing message — exactly the fault the trimmed-mean fallback
+//     absorbs.
+//   * A frame whose *header* is unparseable (bad magic/version) means the
+//     stream is desynchronized; that throws std::runtime_error.
+//   * Peer hangup marks the connection dead; pending protocol waits then
+//     time out (receive() returns nullopt).
+//
+// `corrupt_rate` injects transit corruption for tests/experiments: a sent
+// data frame has one payload bit flipped after the CRC was computed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/policy.h"
+#include "transport/transport.h"
+
+namespace fedms::transport {
+
+struct SocketAddress {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  // kUnix: filesystem path (<= ~100 chars)
+  std::string host;  // kTcp
+  std::uint16_t port = 0;
+
+  static SocketAddress unix_path(std::string path);
+  static SocketAddress tcp(std::string host, std::uint16_t port);
+  // "unix:<path>" or "tcp:<host>:<port>". Throws std::runtime_error on a
+  // malformed spec.
+  static SocketAddress parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+struct SocketTransportOptions {
+  // Session payload codec — must match the run's upload_compression.
+  std::string payload_codec = "none";
+  // Connect retry while the listener comes up.
+  runtime::Backoff connect_backoff{0.05, 2.0, 10};
+  // Transit corruption injection (sender side, data frames only).
+  double corrupt_rate = 0.0;
+  std::uint64_t corrupt_seed = 0;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  // PS side: bind + listen on `address`, accept exactly `expected_peers`
+  // connections and read each peer's hello, within `timeout_seconds`.
+  static std::unique_ptr<SocketTransport> listen_and_accept(
+      const net::NodeId& self, const SocketAddress& address,
+      std::size_t expected_peers, const SocketTransportOptions& options,
+      double timeout_seconds);
+
+  // Client side: connect to servers[s] for every PS index s (retrying
+  // with options.connect_backoff) and send hellos.
+  static std::unique_ptr<SocketTransport> connect_mesh(
+      const net::NodeId& self, const std::vector<SocketAddress>& servers,
+      const SocketTransportOptions& options);
+
+  // Adopts an already-connected socket (tests/bench: socketpair()).
+  static std::unique_ptr<SocketTransport> from_connected_fd(
+      const net::NodeId& self, const net::NodeId& peer, int fd,
+      const SocketTransportOptions& options = {});
+
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  net::NodeId self() const override { return self_; }
+  void send(net::Message message) override;
+  std::optional<net::Message> receive(double timeout_seconds) override;
+  const EndpointStats& stats() const override { return stats_; }
+
+  std::size_t peer_count() const { return peers_.size(); }
+
+ private:
+  struct Peer {
+    int fd = -1;
+    net::NodeId id;
+    std::vector<std::uint8_t> rx;  // partial inbound frame bytes
+    bool closed = false;
+  };
+
+  SocketTransport(const net::NodeId& self,
+                  const SocketTransportOptions& options);
+
+  void add_peer(int fd, const net::NodeId& id);
+  Peer& peer_for(const net::NodeId& id);
+  // Writes the whole buffer, polling on EAGAIN up to an internal deadline.
+  void write_all(Peer& peer, const std::uint8_t* data, std::size_t size);
+  // Pulls readable bytes from `peer` and appends decoded messages to
+  // inbox_. Returns false when the peer hung up.
+  bool pump(Peer& peer);
+  // Decodes complete frames sitting in peer.rx into inbox_.
+  void extract_frames(Peer& peer);
+
+  net::NodeId self_;
+  SocketTransportOptions options_;
+  FrameCodec codec_;
+  core::Rng corrupt_rng_;
+  std::vector<Peer> peers_;
+  std::deque<net::Message> inbox_;
+  EndpointStats stats_;
+};
+
+}  // namespace fedms::transport

@@ -112,6 +112,52 @@ TEST(SimNetworkDeath, RejectsFullLoss) {
   EXPECT_DEATH(net.set_loss_rate(1.0), "Precondition");
 }
 
+TEST(SimNetwork, DirectionForBillsBySenderKind) {
+  TrafficStats up, down;
+  EXPECT_EQ(&SimNetwork::direction_for(client_id(0), up, down), &up);
+  EXPECT_EQ(&SimNetwork::direction_for(client_id(7), up, down), &up);
+  EXPECT_EQ(&SimNetwork::direction_for(server_id(0), up, down), &down);
+}
+
+TEST(SimNetwork, DropsAreAttributedToTheSendersDirection) {
+  // The attribution contract: a lost message is billed to the *sender's*
+  // direction, and contributes to neither delivered messages nor bytes.
+  SimNetwork net{core::Rng(7)};
+  net.set_loss_rate(0.5);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    net.send(upload(0, 0, 4));  // client -> PS
+    Message down;
+    down.from = server_id(0);
+    down.to = client_id(0);
+    down.kind = MessageKind::kModelBroadcast;
+    down.payload.assign(4, 0.0f);
+    net.send(std::move(down));
+  }
+  // Every loss shows up in exactly its own direction's counter.
+  EXPECT_EQ(net.uplink().messages + net.uplink().dropped_messages,
+            std::uint64_t(n));
+  EXPECT_EQ(net.downlink().messages + net.downlink().dropped_messages,
+            std::uint64_t(n));
+  EXPECT_GT(net.uplink().dropped_messages, 0u);
+  EXPECT_GT(net.downlink().dropped_messages, 0u);
+  // Dropped messages were never billed as traffic.
+  const std::size_t each = wire_size(upload(0, 0, 4));
+  EXPECT_EQ(net.uplink().bytes, net.uplink().messages * each);
+  EXPECT_EQ(net.downlink().bytes, net.downlink().messages * each);
+  // ...and never delivered.
+  EXPECT_EQ(net.drain_inbox(server_id(0)).size(), net.uplink().messages);
+  EXPECT_EQ(net.drain_inbox(client_id(0)).size(), net.downlink().messages);
+}
+
+TEST(Message, ControlKindsHaveNames) {
+  Message m = upload(0, 0, 0);
+  m.kind = MessageKind::kHello;
+  EXPECT_NE(to_string(m.kind), nullptr);
+  m.kind = MessageKind::kRoundSync;
+  EXPECT_NE(to_string(m.kind), nullptr);
+}
+
 TEST(Latency, TransferTimeFormula) {
   LinkModel link;
   link.bandwidth_bytes_per_sec = 1000.0;

@@ -1,0 +1,280 @@
+#include "transport/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/rng.h"
+#include "fl/compression.h"
+#include "net/message.h"
+
+namespace fedms::transport {
+namespace {
+
+// Satellite (a): the codec's real overhead is exactly the header budget the
+// simulation has always billed per message.
+static_assert(net::kFrameHeaderBytes + net::kFrameTrailerBytes ==
+              net::kMessageHeaderBytes);
+static_assert(net::kMessageHeaderBytes == 64,
+              "frame overhead must fit the 64-byte per-message budget");
+
+net::Message make_message(net::MessageKind kind, std::size_t dim,
+                          std::uint64_t round = 7) {
+  net::Message m;
+  m.from = kind == net::MessageKind::kModelUpload ? net::client_id(3)
+                                                  : net::server_id(1);
+  m.to = kind == net::MessageKind::kModelUpload ? net::server_id(2)
+                                                : net::client_id(5);
+  m.kind = kind;
+  m.round = round;
+  for (std::size_t i = 0; i < dim; ++i)
+    m.payload.push_back(0.25f * float(i) - 3.0f);
+  return m;
+}
+
+void expect_equal(const net::Message& a, const net::Message& b) {
+  EXPECT_EQ(a.from, b.from);
+  EXPECT_EQ(a.to, b.to);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.round, b.round);
+  EXPECT_EQ(a.payload, b.payload);
+  EXPECT_EQ(a.encoded_bytes, b.encoded_bytes);
+}
+
+TEST(Crc32c, KnownAnswer) {
+  // The standard CRC32C check value (RFC 3720 appendix / "123456789").
+  const char* input = "123456789";
+  EXPECT_EQ(crc32c(reinterpret_cast<const std::uint8_t*>(input), 9),
+            0xE3069283u);
+}
+
+TEST(Crc32c, EmptyIsZero) { EXPECT_EQ(crc32c(nullptr, 0), 0u); }
+
+TEST(Crc32c, FloatsMatchesByteView) {
+  const std::vector<float> values = {1.5f, -2.25f, 0.0f};
+  std::uint8_t bytes[12];
+  std::memcpy(bytes, values.data(), sizeof bytes);
+  EXPECT_EQ(crc32c_floats(values), crc32c(bytes, sizeof bytes));
+}
+
+TEST(FrameCodec, RoundTripsEveryKind) {
+  const FrameCodec codec;
+  const net::MessageKind kinds[] = {
+      net::MessageKind::kModelUpload, net::MessageKind::kModelBroadcast,
+      net::MessageKind::kRetryRequest, net::MessageKind::kHello,
+      net::MessageKind::kRoundSync};
+  static_assert(sizeof(kinds) / sizeof(kinds[0]) == net::kMessageKindCount);
+  for (const net::MessageKind kind : kinds) {
+    const net::Message original = make_message(kind, 17);
+    const std::vector<std::uint8_t> frame = codec.encode(original);
+    EXPECT_EQ(frame.size(), net::wire_size(original));
+    EXPECT_EQ(frame.size(), FrameCodec::framed_size(original));
+    const FrameCodec::DecodeResult decoded = codec.decode(frame);
+    ASSERT_TRUE(decoded.ok()) << to_string(decoded.error);
+    expect_equal(decoded.message, original);
+  }
+}
+
+TEST(FrameCodec, RoundTripsEmptyAndLargePayloads) {
+  const FrameCodec codec;
+  for (const std::size_t dim : {std::size_t(0), std::size_t(1),
+                                std::size_t(100000)}) {
+    const net::Message original =
+        make_message(net::MessageKind::kModelUpload, dim);
+    const auto frame = codec.encode(original);
+    EXPECT_EQ(frame.size(), net::kMessageHeaderBytes + 8 + 4 * dim);
+    const auto decoded = codec.decode(frame);
+    ASSERT_TRUE(decoded.ok());
+    expect_equal(decoded.message, original);
+  }
+}
+
+TEST(FrameCodec, RoundTripsCompressedPayloads) {
+  for (const std::string codec_name : {"fp16", "int8"}) {
+    const FrameCodec codec(codec_name);
+    const fl::PayloadCodecPtr payload_codec = fl::make_codec(codec_name);
+
+    net::Message original = make_message(net::MessageKind::kModelUpload, 300);
+    // The sender's lossy round-trip: payload holds the decoded values, the
+    // wire ships the encoded buffer.
+    original.encoded = payload_codec->encode(original.payload);
+    original.encoded_bytes = original.encoded.size();
+    original.payload = payload_codec->decode(original.encoded);
+
+    const auto frame = codec.encode(original);
+    EXPECT_EQ(frame.size(), net::wire_size(original));
+    EXPECT_EQ(frame.size(),
+              net::kMessageHeaderBytes + original.encoded_bytes);
+
+    const auto decoded = codec.decode(frame);
+    ASSERT_TRUE(decoded.ok()) << to_string(decoded.error);
+    expect_equal(decoded.message, original);
+    EXPECT_EQ(decoded.message.encoded, original.encoded);
+  }
+}
+
+TEST(FrameCodec, ReencodesWhenEncodedBufferNotCarried) {
+  const FrameCodec codec("fp16");
+  const fl::PayloadCodecPtr fp16 = fl::make_codec("fp16");
+  net::Message original = make_message(net::MessageKind::kModelUpload, 32);
+  const std::vector<std::uint8_t> encoded = fp16->encode(original.payload);
+  original.payload = fp16->decode(encoded);
+  original.encoded_bytes = encoded.size();
+  // encoded left empty: encode() must re-encode with the session codec.
+  const auto frame = codec.encode(original);
+  const auto decoded = codec.decode(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.message.payload, original.payload);
+}
+
+TEST(FrameCodec, CompressedFrameNeedsMatchingSessionCodec) {
+  const FrameCodec fp16_codec("fp16");
+  const fl::PayloadCodecPtr fp16 = fl::make_codec("fp16");
+  net::Message m = make_message(net::MessageKind::kModelUpload, 8);
+  m.encoded = fp16->encode(m.payload);
+  m.encoded_bytes = m.encoded.size();
+  m.payload = fp16->decode(m.encoded);
+  const auto frame = fp16_codec.encode(m);
+
+  // A session without the codec cannot interpret the payload.
+  const FrameCodec plain_codec;
+  const auto decoded = plain_codec.decode(frame);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error, FrameError::kBadFormat);
+}
+
+TEST(FrameCodec, EverySingleByteTruncationIsRejected) {
+  const FrameCodec codec;
+  const net::Message original =
+      make_message(net::MessageKind::kModelUpload, 25);
+  const auto frame = codec.encode(original);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const auto decoded = codec.decode(frame.data(), len);
+    EXPECT_FALSE(decoded.ok()) << "decoded at truncated length " << len;
+    EXPECT_EQ(decoded.error, FrameError::kTruncated) << "length " << len;
+  }
+}
+
+TEST(FrameCodec, TrailingBytesAreRejected) {
+  const FrameCodec codec;
+  auto frame = codec.encode(make_message(net::MessageKind::kRoundSync, 0));
+  frame.push_back(0);
+  const auto decoded = codec.decode(frame);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(FrameCodec, EverySingleBitFlipIsRejected) {
+  const FrameCodec codec;
+  const net::Message original =
+      make_message(net::MessageKind::kModelBroadcast, 40);
+  const auto frame = codec.encode(original);
+  for (std::size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    std::vector<std::uint8_t> corrupted = frame;
+    corrupted[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+    // Must never crash, never silently mis-decode — every flip is caught
+    // by header validation or the CRC trailer.
+    const auto decoded = codec.decode(corrupted);
+    EXPECT_FALSE(decoded.ok()) << "bit " << bit << " flip not detected";
+  }
+}
+
+TEST(FrameCodec, PayloadBitFlipsAreCrcMismatches) {
+  const FrameCodec codec;
+  const auto frame =
+      codec.encode(make_message(net::MessageKind::kModelUpload, 12));
+  for (std::size_t bit = net::kFrameHeaderBytes * 8;
+       bit < (frame.size() - net::kFrameTrailerBytes) * 8; ++bit) {
+    std::vector<std::uint8_t> corrupted = frame;
+    corrupted[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+    const auto decoded = codec.decode(corrupted);
+    EXPECT_EQ(decoded.error, FrameError::kCrcMismatch) << "bit " << bit;
+  }
+}
+
+TEST(FrameCodec, RejectsWrongMagicVersionKindReserved) {
+  const FrameCodec codec;
+  const auto frame =
+      codec.encode(make_message(net::MessageKind::kModelUpload, 4));
+
+  auto mutate = [&](std::size_t offset, std::uint8_t value) {
+    std::vector<std::uint8_t> bad = frame;
+    bad[offset] = value;
+    return codec.decode(bad).error;
+  };
+  EXPECT_EQ(mutate(0, 'X'), FrameError::kBadMagic);
+  EXPECT_EQ(mutate(4, 0xEE), FrameError::kBadVersion);
+  EXPECT_EQ(mutate(6, 250), FrameError::kBadKind);
+  EXPECT_EQ(mutate(7, 250), FrameError::kBadFormat);
+  EXPECT_EQ(mutate(40, 9), FrameError::kBadNodeKind);  // from kind
+  EXPECT_EQ(mutate(41, 9), FrameError::kBadNodeKind);  // to kind
+  EXPECT_EQ(mutate(45, 1), FrameError::kBadReserved);
+}
+
+TEST(FrameCodec, FrameSizeAnnouncesTotalAndFlagsBadHeaders) {
+  const FrameCodec codec;
+  const net::Message m = make_message(net::MessageKind::kModelUpload, 10);
+  const auto frame = codec.encode(m);
+
+  // Partial header: unknown size, no error.
+  FrameError error = FrameError::kNone;
+  EXPECT_FALSE(
+      FrameCodec::frame_size(frame.data(), 10, &error).has_value());
+  EXPECT_EQ(error, FrameError::kNone);
+
+  // Full header: the exact total size, even with only the header present.
+  const auto size =
+      FrameCodec::frame_size(frame.data(), net::kFrameHeaderBytes, &error);
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, frame.size());
+  EXPECT_EQ(error, FrameError::kNone);
+
+  // A broken magic is an unrecoverable stream.
+  std::vector<std::uint8_t> bad = frame;
+  bad[1] = 'Z';
+  error = FrameError::kNone;
+  EXPECT_FALSE(
+      FrameCodec::frame_size(bad.data(), bad.size(), &error).has_value());
+  EXPECT_EQ(error, FrameError::kBadMagic);
+}
+
+TEST(FrameCodec, RandomizedRoundTripFuzz) {
+  core::Rng rng(20240806);
+  const FrameCodec codec;
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    net::Message m;
+    const bool up = rng.bernoulli(0.5);
+    m.from = up ? net::client_id(rng.uniform_index(1000))
+                : net::server_id(rng.uniform_index(1000));
+    m.to = up ? net::server_id(rng.uniform_index(1000))
+              : net::client_id(rng.uniform_index(1000));
+    m.kind = static_cast<net::MessageKind>(
+        rng.uniform_index(net::kMessageKindCount));
+    m.round = rng.uniform_index(1u << 20);
+    const std::size_t dim = rng.uniform_index(400);
+    for (std::size_t i = 0; i < dim; ++i)
+      m.payload.push_back(float(rng.normal(0.0, 10.0)));
+
+    const auto frame = codec.encode(m);
+    ASSERT_EQ(frame.size(), net::wire_size(m));
+    const auto decoded = codec.decode(frame);
+    ASSERT_TRUE(decoded.ok()) << to_string(decoded.error);
+    expect_equal(decoded.message, m);
+  }
+}
+
+TEST(FrameCodec, RandomGarbageNeverDecodes) {
+  core::Rng rng(99);
+  const FrameCodec codec;
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    std::vector<std::uint8_t> garbage(rng.uniform_index(256));
+    for (auto& byte : garbage)
+      byte = std::uint8_t(rng.uniform_index(256));
+    const auto decoded = codec.decode(garbage);
+    // 2^-32 odds of a random CRC collision aside, garbage must surface as
+    // an error, and must never crash or allocate absurdly.
+    EXPECT_FALSE(decoded.ok());
+  }
+}
+
+}  // namespace
+}  // namespace fedms::transport

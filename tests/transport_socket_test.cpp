@@ -1,0 +1,249 @@
+// Socket transport: framing over real kernel sockets, connect backoff, CRC
+// rejection of in-transit corruption, and a full multi-node Fed-MS run over
+// Unix-domain sockets that must match the in-memory reference bit for bit.
+#include "transport/socket_transport.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "fl/experiment.h"
+#include "transport/node_runner.h"
+
+namespace fedms::transport {
+namespace {
+
+TEST(SocketAddress, ParsesAndPrints) {
+  const SocketAddress unix_addr = SocketAddress::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(unix_addr.kind, SocketAddress::Kind::kUnix);
+  EXPECT_EQ(unix_addr.path, "/tmp/x.sock");
+  EXPECT_EQ(unix_addr.to_string(), "unix:/tmp/x.sock");
+
+  const SocketAddress tcp_addr = SocketAddress::parse("tcp:127.0.0.1:9000");
+  EXPECT_EQ(tcp_addr.kind, SocketAddress::Kind::kTcp);
+  EXPECT_EQ(tcp_addr.host, "127.0.0.1");
+  EXPECT_EQ(tcp_addr.port, 9000);
+  EXPECT_EQ(tcp_addr.to_string(), "tcp:127.0.0.1:9000");
+
+  EXPECT_THROW(SocketAddress::parse("bogus"), std::runtime_error);
+  EXPECT_THROW(SocketAddress::parse("tcp:nohost"), std::runtime_error);
+  EXPECT_THROW(SocketAddress::parse("tcp:1.2.3.4:0"), std::runtime_error);
+}
+
+// A connected socketpair wrapped in two transports — the backend minus
+// listen/connect.
+struct Pair {
+  std::unique_ptr<SocketTransport> client;
+  std::unique_ptr<SocketTransport> server;
+};
+
+Pair make_pair_transports(SocketTransportOptions client_options = {},
+                          SocketTransportOptions server_options = {}) {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Pair pair;
+  pair.client = SocketTransport::from_connected_fd(
+      net::client_id(0), net::server_id(0), fds[0], client_options);
+  pair.server = SocketTransport::from_connected_fd(
+      net::server_id(0), net::client_id(0), fds[1], server_options);
+  return pair;
+}
+
+net::Message upload(std::size_t dim, std::uint64_t round = 0) {
+  net::Message m;
+  m.from = net::client_id(0);
+  m.to = net::server_id(0);
+  m.kind = net::MessageKind::kModelUpload;
+  m.round = round;
+  for (std::size_t i = 0; i < dim; ++i) m.payload.push_back(float(i) * 0.5f);
+  return m;
+}
+
+TEST(SocketTransport, RoundTripsMessagesOverSocketpair) {
+  Pair pair = make_pair_transports();
+  for (std::uint64_t round = 0; round < 5; ++round)
+    pair.client->send(upload(100 + std::size_t(round), round));
+
+  for (std::uint64_t round = 0; round < 5; ++round) {
+    const auto m = pair.server->receive(5.0);
+    ASSERT_TRUE(m.has_value()) << "round " << round;
+    EXPECT_EQ(m->round, round);  // FIFO per link
+    EXPECT_EQ(m->payload.size(), 100 + std::size_t(round));
+    EXPECT_EQ(m->payload, upload(100 + std::size_t(round), round).payload);
+  }
+  EXPECT_FALSE(pair.server->receive(0.05).has_value());
+
+  // Byte accounting matches the simulated wire_size on both ends.
+  const auto sent = pair.client->stats().total_sent();
+  const auto received = pair.server->stats().total_received();
+  EXPECT_EQ(sent.messages, 5u);
+  EXPECT_EQ(sent.bytes, received.bytes);
+  std::uint64_t expected = 0;
+  for (std::uint64_t round = 0; round < 5; ++round)
+    expected += net::wire_size(upload(100 + std::size_t(round), round));
+  EXPECT_EQ(sent.bytes, expected);
+}
+
+TEST(SocketTransport, LargePayloadSurvivesPartialWrites) {
+  Pair pair = make_pair_transports();
+  const net::Message big = upload(1 << 20);  // 4 MiB payload
+  // A reader thread drains while the writer loops on EAGAIN — neither
+  // side's nonblocking loop may drop or reorder bytes.
+  std::thread writer([&] { pair.client->send(big); });
+  const auto m = pair.server->receive(30.0);
+  writer.join();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload, big.payload);
+}
+
+TEST(SocketTransport, CorruptedFrameIsCountedAndDropped) {
+  SocketTransportOptions corrupting;
+  corrupting.corrupt_rate = 1.0;  // every data frame
+  corrupting.corrupt_seed = 5;
+  Pair pair = make_pair_transports(corrupting);
+
+  pair.client->send(upload(50));
+  EXPECT_FALSE(pair.server->receive(0.3).has_value());
+  EXPECT_EQ(
+      pair.server->stats().received.at(net::client_id(0)).corrupt_frames,
+      1u);
+
+  // Control frames are never corrupted; the stream stays usable.
+  net::Message sync;
+  sync.from = net::client_id(0);
+  sync.to = net::server_id(0);
+  sync.kind = net::MessageKind::kRoundSync;
+  sync.round = 9;
+  pair.client->send(sync);
+  const auto m = pair.server->receive(5.0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->kind, net::MessageKind::kRoundSync);
+  EXPECT_EQ(m->round, 9u);
+}
+
+TEST(SocketTransport, HangupSurfacesAsTimeout) {
+  Pair pair = make_pair_transports();
+  pair.client.reset();  // closes the fd
+  EXPECT_FALSE(pair.server->receive(0.5).has_value());
+}
+
+std::string make_scratch_dir() {
+  char scratch[] = "/tmp/fedmsXXXXXX";
+  EXPECT_NE(::mkdtemp(scratch), nullptr);
+  return scratch;
+}
+
+TEST(SocketTransport, ConnectRetriesUntilListenerIsUp) {
+  const std::string dir = make_scratch_dir();
+  const SocketAddress address = SocketAddress::unix_path(dir + "/ps0.sock");
+
+  SocketTransportOptions options;
+  options.connect_backoff = runtime::Backoff{0.02, 2.0, 12};
+
+  // Client starts FIRST; the listener comes up shortly after. The bounded
+  // exponential backoff must bridge the gap.
+  std::unique_ptr<SocketTransport> client;
+  std::thread connector([&] {
+    client = SocketTransport::connect_mesh(net::client_id(0), {address},
+                                           options);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  auto server = SocketTransport::listen_and_accept(
+      net::server_id(0), address, 1, SocketTransportOptions{}, 10.0);
+  connector.join();
+
+  ASSERT_NE(client, nullptr);
+  client->send(upload(8));
+  const auto m = server->receive(5.0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload.size(), 8u);
+}
+
+TEST(SocketTransport, ExhaustedBackoffThrows) {
+  SocketTransportOptions options;
+  options.connect_backoff = runtime::Backoff{0.01, 2.0, 3};
+  EXPECT_THROW(
+      SocketTransport::connect_mesh(
+          net::client_id(0),
+          {SocketAddress::unix_path("/tmp/fedms-nonexistent-xyz.sock")},
+          options),
+      std::runtime_error);
+}
+
+// The full protocol over real Unix-domain sockets, every node on its own
+// thread, must equal the in-memory reference run bit for bit.
+TEST(SocketTransport, FullRunOverUnixSocketsMatchesInMemory) {
+  fl::WorkloadConfig workload;
+  workload.samples = 300;
+  workload.model = "mlp";
+  workload.mlp_hidden = {8};
+
+  fl::FedMsConfig fed;
+  fed.clients = 3;
+  fed.servers = 2;
+  fed.byzantine = 1;
+  fed.rounds = 2;
+  fed.local_iterations = 2;
+  fed.client_filter = "trmean:0.4";
+  fed.attack = "noise";
+  fed.eval_every = 1;
+  fed.seed = 5;
+
+  // Reference: in-memory transport run.
+  InMemoryHub hub(fed.upload_compression);
+  const TransportRunSummary reference =
+      run_transport_experiment(workload, fed, hub);
+
+  // Real sockets: servers listen, clients connect, all on threads.
+  const std::string dir = make_scratch_dir();
+  std::vector<SocketAddress> addresses;
+  for (std::size_t p = 0; p < fed.servers; ++p)
+    addresses.push_back(
+        SocketAddress::unix_path(dir + "/ps" + std::to_string(p) + ".sock"));
+  const fl::Workload data = fl::make_workload(workload, fed);
+
+  TransportRunSummary summary;
+  summary.clients.resize(fed.clients);
+  summary.servers.resize(fed.servers);
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < fed.servers; ++p) {
+    threads.emplace_back([&, p] {
+      auto transport = SocketTransport::listen_and_accept(
+          net::server_id(p), addresses[p], fed.clients,
+          SocketTransportOptions{}, 30.0);
+      summary.servers[p] =
+          run_server_node(*transport, workload, fed, p, 30.0);
+    });
+  }
+  for (std::size_t k = 0; k < fed.clients; ++k) {
+    threads.emplace_back([&, k] {
+      auto transport = SocketTransport::connect_mesh(
+          net::client_id(k), addresses, SocketTransportOptions{});
+      summary.clients[k] =
+          run_client_node(*transport, data, workload, fed, k, 30.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(summary.mean_accuracy(), reference.mean_accuracy());
+  for (std::size_t k = 0; k < fed.clients; ++k)
+    EXPECT_EQ(summary.clients[k].model_crc,
+              reference.clients[k].model_crc);
+
+  const auto socket_totals = summary.data_totals();
+  const auto reference_totals = reference.data_totals();
+  EXPECT_EQ(socket_totals.uplink_bytes, reference_totals.uplink_bytes);
+  EXPECT_EQ(socket_totals.uplink_messages,
+            reference_totals.uplink_messages);
+  EXPECT_EQ(socket_totals.downlink_bytes, reference_totals.downlink_bytes);
+  EXPECT_EQ(socket_totals.downlink_messages,
+            reference_totals.downlink_messages);
+}
+
+}  // namespace
+}  // namespace fedms::transport

@@ -1,0 +1,430 @@
+// fedms_node — single Fed-MS roles over a real transport, plus a launcher
+// that runs whole multi-process rounds on localhost.
+//
+// Modes:
+//   --mode inmem              all K+P nodes as threads over the in-memory
+//                             hub (the reference transport run)
+//   --mode launch             fork/exec one process per node over Unix
+//                             sockets (--backend unix, default) or
+//                             localhost TCP (--backend tcp), then collect
+//                             per-node report files
+//   --mode client --index k   one client process (used by the launcher)
+//   --mode server --index p   one PS process (used by the launcher)
+//
+// Every process re-derives its node's state from the shared (seed, config)
+// pair, so the run needs no coordinator beyond the sockets themselves.
+// With --verify the launcher re-runs the identical configuration on the
+// in-process simulator and checks that final accuracy and per-client model
+// CRCs are bit-for-bit equal and that measured per-direction data bytes
+// match the simulated wire_size accounting exactly.
+//
+//   ./build/tools/fedms_node --mode launch --clients 4 --servers 2
+//       --byzantine 1 --rounds 2 --verify
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/cli.h"
+#include "fl/experiment.h"
+#include "transport/frame.h"
+#include "transport/node_runner.h"
+#include "transport/socket_transport.h"
+#include "transport/transport.h"
+
+namespace {
+
+using namespace fedms;
+
+struct NodeCli {
+  fl::WorkloadConfig workload;
+  fl::FedMsConfig fed;
+  std::string mode = "inmem";
+  std::string backend = "unix";
+  std::size_t index = 0;
+  std::string socket_dir;
+  std::string report_dir;
+  int tcp_port_base = 0;
+  double timeout_seconds = 120.0;
+  double corrupt_rate = 0.0;
+  std::uint64_t corrupt_seed = 0;
+  bool verify = false;
+};
+
+std::vector<transport::SocketAddress> server_addresses(const NodeCli& cli) {
+  std::vector<transport::SocketAddress> addresses;
+  addresses.reserve(cli.fed.servers);
+  for (std::size_t p = 0; p < cli.fed.servers; ++p) {
+    if (cli.backend == "unix")
+      addresses.push_back(transport::SocketAddress::unix_path(
+          cli.socket_dir + "/ps" + std::to_string(p) + ".sock"));
+    else
+      addresses.push_back(transport::SocketAddress::tcp(
+          "127.0.0.1", std::uint16_t(cli.tcp_port_base + int(p))));
+  }
+  return addresses;
+}
+
+transport::SocketTransportOptions socket_options(const NodeCli& cli,
+                                                 const net::NodeId& self) {
+  transport::SocketTransportOptions options;
+  options.payload_codec = cli.fed.upload_compression;
+  options.corrupt_rate = cli.corrupt_rate;
+  // Distinct deterministic corruption stream per process.
+  options.corrupt_seed =
+      cli.corrupt_seed +
+      (self.kind == net::NodeKind::kServer ? 1000000 : 0) + self.index;
+  return options;
+}
+
+std::string report_path(const NodeCli& cli, const net::NodeId& self) {
+  const char* role = self.kind == net::NodeKind::kClient ? "client" : "server";
+  return cli.report_dir + "/" + role + std::to_string(self.index) +
+         ".report";
+}
+
+void write_report(const NodeCli& cli, const transport::NodeReport& report) {
+  const std::string path = report_path(cli, report.self);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << transport::to_report_text(report);
+}
+
+transport::NodeReport read_report(const NodeCli& cli,
+                                  const net::NodeId& self) {
+  const std::string path = report_path(cli, self);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("missing report " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return transport::parse_report_text(text.str());
+}
+
+int run_client_process(const NodeCli& cli) {
+  const net::NodeId self = net::client_id(cli.index);
+  const fl::Workload data = fl::make_workload(cli.workload, cli.fed);
+  auto transport = transport::SocketTransport::connect_mesh(
+      self, server_addresses(cli), socket_options(cli, self));
+  const transport::NodeReport report = transport::run_client_node(
+      *transport, data, cli.workload, cli.fed, cli.index,
+      cli.timeout_seconds);
+  write_report(cli, report);
+  return 0;
+}
+
+int run_server_process(const NodeCli& cli) {
+  const net::NodeId self = net::server_id(cli.index);
+  auto transport = transport::SocketTransport::listen_and_accept(
+      self, server_addresses(cli)[cli.index], cli.fed.clients,
+      socket_options(cli, self), cli.timeout_seconds);
+  const transport::NodeReport report = transport::run_server_node(
+      *transport, cli.workload, cli.fed, cli.index, cli.timeout_seconds);
+  write_report(cli, report);
+  return 0;
+}
+
+// Re-runs the configuration on the round-synchronous simulator and checks
+// bit-for-bit agreement. Returns true when everything matches.
+bool verify_against_sim(const NodeCli& cli,
+                        const transport::TransportRunSummary& summary) {
+  std::vector<std::uint32_t> sim_crcs;
+  fl::Experiment experiment = fl::make_experiment(cli.workload, cli.fed);
+  experiment.run->set_round_callback(
+      [&](std::uint64_t round, const std::vector<fl::LearnerPtr>& learners) {
+        if (round + 1 != cli.fed.rounds) return;
+        sim_crcs.clear();
+        for (const auto& learner : learners)
+          sim_crcs.push_back(transport::crc32c_floats(learner->parameters()));
+      });
+  const fl::RunResult sim = experiment.run->run();
+
+  bool ok = true;
+  const auto check = [&](bool condition, const std::string& what) {
+    if (!condition) {
+      std::printf("verify: MISMATCH %s\n", what.c_str());
+      ok = false;
+    }
+  };
+
+  const auto totals = summary.data_totals();
+  check(totals.uplink_messages == sim.uplink_total.messages &&
+            totals.uplink_bytes == sim.uplink_total.bytes,
+        "uplink data traffic (measured " +
+            std::to_string(totals.uplink_bytes) + " B / " +
+            std::to_string(totals.uplink_messages) + " msgs, simulated " +
+            std::to_string(sim.uplink_total.bytes) + " B / " +
+            std::to_string(sim.uplink_total.messages) + " msgs)");
+  check(totals.downlink_messages == sim.downlink_total.messages &&
+            totals.downlink_bytes == sim.downlink_total.bytes,
+        "downlink data traffic (measured " +
+            std::to_string(totals.downlink_bytes) + " B, simulated " +
+            std::to_string(sim.downlink_total.bytes) + " B)");
+
+  const double sim_accuracy = *sim.final_eval().eval_accuracy;
+  const double run_accuracy = summary.mean_accuracy();
+  // Bit-for-bit, not approximate: same floats in the same order.
+  check(run_accuracy == sim_accuracy,
+        "final accuracy (measured " + std::to_string(run_accuracy) +
+            ", simulated " + std::to_string(sim_accuracy) + ")");
+
+  check(sim_crcs.size() == summary.clients.size(), "client count");
+  for (std::size_t k = 0;
+       k < std::min(sim_crcs.size(), summary.clients.size()); ++k)
+    check(summary.clients[k].model_crc == sim_crcs[k],
+          "client " + std::to_string(k) + " model CRC");
+
+  std::printf("verify: %s\n", ok ? "OK (bit-for-bit match with simulator)"
+                                 : "FAILED");
+  return ok;
+}
+
+void print_summary(const NodeCli& cli,
+                   const transport::TransportRunSummary& summary) {
+  const auto totals = summary.data_totals();
+  std::printf("# fedms_node — %s\n", cli.fed.to_string().c_str());
+  std::printf("final accuracy %.4f  eval loss %.4f\n",
+              summary.mean_accuracy(), summary.mean_eval_loss());
+  std::printf(
+      "data traffic: uplink %llu B (%llu msgs), downlink %llu B (%llu "
+      "msgs), corrupt frames %llu\n",
+      static_cast<unsigned long long>(totals.uplink_bytes),
+      static_cast<unsigned long long>(totals.uplink_messages),
+      static_cast<unsigned long long>(totals.downlink_bytes),
+      static_cast<unsigned long long>(totals.downlink_messages),
+      static_cast<unsigned long long>(summary.corrupt_frames()));
+  std::printf("link,role,index,peer_role,peer_index,data_msgs,data_bytes,"
+              "control_msgs,control_bytes,corrupt_frames\n");
+  const auto print_links = [](const transport::NodeReport& node) {
+    const char* role =
+        node.self.kind == net::NodeKind::kClient ? "client" : "server";
+    for (const auto& [peer, link] : node.stats.sent) {
+      const char* peer_role =
+          peer.kind == net::NodeKind::kClient ? "client" : "server";
+      std::printf("sent,%s,%zu,%s,%zu,%llu,%llu,%llu,%llu,%llu\n", role,
+                  node.self.index, peer_role, peer.index,
+                  static_cast<unsigned long long>(link.messages),
+                  static_cast<unsigned long long>(link.bytes),
+                  static_cast<unsigned long long>(link.control_messages),
+                  static_cast<unsigned long long>(link.control_bytes),
+                  static_cast<unsigned long long>(link.corrupt_frames));
+    }
+  };
+  for (const auto& node : summary.clients) print_links(node);
+  for (const auto& node : summary.servers) print_links(node);
+}
+
+int run_inmem(const NodeCli& cli) {
+  transport::InMemoryHub hub(cli.fed.upload_compression);
+  if (cli.corrupt_rate > 0.0)
+    hub.set_corrupt_rate(cli.corrupt_rate, cli.corrupt_seed);
+  const transport::TransportRunSummary summary =
+      transport::run_transport_experiment(cli.workload, cli.fed, hub,
+                                          cli.timeout_seconds);
+  print_summary(cli, summary);
+  if (cli.verify && !verify_against_sim(cli, summary)) return 1;
+  return 0;
+}
+
+std::vector<std::string> child_args(const NodeCli& cli, const char* role,
+                                    std::size_t index) {
+  std::vector<std::string> args = {
+      "/proc/self/exe",
+      "--mode", role,
+      "--index", std::to_string(index),
+      "--backend", cli.backend,
+      "--socket-dir", cli.socket_dir,
+      "--report-dir", cli.report_dir,
+      "--tcp-port-base", std::to_string(cli.tcp_port_base),
+      "--timeout", std::to_string(cli.timeout_seconds),
+      "--corrupt-rate", std::to_string(cli.corrupt_rate),
+      "--corrupt-seed", std::to_string(cli.corrupt_seed),
+      "--clients", std::to_string(cli.fed.clients),
+      "--servers", std::to_string(cli.fed.servers),
+      "--byzantine", std::to_string(cli.fed.byzantine),
+      "--byzantine-placement", cli.fed.byzantine_placement,
+      "--rounds", std::to_string(cli.fed.rounds),
+      "--local-iters", std::to_string(cli.fed.local_iterations),
+      "--upload", cli.fed.upload,
+      "--client-filter", cli.fed.client_filter,
+      "--server-aggregator", cli.fed.server_aggregator,
+      "--attack", cli.fed.attack,
+      "--compression", cli.fed.upload_compression,
+      "--seed", std::to_string(cli.fed.seed),
+      "--eval-every", std::to_string(cli.fed.eval_every),
+      "--samples", std::to_string(cli.workload.samples),
+      "--alpha", std::to_string(cli.workload.dirichlet_alpha),
+      "--model", cli.workload.model,
+      "--lr", std::to_string(cli.workload.learning_rate),
+      "--batch", std::to_string(cli.workload.batch_size),
+  };
+  return args;
+}
+
+pid_t spawn_child(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& arg : args)
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fork failed");
+  if (pid == 0) {
+    ::execv("/proc/self/exe", argv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  return pid;
+}
+
+int run_launch(NodeCli cli) {
+  // One scratch dir holds both sockets and report files. Unix socket paths
+  // are length-limited (~108 chars), so the default lives in /tmp.
+  char scratch[] = "/tmp/fedmsXXXXXX";
+  if (cli.socket_dir.empty()) {
+    if (::mkdtemp(scratch) == nullptr)
+      throw std::runtime_error("mkdtemp failed");
+    cli.socket_dir = scratch;
+  }
+  if (cli.report_dir.empty()) cli.report_dir = cli.socket_dir;
+
+  std::vector<pid_t> pids;
+  // Servers first (they bind and listen); clients retry connects with
+  // backoff, so strict ordering is a courtesy, not a requirement.
+  for (std::size_t p = 0; p < cli.fed.servers; ++p)
+    pids.push_back(spawn_child(child_args(cli, "server", p)));
+  for (std::size_t k = 0; k < cli.fed.clients; ++k)
+    pids.push_back(spawn_child(child_args(cli, "client", k)));
+
+  bool failed = false;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "node process %d failed (status %d)\n", int(pid),
+                   status);
+      failed = true;
+    }
+  }
+  if (failed) return 1;
+
+  transport::TransportRunSummary summary;
+  for (std::size_t k = 0; k < cli.fed.clients; ++k)
+    summary.clients.push_back(read_report(cli, net::client_id(k)));
+  for (std::size_t p = 0; p < cli.fed.servers; ++p)
+    summary.servers.push_back(read_report(cli, net::server_id(p)));
+
+  print_summary(cli, summary);
+  if (cli.verify && !verify_against_sim(cli, summary)) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::CliFlags flags(
+      "fedms_node: Fed-MS over real transports — single node roles and a "
+      "multi-process localhost launcher");
+  flags.add_string("mode", "inmem", "inmem | launch | client | server");
+  flags.add_int("index", 0, "node index (client/server modes)");
+  flags.add_string("backend", "unix", "socket backend: unix | tcp");
+  flags.add_string("socket-dir", "",
+                   "directory for Unix socket files (launch default: a "
+                   "fresh /tmp/fedmsXXXXXX)");
+  flags.add_string("report-dir", "",
+                   "directory for per-node report files (default: "
+                   "socket-dir)");
+  flags.add_int("tcp-port-base", 47700, "tcp: PS p listens on base+p");
+  flags.add_double("timeout", 120.0,
+                   "per-stage receive/accept timeout in seconds");
+  flags.add_double("corrupt-rate", 0.0,
+                   "probability a sent data frame is corrupted in transit");
+  flags.add_int("corrupt-seed", 0, "corruption stream seed");
+  flags.add_bool("verify", false,
+                 "launch/inmem: re-run on the in-process simulator and "
+                 "require bit-for-bit agreement");
+  // Experiment knobs (the transport-supported subset of fedms_sim's).
+  flags.add_int("clients", 4, "number of end clients K");
+  flags.add_int("servers", 2, "number of edge parameter servers P");
+  flags.add_int("byzantine", 1, "number of Byzantine PSs B");
+  flags.add_string("byzantine-placement", "first", "first | random");
+  flags.add_int("rounds", 2, "global training rounds T");
+  flags.add_int("local-iters", 3, "local SGD iterations per round E");
+  flags.add_string("upload", "sparse", "sparse | full | multi:<m>");
+  flags.add_string("client-filter", "trmean:0.2",
+                   "client-side defense Def()");
+  flags.add_string("server-aggregator", "mean", "PS-side aggregation rule");
+  flags.add_string("attack", "noise", "Byzantine PS behaviour");
+  flags.add_string("compression", "none", "upload codec: none | fp16 | int8");
+  flags.add_int("samples", 600, "synthetic dataset size");
+  flags.add_double("alpha", 10.0, "Dirichlet D_alpha heterogeneity");
+  flags.add_string("model", "mlp", "client model: mlp | logistic | ...");
+  flags.add_double("lr", 0.3, "client learning rate");
+  flags.add_int("batch", 32, "mini-batch size");
+  flags.add_int("seed", 1, "root seed");
+  flags.add_int("eval-every", 1, "evaluate every N rounds");
+  if (!flags.parse(argc, argv)) return 1;
+
+  NodeCli cli;
+  cli.mode = flags.get_string("mode");
+  cli.index = std::size_t(flags.get_int("index"));
+  cli.backend = flags.get_string("backend");
+  cli.socket_dir = flags.get_string("socket-dir");
+  cli.report_dir = flags.get_string("report-dir");
+  cli.tcp_port_base = int(flags.get_int("tcp-port-base"));
+  cli.timeout_seconds = flags.get_double("timeout");
+  cli.corrupt_rate = flags.get_double("corrupt-rate");
+  cli.corrupt_seed = std::uint64_t(flags.get_int("corrupt-seed"));
+  cli.verify = flags.get_bool("verify");
+
+  cli.fed.clients = std::size_t(flags.get_int("clients"));
+  cli.fed.servers = std::size_t(flags.get_int("servers"));
+  cli.fed.byzantine = std::size_t(flags.get_int("byzantine"));
+  cli.fed.byzantine_placement = flags.get_string("byzantine-placement");
+  cli.fed.rounds = std::size_t(flags.get_int("rounds"));
+  cli.fed.local_iterations = std::size_t(flags.get_int("local-iters"));
+  cli.fed.upload = flags.get_string("upload");
+  cli.fed.client_filter = flags.get_string("client-filter");
+  cli.fed.server_aggregator = flags.get_string("server-aggregator");
+  cli.fed.attack = flags.get_string("attack");
+  cli.fed.upload_compression = flags.get_string("compression");
+  cli.fed.seed = std::uint64_t(flags.get_int("seed"));
+  cli.fed.eval_every = std::size_t(flags.get_int("eval-every"));
+
+  cli.workload.samples = std::size_t(flags.get_int("samples"));
+  cli.workload.dirichlet_alpha = flags.get_double("alpha");
+  cli.workload.model = flags.get_string("model");
+  cli.workload.learning_rate = flags.get_double("lr");
+  cli.workload.batch_size = std::size_t(flags.get_int("batch"));
+
+  try {
+    cli.fed.validate();
+    transport::check_transport_supported(cli.fed);
+    if (cli.backend != "unix" && cli.backend != "tcp")
+      throw std::runtime_error("--backend must be unix or tcp");
+    if (cli.verify && cli.corrupt_rate > 0.0)
+      throw std::runtime_error(
+          "--verify requires --corrupt-rate 0 (corruption changes the "
+          "result by design)");
+    if (cli.mode == "client" || cli.mode == "server") {
+      if (cli.backend == "unix" && cli.socket_dir.empty())
+        throw std::runtime_error("--socket-dir is required with unix sockets");
+      if (cli.report_dir.empty())
+        throw std::runtime_error("--report-dir is required for node roles");
+    }
+    if (cli.mode == "inmem") return run_inmem(cli);
+    if (cli.mode == "launch") return run_launch(cli);
+    if (cli.mode == "client") return run_client_process(cli);
+    if (cli.mode == "server") return run_server_process(cli);
+    throw std::runtime_error("--mode must be inmem|launch|client|server");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fedms_node: %s\n", error.what());
+    return 1;
+  }
+}
