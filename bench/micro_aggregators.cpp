@@ -41,6 +41,17 @@ void BM_TrimmedMean(benchmark::State& state) {
                           state.range(1));
 }
 
+// The seed's gather + full-sort implementation: the before/after baseline
+// for the blocked-transpose + nth_element path above.
+void BM_TrimmedMeanReference(benchmark::State& state) {
+  const auto models = make_models(std::size_t(state.range(0)),
+                                  std::size_t(state.range(1)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(fl::trimmed_mean_reference(models, 0.2));
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * state.range(0) *
+                          state.range(1));
+}
+
 void BM_CoordinateMedian(benchmark::State& state) {
   const auto models = make_models(std::size_t(state.range(0)),
                                   std::size_t(state.range(1)));
@@ -88,6 +99,10 @@ void BM_AttackApply(benchmark::State& state) {
 // Args: {P (model count), d (dimension)}.
 BENCHMARK(BM_Mean)->Args({10, 2410})->Args({10, 100000})->Args({30, 2410});
 BENCHMARK(BM_TrimmedMean)
+    ->Args({10, 2410})
+    ->Args({10, 100000})
+    ->Args({30, 2410});
+BENCHMARK(BM_TrimmedMeanReference)
     ->Args({10, 2410})
     ->Args({10, 100000})
     ->Args({30, 2410});

@@ -1,0 +1,147 @@
+// micro_gemm — GFLOP/s of the blocked GEMM (tensor/gemm.h) against the
+// seed's unblocked ikj matmul, over MobileNet-shaped im2col GEMMs.
+//
+// Plain executable printing one JSON object to stdout; scripts/bench.sh
+// folds it into BENCH_PR3.json. `--quick` shrinks the timing budget for CI
+// sanity runs. Each shape is cross-checked against the seed loop before
+// timing, so a wrong kernel fails loudly rather than benching garbage.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/gemm.h"
+
+namespace {
+
+using fedms::tensor::gemm_nn;
+using fedms::tensor::gemm_nt;
+using fedms::tensor::gemm_tn;
+
+// Verbatim copy of the seed repo's `tensor::matmul` inner loops (ikj order
+// with the `aik == 0` skip) — the baseline the blocked kernel is measured
+// against.
+void matmul_seed_ikj(std::size_t m, std::size_t n, std::size_t k,
+                     const float* pa, const float* pb, float* pc) {
+  std::memset(pc, 0, m * n * sizeof(float));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+struct Shape {
+  const char* tag;
+  std::size_t m, k, n;
+};
+
+// m = Cout, k = Cin*KH*KW (im2col patch), n = Hout*Wout, mirroring the
+// model zoo's MobileNet-style conv layers plus the MLP's linear GEMM.
+constexpr Shape kShapes[] = {
+    {"conv3x3_c64_hw32", 64, 576, 1024},
+    {"conv1x1_c128_hw16", 128, 128, 256},
+    {"conv3x3_c32_hw16", 32, 288, 256},
+    {"linear_b32_h256", 32, 256, 256},
+    {"square_256", 256, 256, 256},
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Best-of-reps seconds for one invocation of `fn`, spending ~`budget` s.
+template <typename Fn>
+double time_best(const Fn& fn, double budget) {
+  fn();  // warm-up (also faults in pack buffers)
+  double best = 1e30;
+  double spent = 0.0;
+  int reps = 0;
+  while (spent < budget || reps < 3) {
+    const double t0 = now_seconds();
+    fn();
+    const double dt = now_seconds() - t0;
+    best = std::min(best, dt);
+    spent += dt;
+    ++reps;
+  }
+  return best;
+}
+
+double max_abs_diff(const std::vector<float>& a, const std::vector<float>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::fabs(double(a[i]) - double(b[i])));
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double budget = 0.25;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--quick") budget = 0.03;
+
+  fedms::core::Rng rng(42);
+  std::printf("{\n  \"gemm\": [\n");
+  bool first = true;
+  for (const Shape& s : kShapes) {
+    std::vector<float> a(s.m * s.k), b(s.k * s.n);
+    for (auto& v : a) v = float(rng.normal());
+    for (auto& v : b) v = float(rng.normal());
+    std::vector<float> c_seed(s.m * s.n), c_blocked(s.m * s.n);
+
+    // Cross-check before timing (float-accumulation reorder tolerance).
+    matmul_seed_ikj(s.m, s.n, s.k, a.data(), b.data(), c_seed.data());
+    gemm_nn(s.m, s.n, s.k, a.data(), b.data(), c_blocked.data(), 0.0f);
+    const double diff = max_abs_diff(c_seed, c_blocked);
+    if (diff > 1e-3 * double(s.k)) {
+      std::fprintf(stderr, "FATAL: blocked GEMM diverges from seed ikj on "
+                           "%s (max abs diff %g)\n", s.tag, diff);
+      return 1;
+    }
+
+    const double flops = 2.0 * double(s.m) * double(s.n) * double(s.k);
+    const double t_seed = time_best(
+        [&] { matmul_seed_ikj(s.m, s.n, s.k, a.data(), b.data(),
+                              c_seed.data()); },
+        budget);
+    const double t_blocked = time_best(
+        [&] { gemm_nn(s.m, s.n, s.k, a.data(), b.data(), c_blocked.data(),
+                      0.0f); },
+        budget);
+    // Transposed-operand variants on the same logical product: A^T packed
+    // from a (k x m) buffer, B^T from an (n x k) buffer.
+    const double t_tn = time_best(
+        [&] { gemm_tn(s.m, s.n, s.k, a.data(), b.data(), c_blocked.data(),
+                      0.0f); },
+        budget / 2);
+    const double t_nt = time_best(
+        [&] { gemm_nt(s.m, s.n, s.k, a.data(), b.data(), c_blocked.data(),
+                      0.0f); },
+        budget / 2);
+
+    std::printf("%s    {\"tag\": \"%s\", \"m\": %zu, \"k\": %zu, \"n\": %zu, "
+                "\"seed_ikj_gflops\": %.3f, \"blocked_gflops\": %.3f, "
+                "\"blocked_tn_gflops\": %.3f, \"blocked_nt_gflops\": %.3f, "
+                "\"speedup\": %.2f}",
+                first ? "" : ",\n", s.tag, s.m, s.k, s.n,
+                flops / t_seed * 1e-9, flops / t_blocked * 1e-9,
+                flops / t_tn * 1e-9, flops / t_nt * 1e-9,
+                t_seed / t_blocked);
+    first = false;
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Kernel/aggregator benchmark harness. Builds a Release tree, runs
+#   * bench/micro_gemm        — blocked GEMM GFLOP/s vs the seed ikj loop,
+#   * bench/micro_aggregators — trimmed-mean throughput (blocked nth_element
+#                               path vs the sort-based reference),
+#   * tools/fedms_sim         — wall-clock per federated round,
+# and merges everything into one JSON report (default: repo/BENCH_PR3.json).
+#
+#   scripts/bench.sh            # full budgets
+#   scripts/bench.sh --quick    # tiny budgets (CI sanity / check.sh)
+#
+# Env: FEDMS_BENCH_OUT overrides the output path.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="$repo/build-bench"
+out="${FEDMS_BENCH_OUT:-$repo/BENCH_PR3.json}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== configure + build (Release, bench targets) =="
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
+  -DFEDMS_BUILD_TESTS=OFF -DFEDMS_BUILD_EXAMPLES=OFF -DFEDMS_BUILD_BENCH=ON
+cmake --build "$build" -j "$jobs" --target micro_gemm micro_aggregators \
+  fedms_sim
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== micro_gemm =="
+gemm_flags=()
+[[ $quick -eq 1 ]] && gemm_flags+=(--quick)
+"$build/bench/micro_gemm" "${gemm_flags[@]}" > "$tmp/gemm.json"
+
+echo "== micro_aggregators (trimmed mean) =="
+agg_flags=(--benchmark_filter='TrimmedMean'
+           --benchmark_format=json
+           --benchmark_out="$tmp/aggregators.json"
+           --benchmark_out_format=json)
+[[ $quick -eq 1 ]] && agg_flags+=(--benchmark_min_time=0.05)
+"$build/bench/micro_aggregators" "${agg_flags[@]}" > /dev/null
+
+echo "== fedms_sim per-round wall time =="
+rounds=8
+[[ $quick -eq 1 ]] && rounds=2
+sim_start="$(python3 -c 'import time; print(time.monotonic())')"
+"$build/tools/fedms_sim" --model mobilenet --clients 8 --servers 4 \
+  --byzantine 1 --rounds "$rounds" --samples 400 --eval-every 1000 \
+  > /dev/null
+sim_end="$(python3 -c 'import time; print(time.monotonic())')"
+
+echo "== merge -> $out =="
+GEMM_JSON="$tmp/gemm.json" AGG_JSON="$tmp/aggregators.json" \
+SIM_START="$sim_start" SIM_END="$sim_end" SIM_ROUNDS="$rounds" \
+QUICK="$quick" OUT="$out" python3 - <<'PY'
+import json, os
+
+gemm = json.load(open(os.environ["GEMM_JSON"]))
+agg = json.load(open(os.environ["AGG_JSON"]))
+
+trimmed = []
+for b in agg.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    trimmed.append({
+        "name": b["name"],
+        "cpu_time_ns": b.get("cpu_time"),
+        # coordinates aggregated per second (P * d * iterations / time)
+        "items_per_second": b.get("items_per_second"),
+    })
+
+seconds = float(os.environ["SIM_END"]) - float(os.environ["SIM_START"])
+rounds = int(os.environ["SIM_ROUNDS"])
+report = {
+    "bench": "PR3",
+    "quick": bool(int(os.environ["QUICK"])),
+    "gemm": gemm["gemm"],
+    "trimmed_mean": trimmed,
+    "per_round": {
+        "model": "mobilenet",
+        "clients": 8,
+        "servers": 4,
+        "rounds": rounds,
+        "total_seconds": round(seconds, 4),
+        "seconds_per_round": round(seconds / rounds, 4),
+    },
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {os.environ['OUT']}")
+for shape in report["gemm"]:
+    print(f"  gemm {shape['tag']}: {shape['blocked_gflops']:.1f} GFLOP/s "
+          f"({shape['speedup']:.2f}x vs seed ikj)")
+print(f"  per round: {report['per_round']['seconds_per_round']:.3f} s")
+PY
+
+echo "== bench done =="

@@ -2,7 +2,10 @@
 # Full verification gate: a fresh RelWithDebInfo build + the entire ctest
 # suite, then an ASan/UBSan build (-DFEDMS_SANITIZE=ON) exercising the
 # event-driven runtime tests (the subsystem with the most pointer-juggling
-# callbacks). Run from anywhere inside the repo.
+# callbacks) plus the GEMM/workspace kernel tests (raw-pointer pack buffers
+# and arena scratch), then a quick benchmark pass that must produce a
+# parseable BENCH JSON with nonzero GEMM throughput. Run from anywhere
+# inside the repo.
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh --fast     # reuse build dirs instead of wiping them
@@ -41,18 +44,37 @@ cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "$asan_build" -j "$jobs" \
   --target runtime_event_queue_test runtime_fault_test runtime_async_test \
            transport_frame_test transport_inmem_test transport_socket_test \
+           tensor_gemm_test tensor_workspace_test \
            fedms_node
 
-echo "== runtime + transport tests under ASan/UBSan =="
+echo "== runtime + transport + kernel tests under ASan/UBSan =="
 # Death tests fork; ASan is fine with that but needs the default allocator
 # not to complain about the intentional aborts.
 for t in runtime_event_queue_test runtime_fault_test runtime_async_test \
-         transport_frame_test transport_inmem_test transport_socket_test; do
+         transport_frame_test transport_inmem_test transport_socket_test \
+         tensor_gemm_test tensor_workspace_test; do
   "$asan_build/tests/$t"
 done
 
 echo "== multi-process smoke under ASan/UBSan =="
 "$asan_build/tools/fedms_node" --mode launch --backend unix \
   --clients 2 --servers 2 --byzantine 1 --rounds 1 --samples 200 --verify
+
+echo "== benchmark harness (quick) =="
+# Release build + short-budget bench run; the report must parse and show
+# nonzero blocked-GEMM throughput (catches a silently broken fast path).
+bench_out="$(mktemp)"
+trap 'rm -f "$bench_out"' EXIT
+FEDMS_BENCH_OUT="$bench_out" "$repo/scripts/bench.sh" --quick
+python3 - "$bench_out" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+shapes = report["gemm"]
+assert shapes, "bench report has no GEMM entries"
+for shape in shapes:
+    assert shape["blocked_gflops"] > 0, f"zero GFLOP/s for {shape['tag']}"
+assert report["per_round"]["seconds_per_round"] > 0
+print(f"bench report OK ({len(shapes)} GEMM shapes)")
+PY
 
 echo "== all checks passed =="

@@ -23,6 +23,38 @@ inline float sort_key(float v) {
   return std::isnan(v) ? std::numeric_limits<float>::infinity() : v;
 }
 
+// Bounded-insertion tails for the trimmed mean's small-trim fast path.
+// Both keep a sorted ascending prefix of at most `cap` values.
+
+// Keeps the `cap` smallest values seen (evicts the largest kept).
+inline void push_small(float* tail, std::size_t& count, std::size_t cap,
+                       float v) {
+  if (count == cap) {
+    if (v >= tail[count - 1]) return;
+    --count;
+  }
+  std::size_t pos = count;
+  for (; pos > 0 && tail[pos - 1] > v; --pos) tail[pos] = tail[pos - 1];
+  tail[pos] = v;
+  ++count;
+}
+
+// Keeps the `cap` largest values seen (evicts the smallest kept).
+inline void push_large(float* tail, std::size_t& count, std::size_t cap,
+                       float v) {
+  if (count == cap) {
+    if (v <= tail[0]) return;
+    std::size_t pos = 0;
+    for (; pos + 1 < cap && tail[pos + 1] < v; ++pos) tail[pos] = tail[pos + 1];
+    tail[pos] = v;
+    return;
+  }
+  std::size_t pos = count;
+  for (; pos > 0 && tail[pos - 1] > v; --pos) tail[pos] = tail[pos - 1];
+  tail[pos] = v;
+  ++count;
+}
+
 }  // namespace
 
 ModelVector mean_aggregate(const std::vector<ModelVector>& models) {
@@ -40,6 +72,94 @@ ModelVector mean_aggregate(const std::vector<ModelVector>& models) {
 
 ModelVector trimmed_mean(const std::vector<ModelVector>& models,
                          double beta) {
+  check_models(models);
+  FEDMS_EXPECTS(beta >= 0.0 && beta < 0.5);
+  const std::size_t p = models.size();
+  const std::size_t trim = static_cast<std::size_t>(beta * double(p));
+  FEDMS_EXPECTS(2 * trim < p);
+  const std::size_t d = models.front().size();
+  const std::size_t kept = p - 2 * trim;
+
+  // Coordinate block sized so the transposed block (kBlock x P floats)
+  // stays L1/L2-resident while each model row is streamed through exactly
+  // once per block.
+  constexpr std::size_t kBlock = 64;
+  // Largest trim the linear tail-tracking fast path handles; beyond it the
+  // bounded insertions stop beating two nth_element partitions.
+  constexpr std::size_t kMaxFastTrim = 16;
+  ModelVector out(d);
+  std::vector<float> scratch(p);
+
+  // Gathers coordinate j into `scratch` and computes the kept-window mean
+  // by two-sided selection: partition the trim smallest to the front, then
+  // the trim largest past the kept window. The kept values are exactly the
+  // sorted ranks [trim, p - trim); their within-window order is irrelevant
+  // to the (double-accumulated) mean. Handles non-finite values and any
+  // trim — the general path.
+  auto select_mean = [&](std::size_t j) {
+    float* column = scratch.data();
+    for (std::size_t i = 0; i < p; ++i) column[i] = sort_key(models[i][j]);
+    if (trim > 0) {
+      std::nth_element(column, column + trim, column + p);
+      std::nth_element(column + trim, column + (p - trim), column + p);
+    }
+    double acc = 0.0;
+    for (std::size_t i = trim; i < p - trim; ++i) acc += column[i];
+    out[j] = static_cast<float>(acc / double(kept));
+  };
+
+  if (trim == 0 || trim > kMaxFastTrim) {
+    for (std::size_t j = 0; j < d; ++j) select_mean(j);
+    return out;
+  }
+
+  // Small-trim fast path, the benign steady state: stream the P x d model
+  // matrix model-major in cache-sized coordinate blocks, maintaining per
+  // coordinate a running total plus the trim smallest/largest values by
+  // bounded insertion (expected O(p + trim log p) updates per coordinate
+  // on random input); the kept-window sum is total − tails. That
+  // subtraction is only valid when every value is finite (∞ − ∞ = NaN),
+  // so columns carrying ±∞/NaN — the Byzantine case — are redone with the
+  // selection path above. All per-block state (totals + both tails) stays
+  // L1-resident.
+  std::vector<double> totals(kBlock);
+  std::vector<float> low(kBlock * trim), high(kBlock * trim);
+  std::vector<std::size_t> nlow(kBlock), nhigh(kBlock);
+  std::vector<unsigned char> nonfinite(kBlock);
+  for (std::size_t j0 = 0; j0 < d; j0 += kBlock) {
+    const std::size_t width = std::min(kBlock, d - j0);
+    std::fill(totals.begin(), totals.begin() + std::ptrdiff_t(width), 0.0);
+    std::fill(nlow.begin(), nlow.begin() + std::ptrdiff_t(width), 0u);
+    std::fill(nhigh.begin(), nhigh.begin() + std::ptrdiff_t(width), 0u);
+    std::fill(nonfinite.begin(), nonfinite.begin() + std::ptrdiff_t(width),
+              0);
+    for (std::size_t i = 0; i < p; ++i) {
+      const float* row = models[i].data() + j0;
+      for (std::size_t jj = 0; jj < width; ++jj) {
+        const float v = sort_key(row[jj]);
+        nonfinite[jj] |= static_cast<unsigned char>(!std::isfinite(v));
+        totals[jj] += v;
+        push_small(low.data() + jj * trim, nlow[jj], trim, v);
+        push_large(high.data() + jj * trim, nhigh[jj], trim, v);
+      }
+    }
+    for (std::size_t jj = 0; jj < width; ++jj) {
+      if (nonfinite[jj]) {
+        select_mean(j0 + jj);
+        continue;
+      }
+      double tails = 0.0;
+      for (std::size_t i = 0; i < trim; ++i)
+        tails += double(low[jj * trim + i]) + double(high[jj * trim + i]);
+      out[j0 + jj] =
+          static_cast<float>((totals[jj] - tails) / double(kept));
+    }
+  }
+  return out;
+}
+
+ModelVector trimmed_mean_reference(const std::vector<ModelVector>& models,
+                                   double beta) {
   check_models(models);
   FEDMS_EXPECTS(beta >= 0.0 && beta < 0.5);
   const std::size_t p = models.size();

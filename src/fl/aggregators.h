@@ -44,7 +44,23 @@ ModelVector mean_aggregate(const std::vector<ModelVector>& models);
 // {1,2,3,4,5} = mean{2,3,4} = 3). Non-finite values sort as +∞ so NaN
 // poisoning lands in the trimmed tail whenever the trim budget covers it.
 // Precondition: 0 ≤ β < 0.5 and at least one value survives the trim.
+//
+// Implementation: coordinates are processed in cache-sized blocks — the
+// P x d model matrix is transposed blockwise so each coordinate's P values
+// are contiguous. All-finite columns with a small trim take a linear pass
+// that tracks the trim smallest/largest values by bounded insertion and
+// derives the kept-window sum as total − tails; columns carrying ±∞/NaN
+// (or a large trim) use two-sided std::nth_element selection (O(P))
+// instead of a full sort (O(P log P)). Every client runs this filter every
+// round, so it is the client-side hot loop Fed-MS adds over FedAvg.
 ModelVector trimmed_mean(const std::vector<ModelVector>& models, double beta);
+
+// The seed's per-coordinate gather + full-sort implementation, kept as the
+// oracle for the equivalence tests and the baseline in micro_aggregators.
+// Identical semantics (including NaN-sorts-as-+∞); only summation order
+// inside the kept window may differ, which double accumulation absorbs.
+ModelVector trimmed_mean_reference(const std::vector<ModelVector>& models,
+                                   double beta);
 
 // Per-coordinate median (lower of the two middles for even counts — the
 // β→0.5 limit of the trimmed mean family).

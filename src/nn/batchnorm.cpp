@@ -29,21 +29,32 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
   Tensor out(input.shape());
   cached_training_ = training;
 
+  // Each (n, c) pair is one contiguous H*W plane in NCHW storage; all the
+  // loops below walk planes through raw pointers instead of 4-index at().
+  const std::size_t plane = H * W;
+  const float* in = input.data();
+  float* o = out.data();
+
   if (training) {
-    cached_xhat_ = Tensor(input.shape());
+    // The xhat cache is reused across steps once its shape stabilizes —
+    // no per-forward allocation in steady state.
+    if (!cached_xhat_.same_shape(input)) cached_xhat_ = Tensor(input.shape());
+    float* xh = cached_xhat_.data();
     for (std::size_t c = 0; c < C; ++c) {
       double mean = 0.0;
-      for (std::size_t n = 0; n < N; ++n)
-        for (std::size_t h = 0; h < H; ++h)
-          for (std::size_t w = 0; w < W; ++w) mean += input.at(n, c, h, w);
+      for (std::size_t n = 0; n < N; ++n) {
+        const float* p = in + (n * C + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) mean += p[i];
+      }
       mean /= double(m);
       double var = 0.0;
-      for (std::size_t n = 0; n < N; ++n)
-        for (std::size_t h = 0; h < H; ++h)
-          for (std::size_t w = 0; w < W; ++w) {
-            const double d = input.at(n, c, h, w) - mean;
-            var += d * d;
-          }
+      for (std::size_t n = 0; n < N; ++n) {
+        const float* p = in + (n * C + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          const double d = p[i] - mean;
+          var += d * d;
+        }
+      }
       var /= double(m);  // biased variance, as in training-time BN
       const float inv_std = 1.0f / std::sqrt(float(var) + eps_);
       cached_inv_std_[c] = inv_std;
@@ -51,25 +62,30 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
           (1.0f - momentum_) * running_mean_[c] + momentum_ * float(mean);
       running_var_[c] =
           (1.0f - momentum_) * running_var_[c] + momentum_ * float(var);
-      const float g = gamma_[c], b = beta_[c];
-      for (std::size_t n = 0; n < N; ++n)
-        for (std::size_t h = 0; h < H; ++h)
-          for (std::size_t w = 0; w < W; ++w) {
-            const float xhat =
-                (input.at(n, c, h, w) - float(mean)) * inv_std;
-            cached_xhat_.at(n, c, h, w) = xhat;
-            out.at(n, c, h, w) = g * xhat + b;
-          }
+      const float g = gamma_[c], b = beta_[c], mu = float(mean);
+      for (std::size_t n = 0; n < N; ++n) {
+        const std::size_t base = (n * C + c) * plane;
+        const float* p = in + base;
+        float* xrow = xh + base;
+        float* orow = o + base;
+        for (std::size_t i = 0; i < plane; ++i) {
+          const float xhat = (p[i] - mu) * inv_std;
+          xrow[i] = xhat;
+          orow[i] = g * xhat + b;
+        }
+      }
     }
   } else {
     for (std::size_t c = 0; c < C; ++c) {
       const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
       const float g = gamma_[c], b = beta_[c], mu = running_mean_[c];
-      for (std::size_t n = 0; n < N; ++n)
-        for (std::size_t h = 0; h < H; ++h)
-          for (std::size_t w = 0; w < W; ++w)
-            out.at(n, c, h, w) =
-                g * (input.at(n, c, h, w) - mu) * inv_std + b;
+      for (std::size_t n = 0; n < N; ++n) {
+        const std::size_t base = (n * C + c) * plane;
+        const float* p = in + base;
+        float* orow = o + base;
+        for (std::size_t i = 0; i < plane; ++i)
+          orow[i] = g * (p[i] - mu) * inv_std + b;
+      }
     }
   }
   return out;
@@ -81,30 +97,36 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   const std::size_t N = grad_output.dim(0), C = channels_,
                     H = grad_output.dim(2), W = grad_output.dim(3);
   const double m = double(N * H * W);
+  const std::size_t plane = H * W;
   Tensor grad_input(grad_output.shape());
+  const float* dy_base = grad_output.data();
+  const float* xh_base = cached_xhat_.data();
+  float* dx_base = grad_input.data();
 
   for (std::size_t c = 0; c < C; ++c) {
     double sum_dy = 0.0, sum_dy_xhat = 0.0;
-    for (std::size_t n = 0; n < N; ++n)
-      for (std::size_t h = 0; h < H; ++h)
-        for (std::size_t w = 0; w < W; ++w) {
-          const double dy = grad_output.at(n, c, h, w);
-          sum_dy += dy;
-          sum_dy_xhat += dy * cached_xhat_.at(n, c, h, w);
-        }
+    for (std::size_t n = 0; n < N; ++n) {
+      const std::size_t base = (n * C + c) * plane;
+      const float* dy = dy_base + base;
+      const float* xh = xh_base + base;
+      for (std::size_t i = 0; i < plane; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += double(dy[i]) * xh[i];
+      }
+    }
     grad_beta_[c] += float(sum_dy);
     grad_gamma_[c] += float(sum_dy_xhat);
     const double k = double(gamma_[c]) * cached_inv_std_[c];
     const double mean_dy = sum_dy / m;
     const double mean_dy_xhat = sum_dy_xhat / m;
-    for (std::size_t n = 0; n < N; ++n)
-      for (std::size_t h = 0; h < H; ++h)
-        for (std::size_t w = 0; w < W; ++w) {
-          const double dy = grad_output.at(n, c, h, w);
-          const double xhat = cached_xhat_.at(n, c, h, w);
-          grad_input.at(n, c, h, w) =
-              float(k * (dy - mean_dy - xhat * mean_dy_xhat));
-        }
+    for (std::size_t n = 0; n < N; ++n) {
+      const std::size_t base = (n * C + c) * plane;
+      const float* dy = dy_base + base;
+      const float* xh = xh_base + base;
+      float* dx = dx_base + base;
+      for (std::size_t i = 0; i < plane; ++i)
+        dx[i] = float(k * (dy[i] - mean_dy - double(xh[i]) * mean_dy_xhat));
+    }
   }
   return grad_input;
 }

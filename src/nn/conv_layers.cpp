@@ -31,11 +31,15 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
   FEDMS_EXPECTS(cached_input_.numel() > 0);
-  auto grads = backend_ == ConvBackend::kIm2col
-                   ? tensor::conv2d_backward_im2col(cached_input_, weight_,
-                                                    grad_output, spec_)
-                   : tensor::conv2d_backward(cached_input_, weight_,
-                                             grad_output, spec_);
+  if (backend_ == ConvBackend::kIm2col) {
+    // dW/db accumulate directly into the layer's gradient buffers — no
+    // temporary gradient tensors on the hot path.
+    return tensor::conv2d_backward_im2col_acc(cached_input_, weight_,
+                                              grad_output, spec_,
+                                              grad_weight_, grad_bias_);
+  }
+  auto grads = tensor::conv2d_backward(cached_input_, weight_, grad_output,
+                                       spec_);
   tensor::add_inplace(grad_weight_, grads.grad_weight);
   if (with_bias_) tensor::add_inplace(grad_bias_, grads.grad_bias);
   return std::move(grads.grad_input);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace fedms::nn {
@@ -30,10 +31,13 @@ Tensor Linear::backward(const Tensor& grad_output) {
   FEDMS_EXPECTS(grad_output.rank() == 2 &&
                 grad_output.dim(1) == out_features_);
   FEDMS_EXPECTS(cached_input_.numel() > 0);
-  // dW += dY^T X ; db += column-sums of dY ; dX = dY W.
-  tensor::add_inplace(grad_weight_,
-                      tensor::matmul_transA(grad_output, cached_input_));
-  tensor::add_inplace(grad_bias_, tensor::sum_rows(grad_output));
+  const std::size_t batch = grad_output.dim(0);
+  // dW += dY^T X ; db += column-sums of dY ; dX = dY W. The gradients
+  // accumulate straight into the parameter buffers (GEMM beta = 1 /
+  // sum_rows_accumulate) — no temporary dW/db tensors on the hot path.
+  tensor::gemm_tn(out_features_, in_features_, batch, grad_output.data(),
+                  cached_input_.data(), grad_weight_.data(), 1.0f);
+  tensor::sum_rows_accumulate(grad_output, grad_bias_);
   return tensor::matmul(grad_output, weight_);
 }
 

@@ -1,12 +1,26 @@
 #include "tensor/conv_im2col.h"
 
-#include "tensor/ops.h"
+#include "core/thread_pool.h"
+#include "tensor/gemm.h"
+#include "tensor/workspace.h"
 
 namespace fedms::tensor {
 
-Tensor im2col(const Tensor& input, std::size_t batch_index,
-              std::size_t kernel_h, std::size_t kernel_w,
-              const Conv2dSpec& spec) {
+namespace {
+
+core::ThreadPool* g_conv_pool = nullptr;
+
+}  // namespace
+
+void set_conv_batch_parallelism(core::ThreadPool* pool) {
+  g_conv_pool = pool;
+}
+
+core::ThreadPool* conv_batch_parallelism() { return g_conv_pool; }
+
+void im2col_into(const Tensor& input, std::size_t batch_index,
+                 std::size_t kernel_h, std::size_t kernel_w,
+                 const Conv2dSpec& spec, float* columns) {
   FEDMS_EXPECTS(input.rank() == 4);
   FEDMS_EXPECTS(batch_index < input.dim(0));
   const std::size_t C = input.dim(1), H = input.dim(2), W = input.dim(3);
@@ -14,38 +28,89 @@ Tensor im2col(const Tensor& input, std::size_t batch_index,
                                          spec.padding);
   const std::size_t Wout = conv_out_size(W, kernel_w, spec.stride,
                                          spec.padding);
-  Tensor columns({C * kernel_h * kernel_w, Hout * Wout});
-  float* out = columns.data();
   const std::size_t out_cols = Hout * Wout;
-  for (std::size_t c = 0; c < C; ++c)
+  const float* image = input.data() + batch_index * C * H * W;
+  for (std::size_t c = 0; c < C; ++c) {
+    const float* plane = image + c * H * W;
     for (std::size_t kh = 0; kh < kernel_h; ++kh)
       for (std::size_t kw = 0; kw < kernel_w; ++kw) {
         const std::size_t row = (c * kernel_h + kh) * kernel_w + kw;
-        float* dst = out + row * out_cols;
+        float* dst = columns + row * out_cols;
         for (std::size_t ho = 0; ho < Hout; ++ho) {
           const std::ptrdiff_t hi = std::ptrdiff_t(ho * spec.stride + kh) -
                                     std::ptrdiff_t(spec.padding);
+          float* out_row = dst + ho * Wout;
+          if (hi < 0 || hi >= std::ptrdiff_t(H)) {
+            for (std::size_t wo = 0; wo < Wout; ++wo) out_row[wo] = 0.0f;
+            continue;
+          }
+          const float* in_row = plane + std::size_t(hi) * W;
           for (std::size_t wo = 0; wo < Wout; ++wo) {
             const std::ptrdiff_t wi =
                 std::ptrdiff_t(wo * spec.stride + kw) -
                 std::ptrdiff_t(spec.padding);
-            const bool inside = hi >= 0 && hi < std::ptrdiff_t(H) &&
-                                wi >= 0 && wi < std::ptrdiff_t(W);
-            dst[ho * Wout + wo] =
-                inside ? input.at(batch_index, c, std::size_t(hi),
-                                  std::size_t(wi))
-                       : 0.0f;
+            out_row[wo] = (wi >= 0 && wi < std::ptrdiff_t(W))
+                              ? in_row[std::size_t(wi)]
+                              : 0.0f;
           }
         }
       }
+  }
+}
+
+Tensor im2col(const Tensor& input, std::size_t batch_index,
+              std::size_t kernel_h, std::size_t kernel_w,
+              const Conv2dSpec& spec) {
+  FEDMS_EXPECTS(input.rank() == 4);
+  const std::size_t C = input.dim(1), H = input.dim(2), W = input.dim(3);
+  const std::size_t Hout = conv_out_size(H, kernel_h, spec.stride,
+                                         spec.padding);
+  const std::size_t Wout = conv_out_size(W, kernel_w, spec.stride,
+                                         spec.padding);
+  Tensor columns({C * kernel_h * kernel_w, Hout * Wout});
+  im2col_into(input, batch_index, kernel_h, kernel_w, spec, columns.data());
   return columns;
+}
+
+void col2im_accumulate_raw(const float* columns, std::size_t kernel_h,
+                           std::size_t kernel_w, const Conv2dSpec& spec,
+                           Tensor& image_grad, std::size_t batch_index) {
+  FEDMS_EXPECTS(image_grad.rank() == 4);
+  FEDMS_EXPECTS(batch_index < image_grad.dim(0));
+  const std::size_t C = image_grad.dim(1), H = image_grad.dim(2),
+                    W = image_grad.dim(3);
+  const std::size_t Hout = conv_out_size(H, kernel_h, spec.stride,
+                                         spec.padding);
+  const std::size_t Wout = conv_out_size(W, kernel_w, spec.stride,
+                                         spec.padding);
+  float* image = image_grad.data() + batch_index * C * H * W;
+  for (std::size_t c = 0; c < C; ++c) {
+    float* plane = image + c * H * W;
+    for (std::size_t kh = 0; kh < kernel_h; ++kh)
+      for (std::size_t kw = 0; kw < kernel_w; ++kw) {
+        const std::size_t row = (c * kernel_h + kh) * kernel_w + kw;
+        const float* column = columns + row * (Hout * Wout);
+        for (std::size_t ho = 0; ho < Hout; ++ho) {
+          const std::ptrdiff_t hi = std::ptrdiff_t(ho * spec.stride + kh) -
+                                    std::ptrdiff_t(spec.padding);
+          if (hi < 0 || hi >= std::ptrdiff_t(H)) continue;
+          float* grad_row = plane + std::size_t(hi) * W;
+          const float* col_row = column + ho * Wout;
+          for (std::size_t wo = 0; wo < Wout; ++wo) {
+            const std::ptrdiff_t wi =
+                std::ptrdiff_t(wo * spec.stride + kw) -
+                std::ptrdiff_t(spec.padding);
+            if (wi < 0 || wi >= std::ptrdiff_t(W)) continue;
+            grad_row[std::size_t(wi)] += col_row[wo];
+          }
+        }
+      }
+  }
 }
 
 void col2im_accumulate(const Tensor& columns, std::size_t kernel_h,
                        std::size_t kernel_w, const Conv2dSpec& spec,
                        Tensor& image_grad, std::size_t batch_index) {
-  FEDMS_EXPECTS(image_grad.rank() == 4);
-  FEDMS_EXPECTS(batch_index < image_grad.dim(0));
   const std::size_t C = image_grad.dim(1), H = image_grad.dim(2),
                     W = image_grad.dim(3);
   const std::size_t Hout = conv_out_size(H, kernel_h, spec.stride,
@@ -55,26 +120,8 @@ void col2im_accumulate(const Tensor& columns, std::size_t kernel_h,
   FEDMS_EXPECTS(columns.rank() == 2 &&
                 columns.dim(0) == C * kernel_h * kernel_w &&
                 columns.dim(1) == Hout * Wout);
-  const float* src = columns.data();
-  for (std::size_t c = 0; c < C; ++c)
-    for (std::size_t kh = 0; kh < kernel_h; ++kh)
-      for (std::size_t kw = 0; kw < kernel_w; ++kw) {
-        const std::size_t row = (c * kernel_h + kh) * kernel_w + kw;
-        const float* column = src + row * (Hout * Wout);
-        for (std::size_t ho = 0; ho < Hout; ++ho) {
-          const std::ptrdiff_t hi = std::ptrdiff_t(ho * spec.stride + kh) -
-                                    std::ptrdiff_t(spec.padding);
-          if (hi < 0 || hi >= std::ptrdiff_t(H)) continue;
-          for (std::size_t wo = 0; wo < Wout; ++wo) {
-            const std::ptrdiff_t wi =
-                std::ptrdiff_t(wo * spec.stride + kw) -
-                std::ptrdiff_t(spec.padding);
-            if (wi < 0 || wi >= std::ptrdiff_t(W)) continue;
-            image_grad.at(batch_index, c, std::size_t(hi),
-                          std::size_t(wi)) += column[ho * Wout + wo];
-          }
-        }
-      }
+  col2im_accumulate_raw(columns.data(), kernel_h, kernel_w, spec, image_grad,
+                        batch_index);
 }
 
 Tensor conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
@@ -91,27 +138,44 @@ Tensor conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
   const bool has_bias = bias.numel() > 0;
   if (has_bias) FEDMS_EXPECTS(bias.rank() == 1 && bias.dim(0) == Cout);
 
-  // Weights viewed as (Cout x Cin*KH*KW).
-  const Tensor weight_matrix =
-      weight.reshaped({Cout, weight.numel() / Cout});
+  // The (Cout x Cin*KH*KW) weight matrix is the weight tensor's own
+  // storage viewed flat — no reshaped() copy.
+  const std::size_t patch = weight.numel() / Cout;
+  const float* weight_matrix = weight.data();
+  const std::size_t out_cols = Hout * Wout;
   Tensor output({N, Cout, Hout, Wout});
-  for (std::size_t n = 0; n < N; ++n) {
-    const Tensor columns = im2col(input, n, KH, KW, spec);
-    Tensor result = matmul(weight_matrix, columns);  // (Cout x Hout*Wout)
-    float* dst = output.data() + n * Cout * Hout * Wout;
-    const float* src = result.data();
-    for (std::size_t co = 0; co < Cout; ++co) {
-      const float b = has_bias ? bias[co] : 0.0f;
-      for (std::size_t i = 0; i < Hout * Wout; ++i)
-        dst[co * Hout * Wout + i] = src[co * Hout * Wout + i] + b;
-    }
+
+  const auto run_image = [&](std::size_t n) {
+    Workspace::Scope scope;
+    float* columns = scope.alloc(patch * out_cols);
+    im2col_into(input, n, KH, KW, spec, columns);
+    float* dst = output.data() + n * Cout * out_cols;
+    gemm_nn(Cout, out_cols, patch, weight_matrix, columns, dst, 0.0f);
+    if (has_bias)
+      for (std::size_t co = 0; co < Cout; ++co) {
+        const float b = bias[co];
+        float* row = dst + co * out_cols;
+        for (std::size_t i = 0; i < out_cols; ++i) row[i] += b;
+      }
+  };
+
+  core::ThreadPool* pool = g_conv_pool;
+  if (pool != nullptr && pool->worker_count() > 0 && N > 1) {
+    // Each worker allocates from its own thread-local Workspace and writes
+    // a disjoint output slice, so the fan-out is race-free and the result
+    // is bit-identical to the serial loop.
+    pool->parallel_for(N, run_image);
+  } else {
+    for (std::size_t n = 0; n < N; ++n) run_image(n);
   }
   return output;
 }
 
-Conv2dGrads conv2d_backward_im2col(const Tensor& input, const Tensor& weight,
-                                   const Tensor& grad_output,
-                                   const Conv2dSpec& spec) {
+Tensor conv2d_backward_im2col_acc(const Tensor& input, const Tensor& weight,
+                                  const Tensor& grad_output,
+                                  const Conv2dSpec& spec,
+                                  Tensor& grad_weight_acc,
+                                  Tensor& grad_bias_acc) {
   FEDMS_EXPECTS(input.rank() == 4 && weight.rank() == 4 &&
                 grad_output.rank() == 4);
   const std::size_t N = input.dim(0);
@@ -119,32 +183,48 @@ Conv2dGrads conv2d_backward_im2col(const Tensor& input, const Tensor& weight,
                     KW = weight.dim(3);
   const std::size_t Hout = grad_output.dim(2), Wout = grad_output.dim(3);
   FEDMS_EXPECTS(grad_output.dim(0) == N && grad_output.dim(1) == Cout);
+  FEDMS_EXPECTS(grad_weight_acc.same_shape(weight));
+  const bool has_bias = grad_bias_acc.numel() > 0;
+  if (has_bias)
+    FEDMS_EXPECTS(grad_bias_acc.rank() == 1 && grad_bias_acc.dim(0) == Cout);
 
   const std::size_t patch = weight.numel() / Cout;  // Cin*KH*KW
-  const Tensor weight_matrix = weight.reshaped({Cout, patch});
-  Conv2dGrads grads{Tensor(input.shape()), Tensor(weight.shape()),
-                    Tensor({Cout})};
-  Tensor grad_weight_matrix({Cout, patch});
-  for (std::size_t n = 0; n < N; ++n) {
-    // dY for this image as a (Cout x Hout*Wout) matrix.
-    Tensor grad_matrix({Cout, Hout * Wout});
-    const float* src = grad_output.data() + n * Cout * Hout * Wout;
-    float* gm = grad_matrix.data();
-    for (std::size_t i = 0; i < Cout * Hout * Wout; ++i) gm[i] = src[i];
+  const std::size_t out_cols = Hout * Wout;
+  const float* weight_matrix = weight.data();  // (Cout x patch) flat view
+  Tensor grad_input(input.shape());
 
-    const Tensor columns = im2col(input, n, KH, KW, spec);
+  Workspace::Scope scope;
+  float* columns = scope.alloc(patch * out_cols);
+  float* grad_columns = scope.alloc(patch * out_cols);
+  for (std::size_t n = 0; n < N; ++n) {
+    // dY for this image as a (Cout x Hout*Wout) matrix — a flat view into
+    // grad_output's storage, no copy.
+    const float* grad_matrix = grad_output.data() + n * Cout * out_cols;
+    im2col_into(input, n, KH, KW, spec, columns);
     // dW += dY * columns^T ; dColumns = W^T * dY ; db += row sums of dY.
-    add_inplace(grad_weight_matrix, matmul_transB(grad_matrix, columns));
-    const Tensor grad_columns = matmul_transA(weight_matrix, grad_matrix);
-    col2im_accumulate(grad_columns, KH, KW, spec, grads.grad_input, n);
-    for (std::size_t co = 0; co < Cout; ++co) {
-      double acc = 0.0;
-      for (std::size_t i = 0; i < Hout * Wout; ++i)
-        acc += gm[co * Hout * Wout + i];
-      grads.grad_bias[co] += static_cast<float>(acc);
-    }
+    gemm_nt(Cout, patch, out_cols, grad_matrix, columns,
+            grad_weight_acc.data(), 1.0f);
+    gemm_tn(patch, out_cols, Cout, weight_matrix, grad_matrix, grad_columns,
+            0.0f);
+    col2im_accumulate_raw(grad_columns, KH, KW, spec, grad_input, n);
+    if (has_bias)
+      for (std::size_t co = 0; co < Cout; ++co) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < out_cols; ++i)
+          acc += grad_matrix[co * out_cols + i];
+        grad_bias_acc[co] += static_cast<float>(acc);
+      }
   }
-  grads.grad_weight = grad_weight_matrix.reshaped(weight.shape());
+  return grad_input;
+}
+
+Conv2dGrads conv2d_backward_im2col(const Tensor& input, const Tensor& weight,
+                                   const Tensor& grad_output,
+                                   const Conv2dSpec& spec) {
+  const std::size_t Cout = weight.dim(0);
+  Conv2dGrads grads{Tensor(), Tensor(weight.shape()), Tensor({Cout})};
+  grads.grad_input = conv2d_backward_im2col_acc(
+      input, weight, grad_output, spec, grads.grad_weight, grads.grad_bias);
   return grads;
 }
 

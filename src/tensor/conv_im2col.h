@@ -1,18 +1,25 @@
-// im2col-based convolution: lowers conv2d onto matrix multiplication.
+// im2col-based convolution: lowers conv2d onto the blocked GEMM.
 //
 // The direct loops in tensor/conv.h are the readable reference used by the
 // gradient-check tests; this is the throughput path — im2col materializes
 // each receptive field as a matrix column so the whole convolution becomes
-// one (Cout × Cin·KH·KW) · (Cin·KH·KW × Hout·Wout) GEMM per image, which
-// the cache-blocked matmul executes far faster than scattered direct loops.
-// `conv2d_forward_im2col` / `conv2d_backward_im2col` are drop-in
-// equivalents of their direct counterparts (equivalence is tested to
-// float tolerance in tests/tensor_im2col_test.cpp), and `nn::Conv2d`
-// selects this backend for kernels larger than 1×1.
+// one (Cout × Cin·KH·KW) · (Cin·KH·KW × Hout·Wout) GEMM per image, executed
+// by the cache-blocked kernel in tensor/gemm.h. All scratch (the column
+// matrix, the backward column gradients) lives in the thread-local
+// `Workspace`, so a steady-state forward+backward performs no heap
+// allocation beyond its output tensors. `conv2d_forward_im2col` /
+// `conv2d_backward_im2col` are drop-in equivalents of their direct
+// counterparts (equivalence is tested to float tolerance in
+// tests/tensor_im2col_test.cpp), and `nn::Conv2d` selects this backend for
+// kernels larger than 1×1.
 #pragma once
 
 #include "tensor/conv.h"
 #include "tensor/tensor.h"
+
+namespace fedms::core {
+class ThreadPool;
+}
 
 namespace fedms::tensor {
 
@@ -21,12 +28,21 @@ namespace fedms::tensor {
 Tensor im2col(const Tensor& input, std::size_t batch_index,
               std::size_t kernel_h, std::size_t kernel_w,
               const Conv2dSpec& spec);
+// Allocation-free form: writes the column matrix into `columns`
+// (pre-sized to (C*KH*KW) * (Hout*Wout) floats, e.g. Workspace scratch).
+void im2col_into(const Tensor& input, std::size_t batch_index,
+                 std::size_t kernel_h, std::size_t kernel_w,
+                 const Conv2dSpec& spec, float* columns);
 
 // Inverse scatter-add of im2col: accumulates a (C*KH*KW) x (Hout*Wout)
 // matrix of column gradients back into a (C, H, W) image gradient.
 void col2im_accumulate(const Tensor& columns, std::size_t kernel_h,
                        std::size_t kernel_w, const Conv2dSpec& spec,
                        Tensor& image_grad, std::size_t batch_index);
+// Raw-pointer form over Workspace scratch.
+void col2im_accumulate_raw(const float* columns, std::size_t kernel_h,
+                           std::size_t kernel_w, const Conv2dSpec& spec,
+                           Tensor& image_grad, std::size_t batch_index);
 
 // Same contracts as conv2d_forward / conv2d_backward in tensor/conv.h.
 Tensor conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
@@ -34,5 +50,24 @@ Tensor conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
 Conv2dGrads conv2d_backward_im2col(const Tensor& input, const Tensor& weight,
                                    const Tensor& grad_output,
                                    const Conv2dSpec& spec);
+
+// Accumulating backward used by nn::Conv2d: adds dW into `grad_weight_acc`
+// and db into `grad_bias_acc` (same shapes as weight / bias; bias may be
+// empty) instead of materializing fresh gradient tensors, and returns dX.
+Tensor conv2d_backward_im2col_acc(const Tensor& input, const Tensor& weight,
+                                  const Tensor& grad_output,
+                                  const Conv2dSpec& spec,
+                                  Tensor& grad_weight_acc,
+                                  Tensor& grad_bias_acc);
+
+// Optional batch-parallel forward: when a pool is installed, the per-image
+// im2col+GEMM of `conv2d_forward_im2col` fans out across its workers (each
+// worker uses its own thread-local Workspace; output slices are disjoint,
+// so results are bit-identical to the serial path). Off by default — the
+// simulation host is single-core and already parallelizes across clients —
+// and global, so install/clear it outside any forward call. Pass nullptr
+// to restore the serial path.
+void set_conv_batch_parallelism(core::ThreadPool* pool);
+core::ThreadPool* conv_batch_parallelism();
 
 }  // namespace fedms::tensor

@@ -1,0 +1,165 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+#include "tensor/workspace.h"
+
+namespace fedms::tensor {
+
+namespace {
+
+// Register microtile and cache-block sizes. MR x NR is sized so the
+// accumulator tile fills most of the vector register file at the ISA's
+// preferred width without spilling: 6 rows x 2 vectors = 12 accumulator
+// registers, leaving room for the B row and the A broadcasts. KC bounds
+// the float accumulation chain and keeps one packed B panel (KC x NR)
+// resident in L1; MC x KC is the packed A block held in L2 while it is
+// streamed against every B panel.
+#if defined(__AVX512F__)
+constexpr std::size_t MR = 6;
+constexpr std::size_t NR = 32;  // 2 zmm per row
+#elif defined(__AVX2__)
+constexpr std::size_t MR = 6;
+constexpr std::size_t NR = 16;  // 2 ymm per row
+#else
+constexpr std::size_t MR = 4;
+constexpr std::size_t NR = 8;   // 2 xmm per row
+#endif
+constexpr std::size_t KC = 256;
+constexpr std::size_t MC = 40 * MR;
+constexpr std::size_t NC = 32 * NR;
+
+static_assert(MC % MR == 0 && NC % NR == 0);
+
+// Logical A(i, kk) over either storage: (m x k) row-major, or its
+// transpose stored (k x m) row-major.
+inline float a_elem(const float* a, bool trans, std::size_t k, std::size_t m,
+                    std::size_t i, std::size_t kk) {
+  return trans ? a[kk * m + i] : a[i * k + kk];
+}
+
+// Logical B(kk, j) over either storage: (k x n) row-major, or its
+// transpose stored (n x k) row-major.
+inline float b_elem(const float* b, bool trans, std::size_t k, std::size_t n,
+                    std::size_t kk, std::size_t j) {
+  return trans ? b[j * k + kk] : b[kk * n + j];
+}
+
+// out (MR x NR) = sum_kk a_panel[kk] x b_panel[kk] (outer products).
+// Panels are k-major: a_panel[kk * MR + r], b_panel[kk * NR + c]. The
+// accumulator is a local constant-shaped tile so the compiler promotes it
+// to vector registers for the whole kk loop (a by-pointer accumulator
+// defeats that and turns every FMA into load+fma+store).
+void micro_kernel(std::size_t kc, const float* __restrict a_panel,
+                  const float* __restrict b_panel, float* __restrict out) {
+  float acc[MR][NR] = {};
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const float* __restrict a = a_panel + kk * MR;
+    const float* __restrict b = b_panel + kk * NR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float ar = a[r];
+      for (std::size_t c = 0; c < NR; ++c) acc[r][c] += ar * b[c];
+    }
+  }
+  for (std::size_t r = 0; r < MR; ++r)
+    for (std::size_t c = 0; c < NR; ++c) out[r * NR + c] = acc[r][c];
+}
+
+void gemm_driver(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                 bool trans_a, const float* b, bool trans_b, float* c,
+                 float beta) {
+  if (m == 0 || n == 0) return;
+  if (beta == 0.0f) std::fill(c, c + m * n, 0.0f);
+  if (k == 0) return;
+
+  Workspace::Scope scope;
+  float* b_pack = scope.alloc(KC * NC);
+  float* a_pack = scope.alloc(MC * KC);
+
+  for (std::size_t jc = 0; jc < n; jc += NC) {
+    const std::size_t nc = std::min(NC, n - jc);
+    const std::size_t n_panels = (nc + NR - 1) / NR;
+    for (std::size_t pc = 0; pc < k; pc += KC) {
+      const std::size_t kc = std::min(KC, k - pc);
+      // Pack B(pc:pc+kc, jc:jc+nc) into NR-wide, zero-padded panels.
+      for (std::size_t p = 0; p < n_panels; ++p) {
+        float* panel = b_pack + p * kc * NR;
+        const std::size_t j0 = jc + p * NR;
+        const std::size_t width = std::min(NR, n - j0);
+        for (std::size_t kk = 0; kk < kc; ++kk) {
+          float* row = panel + kk * NR;
+          std::size_t col = 0;
+          for (; col < width; ++col)
+            row[col] = b_elem(b, trans_b, k, n, pc + kk, j0 + col);
+          for (; col < NR; ++col) row[col] = 0.0f;
+        }
+      }
+      for (std::size_t ic = 0; ic < m; ic += MC) {
+        const std::size_t mc = std::min(MC, m - ic);
+        const std::size_t m_panels = (mc + MR - 1) / MR;
+        // Pack A(ic:ic+mc, pc:pc+kc) into MR-tall, zero-padded panels.
+        for (std::size_t p = 0; p < m_panels; ++p) {
+          float* panel = a_pack + p * kc * MR;
+          const std::size_t i0 = ic + p * MR;
+          const std::size_t height = std::min(MR, m - i0);
+          for (std::size_t kk = 0; kk < kc; ++kk) {
+            float* col = panel + kk * MR;
+            std::size_t r = 0;
+            for (; r < height; ++r)
+              col[r] = a_elem(a, trans_a, k, m, i0 + r, pc + kk);
+            for (; r < MR; ++r) col[r] = 0.0f;
+          }
+        }
+        for (std::size_t jp = 0; jp < n_panels; ++jp) {
+          const std::size_t j0 = jc + jp * NR;
+          const std::size_t width = std::min(NR, n - j0);
+          const float* b_panel = b_pack + jp * kc * NR;
+          for (std::size_t ip = 0; ip < m_panels; ++ip) {
+            const std::size_t i0 = ic + ip * MR;
+            const std::size_t height = std::min(MR, m - i0);
+            alignas(64) float acc[MR * NR];
+            micro_kernel(kc, a_pack + ip * kc * MR, b_panel, acc);
+            // Accumulate the valid region of the tile into C; padded rows
+            // and columns (which may hold 0 x NaN artifacts) are dropped.
+            for (std::size_t r = 0; r < height; ++r) {
+              float* c_row = c + (i0 + r) * n + j0;
+              const float* acc_row = acc + r * NR;
+              for (std::size_t col = 0; col < width; ++col)
+                c_row[col] += acc_row[col];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, float beta) {
+  gemm_driver(m, n, k, a, false, b, false, c, beta);
+}
+
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, float beta) {
+  gemm_driver(m, n, k, a, true, b, false, c, beta);
+}
+
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, float beta) {
+  gemm_driver(m, n, k, a, false, b, true, c, beta);
+}
+
+void gemm_reference(std::size_t m, std::size_t n, std::size_t k,
+                    const float* a, const float* b, float* c) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] = acc;
+    }
+}
+
+}  // namespace fedms::tensor

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/gemm.h"
+
 namespace fedms::tensor {
 
 namespace {
@@ -78,24 +80,18 @@ void axpy(Tensor& dst, float alpha, const Tensor& src) {
   for (std::size_t i = 0; i < n; ++i) d[i] += alpha * s[i];
 }
 
+// All three matmul variants run on the blocked kernel in tensor/gemm.h.
+// Uniform numeric policy (see gemm.h): float32 accumulation in registers,
+// KC-blocked partial sums, and no zero-operand skipping — a 0 entry in A
+// still multiplies B, so NaN/Inf payloads injected by Byzantine servers
+// propagate into the product instead of being silently suppressed.
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   FEDMS_EXPECTS(a.rank() == 2 && b.rank() == 2);
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   FEDMS_EXPECTS(b.dim(0) == k);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // ikj loop order: the inner j-loop streams both B's row and C's row.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  gemm_nn(m, n, k, a.data(), b.data(), c.data(), 0.0f);
   return c;
 }
 
@@ -104,19 +100,7 @@ Tensor matmul_transA(const Tensor& a, const Tensor& b) {
   const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   FEDMS_EXPECTS(b.dim(0) == k);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  gemm_tn(m, n, k, a.data(), b.data(), c.data(), 0.0f);
   return c;
 }
 
@@ -125,18 +109,7 @@ Tensor matmul_transB(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   FEDMS_EXPECTS(b.dim(1) == k);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
-      pc[i * n + j] = static_cast<float>(acc);
-    }
-  }
+  gemm_nt(m, n, k, a.data(), b.data(), c.data(), 0.0f);
   return c;
 }
 
@@ -161,12 +134,19 @@ void add_bias_rows(Tensor& matrix, const Tensor& bias) {
 
 Tensor sum_rows(const Tensor& matrix) {
   FEDMS_EXPECTS(matrix.rank() == 2);
-  const std::size_t m = matrix.dim(0), n = matrix.dim(1);
-  Tensor out({n});
-  const float* p = matrix.data();
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) out[j] += p[i * n + j];
+  Tensor out({matrix.dim(1)});
+  sum_rows_accumulate(matrix, out);
   return out;
+}
+
+void sum_rows_accumulate(const Tensor& matrix, Tensor& out) {
+  FEDMS_EXPECTS(matrix.rank() == 2 && out.rank() == 1);
+  const std::size_t m = matrix.dim(0), n = matrix.dim(1);
+  FEDMS_EXPECTS(out.dim(0) == n);
+  const float* p = matrix.data();
+  float* o = out.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) o[j] += p[i * n + j];
 }
 
 double sum(const Tensor& a) {

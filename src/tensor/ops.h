@@ -29,8 +29,10 @@ void scale_inplace(Tensor& dst, float s);
 void axpy(Tensor& dst, float alpha, const Tensor& src);
 
 // ---- matrix ops ----
-// C = A(mxk) * B(kxn). Plain triple loop with k-inner blocking; adequate for
-// the model sizes simulated here.
+// All three variants run on the cache-blocked kernel in tensor/gemm.h with
+// one numeric policy: float32 register accumulation, KC-blocked partial
+// sums, no zero-operand skipping (0 x NaN stays NaN).
+// C = A(mxk) * B(kxn).
 Tensor matmul(const Tensor& a, const Tensor& b);
 // C = A^T * B where A is (k x m), B is (k x n).
 Tensor matmul_transA(const Tensor& a, const Tensor& b);
@@ -42,6 +44,8 @@ Tensor transpose(const Tensor& a);  // 2-D only
 void add_bias_rows(Tensor& matrix, const Tensor& bias);
 // Sums an (m x n) matrix over rows into a length-n vector.
 Tensor sum_rows(const Tensor& matrix);
+// out += row sums; the allocation-free form used on the backward hot path.
+void sum_rows_accumulate(const Tensor& matrix, Tensor& out);
 
 // ---- reductions ----
 double sum(const Tensor& a);

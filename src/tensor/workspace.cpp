@@ -1,0 +1,95 @@
+#include "tensor/workspace.h"
+
+#include <cstdint>
+
+#include "core/contracts.h"
+
+namespace fedms::tensor {
+
+namespace {
+
+// Chunks grow in 1 MiB steps; a request larger than that gets its own
+// exactly-sized chunk (plus alignment slack).
+constexpr std::size_t kMinChunkFloats = std::size_t(1) << 18;
+constexpr std::size_t kAlignBytes = 64;
+constexpr std::size_t kAlignFloats = kAlignBytes / sizeof(float);
+
+// Floats to skip so that `base + used` is 64-byte aligned.
+std::size_t alignment_padding(const float* base, std::size_t used) {
+  const auto addr =
+      reinterpret_cast<std::uintptr_t>(base + used);
+  const std::uintptr_t misalign = addr % kAlignBytes;
+  return misalign == 0 ? 0 : (kAlignBytes - misalign) / sizeof(float);
+}
+
+}  // namespace
+
+Workspace& Workspace::tls() {
+  thread_local Workspace workspace;
+  return workspace;
+}
+
+float* Workspace::alloc(std::size_t count) {
+  FEDMS_EXPECTS(count > 0);
+  ++alloc_calls_;
+  for (std::size_t i = active_chunk_; i < chunks_.size(); ++i) {
+    Chunk& chunk = chunks_[i];
+    const std::size_t pad = alignment_padding(chunk.data.get(), chunk.used);
+    if (chunk.used + pad + count <= chunk.capacity) {
+      float* out = chunk.data.get() + chunk.used + pad;
+      chunk.used += pad + count;
+      active_chunk_ = i;
+      return out;
+    }
+  }
+  // No room anywhere: grow by a fresh chunk. Existing chunks are left in
+  // place, so pointers handed out earlier remain valid.
+  Chunk chunk;
+  chunk.capacity = std::max(count + kAlignFloats, kMinChunkFloats);
+  chunk.data = std::make_unique<float[]>(chunk.capacity);
+  ++heap_allocations_;
+  chunks_.push_back(std::move(chunk));
+  active_chunk_ = chunks_.size() - 1;
+  Chunk& fresh = chunks_.back();
+  const std::size_t pad = alignment_padding(fresh.data.get(), 0);
+  fresh.used = pad + count;
+  return fresh.data.get() + pad;
+}
+
+std::size_t Workspace::floats_in_use() const {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.used;
+  return total;
+}
+
+std::size_t Workspace::floats_reserved() const {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.capacity;
+  return total;
+}
+
+void Workspace::release() {
+  chunks_.clear();
+  active_chunk_ = 0;
+}
+
+Workspace::Scope::Scope(Workspace& workspace)
+    : workspace_(workspace),
+      chunk_mark_(workspace.active_chunk_),
+      used_mark_(workspace.chunks_.empty()
+                     ? 0
+                     : workspace.chunks_[workspace.active_chunk_].used) {}
+
+Workspace::Scope::~Scope() {
+  auto& chunks = workspace_.chunks_;
+  for (std::size_t i = chunk_mark_ + 1; i < chunks.size(); ++i)
+    chunks[i].used = 0;
+  if (chunk_mark_ < chunks.size()) chunks[chunk_mark_].used = used_mark_;
+  workspace_.active_chunk_ = chunk_mark_;
+}
+
+float* Workspace::Scope::alloc(std::size_t count) {
+  return workspace_.alloc(count);
+}
+
+}  // namespace fedms::tensor

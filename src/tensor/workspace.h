@@ -1,0 +1,89 @@
+// Thread-local scratch arena for kernel temporaries.
+//
+// The training hot path (im2col lowering, GEMM pack buffers, conv backward
+// column gradients) needs large float scratch every step with identical
+// sizes round after round. Allocating it through `std::vector` puts a
+// malloc/free pair on every conv call; this arena instead bump-allocates
+// out of chunks that persist for the thread's lifetime, so a steady-state
+// SGD step performs zero heap allocations on the tensor hot path (the
+// `heap_allocations()` counter is test-enforced).
+//
+// Design rules:
+//   * chunked, never-moving: growing the arena allocates a new chunk and
+//     leaves earlier chunks in place, so pointers handed out earlier in the
+//     same scope stay valid;
+//   * scoped rewind: `Workspace::Scope` marks the bump pointer on entry and
+//     rewinds on destruction. Scopes nest (conv backward opens one inside
+//     a layer loop that may hold its own);
+//   * thread-local: `Workspace::tls()` gives each thread its own arena, so
+//     the optional ThreadPool-parallel im2col path needs no locking;
+//   * 64-byte aligned returns, matching cache lines / AVX-512 vectors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fedms::tensor {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // The calling thread's arena (created on first use).
+  static Workspace& tls();
+
+  // RAII allocation scope. All floats allocated through a Scope are
+  // reclaimed (made reusable, not freed) when it is destroyed.
+  class Scope {
+   public:
+    explicit Scope(Workspace& workspace);
+    Scope() : Scope(Workspace::tls()) {}
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    // 64-byte-aligned scratch of `count` floats, uninitialized. Valid until
+    // this scope (not any nested one) is destroyed.
+    float* alloc(std::size_t count);
+
+   private:
+    Workspace& workspace_;
+    std::size_t chunk_mark_;
+    std::size_t used_mark_;
+  };
+
+  // Number of heap (chunk) allocations ever made by this arena. Flat across
+  // two identical steps <=> the step is allocation-free on the arena path.
+  std::uint64_t heap_allocations() const { return heap_allocations_; }
+  // Number of Scope::alloc calls served (diagnostic).
+  std::uint64_t alloc_calls() const { return alloc_calls_; }
+  // Floats currently handed out across live scopes.
+  std::size_t floats_in_use() const;
+  // Total floats reserved across all chunks.
+  std::size_t floats_reserved() const;
+
+  // Frees every chunk (only safe with no live Scope); for tests.
+  void release();
+
+ private:
+  friend class Scope;
+
+  struct Chunk {
+    std::unique_ptr<float[]> data;
+    std::size_t capacity = 0;  // floats
+    std::size_t used = 0;      // floats
+  };
+
+  float* alloc(std::size_t count);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_chunk_ = 0;  // first chunk worth trying
+  std::uint64_t heap_allocations_ = 0;
+  std::uint64_t alloc_calls_ = 0;
+};
+
+}  // namespace fedms::tensor

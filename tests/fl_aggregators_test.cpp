@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 
+#include "byz/attacks.h"
 #include "core/rng.h"
 
 namespace fedms::fl {
@@ -279,6 +280,85 @@ TEST(Lemma2, TrimmedMeanVarianceBoundHolds) {
   // And the bound is not vacuous: the attacked estimator's MSE exceeds the
   // clean sample-mean variance sigma^2/P.
   EXPECT_GT(mse, sigma * sigma / double(p));
+}
+
+// ---- blocked trimmed mean vs the seed's sort-based oracle ----
+
+// NaN-aware near-equality: same NaN positions, values within float noise.
+void expect_models_match(const ModelVector& got, const ModelVector& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t j = 0; j < got.size(); ++j) {
+    if (std::isnan(want[j])) {
+      EXPECT_TRUE(std::isnan(got[j])) << "coordinate " << j;
+    } else if (std::isinf(want[j])) {
+      EXPECT_EQ(got[j], want[j]) << "coordinate " << j;
+    } else {
+      EXPECT_NEAR(got[j], want[j], 1e-5f * (1.0f + std::abs(want[j])))
+          << "coordinate " << j;
+    }
+  }
+}
+
+TEST(TrimmedMeanOracle, MatchesReferenceOnRandomInputs) {
+  core::Rng rng(21);
+  // d = 129 straddles the implementation's transpose block size.
+  const std::size_t d = 129;
+  for (const std::size_t p : {std::size_t(3), std::size_t(5), std::size_t(10),
+                              std::size_t(30)}) {
+    for (const double beta : {0.0, 0.1, 0.2, 0.3, 0.45}) {
+      if (p < 2 * std::size_t(beta * double(p)) + 1) continue;
+      std::vector<ModelVector> models(p, ModelVector(d));
+      for (auto& m : models)
+        for (auto& v : m) v = float(rng.normal());
+      expect_models_match(trimmed_mean(models, beta),
+                          trimmed_mean_reference(models, beta));
+    }
+  }
+}
+
+TEST(TrimmedMeanOracle, MatchesReferenceWithSurvivingNonFinites) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  // beta = 0: nothing is trimmed, so the NaN/Inf reach the kept window and
+  // both implementations must poison the same coordinates.
+  const std::vector<ModelVector> models = {
+      {1, nan, inf, -inf}, {2, 2, 2, 2}, {3, 3, 3, 3}};
+  expect_models_match(trimmed_mean(models, 0.0),
+                      trimmed_mean_reference(models, 0.0));
+  // beta = 1/3 trims one per side: NaN (+inf rank) and inf are discarded.
+  expect_models_match(trimmed_mean(models, 0.34),
+                      trimmed_mean_reference(models, 0.34));
+}
+
+TEST(TrimmedMeanOracle, MatchesReferenceUnderAttackGallery) {
+  const std::size_t p = 10, b = 3, d = 64;
+  const double beta = double(b) / double(p);
+  for (const auto& attack_name : byz::list_attack_names()) {
+    core::Rng rng(31);
+    std::vector<ModelVector> models(p, ModelVector(d));
+    for (auto& m : models)
+      for (auto& v : m) v = float(rng.normal());
+    const ModelVector honest = mean_aggregate(models);
+    const ModelVector initial(d, 0.1f);
+    std::vector<std::vector<float>> history = {ModelVector(d, 0.2f),
+                                               ModelVector(d, 0.15f)};
+    const auto attack = byz::make_attack(attack_name);
+    for (std::size_t i = 0; i < b; ++i) {
+      byz::AttackContext context;
+      context.round = 2;
+      context.server_index = i;
+      context.recipient_client = 0;
+      context.honest_aggregate = &honest;
+      context.history = &history;
+      context.initial_model = &initial;
+      const auto payload = attack->tamper(context, rng);
+      // "crash" models a silent PS: empty payload means nothing is sent,
+      // so the recipient filters the honest remainder — keep the original.
+      if (payload.size() == d) models[i] = payload;
+    }
+    expect_models_match(trimmed_mean(models, beta),
+                        trimmed_mean_reference(models, beta));
+  }
 }
 
 TEST(Factory, ParsesSpecs) {

@@ -1,0 +1,213 @@
+// Blocked-GEMM equivalence and NaN/Inf-propagation tests.
+//
+// The kernel in tensor/gemm.h replaces the seed's unblocked loops behind
+// all three matmul variants; these tests pin (a) numerical equivalence to
+// a double-accumulation oracle over a shape grid that straddles every
+// blocking edge (non-tile-multiple m/n, degenerate 1 x k, m x 1, k = 1),
+// (b) the beta = 1 accumulate path the backward passes use, and (c) the
+// IEEE propagation contract: a zero multiplier must NOT short-circuit the
+// product, because 0 x NaN must stay NaN for the Byzantine non-finite
+// payload paths (the seed ikj loop's `aik == 0` skip violated this).
+
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace fedms::tensor {
+namespace {
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+std::vector<float> random_buffer(std::size_t n, core::Rng& rng) {
+  std::vector<float> out(n);
+  for (auto& v : out) v = float(rng.normal());
+  return out;
+}
+
+// Double-accumulation oracle over logical A(m x k) * B(k x n).
+std::vector<double> oracle(std::size_t m, std::size_t n, std::size_t k,
+                           const std::vector<float>& a,
+                           const std::vector<float>& b) {
+  std::vector<double> c(m * n, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t kk = 0; kk < k; ++kk)
+      for (std::size_t j = 0; j < n; ++j)
+        c[i * n + j] += double(a[i * k + kk]) * b[kk * n + j];
+  return c;
+}
+
+// Transposes logical (rows x cols) into physical (cols x rows) storage.
+std::vector<float> transposed(std::size_t rows, std::size_t cols,
+                              const std::vector<float>& src) {
+  std::vector<float> out(src.size());
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) out[c * rows + r] = src[r * cols + c];
+  return out;
+}
+
+float tolerance(std::size_t k) { return 1e-4f * std::sqrt(float(k)) + 1e-5f; }
+
+void expect_matches(std::size_t m, std::size_t n, std::size_t k,
+                    const std::vector<float>& got,
+                    const std::vector<double>& want) {
+  const float tol = tolerance(k);
+  for (std::size_t i = 0; i < m * n; ++i)
+    ASSERT_NEAR(got[i], float(want[i]), tol)
+        << "m=" << m << " n=" << n << " k=" << k << " flat=" << i;
+}
+
+// The grid straddles the microtile (MR/NR), the cache blocks (MC/NC/KC
+// boundaries via 129/257), and every degenerate rank-1 edge.
+const std::size_t kMs[] = {1, 2, 3, 7, 8, 17, 64, 129};
+const std::size_t kNs[] = {1, 2, 5, 16, 31, 33, 64, 257};
+const std::size_t kKs[] = {1, 3, 8, 64, 129, 257};
+
+TEST(Gemm, MatchesOracleOverShapeGridNN) {
+  core::Rng rng(11);
+  for (const std::size_t m : kMs)
+    for (const std::size_t n : kNs)
+      for (const std::size_t k : kKs) {
+        const auto a = random_buffer(m * k, rng);
+        const auto b = random_buffer(k * n, rng);
+        std::vector<float> c(m * n, -7.0f);  // poison: beta=0 must overwrite
+        gemm_nn(m, n, k, a.data(), b.data(), c.data(), 0.0f);
+        expect_matches(m, n, k, c, oracle(m, n, k, a, b));
+      }
+}
+
+TEST(Gemm, MatchesOracleOverShapeGridTN) {
+  core::Rng rng(12);
+  for (const std::size_t m : kMs)
+    for (const std::size_t n : kNs)
+      for (const std::size_t k : kKs) {
+        const auto a = random_buffer(m * k, rng);  // logical (m x k)
+        const auto b = random_buffer(k * n, rng);
+        const auto a_t = transposed(m, k, a);      // stored (k x m)
+        std::vector<float> c(m * n);
+        gemm_tn(m, n, k, a_t.data(), b.data(), c.data(), 0.0f);
+        expect_matches(m, n, k, c, oracle(m, n, k, a, b));
+      }
+}
+
+TEST(Gemm, MatchesOracleOverShapeGridNT) {
+  core::Rng rng(13);
+  for (const std::size_t m : kMs)
+    for (const std::size_t n : kNs)
+      for (const std::size_t k : kKs) {
+        const auto a = random_buffer(m * k, rng);
+        const auto b = random_buffer(k * n, rng);  // logical (k x n)
+        const auto b_t = transposed(k, n, b);      // stored (n x k)
+        std::vector<float> c(m * n);
+        gemm_nt(m, n, k, a.data(), b_t.data(), c.data(), 0.0f);
+        expect_matches(m, n, k, c, oracle(m, n, k, a, b));
+      }
+}
+
+TEST(Gemm, BetaOneAccumulatesIntoC) {
+  core::Rng rng(14);
+  const std::size_t m = 17, n = 33, k = 29;
+  const auto a = random_buffer(m * k, rng);
+  const auto b = random_buffer(k * n, rng);
+  std::vector<float> c(m * n, 2.5f);
+  gemm_nn(m, n, k, a.data(), b.data(), c.data(), 1.0f);
+  auto want = oracle(m, n, k, a, b);
+  for (auto& v : want) v += 2.5;
+  expect_matches(m, n, k, c, want);
+}
+
+TEST(Gemm, MatchesReferenceKernel) {
+  core::Rng rng(15);
+  const std::size_t m = 31, n = 47, k = 65;
+  const auto a = random_buffer(m * k, rng);
+  const auto b = random_buffer(k * n, rng);
+  std::vector<float> blocked(m * n), reference(m * n);
+  gemm_nn(m, n, k, a.data(), b.data(), blocked.data(), 0.0f);
+  gemm_reference(m, n, k, a.data(), b.data(), reference.data());
+  for (std::size_t i = 0; i < m * n; ++i)
+    EXPECT_NEAR(blocked[i], reference[i], tolerance(k));
+}
+
+// --- NaN/Inf propagation: the Byzantine-payload contract --------------
+
+// A zero row in A against a NaN in B: 0 x NaN = NaN must reach C. The
+// seed's `aik == 0` skip silently produced 0 here.
+TEST(GemmPropagation, ZeroTimesNanIsNanNN) {
+  const std::size_t m = 2, n = 3, k = 4;
+  std::vector<float> a(m * k, 0.0f);
+  a[1 * k + 0] = 1.0f;  // row 1 is not all-zero
+  std::vector<float> b(k * n, 1.0f);
+  b[0 * n + 1] = kNan;  // B(0, 1)
+  std::vector<float> c(m * n);
+  gemm_nn(m, n, k, a.data(), b.data(), c.data(), 0.0f);
+  EXPECT_TRUE(std::isnan(c[0 * n + 1]));  // 0-row x NaN column
+  EXPECT_TRUE(std::isnan(c[1 * n + 1]));
+  EXPECT_FLOAT_EQ(c[0 * n + 0], 0.0f);    // untouched columns stay finite
+  EXPECT_FLOAT_EQ(c[1 * n + 0], 1.0f);    // row 1 = e_0, so C(1,0) = B(0,0)
+}
+
+TEST(GemmPropagation, ZeroTimesInfIsNan) {
+  const std::size_t m = 1, n = 2, k = 3;
+  const std::vector<float> a(m * k, 0.0f);
+  std::vector<float> b(k * n, 1.0f);
+  b[0 * n + 0] = kInf;
+  std::vector<float> c(m * n);
+  gemm_nn(m, n, k, a.data(), b.data(), c.data(), 0.0f);
+  EXPECT_TRUE(std::isnan(c[0]));      // 0 x inf
+  EXPECT_FLOAT_EQ(c[1], 0.0f);
+}
+
+TEST(GemmPropagation, InfScalesThrough) {
+  const std::size_t m = 1, n = 1, k = 2;
+  const std::vector<float> a = {1.0f, 2.0f};
+  const std::vector<float> b = {kInf, 1.0f};
+  std::vector<float> c(1);
+  gemm_nn(m, n, k, a.data(), b.data(), c.data(), 0.0f);
+  EXPECT_TRUE(std::isinf(c[0]));
+}
+
+TEST(GemmPropagation, TransposedVariantsPropagateNan) {
+  const std::size_t m = 3, k = 5, n = 4;
+  std::vector<float> a_t(k * m, 0.0f);  // logical A is all zeros
+  std::vector<float> b(k * n, 1.0f);
+  b[2 * n + 3] = kNan;
+  std::vector<float> c(m * n);
+  gemm_tn(m, n, k, a_t.data(), b.data(), c.data(), 0.0f);
+  for (std::size_t i = 0; i < m; ++i)
+    EXPECT_TRUE(std::isnan(c[i * n + 3])) << i;
+
+  std::vector<float> a(m * k, 0.0f);
+  std::vector<float> b_t(n * k, 1.0f);
+  b_t[1 * k + 2] = kNan;  // logical B(2, 1)
+  gemm_nt(m, n, k, a.data(), b_t.data(), c.data(), 0.0f);
+  for (std::size_t i = 0; i < m; ++i)
+    EXPECT_TRUE(std::isnan(c[i * n + 1])) << i;
+}
+
+// Tensor-level regression for the seed skip: matmul with a zero row must
+// produce NaN, not zero, when B carries NaN.
+TEST(GemmPropagation, MatmulVariantsNoZeroSkip) {
+  Tensor a({2, 2});  // all zeros
+  Tensor b({2, 2});
+  b.at(0, 0) = kNan;
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+  EXPECT_TRUE(std::isnan(c.at(1, 0)));
+  const Tensor c_ta = matmul_transA(a, b);
+  EXPECT_TRUE(std::isnan(c_ta.at(0, 0)));
+  Tensor b_t({2, 2});
+  b_t.at(0, 0) = kNan;  // B^T(0,0) -> logical B(0,0)
+  const Tensor c_tb = matmul_transB(a, b_t);
+  EXPECT_TRUE(std::isnan(c_tb.at(0, 0)));
+}
+
+}  // namespace
+}  // namespace fedms::tensor
