@@ -3,28 +3,46 @@
 #   * bench/micro_gemm        — blocked GEMM GFLOP/s vs the seed ikj loop,
 #   * bench/micro_aggregators — trimmed-mean throughput (blocked nth_element
 #                               path vs the sort-based reference),
+#   * bench/micro_training    — local SGD steps/s per model (the number the
+#                               tracing layer must not regress),
+#   * bench/micro_obs         — per-record cost of the obs layer (disabled
+#                               spans are the always-on tax),
 #   * tools/fedms_sim         — wall-clock per federated round,
-# and merges everything into one JSON report (default: repo/BENCH_PR3.json).
+# and merges everything into one JSON report (default: repo/BENCH_PR<N>.json
+# with N from --pr or FEDMS_BENCH_PR, currently 4). When the previous PR's
+# report exists next to it, the merge step records the per-round delta
+# against it so perf regressions show up in the report itself.
 #
 #   scripts/bench.sh            # full budgets
 #   scripts/bench.sh --quick    # tiny budgets (CI sanity / check.sh)
+#   scripts/bench.sh --pr 5     # write BENCH_PR5.json
 #
-# Env: FEDMS_BENCH_OUT overrides the output path.
+# Env: FEDMS_BENCH_OUT overrides the output path, FEDMS_BENCH_PR the PR
+# number.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build="$repo/build-bench"
-out="${FEDMS_BENCH_OUT:-$repo/BENCH_PR3.json}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 quick=0
-[[ "${1:-}" == "--quick" ]] && quick=1
+pr="${FEDMS_BENCH_PR:-4}"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) quick=1 ;;
+    --pr) pr="$2"; shift ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+out="${FEDMS_BENCH_OUT:-$repo/BENCH_PR${pr}.json}"
+baseline="$repo/BENCH_PR$((pr - 1)).json"
 
 echo "== configure + build (Release, bench targets) =="
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
   -DFEDMS_BUILD_TESTS=OFF -DFEDMS_BUILD_EXAMPLES=OFF -DFEDMS_BUILD_BENCH=ON
 cmake --build "$build" -j "$jobs" --target micro_gemm micro_aggregators \
-  fedms_sim
+  micro_training micro_obs fedms_sim
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -42,42 +60,78 @@ agg_flags=(--benchmark_filter='TrimmedMean'
 [[ $quick -eq 1 ]] && agg_flags+=(--benchmark_min_time=0.05)
 "$build/bench/micro_aggregators" "${agg_flags[@]}" > /dev/null
 
+echo "== micro_training (local SGD steps/s) =="
+train_flags=(--benchmark_filter='LocalStep'
+             --benchmark_format=json
+             --benchmark_out="$tmp/training.json"
+             --benchmark_out_format=json)
+[[ $quick -eq 1 ]] && train_flags+=(--benchmark_min_time=0.05)
+"$build/bench/micro_training" "${train_flags[@]}" > /dev/null
+
+echo "== micro_obs (tracing layer per-record cost) =="
+obs_flags=()
+[[ $quick -eq 1 ]] && obs_flags+=(--quick)
+"$build/bench/micro_obs" "${obs_flags[@]}" > "$tmp/obs.json"
+
 echo "== fedms_sim per-round wall time =="
 rounds=8
-[[ $quick -eq 1 ]] && rounds=2
-sim_start="$(python3 -c 'import time; print(time.monotonic())')"
-"$build/tools/fedms_sim" --model mobilenet --clients 8 --servers 4 \
-  --byzantine 1 --rounds "$rounds" --samples 400 --eval-every 1000 \
-  > /dev/null
-sim_end="$(python3 -c 'import time; print(time.monotonic())')"
+runs=3
+[[ $quick -eq 1 ]] && { rounds=2; runs=1; }
+# Best-of-N: the first run after a build pays page-cache/frequency-ramp
+# costs that have nothing to do with the code under test; the minimum is
+# the stable per-round figure.
+sim_seconds="$(SIM="$build/tools/fedms_sim" ROUNDS="$rounds" RUNS="$runs" \
+python3 - <<'PY'
+import os, subprocess, time
+cmd = [os.environ["SIM"], "--model", "mobilenet", "--clients", "8",
+       "--servers", "4", "--byzantine", "1",
+       "--rounds", os.environ["ROUNDS"],
+       "--samples", "400", "--eval-every", "1000"]
+best = None
+for _ in range(int(os.environ["RUNS"])):
+    t0 = time.monotonic()
+    subprocess.run(cmd, stdout=subprocess.DEVNULL, check=True)
+    dt = time.monotonic() - t0
+    best = dt if best is None else min(best, dt)
+print(best)
+PY
+)"
 
 echo "== merge -> $out =="
 GEMM_JSON="$tmp/gemm.json" AGG_JSON="$tmp/aggregators.json" \
-SIM_START="$sim_start" SIM_END="$sim_end" SIM_ROUNDS="$rounds" \
-QUICK="$quick" OUT="$out" python3 - <<'PY'
+TRAIN_JSON="$tmp/training.json" OBS_JSON="$tmp/obs.json" \
+SIM_SECONDS="$sim_seconds" SIM_ROUNDS="$rounds" \
+QUICK="$quick" OUT="$out" PR="$pr" BASELINE="$baseline" python3 - <<'PY'
 import json, os
 
 gemm = json.load(open(os.environ["GEMM_JSON"]))
 agg = json.load(open(os.environ["AGG_JSON"]))
+train = json.load(open(os.environ["TRAIN_JSON"]))
+obs = json.load(open(os.environ["OBS_JSON"]))
 
-trimmed = []
-for b in agg.get("benchmarks", []):
-    if b.get("run_type") == "aggregate":
-        continue
-    trimmed.append({
-        "name": b["name"],
-        "cpu_time_ns": b.get("cpu_time"),
-        # coordinates aggregated per second (P * d * iterations / time)
-        "items_per_second": b.get("items_per_second"),
-    })
+def series(report):
+    rows = []
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        rows.append({
+            "name": b["name"],
+            "cpu_time_ns": b.get("cpu_time"),
+            # items/s: coordinates for the aggregators, SGD steps for the
+            # training loops
+            "items_per_second": b.get("items_per_second"),
+        })
+    return rows
 
-seconds = float(os.environ["SIM_END"]) - float(os.environ["SIM_START"])
+seconds = float(os.environ["SIM_SECONDS"])
 rounds = int(os.environ["SIM_ROUNDS"])
 report = {
-    "bench": "PR3",
+    "bench": f"PR{os.environ['PR']}",
     "quick": bool(int(os.environ["QUICK"])),
     "gemm": gemm["gemm"],
-    "trimmed_mean": trimmed,
+    "trimmed_mean": series(agg),
+    "training": series(train),
+    "obs": obs["obs"],
     "per_round": {
         "model": "mobilenet",
         "clients": 8,
@@ -87,6 +141,30 @@ report = {
         "seconds_per_round": round(seconds / rounds, 4),
     },
 }
+
+# Delta vs the previous PR's report, where comparable series exist. The
+# tracing layer ships disabled, so per-round time and training steps/s must
+# hold within noise (<2%).
+base_path = os.environ["BASELINE"]
+if os.path.exists(base_path):
+    base = json.load(open(base_path))
+    deltas = {"baseline": os.path.basename(base_path)}
+    if "per_round" in base:
+        prev = base["per_round"]["seconds_per_round"]
+        cur = report["per_round"]["seconds_per_round"]
+        deltas["seconds_per_round_change"] = round(cur / prev - 1.0, 4)
+    if base.get("training"):
+        prev_steps = {b["name"]: b["items_per_second"]
+                      for b in base["training"]}
+        changes = {}
+        for b in report["training"]:
+            if b["name"] in prev_steps and prev_steps[b["name"]]:
+                changes[b["name"]] = round(
+                    b["items_per_second"] / prev_steps[b["name"]] - 1.0, 4)
+        if changes:
+            deltas["training_steps_change"] = changes
+    report["vs_previous"] = deltas
+
 with open(os.environ["OUT"], "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
@@ -94,7 +172,16 @@ print(f"wrote {os.environ['OUT']}")
 for shape in report["gemm"]:
     print(f"  gemm {shape['tag']}: {shape['blocked_gflops']:.1f} GFLOP/s "
           f"({shape['speedup']:.2f}x vs seed ikj)")
+for b in report["training"]:
+    print(f"  {b['name']}: {b['items_per_second']:.0f} steps/s")
+print(f"  obs span disabled/enabled: {report['obs']['span_disabled_ns']}"
+      f" / {report['obs']['span_enabled_ns']} ns")
 print(f"  per round: {report['per_round']['seconds_per_round']:.3f} s")
+if "vs_previous" in report:
+    change = report["vs_previous"].get("seconds_per_round_change")
+    if change is not None:
+        print(f"  per-round vs {report['vs_previous']['baseline']}: "
+              f"{change:+.1%}")
 PY
 
 echo "== bench done =="

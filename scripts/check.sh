@@ -3,9 +3,10 @@
 # suite, then an ASan/UBSan build (-DFEDMS_SANITIZE=ON) exercising the
 # event-driven runtime tests (the subsystem with the most pointer-juggling
 # callbacks) plus the GEMM/workspace kernel tests (raw-pointer pack buffers
-# and arena scratch), then a quick benchmark pass that must produce a
-# parseable BENCH JSON with nonzero GEMM throughput. Run from anywhere
-# inside the repo.
+# and arena scratch), then a TSan build exercising the obs layer and the
+# ThreadPool conv path (the two places worker threads write shared state),
+# then a quick benchmark pass that must produce a parseable BENCH JSON with
+# nonzero GEMM throughput. Run from anywhere inside the repo.
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh --fast     # reuse build dirs instead of wiping them
@@ -14,13 +15,14 @@ set -euo pipefail
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build="$repo/build-check"
 asan_build="$repo/build-asan"
+tsan_build="$repo/build-tsan"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
 if [[ $fast -eq 0 ]]; then
-  rm -rf "$build" "$asan_build"
+  rm -rf "$build" "$asan_build" "$tsan_build"
 fi
 
 echo "== configure + build (RelWithDebInfo) =="
@@ -37,6 +39,32 @@ echo "== multi-process smoke (4 clients + 2 PSs over Unix sockets) =="
 # round-synchronous simulator.
 "$build/tools/fedms_node" --mode launch --backend unix \
   --clients 4 --servers 2 --byzantine 1 --rounds 2 --samples 400 --verify
+
+echo "== trace smoke (sim + multi-process, Chrome trace JSON) =="
+# Both execution paths must emit loadable Chrome traces: the simulator via
+# --trace-out and the launcher via --trace-dir (per-node files merged into
+# merged.trace.json with consistent stage order — the launcher exits
+# nonzero otherwise).
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+"$build/tools/fedms_sim" --clients 4 --servers 2 --byzantine 1 --rounds 2 \
+  --samples 400 --eval-every 1000 --trace-out "$trace_dir/sim.trace.json" \
+  > /dev/null
+"$build/tools/fedms_node" --mode launch --backend unix \
+  --clients 2 --servers 2 --byzantine 1 --rounds 2 --samples 200 \
+  --trace-dir "$trace_dir/nodes" > /dev/null
+python3 - "$trace_dir/sim.trace.json" "$trace_dir/nodes/merged.trace.json" \
+  <<'PY'
+import json, sys
+for path in sys.argv[1:]:
+    trace = json.load(open(path))
+    events = trace["traceEvents"]
+    stages = {e["name"] for e in events if e.get("ph") == "X"}
+    missing = {"local_training", "upload", "aggregation", "dissemination",
+               "filter"} - stages
+    assert not missing, f"{path}: missing stage spans {missing}"
+print("trace smoke OK (sim + merged node traces parse, all stages present)")
+PY
 
 echo "== configure + build (ASan + UBSan) =="
 cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -60,11 +88,27 @@ echo "== multi-process smoke under ASan/UBSan =="
 "$asan_build/tools/fedms_node" --mode launch --backend unix \
   --clients 2 --servers 2 --byzantine 1 --rounds 1 --samples 200 --verify
 
+echo "== configure + build (TSan) =="
+cmake -B "$tsan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFEDMS_SANITIZE_THREAD=ON
+cmake --build "$tsan_build" -j "$jobs" \
+  --target obs_test core_thread_pool_test tensor_conv_test \
+           tensor_workspace_test
+
+echo "== obs layer + ThreadPool conv path under TSan =="
+# obs_test's concurrent-recording case hammers the registry from pool
+# workers; the conv/workspace tests drive the ThreadPool im2col path that
+# the training spans now wrap.
+for t in obs_test core_thread_pool_test tensor_conv_test \
+         tensor_workspace_test; do
+  "$tsan_build/tests/$t"
+done
+
 echo "== benchmark harness (quick) =="
 # Release build + short-budget bench run; the report must parse and show
 # nonzero blocked-GEMM throughput (catches a silently broken fast path).
 bench_out="$(mktemp)"
-trap 'rm -f "$bench_out"' EXIT
+trap 'rm -rf "$trace_dir" "$bench_out"' EXIT
 FEDMS_BENCH_OUT="$bench_out" "$repo/scripts/bench.sh" --quick
 python3 - "$bench_out" <<'PY'
 import json, sys

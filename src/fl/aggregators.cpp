@@ -57,6 +57,42 @@ inline void push_large(float* tail, std::size_t& count, std::size_t cap,
 
 }  // namespace
 
+std::size_t beta_trim_count(double beta, std::size_t count) {
+  FEDMS_EXPECTS(beta >= 0.0 && beta < 0.5);
+  // ⌊β·count⌋ with an epsilon floor. β typically arrives as a decimal
+  // round-trip of B/P — "trmean:0.3" times P = 10 is 2.9999999999999996 in
+  // doubles, and TrimmedMeanAggregator::name() truncates to six digits
+  // (1/7 → 0.142857, ·7 = 0.999999) — so a bare static_cast would trim one
+  // unit short of what the text means. 1e-4 covers both error sources for
+  // any count ≤ 100 while staying far below the 1/count spacing of
+  // intentional β choices.
+  const std::size_t trim =
+      static_cast<std::size_t>(beta * double(count) + 1e-4);
+  return trim;
+}
+
+std::size_t client_trim_target(double beta, std::size_t servers,
+                               std::size_t byzantine) {
+  FEDMS_EXPECTS(beta >= 0.0 && beta < 0.5);
+  // β and B are coupled (β = B/P) whenever the filter was configured from
+  // the run topology; recognize that case across any double representation
+  // the coupling survived and return the integer B itself. An ablation
+  // sweeping β independently of B lands outside the 1e-3 window and keeps
+  // its exact ⌊β·P⌋.
+  if (std::abs(beta * double(servers) - double(byzantine)) < 1e-3)
+    return byzantine;
+  return beta_trim_count(beta, servers);
+}
+
+std::size_t degraded_trim_count(std::size_t target, std::size_t received) {
+  if (received == 0) return 0;
+  // min(target, ⌊(P'−1)/2⌋): trimming ⌊(P'−1)/2⌋ per side always leaves a
+  // survivor, and the min only engages once P' ≤ 2·target — up to that
+  // point the full target count is removed, unlike ⌊β·P'⌋ which silently
+  // under-trims below B as soon as P' < P.
+  return std::min(target, (received - 1) / 2);
+}
+
 ModelVector mean_aggregate(const std::vector<ModelVector>& models) {
   check_models(models);
   const std::size_t d = models.front().size();
@@ -72,10 +108,14 @@ ModelVector mean_aggregate(const std::vector<ModelVector>& models) {
 
 ModelVector trimmed_mean(const std::vector<ModelVector>& models,
                          double beta) {
-  check_models(models);
   FEDMS_EXPECTS(beta >= 0.0 && beta < 0.5);
+  return trimmed_mean(models, beta_trim_count(beta, models.size()));
+}
+
+ModelVector trimmed_mean(const std::vector<ModelVector>& models,
+                         std::size_t trim) {
+  check_models(models);
   const std::size_t p = models.size();
-  const std::size_t trim = static_cast<std::size_t>(beta * double(p));
   FEDMS_EXPECTS(2 * trim < p);
   const std::size_t d = models.front().size();
   const std::size_t kept = p - 2 * trim;
@@ -160,10 +200,15 @@ ModelVector trimmed_mean(const std::vector<ModelVector>& models,
 
 ModelVector trimmed_mean_reference(const std::vector<ModelVector>& models,
                                    double beta) {
-  check_models(models);
   FEDMS_EXPECTS(beta >= 0.0 && beta < 0.5);
+  return trimmed_mean_reference(models,
+                                beta_trim_count(beta, models.size()));
+}
+
+ModelVector trimmed_mean_reference(const std::vector<ModelVector>& models,
+                                   std::size_t trim) {
+  check_models(models);
   const std::size_t p = models.size();
-  const std::size_t trim = static_cast<std::size_t>(beta * double(p));
   FEDMS_EXPECTS(2 * trim < p);
   const std::size_t d = models.front().size();
   const std::size_t kept = p - 2 * trim;
@@ -303,8 +348,7 @@ ModelVector bulyan(const std::vector<ModelVector>& models,
   FEDMS_ASSERT(!selected.empty());
   // Aggregation phase: coordinate-wise trimmed mean over the selection,
   // trimming f per side (requires select_count > 2f, i.e. n > 4f ✓).
-  return trimmed_mean(selected,
-                      double(f) / double(selected.size()) + 1e-12);
+  return trimmed_mean(selected, f);
 }
 
 ModelVector geometric_median(const std::vector<ModelVector>& models,
@@ -423,6 +467,20 @@ ModelVector aggregate_or_mean(const Aggregator& rule,
   FEDMS_EXPECTS(!models.empty());
   if (models.size() < rule.min_models()) return mean_aggregate(models);
   return rule.aggregate(models);
+}
+
+ModelVector apply_client_filter(const Aggregator& rule,
+                                const std::vector<ModelVector>& models,
+                                std::size_t servers, std::size_t byzantine) {
+  FEDMS_EXPECTS(!models.empty());
+  if (const auto* trmean =
+          dynamic_cast<const TrimmedMeanAggregator*>(&rule)) {
+    const std::size_t target =
+        client_trim_target(trmean->beta(), servers, byzantine);
+    return trimmed_mean(models,
+                        degraded_trim_count(target, models.size()));
+  }
+  return aggregate_or_mean(rule, models);
 }
 
 AggregatorPtr make_aggregator(const std::string& spec) {

@@ -39,6 +39,39 @@ using AggregatorPtr = std::unique_ptr<Aggregator>;
 // Arithmetic mean per coordinate.
 ModelVector mean_aggregate(const std::vector<ModelVector>& models);
 
+// ---- trim-count derivation ----
+//
+// The paper's filter discards exactly ⌊β·P⌋ values per side with β = B/P,
+// and the robustness guarantee needs that count to be ≥ B. Three helpers
+// keep the derivation honest:
+//
+//   beta_trim_count     ⌊β·count⌋ for the CLI "trmean:<beta>" path, with an
+//                       epsilon floor so a β that round-tripped through
+//                       text or binary rounding (0.3·10 = 2.999...96,
+//                       to_string(1/7.)·7 = 0.999999) does not lose a unit
+//                       to double truncation.
+//   client_trim_target  the run-level per-side trim for a client filter
+//                       configured as trmean:<β> in a run with P servers
+//                       and B Byzantine: snaps to the integer B whenever
+//                       β·P is within 1e-3 of it (the coupled β = B/P
+//                       case, however the double was produced), otherwise
+//                       beta_trim_count(β, P) — ablations that sweep β
+//                       independently of B keep their exact ⌊β·P⌋.
+//   degraded_trim_count min(target, ⌊(P'−1)/2⌋) for a candidate set
+//                       thinned to P' ≤ P by timeouts/loss: never trims
+//                       fewer than the target while P' > 2·target, and
+//                       always leaves at least one survivor.
+
+// ⌊β·count⌋ with an epsilon floor. Precondition: 0 ≤ β < 0.5.
+std::size_t beta_trim_count(double beta, std::size_t count);
+
+// Per-side trim a client filter should target at full quorum (see above).
+std::size_t client_trim_target(double beta, std::size_t servers,
+                               std::size_t byzantine);
+
+// Per-side trim over a degraded candidate set of size `received`.
+std::size_t degraded_trim_count(std::size_t target, std::size_t received);
+
 // The paper's trmean_β: per coordinate, discard the ⌊β·P⌋ largest and
 // ⌊β·P⌋ smallest values and average the rest (e.g. trmean_0.2 over
 // {1,2,3,4,5} = mean{2,3,4} = 3). Non-finite values sort as +∞ so NaN
@@ -55,12 +88,22 @@ ModelVector mean_aggregate(const std::vector<ModelVector>& models);
 // round, so it is the client-side hot loop Fed-MS adds over FedAvg.
 ModelVector trimmed_mean(const std::vector<ModelVector>& models, double beta);
 
+// Explicit-trim overload: discards exactly `trim` values per side. The
+// run-level callers (FedMsRun / AsyncFedMsRun / run_client_node) derive
+// the count from the integer B via client_trim_target +
+// degraded_trim_count instead of re-deriving it from a double each call.
+// Precondition: 2·trim < models.size().
+ModelVector trimmed_mean(const std::vector<ModelVector>& models,
+                         std::size_t trim);
+
 // The seed's per-coordinate gather + full-sort implementation, kept as the
 // oracle for the equivalence tests and the baseline in micro_aggregators.
 // Identical semantics (including NaN-sorts-as-+∞); only summation order
 // inside the kept window may differ, which double accumulation absorbs.
 ModelVector trimmed_mean_reference(const std::vector<ModelVector>& models,
                                    double beta);
+ModelVector trimmed_mean_reference(const std::vector<ModelVector>& models,
+                                   std::size_t trim);
 
 // Per-coordinate median (lower of the two middles for even counts — the
 // β→0.5 limit of the trimmed mean family).
@@ -164,5 +207,17 @@ AggregatorPtr make_aggregator(const std::string& spec);
 // client filtering after network loss.
 ModelVector aggregate_or_mean(const Aggregator& rule,
                               const std::vector<ModelVector>& models);
+
+// The run-level client-side Def(): when `rule` is the trimmed mean, trims
+// degraded_trim_count(client_trim_target(β, P, B), P') per side — the
+// count the robustness analysis needs, derived from the integer B when the
+// configured β is coupled to it, and never under-trimming below B while
+// the candidate set still out-votes the Byzantine minority. Any other rule
+// falls through to aggregate_or_mean. All three execution paths (sync sim,
+// event-driven runtime, transport nodes) call this one helper, so the
+// filter stays bit-for-bit identical across them.
+ModelVector apply_client_filter(const Aggregator& rule,
+                                const std::vector<ModelVector>& models,
+                                std::size_t servers, std::size_t byzantine);
 
 }  // namespace fedms::fl

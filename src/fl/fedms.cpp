@@ -7,6 +7,7 @@
 
 #include "core/contracts.h"
 #include "core/log.h"
+#include "obs/obs.h"
 
 namespace fedms::fl {
 
@@ -160,10 +161,13 @@ void FedMsRun::execute_round(std::uint64_t round, RunResult& result) {
   // Clients train independently (each owns its model, sampler, and RNG
   // streams), so the fan-out is deterministic regardless of worker count.
   std::vector<double> losses(learners_.size(), 0.0);
-  pool_.parallel_for(learners_.size(), [&](std::size_t k) {
-    if (!participates[k]) return;
-    losses[k] = learners_[k]->local_training(config_.local_iterations);
-  });
+  {
+    obs::Span span("sim", "local_training", round);
+    pool_.parallel_for(learners_.size(), [&](std::size_t k) {
+      if (!participates[k]) return;
+      losses[k] = learners_[k]->local_training(config_.local_iterations);
+    });
+  }
   double loss_sum = 0.0;
   std::size_t trained = 0;
   for (std::size_t k = 0; k < learners_.size(); ++k) {
@@ -182,6 +186,8 @@ void FedMsRun::execute_round(std::uint64_t round, RunResult& result) {
     if (participates[k]) last_losses_[k] = losses[k];
 
   // ---- Stage 2: model aggregation (upload + PS-side aggregation) ----
+  {
+  obs::Span span("sim", "upload", round);
   std::vector<net::Message> uploads;
   for (std::size_t k = 0; k < learners_.size(); ++k) {
     if (!participates[k]) continue;
@@ -243,15 +249,21 @@ void FedMsRun::execute_round(std::uint64_t round, RunResult& result) {
   }
   record.upload_seconds = latency_.stage_seconds(uploads);
   for (auto& m : uploads) network_.send(std::move(m));
+  }
 
-  for (auto& server : servers_) {
-    std::vector<std::vector<float>> received;
-    for (auto& m : network_.drain_inbox(net::server_id(server.index())))
-      received.push_back(std::move(m.payload));
-    server.aggregate_round(round, received);
+  {
+    obs::Span span("sim", "aggregation", round);
+    for (auto& server : servers_) {
+      std::vector<std::vector<float>> received;
+      for (auto& m : network_.drain_inbox(net::server_id(server.index())))
+        received.push_back(std::move(m.payload));
+      server.aggregate_round(round, received);
+    }
   }
 
   // ---- Stage 3: model dissemination + client-side Def() filter ----
+  {
+  obs::Span span("sim", "dissemination", round);
   std::vector<net::Message> broadcasts;
   broadcasts.reserve(servers_.size() * learners_.size());
   for (auto& server : servers_) {
@@ -269,17 +281,23 @@ void FedMsRun::execute_round(std::uint64_t round, RunResult& result) {
   }
   record.broadcast_seconds = latency_.stage_seconds(broadcasts);
   for (auto& m : broadcasts) network_.send(std::move(m));
+  }
 
-  for (std::size_t k = 0; k < learners_.size(); ++k) {
-    std::vector<ModelVector> received;
-    received.reserve(servers_.size());
-    for (auto& m : network_.drain_inbox(net::client_id(k)))
-      received.push_back(std::move(m.payload));
-    // Network loss can thin the set below the filter's requirement
-    // (aggregate_or_mean then degrades to the mean); a total blackout
-    // leaves the client continuing from its local model.
-    if (!received.empty())
-      learners_[k]->set_parameters(aggregate_or_mean(*filter_, received));
+  {
+    obs::Span span("sim", "filter", round);
+    for (std::size_t k = 0; k < learners_.size(); ++k) {
+      std::vector<ModelVector> received;
+      received.reserve(servers_.size());
+      for (auto& m : network_.drain_inbox(net::client_id(k)))
+        received.push_back(std::move(m.payload));
+      // Network loss can thin the set; apply_client_filter re-derives the
+      // trim count from B over whatever survived (other rules degrade to the
+      // mean below their preconditions). A total blackout leaves the client
+      // continuing from its local model.
+      if (!received.empty())
+        learners_[k]->set_parameters(apply_client_filter(
+            *filter_, received, config_.servers, config_.byzantine));
+    }
   }
 
   if (callback_) callback_(round, learners_);

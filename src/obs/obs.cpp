@@ -1,0 +1,415 @@
+#include "obs/obs.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fedms::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  // CLOCK_MONOTONIC, not steady_clock: the absolute epoch (boot) is
+  // shared by every process on the host, which is what lets per-node
+  // trace files merge without clock alignment.
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return std::uint64_t(ts.tv_sec) * 1000000000ull + std::uint64_t(ts.tv_nsec);
+}
+
+namespace {
+
+struct ThreadBuffer {
+  std::vector<SpanRecord> spans;
+  std::uint32_t id = 0;
+  std::uint32_t depth = 0;
+  ThreadBuffer();
+  ~ThreadBuffer();
+};
+
+// The registry is leaked deliberately: thread_local ThreadBuffers (and
+// static Counters in other TUs) may destruct after static destructors
+// would have torn a non-leaked registry down.
+struct Registry {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> threads;
+  std::vector<SpanRecord> orphan_spans;  // from exited threads
+  std::vector<Counter*> counters;
+  std::vector<Histogram*> histograms;
+  std::unordered_map<std::uint32_t, std::string> thread_labels;
+  std::uint32_t next_thread_id = 0;
+  std::string role = "proc";
+  std::size_t index = 0;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry;
+  return *instance;
+}
+
+ThreadBuffer& tls_buffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+ThreadBuffer::ThreadBuffer() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  id = r.next_thread_id++;
+  r.threads.push_back(this);
+}
+
+// A thread's spans outlive it: fold them into the registry's orphan list
+// when the thread_local buffer dies (node threads in --mode inmem exit
+// long before the launcher exports).
+ThreadBuffer::~ThreadBuffer() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.orphan_spans.insert(r.orphan_spans.end(), spans.begin(), spans.end());
+  r.threads.erase(std::remove(r.threads.begin(), r.threads.end(), this),
+                  r.threads.end());
+}
+
+}  // namespace
+
+void set_process_identity(const std::string& role, std::size_t index) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.role = role;
+  r.index = index;
+}
+
+std::uint32_t process_pid() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.role == "client") return std::uint32_t(1000 + r.index);
+  if (r.role == "server") return std::uint32_t(2000 + r.index);
+  return std::uint32_t(1 + r.index);
+}
+
+void set_thread_label(const std::string& label) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = tls_buffer();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.thread_labels[buffer.id] = label;
+}
+
+// ---- Span ----
+
+Span::Span(const char* category, const char* name, std::uint64_t round,
+           const char* detail_key, std::int64_t detail)
+    : category_(category),
+      name_(name),
+      round_(round),
+      detail_key_(detail_key),
+      detail_(detail),
+      start_ns_(0) {
+  if (!enabled()) return;
+  ++tls_buffer().depth;
+  start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (start_ns_ == 0) return;
+  const std::uint64_t end = now_ns();
+  ThreadBuffer& buffer = tls_buffer();
+  const std::uint32_t depth = --buffer.depth;
+  buffer.spans.push_back(SpanRecord{category_, name_, start_ns_, end,
+                                    round_, detail_key_, detail_,
+                                    buffer.id, depth});
+}
+
+// ---- SampledSpan ----
+
+SampledSpan::SampledSpan(const char* category, const char* name,
+                         std::uint32_t& tick, std::uint32_t period,
+                         const char* detail_key, std::int64_t detail)
+    : category_(category),
+      name_(name),
+      detail_key_(detail_key),
+      detail_(detail),
+      start_ns_(0) {
+  if (!enabled()) return;
+  if ((tick++ & (period - 1)) != 0) return;
+  ++tls_buffer().depth;
+  start_ns_ = now_ns();
+}
+
+SampledSpan::~SampledSpan() {
+  if (start_ns_ == 0) return;
+  const std::uint64_t end = now_ns();
+  ThreadBuffer& buffer = tls_buffer();
+  const std::uint32_t depth = --buffer.depth;
+  buffer.spans.push_back(SpanRecord{category_, name_, start_ns_, end,
+                                    kNoRound, detail_key_, detail_,
+                                    buffer.id, depth});
+}
+
+// ---- Counter ----
+
+Counter::Counter(const char* name) : name_(name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.counters.push_back(this);
+}
+
+Counter::~Counter() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.counters.erase(std::remove(r.counters.begin(), r.counters.end(), this),
+                   r.counters.end());
+}
+
+// ---- Histogram ----
+
+Histogram::Histogram(const char* name, std::vector<double> upper_bounds)
+    : name_(name),
+      bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i - 1] < bounds_[i]))
+      throw std::runtime_error("histogram bounds must be ascending");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.histograms.push_back(this);
+}
+
+Histogram::~Histogram() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.histograms.erase(
+      std::remove(r.histograms.begin(), r.histograms.end(), this),
+      r.histograms.end());
+}
+
+void Histogram::record(double value) {
+  if (!enabled()) return;
+  // le semantics: first bucket whose bound is >= value; past the last
+  // bound lands in the overflow bucket.
+  const std::size_t bucket = std::size_t(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double current;
+    std::memcpy(&current, &bits, sizeof current);
+    const double next = current + value;
+    std::uint64_t next_bits;
+    std::memcpy(&next_bits, &next, sizeof next_bits);
+    if (sum_bits_.compare_exchange_weak(bits, next_bits,
+                                        std::memory_order_relaxed))
+      break;
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  return counts;
+}
+
+double Histogram::sum() const {
+  const std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double value;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+// ---- snapshots ----
+
+std::vector<SpanRecord> snapshot_spans() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<SpanRecord> out;
+  for (const ThreadBuffer* buffer : r.threads)
+    out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
+  out.insert(out.end(), r.orphan_spans.begin(), r.orphan_spans.end());
+  return out;
+}
+
+std::vector<CounterSnapshot> snapshot_counters() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<CounterSnapshot> out;
+  out.reserve(r.counters.size());
+  for (const Counter* counter : r.counters)
+    out.push_back(CounterSnapshot{counter->name(), counter->value()});
+  return out;
+}
+
+std::vector<HistogramSnapshot> snapshot_histograms() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(r.histograms.size());
+  for (const Histogram* histogram : r.histograms)
+    out.push_back(HistogramSnapshot{histogram->name(), histogram->bounds(),
+                                    histogram->bucket_counts(),
+                                    histogram->count(), histogram->sum()});
+  return out;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (ThreadBuffer* buffer : r.threads) buffer->spans.clear();
+  r.orphan_spans.clear();
+  for (Counter* counter : r.counters) counter->reset();
+  for (Histogram* histogram : r.histograms) histogram->reset();
+}
+
+// ---- Chrome trace_event export ----
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string format_us(std::uint64_t ns) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buffer;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<SpanRecord> spans = snapshot_spans();
+  const std::vector<CounterSnapshot> counters = snapshot_counters();
+  const std::vector<HistogramSnapshot> histograms = snapshot_histograms();
+  std::string role;
+  std::size_t index = 0;
+  std::unordered_map<std::uint32_t, std::string> labels;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    role = r.role;
+    index = r.index;
+    labels = r.thread_labels;
+  }
+  const std::uint32_t pid = process_pid();
+  const std::string process_name =
+      (role == "client" || role == "server") ? role + std::to_string(index)
+                                             : role;
+
+  os << "{\n\"displayTimeUnit\": \"ms\",\n";
+
+  os << "\"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i) os << ", ";
+    write_json_string(os, counters[i].name);
+    os << ": " << counters[i].value;
+  }
+  os << "},\n";
+
+  os << "\"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    if (i) os << ", ";
+    write_json_string(os, h.name);
+    os << ": {\"bounds\": [";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j) os << ", ";
+      char buffer[48];
+      std::snprintf(buffer, sizeof buffer, "%.17g", h.bounds[j]);
+      os << buffer;
+    }
+    os << "], \"buckets\": [";
+    for (std::size_t j = 0; j < h.buckets.size(); ++j) {
+      if (j) os << ", ";
+      os << h.buckets[j];
+    }
+    char sum_buffer[48];
+    std::snprintf(sum_buffer, sizeof sum_buffer, "%.17g", h.sum);
+    os << "], \"count\": " << h.count << ", \"sum\": " << sum_buffer
+       << "}";
+  }
+  os << "},\n";
+
+  // One event per line, "traceEvents" last: the merge tool's line-based
+  // parser depends on this layout (it only ever reads its own output).
+  os << "\"traceEvents\": [\n";
+  os << "{\"ph\":\"M\",\"pid\":" << pid
+     << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
+  write_json_string(os, process_name);
+  os << "}}";
+  for (const auto& [tid, label] : labels) {
+    os << ",\n{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    write_json_string(os, label);
+    os << "}}";
+  }
+  for (const SpanRecord& span : spans) {
+    os << ",\n{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << span.thread
+       << ",\"cat\":\"" << span.category << "\",\"name\":\"" << span.name
+       << "\",\"ts\":" << format_us(span.start_ns)
+       << ",\"dur\":" << format_us(span.end_ns - span.start_ns)
+       << ",\"args\":{";
+    bool first = true;
+    if (span.round != kNoRound) {
+      os << "\"round\":" << span.round;
+      first = false;
+    }
+    if (span.detail_key != nullptr) {
+      if (!first) os << ",";
+      os << "\"" << span.detail_key << "\":" << span.detail;
+      first = false;
+    }
+    if (!first) os << ",";
+    os << "\"depth\":" << span.depth << "}}";
+  }
+  os << "\n]\n}\n";
+}
+
+void save_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace file " + path);
+  write_chrome_trace(out);
+  if (!out) throw std::runtime_error("write failed for trace file " + path);
+}
+
+}  // namespace fedms::obs

@@ -1,0 +1,230 @@
+// Low-overhead tracing + metrics for all three Fed-MS execution paths.
+//
+// One process-global registry holds three kinds of instruments:
+//   * scoped spans     — RAII regions (round / stage / client / PS) that
+//                        record Chrome trace_event "X" complete events;
+//   * counters         — monotonic u64 totals (messages, calls, bytes);
+//   * histograms       — fixed upper-bound buckets (le semantics).
+//
+// Everything is gated on one process-global enabled flag. Disabled — the
+// default — every record path is a single relaxed atomic load and an
+// early return: no locks, no allocations, no clock reads (bench/micro_obs
+// measures this, and tests/obs_test.cpp proves the zero-allocation
+// claim). Compiling with FEDMS_OBS_DISABLED removes the span macro
+// bodies entirely for builds that want even the load gone.
+//
+// Threading model: spans append to a thread-local buffer registered with
+// the registry on first use (a buffer owned by an exiting thread folds
+// its events into the registry before dying); counters and histograms
+// use atomics. Snapshots/exports must not race active recording — export
+// after worker threads have been joined or are quiescent, which every
+// call site here does (run() has returned / node threads are joined).
+//
+// Timestamps are absolute CLOCK_MONOTONIC nanoseconds. On Linux that
+// clock is system-wide, so trace files written by separate node
+// processes on one host share a timebase and merge into a single
+// timeline with no alignment step (see trace_merge.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fedms::obs {
+
+// ---- global gate ----
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+// Absolute CLOCK_MONOTONIC nanoseconds (shared across local processes).
+std::uint64_t now_ns();
+
+// ---- identity ----
+
+// Exported as the Chrome trace pid: "sim"/"proc" → 1, "client" →
+// 1000 + index, "server" → 2000 + index. Also names the process row in
+// chrome://tracing. Call once before recording (defaults to proc/0).
+void set_process_identity(const std::string& role, std::size_t index);
+std::uint32_t process_pid();
+
+// Labels the calling thread's row in the trace (e.g. "client3" for an
+// in-memory node thread). Cheap no-op while disabled.
+void set_thread_label(const std::string& label);
+
+// ---- spans ----
+
+inline constexpr std::uint64_t kNoRound = ~0ull;
+
+struct SpanRecord {
+  const char* category;    // static string ("sim" | "async" | "node" | ...)
+  const char* name;        // static string (stage name)
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+  std::uint64_t round;     // kNoRound when the span is not round-scoped
+  const char* detail_key;  // optional extra arg name (nullptr = none)
+  std::int64_t detail;
+  std::uint32_t thread;    // dense per-process thread index
+  std::uint32_t depth;     // nesting depth at open time (0 = outermost)
+};
+
+// RAII scoped span: records one complete event over its lifetime. The
+// category/name/detail_key strings must outlive the registry (string
+// literals in practice — they are stored unkeyed).
+class Span {
+ public:
+  explicit Span(const char* category, const char* name,
+                std::uint64_t round = kNoRound,
+                const char* detail_key = nullptr, std::int64_t detail = 0);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* category_;
+  const char* name_;
+  std::uint64_t round_;
+  const char* detail_key_;
+  std::int64_t detail_;
+  std::uint64_t start_ns_;  // 0 = disarmed (tracing was off at open)
+};
+
+// Span for per-call hot paths (GEMM / im2col): while tracing is enabled,
+// records every `period`-th call and skips the rest, so the kernel's
+// steady state pays one counter increment instead of two clock reads per
+// call. The call site owns the tick counter (declare it
+// `static thread_local std::uint32_t` next to the kernel); `period` must
+// be a power of two.
+class SampledSpan {
+ public:
+  explicit SampledSpan(const char* category, const char* name,
+                       std::uint32_t& tick, std::uint32_t period = 64,
+                       const char* detail_key = nullptr,
+                       std::int64_t detail = 0);
+  ~SampledSpan();
+  SampledSpan(const SampledSpan&) = delete;
+  SampledSpan& operator=(const SampledSpan&) = delete;
+
+ private:
+  const char* category_;
+  const char* name_;
+  const char* detail_key_;
+  std::int64_t detail_;
+  std::uint64_t start_ns_;  // 0 = not sampled
+};
+
+// ---- counters & histograms ----
+
+// Monotonic counter registered by (static) name. Instances are expected
+// to be function-local statics or other long-lived objects; construction
+// and destruction take the registry lock, add() never does.
+class Counter {
+ public:
+  explicit Counter(const char* name);
+  ~Counter();
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t delta = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const char* name() const { return name_; }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const char* name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Fixed-bucket histogram over caller-supplied ascending upper bounds.
+// Bucket i counts values v with bounds[i-1] < v <= bounds[i] (first
+// bucket: v <= bounds[0]); one extra overflow bucket takes v > back().
+class Histogram {
+ public:
+  Histogram(const char* name, std::vector<double> upper_bounds);
+  ~Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double value);
+  const char* name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const;
+  void reset();
+
+ private:
+  const char* name_;
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // double stored as bits (CAS add)
+};
+
+// ---- snapshots (exporter + tests) ----
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1
+  std::uint64_t count;
+  double sum;
+};
+
+// All spans recorded so far, in per-thread recording order (threads
+// concatenated in registration order, orphaned buffers last).
+std::vector<SpanRecord> snapshot_spans();
+std::vector<CounterSnapshot> snapshot_counters();
+std::vector<HistogramSnapshot> snapshot_histograms();
+
+// Drops all recorded spans and zeroes counters/histograms (registrations
+// survive). Tests and multi-run tools use this between runs.
+void reset();
+
+// ---- Chrome trace_event export ----
+//
+// Writes {"displayTimeUnit", "traceEvents":[...]} with one event per
+// line: "M" process_name/thread_name metadata, then "X" complete events
+// with ts/dur in microseconds and args {round, depth, <detail_key>}.
+// Counters and histograms ride along under non-standard top-level keys
+// ("counters", "histograms") that chrome://tracing ignores.
+void write_chrome_trace(std::ostream& os);
+// Same, to a file. Throws std::runtime_error when the file can't be
+// written.
+void save_chrome_trace(const std::string& path);
+
+}  // namespace fedms::obs
+
+// Span convenience macro: a uniquely-named local Span, compiled out
+// entirely under FEDMS_OBS_DISABLED.
+#define FEDMS_OBS_CAT2_(a, b) a##b
+#define FEDMS_OBS_CAT_(a, b) FEDMS_OBS_CAT2_(a, b)
+#if defined(FEDMS_OBS_DISABLED)
+#define FEDMS_OBS_SPAN(...) \
+  do {                      \
+  } while (false)
+#else
+#define FEDMS_OBS_SPAN(...) \
+  ::fedms::obs::Span FEDMS_OBS_CAT_(fedms_obs_span_, __LINE__)(__VA_ARGS__)
+#endif

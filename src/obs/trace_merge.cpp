@@ -1,0 +1,237 @@
+#include "obs/trace_merge.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedms::obs {
+
+const std::vector<std::string>& canonical_stages() {
+  static const std::vector<std::string> stages = {
+      "local_training", "upload", "aggregation", "dissemination", "filter"};
+  return stages;
+}
+
+namespace {
+
+struct ParsedEvent {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::string cat;
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  bool has_round = false;
+  std::uint64_t round = 0;
+  std::string args_raw;  // inner text of "args":{...}, re-emitted verbatim
+};
+
+struct MetaEvent {
+  std::uint32_t pid = 0;
+  std::string line;  // verbatim "M" event line
+};
+
+// Finds `"key":` in `line` and returns the position just past the colon,
+// or npos.
+std::size_t value_pos(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+bool parse_number(const std::string& line, const std::string& key,
+                  double& out) {
+  const std::size_t at = value_pos(line, key);
+  if (at == std::string::npos) return false;
+  out = std::strtod(line.c_str() + at, nullptr);
+  return true;
+}
+
+bool parse_string(const std::string& line, const std::string& key,
+                  std::string& out) {
+  std::size_t at = value_pos(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"')
+    return false;
+  ++at;
+  const std::size_t end = line.find('"', at);  // our names never escape
+  if (end == std::string::npos) return false;
+  out = line.substr(at, end - at);
+  return true;
+}
+
+std::string format_us(double us) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.3f", us);
+  return buffer;
+}
+
+std::size_t stage_rank(const std::string& name) {
+  const auto& stages = canonical_stages();
+  const auto it = std::find(stages.begin(), stages.end(), name);
+  return std::size_t(it - stages.begin());  // stages.size() = not a stage
+}
+
+}  // namespace
+
+MergeSummary merge_chrome_traces(const std::vector<std::string>& inputs,
+                                 const std::string& output_path) {
+  std::vector<ParsedEvent> events;
+  std::vector<MetaEvent> metas;
+
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot read trace file " + path);
+    std::string line;
+    bool in_events = false;
+    while (std::getline(in, line)) {
+      if (!in_events) {
+        if (line.rfind("\"traceEvents\"", 0) == 0) in_events = true;
+        continue;
+      }
+      if (line.rfind("{\"ph\":\"M\"", 0) == 0) {
+        MetaEvent meta;
+        double pid = 0;
+        if (!parse_number(line, "pid", pid))
+          throw std::runtime_error("metadata event without pid in " + path);
+        meta.pid = std::uint32_t(pid);
+        // Strip the joining comma the exporter writes between lines.
+        meta.line = line;
+        if (!meta.line.empty() && meta.line.back() == ',')
+          meta.line.pop_back();
+        metas.push_back(std::move(meta));
+      } else if (line.rfind("{\"ph\":\"X\"", 0) == 0) {
+        ParsedEvent event;
+        double pid = 0, tid = 0, ts = 0, dur = 0;
+        if (!parse_number(line, "pid", pid) ||
+            !parse_number(line, "tid", tid) ||
+            !parse_number(line, "ts", ts) ||
+            !parse_number(line, "dur", dur) ||
+            !parse_string(line, "cat", event.cat) ||
+            !parse_string(line, "name", event.name))
+          throw std::runtime_error("malformed span event in " + path +
+                                   ": " + line);
+        event.pid = std::uint32_t(pid);
+        event.tid = std::uint32_t(tid);
+        event.ts_us = ts;
+        event.dur_us = dur;
+        const std::size_t args_at = line.find("\"args\":{");
+        if (args_at != std::string::npos) {
+          const std::size_t open = args_at + 8;
+          const std::size_t close = line.find('}', open);
+          if (close != std::string::npos)
+            event.args_raw = line.substr(open, close - open);
+        }
+        double round = 0;
+        if (parse_number(event.args_raw, "round", round)) {
+          event.has_round = true;
+          event.round = std::uint64_t(round);
+        }
+        events.push_back(std::move(event));
+      }
+      // "]" / "}" terminator lines and anything else: done or skipped.
+    }
+  }
+
+  MergeSummary summary;
+  summary.files = inputs.size();
+  summary.events = events.size();
+
+  // Rebase the shared monotonic timebase so the merged timeline starts
+  // at zero.
+  double base_us = 0.0;
+  if (!events.empty()) {
+    base_us = events.front().ts_us;
+    for (const ParsedEvent& event : events)
+      base_us = std::min(base_us, event.ts_us);
+  }
+  for (ParsedEvent& event : events) event.ts_us -= base_us;
+
+  // Per-(round, stage) envelopes across every node row, and per-row
+  // first-start stage ordering.
+  const std::size_t n_stages = canonical_stages().size();
+  struct Envelope {
+    double start = 0.0, end = 0.0;
+    std::set<std::uint64_t> rows;  // (pid << 32) | tid
+    bool seen = false;
+  };
+  std::map<std::pair<std::uint64_t, std::size_t>, Envelope> envelopes;
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>,
+           std::vector<double>>
+      first_starts;  // (pid, tid, round) -> per-stage min start
+  for (const ParsedEvent& event : events) {
+    if (!event.has_round) continue;
+    const std::size_t rank = stage_rank(event.name);
+    if (rank == n_stages) continue;
+    Envelope& envelope = envelopes[{event.round, rank}];
+    const double end = event.ts_us + event.dur_us;
+    if (!envelope.seen) {
+      envelope.start = event.ts_us;
+      envelope.end = end;
+      envelope.seen = true;
+    } else {
+      envelope.start = std::min(envelope.start, event.ts_us);
+      envelope.end = std::max(envelope.end, end);
+    }
+    envelope.rows.insert((std::uint64_t(event.pid) << 32) | event.tid);
+
+    auto& starts = first_starts[{event.pid, event.tid, event.round}];
+    if (starts.empty()) starts.assign(n_stages, -1.0);
+    if (starts[rank] < 0.0 || event.ts_us < starts[rank])
+      starts[rank] = event.ts_us;
+  }
+  for (const auto& [key, envelope] : envelopes) {
+    StageEnvelope stage;
+    stage.round = key.first;
+    stage.stage = canonical_stages()[key.second];
+    stage.start_us = envelope.start;
+    stage.end_us = envelope.end;
+    stage.nodes = envelope.rows.size();
+    summary.stages.push_back(std::move(stage));
+  }
+  for (const auto& [key, starts] : first_starts) {
+    (void)key;
+    double last = -1.0;
+    for (const double start : starts) {
+      if (start < 0.0) continue;  // stage absent on this row
+      if (start < last) {
+        summary.stage_order_consistent = false;
+        break;
+      }
+      last = start;
+    }
+  }
+
+  std::ofstream out(output_path);
+  if (!out)
+    throw std::runtime_error("cannot write merged trace " + output_path);
+  out << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  out << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"timeline\"}}";
+  for (const MetaEvent& meta : metas) out << ",\n" << meta.line;
+  for (const ParsedEvent& event : events) {
+    out << ",\n{\"ph\":\"X\",\"pid\":" << event.pid
+        << ",\"tid\":" << event.tid << ",\"cat\":\"" << event.cat
+        << "\",\"name\":\"" << event.name
+        << "\",\"ts\":" << format_us(event.ts_us)
+        << ",\"dur\":" << format_us(event.dur_us) << ",\"args\":{"
+        << event.args_raw << "}}";
+  }
+  for (const StageEnvelope& stage : summary.stages) {
+    out << ",\n{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"cat\":\"timeline\","
+           "\"name\":\""
+        << stage.stage << "\",\"ts\":" << format_us(stage.start_us)
+        << ",\"dur\":" << format_us(stage.end_us - stage.start_us)
+        << ",\"args\":{\"round\":" << stage.round
+        << ",\"nodes\":" << stage.nodes << "}}";
+  }
+  out << "\n]\n}\n";
+  if (!out)
+    throw std::runtime_error("write failed for merged trace " + output_path);
+  return summary;
+}
+
+}  // namespace fedms::obs

@@ -1,0 +1,51 @@
+// Round-keyed merge of per-node Chrome trace files.
+//
+// Every node process in a `fedms_node --mode launch --trace-dir` run
+// writes its own <role><index>.trace.json (obs::save_chrome_trace). All
+// files share the CLOCK_MONOTONIC timebase, so merging is concatenation:
+// rebase every timestamp to the earliest event across the inputs, keep
+// each node's pid/tid rows, and append one synthetic "timeline" row
+// holding per-(round, stage) envelope spans — the [earliest start,
+// latest end] of that stage across all nodes — so chrome://tracing shows
+// the cross-node round structure at a glance.
+//
+// The parser only reads the exporter's own one-event-per-line layout; it
+// is not a general JSON parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedms::obs {
+
+// Canonical Fed-MS stage names in round order (ARCHITECTURE.md's stage
+// boundaries). Stage-order consistency is checked against this sequence.
+const std::vector<std::string>& canonical_stages();
+
+struct StageEnvelope {
+  std::uint64_t round = 0;
+  std::string stage;
+  double start_us = 0.0;  // rebased: earliest start across nodes
+  double end_us = 0.0;    // latest end across nodes
+  std::size_t nodes = 0;  // distinct (pid, tid) rows contributing
+};
+
+struct MergeSummary {
+  std::size_t files = 0;
+  std::size_t events = 0;  // "X" span events merged
+  // Per-(round, stage) envelopes, sorted by round then canonical stage
+  // order. Only round-scoped events with canonical stage names count.
+  std::vector<StageEnvelope> stages;
+  // True when, for every (pid, tid, round) group, the first-start order
+  // of the canonical stages present respects canonical_stages() — the
+  // cross-path "stage boundaries agree" invariant.
+  bool stage_order_consistent = true;
+};
+
+// Merges `inputs` into one Chrome trace at `output_path` and returns the
+// summary. Throws std::runtime_error on unreadable/unwritable files.
+MergeSummary merge_chrome_traces(const std::vector<std::string>& inputs,
+                                 const std::string& output_path);
+
+}  // namespace fedms::obs

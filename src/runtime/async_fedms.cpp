@@ -9,6 +9,7 @@
 #include "core/contracts.h"
 #include "fl/experiment.h"
 #include "net/message.h"
+#include "obs/obs.h"
 
 namespace fedms::runtime {
 
@@ -220,16 +221,19 @@ void AsyncFedMsRun::client_filter_deadline(std::size_t k,
 
 void AsyncFedMsRun::finish_client(std::size_t k, std::uint64_t round) {
   ClientState& client = clients_[k];
+  obs::Span span("async", "filter", round, "client",
+                 static_cast<std::int64_t>(k));
   const std::size_t received = client.candidates.size();
   if (received >= quorum_) {
-    // P'-adaptive filter: fl::trimmed_mean derives its per-side trim count
-    // ⌊β·P'⌋ from the candidate-set size, so handing it the incomplete set
-    // IS the adaptive recomputation. Map order fixes the input order.
+    // Degraded-quorum filter: the trim count is re-derived from the
+    // integer B over the P' candidates at hand — min(B, ⌊(P'−1)/2⌋),
+    // never fewer than B while P' > 2B. Map order fixes the input order.
     std::vector<fl::ModelVector> models;
     models.reserve(received);
     for (auto& [server, model] : client.candidates)
       models.push_back(std::move(model));
-    const fl::ModelVector filtered = fl::aggregate_or_mean(*filter_, models);
+    const fl::ModelVector filtered = fl::apply_client_filter(
+        *filter_, models, config_.servers, config_.byzantine);
     learners_[k]->set_parameters(filtered);
     client.last_feasible = filtered;
     trace_node(round, "filter", net::client_id(k));
@@ -284,9 +288,15 @@ void AsyncFedMsRun::execute_round(std::uint64_t round,
         t0 + options_.compute_seconds *
                  faults_.straggler_factor(net::client_id(k));
     queue_.schedule_at(done, [this, k, round, t_filter] {
-      round_losses_[k] =
-          learners_[k]->local_training(config_.local_iterations);
+      {
+        obs::Span span("async", "local_training", round, "client",
+                       static_cast<std::int64_t>(k));
+        round_losses_[k] =
+            learners_[k]->local_training(config_.local_iterations);
+      }
       trace_node(round, "trained", net::client_id(k));
+      obs::Span upload_span("async", "upload", round, "client",
+                            static_cast<std::int64_t>(k));
       std::vector<float> payload = learners_[k]->parameters();
       std::size_t encoded_bytes = 0;
       if (upload_codec_) {
@@ -337,12 +347,18 @@ void AsyncFedMsRun::execute_round(std::uint64_t round,
         trace_node(round, "crashed", net::server_id(s));
         return;
       }
-      std::vector<fl::ModelVector> received;
-      received.reserve(state.received.size());
-      for (auto& [client, model] : state.received)
-        received.push_back(std::move(model));
-      servers_[s].aggregate_round(round, received);
-      state.aggregated = true;
+      {
+        obs::Span span("async", "aggregation", round, "server",
+                       static_cast<std::int64_t>(s));
+        std::vector<fl::ModelVector> received;
+        received.reserve(state.received.size());
+        for (auto& [client, model] : state.received)
+          received.push_back(std::move(model));
+        servers_[s].aggregate_round(round, received);
+        state.aggregated = true;
+      }
+      obs::Span span("async", "dissemination", round, "server",
+                     static_cast<std::int64_t>(s));
       for (std::size_t k = 0; k < config_.clients; ++k) {
         net::Message m;
         m.from = net::server_id(s);

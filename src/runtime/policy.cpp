@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/contracts.h"
+#include "fl/aggregators.h"
 
 namespace fedms::runtime {
 
@@ -29,9 +30,7 @@ double Backoff::delay_seconds(std::size_t attempt) const {
 }
 
 std::size_t adaptive_trim_count(std::size_t received, double beta) {
-  FEDMS_EXPECTS(beta >= 0.0 && beta < 0.5);
-  return static_cast<std::size_t>(
-      std::floor(beta * static_cast<double>(received)));
+  return fl::beta_trim_count(beta, received);
 }
 
 bool trim_feasible(std::size_t received, std::size_t trim) {

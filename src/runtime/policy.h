@@ -3,13 +3,15 @@
 // P'-adaptive trimmed mean is feasible versus when the client must fall
 // back to its last feasible model.
 //
-// The paper's filter trims the ⌊β·P⌋ extremes per coordinate out of the P
-// models a client receives from *all* PSs. Under crash/omission/loss
-// faults a client only holds P' <= P candidates at its deadline. The
-// policy re-derives the trim count as ⌊β·P'⌋ (what `fl::trimmed_mean`
-// already computes from its input size) and treats the filter as feasible
-// only when the candidate set could still out-vote the B Byzantine PSs:
-// P' > 2B, the incomplete-set analogue of the paper's B <= P/2 condition.
+// The paper's filter trims the ⌊β·P⌋ = B extremes per coordinate out of
+// the P models a client receives from *all* PSs. Under crash/omission/
+// loss faults a client only holds P' <= P candidates at its deadline. The
+// degraded-set trim count is min(B, ⌊(P'−1)/2⌋) — never fewer than B
+// while P' > 2B (⌊β·P'⌋ would silently under-trim below B as soon as
+// P' < P) — derived in fl::client_trim_target/degraded_trim_count and
+// applied by fl::apply_client_filter. The filter is feasible only when
+// the candidate set could still out-vote the B Byzantine PSs: P' > 2B,
+// the incomplete-set analogue of the paper's B <= P/2 condition.
 #pragma once
 
 #include <cstddef>
@@ -69,8 +71,11 @@ struct Backoff {
   }
 };
 
-// ⌊β·received⌋ — the adaptive per-side trim count over an incomplete
-// candidate set (mirrors fl::trimmed_mean's internal count).
+// ⌊β·received⌋ (epsilon-floored; delegates to fl::beta_trim_count) — the
+// trim a *standalone* β implies for a set of the given size. Note this is
+// NOT what the runtime's client filter uses over degraded sets: when β is
+// coupled to B, fl::apply_client_filter trims min(B, ⌊(P'−1)/2⌋) so a
+// thinned candidate set never under-trims below B.
 std::size_t adaptive_trim_count(std::size_t received, double beta);
 
 // True when trimming `trim` per side leaves at least one survivor.

@@ -1,6 +1,7 @@
 #include "tensor/conv_im2col.h"
 
 #include "core/thread_pool.h"
+#include "obs/obs.h"
 #include "tensor/gemm.h"
 #include "tensor/workspace.h"
 
@@ -144,6 +145,12 @@ Tensor conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
   const float* weight_matrix = weight.data();
   const std::size_t out_cols = Hout * Wout;
   Tensor output({N, Cout, Hout, Wout});
+
+  // Sampled: one span per 16 forward convs keeps the hot path at a single
+  // counter increment in steady state.
+  static thread_local std::uint32_t obs_tick = 0;
+  obs::SampledSpan obs_span("tensor", "conv_im2col", obs_tick, 16, "batch",
+                            static_cast<std::int64_t>(N));
 
   const auto run_image = [&](std::size_t n) {
     Workspace::Scope scope;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "tensor/workspace.h"
 
 namespace fedms::tensor {
@@ -71,6 +72,11 @@ void gemm_driver(std::size_t m, std::size_t n, std::size_t k, const float* a,
   if (m == 0 || n == 0) return;
   if (beta == 0.0f) std::fill(c, c + m * n, 0.0f);
   if (k == 0) return;
+
+  // Sampled: the training loop calls this thousands of times per step.
+  static thread_local std::uint32_t obs_tick = 0;
+  obs::SampledSpan obs_span("tensor", "gemm", obs_tick, 64, "mnk",
+                            static_cast<std::int64_t>(m * n * k));
 
   Workspace::Scope scope;
   float* b_pack = scope.alloc(KC * NC);

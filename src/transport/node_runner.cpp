@@ -1,5 +1,6 @@
 #include "transport/node_runner.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +18,7 @@
 #include "fl/compression.h"
 #include "fl/server.h"
 #include "fl/upload.h"
+#include "obs/obs.h"
 #include "transport/frame.h"
 
 namespace fedms::transport {
@@ -48,6 +50,22 @@ void write_links(std::ostringstream& out, const char* tag,
         << link.corrupt_frames << '\n';
 }
 
+// Replays the simulator's uniform participation draw for one round and
+// reports whether client k is in the active set. The "participation"
+// stream is sequential across rounds, so every client calls this exactly
+// once per round, in round order — and only when participation < 1.0
+// (the simulator leaves the stream untouched at full participation).
+bool round_participates(const fl::FedMsConfig& fed, core::Rng& rng,
+                        std::size_t k) {
+  const std::size_t active = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fed.participation * double(fed.clients) +
+                                  0.5));
+  for (const std::size_t drawn :
+       rng.sample_without_replacement(fed.clients, active))
+    if (drawn == k) return true;
+  return false;
+}
+
 }  // namespace
 
 void check_transport_supported(const fl::FedMsConfig& fed) {
@@ -58,7 +76,12 @@ void check_transport_supported(const fl::FedMsConfig& fed) {
   };
   reject(fed.byzantine_clients > 0, "byzantine_clients");
   reject(fed.dp_clip_norm > 0.0, "differential privacy");
-  reject(fed.participation < 1.0, "partial participation");
+  // Uniform partial participation is derivable per node (every process
+  // replays the shared "participation" seed stream); power-of-choice is
+  // not — it ranks clients by losses only the simulator sees globally.
+  reject(fed.participation < 1.0 && fed.participation_strategy == "highloss",
+         "participation_strategy=highloss (loss-based selection needs "
+         "global loss state; rerun with --participation-strategy uniform)");
   reject(fed.network_loss_rate > 0.0,
          "simulated link loss (use transport corruption injection)");
   reject(fed.eval_clients != 0, "eval_clients subsets");
@@ -164,73 +187,100 @@ NodeReport run_client_node(Transport& transport, const fl::Workload& data,
   const fl::AggregatorPtr filter = fl::make_aggregator(fed.client_filter);
   const fl::UploadStrategyPtr upload = fl::make_upload_strategy(fed.upload);
   core::Rng ps_choice = seeds.make_rng("ps-choice", k);
+  core::Rng participation_rng = seeds.make_rng("participation");
   fl::PayloadCodecPtr codec;
   if (fed.upload_compression != "none")
     codec = fl::make_codec(fed.upload_compression);
+
+  obs::set_thread_label("client" + std::to_string(k));
 
   NodeReport report;
   report.self = net::client_id(k);
   report.rounds = fed.rounds;
 
   for (std::uint64_t round = 0; round < fed.rounds; ++round) {
+    // Partial participation: replay the simulator's shared draw. A
+    // sitting-out client skips training and upload (its ps-choice stream
+    // stays untouched, as in the simulator) but still round-syncs so the
+    // PSs' barriers close, and still collects + filters broadcasts.
+    const bool participates =
+        fed.participation >= 1.0 ||
+        round_participates(fed, participation_rng, k);
+
     // ---- Stage 1: local training ----
-    learner->local_training(fed.local_iterations);
+    if (participates) {
+      obs::Span span("node", "local_training", round, "client",
+                     static_cast<std::int64_t>(k));
+      learner->local_training(fed.local_iterations);
+    }
 
     // ---- Stage 2: upload to the selected PS set, then round-sync all ----
-    const auto targets =
-        upload->select_servers(k, round, fed.servers, ps_choice);
-    FEDMS_ASSERT(!targets.empty());
-    std::vector<float> payload = learner->parameters();
-    std::size_t encoded_bytes = 0;
-    std::vector<std::uint8_t> encoded;
-    if (codec) {
-      // Lossy round-trip, same as the simulator: the PS aggregates what
-      // the codec can deliver; the wire ships the encoded buffer verbatim.
-      encoded = codec->encode(payload);
-      encoded_bytes = encoded.size();
-      payload = codec->decode(encoded);
-    }
-    for (std::size_t i = 0; i < targets.size(); ++i) {
-      net::Message m;
-      m.from = report.self;
-      m.to = net::server_id(targets[i]);
-      m.kind = net::MessageKind::kModelUpload;
-      m.round = round;
-      m.payload = (i + 1 == targets.size()) ? std::move(payload) : payload;
-      m.encoded_bytes = encoded_bytes;
-      m.encoded = (i + 1 == targets.size()) ? std::move(encoded) : encoded;
-      transport.send(std::move(m));
-    }
-    for (std::size_t p = 0; p < fed.servers; ++p) {
-      net::Message sync;
-      sync.from = report.self;
-      sync.to = net::server_id(p);
-      sync.kind = net::MessageKind::kRoundSync;
-      sync.round = round;
-      transport.send(std::move(sync));
+    {
+      obs::Span span("node", "upload", round, "client",
+                     static_cast<std::int64_t>(k));
+      if (participates) {
+        const auto targets =
+            upload->select_servers(k, round, fed.servers, ps_choice);
+        FEDMS_ASSERT(!targets.empty());
+        std::vector<float> payload = learner->parameters();
+        std::size_t encoded_bytes = 0;
+        std::vector<std::uint8_t> encoded;
+        if (codec) {
+          // Lossy round-trip, same as the simulator: the PS aggregates what
+          // the codec can deliver; the wire ships the encoded buffer
+          // verbatim.
+          encoded = codec->encode(payload);
+          encoded_bytes = encoded.size();
+          payload = codec->decode(encoded);
+        }
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+          net::Message m;
+          m.from = report.self;
+          m.to = net::server_id(targets[i]);
+          m.kind = net::MessageKind::kModelUpload;
+          m.round = round;
+          m.payload =
+              (i + 1 == targets.size()) ? std::move(payload) : payload;
+          m.encoded_bytes = encoded_bytes;
+          m.encoded = (i + 1 == targets.size()) ? std::move(encoded) : encoded;
+          transport.send(std::move(m));
+        }
+      }
+      for (std::size_t p = 0; p < fed.servers; ++p) {
+        net::Message sync;
+        sync.from = report.self;
+        sync.to = net::server_id(p);
+        sync.kind = net::MessageKind::kRoundSync;
+        sync.round = round;
+        transport.send(std::move(sync));
+      }
     }
 
     // ---- Stage 3: collect broadcasts until every PS round-synced ----
     std::map<std::size_t, fl::ModelVector> candidates;
-    std::size_t syncs = 0;
-    while (syncs < fed.servers) {
-      auto m = transport.receive(timeout_seconds);
-      if (!m.has_value())
-        protocol_error(report.self,
-                       "timeout waiting for round " +
-                           std::to_string(round) + " broadcasts");
-      if (m->round != round)
-        protocol_error(report.self, "message from round " +
-                                        std::to_string(m->round) +
-                                        " during round " +
-                                        std::to_string(round));
-      if (m->kind == net::MessageKind::kRoundSync) {
-        ++syncs;
-      } else if (m->kind == net::MessageKind::kModelBroadcast) {
-        candidates.emplace(m->from.index, std::move(m->payload));
-      } else {
-        protocol_error(report.self,
-                       std::string("unexpected ") + net::to_string(m->kind) + " frame");
+    {
+      obs::Span span("node", "dissemination", round, "client",
+                     static_cast<std::int64_t>(k));
+      std::size_t syncs = 0;
+      while (syncs < fed.servers) {
+        auto m = transport.receive(timeout_seconds);
+        if (!m.has_value())
+          protocol_error(report.self,
+                         "timeout waiting for round " +
+                             std::to_string(round) + " broadcasts");
+        if (m->round != round)
+          protocol_error(report.self, "message from round " +
+                                          std::to_string(m->round) +
+                                          " during round " +
+                                          std::to_string(round));
+        if (m->kind == net::MessageKind::kRoundSync) {
+          ++syncs;
+        } else if (m->kind == net::MessageKind::kModelBroadcast) {
+          candidates.emplace(m->from.index, std::move(m->payload));
+        } else {
+          protocol_error(report.self,
+                         std::string("unexpected ") + net::to_string(m->kind) + " frame");
+        }
       }
     }
 
@@ -238,11 +288,14 @@ NodeReport run_client_node(Transport& transport, const fl::Workload& data,
     // drain order); an empty set means every PS went silent/corrupt and
     // the client continues from its local model.
     if (!candidates.empty()) {
+      obs::Span span("node", "filter", round, "client",
+                     static_cast<std::int64_t>(k));
       std::vector<fl::ModelVector> received;
       received.reserve(candidates.size());
       for (auto& [server, model] : candidates)
         received.push_back(std::move(model));
-      learner->set_parameters(fl::aggregate_or_mean(*filter, received));
+      learner->set_parameters(fl::apply_client_filter(
+          *filter, received, fed.servers, fed.byzantine));
     }
 
     if ((round + 1) % fed.eval_every == 0 || round + 1 == fed.rounds) {
@@ -287,45 +340,53 @@ NodeReport run_server_node(Transport& transport,
         fl::make_aggregator(fed.server_aggregator)));
   server.set_initial_model(fl::initial_model(workload, fed));
 
+  obs::set_thread_label("server" + std::to_string(p));
+
   NodeReport report;
   report.self = net::server_id(p);
   report.rounds = fed.rounds;
 
   for (std::uint64_t round = 0; round < fed.rounds; ++round) {
     // ---- Aggregation stage: uploads until every client round-synced ----
-    std::map<std::size_t, fl::ModelVector> uploads;
-    std::size_t syncs = 0;
-    while (syncs < fed.clients) {
-      auto m = transport.receive(timeout_seconds);
-      if (!m.has_value())
-        protocol_error(report.self, "timeout waiting for round " +
-                                        std::to_string(round) + " uploads");
-      if (m->round != round)
-        protocol_error(report.self, "message from round " +
-                                        std::to_string(m->round) +
-                                        " during round " +
-                                        std::to_string(round));
-      if (m->kind == net::MessageKind::kRoundSync) {
-        ++syncs;
-      } else if (m->kind == net::MessageKind::kModelUpload) {
-        uploads.emplace(m->from.index, std::move(m->payload));
-      } else {
-        protocol_error(report.self,
-                       std::string("unexpected ") + net::to_string(m->kind) + " frame");
+    {
+      obs::Span span("node", "aggregation", round, "server",
+                     static_cast<std::int64_t>(p));
+      std::map<std::size_t, fl::ModelVector> uploads;
+      std::size_t syncs = 0;
+      while (syncs < fed.clients) {
+        auto m = transport.receive(timeout_seconds);
+        if (!m.has_value())
+          protocol_error(report.self, "timeout waiting for round " +
+                                          std::to_string(round) + " uploads");
+        if (m->round != round)
+          protocol_error(report.self, "message from round " +
+                                          std::to_string(m->round) +
+                                          " during round " +
+                                          std::to_string(round));
+        if (m->kind == net::MessageKind::kRoundSync) {
+          ++syncs;
+        } else if (m->kind == net::MessageKind::kModelUpload) {
+          uploads.emplace(m->from.index, std::move(m->payload));
+        } else {
+          protocol_error(report.self,
+                         std::string("unexpected ") + net::to_string(m->kind) + " frame");
+        }
       }
-    }
 
-    // Mean in ascending client order — float sums are order-dependent and
-    // this is the simulator's inbox order.
-    std::vector<fl::ModelVector> received;
-    received.reserve(uploads.size());
-    for (auto& [client, model] : uploads)
-      received.push_back(std::move(model));
-    server.aggregate_round(round, received);
+      // Mean in ascending client order — float sums are order-dependent
+      // and this is the simulator's inbox order.
+      std::vector<fl::ModelVector> received;
+      received.reserve(uploads.size());
+      for (auto& [client, model] : uploads)
+        received.push_back(std::move(model));
+      server.aggregate_round(round, received);
+    }
 
     // ---- Dissemination stage. disseminate() is called for every client
     // in ascending order even when nothing is sent (the attack's RNG
     // stream advances per call in the simulator). ----
+    obs::Span span("node", "dissemination", round, "server",
+                   static_cast<std::int64_t>(p));
     for (std::size_t k = 0; k < fed.clients; ++k) {
       net::Message m;
       m.from = report.self;

@@ -1,0 +1,144 @@
+// Regression sweep for the trim-count derivation (the degraded-quorum
+// under-trim fix): for every feasible topology (B, P) with 2B < P ≤ 64 the
+// client filter must discard exactly B per side at full quorum — across
+// every double representation of β = B/P the pipeline produces — and
+// min(B, ⌊(P'−1)/2⌋) per side once the candidate set is thinned to P' < P.
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fl/aggregators.h"
+
+namespace fedms::fl {
+namespace {
+
+// Every topology the acceptance criterion names: 2B < P ≤ 64.
+template <typename Fn>
+void for_each_topology(const Fn& fn) {
+  for (std::size_t servers = 1; servers <= 64; ++servers)
+    for (std::size_t byzantine = 0; 2 * byzantine < servers; ++byzantine)
+      fn(servers, byzantine);
+}
+
+TEST(TrimTarget, EqualsByzantineCountAtFullQuorum) {
+  for_each_topology([](std::size_t servers, std::size_t byzantine) {
+    const double beta = double(byzantine) / double(servers);
+    EXPECT_EQ(beta_trim_count(beta, servers), byzantine)
+        << "B=" << byzantine << " P=" << servers;
+    EXPECT_EQ(client_trim_target(beta, servers, byzantine), byzantine)
+        << "B=" << byzantine << " P=" << servers;
+  });
+}
+
+// The CLI round-trips β through "trmean:<β>" text with std::to_string's
+// six decimal digits (1/7 → "0.142857"). The truncated double must still
+// derive B at every topology.
+TEST(TrimTarget, SurvivesSixDigitTextRoundTrip) {
+  for_each_topology([](std::size_t servers, std::size_t byzantine) {
+    const std::string text =
+        std::to_string(double(byzantine) / double(servers));
+    const double parsed = std::stod(text);
+    EXPECT_EQ(client_trim_target(parsed, servers, byzantine), byzantine)
+        << "B=" << byzantine << " P=" << servers << " text=" << text;
+  });
+}
+
+TEST(TrimTarget, DegradedQuorumTrimsMinOfTargetAndHalf) {
+  for_each_topology([](std::size_t servers, std::size_t byzantine) {
+    for (std::size_t received = 1; received <= servers; ++received) {
+      const std::size_t trim = degraded_trim_count(byzantine, received);
+      EXPECT_EQ(trim, std::min(byzantine, (received - 1) / 2))
+          << "B=" << byzantine << " P=" << servers << " P'=" << received;
+      // At least one survivor at any quorum...
+      EXPECT_LT(2 * trim, received);
+      // ...and never fewer than B removed while the quorum supports it.
+      if (received > 2 * byzantine) {
+        EXPECT_EQ(trim, byzantine);
+      }
+    }
+  });
+}
+
+// The seed derived the degraded trim as ⌊β·P'⌋, which silently drops below
+// B as soon as P' < P: for every topology with B ≥ 1 and any quorum
+// 2B < P' < P, the new derivation still removes B per side while the old
+// one under-trims.
+TEST(TrimTarget, OldBetaDerivationUnderTrimmedDegradedQuorums) {
+  for_each_topology([](std::size_t servers, std::size_t byzantine) {
+    if (byzantine == 0) return;
+    const double beta = double(byzantine) / double(servers);
+    for (std::size_t received = 2 * byzantine + 1; received < servers;
+         ++received) {
+      EXPECT_EQ(degraded_trim_count(byzantine, received), byzantine);
+      EXPECT_LT(beta_trim_count(beta, received), byzantine)
+          << "B=" << byzantine << " P=" << servers << " P'=" << received;
+    }
+  });
+}
+
+// Behavioral check: B all-NaN models among a degraded quorum. NaN sorts as
+// +∞, so a per-side trim of B removes the poison exactly; the filter must
+// return the trimmed mean of the honest values at P' = 2B+1 (minimum legal
+// quorum) and P' = P alike.
+TEST(ClientFilter, RemovesNanPoisoningAtDegradedQuorums) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::size_t dim = 3;
+  const struct {
+    std::size_t servers, byzantine;
+  } topologies[] = {{3, 1}, {10, 3}, {16, 5}, {64, 15}};
+  for (const auto& topo : topologies) {
+    const auto rule = make_aggregator(
+        "trmean:" +
+        std::to_string(double(topo.byzantine) / double(topo.servers)));
+    for (const std::size_t received :
+         {2 * topo.byzantine + 1, topo.servers}) {
+      const std::size_t honest = received - topo.byzantine;
+      std::vector<ModelVector> models;
+      for (std::size_t i = 0; i < honest; ++i)
+        models.emplace_back(dim, float(i + 1));
+      for (std::size_t i = 0; i < topo.byzantine; ++i)
+        models.emplace_back(dim, nan);
+
+      const ModelVector out = apply_client_filter(
+          *rule, models, topo.servers, topo.byzantine);
+      // Trim B per side: the B NaNs leave the top, the B smallest honest
+      // values leave the bottom; kept = {B+1, ..., honest}.
+      const double expect =
+          double(topo.byzantine + 1 + honest) / 2.0;
+      ASSERT_EQ(out.size(), dim);
+      for (const float v : out) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_FLOAT_EQ(v, float(expect))
+            << "B=" << topo.byzantine << " P=" << topo.servers
+            << " P'=" << received;
+      }
+    }
+  }
+}
+
+// The failure mode the fix removes, pinned down: re-deriving the trim as
+// ⌊β·P'⌋ on the degraded set keeps at least one poisoned value (NaN sorts
+// and sums as +∞) in the averaging window, so the filtered model blows up.
+TEST(ClientFilter, BetaRederivationWouldHaveKeptNan) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::size_t servers = 10, byzantine = 3, received = 7;
+  std::vector<ModelVector> models;
+  for (std::size_t i = 0; i < received - byzantine; ++i)
+    models.emplace_back(1, float(i + 1));
+  for (std::size_t i = 0; i < byzantine; ++i) models.emplace_back(1, nan);
+
+  const double beta = double(byzantine) / double(servers);
+  ASSERT_EQ(beta_trim_count(beta, received), 2u);  // under-trims: B = 3
+  const ModelVector poisoned = trimmed_mean(models, beta);
+  EXPECT_FALSE(std::isfinite(poisoned[0]));
+
+  const ModelVector fixed = trimmed_mean(
+      models, degraded_trim_count(byzantine, received));
+  EXPECT_TRUE(std::isfinite(fixed[0]));
+}
+
+}  // namespace
+}  // namespace fedms::fl

@@ -1,0 +1,396 @@
+// The obs layer's contracts: span nesting/ordering, counter and histogram
+// arithmetic at bucket edges, a Chrome-trace exporter whose output is
+// well-formed JSON, a disabled mode that allocates nothing, and a merge
+// tool that round-trips per-process trace files into one timeline.
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "obs/trace_merge.h"
+
+// ---- global allocation counter (proves the disabled-mode claim) ----
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace fedms::obs {
+namespace {
+
+// Minimal recursive-descent JSON validator — enough to prove the exporter
+// and merge tool emit parseable documents (structure only, no data model).
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing '"'
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Every test starts from a clean, disabled registry.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+TEST_F(ObsTest, SpanNestingAndOrdering) {
+  set_enabled(true);
+  {
+    Span outer("test", "outer", 3);
+    Span inner("test", "inner", 3, "client", 7);
+  }
+  const std::vector<SpanRecord> spans = snapshot_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // RAII close order: the inner span records first.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_EQ(spans[0].round, 3u);
+  EXPECT_STREQ(spans[0].detail_key, "client");
+  EXPECT_EQ(spans[0].detail, 7);
+  EXPECT_EQ(spans[1].detail_key, nullptr);
+  EXPECT_EQ(spans[0].thread, spans[1].thread);
+  // The inner interval nests inside the outer one.
+  EXPECT_LE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[0].start_ns, spans[0].end_ns);
+  EXPECT_LE(spans[0].end_ns, spans[1].end_ns);
+}
+
+TEST_F(ObsTest, DisabledRecordsNothing) {
+  Counter counter("obs_test_disabled_counter");
+  Histogram histogram("obs_test_disabled_hist", {1.0, 2.0});
+  {
+    Span span("test", "ignored", 1);
+    counter.add(5);
+    histogram.record(1.5);
+  }
+  EXPECT_TRUE(snapshot_spans().empty());
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST_F(ObsTest, CounterMath) {
+  set_enabled(true);
+  Counter counter("obs_test_counter");
+  counter.add();
+  counter.add(5);
+  EXPECT_EQ(counter.value(), 6u);
+  set_enabled(false);
+  counter.add(100);
+  EXPECT_EQ(counter.value(), 6u);
+  // The registry snapshot sees the registered instance by name.
+  bool found = false;
+  for (const CounterSnapshot& snap : snapshot_counters())
+    if (snap.name == "obs_test_counter") {
+      found = true;
+      EXPECT_EQ(snap.value, 6u);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, HistogramBucketEdgesUseLeSemantics) {
+  set_enabled(true);
+  Histogram histogram("obs_test_hist", {1.0, 10.0, 100.0});
+  // Exact bound values land in their own bucket (v <= bound), values just
+  // past a bound spill into the next one, and values past the last bound
+  // go to overflow.
+  histogram.record(0.5);    // bucket 0
+  histogram.record(1.0);    // bucket 0 (exact edge)
+  histogram.record(10.0);   // bucket 1 (exact edge)
+  histogram.record(10.5);   // bucket 2
+  histogram.record(100.0);  // bucket 2 (exact edge)
+  histogram.record(1000.0); // overflow
+  const std::vector<std::uint64_t> counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.count(), 6u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 1122.0);
+}
+
+TEST_F(ObsTest, HistogramRejectsNonAscendingBounds) {
+  EXPECT_THROW(Histogram("obs_test_bad_hist", {1.0, 1.0}),
+               std::runtime_error);
+  EXPECT_THROW(Histogram("obs_test_bad_hist2", {2.0, 1.0}),
+               std::runtime_error);
+}
+
+TEST_F(ObsTest, SampledSpanRecordsEveryPeriodthCall) {
+  set_enabled(true);
+  std::uint32_t tick = 0;
+  for (int i = 0; i < 8; ++i)
+    SampledSpan span("test", "sampled", tick, 4);
+  EXPECT_EQ(snapshot_spans().size(), 2u);  // calls 0 and 4
+}
+
+TEST_F(ObsTest, ExporterEmitsValidJson) {
+  set_enabled(true);
+  Counter counter("obs_test_export_counter");
+  Histogram histogram("obs_test_export_hist", {0.5, 5.0});
+  counter.add(3);
+  histogram.record(0.25);
+  histogram.record(50.0);
+  {
+    Span outer("sim", "local_training", 0);
+    Span inner("tensor", "gemm", kNoRound, "mnk", 4096);
+  }
+  set_enabled(false);
+
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const std::string text = out.str();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"local_training\""), std::string::npos);
+  EXPECT_NE(text.find("\"mnk\":4096"), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test_export_counter\": 3"), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledModeDoesNotAllocate) {
+  Counter counter("obs_test_noalloc_counter");
+  Histogram histogram("obs_test_noalloc_hist", {1.0});
+  // Warm-up: materialize the thread-local buffer and any lazy state.
+  { Span span("test", "warmup"); }
+  counter.add();
+  histogram.record(0.5);
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    Span span("test", "hot", 5, "k", i);
+    std::uint32_t tick = std::uint32_t(i);
+    SampledSpan sampled("test", "hot_sampled", tick, 64);
+    counter.add(2);
+    histogram.record(double(i));
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "disabled-mode record paths must not touch the heap";
+}
+
+TEST_F(ObsTest, ThreadExitFoldsSpansIntoRegistry) {
+  set_enabled(true);
+  std::thread worker([] {
+    set_thread_label("worker");
+    Span span("test", "from_worker", 9);
+  });
+  worker.join();
+  const std::vector<SpanRecord> spans = snapshot_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "from_worker");
+  EXPECT_EQ(spans[0].round, 9u);
+}
+
+// The TSan stage in scripts/check.sh runs this: concurrent spans, counter
+// adds, and histogram records from pool workers must be race-free.
+TEST_F(ObsTest, ConcurrentRecordingIsThreadSafe) {
+  set_enabled(true);
+  Counter counter("obs_test_mt_counter");
+  Histogram histogram("obs_test_mt_hist", {10.0, 100.0});
+  core::ThreadPool pool(4);
+  pool.parallel_for(512, [&](std::size_t i) {
+    Span span("test", "mt", i % 8, "item", std::int64_t(i));
+    counter.add();
+    histogram.record(double(i % 200));
+  });
+  set_enabled(false);
+  EXPECT_EQ(counter.value(), 512u);
+  EXPECT_EQ(histogram.count(), 512u);
+  EXPECT_EQ(snapshot_spans().size(), 512u);
+}
+
+TEST_F(ObsTest, MergeRoundTripsPerProcessTraces) {
+  const std::string dir = ::testing::TempDir();
+  const std::string client_path = dir + "obs_test_client0.trace.json";
+  const std::string server_path = dir + "obs_test_server0.trace.json";
+  const std::string merged_path = dir + "obs_test_merged.trace.json";
+
+  // "client 0": the client-side stages for rounds 0..1.
+  set_process_identity("client", 0);
+  set_enabled(true);
+  for (std::uint64_t round = 0; round < 2; ++round) {
+    { Span span("node", "local_training", round); }
+    { Span span("node", "upload", round); }
+    { Span span("node", "filter", round); }
+  }
+  set_enabled(false);
+  save_chrome_trace(client_path);
+  reset();
+
+  // "server 0": the PS-side stages for the same rounds.
+  set_process_identity("server", 0);
+  set_enabled(true);
+  for (std::uint64_t round = 0; round < 2; ++round) {
+    { Span span("node", "aggregation", round); }
+    { Span span("node", "dissemination", round); }
+  }
+  set_enabled(false);
+  save_chrome_trace(server_path);
+  reset();
+  set_process_identity("proc", 0);
+
+  const MergeSummary summary =
+      merge_chrome_traces({client_path, server_path}, merged_path);
+  EXPECT_EQ(summary.files, 2u);
+  EXPECT_EQ(summary.events, 10u);
+  EXPECT_TRUE(summary.stage_order_consistent);
+  // 2 rounds x 5 canonical stages, sorted by round then canonical order.
+  ASSERT_EQ(summary.stages.size(), 10u);
+  const std::vector<std::string>& canonical = canonical_stages();
+  for (std::size_t i = 0; i < summary.stages.size(); ++i) {
+    EXPECT_EQ(summary.stages[i].round, i / canonical.size());
+    EXPECT_EQ(summary.stages[i].stage, canonical[i % canonical.size()]);
+    EXPECT_LE(summary.stages[i].start_us, summary.stages[i].end_us);
+    EXPECT_EQ(summary.stages[i].nodes, 1u);
+  }
+
+  std::ifstream in(merged_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_TRUE(JsonChecker(text.str()).valid());
+  EXPECT_NE(text.str().find("\"timeline\""), std::string::npos);
+}
+
+TEST_F(ObsTest, MergeFlagsStageOrderViolations) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "obs_test_bad_order.trace.json";
+  const std::string merged_path = dir + "obs_test_bad_merged.trace.json";
+
+  set_process_identity("client", 1);
+  set_enabled(true);
+  // filter before local_training within one round: a protocol-order bug
+  // the merge tool must flag.
+  { Span span("node", "filter", 0); }
+  { Span span("node", "local_training", 0); }
+  set_enabled(false);
+  save_chrome_trace(path);
+  reset();
+  set_process_identity("proc", 0);
+
+  const MergeSummary summary = merge_chrome_traces({path}, merged_path);
+  EXPECT_FALSE(summary.stage_order_consistent);
+}
+
+}  // namespace
+}  // namespace fedms::obs

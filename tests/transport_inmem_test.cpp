@@ -135,6 +135,13 @@ TEST(TransportEngine, CorruptionDegradesGracefullyThroughTrimmedMean) {
             totals.uplink_messages + totals.downlink_messages);
 }
 
+TEST(TransportEngine, MatchesSimulatorUnderPartialParticipation) {
+  fl::FedMsConfig fed = small_fed();
+  fed.participation = 0.5;
+  fed.rounds = 3;
+  expect_matches_sim(small_workload(), fed);
+}
+
 TEST(TransportEngine, RejectsUnsupportedConfigs) {
   fl::FedMsConfig fed = small_fed();
   fed.network_loss_rate = 0.1;
@@ -143,9 +150,27 @@ TEST(TransportEngine, RejectsUnsupportedConfigs) {
   fed.byzantine_clients = 1;
   fed.client_attack = "signflip";
   EXPECT_THROW(check_transport_supported(fed), std::runtime_error);
+
+  // Uniform partial participation is supported (the shared seed stream is
+  // replayed per node); loss-ranked selection is not — and the error
+  // must name the flag that fixes it.
   fed = small_fed();
   fed.participation = 0.5;
-  EXPECT_THROW(check_transport_supported(fed), std::runtime_error);
+  EXPECT_NO_THROW(check_transport_supported(fed));
+  fed.participation_strategy = "highloss";
+  try {
+    check_transport_supported(fed);
+    FAIL() << "highloss participation should be rejected";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("--participation-strategy"),
+              std::string::npos)
+        << "rejection must tell the user which flag to change: "
+        << error.what();
+  }
+  // Full participation makes the strategy irrelevant (never drawn).
+  fed.participation = 1.0;
+  EXPECT_NO_THROW(check_transport_supported(fed));
+
   EXPECT_NO_THROW(check_transport_supported(small_fed()));
 }
 

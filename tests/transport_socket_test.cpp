@@ -9,10 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <thread>
 
 #include "fl/experiment.h"
+#include "transport/frame.h"
 #include "transport/node_runner.h"
 
 namespace fedms::transport {
@@ -130,6 +132,42 @@ TEST(SocketTransport, HangupSurfacesAsTimeout) {
   Pair pair = make_pair_transports();
   pair.client.reset();  // closes the fd
   EXPECT_FALSE(pair.server->receive(0.5).has_value());
+}
+
+TEST(SocketTransport, SendToCrashedPeerThrowsInsteadOfSigpipe) {
+  // Keep SIGPIPE at its fatal default disposition: if any send site lacked
+  // MSG_NOSIGNAL the kernel would kill this process right here instead of
+  // letting write_all surface EPIPE as an exception.
+  std::signal(SIGPIPE, SIG_DFL);
+  Pair pair = make_pair_transports();
+  pair.server.reset();  // the peer "crashes": its fd is closed
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i) pair.client->send(upload(1 << 12));
+      },
+      std::runtime_error);
+  // The peer is latched closed — later sends fail fast, same exception.
+  EXPECT_THROW(pair.client->send(upload(4)), std::runtime_error);
+}
+
+TEST(SocketTransport, CrashMidFrameNeverDeliversTornFrame) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  auto receiver = SocketTransport::from_connected_fd(
+      net::server_id(0), net::client_id(0), fds[1],
+      SocketTransportOptions{});
+
+  // A well-formed frame cut off mid-payload by the sender's crash: the
+  // receiver must treat the truncated tail as silence, never as a message.
+  const FrameCodec codec;
+  const std::vector<std::uint8_t> frame = codec.encode(upload(256));
+  const std::size_t half = frame.size() / 2;
+  ASSERT_EQ(::send(fds[0], frame.data(), half, MSG_NOSIGNAL),
+            ssize_t(half));
+  ::close(fds[0]);  // the rest of the frame never arrives
+
+  EXPECT_FALSE(receiver->receive(0.5).has_value());
+  EXPECT_EQ(receiver->stats().total_received().messages, 0u);
 }
 
 std::string make_scratch_dir() {

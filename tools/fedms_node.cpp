@@ -21,9 +21,11 @@
 //   ./build/tools/fedms_node --mode launch --clients 4 --servers 2
 //       --byzantine 1 --rounds 2 --verify
 
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,6 +36,8 @@
 
 #include "core/cli.h"
 #include "fl/experiment.h"
+#include "obs/obs.h"
+#include "obs/trace_merge.h"
 #include "transport/frame.h"
 #include "transport/node_runner.h"
 #include "transport/socket_transport.h"
@@ -43,6 +47,14 @@ namespace {
 
 using namespace fedms;
 
+// C99 hexfloat: the child re-parses exactly the launcher's double, so the
+// per-node participation draws replay the verify simulator's bit-for-bit.
+std::string exact_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  return buffer;
+}
+
 struct NodeCli {
   fl::WorkloadConfig workload;
   fl::FedMsConfig fed;
@@ -51,6 +63,7 @@ struct NodeCli {
   std::size_t index = 0;
   std::string socket_dir;
   std::string report_dir;
+  std::string trace_dir;
   int tcp_port_base = 0;
   double timeout_seconds = 120.0;
   double corrupt_rate = 0.0;
@@ -90,6 +103,17 @@ std::string report_path(const NodeCli& cli, const net::NodeId& self) {
          ".report";
 }
 
+void ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST)
+    throw std::runtime_error("cannot create directory " + path);
+}
+
+std::string trace_path(const NodeCli& cli, const net::NodeId& self) {
+  const char* role = self.kind == net::NodeKind::kClient ? "client" : "server";
+  return cli.trace_dir + "/" + role + std::to_string(self.index) +
+         ".trace.json";
+}
+
 void write_report(const NodeCli& cli, const transport::NodeReport& report) {
   const std::string path = report_path(cli, report.self);
   std::ofstream out(path);
@@ -109,6 +133,10 @@ transport::NodeReport read_report(const NodeCli& cli,
 
 int run_client_process(const NodeCli& cli) {
   const net::NodeId self = net::client_id(cli.index);
+  if (!cli.trace_dir.empty()) {
+    obs::set_process_identity("client", cli.index);
+    obs::set_enabled(true);
+  }
   const fl::Workload data = fl::make_workload(cli.workload, cli.fed);
   auto transport = transport::SocketTransport::connect_mesh(
       self, server_addresses(cli), socket_options(cli, self));
@@ -116,17 +144,29 @@ int run_client_process(const NodeCli& cli) {
       *transport, data, cli.workload, cli.fed, cli.index,
       cli.timeout_seconds);
   write_report(cli, report);
+  if (!cli.trace_dir.empty()) {
+    obs::set_enabled(false);
+    obs::save_chrome_trace(trace_path(cli, self));
+  }
   return 0;
 }
 
 int run_server_process(const NodeCli& cli) {
   const net::NodeId self = net::server_id(cli.index);
+  if (!cli.trace_dir.empty()) {
+    obs::set_process_identity("server", cli.index);
+    obs::set_enabled(true);
+  }
   auto transport = transport::SocketTransport::listen_and_accept(
       self, server_addresses(cli)[cli.index], cli.fed.clients,
       socket_options(cli, self), cli.timeout_seconds);
   const transport::NodeReport report = transport::run_server_node(
       *transport, cli.workload, cli.fed, cli.index, cli.timeout_seconds);
   write_report(cli, report);
+  if (!cli.trace_dir.empty()) {
+    obs::set_enabled(false);
+    obs::save_chrome_trace(trace_path(cli, self));
+  }
   return 0;
 }
 
@@ -221,12 +261,25 @@ void print_summary(const NodeCli& cli,
 }
 
 int run_inmem(const NodeCli& cli) {
+  if (!cli.trace_dir.empty()) {
+    ensure_dir(cli.trace_dir);
+    obs::set_process_identity("proc", 0);
+    obs::set_enabled(true);
+  }
   transport::InMemoryHub hub(cli.fed.upload_compression);
   if (cli.corrupt_rate > 0.0)
     hub.set_corrupt_rate(cli.corrupt_rate, cli.corrupt_seed);
   const transport::TransportRunSummary summary =
       transport::run_transport_experiment(cli.workload, cli.fed, hub,
                                           cli.timeout_seconds);
+  if (!cli.trace_dir.empty()) {
+    // Node threads are joined inside run_transport_experiment, so the
+    // registry is quiescent; every node shows up as a labeled thread row.
+    obs::set_enabled(false);
+    const std::string path = cli.trace_dir + "/inmem.trace.json";
+    obs::save_chrome_trace(path);
+    std::printf("trace: %s\n", path.c_str());
+  }
   print_summary(cli, summary);
   if (cli.verify && !verify_against_sim(cli, summary)) return 1;
   return 0;
@@ -258,12 +311,18 @@ std::vector<std::string> child_args(const NodeCli& cli, const char* role,
       "--compression", cli.fed.upload_compression,
       "--seed", std::to_string(cli.fed.seed),
       "--eval-every", std::to_string(cli.fed.eval_every),
+      "--participation", exact_double(cli.fed.participation),
+      "--participation-strategy", cli.fed.participation_strategy,
       "--samples", std::to_string(cli.workload.samples),
       "--alpha", std::to_string(cli.workload.dirichlet_alpha),
       "--model", cli.workload.model,
       "--lr", std::to_string(cli.workload.learning_rate),
       "--batch", std::to_string(cli.workload.batch_size),
   };
+  if (!cli.trace_dir.empty()) {
+    args.push_back("--trace-dir");
+    args.push_back(cli.trace_dir);
+  }
   return args;
 }
 
@@ -293,6 +352,7 @@ int run_launch(NodeCli cli) {
     cli.socket_dir = scratch;
   }
   if (cli.report_dir.empty()) cli.report_dir = cli.socket_dir;
+  if (!cli.trace_dir.empty()) ensure_dir(cli.trace_dir);
 
   std::vector<pid_t> pids;
   // Servers first (they bind and listen); clients retry connects with
@@ -321,6 +381,26 @@ int run_launch(NodeCli cli) {
     summary.servers.push_back(read_report(cli, net::server_id(p)));
 
   print_summary(cli, summary);
+
+  if (!cli.trace_dir.empty()) {
+    // Merge the per-process trace files into one timeline. All nodes ran
+    // on this host, so CLOCK_MONOTONIC timestamps already agree.
+    std::vector<std::string> inputs;
+    for (std::size_t p = 0; p < cli.fed.servers; ++p)
+      inputs.push_back(trace_path(cli, net::server_id(p)));
+    for (std::size_t k = 0; k < cli.fed.clients; ++k)
+      inputs.push_back(trace_path(cli, net::client_id(k)));
+    const std::string merged_path = cli.trace_dir + "/merged.trace.json";
+    const obs::MergeSummary merged =
+        obs::merge_chrome_traces(inputs, merged_path);
+    std::printf("trace: merged %zu files, %zu events, %zu stage envelopes, "
+                "stage order %s -> %s\n",
+                merged.files, merged.events, merged.stages.size(),
+                merged.stage_order_consistent ? "consistent" : "INCONSISTENT",
+                merged_path.c_str());
+    if (!merged.stage_order_consistent) return 1;
+  }
+
   if (cli.verify && !verify_against_sim(cli, summary)) return 1;
   return 0;
 }
@@ -340,6 +420,10 @@ int main(int argc, char** argv) {
   flags.add_string("report-dir", "",
                    "directory for per-node report files (default: "
                    "socket-dir)");
+  flags.add_string("trace-dir", "",
+                   "write Chrome trace_event JSON here: one "
+                   "<role><index>.trace.json per node, plus "
+                   "merged.trace.json (launch) or inmem.trace.json (inmem)");
   flags.add_int("tcp-port-base", 47700, "tcp: PS p listens on base+p");
   flags.add_double("timeout", 120.0,
                    "per-stage receive/accept timeout in seconds");
@@ -369,6 +453,11 @@ int main(int argc, char** argv) {
   flags.add_int("batch", 32, "mini-batch size");
   flags.add_int("seed", 1, "root seed");
   flags.add_int("eval-every", 1, "evaluate every N rounds");
+  flags.add_double("participation", 1.0,
+                   "fraction of clients active per round (uniform draws "
+                   "replayed per node from the shared seed)");
+  flags.add_string("participation-strategy", "uniform",
+                   "uniform (highloss needs the simulator)");
   if (!flags.parse(argc, argv)) return 1;
 
   NodeCli cli;
@@ -377,6 +466,7 @@ int main(int argc, char** argv) {
   cli.backend = flags.get_string("backend");
   cli.socket_dir = flags.get_string("socket-dir");
   cli.report_dir = flags.get_string("report-dir");
+  cli.trace_dir = flags.get_string("trace-dir");
   cli.tcp_port_base = int(flags.get_int("tcp-port-base"));
   cli.timeout_seconds = flags.get_double("timeout");
   cli.corrupt_rate = flags.get_double("corrupt-rate");
@@ -396,6 +486,8 @@ int main(int argc, char** argv) {
   cli.fed.upload_compression = flags.get_string("compression");
   cli.fed.seed = std::uint64_t(flags.get_int("seed"));
   cli.fed.eval_every = std::size_t(flags.get_int("eval-every"));
+  cli.fed.participation = flags.get_double("participation");
+  cli.fed.participation_strategy = flags.get_string("participation-strategy");
 
   cli.workload.samples = std::size_t(flags.get_int("samples"));
   cli.workload.dirichlet_alpha = flags.get_double("alpha");

@@ -16,6 +16,7 @@
 #include "core/cli.h"
 #include "fl/experiment.h"
 #include "metrics/json.h"
+#include "obs/obs.h"
 #include "metrics/recorder.h"
 #include "metrics/stats.h"
 #include "metrics/table.h"
@@ -100,6 +101,9 @@ int main(int argc, char** argv) {
   flags.add_string("csv", "", "also write per-round series to this file");
   flags.add_string("json", "",
                    "write the first repeat's full telemetry as JSON");
+  flags.add_string("trace-out", "",
+                   "write the first repeat's stage timeline as Chrome "
+                   "trace_event JSON (load in chrome://tracing)");
   if (!flags.parse(argc, argv)) return 1;
 
   fl::WorkloadConfig workload;
@@ -163,6 +167,11 @@ int main(int argc, char** argv) {
                 runtime_options.faults.to_string().c_str());
   metrics::Recorder recorder;
   std::vector<double> final_accuracies;
+  const std::string trace_path = flags.get_string("trace-out");
+  if (!trace_path.empty()) {
+    obs::set_process_identity("sim", 0);
+    obs::set_enabled(true);  // disabled again after the first repeat
+  }
   bool header = true;
   for (std::size_t r = 0; r < repeats; ++r) {
     fl::FedMsConfig run_fed = fed;
@@ -192,6 +201,11 @@ int main(int argc, char** argv) {
     final_accuracies.push_back(*result.final_eval().eval_accuracy);
 
     if (r == 0) {
+      if (!trace_path.empty()) {
+        obs::set_enabled(false);
+        obs::save_chrome_trace(trace_path);
+        std::printf("# trace written to %s\n", trace_path.c_str());
+      }
       const std::string json_path = flags.get_string("json");
       if (!json_path.empty()) {
         if (async)
