@@ -10,6 +10,7 @@
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh --fast     # reuse build dirs instead of wiping them
+#   scripts/check.sh coverage   # gcov line-coverage over src/fl + src/runtime
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -17,6 +18,78 @@ build="$repo/build-check"
 asan_build="$repo/build-asan"
 tsan_build="$repo/build-tsan"
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "${1:-}" == "coverage" ]]; then
+  # Coverage mode: instrumented build, the fast unit suite + a fuzz batch
+  # as the exercising workload, then a gcov line-coverage summary for the
+  # algorithm layers (src/fl + src/runtime). The floor below is documented
+  # in EXPERIMENTS.md ("Coverage gate") — raise it as coverage grows, never
+  # lower it to pass.
+  cov_build="$repo/build-coverage"
+  cov_floor="${FEDMS_COVERAGE_FLOOR:-80}"
+  echo "== configure + build (coverage instrumentation) =="
+  cmake -B "$cov_build" -S "$repo" -DCMAKE_BUILD_TYPE=Debug \
+    -DFEDMS_COVERAGE=ON
+  cmake --build "$cov_build" -j "$jobs"
+  echo "== unit suite + fuzz batch (coverage workload) =="
+  # Serial ctest: concurrent .gcda merging is safe but serial keeps the
+  # counts reproducible run to run.
+  ctest --test-dir "$cov_build" -L unit --output-on-failure
+  cov_tmp="$(mktemp -d)"
+  trap 'rm -rf "$cov_tmp"' EXIT
+  "$cov_build/tools/fedms_fuzz" --corpus "$repo/tests/fuzz/corpus.txt" \
+    --seeds 50 --repro-dir "$cov_tmp"
+  echo "== gcov line coverage (src/fl + src/runtime) =="
+  python3 - "$cov_build" "$repo" "$cov_floor" <<'PY'
+import pathlib, re, subprocess, sys
+
+build = pathlib.Path(sys.argv[1]).resolve()
+repo = pathlib.Path(sys.argv[2]).resolve()
+floor = float(sys.argv[3])
+
+gcdas = sorted(build.glob("src/fl/**/*.gcda")) + \
+        sorted(build.glob("src/runtime/**/*.gcda"))
+assert gcdas, "no .gcda files found - did the instrumented tests run?"
+
+per_file = {}  # repo-relative source -> (covered_lines, total_lines)
+for gcda in gcdas:
+    out = subprocess.run(["gcov", "-n", str(gcda)], cwd=str(build),
+                         capture_output=True, text=True).stdout
+    for m in re.finditer(
+            r"File '([^']+)'\nLines executed:([\d.]+)% of (\d+)", out):
+        path, pct, total = m.group(1), float(m.group(2)), int(m.group(3))
+        source = pathlib.Path(path)
+        if not source.is_absolute():
+            source = (build / source).resolve()
+        try:
+            rel = source.resolve().relative_to(repo)
+        except ValueError:
+            continue  # system / third-party header
+        key = str(rel)
+        if not (key.startswith("src/fl") or key.startswith("src/runtime")):
+            continue
+        covered = pct / 100.0 * total
+        # A header shows up once per including object; keep the best view.
+        prev = per_file.get(key)
+        if prev is None or covered > prev[0]:
+            per_file[key] = (covered, total)
+
+assert per_file, "gcov reported no src/fl or src/runtime files"
+for name, (covered, total) in sorted(per_file.items()):
+    print(f"  {name}: {100.0 * covered / total:5.1f}% of {total}")
+covered = sum(c for c, _ in per_file.values())
+total = sum(t for _, t in per_file.values())
+pct = 100.0 * covered / total
+print(f"TOTAL src/fl + src/runtime line coverage: {pct:.1f}% "
+      f"({covered:.0f}/{total} lines)")
+assert pct >= floor, (
+    f"coverage {pct:.1f}% fell below the documented floor {floor:.0f}% "
+    "(see EXPERIMENTS.md 'Coverage gate')")
+print(f"coverage gate OK (floor {floor:.0f}%)")
+PY
+  echo "== coverage gate passed =="
+  exit 0
+fi
 
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
@@ -29,8 +102,22 @@ echo "== configure + build (RelWithDebInfo) =="
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j "$jobs"
 
+echo "== ctest -L unit (fast pre-stage) =="
+# Fail-fast slice: the hermetic unit tests run first so a broken kernel or
+# filter surfaces in seconds, before the integration/fuzz machinery spins.
+ctest --test-dir "$build" -L unit --output-on-failure -j "$jobs"
+
 echo "== ctest (full suite) =="
 ctest --test-dir "$build" --output-on-failure
+
+echo "== fuzz harness (committed corpus + 200 fresh schedules) =="
+# Every corpus seed and a fresh batch must pass all differential +
+# invariant oracles; a failure writes a shrunk repro JSON for replay.
+fuzz_repro_dir="$(mktemp -d)"
+trap 'rm -rf "$fuzz_repro_dir"' EXIT
+"$build/tools/fedms_fuzz" --corpus "$repo/tests/fuzz/corpus.txt" \
+  --seeds 200 --repro-dir "$fuzz_repro_dir"
+"$build/tools/fedms_fuzz" --self-test --repro-dir "$fuzz_repro_dir"
 
 echo "== multi-process smoke (4 clients + 2 PSs over Unix sockets) =="
 # Real processes, real sockets: the launcher forks one process per node,
@@ -46,7 +133,7 @@ echo "== trace smoke (sim + multi-process, Chrome trace JSON) =="
 # merged.trace.json with consistent stage order — the launcher exits
 # nonzero otherwise).
 trace_dir="$(mktemp -d)"
-trap 'rm -rf "$trace_dir"' EXIT
+trap 'rm -rf "$fuzz_repro_dir" "$trace_dir"' EXIT
 "$build/tools/fedms_sim" --clients 4 --servers 2 --byzantine 1 --rounds 2 \
   --samples 400 --eval-every 1000 --trace-out "$trace_dir/sim.trace.json" \
   > /dev/null
@@ -108,7 +195,7 @@ echo "== benchmark harness (quick) =="
 # Release build + short-budget bench run; the report must parse and show
 # nonzero blocked-GEMM throughput (catches a silently broken fast path).
 bench_out="$(mktemp)"
-trap 'rm -rf "$trace_dir" "$bench_out"' EXIT
+trap 'rm -rf "$fuzz_repro_dir" "$trace_dir" "$bench_out"' EXIT
 FEDMS_BENCH_OUT="$bench_out" "$repo/scripts/bench.sh" --quick
 python3 - "$bench_out" <<'PY'
 import json, sys

@@ -30,4 +30,20 @@ std::vector<std::string> list_attack_names() {
           "edgeoftrim"};
 }
 
+std::string check_attack_name(const std::string& name) {
+  std::string known;
+  for (const std::string& candidate : list_attack_names()) {
+    if (candidate == name) return "";
+    known += known.empty() ? candidate : " | " + candidate;
+  }
+  return "unknown attack \"" + name + "\" (expected " + known + ")";
+}
+
+AttackTraits attack_traits(const std::string& name) {
+  AttackTraits traits;
+  traits.silent = name == "crash";
+  traits.nonfinite = name == "nan";
+  return traits;
+}
+
 }  // namespace fedms::byz

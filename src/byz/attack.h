@@ -51,4 +51,19 @@ using AttackPtr = std::unique_ptr<Attack>;
 AttackPtr make_attack(const std::string& name);
 std::vector<std::string> list_attack_names();
 
+// One-line error message for an unknown attack name ("" = valid) — the
+// CLI front door for make_attack, which contract-aborts instead.
+std::string check_attack_name(const std::string& name);
+
+// Static behaviour classes the fuzz harness's oracles must know about:
+// a `silent` attack disseminates empty payloads (its clients see one fewer
+// candidate, not a tampered one), a `nonfinite` attack may emit NaN/Inf
+// coordinates (so non-finite *candidates* are expected — only the filtered
+// output must stay finite).
+struct AttackTraits {
+  bool silent = false;
+  bool nonfinite = false;
+};
+AttackTraits attack_traits(const std::string& name);
+
 }  // namespace fedms::byz

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "core/contracts.h"
@@ -472,15 +473,127 @@ ModelVector aggregate_or_mean(const Aggregator& rule,
 ModelVector apply_client_filter(const Aggregator& rule,
                                 const std::vector<ModelVector>& models,
                                 std::size_t servers, std::size_t byzantine) {
+  return apply_client_filter(rule, models, servers, byzantine, nullptr);
+}
+
+ModelVector apply_client_filter(const Aggregator& rule,
+                                const std::vector<ModelVector>& models,
+                                std::size_t servers, std::size_t byzantine,
+                                std::size_t* trim_used) {
   FEDMS_EXPECTS(!models.empty());
+  if (trim_used != nullptr) *trim_used = kNoTrim;
   if (const auto* trmean =
           dynamic_cast<const TrimmedMeanAggregator*>(&rule)) {
     const std::size_t target =
         client_trim_target(trmean->beta(), servers, byzantine);
-    return trimmed_mean(models,
-                        degraded_trim_count(target, models.size()));
+    const std::size_t trim = degraded_trim_count(target, models.size());
+    if (trim_used != nullptr) *trim_used = trim;
+    return trimmed_mean(models, trim);
   }
   return aggregate_or_mean(rule, models);
+}
+
+namespace {
+
+// Full-consumption numeric parses: std::stod/stoul accept trailing junk
+// ("0.2x" -> 0.2), which would let a typo silently change the rule.
+bool parse_full_double(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool parse_full_count(const std::string& text, std::size_t* out) {
+  if (text.empty() || text[0] == '-') return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+}  // namespace
+
+std::string check_aggregator_spec(const std::string& spec) {
+  static const char* kKnown =
+      "expected mean | trmean:<beta> | median | krum:<f> | "
+      "multikrum:<f>:<m> | bulyan:<f> | geomedian";
+  if (spec == "mean" || spec == "median" || spec == "geomedian") return "";
+  const auto colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (head == "trmean") {
+    double beta = 0.0;
+    if (!parse_full_double(arg, &beta))
+      return "trmean needs a numeric beta, got \"" + spec + "\" (" +
+             kKnown + ")";
+    if (!(beta >= 0.0 && beta < 0.5))
+      return "trmean beta must be in [0, 0.5), got " + arg +
+             " (more than half the values cannot be trimmed per side)";
+    return "";
+  }
+  if (head == "krum" || head == "bulyan") {
+    std::size_t f = 0;
+    if (!parse_full_count(arg, &f))
+      return head + " needs an integer Byzantine count, got \"" + spec +
+             "\" (" + kKnown + ")";
+    return "";
+  }
+  if (head == "multikrum") {
+    const auto second = arg.find(':');
+    std::size_t f = 0, m = 0;
+    if (second == std::string::npos ||
+        !parse_full_count(arg.substr(0, second), &f) ||
+        !parse_full_count(arg.substr(second + 1), &m) || m == 0)
+      return "multikrum needs \"multikrum:<f>:<m>\" with integer f and "
+             "m >= 1, got \"" + spec + "\"";
+    return "";
+  }
+  return "unknown aggregator \"" + spec + "\" (" + kKnown + ")";
+}
+
+std::optional<double> trmean_beta(const std::string& spec) {
+  if (spec.rfind("trmean:", 0) != 0) return std::nullopt;
+  double beta = 0.0;
+  if (!parse_full_double(spec.substr(7), &beta)) return std::nullopt;
+  return beta;
+}
+
+std::size_t first_nonfinite_coordinate(const ModelVector& model) {
+  for (std::size_t j = 0; j < model.size(); ++j)
+    if (!std::isfinite(model[j])) return j;
+  return model.size();
+}
+
+bool within_coordinate_envelope(const ModelVector& model,
+                                const std::vector<ModelVector>& reference,
+                                double tolerance,
+                                std::size_t* bad_coordinate) {
+  FEDMS_EXPECTS(!reference.empty());
+  for (const ModelVector& r : reference)
+    FEDMS_EXPECTS(r.size() == model.size());
+  for (std::size_t j = 0; j < model.size(); ++j) {
+    const double value = model[j];
+    if (!std::isfinite(value)) {
+      if (bad_coordinate != nullptr) *bad_coordinate = j;
+      return false;
+    }
+    double lo = reference[0][j], hi = reference[0][j];
+    for (const ModelVector& r : reference) {
+      lo = std::min(lo, double(r[j]));
+      hi = std::max(hi, double(r[j]));
+    }
+    const double scale =
+        std::max(1.0, std::max(std::fabs(lo), std::fabs(hi)));
+    if (value < lo - tolerance * scale || value > hi + tolerance * scale) {
+      if (bad_coordinate != nullptr) *bad_coordinate = j;
+      return false;
+    }
+  }
+  return true;
 }
 
 AggregatorPtr make_aggregator(const std::string& spec) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -219,5 +220,48 @@ ModelVector aggregate_or_mean(const Aggregator& rule,
 ModelVector apply_client_filter(const Aggregator& rule,
                                 const std::vector<ModelVector>& models,
                                 std::size_t servers, std::size_t byzantine);
+
+// Trim reported by the overload below when the configured rule is not a
+// trimmed mean (no per-side trim applies — median, Krum, mean, ...).
+inline constexpr std::size_t kNoTrim = static_cast<std::size_t>(-1);
+
+// As above, additionally reporting through *trim_used the per-side trim
+// actually applied (kNoTrim for non-trimmed-mean rules). The fuzz
+// harness's Theorem-1 envelope oracle keys on this value: whenever
+// trim_used >= #Byzantine candidates in the input, the output must lie in
+// the coordinate-wise honest envelope.
+ModelVector apply_client_filter(const Aggregator& rule,
+                                const std::vector<ModelVector>& models,
+                                std::size_t servers, std::size_t byzantine,
+                                std::size_t* trim_used);
+
+// ---- spec validation (CLI front door) ----
+//
+// make_aggregator contract-aborts on malformed specs — correct for
+// programmatic callers, hostile for a typo on the command line. The tools
+// pre-validate with this checker and print the returned message as a
+// one-line error instead. Empty string = valid.
+std::string check_aggregator_spec(const std::string& spec);
+
+// The β of a "trmean:<beta>" spec, or nullopt for any other rule.
+// Precondition: check_aggregator_spec(spec) passed.
+std::optional<double> trmean_beta(const std::string& spec);
+
+// ---- invariant-oracle helpers (src/testing) ----
+
+// Index of the first non-finite coordinate, or model.size() if all finite.
+std::size_t first_nonfinite_coordinate(const ModelVector& model);
+
+// Coordinate-wise envelope check behind the fuzz harness's Theorem-1
+// oracle: true when every model[j] lies within
+// [min_i reference[i][j] − tol, max_i reference[i][j] + tol] where
+// tol = tolerance · max(1, |min|, |max|) absorbs the trimmed mean's
+// total−tails summation rounding. A non-finite model[j] always fails.
+// Precondition: reference non-empty, all dimensions equal. On failure,
+// *bad_coordinate (when non-null) gets the first offending index.
+bool within_coordinate_envelope(const ModelVector& model,
+                                const std::vector<ModelVector>& reference,
+                                double tolerance,
+                                std::size_t* bad_coordinate = nullptr);
 
 }  // namespace fedms::fl

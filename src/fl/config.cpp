@@ -7,29 +7,55 @@
 namespace fedms::fl {
 
 void FedMsConfig::validate() const {
-  FEDMS_EXPECTS(clients > 0);
-  FEDMS_EXPECTS(servers > 0);
+  const std::string error = check();
+  if (!error.empty()) core::contract_failure("Precondition", error.c_str(),
+                                             __FILE__, __LINE__);
+}
+
+std::string FedMsConfig::check() const {
+  std::ostringstream os;
+  if (clients == 0) return "--clients must be >= 1";
+  if (servers == 0) return "--servers must be >= 1";
   // The paper's feasibility condition: Byzantine PSs are a minority.
-  FEDMS_EXPECTS(2 * byzantine <= servers);
-  FEDMS_EXPECTS(local_iterations > 0);
-  FEDMS_EXPECTS(rounds > 0);
-  FEDMS_EXPECTS(eval_every > 0);
-  FEDMS_EXPECTS(network_loss_rate >= 0.0 && network_loss_rate < 1.0);
-  FEDMS_EXPECTS(byzantine_placement == "first" ||
-                byzantine_placement == "random");
-  FEDMS_EXPECTS(byzantine_clients <= clients);
-  FEDMS_EXPECTS(byzantine_client_placement == "first" ||
-                byzantine_client_placement == "random");
-  FEDMS_EXPECTS(participation > 0.0 && participation <= 1.0);
-  FEDMS_EXPECTS(participation_strategy == "uniform" ||
-                participation_strategy == "highloss");
-  FEDMS_EXPECTS(upload_compression == "none" ||
-                upload_compression == "fp16" ||
-                upload_compression == "int8");
-  FEDMS_EXPECTS(dp_clip_norm >= 0.0);
-  FEDMS_EXPECTS(dp_noise_multiplier >= 0.0);
+  if (2 * byzantine > servers) {
+    os << "Byzantine servers must be a minority (2B <= P), got B="
+       << byzantine << " with P=" << servers;
+    return os.str();
+  }
+  if (local_iterations == 0) return "--local-iterations must be >= 1";
+  if (rounds == 0) return "--rounds must be >= 1";
+  if (eval_every == 0) return "--eval-every must be >= 1";
+  if (!(network_loss_rate >= 0.0 && network_loss_rate < 1.0))
+    return "--loss-rate must be in [0, 1)";
+  if (byzantine_placement != "first" && byzantine_placement != "random")
+    return "--byzantine-placement must be first or random, got \"" +
+           byzantine_placement + "\"";
+  if (byzantine_clients > clients) {
+    os << "--byzantine-clients (" << byzantine_clients
+       << ") exceeds --clients (" << clients << ")";
+    return os.str();
+  }
+  if (byzantine_client_placement != "first" &&
+      byzantine_client_placement != "random")
+    return "--byzantine-client-placement must be first or random, got \"" +
+           byzantine_client_placement + "\"";
+  if (!(participation > 0.0 && participation <= 1.0))
+    return "--participation must be in (0, 1]";
+  if (participation_strategy != "uniform" &&
+      participation_strategy != "highloss")
+    return "--participation-strategy must be uniform or highloss, got \"" +
+           participation_strategy + "\"";
+  if (upload_compression != "none" && upload_compression != "fp16" &&
+      upload_compression != "int8")
+    return "--compression must be none, fp16, or int8, got \"" +
+           upload_compression + "\"";
+  if (dp_clip_norm < 0.0) return "--dp-clip must be >= 0";
+  if (dp_noise_multiplier < 0.0) return "--dp-noise must be >= 0";
   // Noise without clipping has unbounded sensitivity — reject it.
-  if (dp_noise_multiplier > 0.0) FEDMS_EXPECTS(dp_clip_norm > 0.0);
+  if (dp_noise_multiplier > 0.0 && dp_clip_norm == 0.0)
+    return "--dp-noise requires --dp-clip > 0 (noise without clipping has "
+           "unbounded sensitivity)";
+  return "";
 }
 
 std::string FedMsConfig::to_string() const {

@@ -81,6 +81,12 @@ struct FedMsConfig {
   // Contract-checks the cross-field invariants (B ≤ P/2, K ≥ 1, ...).
   void validate() const;
 
+  // Same invariants as validate(), reported as a one-line error message
+  // instead of a contract abort — empty string when the config is valid.
+  // The CLI tools call this before validate() so a bad flag combination
+  // produces an actionable diagnostic rather than a core dump.
+  std::string check() const;
+
   std::string to_string() const;
 };
 

@@ -1,6 +1,7 @@
 #include "fl/upload.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "core/contracts.h"
 
@@ -51,6 +52,22 @@ UploadStrategyPtr make_upload_strategy(const std::string& spec) {
     return std::make_unique<MultiUpload>(std::stoul(spec.substr(6)));
   FEDMS_EXPECTS(!"unknown upload strategy spec");
   return nullptr;
+}
+
+std::string check_upload_spec(const std::string& spec) {
+  if (spec == "sparse" || spec == "full" || spec == "roundrobin") return "";
+  if (spec.rfind("multi:", 0) == 0) {
+    const std::string arg = spec.substr(6);
+    char* end = nullptr;
+    const unsigned long long m = std::strtoull(arg.c_str(), &end, 10);
+    if (arg.empty() || arg[0] == '-' || end == arg.c_str() || *end != '\0' ||
+        m == 0)
+      return "multi upload needs \"multi:<m>\" with m >= 1, got \"" + spec +
+             "\"";
+    return "";
+  }
+  return "unknown upload strategy \"" + spec +
+         "\" (expected sparse | full | roundrobin | multi:<m>)";
 }
 
 }  // namespace fedms::fl

@@ -84,4 +84,8 @@ class MultiUpload final : public UploadStrategy {
 // "sparse", "full", or "multi:<m>".
 UploadStrategyPtr make_upload_strategy(const std::string& spec);
 
+// One-line error message for a malformed spec (empty string = valid).
+// CLI front door for make_upload_strategy, which contract-aborts instead.
+std::string check_upload_spec(const std::string& spec);
+
 }  // namespace fedms::fl

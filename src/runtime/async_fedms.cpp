@@ -132,12 +132,18 @@ void AsyncFedMsRun::send(net::Message message, std::uint64_t round,
   const net::NodeId to = message.to;
   net::TrafficStats& direction =
       net::SimNetwork::direction_for(from, uplink_, downlink_);
-  if (faults_.omits(from)) {
+  // A scripted fate (fuzz harness) replaces the injector's draws entirely
+  // for this message, so scripted schedules consume no fault randomness.
+  std::optional<FaultInjector::LinkFate> scripted;
+  if (message_hook_)
+    scripted = message_hook_(MessageEvent{round, from, to, message.kind});
+  if (!scripted && faults_.omits(from)) {
     ++record_->omissions;
     trace(round, "omit", from, to);
     return;
   }
-  const FaultInjector::LinkFate fate = faults_.message_fate(from, to);
+  const FaultInjector::LinkFate fate =
+      scripted ? *scripted : faults_.message_fate(from, to);
   if (fate.dropped) {
     ++record_->messages_dropped;
     ++direction.dropped_messages;
@@ -228,12 +234,19 @@ void AsyncFedMsRun::finish_client(std::size_t k, std::uint64_t round) {
     // Degraded-quorum filter: the trim count is re-derived from the
     // integer B over the P' candidates at hand — min(B, ⌊(P'−1)/2⌋),
     // never fewer than B while P' > 2B. Map order fixes the input order.
+    std::vector<std::size_t> origins;
     std::vector<fl::ModelVector> models;
+    origins.reserve(received);
     models.reserve(received);
-    for (auto& [server, model] : client.candidates)
+    for (auto& [server, model] : client.candidates) {
+      origins.push_back(server);
       models.push_back(std::move(model));
-    const fl::ModelVector filtered = fl::apply_client_filter(
-        *filter_, models, config_.servers, config_.byzantine);
+    }
+    std::size_t trim = fl::kNoTrim;
+    fl::ModelVector filtered = fl::apply_client_filter(
+        *filter_, models, config_.servers, config_.byzantine, &trim);
+    if (filter_hook_)
+      filter_hook_(FilterEvent{round, k, origins, models, trim, filtered});
     learners_[k]->set_parameters(filtered);
     client.last_feasible = filtered;
     trace_node(round, "filter", net::client_id(k));
@@ -385,6 +398,7 @@ void AsyncFedMsRun::execute_round(std::uint64_t round,
   queue_.drain();
   FEDMS_ASSERT(clients_done_ == config_.clients);
   record.end_seconds = queue_.now();
+  if (round_callback_) round_callback_(round, learners_);
 
   // ---- Telemetry ----
   double loss_sum = 0.0;

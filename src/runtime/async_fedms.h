@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -41,6 +42,7 @@
 #include "fl/config.h"
 #include "fl/fedms.h"
 #include "net/latency.h"
+#include "net/message.h"
 #include "runtime/event_queue.h"
 #include "runtime/fault.h"
 #include "runtime/policy.h"
@@ -89,6 +91,42 @@ struct AsyncRunResult {
   const AsyncRoundRecord& final_eval() const;
 };
 
+// ---- schedule hooks (testing / fuzzing instrumentation) ----
+//
+// The deterministic fuzz harness (src/testing) needs three seams into the
+// event-driven round: scripted per-message fates (explicit, shrinkable
+// schedule events instead of the FaultInjector's rate-driven draws), a
+// window into every client filter decision (the invariant oracles attach
+// there, and oracle self-tests rewrite the output to plant a known bug),
+// and the sync loop's per-round callback for differential model
+// comparison. All three are optional and cost one branch when unset.
+
+struct MessageEvent {
+  std::uint64_t round = 0;
+  net::NodeId from;
+  net::NodeId to;
+  net::MessageKind kind = net::MessageKind::kModelUpload;
+};
+
+// Consulted in send() before the FaultInjector: returning a LinkFate
+// overrides both the injector's omission and link draws for this message
+// (which then consume no randomness); nullopt defers to the injector.
+using MessageHook =
+    std::function<std::optional<FaultInjector::LinkFate>(const MessageEvent&)>;
+
+struct FilterEvent {
+  std::uint64_t round = 0;
+  std::size_t client = 0;
+  // Candidate origin PS indices, ascending, parallel to `candidates`.
+  const std::vector<std::size_t>& servers;
+  const std::vector<fl::ModelVector>& candidates;
+  // Per-side trim actually applied (fl::kNoTrim for non-trmean rules).
+  std::size_t trim = 0;
+  // The model about to be installed; hooks may rewrite it in place.
+  fl::ModelVector& filtered;
+};
+using FilterHook = std::function<void(const FilterEvent&)>;
+
 class AsyncFedMsRun {
  public:
   AsyncFedMsRun(fl::FedMsConfig config, RuntimeOptions options,
@@ -96,6 +134,16 @@ class AsyncFedMsRun {
 
   // Mutable before run(): heterogeneous per-node links.
   net::LatencyModel& latency_model() { return latency_; }
+
+  void set_message_hook(MessageHook hook) { message_hook_ = std::move(hook); }
+  void set_filter_hook(FilterHook hook) { filter_hook_ = std::move(hook); }
+  // Invoked after each round's queue drains (all clients filtered), before
+  // evaluation — the same observation point as FedMsRun's round callback.
+  using RoundCallback =
+      std::function<void(std::uint64_t, const std::vector<fl::LearnerPtr>&)>;
+  void set_round_callback(RoundCallback callback) {
+    round_callback_ = std::move(callback);
+  }
 
   AsyncRunResult run();
 
@@ -143,6 +191,9 @@ class AsyncFedMsRun {
   net::LatencyModel latency_;
   EventQueue queue_;
   FaultInjector faults_;
+  MessageHook message_hook_;
+  FilterHook filter_hook_;
+  RoundCallback round_callback_;
   std::vector<core::Rng> client_rngs_;  // PS-selection streams
 
   // Per-round working state.

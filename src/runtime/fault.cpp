@@ -24,18 +24,21 @@ std::vector<std::string> split(const std::string& text, char sep) {
   return parts;
 }
 
-double parse_double(const std::string& text) {
+bool parse_double(const std::string& text, double* out) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  FEDMS_EXPECTS(end != text.c_str() && *end == '\0');
-  return value;
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
 }
 
-std::size_t parse_index(const std::string& text) {
+bool parse_index(const std::string& text, std::size_t* out) {
+  if (text.empty() || text[0] == '-') return false;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-  FEDMS_EXPECTS(end != text.c_str() && *end == '\0');
-  return static_cast<std::size_t>(value);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
 }
 
 }  // namespace
@@ -47,67 +50,116 @@ bool FaultPlan::empty() const {
 }
 
 void FaultPlan::validate() const {
-  FEDMS_EXPECTS(omission_rate >= 0.0 && omission_rate < 1.0);
-  FEDMS_EXPECTS(drop_rate >= 0.0 && drop_rate < 1.0);
-  FEDMS_EXPECTS(duplicate_rate >= 0.0 && duplicate_rate <= 1.0);
-  FEDMS_EXPECTS(delay_rate >= 0.0 && delay_rate <= 1.0);
-  FEDMS_EXPECTS(delay_seconds >= 0.0);
-  FEDMS_EXPECTS(delay_jitter_seconds >= 0.0);
-  if (delay_rate > 0.0)
-    FEDMS_EXPECTS(delay_seconds > 0.0 || delay_jitter_seconds > 0.0);
+  const std::string error = check();
+  if (!error.empty()) core::contract_failure("Precondition", error.c_str(),
+                                             __FILE__, __LINE__);
+}
+
+std::string FaultPlan::check() const {
+  if (!(omission_rate >= 0.0 && omission_rate < 1.0))
+    return "omit rate must be in [0, 1)";
+  if (!(drop_rate >= 0.0 && drop_rate < 1.0))
+    return "drop rate must be in [0, 1)";
+  if (!(duplicate_rate >= 0.0 && duplicate_rate <= 1.0))
+    return "dup rate must be in [0, 1]";
+  if (!(delay_rate >= 0.0 && delay_rate <= 1.0))
+    return "delay rate must be in [0, 1]";
+  if (delay_seconds < 0.0) return "delay seconds must be >= 0";
+  if (delay_jitter_seconds < 0.0) return "delay jitter must be >= 0";
+  if (delay_rate > 0.0 && delay_seconds == 0.0 &&
+      delay_jitter_seconds == 0.0)
+    return "delay rate > 0 needs a positive delay or jitter";
   for (const auto& [node, factor] : client_stragglers)
-    FEDMS_EXPECTS(factor >= 1.0);
+    if (factor < 1.0)
+      return "straggler factor for client " + std::to_string(node) +
+             " must be >= 1";
   for (const auto& [node, factor] : server_stragglers)
-    FEDMS_EXPECTS(factor >= 1.0);
+    if (factor < 1.0)
+      return "sstraggler factor for server " + std::to_string(node) +
+             " must be >= 1";
+  return "";
 }
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan plan;
-  if (spec.empty()) return plan;
-  for (const std::string& clause : split(spec, ';')) {
-    if (clause.empty()) continue;
-    const auto eq = clause.find('=');
-    // Malformed clause (missing '=') fails loudly.
-    FEDMS_EXPECTS(eq != std::string::npos);
-    const std::string key = clause.substr(0, eq);
-    const std::string value = clause.substr(eq + 1);
-    if (key == "crash") {
-      for (const std::string& item : split(value, ',')) {
-        const auto at = item.find('@');
-        FEDMS_EXPECTS(at != std::string::npos);  // crash=<server>@<round>
-        plan.crashes.push_back(ServerCrash{
-            parse_index(item.substr(0, at)),
-            static_cast<std::uint64_t>(parse_index(item.substr(at + 1)))});
+  std::string error;
+  if (!try_parse(spec, &plan, &error))
+    core::contract_failure("Precondition", error.c_str(), __FILE__,
+                           __LINE__);
+  return plan;
+}
+
+bool FaultPlan::try_parse(const std::string& spec, FaultPlan* out,
+                          std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr)
+      *error = "bad fault plan: " + message +
+               " (clauses: crash=<s>@<r>[,...]; drop=<p>; dup=<p>; "
+               "omit=<p>; delay=<p>:<s>[:<jitter>]; "
+               "straggler=<c>:<f>[,...]; sstraggler=<s>:<f>[,...])";
+    return false;
+  };
+  FaultPlan plan;
+  if (!spec.empty()) {
+    for (const std::string& clause : split(spec, ';')) {
+      if (clause.empty()) continue;
+      const auto eq = clause.find('=');
+      if (eq == std::string::npos)
+        return fail("clause \"" + clause + "\" is missing '='");
+      const std::string key = clause.substr(0, eq);
+      const std::string value = clause.substr(eq + 1);
+      if (key == "crash") {
+        for (const std::string& item : split(value, ',')) {
+          const auto at = item.find('@');
+          ServerCrash crash;
+          std::size_t round = 0;
+          if (at == std::string::npos ||
+              !parse_index(item.substr(0, at), &crash.server) ||
+              !parse_index(item.substr(at + 1), &round))
+            return fail("crash entry \"" + item +
+                        "\" is not <server>@<round>");
+          crash.round = static_cast<std::uint64_t>(round);
+          plan.crashes.push_back(crash);
+        }
+      } else if (key == "drop" || key == "dup" || key == "omit") {
+        double rate = 0.0;
+        if (!parse_double(value, &rate))
+          return fail(key + " value \"" + value + "\" is not a number");
+        (key == "drop" ? plan.drop_rate
+                       : key == "dup" ? plan.duplicate_rate
+                                      : plan.omission_rate) = rate;
+      } else if (key == "delay") {
+        const auto parts = split(value, ':');
+        if (parts.size() != 2 && parts.size() != 3)
+          return fail("delay needs <p>:<seconds>[:<jitter>], got \"" +
+                      value + "\"");
+        if (!parse_double(parts[0], &plan.delay_rate) ||
+            !parse_double(parts[1], &plan.delay_seconds) ||
+            (parts.size() == 3 &&
+             !parse_double(parts[2], &plan.delay_jitter_seconds)))
+          return fail("delay value \"" + value + "\" has a non-number part");
+      } else if (key == "straggler" || key == "sstraggler") {
+        auto& table = key == "straggler" ? plan.client_stragglers
+                                         : plan.server_stragglers;
+        for (const std::string& item : split(value, ',')) {
+          const auto colon = item.find(':');
+          std::size_t node = 0;
+          double factor = 0.0;
+          if (colon == std::string::npos ||
+              !parse_index(item.substr(0, colon), &node) ||
+              !parse_double(item.substr(colon + 1), &factor))
+            return fail(key + " entry \"" + item + "\" is not <node>:<factor>");
+          table[node] = factor;
+        }
+      } else {
+        return fail("unknown clause key \"" + key + "\"");
       }
-    } else if (key == "drop") {
-      plan.drop_rate = parse_double(value);
-    } else if (key == "dup") {
-      plan.duplicate_rate = parse_double(value);
-    } else if (key == "omit") {
-      plan.omission_rate = parse_double(value);
-    } else if (key == "delay") {
-      const auto parts = split(value, ':');
-      // delay=<p>:<seconds>[:<jitter>]
-      FEDMS_EXPECTS(parts.size() == 2 || parts.size() == 3);
-      plan.delay_rate = parse_double(parts[0]);
-      plan.delay_seconds = parse_double(parts[1]);
-      if (parts.size() == 3)
-        plan.delay_jitter_seconds = parse_double(parts[2]);
-    } else if (key == "straggler" || key == "sstraggler") {
-      auto& table = key == "straggler" ? plan.client_stragglers
-                                       : plan.server_stragglers;
-      for (const std::string& item : split(value, ',')) {
-        const auto colon = item.find(':');
-        FEDMS_EXPECTS(colon != std::string::npos);  // <node>:<factor>
-        table[parse_index(item.substr(0, colon))] =
-            parse_double(item.substr(colon + 1));
-      }
-    } else {
-      FEDMS_EXPECTS(!"fault plan: unknown clause key");
     }
   }
-  plan.validate();
-  return plan;
+  if (const std::string range = plan.check(); !range.empty())
+    return fail(range);
+  *out = std::move(plan);
+  return true;
 }
 
 std::string FaultPlan::to_string() const {

@@ -54,6 +54,9 @@ struct FaultPlan {
   bool empty() const;
   // Contract-checks ranges (probabilities in [0, 1), factors >= 1, ...).
   void validate() const;
+  // Same range checks as a one-line error message ("" = valid) — the CLI
+  // front door, so a bad --fault-plan value reports instead of aborting.
+  std::string check() const;
 
   // Round-trips through the CLI spec format: semicolon-separated clauses
   //   crash=<s>@<r>[,<s>@<r>...]   e.g. crash=3@5,4@5
@@ -63,6 +66,10 @@ struct FaultPlan {
   //   sstraggler=<server>:<factor>[,...]
   // The empty string parses to the no-fault plan.
   static FaultPlan parse(const std::string& spec);
+  // Non-aborting variant: on success fills *plan and returns true; on a
+  // malformed spec returns false with a one-line message in *error.
+  static bool try_parse(const std::string& spec, FaultPlan* plan,
+                        std::string* error);
   std::string to_string() const;
 };
 

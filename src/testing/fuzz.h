@@ -1,0 +1,87 @@
+// The deterministic fuzz engine: executes one FuzzSchedule through the
+// execution paths its kind selects and returns the first property
+// violation, if any.
+//
+//   kParity     sync fl::FedMsRun vs async runtime::AsyncFedMsRun on the
+//               same convex workload — per-round per-client model CRCs,
+//               losses, eval metrics, and traffic must agree bit-for-bit —
+//               plus the filter/trace/stage-order/wire oracles.
+//   kFault      async runtime under the schedule's scripted events, run
+//               twice: bit-identical traces, telemetry, and final models,
+//               plus the filter/trace/wire oracles (stage order is only
+//               asserted fault-free — stragglers legitimately interleave).
+//   kTransport  sync simulator vs the in-memory transport engine (threads
+//               + wire codec) on a tiny NN workload: exact final
+//               accuracy/loss/model-CRC/data-byte agreement.
+//
+// A failing schedule round-trips through a JSON repro file
+// (repro_json/load_repro) that replays bit-for-bit, and shrinks by greedy
+// event removal (shrink_schedule) — each candidate run is independent
+// because schedule events are scripted, not drawn from the fault RNG.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "testing/oracles.h"
+#include "testing/schedule.h"
+
+namespace fedms::testing {
+
+struct FuzzOptions {
+  // Self-test fault plant: re-creates the PR 4 degraded-set under-trim bug
+  // inside the client filter hook (⌊β·P'⌋ instead of min(B, ⌊(P'−1)/2⌋)
+  // whenever a candidate set is short). The envelope oracle must catch it.
+  bool inject_under_trim = false;
+};
+
+struct FuzzOutcome {
+  // First violated property; nullopt = the schedule passed. Differential
+  // mismatches use the oracle names "parity", "determinism", "transport".
+  std::optional<OracleViolation> violation;
+  // Async event-trace hash (0 for kTransport) — the replay witness: a
+  // repro re-execution must reproduce it exactly.
+  std::uint64_t trace_hash = 0;
+  // Client filter decisions observed (self-tests assert coverage > 0).
+  std::size_t filter_events = 0;
+
+  bool passed() const { return !violation.has_value(); }
+};
+
+FuzzOutcome run_schedule(const FuzzSchedule& schedule,
+                         const FuzzOptions& options = {});
+
+// Repro file = the schedule JSON plus a "repro" member recording the
+// violation and fuzz options; FuzzSchedule::from_json ignores the extra
+// member, so a repro file is also a valid schedule file.
+std::string repro_json(const FuzzSchedule& schedule,
+                       const OracleViolation& violation,
+                       const FuzzOptions& options);
+
+struct Repro {
+  FuzzSchedule schedule;
+  FuzzOptions options;
+  // The recorded violation this file reproduces (empty if absent).
+  std::string oracle;
+  std::string detail;
+};
+// Throws std::runtime_error on malformed input.
+Repro load_repro(const std::string& text);
+
+// Greedy minimization: repeatedly removes single schedule events as long
+// as the same oracle still fires. `runs`, when non-null, accumulates the
+// number of candidate executions (telemetry for the CLI).
+FuzzSchedule shrink_schedule(const FuzzSchedule& schedule,
+                             const FuzzOptions& options,
+                             const std::string& oracle,
+                             std::size_t* runs = nullptr);
+
+// Hand-built regression scenario for the planted under-trim bug: P = 5,
+// B = 1, trmean:0.2, signflip, one honest broadcast to client 0 dropped.
+// The client holds P' = 4 >= quorum 3; the correct degraded trim is
+// min(B, ⌊(P'−1)/2⌋) = 1, the planted ⌊β·P'⌋ = 0 lets the sign-flipped
+// candidate into the mean, and the envelope oracle fires.
+FuzzSchedule under_trim_scenario();
+
+}  // namespace fedms::testing

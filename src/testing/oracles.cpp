@@ -1,0 +1,232 @@
+#include "testing/oracles.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <tuple>
+
+#include "net/message.h"
+#include "obs/trace_merge.h"
+#include "transport/frame.h"
+
+namespace fedms::testing {
+
+namespace {
+
+OracleViolation violation(const char* oracle, const std::string& detail) {
+  return OracleViolation{oracle, detail};
+}
+
+std::string format(const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof buffer, fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+OracleResult check_filter_event(const runtime::FilterEvent& event,
+                                const std::vector<bool>& is_byzantine,
+                                bool attack_nonfinite) {
+  std::size_t byzantine_candidates = 0;
+  for (const std::size_t s : event.servers)
+    if (is_byzantine[s]) ++byzantine_candidates;
+
+  const bool trimming = event.trim != fl::kNoTrim;
+  // The guarantees only hold when the trim budget covers the Byzantine
+  // candidates (or, for non-trimming rules, when the attack cannot emit
+  // non-finite values — vanilla mean under NaN poisoning is expected to
+  // break; that failure is the paper's motivation, not a bug).
+  const bool guarded =
+      trimming ? event.trim >= byzantine_candidates : !attack_nonfinite;
+  if (!guarded) return std::nullopt;
+
+  const std::size_t bad =
+      fl::first_nonfinite_coordinate(event.filtered);
+  if (bad < event.filtered.size())
+    return violation(
+        "finite",
+        format("r%llu client %zu: filtered model non-finite at coordinate "
+               "%zu with trim %zu covering %zu byzantine candidates",
+               static_cast<unsigned long long>(event.round), event.client,
+               bad, trimming ? event.trim : std::size_t(0),
+               byzantine_candidates));
+
+  if (!trimming) return std::nullopt;
+
+  std::vector<fl::ModelVector> honest;
+  for (std::size_t i = 0; i < event.servers.size(); ++i)
+    if (!is_byzantine[event.servers[i]])
+      honest.push_back(event.candidates[i]);
+  if (honest.empty()) return std::nullopt;
+  for (std::size_t i = 0, h = 0; i < event.servers.size(); ++i) {
+    if (is_byzantine[event.servers[i]]) continue;
+    const std::size_t j = fl::first_nonfinite_coordinate(honest[h++]);
+    if (j < event.filtered.size())
+      return violation(
+          "finite",
+          format("r%llu client %zu: honest candidate from server %zu is "
+                 "non-finite at coordinate %zu (upstream corruption)",
+                 static_cast<unsigned long long>(event.round), event.client,
+                 event.servers[i], j));
+  }
+
+  std::size_t coordinate = 0;
+  if (!fl::within_coordinate_envelope(event.filtered, honest, 1e-4,
+                                      &coordinate)) {
+    double lo = honest[0][coordinate], hi = honest[0][coordinate];
+    for (const fl::ModelVector& h : honest) {
+      lo = std::min(lo, double(h[coordinate]));
+      hi = std::max(hi, double(h[coordinate]));
+    }
+    return violation(
+        "envelope",
+        format("r%llu client %zu: filtered[%zu]=%.9g outside honest "
+               "envelope [%.9g, %.9g] (P'=%zu, trim=%zu, byzantine "
+               "candidates=%zu)",
+               static_cast<unsigned long long>(event.round), event.client,
+               coordinate, double(event.filtered[coordinate]), lo, hi,
+               event.candidates.size(), event.trim, byzantine_candidates));
+  }
+  return std::nullopt;
+}
+
+OracleResult check_trace_causality(const std::vector<std::string>& trace,
+                                   std::size_t clients,
+                                   std::uint64_t rounds) {
+  std::map<std::pair<std::uint64_t, std::string>, int> trained;
+  std::map<std::pair<std::uint64_t, std::string>, int> finished;
+  std::map<std::tuple<std::uint64_t, std::string, std::string>, long> sent;
+  std::uint64_t last_round = 0;
+  double last_time = -1.0;
+  for (const std::string& line : trace) {
+    unsigned long long round = 0;
+    double time = 0.0;
+    char event[64] = {0};
+    char link[128] = {0};
+    if (std::sscanf(line.c_str(), "r%llu t=%lf %63s %127s", &round, &time,
+                    event, link) != 4)
+      return violation("trace", "unparseable trace line: " + line);
+    if (round < last_round)
+      return violation("trace",
+                       format("round went backwards at: %s", line.c_str()));
+    if (round > last_round) last_time = -1.0;
+    last_round = round;
+    if (time < last_time)
+      return violation(
+          "trace", format("virtual time went backwards at: %s", line.c_str()));
+    last_time = time;
+    const std::string link_text(link);
+    const auto arrow = link_text.find("->");
+    if (arrow == std::string::npos)
+      return violation("trace", "missing arrow in trace line: " + line);
+    const std::string from = link_text.substr(0, arrow);
+    const std::string to = link_text.substr(arrow + 2);
+    const std::string name(event);
+    if (name == "trained") {
+      ++trained[{round, from}];
+    } else if (name == "filter" || name == "fallback") {
+      if (trained[{round, from}] == 0)
+        return violation(
+            "trace", format("client filtered before training: %s",
+                            line.c_str()));
+      ++finished[{round, from}];
+    } else if (name == "send" || name == "send-dup") {
+      ++sent[{round, from, to}];
+    } else if (name == "deliver") {
+      if (--sent[{round, from, to}] < 0)
+        return violation(
+            "trace",
+            format("delivery without a matching send: %s", line.c_str()));
+    }
+  }
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (std::size_t k = 0; k < clients; ++k) {
+      const std::string node = "client#" + std::to_string(k);
+      if (trained[{r, node}] != 1)
+        return violation(
+            "trace", format("r%llu %s trained %d times (expected 1)",
+                            static_cast<unsigned long long>(r), node.c_str(),
+                            trained[{r, node}]));
+      if (finished[{r, node}] != 1)
+        return violation(
+            "trace",
+            format("r%llu %s filtered/fell back %d times (expected 1)",
+                   static_cast<unsigned long long>(r), node.c_str(),
+                   finished[{r, node}]));
+    }
+  }
+  return std::nullopt;
+}
+
+OracleResult check_canonical_stage_order(
+    const std::vector<obs::SpanRecord>& spans, const char* category) {
+  const std::vector<std::string>& canonical = obs::canonical_stages();
+  // round -> stage -> earliest start.
+  std::map<std::uint64_t, std::map<std::string, std::uint64_t>> starts;
+  for (const obs::SpanRecord& span : spans) {
+    if (std::strcmp(span.category, category) != 0) continue;
+    if (span.round == obs::kNoRound) continue;
+    auto& stage_starts = starts[span.round];
+    const auto [it, inserted] =
+        stage_starts.emplace(span.name, span.start_ns);
+    if (!inserted && span.start_ns < it->second) it->second = span.start_ns;
+  }
+  for (const auto& [round, stage_starts] : starts) {
+    std::uint64_t previous_start = 0;
+    const std::string* previous_stage = nullptr;
+    for (const std::string& stage : canonical) {
+      const auto it = stage_starts.find(stage);
+      if (it == stage_starts.end()) continue;
+      if (previous_stage != nullptr && it->second < previous_start)
+        return violation(
+            "stage-order",
+            format("r%llu: stage %s first-starts before %s",
+                   static_cast<unsigned long long>(round),
+                   it->first.c_str(), previous_stage->c_str()));
+      previous_start = it->second;
+      previous_stage = &it->first;
+    }
+  }
+  return std::nullopt;
+}
+
+OracleResult check_wire_roundtrip(
+    const std::vector<fl::ModelVector>& models) {
+  const transport::FrameCodec codec("none");
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    net::Message message;
+    message.from = net::server_id(0);
+    message.to = net::client_id(0);
+    message.kind = net::MessageKind::kModelBroadcast;
+    message.round = i;
+    message.payload = models[i];
+    const std::vector<std::uint8_t> encoded = codec.encode(message);
+    const transport::FrameCodec::DecodeResult decoded =
+        codec.decode(encoded);
+    if (!decoded.ok())
+      return violation(
+          "wire", format("model %zu failed to decode: %s", i,
+                         transport::to_string(decoded.error)));
+    if (decoded.message.payload.size() != models[i].size())
+      return violation(
+          "wire", format("model %zu changed size across the wire: %zu -> "
+                         "%zu",
+                         i, models[i].size(),
+                         decoded.message.payload.size()));
+    if (!models[i].empty() &&
+        std::memcmp(decoded.message.payload.data(), models[i].data(),
+                    models[i].size() * sizeof(float)) != 0)
+      return violation(
+          "wire",
+          format("model %zu payload not bit-identical after round-trip", i));
+  }
+  return std::nullopt;
+}
+
+}  // namespace fedms::testing

@@ -1,0 +1,70 @@
+// Invariant oracles for the fuzz harness.
+//
+// Each oracle checks one algorithm-level property that must hold on EVERY
+// schedule, fault-laden or not — the harness's answer to "what does a
+// correct run look like when we can't predict the exact output":
+//
+//   envelope      Theorem-1 robustness: whenever a client's filter applied
+//                 a per-side trim >= the number of Byzantine candidates in
+//                 its set, the filtered model lies coordinate-wise within
+//                 the [min, max] envelope of the honest candidates (and is
+//                 finite). The PR 4 degraded-quorum under-trim bug is
+//                 exactly a violation of this oracle.
+//   finite        no NaN/Inf ever enters a kept window: the installed
+//                 model stays finite whenever the filter's trim budget
+//                 covers the attack (checked as part of `envelope`).
+//   trace         event-trace causality over the async runtime's recorded
+//                 trace: virtual time and round indices are nondecreasing,
+//                 every client trains exactly once per round and filters
+//                 (or falls back) exactly once, never before training, and
+//                 no link delivers more copies than were sent.
+//   stage-order   telemetry spans group per round into the canonical
+//                 local_training -> upload -> aggregation -> dissemination
+//                 -> filter order (fault-free runs only — stragglers may
+//                 legitimately interleave stages across clients).
+//   wire          FrameCodec round-trips every model bit-for-bit,
+//                 including non-finite payloads from NaN-poisoning
+//                 attacks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fl/aggregators.h"
+#include "obs/obs.h"
+#include "runtime/async_fedms.h"
+
+namespace fedms::testing {
+
+struct OracleViolation {
+  std::string oracle;  // stable name ("envelope", "trace", ...)
+  std::string detail;  // deterministic one-line description
+};
+using OracleResult = std::optional<OracleViolation>;
+
+// The envelope + finiteness oracles over one filter decision.
+// `is_byzantine[s]` is the run's PS placement; `attack_nonfinite` relaxes
+// the finiteness check for non-trimming filters under NaN-emitting attacks
+// (vanilla mean is *expected* to break there — that is the paper's point).
+OracleResult check_filter_event(const runtime::FilterEvent& event,
+                                const std::vector<bool>& is_byzantine,
+                                bool attack_nonfinite);
+
+// Trace causality over AsyncRunResult::trace (requires record_trace).
+OracleResult check_trace_causality(const std::vector<std::string>& trace,
+                                   std::size_t clients, std::uint64_t rounds);
+
+// Canonical per-round stage order over an obs span snapshot (spans of
+// `category` only; first-start per stage must follow
+// obs::canonical_stages()).
+OracleResult check_canonical_stage_order(
+    const std::vector<obs::SpanRecord>& spans, const char* category);
+
+// FrameCodec round-trip: encode + decode every model and compare the float
+// payloads bitwise (memcmp, so NaN payloads compare too).
+OracleResult check_wire_roundtrip(
+    const std::vector<fl::ModelVector>& models);
+
+}  // namespace fedms::testing

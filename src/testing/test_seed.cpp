@@ -1,0 +1,41 @@
+#include "testing/test_seed.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fedms::testing {
+
+namespace {
+
+bool parse_seed(const char* text, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t test_seed(std::uint64_t fallback) {
+  std::uint64_t value = 0;
+  if (parse_seed(std::getenv("FEDMS_TEST_SEED"), &value)) return value;
+  return fallback;
+}
+
+bool test_seed_overridden() {
+  std::uint64_t value = 0;
+  return parse_seed(std::getenv("FEDMS_TEST_SEED"), &value);
+}
+
+std::string seed_repro_hint(std::uint64_t seed,
+                            const std::string& test_name) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "0x%llx",
+                static_cast<unsigned long long>(seed));
+  return "seed=" + std::string(buffer) + "  repro: FEDMS_TEST_SEED=" +
+         buffer + " ctest -R " + test_name + " --output-on-failure";
+}
+
+}  // namespace fedms::testing

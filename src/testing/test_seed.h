@@ -1,0 +1,30 @@
+// Single test-seed override for every randomized test in the repo.
+//
+// Randomized tests (fuzz schedules, RNG stream sweeps, property checks)
+// derive all their randomness from one root seed so a failure is a pure
+// function of that seed. The seed comes from the FEDMS_TEST_SEED
+// environment variable when set (decimal or 0x-hex), otherwise from the
+// test's fixed default — CI stays deterministic, and a failure seen once
+// can be replayed anywhere with
+//
+//   FEDMS_TEST_SEED=<seed> ctest -R <test> --output-on-failure
+//
+// Every failure message produced by the harness embeds that command via
+// seed_repro_hint(), so the repro is copy-pasteable from the test log.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fedms::testing {
+
+// The root seed: FEDMS_TEST_SEED when set and parseable, else `fallback`.
+std::uint64_t test_seed(std::uint64_t fallback = 1);
+
+// True when FEDMS_TEST_SEED overrides the default.
+bool test_seed_overridden();
+
+// One-line, copy-pasteable repro command for a failing randomized test.
+std::string seed_repro_hint(std::uint64_t seed, const std::string& test_name);
+
+}  // namespace fedms::testing

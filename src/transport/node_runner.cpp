@@ -50,13 +50,10 @@ void write_links(std::ostringstream& out, const char* tag,
         << link.corrupt_frames << '\n';
 }
 
-// Replays the simulator's uniform participation draw for one round and
-// reports whether client k is in the active set. The "participation"
-// stream is sequential across rounds, so every client calls this exactly
-// once per round, in round order — and only when participation < 1.0
-// (the simulator leaves the stream untouched at full participation).
-bool round_participates(const fl::FedMsConfig& fed, core::Rng& rng,
-                        std::size_t k) {
+}  // namespace
+
+bool client_participates(const fl::FedMsConfig& fed, core::Rng& rng,
+                         std::size_t k) {
   const std::size_t active = std::max<std::size_t>(
       1, static_cast<std::size_t>(fed.participation * double(fed.clients) +
                                   0.5));
@@ -65,8 +62,6 @@ bool round_participates(const fl::FedMsConfig& fed, core::Rng& rng,
     if (drawn == k) return true;
   return false;
 }
-
-}  // namespace
 
 void check_transport_supported(const fl::FedMsConfig& fed) {
   const auto reject = [](bool bad, const char* what) {
@@ -205,7 +200,7 @@ NodeReport run_client_node(Transport& transport, const fl::Workload& data,
     // PSs' barriers close, and still collects + filters broadcasts.
     const bool participates =
         fed.participation >= 1.0 ||
-        round_participates(fed, participation_rng, k);
+        client_participates(fed, participation_rng, k);
 
     // ---- Stage 1: local training ----
     if (participates) {

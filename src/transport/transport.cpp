@@ -83,6 +83,11 @@ void InMemoryHub::set_corrupt_rate(double rate, std::uint64_t seed) {
   corrupt_rng_ = core::Rng(seed);
 }
 
+void InMemoryHub::set_deterministic(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  deterministic_ = on;
+}
+
 std::unique_ptr<InMemoryTransport> InMemoryHub::make_endpoint(
     const net::NodeId& self) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -133,6 +138,9 @@ void InMemoryHub::send_from(InMemoryTransport& sender, net::Message message) {
 std::optional<net::Message> InMemoryHub::receive_for(
     InMemoryTransport& endpoint, double timeout_seconds) {
   std::unique_lock<std::mutex> lock(mutex_);
+  // Deterministic mode: the caller's deadline is stretched to a fixed long
+  // one, so a slow machine cannot turn into a thinner candidate set.
+  if (deterministic_) timeout_seconds = 300.0;
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(

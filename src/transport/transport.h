@@ -103,6 +103,13 @@ class InMemoryHub {
   // and the message is not delivered.
   void set_corrupt_rate(double rate, std::uint64_t seed);
 
+  // Deterministic-clock mode for the fuzz harness: receive timeouts are
+  // stretched to a fixed long deadline so wall-clock jitter (scheduler
+  // stalls, sanitizer overhead) can never thin a node's candidate set and
+  // branch the protocol. A timeout then means a genuine protocol hang, not
+  // a slow machine. Default off — production callers keep real deadlines.
+  void set_deterministic(bool on);
+
   std::unique_ptr<InMemoryTransport> make_endpoint(const net::NodeId& self);
 
   // Direction totals of delivered traffic, as billed by the underlying
@@ -125,6 +132,7 @@ class InMemoryHub {
   std::map<net::NodeId, InMemoryTransport*> endpoints_;
   double corrupt_rate_ = 0.0;
   core::Rng corrupt_rng_;
+  bool deterministic_ = false;
 };
 
 class InMemoryTransport final : public Transport {

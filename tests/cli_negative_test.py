@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Negative-path CLI contract test for fedms_sim and fedms_node.
+
+Every malformed invocation must exit with code 1 (a clean error path, not
+a signal/abort) and print a one-line actionable message on stderr that
+names the offending flag or constraint.  Run by ctest as:
+
+    cli_negative_test.py <path-to-fedms_sim> <path-to-fedms_node>
+"""
+import subprocess
+import sys
+
+failures = []
+
+
+def expect_error(binary, args, needles):
+    """Run binary with args; require exit code 1 and all needles in stderr."""
+    proc = subprocess.run([binary] + args, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, timeout=60)
+    err = proc.stderr.decode("utf-8", "replace")
+    out = proc.stdout.decode("utf-8", "replace")
+    label = "%s %s" % (binary.rsplit("/", 1)[-1], " ".join(args))
+    if proc.returncode != 1:
+        failures.append("%s: expected exit code 1, got %d (stderr: %r)"
+                        % (label, proc.returncode, err.strip()))
+        return
+    combined = err + out
+    for needle in needles:
+        if needle not in combined:
+            failures.append("%s: expected %r in output, got %r"
+                            % (label, needle, combined.strip()))
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: cli_negative_test.py <fedms_sim> <fedms_node>")
+        return 2
+    sim, node = sys.argv[1], sys.argv[2]
+
+    # Unknown flag: the flag parser itself must reject it.
+    expect_error(sim, ["--no-such-flag"], ["unknown flag", "--no-such-flag"])
+    expect_error(node, ["--no-such-flag"], ["unknown flag", "--no-such-flag"])
+
+    # Out-of-range topology: 2B <= P must hold.
+    expect_error(sim, ["--servers", "10", "--byzantine", "6"],
+                 ["Byzantine servers must be a minority"])
+    expect_error(node, ["--mode", "launch", "--servers", "10",
+                        "--byzantine", "6"],
+                 ["Byzantine servers must be a minority"])
+
+    # Malformed aggregator spec: trmean beta out of range.
+    expect_error(sim, ["--client-filter", "trmean:0.7"],
+                 ["--client-filter", "trmean beta"])
+    expect_error(node, ["--mode", "launch", "--client-filter", "trmean:0.7"],
+                 ["trmean beta"])
+
+    # Unknown aggregator / attack / upload names.
+    expect_error(sim, ["--client-filter", "quantum"], ["--client-filter"])
+    expect_error(sim, ["--attack", "no-such-attack"], ["attack"])
+    expect_error(sim, ["--upload", "no-such-upload"], ["upload"])
+
+    # Malformed fault plan: rates and clause syntax.
+    expect_error(sim, ["--runtime", "async", "--fault-plan", "drop=1.5"],
+                 ["--fault-plan", "drop rate"])
+    expect_error(sim, ["--runtime", "async", "--fault-plan", "bogus=1"],
+                 ["--fault-plan"])
+
+    # Non-numeric value for a numeric flag.
+    expect_error(sim, ["--rounds", "banana"], ["--rounds"])
+
+    if failures:
+        for f in failures:
+            print("FAIL:", f)
+        return 1
+    print("ok: all negative CLI paths exit 1 with actionable one-line errors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

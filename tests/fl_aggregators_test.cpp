@@ -8,6 +8,7 @@
 
 #include "byz/attacks.h"
 #include "core/rng.h"
+#include "testing/test_seed.h"
 
 namespace fedms::fl {
 namespace {
@@ -224,7 +225,9 @@ INSTANTIATE_TEST_SUITE_P(
 // sorted scalars, the k-th order statistic q_k of the tampered set is
 // bounded by p_{k-B} <= q_k <= p_{k+B} for k in [B, P-B-1].
 TEST(Lemma2, OrderStatisticsSandwichHolds) {
-  core::Rng rng(10);
+  const std::uint64_t seed = fedms::testing::test_seed(10);
+  SCOPED_TRACE(fedms::testing::seed_repro_hint(seed, "Lemma2"));
+  core::Rng rng(seed);
   const std::size_t p = 12, b = 3;
   for (int trial = 0; trial < 200; ++trial) {
     std::vector<float> original(p);

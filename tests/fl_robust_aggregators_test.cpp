@@ -9,6 +9,7 @@
 
 #include "core/rng.h"
 #include "fl/aggregators.h"
+#include "testing/test_seed.h"
 
 namespace fedms::fl {
 namespace {
@@ -135,7 +136,9 @@ INSTANTIATE_TEST_SUITE_P(Defenses, RobustRules,
 // wherever the NaN/±inf values land.
 TEST_P(RobustRules, FiniteOutputUnderBudgetedNonFinitePoisoning) {
   const auto rule = make_aggregator(GetParam());
-  core::Rng rng(99);
+  const std::uint64_t seed = fedms::testing::test_seed(99);
+  SCOPED_TRACE(fedms::testing::seed_repro_hint(seed, "RobustRules"));
+  core::Rng rng(seed);
   const std::size_t p = 11, f = 2, d = 12;
   for (int trial = 0; trial < 100; ++trial) {
     std::vector<ModelVector> models(p, ModelVector(d));

@@ -1,0 +1,135 @@
+// End-to-end tests for the fuzz engine: generated schedules of all three
+// kinds pass clean, the planted under-trim bug is caught by the envelope
+// oracle, its repro file replays bit-for-bit, and greedy shrinking
+// minimizes the scenario. Randomized parts take their root seed from
+// FEDMS_TEST_SEED (testing::test_seed).
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "testing/fuzz.h"
+#include "testing/schedule.h"
+#include "testing/test_seed.h"
+
+namespace {
+
+using fedms::testing::FuzzOptions;
+using fedms::testing::FuzzOutcome;
+using fedms::testing::FuzzSchedule;
+using fedms::testing::generate_schedule;
+using fedms::testing::load_repro;
+using fedms::testing::Repro;
+using fedms::testing::repro_json;
+using fedms::testing::run_schedule;
+using fedms::testing::ScheduleKind;
+using fedms::testing::shrink_schedule;
+using fedms::testing::under_trim_scenario;
+
+TEST(FuzzEngine, GeneratedSchedulesPassAllOracles) {
+  const std::uint64_t root = fedms::testing::test_seed(0x5eed7001);
+  SCOPED_TRACE(fedms::testing::seed_repro_hint(root, "FuzzEngine"));
+
+  // A small sweep covering all three kinds (the heavy batches live in the
+  // fedms_fuzz ctest smoke; this pins the engine into the unit suite).
+  bool seen[3] = {false, false, false};
+  std::size_t filter_events = 0;
+  for (std::uint64_t i = 0; seen[0] + seen[1] + seen[2] < 3 || i < 12; ++i) {
+    ASSERT_LT(i, 64u) << "generator failed to cover all three kinds";
+    const FuzzSchedule schedule = generate_schedule(root + i);
+    const FuzzOutcome outcome = run_schedule(schedule);
+    EXPECT_TRUE(outcome.passed())
+        << "seed " << (root + i) << " (" << to_string(schedule.kind)
+        << ") violated " << outcome.violation->oracle << ": "
+        << outcome.violation->detail;
+    seen[std::size_t(schedule.kind)] = true;
+    filter_events += outcome.filter_events;
+  }
+  EXPECT_GT(filter_events, 0u);  // the envelope oracle actually ran
+}
+
+TEST(FuzzEngine, UnderTrimScenarioPassesWithoutInjection) {
+  const FuzzOutcome outcome = run_schedule(under_trim_scenario());
+  EXPECT_TRUE(outcome.passed())
+      << outcome.violation->oracle << ": " << outcome.violation->detail;
+  EXPECT_GT(outcome.filter_events, 0u);
+  EXPECT_NE(outcome.trace_hash, 0u);
+}
+
+TEST(FuzzEngine, EnvelopeOracleCatchesPlantedUnderTrim) {
+  FuzzOptions inject;
+  inject.inject_under_trim = true;
+  const FuzzOutcome outcome = run_schedule(under_trim_scenario(), inject);
+  ASSERT_FALSE(outcome.passed());
+  EXPECT_EQ(outcome.violation->oracle, "envelope");
+  EXPECT_NE(outcome.violation->detail.find("outside honest envelope"),
+            std::string::npos)
+      << outcome.violation->detail;
+}
+
+TEST(FuzzEngine, ReproReplaysBitForBit) {
+  FuzzOptions inject;
+  inject.inject_under_trim = true;
+  const FuzzSchedule schedule = under_trim_scenario();
+  const FuzzOutcome first = run_schedule(schedule, inject);
+  ASSERT_FALSE(first.passed());
+
+  const std::string text = repro_json(schedule, *first.violation, inject);
+  const Repro repro = load_repro(text);
+  EXPECT_EQ(repro.oracle, first.violation->oracle);
+  EXPECT_EQ(repro.detail, first.violation->detail);
+  EXPECT_TRUE(repro.options.inject_under_trim);
+
+  // Replaying the loaded schedule reproduces the violation and the trace
+  // hash exactly — the repro file is a complete witness.
+  const FuzzOutcome replay = run_schedule(repro.schedule, repro.options);
+  ASSERT_FALSE(replay.passed());
+  EXPECT_EQ(replay.violation->oracle, first.violation->oracle);
+  EXPECT_EQ(replay.violation->detail, first.violation->detail);
+  EXPECT_EQ(replay.trace_hash, first.trace_hash);
+
+  // A repro file is also a plain schedule file.
+  const FuzzSchedule as_schedule = FuzzSchedule::from_json(text);
+  EXPECT_EQ(as_schedule.to_json(), schedule.to_json());
+}
+
+TEST(FuzzEngine, ShrinkMinimizesThePlantedScenario) {
+  FuzzOptions inject;
+  inject.inject_under_trim = true;
+  const FuzzSchedule schedule = under_trim_scenario();
+
+  // Pad the scenario with events that are irrelevant to the violation:
+  // greedy shrinking must strip all of them and keep the one load-bearing
+  // broadcast drop (the acceptance bound is <= 10 events; this is 1).
+  FuzzSchedule padded = schedule;
+  for (std::size_t i = 0; i < 4; ++i) {
+    fedms::testing::ScheduleEvent e;
+    e.action = fedms::testing::EventAction::kDelay;
+    e.round = 0;
+    e.from_server = false;
+    e.from = i % padded.clients;
+    e.to_server = true;
+    e.to = (i + 1) % padded.servers;
+    e.kind = "upload";
+    e.seconds = 0.01;
+    padded.events.push_back(e);
+  }
+  ASSERT_FALSE(run_schedule(padded, inject).passed());
+
+  std::size_t runs = 0;
+  const FuzzSchedule shrunk =
+      shrink_schedule(padded, inject, "envelope", &runs);
+  EXPECT_LE(shrunk.events.size(), 10u);
+  EXPECT_EQ(shrunk.events.size(), 1u);
+  EXPECT_GT(runs, 0u);
+  const FuzzOutcome outcome = run_schedule(shrunk, inject);
+  ASSERT_FALSE(outcome.passed());
+  EXPECT_EQ(outcome.violation->oracle, "envelope");
+
+  // The surviving event is load-bearing: removing it kills the violation.
+  FuzzSchedule empty = shrunk;
+  empty.events.clear();
+  EXPECT_TRUE(run_schedule(empty, inject).passed());
+}
+
+}  // namespace

@@ -1,0 +1,318 @@
+// fedms_fuzz — deterministic schedule fuzzer for the Fed-MS stack.
+//
+// Expands 64-bit seeds into random round schedules (topology, attacks,
+// timeout windows, scripted message faults) and runs each through the
+// execution paths the schedule selects: sync-vs-async differential parity,
+// scripted-fault determinism double-runs, or sync-vs-transport agreement —
+// all under the invariant oracles (Theorem-1 envelope, finiteness, trace
+// causality, canonical stage order, wire round-trips).
+//
+//   ./build/tools/fedms_fuzz --seeds 200            # fresh seeds
+//   ./build/tools/fedms_fuzz --corpus tests/fuzz/corpus.txt --seeds 50
+//   ./build/tools/fedms_fuzz --seed 0x1234abcd      # one schedule
+//   ./build/tools/fedms_fuzz --replay repro.json    # re-run a failure
+//   ./build/tools/fedms_fuzz --self-test            # planted-bug pipeline
+//
+// A failing schedule is shrunk (greedy event removal) and written to a
+// JSON repro file that --replay re-executes bit-for-bit (same violation,
+// same event-trace hash).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cli.h"
+#include "testing/fuzz.h"
+#include "testing/test_seed.h"
+
+namespace {
+
+using namespace fedms;
+
+std::uint64_t parse_u64(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 0);
+  if (end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "fedms_fuzz: error: %s must be an integer, got "
+                 "\"%s\"\n", what, text.c_str());
+    std::exit(1);
+  }
+  return value;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fedms_fuzz: error: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "fedms_fuzz: error: cannot write %s\n",
+                 path.c_str());
+    std::exit(1);
+  }
+}
+
+std::vector<std::uint64_t> load_corpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fedms_fuzz: error: cannot read corpus %s\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  std::vector<std::uint64_t> seeds;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    const std::size_t stop = line.find_last_not_of(" \t\r");
+    seeds.push_back(parse_u64(line.substr(start, stop - start + 1),
+                              "corpus seed"));
+  }
+  return seeds;
+}
+
+struct Tally {
+  std::size_t parity = 0, fault = 0, transport = 0;
+  std::size_t filter_events = 0;
+
+  void count(const testing::FuzzSchedule& schedule,
+             const testing::FuzzOutcome& outcome) {
+    switch (schedule.kind) {
+      case testing::ScheduleKind::kParity: ++parity; break;
+      case testing::ScheduleKind::kFault: ++fault; break;
+      case testing::ScheduleKind::kTransport: ++transport; break;
+    }
+    filter_events += outcome.filter_events;
+  }
+};
+
+// Shrinks, writes the repro file, and prints the failure report. Returns
+// the repro path.
+std::string report_failure(const testing::FuzzSchedule& schedule,
+                           const testing::FuzzOutcome& outcome,
+                           const testing::FuzzOptions& options,
+                           const std::string& repro_dir) {
+  std::size_t shrink_runs = 0;
+  const testing::FuzzSchedule minimal = testing::shrink_schedule(
+      schedule, options, outcome.violation->oracle, &shrink_runs);
+
+  char name[64];
+  std::snprintf(name, sizeof name, "fedms-fuzz-repro-%016llx.json",
+                static_cast<unsigned long long>(schedule.seed));
+  const std::string path =
+      (repro_dir.empty() ? std::string(".") : repro_dir) + "/" + name;
+  write_file(path, testing::repro_json(minimal, *outcome.violation, options));
+
+  std::printf("FAIL seed=0x%llx kind=%s oracle=%s\n",
+              static_cast<unsigned long long>(schedule.seed),
+              testing::to_string(schedule.kind),
+              outcome.violation->oracle.c_str());
+  std::printf("  %s\n", outcome.violation->detail.c_str());
+  std::printf("  shrunk to %zu schedule events (%zu shrink runs)\n",
+              minimal.events.size(), shrink_runs);
+  std::printf("  repro written: %s\n", path.c_str());
+  std::printf("  replay:        ./build/tools/fedms_fuzz --replay %s\n",
+              path.c_str());
+  std::printf("  rerun seed:    ./build/tools/fedms_fuzz --seed 0x%llx%s\n",
+              static_cast<unsigned long long>(schedule.seed),
+              options.inject_under_trim ? " --inject-under-trim" : "");
+  return path;
+}
+
+int run_seeds(const std::vector<std::uint64_t>& seeds,
+              const testing::FuzzOptions& options,
+              const std::string& repro_dir) {
+  Tally tally;
+  for (const std::uint64_t seed : seeds) {
+    const testing::FuzzSchedule schedule = testing::generate_schedule(seed);
+    const testing::FuzzOutcome outcome =
+        testing::run_schedule(schedule, options);
+    if (!outcome.passed()) {
+      report_failure(schedule, outcome, options, repro_dir);
+      return 1;
+    }
+    tally.count(schedule, outcome);
+  }
+  std::printf("ok: %zu schedules (%zu parity, %zu fault, %zu transport), "
+              "%zu filter decisions checked\n",
+              seeds.size(), tally.parity, tally.fault, tally.transport,
+              tally.filter_events);
+  return 0;
+}
+
+int replay(const std::string& path, bool shrink,
+           const std::string& repro_dir) {
+  const testing::Repro repro = testing::load_repro(read_file(path));
+  const testing::FuzzOutcome outcome =
+      testing::run_schedule(repro.schedule, repro.options);
+
+  if (repro.oracle.empty()) {
+    // A plain schedule file: just report the outcome.
+    if (outcome.passed()) {
+      std::printf("ok: schedule passed (trace hash %016llx)\n",
+                  static_cast<unsigned long long>(outcome.trace_hash));
+      return 0;
+    }
+    report_failure(repro.schedule, outcome, repro.options, repro_dir);
+    return 1;
+  }
+
+  if (!outcome.violation) {
+    std::printf("NOT REPRODUCED: %s recorded oracle=%s but the schedule "
+                "now passes\n", path.c_str(), repro.oracle.c_str());
+    return 1;
+  }
+  if (outcome.violation->oracle != repro.oracle ||
+      outcome.violation->detail != repro.detail) {
+    std::printf("DIVERGED: recorded %s \"%s\"\n       got %s \"%s\"\n",
+                repro.oracle.c_str(), repro.detail.c_str(),
+                outcome.violation->oracle.c_str(),
+                outcome.violation->detail.c_str());
+    return 1;
+  }
+  std::printf("reproduced bit-for-bit: oracle=%s trace hash %016llx\n",
+              repro.oracle.c_str(),
+              static_cast<unsigned long long>(outcome.trace_hash));
+  std::printf("  %s\n", outcome.violation->detail.c_str());
+  if (shrink) {
+    std::size_t runs = 0;
+    const testing::FuzzSchedule minimal = testing::shrink_schedule(
+        repro.schedule, repro.options, repro.oracle, &runs);
+    std::printf("  shrinks to %zu schedule events (%zu runs)\n",
+                minimal.events.size(), runs);
+  }
+  return 0;
+}
+
+// End-to-end pipeline check against a hand-planted bug: the PR 4
+// degraded-set under-trim regression must (a) pass the oracles when the
+// filter is correct, (b) trip the envelope oracle when planted, (c) write
+// a repro that replays bit-for-bit, and (d) shrink to a minimal schedule.
+int self_test(const std::string& repro_dir) {
+  const testing::FuzzSchedule scenario = testing::under_trim_scenario();
+
+  const testing::FuzzOutcome clean = testing::run_schedule(scenario, {});
+  if (!clean.passed() || clean.filter_events == 0) {
+    std::printf("self-test FAILED: clean run %s (filter decisions %zu)\n",
+                clean.passed() ? "passed" : clean.violation->detail.c_str(),
+                clean.filter_events);
+    return 1;
+  }
+
+  testing::FuzzOptions inject;
+  inject.inject_under_trim = true;
+  const testing::FuzzOutcome planted = testing::run_schedule(scenario,
+                                                             inject);
+  if (planted.passed() || planted.violation->oracle != "envelope") {
+    std::printf("self-test FAILED: planted under-trim bug not caught by "
+                "the envelope oracle (%s)\n",
+                planted.passed() ? "run passed"
+                                 : planted.violation->oracle.c_str());
+    return 1;
+  }
+
+  const std::string path =
+      (repro_dir.empty() ? std::string(".") : repro_dir) +
+      "/fedms-fuzz-self-test.json";
+  write_file(path,
+             testing::repro_json(scenario, *planted.violation, inject));
+  const testing::Repro repro = testing::load_repro(read_file(path));
+  const testing::FuzzOutcome replayed =
+      testing::run_schedule(repro.schedule, repro.options);
+  std::remove(path.c_str());
+  if (!replayed.violation ||
+      replayed.violation->detail != planted.violation->detail ||
+      replayed.trace_hash != planted.trace_hash) {
+    std::printf("self-test FAILED: repro did not replay bit-for-bit\n");
+    return 1;
+  }
+
+  std::size_t runs = 0;
+  const testing::FuzzSchedule minimal = testing::shrink_schedule(
+      scenario, inject, "envelope", &runs);
+  if (minimal.events.size() > 10) {
+    std::printf("self-test FAILED: shrunk schedule still has %zu events\n",
+                minimal.events.size());
+    return 1;
+  }
+
+  std::printf("self-test ok: envelope oracle caught the planted under-trim "
+              "bug (%s), repro replayed bit-for-bit, shrunk to %zu "
+              "event(s)\n",
+              planted.violation->detail.c_str(), minimal.events.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::CliFlags flags(
+      "fedms_fuzz: seed-driven deterministic fuzz harness — random round "
+      "schedules through the sync/async/transport paths under differential "
+      "and invariant oracles");
+  flags.add_int("seeds", 50, "number of freshly generated seeds to run");
+  flags.add_string("seed-base", "",
+                   "first fresh seed (default: FEDMS_TEST_SEED or "
+                   "0x5eedf00d); seed i = base + i");
+  flags.add_string("seed", "", "run exactly this one seed and exit");
+  flags.add_string("corpus", "",
+                   "newline-separated seed list to run before fresh seeds "
+                   "('#' comments)");
+  flags.add_string("replay", "", "re-execute a repro/schedule JSON file");
+  flags.add_bool("shrink", false,
+                 "with --replay: also greedily minimize the schedule");
+  flags.add_bool("inject-under-trim", false,
+                 "plant the degraded-set under-trim bug in every client "
+                 "filter (oracle calibration)");
+  flags.add_bool("self-test", false,
+                 "verify the fail->repro->replay->shrink pipeline against "
+                 "the planted under-trim bug");
+  flags.add_string("repro-dir", ".",
+                   "directory for repro files written on failure");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const std::string repro_dir = flags.get_string("repro-dir");
+  if (flags.get_bool("self-test")) return self_test(repro_dir);
+  if (!flags.get_string("replay").empty())
+    return replay(flags.get_string("replay"), flags.get_bool("shrink"),
+                  repro_dir);
+
+  testing::FuzzOptions options;
+  options.inject_under_trim = flags.get_bool("inject-under-trim");
+
+  if (!flags.get_string("seed").empty()) {
+    const std::uint64_t seed =
+        parse_u64(flags.get_string("seed"), "--seed");
+    return run_seeds({seed}, options, repro_dir);
+  }
+
+  std::vector<std::uint64_t> seeds;
+  if (!flags.get_string("corpus").empty())
+    seeds = load_corpus(flags.get_string("corpus"));
+  const std::uint64_t base =
+      flags.get_string("seed-base").empty()
+          ? testing::test_seed(0x5eedf00d)
+          : parse_u64(flags.get_string("seed-base"), "--seed-base");
+  const std::int64_t fresh = flags.get_int("seeds");
+  for (std::int64_t i = 0; i < fresh; ++i)
+    seeds.push_back(base + std::uint64_t(i));
+  if (testing::test_seed_overridden())
+    std::printf("# FEDMS_TEST_SEED override active: seed base 0x%llx\n",
+                static_cast<unsigned long long>(base));
+  return run_seeds(seeds, options, repro_dir);
+}

@@ -34,8 +34,11 @@
 #include <string>
 #include <vector>
 
+#include "byz/attack.h"
 #include "core/cli.h"
+#include "fl/aggregators.h"
 #include "fl/experiment.h"
+#include "fl/upload.h"
 #include "obs/obs.h"
 #include "obs/trace_merge.h"
 #include "transport/frame.h"
@@ -496,7 +499,23 @@ int main(int argc, char** argv) {
   cli.workload.batch_size = std::size_t(flags.get_int("batch"));
 
   try {
-    cli.fed.validate();
+    // Bad flag values are user input: throw (caught below as one-line
+    // errors) instead of letting validate()'s contracts abort.
+    if (const std::string e = cli.fed.check(); !e.empty())
+      throw std::runtime_error(e);
+    if (const std::string e = fl::check_aggregator_spec(cli.fed.client_filter);
+        !e.empty())
+      throw std::runtime_error("--client-filter: " + e);
+    if (const std::string e =
+            fl::check_aggregator_spec(cli.fed.server_aggregator);
+        !e.empty())
+      throw std::runtime_error("--server-aggregator: " + e);
+    if (const std::string e = fl::check_upload_spec(cli.fed.upload);
+        !e.empty())
+      throw std::runtime_error("--upload: " + e);
+    if (const std::string e = byz::check_attack_name(cli.fed.attack);
+        !e.empty())
+      throw std::runtime_error("--attack: " + e);
     transport::check_transport_supported(cli.fed);
     if (cli.backend != "unix" && cli.backend != "tcp")
       throw std::runtime_error("--backend must be unix or tcp");

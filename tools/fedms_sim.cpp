@@ -13,8 +13,11 @@
 #include <cstdio>
 #include <iostream>
 
+#include "byz/attack.h"
 #include "core/cli.h"
+#include "fl/aggregators.h"
 #include "fl/experiment.h"
+#include "fl/upload.h"
 #include "metrics/json.h"
 #include "obs/obs.h"
 #include "metrics/recorder.h"
@@ -135,7 +138,24 @@ int main(int argc, char** argv) {
   fed.worker_threads = std::size_t(flags.get_int("workers"));
   fed.seed = std::uint64_t(flags.get_int("seed"));
   fed.eval_every = std::size_t(flags.get_int("eval-every"));
-  fed.validate();
+
+  // CLI validation: a bad flag value is user input, not an internal bug —
+  // report one actionable line and exit 1 instead of contract-aborting.
+  const auto cli_error = [](const std::string& message) {
+    std::fprintf(stderr, "fedms_sim: error: %s\n", message.c_str());
+    return 1;
+  };
+  if (const std::string e = fed.check(); !e.empty()) return cli_error(e);
+  if (const std::string e = fl::check_aggregator_spec(fed.client_filter);
+      !e.empty())
+    return cli_error("--client-filter: " + e);
+  if (const std::string e = fl::check_aggregator_spec(fed.server_aggregator);
+      !e.empty())
+    return cli_error("--server-aggregator: " + e);
+  if (const std::string e = fl::check_upload_spec(fed.upload); !e.empty())
+    return cli_error("--upload: " + e);
+  if (const std::string e = byz::check_attack_name(fed.attack); !e.empty())
+    return cli_error("--attack: " + e);
 
   const std::string runtime_kind = flags.get_string("runtime");
   if (runtime_kind != "sync" && runtime_kind != "async") {
@@ -150,8 +170,12 @@ int main(int argc, char** argv) {
   runtime_options.broadcast_timeout_seconds = flags.get_double("timeout");
   runtime_options.max_retries = std::size_t(flags.get_int("retries"));
   runtime_options.retry_backoff_seconds = flags.get_double("backoff");
-  runtime_options.faults =
-      runtime::FaultPlan::parse(flags.get_string("fault-plan"));
+  {
+    std::string plan_error;
+    if (!runtime::FaultPlan::try_parse(flags.get_string("fault-plan"),
+                                       &runtime_options.faults, &plan_error))
+      return cli_error("--fault-plan: " + plan_error);
+  }
   runtime_options.validate();
   if (!async && !runtime_options.faults.empty()) {
     std::fprintf(stderr, "--fault-plan requires --runtime async\n");
