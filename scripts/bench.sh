@@ -7,9 +7,11 @@
 #                               tracing layer must not regress),
 #   * bench/micro_obs         — per-record cost of the obs layer (disabled
 #                               spans are the always-on tax),
+#   * bench/soak              — >= 10k clients through full protocol rounds
+#                               against one event-loop PS process,
 #   * tools/fedms_sim         — wall-clock per federated round,
 # and merges everything into one JSON report (default: repo/BENCH_PR<N>.json
-# with N from --pr or FEDMS_BENCH_PR, currently 4). When the previous PR's
+# with N from --pr or FEDMS_BENCH_PR, currently 6). When a recent PR's
 # report exists next to it, the merge step records the per-round delta
 # against it so perf regressions show up in the report itself.
 #
@@ -26,7 +28,7 @@ build="$repo/build-bench"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 quick=0
-pr="${FEDMS_BENCH_PR:-4}"
+pr="${FEDMS_BENCH_PR:-6}"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1 ;;
@@ -36,13 +38,16 @@ while [[ $# -gt 0 ]]; do
   shift
 done
 out="${FEDMS_BENCH_OUT:-$repo/BENCH_PR${pr}.json}"
+# Not every PR ships a bench report; fall back one more step so the delta
+# still lands against the most recent committed baseline.
 baseline="$repo/BENCH_PR$((pr - 1)).json"
+[[ -f "$baseline" ]] || baseline="$repo/BENCH_PR$((pr - 2)).json"
 
 echo "== configure + build (Release, bench targets) =="
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
   -DFEDMS_BUILD_TESTS=OFF -DFEDMS_BUILD_EXAMPLES=OFF -DFEDMS_BUILD_BENCH=ON
 cmake --build "$build" -j "$jobs" --target micro_gemm micro_aggregators \
-  micro_training micro_obs fedms_sim
+  micro_training micro_obs soak fedms_sim
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -73,6 +78,14 @@ obs_flags=()
 [[ $quick -eq 1 ]] && obs_flags+=(--quick)
 "$build/bench/micro_obs" "${obs_flags[@]}" > "$tmp/obs.json"
 
+echo "== soak (event-loop server, full protocol rounds) =="
+# The full run needs ~2 fds per client split across two processes; the
+# bench probes RLIMIT_NOFILE itself and fails with the `ulimit -n` remedy
+# when the budget is short.
+soak_flags=(--clients 10000 --dim 1024 --rounds 3)
+[[ $quick -eq 1 ]] && soak_flags=(--quick)
+"$build/bench/soak" "${soak_flags[@]}" > "$tmp/soak.json"
+
 echo "== fedms_sim per-round wall time =="
 rounds=8
 runs=3
@@ -100,6 +113,7 @@ PY
 echo "== merge -> $out =="
 GEMM_JSON="$tmp/gemm.json" AGG_JSON="$tmp/aggregators.json" \
 TRAIN_JSON="$tmp/training.json" OBS_JSON="$tmp/obs.json" \
+SOAK_JSON="$tmp/soak.json" \
 SIM_SECONDS="$sim_seconds" SIM_ROUNDS="$rounds" \
 QUICK="$quick" OUT="$out" PR="$pr" BASELINE="$baseline" python3 - <<'PY'
 import json, os
@@ -108,6 +122,7 @@ gemm = json.load(open(os.environ["GEMM_JSON"]))
 agg = json.load(open(os.environ["AGG_JSON"]))
 train = json.load(open(os.environ["TRAIN_JSON"]))
 obs = json.load(open(os.environ["OBS_JSON"]))
+soak = json.load(open(os.environ["SOAK_JSON"]))["soak"]
 
 def series(report):
     rows = []
@@ -132,6 +147,7 @@ report = {
     "trimmed_mean": series(agg),
     "training": series(train),
     "obs": obs["obs"],
+    "soak": soak,
     "per_round": {
         "model": "mobilenet",
         "clients": 8,
@@ -176,6 +192,10 @@ for b in report["training"]:
     print(f"  {b['name']}: {b['items_per_second']:.0f} steps/s")
 print(f"  obs span disabled/enabled: {report['obs']['span_disabled_ns']}"
       f" / {report['obs']['span_enabled_ns']} ns")
+print(f"  soak: {soak['clients']} clients, "
+      f"{soak['rounds_per_second']:.3f} rounds/s, "
+      f"{soak['bytes_per_second'] / 1e6:.1f} MB/s, p99 aggregation "
+      f"{soak['p99_ms']['aggregation']:.0f} ms")
 print(f"  per round: {report['per_round']['seconds_per_round']:.3f} s")
 if "vs_previous" in report:
     change = report["vs_previous"].get("seconds_per_round_change")

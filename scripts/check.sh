@@ -127,6 +127,18 @@ echo "== multi-process smoke (4 clients + 2 PSs over Unix sockets) =="
 "$build/tools/fedms_node" --mode launch --backend unix \
   --clients 4 --servers 2 --byzantine 1 --rounds 2 --samples 400 --verify
 
+echo "== event-loop runtime smoke (8 clients + 4 PSs, sharded filter) =="
+# Same launcher, but every PS runs the epoll-based event-loop runtime with
+# the aggregation filter sharded across a 2-thread pool — still bit-for-bit
+# against the simulator.
+"$build/tools/fedms_node" --mode launch --backend unix \
+  --clients 8 --servers 4 --byzantine 1 --rounds 2 --samples 400 \
+  --runtime eventloop --filter-threads 2 --verify
+
+echo "== soak smoke (64-client event-loop rounds) =="
+"$build/bench/soak" --quick > /dev/null
+"$build/bench/soak" --quick --backend poll > /dev/null
+
 echo "== trace smoke (sim + multi-process, Chrome trace JSON) =="
 # Both execution paths must emit loadable Chrome traces: the simulator via
 # --trace-out and the launcher via --trace-dir (per-node files merged into
@@ -159,6 +171,7 @@ cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "$asan_build" -j "$jobs" \
   --target runtime_event_queue_test runtime_fault_test runtime_async_test \
            transport_frame_test transport_inmem_test transport_socket_test \
+           eventloop_test eventloop_churn_test \
            tensor_gemm_test tensor_workspace_test \
            fedms_node
 
@@ -167,6 +180,7 @@ echo "== runtime + transport + kernel tests under ASan/UBSan =="
 # not to complain about the intentional aborts.
 for t in runtime_event_queue_test runtime_fault_test runtime_async_test \
          transport_frame_test transport_inmem_test transport_socket_test \
+         eventloop_test eventloop_churn_test \
          tensor_gemm_test tensor_workspace_test; do
   "$asan_build/tests/$t"
 done
@@ -174,20 +188,24 @@ done
 echo "== multi-process smoke under ASan/UBSan =="
 "$asan_build/tools/fedms_node" --mode launch --backend unix \
   --clients 2 --servers 2 --byzantine 1 --rounds 1 --samples 200 --verify
+"$asan_build/tools/fedms_node" --mode launch --backend unix \
+  --clients 2 --servers 2 --byzantine 1 --rounds 1 --samples 200 \
+  --runtime eventloop --verify
 
 echo "== configure + build (TSan) =="
 cmake -B "$tsan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DFEDMS_SANITIZE_THREAD=ON
 cmake --build "$tsan_build" -j "$jobs" \
   --target obs_test core_thread_pool_test tensor_conv_test \
-           tensor_workspace_test
+           tensor_workspace_test fl_sharded_filter_test
 
-echo "== obs layer + ThreadPool conv path under TSan =="
+echo "== obs layer + ThreadPool paths under TSan =="
 # obs_test's concurrent-recording case hammers the registry from pool
 # workers; the conv/workspace tests drive the ThreadPool im2col path that
-# the training spans now wrap.
+# the training spans wrap; the sharded-filter test drives the event-loop
+# runtime's coordinate-sharded trimmed mean from pool workers.
 for t in obs_test core_thread_pool_test tensor_conv_test \
-         tensor_workspace_test; do
+         tensor_workspace_test fl_sharded_filter_test; do
   "$tsan_build/tests/$t"
 done
 
@@ -205,6 +223,8 @@ assert shapes, "bench report has no GEMM entries"
 for shape in shapes:
     assert shape["blocked_gflops"] > 0, f"zero GFLOP/s for {shape['tag']}"
 assert report["per_round"]["seconds_per_round"] > 0
+assert report["soak"]["rounds_per_second"] > 0
+assert report["soak"]["evicted_slow"] == 0, "soak evicted a healthy client"
 print(f"bench report OK ({len(shapes)} GEMM shapes)")
 PY
 

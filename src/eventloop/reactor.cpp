@@ -1,0 +1,191 @@
+#include "eventloop/reactor.h"
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/contracts.h"
+
+namespace fedms::eventloop {
+
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+int timeout_ms(double timeout_seconds) {
+  if (timeout_seconds <= 0.0) return 0;
+  // +1 so a sub-millisecond remainder never busy-spins at 0 ms.
+  const double ms = timeout_seconds * 1000.0 + 1.0;
+  return ms > 86400000.0 ? 86400000 : int(ms);
+}
+
+#if defined(__linux__)
+std::uint32_t epoll_mask(bool want_read, bool want_write) {
+  std::uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+#endif
+
+}  // namespace
+
+Reactor::Backend Reactor::default_backend() {
+#if defined(__linux__)
+  return Backend::kEpoll;
+#else
+  return Backend::kPoll;
+#endif
+}
+
+const char* Reactor::to_string(Backend backend) {
+  return backend == Backend::kEpoll ? "epoll" : "poll";
+}
+
+Reactor::Reactor(Backend backend) : backend_(backend) {
+  if (backend_ == Backend::kEpoll) {
+#if defined(__linux__)
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) raise_errno("epoll_create1");
+#else
+    throw std::runtime_error("epoll backend is not available on this platform");
+#endif
+  }
+}
+
+Reactor::~Reactor() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Reactor::Interest& Reactor::interest_for(int fd) {
+  FEDMS_EXPECTS(fd >= 0);
+  if (std::size_t(fd) >= interests_.size())
+    interests_.resize(std::size_t(fd) + 1);
+  return interests_[std::size_t(fd)];
+}
+
+void Reactor::add(int fd, bool want_read, bool want_write, void* user) {
+  Interest& interest = interest_for(fd);
+  FEDMS_EXPECTS(!interest.active);
+  interest.active = true;
+  interest.user = user;
+  interest.want_read = want_read;
+  interest.want_write = want_write;
+  ++active_count_;
+#if defined(__linux__)
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0)
+      raise_errno("epoll_ctl(ADD)");
+  }
+#endif
+}
+
+void Reactor::modify(int fd, bool want_read, bool want_write) {
+  Interest& interest = interest_for(fd);
+  FEDMS_EXPECTS(interest.active);
+  if (interest.want_read == want_read && interest.want_write == want_write)
+    return;
+  interest.want_read = want_read;
+  interest.want_write = want_write;
+#if defined(__linux__)
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0)
+      raise_errno("epoll_ctl(MOD)");
+  }
+#endif
+}
+
+void Reactor::remove(int fd) {
+  Interest& interest = interest_for(fd);
+  FEDMS_EXPECTS(interest.active);
+  interest = Interest{};
+  --active_count_;
+#if defined(__linux__)
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};  // non-null for pre-2.6.9 kernels
+    // EBADF/ENOENT: a handler already closed the fd, and the kernel drops
+    // closed fds from the interest list itself — deregistering after the
+    // close is then a no-op, not an error.
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev) < 0 &&
+        errno != EBADF && errno != ENOENT)
+      raise_errno("epoll_ctl(DEL)");
+  }
+#endif
+}
+
+std::size_t Reactor::wait(double timeout_seconds, std::vector<Event>& out) {
+  out.clear();
+  if (backend_ == Backend::kEpoll) {
+#if defined(__linux__)
+    epoll_event events[256];
+    const int rc = ::epoll_wait(epoll_fd_, events, 256,
+                                timeout_ms(timeout_seconds));
+    if (rc < 0) {
+      if (errno == EINTR) return 0;
+      raise_errno("epoll_wait");
+    }
+    for (int i = 0; i < rc; ++i) {
+      const int fd = events[i].data.fd;
+      const Interest& interest = interests_[std::size_t(fd)];
+      // A fd removed by an earlier event's handler in the same batch can
+      // still be reported; skip stale entries.
+      if (!interest.active) continue;
+      Event event;
+      event.fd = fd;
+      event.user = interest.user;
+      event.readable = (events[i].events & EPOLLIN) != 0;
+      event.writable = (events[i].events & EPOLLOUT) != 0;
+      event.broken = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(event);
+    }
+    return out.size();
+#else
+    return 0;  // unreachable: the constructor rejects kEpoll off-Linux
+#endif
+  }
+
+  pollfds_.clear();
+  for (int fd = 0; std::size_t(fd) < interests_.size(); ++fd) {
+    const Interest& interest = interests_[std::size_t(fd)];
+    if (!interest.active) continue;
+    short events = 0;
+    if (interest.want_read) events |= POLLIN;
+    if (interest.want_write) events |= POLLOUT;
+    pollfds_.push_back(pollfd{fd, events, 0});
+  }
+  const int rc = ::poll(pollfds_.data(), nfds_t(pollfds_.size()),
+                        timeout_ms(timeout_seconds));
+  if (rc < 0) {
+    if (errno == EINTR) return 0;
+    raise_errno("poll");
+  }
+  for (const pollfd& p : pollfds_) {
+    if (p.revents == 0) continue;
+    const Interest& interest = interests_[std::size_t(p.fd)];
+    if (!interest.active) continue;
+    Event event;
+    event.fd = p.fd;
+    event.user = interest.user;
+    event.readable = (p.revents & POLLIN) != 0;
+    event.writable = (p.revents & POLLOUT) != 0;
+    event.broken = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(event);
+  }
+  return out.size();
+}
+
+}  // namespace fedms::eventloop

@@ -1,0 +1,85 @@
+// Readiness reactor: the epoll wrapper under the event-loop server
+// runtime, with a poll(2) fallback for portability (and for A/B-testing
+// the two backends against each other — they must be behaviorally
+// indistinguishable, which tests/eventloop_test.cpp pins).
+//
+// The reactor owns no fds and runs no callbacks: callers register file
+// descriptors with a read/write interest mask and an opaque user pointer,
+// then drain readiness events from wait(). Level-triggered semantics on
+// both backends — a fd stays reported until the caller consumes the
+// condition — so a partially-drained socket can never be lost by an
+// event-compression race, and the poll backend needs no extra state to
+// match epoll exactly.
+#pragma once
+
+#include <poll.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fedms::eventloop {
+
+class Reactor {
+ public:
+  enum class Backend { kEpoll, kPoll };
+
+  // kEpoll on Linux, kPoll elsewhere.
+  static Backend default_backend();
+  static const char* to_string(Backend backend);
+
+  // Throws std::runtime_error when the preferred backend cannot be set up
+  // (e.g. epoll_create1 fails); callers wanting graceful degradation catch
+  // and retry with kPoll.
+  explicit Reactor(Backend backend = default_backend());
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  Backend backend() const { return backend_; }
+  std::size_t watched() const { return active_count_; }
+
+  // Registers `fd` with the given interest mask. `user` is handed back
+  // verbatim on every event for this fd. Precondition: fd not registered.
+  void add(int fd, bool want_read, bool want_write, void* user);
+  // Updates the interest mask of a registered fd.
+  void modify(int fd, bool want_read, bool want_write);
+  // Deregisters; safe to call right before closing the fd.
+  void remove(int fd);
+
+  struct Event {
+    int fd = -1;
+    void* user = nullptr;
+    bool readable = false;
+    bool writable = false;
+    // Error/hangup condition (EPOLLERR/EPOLLHUP/POLLNVAL). The fd is
+    // still readable-until-EOF; callers should read to drain then close.
+    bool broken = false;
+  };
+
+  // Blocks up to `timeout_seconds` (<= 0 -> immediate poll) and appends
+  // ready events to `out` (cleared first). Returns the event count.
+  // EINTR is absorbed: an interrupted wait returns 0 events.
+  std::size_t wait(double timeout_seconds, std::vector<Event>& out);
+
+ private:
+  struct Interest {
+    void* user = nullptr;
+    bool active = false;
+    bool want_read = false;
+    bool want_write = false;
+  };
+  Interest& interest_for(int fd);
+
+  Backend backend_;
+  int epoll_fd_ = -1;
+  std::size_t active_count_ = 0;
+  // fd -> interest, dense by fd (fds are small integers). The poll
+  // backend rebuilds its pollfd array from this table every wait — O(n)
+  // like poll(2) itself; epoll keeps the kernel's interest list and uses
+  // the table only to hand back user pointers.
+  std::vector<Interest> interests_;
+  std::vector<pollfd> pollfds_;  // poll backend scratch
+};
+
+}  // namespace fedms::eventloop

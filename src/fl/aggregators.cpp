@@ -1,15 +1,19 @@
 #include "fl/aggregators.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
 
 #include "core/contracts.h"
+#include "core/thread_pool.h"
 
 namespace fedms::fl {
 
 namespace {
+
+std::atomic<core::ThreadPool*> g_aggregation_pool{nullptr};
 
 void check_models(const std::vector<ModelVector>& models) {
   FEDMS_EXPECTS(!models.empty());
@@ -56,7 +60,133 @@ inline void push_large(float* tail, std::size_t& count, std::size_t cap,
   ++count;
 }
 
+// Coordinate block sized so the transposed block (kBlock x P floats)
+// stays L1/L2-resident while each model row is streamed through exactly
+// once per block. Sharded execution aligns shard boundaries to it.
+constexpr std::size_t kBlock = 64;
+// Largest trim the linear tail-tracking fast path handles; beyond it the
+// bounded insertions stop beating two nth_element partitions.
+constexpr std::size_t kMaxFastTrim = 16;
+
+// Mean of coordinates [j0, j1) into out — the per-shard kernel.
+void mean_range(const std::vector<ModelVector>& models, std::size_t j0,
+                std::size_t j1, ModelVector& out) {
+  const double inv = 1.0 / double(models.size());
+  for (std::size_t j = j0; j < j1; ++j) {
+    double acc = 0.0;
+    for (const auto& m : models) acc += m[j];
+    out[j] = static_cast<float>(acc * inv);
+  }
+}
+
+// Trimmed mean of coordinates [j0, j1) into out — the per-shard kernel.
+// All scratch is call-local, so shards never share mutable state and the
+// per-coordinate arithmetic is identical to a serial full-range call.
+void trimmed_mean_range(const std::vector<ModelVector>& models,
+                        std::size_t trim, std::size_t j0, std::size_t j1,
+                        ModelVector& out) {
+  const std::size_t p = models.size();
+  const std::size_t kept = p - 2 * trim;
+  std::vector<float> scratch(p);
+
+  // Gathers coordinate j into `scratch` and computes the kept-window mean
+  // by two-sided selection: partition the trim smallest to the front, then
+  // the trim largest past the kept window. The kept values are exactly the
+  // sorted ranks [trim, p - trim); their within-window order is irrelevant
+  // to the (double-accumulated) mean. Handles non-finite values and any
+  // trim — the general path.
+  auto select_mean = [&](std::size_t j) {
+    float* column = scratch.data();
+    for (std::size_t i = 0; i < p; ++i) column[i] = sort_key(models[i][j]);
+    if (trim > 0) {
+      std::nth_element(column, column + trim, column + p);
+      std::nth_element(column + trim, column + (p - trim), column + p);
+    }
+    double acc = 0.0;
+    for (std::size_t i = trim; i < p - trim; ++i) acc += column[i];
+    out[j] = static_cast<float>(acc / double(kept));
+  };
+
+  if (trim == 0 || trim > kMaxFastTrim) {
+    for (std::size_t j = j0; j < j1; ++j) select_mean(j);
+    return;
+  }
+
+  // Small-trim fast path, the benign steady state: stream the P x d model
+  // matrix model-major in cache-sized coordinate blocks, maintaining per
+  // coordinate a running total plus the trim smallest/largest values by
+  // bounded insertion (expected O(p + trim log p) updates per coordinate
+  // on random input); the kept-window sum is total − tails. That
+  // subtraction is only valid when every value is finite (∞ − ∞ = NaN),
+  // so columns carrying ±∞/NaN — the Byzantine case — are redone with the
+  // selection path above. All per-block state (totals + both tails) stays
+  // L1-resident.
+  std::vector<double> totals(kBlock);
+  std::vector<float> low(kBlock * trim), high(kBlock * trim);
+  std::vector<std::size_t> nlow(kBlock), nhigh(kBlock);
+  std::vector<unsigned char> nonfinite(kBlock);
+  for (std::size_t jb = j0; jb < j1; jb += kBlock) {
+    const std::size_t width = std::min(kBlock, j1 - jb);
+    std::fill(totals.begin(), totals.begin() + std::ptrdiff_t(width), 0.0);
+    std::fill(nlow.begin(), nlow.begin() + std::ptrdiff_t(width), 0u);
+    std::fill(nhigh.begin(), nhigh.begin() + std::ptrdiff_t(width), 0u);
+    std::fill(nonfinite.begin(), nonfinite.begin() + std::ptrdiff_t(width),
+              0);
+    for (std::size_t i = 0; i < p; ++i) {
+      const float* row = models[i].data() + jb;
+      for (std::size_t jj = 0; jj < width; ++jj) {
+        const float v = sort_key(row[jj]);
+        nonfinite[jj] |= static_cast<unsigned char>(!std::isfinite(v));
+        totals[jj] += v;
+        push_small(low.data() + jj * trim, nlow[jj], trim, v);
+        push_large(high.data() + jj * trim, nhigh[jj], trim, v);
+      }
+    }
+    for (std::size_t jj = 0; jj < width; ++jj) {
+      if (nonfinite[jj]) {
+        select_mean(jb + jj);
+        continue;
+      }
+      double tails = 0.0;
+      for (std::size_t i = 0; i < trim; ++i)
+        tails += double(low[jj * trim + i]) + double(high[jj * trim + i]);
+      out[jb + jj] =
+          static_cast<float>((totals[jj] - tails) / double(kept));
+    }
+  }
+}
+
+// Runs `range(j0, j1, out)` over [0, d) sharded across `pool`, shard
+// boundaries aligned to kBlock (so the fast path's blocking is unchanged).
+// Oversplits 4x per worker: the nonfinite-column fallback makes shard cost
+// uneven under Byzantine input.
+template <typename RangeFn>
+ModelVector sharded_by_coordinate(std::size_t d, core::ThreadPool& pool,
+                                  const RangeFn& range) {
+  ModelVector out(d);
+  const std::size_t blocks = (d + kBlock - 1) / kBlock;
+  std::size_t shards =
+      pool.worker_count() == 0 ? 1 : pool.worker_count() * 4;
+  shards = std::min(shards, blocks);
+  const std::size_t width =
+      ((blocks + shards - 1) / shards) * kBlock;  // per-shard coordinates
+  pool.parallel_for(shards, [&](std::size_t s) {
+    const std::size_t j0 = s * width;
+    const std::size_t j1 = std::min(d, j0 + width);
+    if (j0 < j1) range(j0, j1, out);
+  });
+  return out;
+}
+
 }  // namespace
+
+void set_aggregation_pool(core::ThreadPool* pool) {
+  g_aggregation_pool.store(pool, std::memory_order_release);
+}
+
+core::ThreadPool* aggregation_pool() {
+  return g_aggregation_pool.load(std::memory_order_acquire);
+}
 
 std::size_t beta_trim_count(double beta, std::size_t count) {
   FEDMS_EXPECTS(beta >= 0.0 && beta < 0.5);
@@ -96,15 +226,22 @@ std::size_t degraded_trim_count(std::size_t target, std::size_t received) {
 
 ModelVector mean_aggregate(const std::vector<ModelVector>& models) {
   check_models(models);
+  if (core::ThreadPool* pool = aggregation_pool())
+    return mean_aggregate(models, *pool);
   const std::size_t d = models.front().size();
-  ModelVector out(d, 0.0f);
-  const double inv = 1.0 / double(models.size());
-  for (std::size_t j = 0; j < d; ++j) {
-    double acc = 0.0;
-    for (const auto& m : models) acc += m[j];
-    out[j] = static_cast<float>(acc * inv);
-  }
+  ModelVector out(d);
+  mean_range(models, 0, d, out);
   return out;
+}
+
+ModelVector mean_aggregate(const std::vector<ModelVector>& models,
+                           core::ThreadPool& pool) {
+  check_models(models);
+  return sharded_by_coordinate(
+      models.front().size(), pool,
+      [&](std::size_t j0, std::size_t j1, ModelVector& out) {
+        mean_range(models, j0, j1, out);
+      });
 }
 
 ModelVector trimmed_mean(const std::vector<ModelVector>& models,
@@ -116,87 +253,24 @@ ModelVector trimmed_mean(const std::vector<ModelVector>& models,
 ModelVector trimmed_mean(const std::vector<ModelVector>& models,
                          std::size_t trim) {
   check_models(models);
-  const std::size_t p = models.size();
-  FEDMS_EXPECTS(2 * trim < p);
+  FEDMS_EXPECTS(2 * trim < models.size());
+  if (core::ThreadPool* pool = aggregation_pool())
+    return trimmed_mean(models, trim, *pool);
   const std::size_t d = models.front().size();
-  const std::size_t kept = p - 2 * trim;
-
-  // Coordinate block sized so the transposed block (kBlock x P floats)
-  // stays L1/L2-resident while each model row is streamed through exactly
-  // once per block.
-  constexpr std::size_t kBlock = 64;
-  // Largest trim the linear tail-tracking fast path handles; beyond it the
-  // bounded insertions stop beating two nth_element partitions.
-  constexpr std::size_t kMaxFastTrim = 16;
   ModelVector out(d);
-  std::vector<float> scratch(p);
-
-  // Gathers coordinate j into `scratch` and computes the kept-window mean
-  // by two-sided selection: partition the trim smallest to the front, then
-  // the trim largest past the kept window. The kept values are exactly the
-  // sorted ranks [trim, p - trim); their within-window order is irrelevant
-  // to the (double-accumulated) mean. Handles non-finite values and any
-  // trim — the general path.
-  auto select_mean = [&](std::size_t j) {
-    float* column = scratch.data();
-    for (std::size_t i = 0; i < p; ++i) column[i] = sort_key(models[i][j]);
-    if (trim > 0) {
-      std::nth_element(column, column + trim, column + p);
-      std::nth_element(column + trim, column + (p - trim), column + p);
-    }
-    double acc = 0.0;
-    for (std::size_t i = trim; i < p - trim; ++i) acc += column[i];
-    out[j] = static_cast<float>(acc / double(kept));
-  };
-
-  if (trim == 0 || trim > kMaxFastTrim) {
-    for (std::size_t j = 0; j < d; ++j) select_mean(j);
-    return out;
-  }
-
-  // Small-trim fast path, the benign steady state: stream the P x d model
-  // matrix model-major in cache-sized coordinate blocks, maintaining per
-  // coordinate a running total plus the trim smallest/largest values by
-  // bounded insertion (expected O(p + trim log p) updates per coordinate
-  // on random input); the kept-window sum is total − tails. That
-  // subtraction is only valid when every value is finite (∞ − ∞ = NaN),
-  // so columns carrying ±∞/NaN — the Byzantine case — are redone with the
-  // selection path above. All per-block state (totals + both tails) stays
-  // L1-resident.
-  std::vector<double> totals(kBlock);
-  std::vector<float> low(kBlock * trim), high(kBlock * trim);
-  std::vector<std::size_t> nlow(kBlock), nhigh(kBlock);
-  std::vector<unsigned char> nonfinite(kBlock);
-  for (std::size_t j0 = 0; j0 < d; j0 += kBlock) {
-    const std::size_t width = std::min(kBlock, d - j0);
-    std::fill(totals.begin(), totals.begin() + std::ptrdiff_t(width), 0.0);
-    std::fill(nlow.begin(), nlow.begin() + std::ptrdiff_t(width), 0u);
-    std::fill(nhigh.begin(), nhigh.begin() + std::ptrdiff_t(width), 0u);
-    std::fill(nonfinite.begin(), nonfinite.begin() + std::ptrdiff_t(width),
-              0);
-    for (std::size_t i = 0; i < p; ++i) {
-      const float* row = models[i].data() + j0;
-      for (std::size_t jj = 0; jj < width; ++jj) {
-        const float v = sort_key(row[jj]);
-        nonfinite[jj] |= static_cast<unsigned char>(!std::isfinite(v));
-        totals[jj] += v;
-        push_small(low.data() + jj * trim, nlow[jj], trim, v);
-        push_large(high.data() + jj * trim, nhigh[jj], trim, v);
-      }
-    }
-    for (std::size_t jj = 0; jj < width; ++jj) {
-      if (nonfinite[jj]) {
-        select_mean(j0 + jj);
-        continue;
-      }
-      double tails = 0.0;
-      for (std::size_t i = 0; i < trim; ++i)
-        tails += double(low[jj * trim + i]) + double(high[jj * trim + i]);
-      out[j0 + jj] =
-          static_cast<float>((totals[jj] - tails) / double(kept));
-    }
-  }
+  trimmed_mean_range(models, trim, 0, d, out);
   return out;
+}
+
+ModelVector trimmed_mean(const std::vector<ModelVector>& models,
+                         std::size_t trim, core::ThreadPool& pool) {
+  check_models(models);
+  FEDMS_EXPECTS(2 * trim < models.size());
+  return sharded_by_coordinate(
+      models.front().size(), pool,
+      [&](std::size_t j0, std::size_t j1, ModelVector& out) {
+        trimmed_mean_range(models, trim, j0, j1, out);
+      });
 }
 
 ModelVector trimmed_mean_reference(const std::vector<ModelVector>& models,

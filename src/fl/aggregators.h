@@ -14,6 +14,10 @@
 #include <string>
 #include <vector>
 
+namespace fedms::core {
+class ThreadPool;
+}
+
 namespace fedms::fl {
 
 using ModelVector = std::vector<float>;
@@ -39,6 +43,27 @@ using AggregatorPtr = std::unique_ptr<Aggregator>;
 
 // Arithmetic mean per coordinate.
 ModelVector mean_aggregate(const std::vector<ModelVector>& models);
+
+// ---- sharded execution ----
+//
+// The trimmed mean and the PS mean are per-coordinate independent, so
+// their cost shards across cores by coordinate range with bit-identical
+// output (each coordinate's arithmetic is untouched; shards are aligned
+// to the cache-block width). The event-loop runtime uses this so filter
+// cost scales with cores, not clients.
+//
+// `set_aggregation_pool` installs a process-global pool consulted by
+// `trimmed_mean` / `mean_aggregate` (and hence by ParameterServer and
+// apply_client_filter) — nullptr (the default) keeps every path serial.
+// Install at setup time, before aggregation runs; the pool must outlive
+// its use. The explicit-pool overloads bypass the global.
+void set_aggregation_pool(core::ThreadPool* pool);
+core::ThreadPool* aggregation_pool();
+
+ModelVector mean_aggregate(const std::vector<ModelVector>& models,
+                           core::ThreadPool& pool);
+ModelVector trimmed_mean(const std::vector<ModelVector>& models,
+                         std::size_t trim, core::ThreadPool& pool);
 
 // ---- trim-count derivation ----
 //

@@ -33,17 +33,6 @@ double now_seconds() {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
-    raise_errno("fcntl(O_NONBLOCK)");
-}
-
-void set_nodelay(int fd) {
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-}
-
 int make_socket(SocketAddress::Kind kind) {
   const int fd =
       ::socket(kind == SocketAddress::Kind::kUnix ? AF_UNIX : AF_INET,
@@ -71,15 +60,104 @@ sockaddr_in tcp_sockaddr(const std::string& host, std::uint16_t port) {
 }
 
 // Polls one fd for POLLIN until `deadline_seconds` (monotonic clock).
+// EINTR re-polls with the remaining budget — a signal must not be
+// mistaken for a timeout.
 bool poll_readable(int fd, double deadline_seconds) {
-  const double remaining = deadline_seconds - now_seconds();
-  if (remaining <= 0) return false;
-  pollfd p{fd, POLLIN, 0};
-  const int rc = ::poll(&p, 1, int(remaining * 1000.0) + 1);
-  return rc > 0;
+  for (;;) {
+    const double remaining = deadline_seconds - now_seconds();
+    if (remaining <= 0) return false;
+    pollfd p{fd, POLLIN, 0};
+    const int rc = ::poll(&p, 1, int(remaining * 1000.0) + 1);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) raise_errno("poll");
+  }
 }
 
 }  // namespace
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    raise_errno("fcntl(O_NONBLOCK)");
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+int make_listener(const SocketAddress& address, int backlog) {
+  const int listener = make_socket(address.kind);
+  if (address.kind == SocketAddress::Kind::kUnix) {
+    ::unlink(address.path.c_str());
+    const sockaddr_un addr = unix_sockaddr(address.path);
+    if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) < 0) {
+      ::close(listener);
+      raise_errno("bind " + address.to_string());
+    }
+  } else {
+    const int one = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    const sockaddr_in addr = tcp_sockaddr(address.host, address.port);
+    if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) < 0) {
+      ::close(listener);
+      raise_errno("bind " + address.to_string());
+    }
+  }
+  if (::listen(listener, backlog) < 0) {
+    ::close(listener);
+    raise_errno("listen " + address.to_string());
+  }
+  set_nonblocking(listener);
+  return listener;
+}
+
+int connect_with_retry(const SocketAddress& address,
+                       const runtime::Backoff& backoff) {
+  std::size_t attempts = 0;
+  for (;;) {
+    const int fd = make_socket(address.kind);
+    int rc;
+    if (address.kind == SocketAddress::Kind::kUnix) {
+      const sockaddr_un addr = unix_sockaddr(address.path);
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr);
+    } else {
+      const sockaddr_in addr = tcp_sockaddr(address.host, address.port);
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr);
+    }
+    if (rc < 0 && errno == EINTR) {
+      // POSIX: the handshake keeps establishing after the signal; wait
+      // for writability and read the final result from SO_ERROR.
+      pollfd p{fd, POLLOUT, 0};
+      while (::poll(&p, 1, -1) < 0 && errno == EINTR) {
+      }
+      int error = 0;
+      socklen_t length = sizeof error;
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &length);
+      if (error == 0) {
+        rc = 0;
+      } else {
+        errno = error;
+        rc = -1;
+      }
+    }
+    if (rc == 0) return fd;
+    const int saved_errno = errno;
+    ::close(fd);
+    errno = saved_errno;
+    // The listener may not be up yet — same bounded exponential backoff
+    // policy as the runtime's broadcast re-requests.
+    if (backoff.exhausted(attempts))
+      raise_errno("connect " + address.to_string());
+    const double delay = backoff.delay_seconds(attempts++);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
 
 SocketAddress SocketAddress::unix_path(std::string path) {
   SocketAddress address;
@@ -148,30 +226,7 @@ std::unique_ptr<SocketTransport> SocketTransport::listen_and_accept(
     const net::NodeId& self, const SocketAddress& address,
     std::size_t expected_peers, const SocketTransportOptions& options,
     double timeout_seconds) {
-  const int listener = make_socket(address.kind);
-  if (address.kind == SocketAddress::Kind::kUnix) {
-    ::unlink(address.path.c_str());
-    const sockaddr_un addr = unix_sockaddr(address.path);
-    if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-               sizeof addr) < 0) {
-      ::close(listener);
-      raise_errno("bind " + address.to_string());
-    }
-  } else {
-    const int one = 1;
-    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    const sockaddr_in addr = tcp_sockaddr(address.host, address.port);
-    if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-               sizeof addr) < 0) {
-      ::close(listener);
-      raise_errno("bind " + address.to_string());
-    }
-  }
-  if (::listen(listener, int(expected_peers) + 8) < 0) {
-    ::close(listener);
-    raise_errno("listen " + address.to_string());
-  }
-  set_nonblocking(listener);
+  const int listener = make_listener(address, int(expected_peers) + 8);
 
   std::unique_ptr<SocketTransport> transport(
       new SocketTransport(self, options));
@@ -256,31 +311,7 @@ std::unique_ptr<SocketTransport> SocketTransport::connect_mesh(
       new SocketTransport(self, options));
   for (std::size_t s = 0; s < servers.size(); ++s) {
     const SocketAddress& address = servers[s];
-    int fd = -1;
-    std::size_t attempts = 0;
-    for (;;) {
-      fd = make_socket(address.kind);
-      int rc;
-      if (address.kind == SocketAddress::Kind::kUnix) {
-        const sockaddr_un addr = unix_sockaddr(address.path);
-        rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                       sizeof addr);
-      } else {
-        const sockaddr_in addr = tcp_sockaddr(address.host, address.port);
-        rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                       sizeof addr);
-      }
-      if (rc == 0) break;
-      ::close(fd);
-      fd = -1;
-      // The listener may not be up yet — same bounded exponential backoff
-      // policy as the runtime's broadcast re-requests.
-      if (options.connect_backoff.exhausted(attempts))
-        raise_errno("connect " + address.to_string());
-      const double delay =
-          options.connect_backoff.delay_seconds(attempts++);
-      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
-    }
+    const int fd = connect_with_retry(address, options.connect_backoff);
     set_nonblocking(fd);
     if (address.kind == SocketAddress::Kind::kTcp) set_nodelay(fd);
     transport->add_peer(fd, net::server_id(s));
@@ -309,8 +340,10 @@ void SocketTransport::write_all(Peer& peer, const std::uint8_t* data,
   const double deadline = now_seconds() + kWriteTimeoutSeconds;
   std::size_t written = 0;
   while (written < size) {
-    const ssize_t n =
-        ::send(peer.fd, data + written, size - written, MSG_NOSIGNAL);
+    std::size_t chunk = size - written;
+    if (options_.max_send_chunk > 0 && chunk > options_.max_send_chunk)
+      chunk = options_.max_send_chunk;
+    const ssize_t n = ::send(peer.fd, data + written, chunk, MSG_NOSIGNAL);
     if (n > 0) {
       written += std::size_t(n);
       continue;

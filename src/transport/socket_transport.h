@@ -49,6 +49,20 @@ struct SocketAddress {
   std::string to_string() const;
 };
 
+// Low-level socket helpers shared by SocketTransport and the event-loop
+// runtime (src/eventloop). All throw std::runtime_error on failure.
+void set_nonblocking(int fd);
+void set_nodelay(int fd);  // TCP_NODELAY; no-op on non-TCP sockets
+// Creates, binds, and listens a nonblocking socket on `address` (unlinking
+// a stale unix path first). Returns the listener fd.
+int make_listener(const SocketAddress& address, int backlog);
+// Connects a new blocking socket to `address`, retrying with `backoff`
+// while the listener comes up. EINTR-correct: an interrupted connect()
+// keeps establishing in the background, so completion is awaited via
+// POLLOUT + SO_ERROR rather than retried (a retry would fail EALREADY).
+int connect_with_retry(const SocketAddress& address,
+                       const runtime::Backoff& backoff);
+
 struct SocketTransportOptions {
   // Session payload codec — must match the run's upload_compression.
   std::string payload_codec = "none";
@@ -57,6 +71,10 @@ struct SocketTransportOptions {
   // Transit corruption injection (sender side, data frames only).
   double corrupt_rate = 0.0;
   std::uint64_t corrupt_seed = 0;
+  // Test hook: cap each send() syscall to this many bytes (0 = off),
+  // forcing the short-write resume path that real sockets only hit under
+  // buffer pressure.
+  std::size_t max_send_chunk = 0;
 };
 
 class SocketTransport final : public Transport {

@@ -1,0 +1,218 @@
+// Connection-churn edge cases for the event-loop server runtime: a slow
+// reader hitting the backpressure cap, a peer crashing mid-frame, and a
+// client disconnecting and rejoining inside the same round — the last
+// scripted through runtime::FaultPlan, the same fault vocabulary the fuzz
+// harness uses.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "eventloop/server.h"
+#include "runtime/fault.h"
+#include "transport/frame.h"
+
+namespace fedms::eventloop {
+namespace {
+
+const transport::FrameCodec kCodec("none");
+
+net::Message hello_from(std::size_t k) {
+  net::Message m;
+  m.from = net::client_id(k);
+  m.to = net::server_id(0);
+  m.kind = net::MessageKind::kHello;
+  return m;
+}
+
+net::Message upload_from(std::size_t k, std::uint64_t round,
+                         std::size_t dim) {
+  net::Message m;
+  m.from = net::client_id(k);
+  m.to = net::server_id(0);
+  m.kind = net::MessageKind::kModelUpload;
+  m.round = round;
+  for (std::size_t j = 0; j < dim; ++j)
+    m.payload.push_back(float(k) + float(j) * 0.5f);
+  return m;
+}
+
+net::Message sync_from(std::size_t k, std::uint64_t round) {
+  net::Message m;
+  m.from = net::client_id(k);
+  m.to = net::server_id(0);
+  m.kind = net::MessageKind::kRoundSync;
+  m.round = round;
+  return m;
+}
+
+void write_frame(int fd, const net::Message& message) {
+  const std::vector<std::uint8_t> frame = kCodec.encode(message);
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::send(fd, frame.data() + written, frame.size() - written,
+               MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    written += std::size_t(n);
+  }
+}
+
+net::Message read_frame(int fd) {
+  std::vector<std::uint8_t> buffer;
+  for (;;) {
+    const auto size = transport::FrameCodec::frame_size(buffer.data(),
+                                                        buffer.size());
+    if (size.has_value() && buffer.size() >= *size) {
+      const auto decoded = kCodec.decode(buffer.data(), *size);
+      EXPECT_TRUE(decoded.ok());
+      return decoded.message;
+    }
+    std::uint8_t chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    EXPECT_GT(n, 0) << "peer hung up mid-frame";
+    if (n <= 0) return {};
+    buffer.insert(buffer.end(), chunk, chunk + n);
+  }
+}
+
+// Adopts one end of a fresh socketpair and identifies it as client k,
+// polling until the server has `expected` identified peers. Returns the
+// peer's end.
+int join_client(EventLoopServer& server, std::size_t k,
+                std::size_t expected) {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  server.adopt(fds[1]);
+  write_frame(fds[0], hello_from(k));
+  while (server.identified_count() < expected) server.poll_once(0.05);
+  return fds[0];
+}
+
+TEST(EventLoopChurn, SlowReaderAtBackpressureCapIsEvicted) {
+  EventLoopOptions options;
+  options.max_queue_bytes = 64 << 10;  // tiny cap: fills fast
+  options.drain_stall_seconds = 0.2;   // and stalls fast
+  EventLoopServer server(net::server_id(0), options);
+  const int peer = join_client(server, 0, 1);
+
+  // The peer never reads. Broadcasts first soak into the kernel socket
+  // buffer, then pile onto the connection's queue past the cap; with no
+  // drain progress for drain_stall_seconds the reader is evicted rather
+  // than wedging the loop.
+  net::Message broadcast;
+  broadcast.from = net::server_id(0);
+  broadcast.to = net::client_id(0);
+  broadcast.kind = net::MessageKind::kModelBroadcast;
+  broadcast.payload.assign(16 << 10, 1.0f);  // 64 KiB frames
+  for (int i = 0; i < 128 && server.evicted_slow() == 0; ++i)
+    server.send(broadcast);
+
+  EXPECT_EQ(server.evicted_slow(), 1u);
+  EXPECT_EQ(server.identified_count(), 0u);
+  EXPECT_EQ(server.connection_count(), 0u);
+  // The evicted peer is gone: later sends are counted drops, instantly.
+  const std::uint64_t dropped = server.dropped_sends();
+  server.send(broadcast);
+  EXPECT_EQ(server.dropped_sends(), dropped + 1);
+  ::close(peer);
+}
+
+TEST(EventLoopChurn, CrashMidFrameNeverDeliversTornMessage) {
+  EventLoopServer server(net::server_id(0), EventLoopOptions{});
+  const int peer = join_client(server, 0, 1);
+
+  // A complete upload, then a second one cut off by the crash: the intact
+  // frame must surface, the torn tail must read as silence.
+  write_frame(peer, upload_from(0, 0, 64));
+  const std::vector<std::uint8_t> torn =
+      kCodec.encode(upload_from(0, 0, 256));
+  ASSERT_EQ(::send(peer, torn.data(), torn.size() / 2, MSG_NOSIGNAL),
+            ssize_t(torn.size() / 2));
+  ::close(peer);
+
+  const auto intact = server.receive(5.0);
+  ASSERT_TRUE(intact.has_value());
+  EXPECT_EQ(intact->payload.size(), 64u);
+  EXPECT_FALSE(server.receive(0.3).has_value());
+  EXPECT_EQ(server.stats().total_received().messages, 1u);
+  EXPECT_EQ(server.connection_count(), 0u);  // hangup reaped the conn
+}
+
+TEST(EventLoopChurn, DisconnectAndRejoinWithinRoundKeepsUploads) {
+  // The disconnect is scripted with the fuzz harness's fault vocabulary:
+  // node 1 "crashes" at round 0 — here interpreted as client 1's
+  // connection wedging mid-round (uploaded, never synced) and the client
+  // coming back on a fresh connection within the same round.
+  const runtime::FaultPlan plan = runtime::FaultPlan::parse("crash=1@0");
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  const std::size_t rejoiner = plan.crashes[0].server;
+  const std::uint64_t round = plan.crashes[0].round;
+
+  EventLoopServer server(net::server_id(0), EventLoopOptions{});
+  std::vector<int> peers;
+  for (std::size_t k = 0; k < 3; ++k)
+    peers.push_back(join_client(server, k, k + 1));
+
+  // Everyone uploads; the uploads land before the churn.
+  for (std::size_t k = 0; k < 3; ++k)
+    write_frame(peers[k], upload_from(k, round, 8));
+  std::vector<bool> uploaded(3, false);
+  for (int i = 0; i < 3; ++i) {
+    const auto m = server.receive(5.0);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->kind, net::MessageKind::kModelUpload);
+    EXPECT_EQ(m->round, round);
+    EXPECT_EQ(m->payload, upload_from(m->from.index, round, 8).payload);
+    uploaded[m->from.index] = true;
+  }
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_TRUE(uploaded[k]) << k;
+
+  // The scripted client rejoins while its old connection is still in the
+  // server's table (a wedged peer looks exactly like this: no hangup
+  // seen yet). The new hello must displace the old connection — latest
+  // wins — without disturbing the already-received upload.
+  const int old_fd = peers[rejoiner];
+  int fresh[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fresh), 0);
+  server.adopt(fresh[1]);
+  write_frame(fresh[0], hello_from(rejoiner));
+  while (server.rejoins() == 0) server.poll_once(0.05);
+  peers[rejoiner] = fresh[0];
+  EXPECT_EQ(server.identified_count(), 3u);
+  // The displaced connection was closed server-side: its peer sees EOF.
+  std::uint8_t byte;
+  EXPECT_EQ(::recv(old_fd, &byte, 1, 0), 0);
+  ::close(old_fd);
+
+  // The round completes over the rejoined connection: syncs from all
+  // three, nothing lost, nothing duplicated.
+  write_frame(peers[rejoiner], sync_from(rejoiner, round));
+  for (std::size_t k = 0; k < 3; ++k)
+    if (k != rejoiner) write_frame(peers[k], sync_from(k, round));
+  for (int i = 0; i < 3; ++i) {
+    const auto m = server.receive(5.0);
+    ASSERT_TRUE(m.has_value()) << "sync " << i;
+    EXPECT_EQ(m->kind, net::MessageKind::kRoundSync);
+    EXPECT_EQ(m->round, round);
+  }
+  EXPECT_FALSE(server.receive(0.2).has_value());
+
+  // Dissemination reaches the rejoiner over its new connection.
+  net::Message broadcast;
+  broadcast.from = net::server_id(0);
+  broadcast.to = net::client_id(rejoiner);
+  broadcast.kind = net::MessageKind::kModelBroadcast;
+  broadcast.round = round;
+  broadcast.payload = {7.0f, 8.0f};
+  server.send(broadcast);
+  ASSERT_TRUE(server.flush(5.0));
+  const net::Message echoed = read_frame(peers[rejoiner]);
+  EXPECT_EQ(echoed.kind, net::MessageKind::kModelBroadcast);
+  EXPECT_EQ(echoed.payload, broadcast.payload);
+
+  for (const int fd : peers) ::close(fd);
+}
+
+}  // namespace
+}  // namespace fedms::eventloop

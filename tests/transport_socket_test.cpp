@@ -4,6 +4,7 @@
 #include "transport/socket_transport.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -211,6 +212,60 @@ TEST(SocketTransport, ExhaustedBackoffThrows) {
           {SocketAddress::unix_path("/tmp/fedms-nonexistent-xyz.sock")},
           options),
       std::runtime_error);
+}
+
+TEST(SocketTransport, ShortWritesNeverTearFrames) {
+  // max_send_chunk = 7 forces every send() through the short-write path:
+  // each syscall moves at most 7 bytes, so a frame of any size is
+  // reassembled from dozens of partial writes. Payload sizes probe the
+  // header/payload/trailer boundaries.
+  SocketTransportOptions dribbling;
+  dribbling.max_send_chunk = 7;
+  Pair pair = make_pair_transports(dribbling);
+
+  std::thread writer([&] {
+    for (std::uint64_t round = 0; round < 4; ++round)
+      pair.client->send(upload(1 + (std::size_t(round) << 9), round));
+  });
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    const auto m = pair.server->receive(10.0);
+    ASSERT_TRUE(m.has_value()) << "round " << round;
+    EXPECT_EQ(m->round, round);
+    EXPECT_EQ(m->payload,
+              upload(1 + (std::size_t(round) << 9), round).payload);
+  }
+  writer.join();
+  EXPECT_EQ(pair.server->stats().total_received().corrupt_frames, 0u);
+}
+
+TEST(SocketTransport, SyscallLoopsSurviveEintrStorm) {
+  // An interval timer without SA_RESTART makes every blocking syscall in
+  // this process eligible for EINTR. The read/write/poll loops must
+  // retry — under the storm a large round-trip still lands intact.
+  struct sigaction action{};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old_action{};
+  ASSERT_EQ(::sigaction(SIGALRM, &action, &old_action), 0);
+  itimerval storm{};
+  storm.it_interval.tv_usec = 2000;  // every 2 ms
+  storm.it_value.tv_usec = 2000;
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &storm, nullptr), 0);
+
+  Pair pair = make_pair_transports();
+  const net::Message big = upload(1 << 19);  // 2 MiB: many syscalls
+  std::thread writer([&] { pair.client->send(big); });
+  const auto m = pair.server->receive(30.0);
+  writer.join();
+
+  const itimerval off{};
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &off, nullptr), 0);
+  ASSERT_EQ(::sigaction(SIGALRM, &old_action, nullptr), 0);
+
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload, big.payload);
+  EXPECT_EQ(pair.server->stats().total_received().corrupt_frames, 0u);
 }
 
 // The full protocol over real Unix-domain sockets, every node on its own

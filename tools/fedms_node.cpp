@@ -36,6 +36,8 @@
 
 #include "byz/attack.h"
 #include "core/cli.h"
+#include "core/thread_pool.h"
+#include "eventloop/server.h"
 #include "fl/aggregators.h"
 #include "fl/experiment.h"
 #include "fl/upload.h"
@@ -63,6 +65,8 @@ struct NodeCli {
   fl::FedMsConfig fed;
   std::string mode = "inmem";
   std::string backend = "unix";
+  std::string runtime = "blocking";
+  std::size_t filter_threads = 0;
   std::size_t index = 0;
   std::string socket_dir;
   std::string report_dir;
@@ -134,6 +138,21 @@ transport::NodeReport read_report(const NodeCli& cli,
   return transport::parse_report_text(text.str());
 }
 
+// RAII: installs a sharded-aggregation pool for --filter-threads > 0 and
+// uninstalls it before the pool dies.
+struct FilterPool {
+  explicit FilterPool(std::size_t threads) {
+    if (threads > 0) {
+      pool = std::make_unique<core::ThreadPool>(threads);
+      fl::set_aggregation_pool(pool.get());
+    }
+  }
+  ~FilterPool() {
+    if (pool != nullptr) fl::set_aggregation_pool(nullptr);
+  }
+  std::unique_ptr<core::ThreadPool> pool;
+};
+
 int run_client_process(const NodeCli& cli) {
   const net::NodeId self = net::client_id(cli.index);
   if (!cli.trace_dir.empty()) {
@@ -141,6 +160,7 @@ int run_client_process(const NodeCli& cli) {
     obs::set_enabled(true);
   }
   const fl::Workload data = fl::make_workload(cli.workload, cli.fed);
+  const FilterPool filter_pool(cli.filter_threads);
   auto transport = transport::SocketTransport::connect_mesh(
       self, server_addresses(cli), socket_options(cli, self));
   const transport::NodeReport report = transport::run_client_node(
@@ -160,11 +180,29 @@ int run_server_process(const NodeCli& cli) {
     obs::set_process_identity("server", cli.index);
     obs::set_enabled(true);
   }
-  auto transport = transport::SocketTransport::listen_and_accept(
-      self, server_addresses(cli)[cli.index], cli.fed.clients,
-      socket_options(cli, self), cli.timeout_seconds);
-  const transport::NodeReport report = transport::run_server_node(
-      *transport, cli.workload, cli.fed, cli.index, cli.timeout_seconds);
+  // A PS holds one fd per client (+ listener, stdio, epoll, slack). Fail
+  // with an actionable line now rather than mid-accept.
+  if (const std::string e = eventloop::ensure_fd_budget(cli.fed.clients + 16);
+      !e.empty())
+    throw std::runtime_error(e);
+  const FilterPool filter_pool(cli.filter_threads);
+
+  transport::NodeReport report;
+  if (cli.runtime == "eventloop") {
+    eventloop::EventLoopOptions options;
+    options.payload_codec = cli.fed.upload_compression;
+    auto transport = eventloop::EventLoopServer::listen(
+        self, server_addresses(cli)[cli.index], options);
+    report = transport::run_server_node(*transport, cli.workload, cli.fed,
+                                        cli.index, cli.timeout_seconds);
+    transport->flush(cli.timeout_seconds);
+  } else {
+    auto transport = transport::SocketTransport::listen_and_accept(
+        self, server_addresses(cli)[cli.index], cli.fed.clients,
+        socket_options(cli, self), cli.timeout_seconds);
+    report = transport::run_server_node(*transport, cli.workload, cli.fed,
+                                        cli.index, cli.timeout_seconds);
+  }
   write_report(cli, report);
   if (!cli.trace_dir.empty()) {
     obs::set_enabled(false);
@@ -295,6 +333,8 @@ std::vector<std::string> child_args(const NodeCli& cli, const char* role,
       "--mode", role,
       "--index", std::to_string(index),
       "--backend", cli.backend,
+      "--runtime", cli.runtime,
+      "--filter-threads", std::to_string(cli.filter_threads),
       "--socket-dir", cli.socket_dir,
       "--report-dir", cli.report_dir,
       "--tcp-port-base", std::to_string(cli.tcp_port_base),
@@ -417,6 +457,12 @@ int main(int argc, char** argv) {
   flags.add_string("mode", "inmem", "inmem | launch | client | server");
   flags.add_int("index", 0, "node index (client/server modes)");
   flags.add_string("backend", "unix", "socket backend: unix | tcp");
+  flags.add_string("runtime", "blocking",
+                   "PS runtime: blocking (one blocking transport) | "
+                   "eventloop (epoll reactor multiplexing all clients)");
+  flags.add_int("filter-threads", 0,
+                "shard trimmed-mean/mean aggregation across this many "
+                "threads (0 = serial; output is bit-identical either way)");
   flags.add_string("socket-dir", "",
                    "directory for Unix socket files (launch default: a "
                    "fresh /tmp/fedmsXXXXXX)");
@@ -467,6 +513,8 @@ int main(int argc, char** argv) {
   cli.mode = flags.get_string("mode");
   cli.index = std::size_t(flags.get_int("index"));
   cli.backend = flags.get_string("backend");
+  cli.runtime = flags.get_string("runtime");
+  cli.filter_threads = std::size_t(flags.get_int("filter-threads"));
   cli.socket_dir = flags.get_string("socket-dir");
   cli.report_dir = flags.get_string("report-dir");
   cli.trace_dir = flags.get_string("trace-dir");
@@ -519,6 +567,16 @@ int main(int argc, char** argv) {
     transport::check_transport_supported(cli.fed);
     if (cli.backend != "unix" && cli.backend != "tcp")
       throw std::runtime_error("--backend must be unix or tcp");
+    if (cli.runtime != "blocking" && cli.runtime != "eventloop")
+      throw std::runtime_error("--runtime must be blocking or eventloop");
+    if (cli.runtime == "eventloop" && cli.mode == "inmem")
+      throw std::runtime_error(
+          "--runtime eventloop needs real sockets (use --mode launch, "
+          "client, or server)");
+    if (cli.runtime == "eventloop" && cli.corrupt_rate > 0.0)
+      throw std::runtime_error(
+          "--runtime eventloop does not inject transit corruption; use "
+          "the blocking runtime with --corrupt-rate");
     if (cli.verify && cli.corrupt_rate > 0.0)
       throw std::runtime_error(
           "--verify requires --corrupt-rate 0 (corruption changes the "
