@@ -9,9 +9,11 @@
 #                               spans are the always-on tax),
 #   * bench/soak              — >= 10k clients through full protocol rounds
 #                               against one event-loop PS process,
+#   * bench/sweep_throughput  — scenario-sweep cells sequential vs packed
+#                               across the thread pool,
 #   * tools/fedms_sim         — wall-clock per federated round,
 # and merges everything into one JSON report (default: repo/BENCH_PR<N>.json
-# with N from --pr or FEDMS_BENCH_PR, currently 6). When a recent PR's
+# with N from --pr or FEDMS_BENCH_PR, currently 7). When a recent PR's
 # report exists next to it, the merge step records the per-round delta
 # against it so perf regressions show up in the report itself.
 #
@@ -28,7 +30,7 @@ build="$repo/build-bench"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 quick=0
-pr="${FEDMS_BENCH_PR:-6}"
+pr="${FEDMS_BENCH_PR:-7}"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1 ;;
@@ -47,7 +49,7 @@ echo "== configure + build (Release, bench targets) =="
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
   -DFEDMS_BUILD_TESTS=OFF -DFEDMS_BUILD_EXAMPLES=OFF -DFEDMS_BUILD_BENCH=ON
 cmake --build "$build" -j "$jobs" --target micro_gemm micro_aggregators \
-  micro_training micro_obs soak fedms_sim
+  micro_training micro_obs soak sweep_throughput fedms_sim
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -86,6 +88,11 @@ soak_flags=(--clients 10000 --dim 1024 --rounds 3)
 [[ $quick -eq 1 ]] && soak_flags=(--quick)
 "$build/bench/soak" "${soak_flags[@]}" > "$tmp/soak.json"
 
+echo "== sweep_throughput (batched scenario cells) =="
+sweep_flags=()
+[[ $quick -eq 1 ]] && sweep_flags+=(--quick)
+"$build/bench/sweep_throughput" "${sweep_flags[@]}" > "$tmp/sweep.json"
+
 echo "== fedms_sim per-round wall time =="
 rounds=8
 runs=3
@@ -113,7 +120,7 @@ PY
 echo "== merge -> $out =="
 GEMM_JSON="$tmp/gemm.json" AGG_JSON="$tmp/aggregators.json" \
 TRAIN_JSON="$tmp/training.json" OBS_JSON="$tmp/obs.json" \
-SOAK_JSON="$tmp/soak.json" \
+SOAK_JSON="$tmp/soak.json" SWEEP_JSON="$tmp/sweep.json" \
 SIM_SECONDS="$sim_seconds" SIM_ROUNDS="$rounds" \
 QUICK="$quick" OUT="$out" PR="$pr" BASELINE="$baseline" python3 - <<'PY'
 import json, os
@@ -123,6 +130,7 @@ agg = json.load(open(os.environ["AGG_JSON"]))
 train = json.load(open(os.environ["TRAIN_JSON"]))
 obs = json.load(open(os.environ["OBS_JSON"]))
 soak = json.load(open(os.environ["SOAK_JSON"]))["soak"]
+sweep = json.load(open(os.environ["SWEEP_JSON"]))["sweep_throughput"]
 
 def series(report):
     rows = []
@@ -148,6 +156,7 @@ report = {
     "training": series(train),
     "obs": obs["obs"],
     "soak": soak,
+    "sweep_throughput": sweep,
     "per_round": {
         "model": "mobilenet",
         "clients": 8,
@@ -196,6 +205,9 @@ print(f"  soak: {soak['clients']} clients, "
       f"{soak['rounds_per_second']:.3f} rounds/s, "
       f"{soak['bytes_per_second'] / 1e6:.1f} MB/s, p99 aggregation "
       f"{soak['p99_ms']['aggregation']:.0f} ms")
+print(f"  sweep: {sweep['cells']} cells x {sweep['jobs']} jobs, "
+      f"{sweep['scenarios_per_hour']:.0f} scenarios/h, "
+      f"{sweep['speedup']:.2f}x vs sequential")
 print(f"  per round: {report['per_round']['seconds_per_round']:.3f} s")
 if "vs_previous" in report:
     change = report["vs_previous"].get("seconds_per_round_change")

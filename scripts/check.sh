@@ -165,6 +165,21 @@ for path in sys.argv[1:]:
 print("trace smoke OK (sim + merged node traces parse, all stages present)")
 PY
 
+echo "== sweep smoke (bit-equality across --jobs on examples/churn.json) =="
+# The batch runner's core contract: every cell is a pure function of
+# (scenario, defense, seed), so packing cells across the thread pool must
+# not change one output byte.
+sweep_dir="$(mktemp -d)"
+trap 'rm -rf "$fuzz_repro_dir" "$trace_dir" "$sweep_dir"' EXIT
+"$build/tools/fedms_sweep" --scenario "$repo/examples/churn.json" \
+  --seeds 4 --defenses trmean:0.2,mean --jobs 1 \
+  --out-dir "$sweep_dir/serial" > /dev/null
+"$build/tools/fedms_sweep" --scenario "$repo/examples/churn.json" \
+  --seeds 4 --defenses trmean:0.2,mean --jobs "$jobs" \
+  --out-dir "$sweep_dir/packed" > /dev/null
+diff -r "$sweep_dir/serial" "$sweep_dir/packed"
+echo "sweep smoke OK (8 cells byte-identical across --jobs 1 and $jobs)"
+
 echo "== configure + build (ASan + UBSan) =="
 cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DFEDMS_SANITIZE=ON
@@ -173,7 +188,7 @@ cmake --build "$asan_build" -j "$jobs" \
            transport_frame_test transport_inmem_test transport_socket_test \
            eventloop_test eventloop_churn_test \
            tensor_gemm_test tensor_workspace_test \
-           fedms_node
+           fedms_node fedms_sweep
 
 echo "== runtime + transport + kernel tests under ASan/UBSan =="
 # Death tests fork; ASan is fine with that but needs the default allocator
@@ -191,6 +206,11 @@ echo "== multi-process smoke under ASan/UBSan =="
 "$asan_build/tools/fedms_node" --mode launch --backend unix \
   --clients 2 --servers 2 --byzantine 1 --rounds 1 --samples 200 \
   --runtime eventloop --verify
+
+echo "== sweep runner under ASan/UBSan =="
+# Churn + handoff + thread-pool cell packing with every allocation checked.
+"$asan_build/tools/fedms_sweep" --scenario "$repo/examples/churn.json" \
+  --seeds 2 --jobs "$jobs" --out-dir "$sweep_dir/asan" > /dev/null
 
 echo "== configure + build (TSan) =="
 cmake -B "$tsan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -213,7 +233,7 @@ echo "== benchmark harness (quick) =="
 # Release build + short-budget bench run; the report must parse and show
 # nonzero blocked-GEMM throughput (catches a silently broken fast path).
 bench_out="$(mktemp)"
-trap 'rm -rf "$fuzz_repro_dir" "$trace_dir" "$bench_out"' EXIT
+trap 'rm -rf "$fuzz_repro_dir" "$trace_dir" "$sweep_dir" "$bench_out"' EXIT
 FEDMS_BENCH_OUT="$bench_out" "$repo/scripts/bench.sh" --quick
 python3 - "$bench_out" <<'PY'
 import json, sys
@@ -225,6 +245,9 @@ for shape in shapes:
 assert report["per_round"]["seconds_per_round"] > 0
 assert report["soak"]["rounds_per_second"] > 0
 assert report["soak"]["evicted_slow"] == 0, "soak evicted a healthy client"
+sweep = report["sweep_throughput"]
+assert sweep["scenarios_per_hour"] > 0
+assert sweep["speedup"] > 0
 print(f"bench report OK ({len(shapes)} GEMM shapes)")
 PY
 

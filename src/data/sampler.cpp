@@ -13,6 +13,11 @@ MiniBatchSampler::MiniBatchSampler(std::vector<std::size_t> pool,
   FEDMS_EXPECTS(batch_size > 0);
 }
 
+void MiniBatchSampler::reset_pool(std::vector<std::size_t> pool) {
+  FEDMS_EXPECTS(!pool.empty());
+  pool_ = std::move(pool);
+}
+
 std::vector<std::size_t> MiniBatchSampler::next_batch() {
   const std::size_t n = std::min(batch_size_, pool_.size());
   std::vector<std::size_t> batch(n);

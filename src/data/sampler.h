@@ -22,6 +22,11 @@ class MiniBatchSampler {
   // (batches smaller pools up to the pool size).
   std::vector<std::size_t> next_batch();
 
+  // Replaces the index pool mid-stream (Dirichlet drift repartitions the
+  // dataset); the RNG stream continues uninterrupted. `pool` must be
+  // non-empty, like the constructor's.
+  void reset_pool(std::vector<std::size_t> pool);
+
   std::size_t pool_size() const { return pool_.size(); }
   std::size_t batch_size() const { return batch_size_; }
 

@@ -53,6 +53,12 @@ class NnLearner final : public LocalLearner {
   nn::Classifier& classifier() { return classifier_; }
   std::size_t local_sample_count() const { return sampler_.pool_size(); }
 
+  // Swaps this client's local dataset D_k (scenario Dirichlet drift); the
+  // mini-batch RNG stream continues where it was.
+  void set_pool(std::vector<std::size_t> pool) {
+    sampler_.reset_pool(std::move(pool));
+  }
+
  private:
   const data::Dataset& train_;
   const data::Dataset& test_;

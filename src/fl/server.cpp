@@ -42,6 +42,32 @@ void ParameterServer::aggregate_round(
   FEDMS_ENSURES(!aggregate_.empty());
 }
 
+ParameterServer::Snapshot ParameterServer::snapshot() const {
+  Snapshot snap;
+  snap.aggregate = aggregate_;
+  snap.history = history_;
+  snap.last_upload_count = last_upload_count_;
+  snap.rng = rng_;
+  return snap;
+}
+
+void ParameterServer::restore(const Snapshot& snapshot) {
+  aggregate_ = snapshot.aggregate;
+  history_ = snapshot.history;
+  last_upload_count_ = snapshot.last_upload_count;
+  rng_ = snapshot.rng;
+}
+
+void ParameterServer::reset_state() {
+  aggregate_ = initial_model_;
+  history_.clear();
+  last_upload_count_ = 0;
+}
+
+void ParameterServer::set_attack(byz::AttackPtr attack) {
+  attack_ = std::move(attack);
+}
+
 std::vector<float> ParameterServer::disseminate(std::uint64_t round,
                                                 std::size_t client) {
   FEDMS_EXPECTS(!aggregate_.empty());

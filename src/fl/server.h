@@ -57,6 +57,25 @@ class ParameterServer {
   // Clients that uploaded in the last aggregate_round (|N_i| statistics).
   std::size_t last_upload_count() const { return last_upload_count_; }
 
+  // Mutable state for crash/recovery handoff. The attack is deliberately
+  // excluded: a crashed PS's adversary does not lose its memory, and
+  // AttackPtr is not copyable anyway.
+  struct Snapshot {
+    std::vector<float> aggregate;
+    std::vector<std::vector<float>> history;
+    std::size_t last_upload_count = 0;
+    core::Rng rng{0};
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snapshot);
+  // Wipes the mutable state back to "before round 0": aggregate = w₀,
+  // empty history — what a crashed PS has lost.
+  void reset_state();
+
+  // Swaps the dissemination-edge behavior mid-run (scenario attack-mix
+  // switches). nullptr makes the PS benign.
+  void set_attack(byz::AttackPtr attack);
+
  private:
   std::size_t index_;
   byz::AttackPtr attack_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <utility>
 
 #include "byz/attack.h"
@@ -50,7 +51,8 @@ AsyncFedMsRun::AsyncFedMsRun(fl::FedMsConfig config, RuntimeOptions options,
                              std::vector<fl::LearnerPtr> learners)
     : config_(std::move(config)),
       options_(std::move(options)),
-      learners_(std::move(learners)) {
+      learners_(std::move(learners)),
+      seeds_(config_.seed) {
   config_.validate();
   options_.validate();
   FEDMS_EXPECTS(learners_.size() == config_.clients);
@@ -65,8 +67,26 @@ AsyncFedMsRun::AsyncFedMsRun(fl::FedMsConfig config, RuntimeOptions options,
   FEDMS_EXPECTS(config_.network_loss_rate == 0.0);
   for (const ServerCrash& crash : options_.faults.crashes)
     FEDMS_EXPECTS(crash.server < config_.servers);
+  // Recovery/churn events must name in-range nodes, every recovery must
+  // follow a crash, and no (client, round) pair may churn twice. Round
+  // bounds are the scenario layer's concern (a crash past the horizon is
+  // a legal no-op here), so they are exempted with an unbounded horizon.
+  {
+    const std::string topo = options_.faults.check_topology(
+        config_.clients, config_.servers,
+        std::numeric_limits<std::uint64_t>::max());
+    if (!topo.empty())
+      core::contract_failure("Precondition", topo.c_str(), __FILE__,
+                             __LINE__);
+  }
+  // A round in which every client has left would deadlock the protocol;
+  // reject it up front (churn plans are small, so the scan is cheap).
+  if (!options_.faults.churn.empty())
+    for (std::uint64_t r = 0; r < config_.rounds; ++r)
+      FEDMS_EXPECTS(
+          options_.faults.active_client_count(config_.clients, r) > 0);
 
-  const core::SeedSequence seeds(config_.seed);
+  const core::SeedSequence& seeds = seeds_;
 
   // Byzantine-PS placement: identical derivation to the synchronous loop,
   // so the same seed puts the same PSs under attack in both runtimes.
@@ -108,6 +128,9 @@ AsyncFedMsRun::AsyncFedMsRun(fl::FedMsConfig config, RuntimeOptions options,
   clients_.resize(config_.clients);
   for (ClientState& client : clients_) client.last_feasible = w0;
   round_losses_.assign(config_.clients, 0.0);
+  client_active_.assign(config_.clients, 1);
+  ps_was_crashed_.assign(config_.servers, 0);
+  ps_snapshots_.resize(config_.servers);
 }
 
 void AsyncFedMsRun::trace(std::uint64_t round, const std::string& event,
@@ -284,9 +307,47 @@ void AsyncFedMsRun::execute_round(std::uint64_t round,
   }
   server_states_.assign(config_.servers, ServerState{});
   for (std::size_t s = 0; s < config_.servers; ++s) {
-    server_states_[s].crashed = faults_.server_crashed(s, round);
-    if (server_states_[s].crashed) ++record.crashed_servers;
+    const bool crashed = faults_.server_crashed(s, round);
+    server_states_[s].crashed = crashed;
+    if (crashed) ++record.crashed_servers;
+    // Crash/recovery state handoff: going down snapshots the PS and wipes
+    // its live state back to w₀ (what a fresh replacement would hold);
+    // coming back restores the snapshot verbatim — uploads it aggregated
+    // before crashing are neither lost nor double-counted.
+    if (crashed && !ps_was_crashed_[s]) {
+      ps_snapshots_[s] = servers_[s].snapshot();
+      servers_[s].reset_state();
+    } else if (!crashed && ps_was_crashed_[s]) {
+      servers_[s].restore(ps_snapshots_[s]);
+      ps_snapshots_[s] = fl::ParameterServer::Snapshot{};
+      trace_node(round, "recovered", net::server_id(s));
+    }
+    ps_was_crashed_[s] = crashed ? 1 : 0;
   }
+  // Membership for this round; inactive clients neither train nor filter.
+  active_count_ = 0;
+  for (std::size_t k = 0; k < config_.clients; ++k) {
+    const bool active = faults_.plan().client_active(k, round);
+    client_active_[k] = active ? 1 : 0;
+    if (active) {
+      ++active_count_;
+    } else {
+      clients_[k].done = true;  // never scheduled, never counted
+      trace_node(round, "absent", net::client_id(k));
+    }
+  }
+  FEDMS_ASSERT(active_count_ > 0);
+  // Round-keyed streams: client k's PS-selection draws for this round are
+  // a pure function of (root seed, round, k), so a client joining at
+  // round t draws exactly the stream it would own had it been present
+  // from round 0, and membership history cannot shift sibling streams.
+  if (options_.round_keyed_streams) {
+    const core::SeedSequence round_seeds(
+        seeds_.derive("round-streams", round));
+    for (std::size_t k = 0; k < config_.clients; ++k)
+      client_rngs_[k] = round_seeds.make_rng("ps-choice", k);
+  }
+  if (round_start_hook_) round_start_hook_(round);
   clients_done_ = 0;
   std::fill(round_losses_.begin(), round_losses_.end(), 0.0);
 
@@ -297,6 +358,7 @@ void AsyncFedMsRun::execute_round(std::uint64_t round,
   // Local training completes per client after straggler-scaled compute
   // time; the handler uploads and arms that client's filter deadline.
   for (std::size_t k = 0; k < config_.clients; ++k) {
+    if (!client_active_[k]) continue;
     const double done =
         t0 + options_.compute_seconds *
                  faults_.straggler_factor(net::client_id(k));
@@ -373,6 +435,7 @@ void AsyncFedMsRun::execute_round(std::uint64_t round,
       obs::Span span("async", "dissemination", round, "server",
                      static_cast<std::int64_t>(s));
       for (std::size_t k = 0; k < config_.clients; ++k) {
+        if (!client_active_[k]) continue;  // absent clients get nothing
         net::Message m;
         m.from = net::server_id(s);
         m.to = net::client_id(k);
@@ -396,15 +459,15 @@ void AsyncFedMsRun::execute_round(std::uint64_t round,
   }
 
   queue_.drain();
-  FEDMS_ASSERT(clients_done_ == config_.clients);
+  FEDMS_ASSERT(clients_done_ == active_count_);
   record.end_seconds = queue_.now();
   if (round_callback_) round_callback_(round, learners_);
 
-  // ---- Telemetry ----
+  // ---- Telemetry ---- (loss / candidate means are over active clients)
   double loss_sum = 0.0;
   for (const double loss : round_losses_) loss_sum += loss;
-  record.base.train_loss = loss_sum / double(config_.clients);
-  record.mean_candidates /= double(config_.clients);
+  record.base.train_loss = loss_sum / double(active_count_);
+  record.mean_candidates /= double(active_count_);
   record.base.upload_seconds = t_aggregate - t0;
   record.base.broadcast_seconds = record.end_seconds - t_aggregate;
   if ((round + 1) % config_.eval_every == 0 ||

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "core/rng.h"
 #include "fl/config.h"
 #include "fl/fedms.h"
 #include "net/latency.h"
@@ -144,6 +145,14 @@ class AsyncFedMsRun {
   void set_round_callback(RoundCallback callback) {
     round_callback_ = std::move(callback);
   }
+  // Invoked at the start of each round, after membership and PS
+  // crash/recovery transitions are applied but before any event is
+  // scheduled — the seam where scenario drivers switch attacks or
+  // repartition data.
+  using RoundStartHook = std::function<void(std::uint64_t)>;
+  void set_round_start_hook(RoundStartHook hook) {
+    round_start_hook_ = std::move(hook);
+  }
 
   AsyncRunResult run();
 
@@ -151,6 +160,9 @@ class AsyncFedMsRun {
   const std::vector<fl::ParameterServer>& servers() const {
     return servers_;
   }
+  // Scenario drivers mutate PS dissemination behavior mid-run (attack-mix
+  // switches) through here, from a round-start hook only.
+  std::vector<fl::ParameterServer>& mutable_servers() { return servers_; }
   const RuntimeOptions& options() const { return options_; }
 
  private:
@@ -183,6 +195,7 @@ class AsyncFedMsRun {
   fl::FedMsConfig config_;
   RuntimeOptions options_;
   std::vector<fl::LearnerPtr> learners_;
+  core::SeedSequence seeds_;  // root for round-keyed stream derivation
   std::vector<fl::ParameterServer> servers_;
   fl::AggregatorPtr filter_;
   std::size_t quorum_ = 1;
@@ -194,11 +207,19 @@ class AsyncFedMsRun {
   MessageHook message_hook_;
   FilterHook filter_hook_;
   RoundCallback round_callback_;
+  RoundStartHook round_start_hook_;
   std::vector<core::Rng> client_rngs_;  // PS-selection streams
+
+  // Crash/recovery handoff: the state a PS held when it went down, put
+  // back verbatim when a ServerRecovery brings it up again.
+  std::vector<char> ps_was_crashed_;
+  std::vector<fl::ParameterServer::Snapshot> ps_snapshots_;
 
   // Per-round working state.
   std::vector<ClientState> clients_;
   std::vector<ServerState> server_states_;
+  std::vector<char> client_active_;  // membership at the current round
+  std::size_t active_count_ = 0;
   std::vector<double> round_losses_;
   std::size_t clients_done_ = 0;
   AsyncRoundRecord* record_ = nullptr;  // current round's record

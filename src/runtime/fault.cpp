@@ -44,9 +44,71 @@ bool parse_index(const std::string& text, std::size_t* out) {
 }  // namespace
 
 bool FaultPlan::empty() const {
-  return crashes.empty() && omission_rate == 0.0 && drop_rate == 0.0 &&
+  return crashes.empty() && recoveries.empty() && churn.empty() &&
+         omission_rate == 0.0 && drop_rate == 0.0 &&
          duplicate_rate == 0.0 && delay_rate == 0.0 &&
          client_stragglers.empty() && server_stragglers.empty();
+}
+
+bool FaultPlan::client_active(std::size_t client,
+                              std::uint64_t round) const {
+  bool has_event = false;
+  std::uint64_t earliest = 0;
+  bool earliest_join = true;
+  // Latest event with round <= `round` wins; among the client's events,
+  // the earliest one decides the pre-event state (join => starts absent).
+  std::uint64_t best_round = 0;
+  bool best_join = true;
+  bool decided = false;
+  for (const ClientChurn& event : churn) {
+    if (event.client != client) continue;
+    if (!has_event || event.round < earliest) {
+      earliest = event.round;
+      earliest_join = event.join;
+    }
+    has_event = true;
+    if (event.round <= round && (!decided || event.round >= best_round)) {
+      best_round = event.round;
+      best_join = event.join;
+      decided = true;
+    }
+  }
+  if (!has_event) return true;
+  if (decided) return best_join;
+  // Before the first event: a client whose first event is a join was
+  // absent; one whose first event is a leave was present.
+  return !earliest_join;
+}
+
+bool FaultPlan::server_crashed(std::size_t server,
+                               std::uint64_t round) const {
+  bool has_crash = false;
+  std::uint64_t last_crash = 0;
+  for (const ServerCrash& crash : crashes) {
+    if (crash.server != server || crash.round > round) continue;
+    if (!has_crash || crash.round > last_crash) last_crash = crash.round;
+    has_crash = true;
+  }
+  if (!has_crash) return false;
+  bool has_recovery = false;
+  std::uint64_t last_recovery = 0;
+  for (const ServerRecovery& rec : recoveries) {
+    if (rec.server != server || rec.round > round) continue;
+    if (!has_recovery || rec.round > last_recovery)
+      last_recovery = rec.round;
+    has_recovery = true;
+  }
+  // Crash wins ties: recovery must be strictly later than the crash.
+  return !(has_recovery && last_recovery > last_crash);
+}
+
+std::size_t FaultPlan::active_client_count(std::size_t clients,
+                                           std::uint64_t round) const {
+  if (churn.empty()) return clients;
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < clients; ++k)
+    if (client_active(k, round)) ++count;
+  return count;
 }
 
 void FaultPlan::validate() const {
@@ -80,6 +142,52 @@ std::string FaultPlan::check() const {
   return "";
 }
 
+std::string FaultPlan::check_topology(std::size_t clients,
+                                      std::size_t servers,
+                                      std::uint64_t rounds) const {
+  for (const ServerCrash& crash : crashes) {
+    if (crash.server >= servers)
+      return "crash names server " + std::to_string(crash.server) +
+             " but there are only " + std::to_string(servers);
+    if (crash.round >= rounds)
+      return "crash at round " + std::to_string(crash.round) +
+             " is past the last round " + std::to_string(rounds - 1);
+  }
+  for (const ServerRecovery& rec : recoveries) {
+    if (rec.server >= servers)
+      return "recover names server " + std::to_string(rec.server) +
+             " but there are only " + std::to_string(servers);
+    if (rec.round >= rounds)
+      return "recover at round " + std::to_string(rec.round) +
+             " is past the last round " + std::to_string(rounds - 1);
+    bool preceded = false;
+    for (const ServerCrash& crash : crashes)
+      preceded |= crash.server == rec.server && crash.round < rec.round;
+    if (!preceded)
+      return "recover=" + std::to_string(rec.server) + "@" +
+             std::to_string(rec.round) +
+             " has no earlier crash of that server";
+  }
+  for (std::size_t i = 0; i < churn.size(); ++i) {
+    const ClientChurn& event = churn[i];
+    if (event.client >= clients)
+      return std::string(event.join ? "join" : "leave") +
+             " names client " + std::to_string(event.client) +
+             " but there are only " + std::to_string(clients);
+    if (event.round >= rounds)
+      return std::string(event.join ? "join" : "leave") + " at round " +
+             std::to_string(event.round) + " is past the last round " +
+             std::to_string(rounds - 1);
+    for (std::size_t j = i + 1; j < churn.size(); ++j)
+      if (churn[j].client == event.client &&
+          churn[j].round == event.round)
+        return "client " + std::to_string(event.client) +
+               " has two churn events at round " +
+               std::to_string(event.round);
+  }
+  return "";
+}
+
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan plan;
   std::string error;
@@ -94,8 +202,9 @@ bool FaultPlan::try_parse(const std::string& spec, FaultPlan* out,
   const auto fail = [error](const std::string& message) {
     if (error != nullptr)
       *error = "bad fault plan: " + message +
-               " (clauses: crash=<s>@<r>[,...]; drop=<p>; dup=<p>; "
-               "omit=<p>; delay=<p>:<s>[:<jitter>]; "
+               " (clauses: crash=<s>@<r>[,...]; recover=<s>@<r>[,...]; "
+               "join=<c>@<r>[,...]; leave=<c>@<r>[,...]; drop=<p>; "
+               "dup=<p>; omit=<p>; delay=<p>:<s>[:<jitter>]; "
                "straggler=<c>:<f>[,...]; sstraggler=<s>:<f>[,...])";
     return false;
   };
@@ -108,18 +217,26 @@ bool FaultPlan::try_parse(const std::string& spec, FaultPlan* out,
         return fail("clause \"" + clause + "\" is missing '='");
       const std::string key = clause.substr(0, eq);
       const std::string value = clause.substr(eq + 1);
-      if (key == "crash") {
+      if (key == "crash" || key == "recover" || key == "join" ||
+          key == "leave") {
         for (const std::string& item : split(value, ',')) {
           const auto at = item.find('@');
-          ServerCrash crash;
+          std::size_t node = 0;
           std::size_t round = 0;
           if (at == std::string::npos ||
-              !parse_index(item.substr(0, at), &crash.server) ||
+              !parse_index(item.substr(0, at), &node) ||
               !parse_index(item.substr(at + 1), &round))
-            return fail("crash entry \"" + item +
-                        "\" is not <server>@<round>");
-          crash.round = static_cast<std::uint64_t>(round);
-          plan.crashes.push_back(crash);
+            return fail(key + " entry \"" + item + "\" is not <" +
+                        (key == "join" || key == "leave" ? "client"
+                                                         : "server") +
+                        ">@<round>");
+          const auto when = static_cast<std::uint64_t>(round);
+          if (key == "crash")
+            plan.crashes.push_back({node, when});
+          else if (key == "recover")
+            plan.recoveries.push_back({node, when});
+          else
+            plan.churn.push_back({node, when, key == "join"});
         }
       } else if (key == "drop" || key == "dup" || key == "omit") {
         double rate = 0.0;
@@ -171,6 +288,28 @@ std::string FaultPlan::to_string() const {
       os << (i ? "," : "") << crashes[i].server << '@' << crashes[i].round;
     sep = ";";
   }
+  if (!recoveries.empty()) {
+    os << sep << "recover=";
+    for (std::size_t i = 0; i < recoveries.size(); ++i)
+      os << (i ? "," : "") << recoveries[i].server << '@'
+         << recoveries[i].round;
+    sep = ";";
+  }
+  auto emit_churn = [&](const char* key, bool join) {
+    bool any = false;
+    for (const ClientChurn& event : churn) {
+      if (event.join != join) continue;
+      if (!any)
+        os << sep << key << '=';
+      else
+        os << ',';
+      os << event.client << '@' << event.round;
+      any = true;
+    }
+    if (any) sep = ";";
+  };
+  emit_churn("join", true);
+  emit_churn("leave", false);
   if (drop_rate > 0.0) {
     os << sep << "drop=" << drop_rate;
     sep = ";";
@@ -211,24 +350,20 @@ FaultInjector::FaultInjector(FaultPlan plan, core::Rng rng)
 
 bool FaultInjector::server_crashed(std::size_t server,
                                    std::uint64_t round) const {
-  for (const ServerCrash& crash : plan_.crashes)
-    if (crash.server == server && crash.round <= round) return true;
-  return false;
+  return plan_.server_crashed(server, round);
 }
 
 std::size_t FaultInjector::crashed_count(std::uint64_t round) const {
   std::size_t count = 0;
-  // Crash entries may repeat a server at different rounds; count each
-  // server once.
+  // Crash entries may repeat a server at different rounds; ask the plan
+  // once per distinct server so recoveries are honored.
   std::vector<std::size_t> seen;
   for (const ServerCrash& crash : plan_.crashes) {
-    if (crash.round > round) continue;
     bool duplicate = false;
     for (const std::size_t s : seen) duplicate |= s == crash.server;
-    if (!duplicate) {
-      seen.push_back(crash.server);
-      ++count;
-    }
+    if (duplicate) continue;
+    seen.push_back(crash.server);
+    if (plan_.server_crashed(crash.server, round)) ++count;
   }
   return count;
 }

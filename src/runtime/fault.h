@@ -13,6 +13,12 @@
 //                   broadcasts, nor answers retries. Distinct from the
 //                   `crash` *attack*, which silences only the tampered
 //                   payloads of a Byzantine PS.
+//   * recover     — PS s is live again from round r on; a crash and a
+//                   recovery at the same round leave it down (crash wins
+//                   ties). The runtime restores the pre-crash PS state.
+//   * join/leave  — client c enters/exits the training population at the
+//                   start of round r; an absent client neither trains nor
+//                   receives dissemination.
 //   * omission    — a PS "forgets" to send an individual message with
 //                   probability `omission_rate` (send-side fault).
 //   * drop        — the link loses a message with probability `drop_rate`.
@@ -40,8 +46,21 @@ struct ServerCrash {
   std::uint64_t round = 0;  // crashed from the start of this round onward
 };
 
+struct ServerRecovery {
+  std::size_t server = 0;
+  std::uint64_t round = 0;  // live again from the start of this round on
+};
+
+struct ClientChurn {
+  std::size_t client = 0;
+  std::uint64_t round = 0;  // takes effect at the start of this round
+  bool join = true;         // false = leave
+};
+
 struct FaultPlan {
   std::vector<ServerCrash> crashes;
+  std::vector<ServerRecovery> recoveries;
+  std::vector<ClientChurn> churn;
   double omission_rate = 0.0;   // PS send-side omission probability
   double drop_rate = 0.0;       // per-message loss probability
   double duplicate_rate = 0.0;  // per-message duplication probability
@@ -57,9 +76,29 @@ struct FaultPlan {
   // Same range checks as a one-line error message ("" = valid) — the CLI
   // front door, so a bad --fault-plan value reports instead of aborting.
   std::string check() const;
+  // Topology-aware checks ("" = valid): every crash/recovery/churn event
+  // must name an in-range node and round, a recovery must follow a crash
+  // of the same server, and no (node, round) pair may carry two churn
+  // events. Callers with a concrete run shape use this on top of check().
+  std::string check_topology(std::size_t clients, std::size_t servers,
+                             std::uint64_t rounds) const;
+
+  // Membership at the start of `round`. A client with no churn events is
+  // always active; otherwise the latest event with round <= `round` wins,
+  // and a client whose earliest event is a join starts out inactive.
+  bool client_active(std::size_t client, std::uint64_t round) const;
+  // True when `server` is crash-scheduled at or before `round` and not
+  // recovered since. A recovery at the same round as a crash loses (the
+  // crash wins ties): the server stays down for that round.
+  bool server_crashed(std::size_t server, std::uint64_t round) const;
+  // Number of clients active at `round` out of `clients` total.
+  std::size_t active_client_count(std::size_t clients,
+                                  std::uint64_t round) const;
 
   // Round-trips through the CLI spec format: semicolon-separated clauses
   //   crash=<s>@<r>[,<s>@<r>...]   e.g. crash=3@5,4@5
+  //   recover=<s>@<r>[,...]        PS s live again from round r
+  //   join=<c>@<r>[,...]  leave=<c>@<r>[,...]   client churn
   //   drop=<p>  dup=<p>  omit=<p>
   //   delay=<p>:<seconds>[:<jitter>]
   //   straggler=<client>:<factor>[,...]
@@ -80,9 +119,10 @@ class FaultInjector {
 
   const FaultPlan& plan() const { return plan_; }
 
-  // True when `server` is crash-scheduled at or before `round`.
+  // True when `server` is crashed at `round` (recoveries honored);
+  // delegates to FaultPlan::server_crashed.
   bool server_crashed(std::size_t server, std::uint64_t round) const;
-  // Number of servers crashed at or before `round`.
+  // Number of servers crashed at `round` (recoveries honored).
   std::size_t crashed_count(std::uint64_t round) const;
 
   // Slowdown multiplier for the node (1.0 when not a straggler).

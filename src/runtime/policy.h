@@ -43,6 +43,13 @@ struct RuntimeOptions {
   // Keep the human-readable event trace in the result (the trace hash is
   // always computed).
   bool record_trace = false;
+  // Re-derive each client's PS-selection stream per round from
+  // (root seed, round, client id) instead of advancing one stream per
+  // client across rounds. This makes a client's round-t draws a pure
+  // function of (seed, t, k) — independent of membership history — which
+  // is the stream-discipline contract churn scenarios need. Off by
+  // default to preserve bit-for-bit parity with the synchronous loop.
+  bool round_keyed_streams = false;
 
   FaultPlan faults;
 

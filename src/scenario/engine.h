@@ -1,0 +1,44 @@
+// Scenario execution: one declarative Scenario + one seed + one defense
+// spec → an event-driven run with churn applied, wrapped in a
+// deterministic JSON outcome.
+//
+// The engine builds the Table-II NN workload, compiles the scenario's
+// events into a FaultPlan, and drives AsyncFedMsRun with a round-start
+// hook that applies the events FaultPlan cannot express: attack-mix
+// switches (Byzantine PSs swap their dissemination-edge attack; their
+// private RNG streams continue uninterrupted) and Dirichlet-α drift
+// (every client's local index pool is repartitioned; mini-batch streams
+// continue uninterrupted). Scenario runs always use round-keyed client
+// streams (RuntimeOptions::round_keyed_streams), so the outcome is a
+// pure function of (scenario, seed, defense) — independent of join
+// order, sweep batching, and thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/async_fedms.h"
+#include "scenario/scenario.h"
+
+namespace fedms::scenario {
+
+struct ScenarioOutcome {
+  std::string name;
+  std::string defense;
+  std::uint64_t seed = 0;
+  fl::FedMsConfig config;          // the resolved per-run config
+  runtime::RuntimeOptions options; // includes the compiled fault plan
+  runtime::AsyncRunResult result;
+
+  // Fully deterministic JSON (virtual times only, no wall clock):
+  // {"scenario", "defense", "seed", "trace_hash", "run": {...}} where
+  // "run" is runtime::write_async_run_json's document.
+  std::string to_json() const;
+};
+
+// Runs `scenario` under `seed`. A non-empty `defense` overrides the
+// scenario's client filter (the sweep's defense axis).
+ScenarioOutcome run_scenario(const Scenario& scenario, std::uint64_t seed,
+                             const std::string& defense = "");
+
+}  // namespace fedms::scenario

@@ -132,12 +132,12 @@ struct AsyncCapture {
 
 AsyncCapture run_async(const FuzzSchedule& schedule,
                        const data::QuadraticProblem& problem,
+                       const runtime::RuntimeOptions& options,
                        FilterObserver* observer,
                        ScriptedFaults* scripted) {
   const fl::FedMsConfig fed = schedule.fed_config();
   AsyncCapture capture;
-  runtime::AsyncFedMsRun run(fed, schedule.runtime_options(),
-                             make_learners(problem, fed));
+  runtime::AsyncFedMsRun run(fed, options, make_learners(problem, fed));
   if (scripted != nullptr) {
     scripted->reset();
     run.set_message_hook(scripted->hook());
@@ -175,8 +175,9 @@ FuzzOutcome run_parity(const FuzzSchedule& schedule,
   FilterObserver observer(schedule, options);
   obs::reset();
   obs::set_enabled(true);
-  const AsyncCapture async = run_async(schedule, problem, &observer,
-                                       /*scripted=*/nullptr);
+  const AsyncCapture async =
+      run_async(schedule, problem, schedule.runtime_options(), &observer,
+                /*scripted=*/nullptr);
   const std::vector<obs::SpanRecord> spans = obs::snapshot_spans();
   obs::set_enabled(false);
 
@@ -242,14 +243,22 @@ FuzzOutcome run_fault(const FuzzSchedule& schedule,
   const data::QuadraticProblem problem = make_problem(schedule);
   ScriptedFaults scripted(schedule);
 
+  // The causality oracle always scores membership against the scheduled
+  // plan; the ghost-churn plant makes execution disagree with it by
+  // dropping the churn events (round-keyed streams stay on — they were
+  // derived before the strip — so only membership bookkeeping desyncs).
+  const runtime::RuntimeOptions scheduled = schedule.runtime_options();
+  runtime::RuntimeOptions executed = scheduled;
+  if (options.inject_ghost_churn) executed.faults.churn.clear();
+
   FilterObserver first_observer(schedule, options);
   const AsyncCapture first =
-      run_async(schedule, problem, &first_observer, &scripted);
+      run_async(schedule, problem, executed, &first_observer, &scripted);
   // Replay determinism: the exact run again (fresh learners, reset event
   // counters, same hooks including any planted bug).
   FilterObserver second_observer(schedule, options);
   const AsyncCapture second =
-      run_async(schedule, problem, &second_observer, &scripted);
+      run_async(schedule, problem, executed, &second_observer, &scripted);
 
   FuzzOutcome outcome;
   outcome.trace_hash = first.result.trace_hash;
@@ -286,9 +295,9 @@ FuzzOutcome run_fault(const FuzzSchedule& schedule,
     return outcome;
   }
 
-  outcome.violation = check_trace_causality(first.result.trace,
-                                            schedule.clients,
-                                            schedule.rounds);
+  outcome.violation =
+      check_trace_causality(first.result.trace, schedule.clients,
+                            schedule.rounds, &scheduled.faults);
   if (!outcome.violation)
     outcome.violation = check_wire_roundtrip(first_observer.wire_sample);
   return outcome;
@@ -379,7 +388,9 @@ std::string repro_json(const FuzzSchedule& schedule,
   extra << "  ,\"repro\": {\"oracle\": \"" << json_escape(violation.oracle)
         << "\", \"detail\": \"" << json_escape(violation.detail)
         << "\", \"inject_under_trim\": "
-        << (options.inject_under_trim ? "true" : "false") << "}\n";
+        << (options.inject_under_trim ? "true" : "false")
+        << ", \"inject_ghost_churn\": "
+        << (options.inject_ghost_churn ? "true" : "false") << "}\n";
   return text.substr(0, brace) + extra.str() + "}\n";
 }
 
@@ -392,6 +403,10 @@ Repro load_repro(const std::string& text) {
     repro.detail = r->at("detail").as_string();
     repro.options.inject_under_trim =
         r->at("inject_under_trim").as_bool();
+    // find(): repro files written before the ghost-churn plant existed
+    // stay loadable.
+    if (const Json* ghost = r->find("inject_ghost_churn"))
+      repro.options.inject_ghost_churn = ghost->as_bool();
   }
   return repro;
 }
@@ -407,6 +422,11 @@ FuzzSchedule shrink_schedule(const FuzzSchedule& schedule,
       FuzzSchedule candidate = best;
       candidate.events.erase(candidate.events.begin() +
                              static_cast<std::ptrdiff_t>(i));
+      // Deleting one event can orphan another (a recover whose crash is
+      // gone, a round with every client churned out); such candidates are
+      // not legal schedules — skip them instead of letting the runtime's
+      // contract checks abort mid-shrink.
+      if (!candidate.check_events().empty()) continue;
       if (runs != nullptr) ++*runs;
       const FuzzOutcome outcome = run_schedule(candidate, options);
       if (outcome.violation && outcome.violation->oracle == oracle) {
@@ -439,6 +459,56 @@ FuzzSchedule under_trim_scenario() {
   drop.round = 0;
   drop.from_server = true;
   drop.from = 4;  // an honest PS (placement "first" makes PS 0 Byzantine)
+  drop.to_server = false;
+  drop.to = 0;
+  drop.kind = "broadcast";
+  drop.occurrence = 0;
+  s.events.push_back(drop);
+  return s;
+}
+
+FuzzSchedule churn_ghost_scenario() {
+  FuzzSchedule s;
+  s.seed = 0;
+  s.kind = ScheduleKind::kFault;
+  s.clients = 3;
+  s.servers = 3;
+  s.byzantine = 1;
+  s.rounds = 3;
+  s.local_iterations = 1;
+  s.upload = "full";
+  s.client_filter = "trmean:0.34";
+  s.attack = "noise";
+  s.byzantine_placement = "first";
+  s.run_seed = 0x5eed0003;
+  s.data_seed = 0x5eed0004;
+
+  ScheduleEvent leave;  // the one event the violation actually needs
+  leave.action = EventAction::kLeave;
+  leave.from = 1;
+  leave.round = 1;
+  s.events.push_back(leave);
+
+  // Decoys the shrinker must strip. The crash/recover pair is chosen so
+  // that deleting just the crash leaves an orphaned recover — an invalid
+  // candidate the shrink loop must skip, not execute.
+  ScheduleEvent crash;
+  crash.action = EventAction::kCrash;
+  crash.from_server = true;
+  crash.from = 2;  // an honest PS (placement "first" makes PS 0 Byzantine)
+  crash.round = 1;
+  s.events.push_back(crash);
+  ScheduleEvent recover;
+  recover.action = EventAction::kRecover;
+  recover.from_server = true;
+  recover.from = 2;
+  recover.round = 2;
+  s.events.push_back(recover);
+  ScheduleEvent drop;
+  drop.action = EventAction::kDrop;
+  drop.round = 0;
+  drop.from_server = true;
+  drop.from = 2;
   drop.to_server = false;
   drop.to = 0;
   drop.kind = "broadcast";

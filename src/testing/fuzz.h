@@ -34,6 +34,12 @@ struct FuzzOptions {
   // inside the client filter hook (⌊β·P'⌋ instead of min(B, ⌊(P'−1)/2⌋)
   // whenever a candidate set is short). The envelope oracle must catch it.
   bool inject_under_trim = false;
+  // Self-test churn plant: executes kFault schedules with join/leave
+  // events stripped from the FaultPlan — every client stays resident —
+  // while the causality oracle still scores membership against the full
+  // plan. A churned-out client then trains anyway, and the trace oracle
+  // must report "trained 1 times (expected 0)".
+  bool inject_ghost_churn = false;
 };
 
 struct FuzzOutcome {
@@ -83,5 +89,14 @@ FuzzSchedule shrink_schedule(const FuzzSchedule& schedule,
 // min(B, ⌊(P'−1)/2⌋) = 1, the planted ⌊β·P'⌋ = 0 lets the sign-flipped
 // candidate into the mean, and the envelope oracle fires.
 FuzzSchedule under_trim_scenario();
+
+// Hand-built regression scenario for the ghost-churn plant: 3 clients,
+// client 1 leaves at round 1 of 3, plus decoy events — a message drop and
+// a crash/recover pair whose partial removal yields an invalid candidate
+// (recover without a crash), so shrinking also exercises the
+// check_events guard. With inject_ghost_churn the leave is ignored at
+// execution time, client 1 trains in rounds 1–2 anyway, and the trace
+// oracle fires; shrinking strips the decoys down to the single leave.
+FuzzSchedule churn_ghost_scenario();
 
 }  // namespace fedms::testing

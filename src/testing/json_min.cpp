@@ -146,7 +146,11 @@ class JsonParser {
     }
     for (;;) {
       skip_space();
+      const std::size_t key_offset = pos_;
       std::string key = parse_string();
+      for (const auto& [existing, unused] : value.object_)
+        if (existing == key)
+          fail(key_offset, "duplicate object key \"" + key + "\"");
       skip_space();
       expect(':');
       value.object_.emplace_back(std::move(key), parse_value());
@@ -202,6 +206,11 @@ std::size_t Json::as_size() const {
 const std::vector<Json>& Json::items() const {
   if (type_ != Type::kArray) type_error("array");
   return array_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (type_ != Type::kObject) type_error("object");
+  return object_;
 }
 
 const Json* Json::find(const std::string& key) const {

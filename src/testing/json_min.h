@@ -40,6 +40,9 @@ class Json {
   // Object lookup: nullptr when absent / at() throws when absent.
   const Json* find(const std::string& key) const;
   const Json& at(const std::string& key) const;
+  // Object members in document order. Keys are unique (the parser rejects
+  // duplicates) — this is how strict schema validators reject unknown keys.
+  const std::vector<std::pair<std::string, Json>>& members() const;
 
  private:
   Type type_ = Type::kNull;

@@ -97,8 +97,8 @@ OracleResult check_filter_event(const runtime::FilterEvent& event,
 }
 
 OracleResult check_trace_causality(const std::vector<std::string>& trace,
-                                   std::size_t clients,
-                                   std::uint64_t rounds) {
+                                   std::size_t clients, std::uint64_t rounds,
+                                   const runtime::FaultPlan* plan) {
   std::map<std::pair<std::uint64_t, std::string>, int> trained;
   std::map<std::pair<std::uint64_t, std::string>, int> finished;
   std::map<std::tuple<std::uint64_t, std::string, std::string>, long> sent;
@@ -147,18 +147,20 @@ OracleResult check_trace_causality(const std::vector<std::string>& trace,
   }
   for (std::uint64_t r = 0; r < rounds; ++r) {
     for (std::size_t k = 0; k < clients; ++k) {
+      const int expected =
+          (plan != nullptr && !plan->client_active(k, r)) ? 0 : 1;
       const std::string node = "client#" + std::to_string(k);
-      if (trained[{r, node}] != 1)
+      if (trained[{r, node}] != expected)
         return violation(
-            "trace", format("r%llu %s trained %d times (expected 1)",
+            "trace", format("r%llu %s trained %d times (expected %d)",
                             static_cast<unsigned long long>(r), node.c_str(),
-                            trained[{r, node}]));
-      if (finished[{r, node}] != 1)
+                            trained[{r, node}], expected));
+      if (finished[{r, node}] != expected)
         return violation(
             "trace",
-            format("r%llu %s filtered/fell back %d times (expected 1)",
+            format("r%llu %s filtered/fell back %d times (expected %d)",
                    static_cast<unsigned long long>(r), node.c_str(),
-                   finished[{r, node}]));
+                   finished[{r, node}], expected));
     }
   }
   return std::nullopt;

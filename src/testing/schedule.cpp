@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -43,6 +44,9 @@ EventAction action_from_string(const std::string& text) {
   if (text == "dup") return EventAction::kDuplicate;
   if (text == "crash") return EventAction::kCrash;
   if (text == "straggler") return EventAction::kStraggler;
+  if (text == "join") return EventAction::kJoin;
+  if (text == "leave") return EventAction::kLeave;
+  if (text == "recover") return EventAction::kRecover;
   throw std::runtime_error("unknown schedule event action \"" + text + "\"");
 }
 
@@ -71,6 +75,9 @@ const char* to_string(EventAction action) {
     case EventAction::kDuplicate: return "dup";
     case EventAction::kCrash: return "crash";
     case EventAction::kStraggler: return "straggler";
+    case EventAction::kJoin: return "join";
+    case EventAction::kLeave: return "leave";
+    case EventAction::kRecover: return "recover";
   }
   return "?";
 }
@@ -82,10 +89,10 @@ std::string ScheduleEvent::to_string() const {
     os << " r" << round << ' ' << node_text(from_server, from) << "->"
        << node_text(to_server, to) << ' ' << kind << '#' << occurrence;
     if (action == EventAction::kDelay) os << " +" << seconds << 's';
-  } else if (action == EventAction::kCrash) {
-    os << ' ' << node_text(from_server, from) << "@r" << round;
-  } else {
+  } else if (action == EventAction::kStraggler) {
     os << ' ' << node_text(from_server, from) << " x" << seconds;
+  } else {  // crash / join / leave / recover
+    os << ' ' << node_text(from_server, from) << "@r" << round;
   }
   return os.str();
 }
@@ -123,8 +130,18 @@ runtime::RuntimeOptions FuzzSchedule::runtime_options() const {
       auto& table = event.from_server ? options.faults.server_stragglers
                                       : options.faults.client_stragglers;
       table[event.from] = event.seconds;
+    } else if (event.action == EventAction::kRecover) {
+      options.faults.recoveries.push_back(
+          runtime::ServerRecovery{event.from, event.round});
+    } else if (event.action == EventAction::kJoin ||
+               event.action == EventAction::kLeave) {
+      options.faults.churn.push_back(runtime::ClientChurn{
+          event.from, event.round, event.action == EventAction::kJoin});
     }
   }
+  // Churn demands join-order-independent client streams; deriving the
+  // flag (instead of storing it) keeps it out of the shrink space.
+  options.round_keyed_streams = !options.faults.churn.empty();
   return options;
 }
 
@@ -167,12 +184,12 @@ std::string FuzzSchedule::to_json() const {
          << json_escape(e.kind) << "\", \"occurrence\": " << e.occurrence;
       if (e.action == EventAction::kDelay)
         os << ", \"seconds\": " << json_double(e.seconds);
-    } else if (e.action == EventAction::kCrash) {
-      os << ", \"node\": \"" << node_text(e.from_server, e.from)
-         << "\", \"round\": " << e.round;
-    } else {
+    } else if (e.action == EventAction::kStraggler) {
       os << ", \"node\": \"" << node_text(e.from_server, e.from)
          << "\", \"factor\": " << json_double(e.seconds);
+    } else {  // crash / join / leave / recover
+      os << ", \"node\": \"" << node_text(e.from_server, e.from)
+         << "\", \"round\": " << e.round;
     }
     os << "}";
   }
@@ -217,10 +234,10 @@ FuzzSchedule FuzzSchedule::from_json(const std::string& text) {
         e.seconds = seconds->as_number();
     } else {
       parse_node(item.at("node").as_string(), &e.from_server, &e.from);
-      if (e.action == EventAction::kCrash)
-        e.round = item.at("round").as_size();
-      else
+      if (e.action == EventAction::kStraggler)
         e.seconds = item.at("factor").as_number();
+      else
+        e.round = item.at("round").as_size();
     }
     s.events.push_back(std::move(e));
   }
@@ -228,7 +245,22 @@ FuzzSchedule FuzzSchedule::from_json(const std::string& text) {
   // a hand-edited repro file reports instead of aborting.
   if (const std::string error = s.fed_config().check(); !error.empty())
     throw std::runtime_error("repro schedule invalid: " + error);
+  if (const std::string error = s.check_events(); !error.empty())
+    throw std::runtime_error("repro schedule invalid: " + error);
   return s;
+}
+
+std::string FuzzSchedule::check_events() const {
+  const runtime::FaultPlan plan = runtime_options().faults;
+  if (const std::string topo = plan.check_topology(
+          clients, servers, std::numeric_limits<std::uint64_t>::max());
+      !topo.empty())
+    return topo;
+  if (!plan.churn.empty())
+    for (std::uint64_t r = 0; r < rounds; ++r)
+      if (plan.active_client_count(clients, r) == 0)
+        return "every client has left by round " + std::to_string(r);
+  return "";
 }
 
 FuzzSchedule generate_schedule(std::uint64_t seed) {
@@ -353,13 +385,46 @@ FuzzSchedule generate_schedule(std::uint64_t seed) {
     }
     s.events.push_back(std::move(e));
   }
-  if (rng.uniform() < 0.3) {  // a crashed PS
+  if (rng.uniform() < 0.3) {  // a crashed PS, sometimes with a recovery
     ScheduleEvent e;
     e.action = EventAction::kCrash;
     e.from_server = true;
     e.from = rng.uniform_index(s.servers);
     e.round = rng.uniform_index(s.rounds);
+    const std::size_t crashed = e.from;
+    const std::uint64_t crash_round = e.round;
     s.events.push_back(std::move(e));
+    if (crash_round + 1 < s.rounds && rng.uniform() < 0.5) {
+      ScheduleEvent r;
+      r.action = EventAction::kRecover;
+      r.from_server = true;
+      r.from = crashed;
+      r.round = crash_round + 1 +
+                rng.uniform_index(s.rounds - crash_round - 1);
+      s.events.push_back(std::move(r));
+    }
+  }
+  if (s.clients >= 3 && rng.uniform() < 0.35) {
+    // Client churn: one client leaves, maybe rejoining later. Limiting
+    // churn to a single client keeps >= 1 client active in every round
+    // by construction (the runtime rejects an all-absent round).
+    ScheduleEvent e;
+    e.action = EventAction::kLeave;
+    e.from_server = false;
+    e.from = rng.uniform_index(s.clients);
+    e.round = rng.uniform_index(s.rounds);
+    const std::size_t churned = e.from;
+    const std::uint64_t leave_round = e.round;
+    s.events.push_back(std::move(e));
+    if (leave_round + 1 < s.rounds && rng.uniform() < 0.6) {
+      ScheduleEvent j;
+      j.action = EventAction::kJoin;
+      j.from_server = false;
+      j.from = churned;
+      j.round = leave_round + 1 +
+                rng.uniform_index(s.rounds - leave_round - 1);
+      s.events.push_back(std::move(j));
+    }
   }
   if (rng.uniform() < 0.35) {  // a straggling client
     ScheduleEvent e;

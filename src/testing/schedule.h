@@ -43,6 +43,9 @@ enum class EventAction {
   kDuplicate,  // ... is delivered twice
   kCrash,      // server `node` is crash-silent from round `round` on
   kStraggler,  // node's compute/link times are scaled by `seconds` >= 1
+  kJoin,       // client `node` (re)enters training at round `round`
+  kLeave,      // client `node` exits training at round `round`
+  kRecover,    // crashed server `node` is live again from round `round`
 };
 
 const char* to_string(EventAction action);
@@ -102,11 +105,21 @@ struct FuzzSchedule {
   std::vector<ScheduleEvent> events;  // kFault only
 
   // The runtime/simulator configs this schedule denotes. runtime_options()
-  // folds crash/straggler events into the FaultPlan; message-matched
-  // events are applied through the runtime's MessageHook instead (see
-  // ScriptedFaults).
+  // folds crash/recover/join/leave/straggler events into the FaultPlan
+  // (and enables round-keyed client streams whenever churn events exist);
+  // message-matched events are applied through the runtime's MessageHook
+  // instead (see ScriptedFaults).
   fl::FedMsConfig fed_config() const;
   runtime::RuntimeOptions runtime_options() const;
+
+  // Event-plan validity over this schedule's shape as a one-line error
+  // ("" = valid): recover/join/leave events must name in-range nodes, a
+  // recovery needs an earlier crash of the same server, no (client, round)
+  // pair may churn twice, and no round may lose every client. from_json
+  // applies it so hand-edited repro files report instead of aborting, and
+  // shrink_schedule uses it to skip candidates where deleting one event
+  // (say, a crash) orphans another (its paired recover).
+  std::string check_events() const;
 
   std::string to_json() const;
   // Throws std::runtime_error on malformed input.

@@ -89,6 +89,31 @@ TEST(EpochSampler, ReshufflesBetweenEpochs) {
   EXPECT_EQ(sorted1, sorted2);
 }
 
+TEST(MiniBatchSampler, ResetPoolRetargetsWithoutRestartingTheStream) {
+  MiniBatchSampler sampler(pool_of(10), 8, core::Rng(13));
+  sampler.next_batch();
+  sampler.reset_pool(pool_of(10, 500));  // alpha drift repartitioned us
+  EXPECT_EQ(sampler.pool_size(), 10u);
+  EXPECT_EQ(sampler.batch_size(), 8u);
+  for (int i = 0; i < 20; ++i)
+    for (const std::size_t idx : sampler.next_batch()) {
+      EXPECT_GE(idx, 500u);
+      EXPECT_LT(idx, 510u);
+    }
+}
+
+TEST(MiniBatchSampler, ResetPoolKeepsTheRngStreamMoving) {
+  // Two samplers with identical RNGs; one resets to the SAME pool. The
+  // draws afterwards must still agree — reset_pool replaces the pool, it
+  // does not rewind or reseed the stream.
+  MiniBatchSampler a(pool_of(10), 4, core::Rng(14));
+  MiniBatchSampler b(pool_of(10), 4, core::Rng(14));
+  a.next_batch();
+  b.next_batch();
+  b.reset_pool(pool_of(10));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(a.next_batch(), b.next_batch());
+}
+
 TEST(SamplerDeath, EmptyPoolRejected) {
   EXPECT_DEATH(MiniBatchSampler({}, 4, core::Rng(10)), "Precondition");
   EXPECT_DEATH(EpochSampler({}, 4, core::Rng(11)), "Precondition");
@@ -97,6 +122,11 @@ TEST(SamplerDeath, EmptyPoolRejected) {
 TEST(SamplerDeath, ZeroBatchRejected) {
   EXPECT_DEATH(MiniBatchSampler(pool_of(4), 0, core::Rng(12)),
                "Precondition");
+}
+
+TEST(SamplerDeath, ResetToEmptyPoolRejected) {
+  MiniBatchSampler sampler(pool_of(4), 2, core::Rng(15));
+  EXPECT_DEATH(sampler.reset_pool({}), "Precondition");
 }
 
 }  // namespace

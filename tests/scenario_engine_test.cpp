@@ -1,0 +1,84 @@
+// Scenario engine end-to-end: run_scenario is a pure function of
+// (scenario, seed, defense) — byte-identical JSON across repeated runs —
+// and the round-start hook's attack switches and alpha drift leave the
+// run deterministic and complete.
+#include "scenario/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/scenario.h"
+
+namespace fedms::scenario {
+namespace {
+
+// Small enough to run as an integration test, but exercising every event
+// type the engine handles (churn + handoff via the FaultPlan; attack
+// switch + alpha drift via the round-start hook).
+const char* kScenarioText = R"({
+  "name": "engine-test",
+  "rounds": 4, "clients": 6, "servers": 5, "byzantine": 1,
+  "attack": "signflip", "defense": "trmean:0.2",
+  "workload": {"samples": 256, "feature_dimension": 8, "batch_size": 8,
+               "eval_sample_cap": 64},
+  "events": [
+    {"round": 1, "type": "leave",         "client": 2},
+    {"round": 2, "type": "join",          "client": 2},
+    {"round": 1, "type": "ps_crash",      "server": 4},
+    {"round": 2, "type": "ps_recover",    "server": 4},
+    {"round": 2, "type": "attack_switch", "attack": "noise"},
+    {"round": 3, "type": "alpha_drift",   "alpha": 0.2}
+  ]
+})";
+
+TEST(ScenarioEngine, OutcomeIsByteIdenticalAcrossRuns) {
+  const Scenario scenario = Scenario::parse(kScenarioText);
+  const ScenarioOutcome first = run_scenario(scenario, 1);
+  const ScenarioOutcome second = run_scenario(scenario, 1);
+  EXPECT_EQ(first.result.trace_hash, second.result.trace_hash);
+  EXPECT_EQ(first.to_json(), second.to_json());
+  EXPECT_EQ(first.name, "engine-test");
+  EXPECT_EQ(first.defense, "trmean:0.2");  // the scenario's own
+  EXPECT_EQ(first.result.rounds.size(), 4u);
+}
+
+TEST(ScenarioEngine, DifferentSeedsDiverge) {
+  const Scenario scenario = Scenario::parse(kScenarioText);
+  const ScenarioOutcome a = run_scenario(scenario, 1);
+  const ScenarioOutcome b = run_scenario(scenario, 2);
+  EXPECT_NE(a.result.trace_hash, b.result.trace_hash);
+  EXPECT_NE(a.to_json(), b.to_json());
+}
+
+TEST(ScenarioEngine, DefenseOverrideLandsInConfigAndJson) {
+  const Scenario scenario = Scenario::parse(kScenarioText);
+  const ScenarioOutcome outcome = run_scenario(scenario, 1, "mean");
+  EXPECT_EQ(outcome.defense, "mean");
+  EXPECT_EQ(outcome.config.client_filter, "mean");
+  EXPECT_NE(outcome.to_json().find("\"defense\": \"mean\""),
+            std::string::npos);
+  // The override changes the run, not just the label.  The trace hashes
+  // event structure (identical across filters), so compare training
+  // metrics: under signflip, mean vs trmean diverges after round 0.
+  const ScenarioOutcome own = run_scenario(scenario, 1);
+  EXPECT_NE(outcome.result.rounds.back().base.train_loss,
+            own.result.rounds.back().base.train_loss);
+}
+
+TEST(ScenarioEngine, ChurnedClientSkipsItsAbsentRound) {
+  const Scenario scenario = Scenario::parse(kScenarioText);
+  const ScenarioOutcome outcome = run_scenario(scenario, 1);
+  // Client 2 is absent in round 1 only (leave@1, join@2): exactly one
+  // "absent" marker for it in the trace, plus one PS recovery marker.
+  std::size_t absent = 0, recovered = 0;
+  for (const std::string& line : outcome.result.trace) {
+    if (line.find("absent client#2") != std::string::npos) ++absent;
+    if (line.find("recovered server#4") != std::string::npos) ++recovered;
+  }
+  EXPECT_EQ(absent, 1u);
+  EXPECT_EQ(recovered, 1u);
+}
+
+}  // namespace
+}  // namespace fedms::scenario

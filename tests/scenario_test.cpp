@@ -1,0 +1,183 @@
+// Scenario schema strictness + FaultPlan compilation. The parser must
+// reject unknown/duplicate keys and malformed events with one-line
+// errors (scenario files are hand-edited), and compile_fault_plan must
+// be a pure function of (scenario, seed) with >= 1 active client per
+// round.
+#include "scenario/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace fedms::scenario {
+namespace {
+
+std::string parse_error(const std::string& text) {
+  try {
+    Scenario::parse(text);
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected a parse error for: " << text;
+  return "";
+}
+
+TEST(ScenarioParse, DefaultsAndOverrides) {
+  const Scenario s = Scenario::parse(
+      R"({"name": "t", "rounds": 4, "clients": 5, "servers": 3,
+          "byzantine": 1, "defense": "mean"})");
+  EXPECT_EQ(s.name, "t");
+  EXPECT_EQ(s.fed.rounds, 4u);
+  EXPECT_EQ(s.fed.clients, 5u);
+  EXPECT_EQ(s.fed.servers, 3u);
+  EXPECT_EQ(s.fed.byzantine, 1u);
+  EXPECT_EQ(s.fed.client_filter, "mean");
+  EXPECT_TRUE(s.events.empty());
+  EXPECT_EQ(s.check(), "");
+}
+
+TEST(ScenarioParse, UnknownTopLevelKeyRejected) {
+  const std::string what = parse_error(R"({"naem": "typo"})");
+  EXPECT_NE(what.find("unknown key \"naem\""), std::string::npos) << what;
+  EXPECT_EQ(what.find('\n'), std::string::npos);
+}
+
+TEST(ScenarioParse, UnknownWorkloadKeyRejected) {
+  const std::string what =
+      parse_error(R"({"workload": {"sample": 10}})");
+  EXPECT_NE(what.find("unknown workload key \"sample\""), std::string::npos)
+      << what;
+}
+
+TEST(ScenarioParse, DuplicateKeyRejectedByTheJsonLayer) {
+  const std::string what = parse_error(R"({"rounds": 3, "rounds": 4})");
+  EXPECT_NE(what.find("duplicate object key \"rounds\""), std::string::npos)
+      << what;
+}
+
+TEST(ScenarioParse, EventMissingItsNodeIndex) {
+  const std::string what =
+      parse_error(R"({"events": [{"type": "leave", "round": 1}]})");
+  EXPECT_NE(what.find("\"leave\" event needs a \"client\" index"),
+            std::string::npos)
+      << what;
+}
+
+TEST(ScenarioParse, EventWithStrayKeyRejected) {
+  const std::string what = parse_error(
+      R"({"events": [{"type": "leave", "round": 1, "client": 0,
+                      "server": 2}]})");
+  EXPECT_NE(what.find("\"leave\" event has unknown key \"server\""),
+            std::string::npos)
+      << what;
+}
+
+TEST(ScenarioParse, UnknownEventTypeRejected) {
+  const std::string what =
+      parse_error(R"({"events": [{"type": "explode", "round": 1}]})");
+  EXPECT_NE(what.find("unknown event type \"explode\""), std::string::npos)
+      << what;
+}
+
+TEST(ScenarioParse, BadAttackNameInSwitchRejected) {
+  const std::string what = parse_error(
+      R"({"events": [{"type": "attack_switch", "round": 1,
+                      "attack": "gauss"}]})");
+  EXPECT_NE(what.find("gauss"), std::string::npos) << what;
+}
+
+TEST(ScenarioParse, EventPastTheHorizonRejected) {
+  const std::string what = parse_error(
+      R"({"rounds": 4,
+          "events": [{"type": "leave", "round": 9, "client": 0}]})");
+  EXPECT_NE(what.find("past the last round 3"), std::string::npos) << what;
+}
+
+TEST(ScenarioParse, RecoverWithoutCrashRejected) {
+  const std::string what = parse_error(
+      R"({"events": [{"type": "ps_recover", "round": 2, "server": 1}]})");
+  EXPECT_NE(what.find("no earlier crash"), std::string::npos) << what;
+}
+
+TEST(ScenarioParse, TwoParticipationEventsSameRoundRejected) {
+  const std::string what = parse_error(
+      R"({"events": [
+            {"type": "participation", "round": 2, "rate": 0.5},
+            {"type": "participation", "round": 2, "rate": 0.9}]})");
+  EXPECT_NE(what.find("two participation events at round 2"),
+            std::string::npos)
+      << what;
+}
+
+TEST(ScenarioParse, EveryClientLeavingRejected) {
+  const std::string what = parse_error(
+      R"({"clients": 2,
+          "events": [{"type": "leave", "round": 1, "client": 0},
+                     {"type": "leave", "round": 1, "client": 1}]})");
+  EXPECT_NE(what.find("every client has left by round 1"),
+            std::string::npos)
+      << what;
+}
+
+TEST(ScenarioCompile, ExplicitEventsMapOntoTheFaultPlan) {
+  const Scenario s = Scenario::parse(
+      R"({"rounds": 6,
+          "events": [{"type": "leave",      "round": 1, "client": 1},
+                     {"type": "join",       "round": 3, "client": 1},
+                     {"type": "ps_crash",   "round": 1, "server": 0},
+                     {"type": "ps_recover", "round": 2, "server": 0}]})");
+  const runtime::FaultPlan plan = s.compile_fault_plan(7);
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  ASSERT_EQ(plan.recoveries.size(), 1u);
+  EXPECT_TRUE(plan.server_crashed(0, 1));
+  EXPECT_FALSE(plan.server_crashed(0, 2));
+  EXPECT_TRUE(plan.client_active(1, 0));
+  EXPECT_FALSE(plan.client_active(1, 1));
+  EXPECT_FALSE(plan.client_active(1, 2));
+  EXPECT_TRUE(plan.client_active(1, 3));
+  // Untouched clients never churn.
+  for (std::uint64_t r = 0; r < 6; ++r)
+    EXPECT_TRUE(plan.client_active(0, r));
+}
+
+TEST(ScenarioCompile, StaticMembershipCompilesToAnEmptyChurnList) {
+  const Scenario s = Scenario::parse(
+      R"({"events": [{"type": "attack_switch", "round": 2,
+                      "attack": "noise"}]})");
+  const runtime::FaultPlan plan = s.compile_fault_plan(7);
+  EXPECT_TRUE(plan.churn.empty());
+  EXPECT_TRUE(plan.crashes.empty());
+}
+
+TEST(ScenarioCompile, ParticipationDrawsAreSeedKeyedAndNeverDark) {
+  const Scenario s = Scenario::parse(
+      R"({"rounds": 8, "clients": 10,
+          "events": [{"type": "participation", "round": 1,
+                      "rate": 0.4}]})");
+  const runtime::FaultPlan first = s.compile_fault_plan(7);
+  const runtime::FaultPlan again = s.compile_fault_plan(7);
+  EXPECT_EQ(first.to_string(), again.to_string());
+  EXPECT_FALSE(first.churn.empty());  // 0.4 over 10 clients x 7 rounds
+  const runtime::FaultPlan other = s.compile_fault_plan(8);
+  EXPECT_NE(first.to_string(), other.to_string());
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    EXPECT_GE(first.active_client_count(10, r), 1u) << "round " << r;
+    EXPECT_GE(other.active_client_count(10, r), 1u) << "round " << r;
+  }
+  // Rounds before the event are fully attended.
+  EXPECT_EQ(first.active_client_count(10, 0), 10u);
+}
+
+TEST(ScenarioLoad, MissingFileCitesThePath) {
+  try {
+    Scenario::load("/no/such/scenario.json");
+    FAIL() << "expected an error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("/no/such/scenario.json"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fedms::scenario

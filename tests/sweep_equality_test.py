@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Bit-equality contract of fedms_sweep across --jobs values.
+
+Every sweep cell is a pure function of (scenario, defense, seed); packing
+cells across the thread pool must not change a single output byte.  Run
+by ctest as:
+
+    sweep_equality_test.py <path-to-fedms_sweep> <scenario.json>
+"""
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_sweep(binary, scenario, out_dir, jobs):
+    proc = subprocess.run(
+        [binary, "--scenario", scenario, "--seeds", "2",
+         "--defenses", "trmean:0.2,mean", "--jobs", str(jobs),
+         "--out-dir", out_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, timeout=600)
+    if proc.returncode != 0:
+        print("FAIL: fedms_sweep --jobs %d exited %d\nstderr: %s"
+              % (jobs, proc.returncode,
+                 proc.stderr.decode("utf-8", "replace")))
+        sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: sweep_equality_test.py <fedms_sweep> <scenario.json>")
+        return 2
+    binary, scenario = sys.argv[1], sys.argv[2]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        serial = os.path.join(tmp, "serial")
+        packed = os.path.join(tmp, "packed")
+        run_sweep(binary, scenario, serial, jobs=1)
+        run_sweep(binary, scenario, packed, jobs=4)
+
+        serial_files = sorted(os.listdir(serial))
+        packed_files = sorted(os.listdir(packed))
+        if serial_files != packed_files:
+            print("FAIL: file sets differ: %r vs %r"
+                  % (serial_files, packed_files))
+            return 1
+        if not serial_files:
+            print("FAIL: sweep produced no output files")
+            return 1
+        for name in serial_files:
+            with open(os.path.join(serial, name), "rb") as f:
+                a = f.read()
+            with open(os.path.join(packed, name), "rb") as f:
+                b = f.read()
+            if a != b:
+                print("FAIL: %s differs between --jobs 1 and --jobs 4"
+                      % name)
+                return 1
+        print("ok: %d sweep cells byte-identical across --jobs 1 and 4"
+              % len(serial_files))
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -128,9 +128,12 @@ std::string report_failure(const testing::FuzzSchedule& schedule,
   std::printf("  repro written: %s\n", path.c_str());
   std::printf("  replay:        ./build/tools/fedms_fuzz --replay %s\n",
               path.c_str());
+  std::string plant_flags;
+  if (options.inject_under_trim) plant_flags += " --inject-under-trim";
+  if (options.inject_ghost_churn) plant_flags += " --inject-ghost-churn";
   std::printf("  rerun seed:    ./build/tools/fedms_fuzz --seed 0x%llx%s\n",
               static_cast<unsigned long long>(schedule.seed),
-              options.inject_under_trim ? " --inject-under-trim" : "");
+              plant_flags.c_str());
   return path;
 }
 
@@ -199,28 +202,30 @@ int replay(const std::string& path, bool shrink,
   return 0;
 }
 
-// End-to-end pipeline check against a hand-planted bug: the PR 4
-// degraded-set under-trim regression must (a) pass the oracles when the
-// filter is correct, (b) trip the envelope oracle when planted, (c) write
-// a repro that replays bit-for-bit, and (d) shrink to a minimal schedule.
-int self_test(const std::string& repro_dir) {
-  const testing::FuzzSchedule scenario = testing::under_trim_scenario();
-
+// One planted-bug pipeline check: the scenario must (a) pass the oracles
+// when nothing is planted, (b) trip exactly `expected_oracle` when the
+// plant is armed, (c) write a repro that replays bit-for-bit, and
+// (d) shrink to at most `max_events` schedule events.
+int check_plant(const char* label, const testing::FuzzSchedule& scenario,
+                const testing::FuzzOptions& inject,
+                const char* expected_oracle, const std::string& repro_dir,
+                std::size_t max_events) {
   const testing::FuzzOutcome clean = testing::run_schedule(scenario, {});
   if (!clean.passed() || clean.filter_events == 0) {
-    std::printf("self-test FAILED: clean run %s (filter decisions %zu)\n",
+    std::printf("self-test [%s] FAILED: clean run %s (filter decisions "
+                "%zu)\n",
+                label,
                 clean.passed() ? "passed" : clean.violation->detail.c_str(),
                 clean.filter_events);
     return 1;
   }
 
-  testing::FuzzOptions inject;
-  inject.inject_under_trim = true;
   const testing::FuzzOutcome planted = testing::run_schedule(scenario,
                                                              inject);
-  if (planted.passed() || planted.violation->oracle != "envelope") {
-    std::printf("self-test FAILED: planted under-trim bug not caught by "
-                "the envelope oracle (%s)\n",
+  if (planted.passed() || planted.violation->oracle != expected_oracle) {
+    std::printf("self-test [%s] FAILED: plant not caught by the %s oracle "
+                "(%s)\n",
+                label, expected_oracle,
                 planted.passed() ? "run passed"
                                  : planted.violation->oracle.c_str());
     return 1;
@@ -228,7 +233,7 @@ int self_test(const std::string& repro_dir) {
 
   const std::string path =
       (repro_dir.empty() ? std::string(".") : repro_dir) +
-      "/fedms-fuzz-self-test.json";
+      "/fedms-fuzz-self-test-" + label + ".json";
   write_file(path,
              testing::repro_json(scenario, *planted.violation, inject));
   const testing::Repro repro = testing::load_repro(read_file(path));
@@ -238,24 +243,43 @@ int self_test(const std::string& repro_dir) {
   if (!replayed.violation ||
       replayed.violation->detail != planted.violation->detail ||
       replayed.trace_hash != planted.trace_hash) {
-    std::printf("self-test FAILED: repro did not replay bit-for-bit\n");
+    std::printf("self-test [%s] FAILED: repro did not replay bit-for-bit\n",
+                label);
     return 1;
   }
 
   std::size_t runs = 0;
   const testing::FuzzSchedule minimal = testing::shrink_schedule(
-      scenario, inject, "envelope", &runs);
-  if (minimal.events.size() > 10) {
-    std::printf("self-test FAILED: shrunk schedule still has %zu events\n",
-                minimal.events.size());
+      scenario, inject, expected_oracle, &runs);
+  if (minimal.events.size() > max_events) {
+    std::printf("self-test [%s] FAILED: shrunk schedule still has %zu "
+                "events\n",
+                label, minimal.events.size());
     return 1;
   }
 
-  std::printf("self-test ok: envelope oracle caught the planted under-trim "
-              "bug (%s), repro replayed bit-for-bit, shrunk to %zu "
-              "event(s)\n",
-              planted.violation->detail.c_str(), minimal.events.size());
+  std::printf("self-test ok [%s]: %s oracle caught the plant (%s), repro "
+              "replayed bit-for-bit, shrunk to %zu event(s)\n",
+              label, expected_oracle, planted.violation->detail.c_str(),
+              minimal.events.size());
   return 0;
+}
+
+// End-to-end pipeline checks against hand-planted bugs: the PR 4
+// degraded-set under-trim regression (envelope oracle) and a ghost-churn
+// membership desync (trace oracle, exercising the churn machinery plus
+// the shrinker's invalid-candidate guard).
+int self_test(const std::string& repro_dir) {
+  testing::FuzzOptions under_trim;
+  under_trim.inject_under_trim = true;
+  if (check_plant("under-trim", testing::under_trim_scenario(), under_trim,
+                  "envelope", repro_dir, /*max_events=*/10) != 0)
+    return 1;
+
+  testing::FuzzOptions ghost;
+  ghost.inject_ghost_churn = true;
+  return check_plant("ghost-churn", testing::churn_ghost_scenario(), ghost,
+                     "trace", repro_dir, /*max_events=*/1);
 }
 
 }  // namespace
@@ -279,9 +303,13 @@ int main(int argc, char** argv) {
   flags.add_bool("inject-under-trim", false,
                  "plant the degraded-set under-trim bug in every client "
                  "filter (oracle calibration)");
+  flags.add_bool("inject-ghost-churn", false,
+                 "execute schedules with their join/leave events ignored "
+                 "while the causality oracle still expects them (oracle "
+                 "calibration)");
   flags.add_bool("self-test", false,
                  "verify the fail->repro->replay->shrink pipeline against "
-                 "the planted under-trim bug");
+                 "the planted under-trim and ghost-churn bugs");
   flags.add_string("repro-dir", ".",
                    "directory for repro files written on failure");
   if (!flags.parse(argc, argv)) return 1;
@@ -294,6 +322,7 @@ int main(int argc, char** argv) {
 
   testing::FuzzOptions options;
   options.inject_under_trim = flags.get_bool("inject-under-trim");
+  options.inject_ghost_churn = flags.get_bool("inject-ghost-churn");
 
   if (!flags.get_string("seed").empty()) {
     const std::uint64_t seed =
