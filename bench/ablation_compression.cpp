@@ -47,5 +47,41 @@ int main(int argc, char** argv) {
   std::printf(
       "\n# Expected shape: accuracy flat across codecs; uplink bytes "
       "~0.5x (fp16) and ~0.26x (int8).\n");
+
+  // ---- Accuracy vs bytes for the negotiated wire encodings. Unlike the
+  // legacy upload codec above (uplink only), a wire encoding compresses
+  // both directions and the stateful variants (delta, top-k) chain
+  // per-link reference models — so the interesting axis is TOTAL traffic
+  // against final accuracy.
+  std::printf("\n# Wire-encoding accuracy-vs-bytes sweep — %s\n",
+              base.to_string().c_str());
+  metrics::Table wire_table({"wire-encoding", "final_accuracy",
+                             "total KB/round", "relative bytes",
+                             "acc delta vs f32"});
+  double wire_baseline_bytes = 0.0;
+  double wire_baseline_accuracy = 0.0;
+  for (const char* encoding :
+       {"f32", "fp16", "int8", "topk:0.25", "delta+fp16", "delta+int8"}) {
+    fl::FedMsConfig fed = base;
+    fed.wire_encoding = encoding;
+    const fl::RunResult result = fl::run_experiment(workload, fed);
+    const double bytes_per_round =
+        double(result.uplink_total.bytes + result.downlink_total.bytes) /
+        double(result.rounds.size());
+    const double accuracy = *result.final_eval().eval_accuracy;
+    if (wire_baseline_bytes == 0.0) {
+      wire_baseline_bytes = bytes_per_round;
+      wire_baseline_accuracy = accuracy;
+    }
+    wire_table.add_row(
+        {encoding, metrics::Table::fmt(accuracy, 3),
+         metrics::Table::fmt(bytes_per_round / 1e3, 1),
+         metrics::Table::fmt(bytes_per_round / wire_baseline_bytes, 2) + "x",
+         metrics::Table::fmt(accuracy - wire_baseline_accuracy, 3)});
+  }
+  wire_table.print(std::cout);
+  std::printf(
+      "\n# Expected shape: accuracy within noise of f32 for every "
+      "encoding; int8 and topk:0.25 cut total bytes by >= 3x.\n");
   return 0;
 }

@@ -42,6 +42,7 @@
 #include "eventloop/server.h"
 #include "fl/aggregators.h"
 #include "fl/config.h"
+#include "fl/wire_encoding.h"
 #include "obs/obs.h"
 #include "transport/frame.h"
 #include "transport/node_runner.h"
@@ -106,14 +107,28 @@ net::Message read_message(int fd, std::vector<std::uint8_t>& rx,
 // The forked client swarm: N protocol-faithful clients on blocking fds.
 // Returns a process exit code.
 int run_swarm(const transport::SocketAddress& address, std::size_t clients,
-              std::size_t dim, std::uint64_t rounds) {
+              std::size_t dim, std::uint64_t rounds,
+              const fl::WireEncodingSpec& wire_spec) {
   if (const std::string e = eventloop::ensure_fd_budget(clients + 64);
       !e.empty()) {
     std::fprintf(stderr, "soak swarm: %s\n", e.c_str());
     return 1;
   }
+  const bool wired = !wire_spec.is_f32();
   const transport::FrameCodec codec("none");
   const net::NodeId server = net::server_id(0);
+  // Per-client wire streams, one each way (upload encode / broadcast
+  // decode), mirroring the per-connection channels of the real client.
+  std::vector<fl::WireChannel> upload_channels;
+  std::vector<fl::WireChannel> broadcast_channels;
+  if (wired) {
+    upload_channels.reserve(clients);
+    broadcast_channels.reserve(clients);
+    for (std::size_t k = 0; k < clients; ++k) {
+      upload_channels.emplace_back(wire_spec);
+      broadcast_channels.emplace_back(wire_spec);
+    }
+  }
   // Generous backoff: the parent's listener may still be coming up, and
   // early connects can momentarily fill the backlog.
   const runtime::Backoff backoff{0.05, 2.0, 14};
@@ -126,6 +141,7 @@ int run_swarm(const transport::SocketAddress& address, std::size_t clients,
     hello.from = net::client_id(k);
     hello.to = server;
     hello.kind = net::MessageKind::kHello;
+    if (wired) hello.hello_encoding = wire_spec.to_string();
     const auto frame = codec.encode(hello);
     write_full(fds[k], frame.data(), frame.size());
   }
@@ -142,6 +158,14 @@ int run_swarm(const transport::SocketAddress& address, std::size_t clients,
       upload.payload.resize(dim);
       for (std::size_t j = 0; j < dim; ++j)
         upload.payload[j] = payload_value(k, round, j);
+      if (wired) {
+        fl::WireEncodeResult wire =
+            upload_channels[k].encode(upload.payload);
+        upload.payload = std::move(wire.decoded);
+        upload.encoded = std::move(wire.bytes);
+        upload.encoded_bytes = upload.encoded.size();
+        upload.wire_format = wire_spec.format_tag();
+      }
       frame.clear();  // encode_to appends
       codec.encode_to(upload, frame);
       write_full(fds[k], frame.data(), frame.size());
@@ -161,10 +185,13 @@ int run_swarm(const transport::SocketAddress& address, std::size_t clients,
     for (std::size_t k = 0; k < clients; ++k) {
       bool got_broadcast = false, got_sync = false;
       while (!(got_broadcast && got_sync)) {
-        const net::Message m = read_message(fds[k], rx[k], codec);
+        net::Message m = read_message(fds[k], rx[k], codec);
         if (m.round != round)
           throw std::runtime_error("swarm: round mismatch");
         if (m.kind == net::MessageKind::kModelBroadcast) {
+          if (wired && m.payload.empty() && m.encoded_bytes > 0)
+            m.payload = broadcast_channels[k].decode(m.wire_format,
+                                                     m.encoded);
           if (m.payload.size() != dim)
             throw std::runtime_error("swarm: broadcast dim mismatch");
           got_broadcast = true;
@@ -218,6 +245,9 @@ int main(int argc, char** argv) {
                    "epoll | poll");
   flags.add_string("aggregator", "trmean:0.1",
                    "PS aggregation rule over the swarm uploads");
+  flags.add_string("wire-encoding", "f32",
+                   "negotiated wire encoding: f32 | fp16 | int8 | "
+                   "delta+<base> | topk:<frac>");
   flags.add_double("timeout", 600.0, "per-stage protocol timeout");
   flags.add_string("socket-dir", "",
                    "unix socket directory (default: fresh /tmp/fedmsXXXXXX)");
@@ -242,6 +272,11 @@ int main(int argc, char** argv) {
     if (const std::string e = fl::check_aggregator_spec(aggregator);
         !e.empty())
       throw std::runtime_error("--aggregator: " + e);
+    fl::WireEncodingSpec wire_spec;
+    if (const std::string e = fl::parse_wire_encoding(
+            flags.get_string("wire-encoding"), &wire_spec);
+        !e.empty())
+      throw std::runtime_error("--wire-encoding: " + e);
     eventloop::EventLoopOptions options;
     if (backend_name == "epoll")
       options.backend = eventloop::Reactor::Backend::kEpoll;
@@ -263,7 +298,7 @@ int main(int argc, char** argv) {
     const pid_t swarm = ::fork();
     if (swarm < 0) throw std::runtime_error("fork failed");
     if (swarm == 0)
-      ::_exit(run_swarm(address, clients, dim, rounds));
+      ::_exit(run_swarm(address, clients, dim, rounds, wire_spec));
 
     if (const std::string e = eventloop::ensure_fd_budget(clients + 64);
         !e.empty())
@@ -279,6 +314,7 @@ int main(int argc, char** argv) {
     fed.byzantine = 0;
     fed.rounds = rounds;
     fed.server_aggregator = aggregator;
+    fed.wire_encoding = wire_spec.to_string();
     fl::WorkloadConfig workload;
 
     std::unique_ptr<core::ThreadPool> pool;
@@ -357,6 +393,10 @@ int main(int argc, char** argv) {
                 eventloop::Reactor::to_string(server->backend()));
     std::printf("    \"filter_threads\": %zu,\n", threads);
     std::printf("    \"aggregator\": \"%s\",\n", aggregator.c_str());
+    std::printf("    \"wire_encoding\": \"%s\",\n",
+                wire_spec.to_string().c_str());
+    std::printf("    \"data_bytes_per_round\": %.0f,\n",
+                double(received.bytes + sent.bytes) / double(rounds));
     std::printf("    \"total_seconds\": %.4f,\n", total_seconds);
     std::printf("    \"active_seconds\": %.4f,\n", active_seconds);
     std::printf("    \"rounds_per_second\": %.4f,\n",

@@ -13,9 +13,15 @@
 #                               across the thread pool,
 #   * tools/fedms_sim         — wall-clock per federated round,
 # and merges everything into one JSON report (default: repo/BENCH_PR<N>.json
-# with N from --pr or FEDMS_BENCH_PR, currently 7). When a recent PR's
+# with N from --pr or FEDMS_BENCH_PR, currently 8). When a recent PR's
 # report exists next to it, the merge step records the per-round delta
 # against it so perf regressions show up in the report itself.
+#
+# PR 8 additions: the soak also runs under --wire-encoding int8 and
+# topk:0.25 (bytes/round + MB/s vs the f32 baseline soak; the report
+# asserts >= 3x byte reduction for both), and a mobilenet 8x4 simulator
+# sweep records final accuracy per wire encoding (asserted within 1% of
+# the f32 baseline on the full run).
 #
 #   scripts/bench.sh            # full budgets
 #   scripts/bench.sh --quick    # tiny budgets (CI sanity / check.sh)
@@ -30,7 +36,7 @@ build="$repo/build-bench"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 quick=0
-pr="${FEDMS_BENCH_PR:-7}"
+pr="${FEDMS_BENCH_PR:-8}"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1 ;;
@@ -88,6 +94,27 @@ soak_flags=(--clients 10000 --dim 1024 --rounds 3)
 [[ $quick -eq 1 ]] && soak_flags=(--quick)
 "$build/bench/soak" "${soak_flags[@]}" > "$tmp/soak.json"
 
+echo "== soak under compressed wire encodings (int8, topk:0.25) =="
+# Same swarm, lossy wire paths; the merge step computes bytes/round and
+# MB/s against the f32 soak above and asserts the >= 3x byte reduction.
+"$build/bench/soak" "${soak_flags[@]}" --wire-encoding int8 \
+  > "$tmp/soak-int8.json"
+"$build/bench/soak" "${soak_flags[@]}" --wire-encoding topk:0.25 \
+  > "$tmp/soak-topk.json"
+
+echo "== mobilenet 8x4 final accuracy per wire encoding =="
+acc_rounds=8
+acc_samples=400
+[[ $quick -eq 1 ]] && { acc_rounds=2; acc_samples=200; }
+: > "$tmp/wire-accuracy.txt"
+for enc in f32 fp16 int8 topk:0.25 delta+int8; do
+  "$build/tools/fedms_sim" --model mobilenet --clients 8 --servers 4 \
+    --byzantine 1 --rounds "$acc_rounds" --samples "$acc_samples" \
+    --eval-every "$acc_rounds" --wire-encoding "$enc" \
+    | grep '# final accuracy:' | sed "s|^|$enc |" \
+    >> "$tmp/wire-accuracy.txt"
+done
+
 echo "== sweep_throughput (batched scenario cells) =="
 sweep_flags=()
 [[ $quick -eq 1 ]] && sweep_flags+=(--quick)
@@ -121,6 +148,8 @@ echo "== merge -> $out =="
 GEMM_JSON="$tmp/gemm.json" AGG_JSON="$tmp/aggregators.json" \
 TRAIN_JSON="$tmp/training.json" OBS_JSON="$tmp/obs.json" \
 SOAK_JSON="$tmp/soak.json" SWEEP_JSON="$tmp/sweep.json" \
+SOAK_INT8_JSON="$tmp/soak-int8.json" SOAK_TOPK_JSON="$tmp/soak-topk.json" \
+WIRE_ACC_TXT="$tmp/wire-accuracy.txt" \
 SIM_SECONDS="$sim_seconds" SIM_ROUNDS="$rounds" \
 QUICK="$quick" OUT="$out" PR="$pr" BASELINE="$baseline" python3 - <<'PY'
 import json, os
@@ -131,6 +160,46 @@ train = json.load(open(os.environ["TRAIN_JSON"]))
 obs = json.load(open(os.environ["OBS_JSON"]))
 soak = json.load(open(os.environ["SOAK_JSON"]))["soak"]
 sweep = json.load(open(os.environ["SWEEP_JSON"]))["sweep_throughput"]
+quick = bool(int(os.environ["QUICK"]))
+
+# PR 8: compressed-wire soak runs vs the f32 baseline soak.
+wire_soak = {"f32": soak}
+for key, env in (("int8", "SOAK_INT8_JSON"), ("topk:0.25", "SOAK_TOPK_JSON")):
+    wire_soak[key] = json.load(open(os.environ[env]))["soak"]
+wire_encodings = {"soak": {}}
+f32_bytes = wire_soak["f32"]["data_bytes_per_round"]
+for key, run in wire_soak.items():
+    reduction = f32_bytes / run["data_bytes_per_round"]
+    wire_encodings["soak"][key] = {
+        "data_bytes_per_round": run["data_bytes_per_round"],
+        "rounds_per_second": run["rounds_per_second"],
+        "mb_per_second": round(run["bytes_per_second"] / 1e6, 2),
+        "reduction_vs_f32": round(reduction, 2),
+    }
+    assert run["wire_encoding"] == key, (key, run["wire_encoding"])
+    if key != "f32":
+        # The compressed wire path's reason to exist; quick mode keeps a
+        # soft floor (tiny payloads are header-dominated).
+        floor = 2.0 if quick else 3.0
+        assert reduction >= floor, (
+            f"{key} soak byte reduction {reduction:.2f}x fell below "
+            f"{floor:.0f}x vs f32")
+
+# Mobilenet 8x4 final accuracy per wire encoding (lines like
+# "int8 # final accuracy: mean 0.1300 ...").
+wire_encodings["accuracy"] = {}
+for line in open(os.environ["WIRE_ACC_TXT"]):
+    enc = line.split()[0]
+    mean = float(line.split("mean")[1].split()[0])
+    wire_encodings["accuracy"][enc] = {"final_accuracy": mean}
+f32_acc = wire_encodings["accuracy"]["f32"]["final_accuracy"]
+for enc, entry in wire_encodings["accuracy"].items():
+    delta = entry["final_accuracy"] - f32_acc
+    entry["delta_vs_f32"] = round(delta, 4)
+    if not quick:
+        assert abs(delta) <= 0.01, (
+            f"{enc} final accuracy drifted {delta:+.4f} from the f32 "
+            "baseline on mobilenet 8x4 (budget: 1%)")
 
 def series(report):
     rows = []
@@ -156,6 +225,7 @@ report = {
     "training": series(train),
     "obs": obs["obs"],
     "soak": soak,
+    "wire_encodings": wire_encodings,
     "sweep_throughput": sweep,
     "per_round": {
         "model": "mobilenet",
@@ -205,6 +275,15 @@ print(f"  soak: {soak['clients']} clients, "
       f"{soak['rounds_per_second']:.3f} rounds/s, "
       f"{soak['bytes_per_second'] / 1e6:.1f} MB/s, p99 aggregation "
       f"{soak['p99_ms']['aggregation']:.0f} ms")
+for enc, row in wire_encodings["soak"].items():
+    if enc == "f32":
+        continue
+    print(f"  soak wire {enc}: {row['data_bytes_per_round']} B/round, "
+          f"{row['reduction_vs_f32']:.2f}x fewer bytes than f32")
+accs = wire_encodings["accuracy"]
+print("  mobilenet 8x4 accuracy vs f32: " + ", ".join(
+    f"{enc} {entry['delta_vs_f32']:+.4f}"
+    for enc, entry in accs.items() if enc != "f32"))
 print(f"  sweep: {sweep['cells']} cells x {sweep['jobs']} jobs, "
       f"{sweep['scenarios_per_hour']:.0f} scenarios/h, "
       f"{sweep['speedup']:.2f}x vs sequential")

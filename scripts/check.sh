@@ -135,6 +135,20 @@ echo "== event-loop runtime smoke (8 clients + 4 PSs, sharded filter) =="
   --clients 8 --servers 4 --byzantine 1 --rounds 2 --samples 400 \
   --runtime eventloop --filter-threads 2 --verify
 
+echo "== wire-encoding smoke (--verify per encoding) =="
+# Every negotiated encoding must stay bit-for-bit against the simulator:
+# lossless f32 trivially, the lossy ones because the sender advances its
+# reference by decoding its own bytes (ARCHITECTURE.md "Wire encodings").
+for enc in f32 fp16 int8 topk:0.25 delta+int8; do
+  "$build/tools/fedms_node" --mode inmem --clients 4 --servers 2 \
+    --byzantine 1 --rounds 2 --samples 400 --wire-encoding "$enc" \
+    --verify > /dev/null
+done
+# One lossy encoding across real process boundaries (frames on the wire).
+"$build/tools/fedms_node" --mode launch --backend unix \
+  --clients 4 --servers 2 --byzantine 1 --rounds 2 --samples 400 \
+  --wire-encoding topk:0.25 --verify
+
 echo "== soak smoke (64-client event-loop rounds) =="
 "$build/bench/soak" --quick > /dev/null
 "$build/bench/soak" --quick --backend poll > /dev/null
@@ -186,7 +200,7 @@ cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "$asan_build" -j "$jobs" \
   --target runtime_event_queue_test runtime_fault_test runtime_async_test \
            transport_frame_test transport_inmem_test transport_socket_test \
-           eventloop_test eventloop_churn_test \
+           eventloop_test eventloop_churn_test fl_wire_encoding_test \
            tensor_gemm_test tensor_workspace_test \
            fedms_node fedms_sweep
 
@@ -195,7 +209,7 @@ echo "== runtime + transport + kernel tests under ASan/UBSan =="
 # not to complain about the intentional aborts.
 for t in runtime_event_queue_test runtime_fault_test runtime_async_test \
          transport_frame_test transport_inmem_test transport_socket_test \
-         eventloop_test eventloop_churn_test \
+         eventloop_test eventloop_churn_test fl_wire_encoding_test \
          tensor_gemm_test tensor_workspace_test; do
   "$asan_build/tests/$t"
 done
@@ -206,6 +220,11 @@ echo "== multi-process smoke under ASan/UBSan =="
 "$asan_build/tools/fedms_node" --mode launch --backend unix \
   --clients 2 --servers 2 --byzantine 1 --rounds 1 --samples 200 \
   --runtime eventloop --verify
+# The compressed wire path's encode/decode (quantization buffers, index
+# bitmaps, reference chains) under every allocation check.
+"$asan_build/tools/fedms_node" --mode launch --backend unix \
+  --clients 2 --servers 2 --byzantine 1 --rounds 2 --samples 200 \
+  --wire-encoding delta+int8 --verify
 
 echo "== sweep runner under ASan/UBSan =="
 # Churn + handoff + thread-pool cell packing with every allocation checked.
@@ -248,6 +267,11 @@ assert report["soak"]["evicted_slow"] == 0, "soak evicted a healthy client"
 sweep = report["sweep_throughput"]
 assert sweep["scenarios_per_hour"] > 0
 assert sweep["speedup"] > 0
+wire = report["wire_encodings"]
+for enc in ("int8", "topk:0.25"):
+    assert wire["soak"][enc]["reduction_vs_f32"] >= 2.0, enc
+for enc, entry in wire["accuracy"].items():
+    assert abs(entry["delta_vs_f32"]) <= 0.05, (enc, entry)
 print(f"bench report OK ({len(shapes)} GEMM shapes)")
 PY
 

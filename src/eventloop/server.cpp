@@ -69,6 +69,11 @@ Connection* EventLoopServer::identified(const net::NodeId& peer) {
   return it == by_peer_.end() ? nullptr : it->second;
 }
 
+std::string EventLoopServer::peer_encoding(const net::NodeId& peer) const {
+  const auto it = peer_encodings_.find(peer);
+  return it == peer_encodings_.end() ? "f32" : it->second;
+}
+
 void EventLoopServer::send(net::Message message) {
   FEDMS_EXPECTS(message.from == self_);
   Connection* conn = identified(message.to);
@@ -176,9 +181,15 @@ void EventLoopServer::ingest(Connection* conn,
     stats_.count_received(message,
                           transport::FrameCodec::framed_size(message));
     // Hellos are connection plumbing (identification / stray re-hellos):
-    // counted as control traffic, never surfaced to the protocol.
-    if (message.kind != net::MessageKind::kHello)
+    // counted as control traffic, never surfaced to the protocol. The
+    // announced wire encoding is kept — latest hello wins on rejoin.
+    if (message.kind == net::MessageKind::kHello) {
+      peer_encodings_[message.from] = message.hello_encoding.empty()
+                                          ? "f32"
+                                          : message.hello_encoding;
+    } else {
       inbox_.push_back(std::move(message));
+    }
   }
   if (result.identified) bind_peer(conn);
 }

@@ -84,6 +84,9 @@ class EventLoopServer final : public transport::Transport {
   void send(net::Message message) override;
   std::optional<net::Message> receive(double timeout_seconds) override;
   const transport::EndpointStats& stats() const override { return stats_; }
+  // From the peer's latest kHello (a rejoin's hello replaces the old
+  // announcement); "f32" for peers that never announced one.
+  std::string peer_encoding(const net::NodeId& peer) const override;
 
   // Adopts an already-connected fd as an unidentified (handshake-state)
   // connection — it still must hello like an accepted one.
@@ -133,6 +136,7 @@ class EventLoopServer final : public transport::Transport {
 
   std::map<int, std::unique_ptr<Connection>> conns_;  // keyed by fd
   std::map<net::NodeId, Connection*> by_peer_;        // identified only
+  std::map<net::NodeId, std::string> peer_encodings_;  // from hellos
   std::deque<net::Message> inbox_;
   transport::EndpointStats stats_;
   std::vector<Reactor::Event> events_;  // wait() scratch

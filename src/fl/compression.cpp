@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "core/contracts.h"
@@ -178,12 +179,20 @@ std::vector<std::uint8_t> Int8Codec::encode(
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t begin = b * block_size_;
     const std::size_t end = std::min(begin + block_size_, values.size());
+    // Non-finite values get the reserved -128 code (decoded as NaN) and
+    // are excluded from the scale: an Inf must neither poison the whole
+    // block's scale nor silently saturate into a finite value.
     float max_abs = 0.0f;
     for (std::size_t i = begin; i < end; ++i)
-      max_abs = std::max(max_abs, std::abs(values[i]));
+      if (std::isfinite(values[i]))
+        max_abs = std::max(max_abs, std::abs(values[i]));
     const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
     append_f32(out, scale);
     for (std::size_t i = begin; i < end; ++i) {
+      if (!std::isfinite(values[i])) {
+        out.push_back(std::uint8_t(std::int8_t(-128)));
+        continue;
+      }
       const int q = int(std::lround(values[i] / scale));
       out.push_back(std::uint8_t(std::int8_t(std::clamp(q, -127, 127))));
     }
@@ -204,8 +213,11 @@ std::vector<float> Int8Codec::decode(
     offset += 4;
     if (offset + (end - begin) > bytes.size())
       throw std::runtime_error("fedms: truncated int8 buffer");
-    for (std::size_t i = begin; i < end; ++i)
-      values[i] = float(std::int8_t(bytes[offset++])) * scale;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::int8_t q = std::int8_t(bytes[offset++]);
+      values[i] = q == -128 ? std::numeric_limits<float>::quiet_NaN()
+                            : float(q) * scale;
+    }
   }
   if (offset != bytes.size())
     throw std::runtime_error("fedms: trailing int8 bytes");

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/contracts.h"
+#include "fl/wire_encoding.h"
 
 namespace fedms::fl {
 
@@ -49,6 +50,13 @@ std::string FedMsConfig::check() const {
       upload_compression != "int8")
     return "--compression must be none, fp16, or int8, got \"" +
            upload_compression + "\"";
+  if (const std::string error = check_wire_encoding(wire_encoding);
+      !error.empty())
+    return "--wire-encoding: " + error;
+  if (wire_encoding != "f32" && upload_compression != "none")
+    return "--wire-encoding \"" + wire_encoding +
+           "\" cannot be combined with --compression \"" +
+           upload_compression + "\" (pick one payload codec)";
   if (dp_clip_norm < 0.0) return "--dp-clip must be >= 0";
   if (dp_noise_multiplier < 0.0) return "--dp-noise must be >= 0";
   // Noise without clipping has unbounded sensitivity — reject it.
@@ -69,6 +77,7 @@ std::string FedMsConfig::to_string() const {
     os << " byz_clients=" << byzantine_clients << " (" << client_attack
        << ") ps_agg=" << server_aggregator;
   if (participation < 1.0) os << " participation=" << participation;
+  if (wire_encoding != "f32") os << " wire=" << wire_encoding;
   return os.str();
 }
 

@@ -50,6 +50,12 @@ struct FedMsConfig {
   // aggregates the decoded values; traffic stats count the encoded bytes.
   std::string upload_compression = "none";
 
+  // --- negotiated wire encoding (src/fl/wire_encoding.h) ---
+  // Applied to every model payload in both directions: f32 (lossless
+  // default), fp16, int8, delta+<base>, or topk:<frac>. Mutually
+  // exclusive with upload_compression (the legacy upload-only codec).
+  std::string wire_encoding = "f32";
+
   // --- differential privacy (extension; the §II DP defense family) ---
   // When dp_clip_norm > 0, each client's round update Δ = w − w_start is
   // L2-clipped to dp_clip_norm and Gaussian noise N(0, (dp_noise_multiplier

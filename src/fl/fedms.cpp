@@ -82,6 +82,16 @@ FedMsRun::FedMsRun(FedMsConfig config, std::vector<LearnerPtr> learners)
   participation_rng_ = seeds.make_rng("participation");
   if (config_.upload_compression != "none")
     upload_codec_ = make_codec(config_.upload_compression);
+  FEDMS_EXPECTS(
+      parse_wire_encoding(config_.wire_encoding, &wire_spec_).empty());
+  if (!wire_spec_.is_f32()) {
+    wire_uplinks_.reserve(config_.clients);
+    for (std::size_t k = 0; k < config_.clients; ++k)
+      wire_uplinks_.emplace_back(wire_spec_);
+    wire_downlinks_.reserve(config_.servers);
+    for (std::size_t p = 0; p < config_.servers; ++p)
+      wire_downlinks_.emplace_back(wire_spec_);
+  }
   if (config_.dp_clip_norm > 0.0) {
     dp_rngs_.reserve(config_.clients);
     for (std::size_t k = 0; k < config_.clients; ++k)
@@ -241,9 +251,20 @@ void FedMsRun::execute_round(std::uint64_t round, RunResult& result) {
       m.to = net::server_id(targets[i]);
       m.kind = net::MessageKind::kModelUpload;
       m.round = round;
-      // Copy for all but the last target; move the final one.
-      m.payload = (i + 1 == targets.size()) ? std::move(payload) : payload;
-      m.encoded_bytes = encoded_bytes;
+      if (!wire_spec_.is_f32()) {
+        // Per-link wire stream, same keying as the transport engine: the
+        // PS aggregates the sender-side round-trip and the network bills
+        // the encoded size.
+        WireEncodeResult wire =
+            wire_uplinks_[k].channel(m.to).encode(payload);
+        m.payload = std::move(wire.decoded);
+        m.encoded_bytes = wire.bytes.size();
+        m.wire_format = wire_spec_.format_tag();
+      } else {
+        // Copy for all but the last target; move the final one.
+        m.payload = (i + 1 == targets.size()) ? std::move(payload) : payload;
+        m.encoded_bytes = encoded_bytes;
+      }
       uploads.push_back(std::move(m));
     }
   }
@@ -276,6 +297,15 @@ void FedMsRun::execute_round(std::uint64_t round, RunResult& result) {
       m.payload = server.disseminate(round, k);
       // An empty payload is a crashed/silent PS: nothing goes on the wire.
       if (m.payload.empty()) continue;
+      if (!wire_spec_.is_f32()) {
+        // Encoded after the Byzantine tampering, per (PS, client) stream —
+        // exactly what the transport engine puts on the wire.
+        WireEncodeResult wire =
+            wire_downlinks_[server.index()].channel(m.to).encode(m.payload);
+        m.payload = std::move(wire.decoded);
+        m.encoded_bytes = wire.bytes.size();
+        m.wire_format = wire_spec_.format_tag();
+      }
       broadcasts.push_back(std::move(m));
     }
   }

@@ -27,6 +27,7 @@
 #include "fl/learner.h"
 #include "fl/server.h"
 #include "fl/upload.h"
+#include "fl/wire_encoding.h"
 #include "net/latency.h"
 #include "net/sim_network.h"
 
@@ -104,6 +105,13 @@ class FedMsRun {
   core::Rng participation_rng_;
   std::vector<double> last_losses_;  // per-client, for highloss selection
   PayloadCodecPtr upload_codec_;  // nullptr -> uncompressed
+  // Negotiated wire encoding (config.wire_encoding != "f32"): one stream
+  // per directed link, mirroring the transport engine's channel keying —
+  // upload channel (k→p) lives in wire_uplinks_[k] keyed by the PS id,
+  // broadcast channel (p→k) in wire_downlinks_[p] keyed by the client id.
+  WireEncodingSpec wire_spec_;
+  std::vector<WireChannelBook> wire_uplinks_;    // per client
+  std::vector<WireChannelBook> wire_downlinks_;  // per server
   std::vector<core::Rng> dp_rngs_;  // per-client DP noise streams
   core::ThreadPool pool_;           // local-training fan-out
   RoundCallback callback_;

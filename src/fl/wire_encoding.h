@@ -1,0 +1,153 @@
+// Negotiated wire encodings for model payloads.
+//
+// The CRC32C frame codec ships every model as raw float32 by default.
+// This layer adds the compressed wire path from ROADMAP item 2: fp16 and
+// int8-per-block-scale quantization, delta encoding against the previous
+// round's model on the same stream, and top-k partial sharing with an
+// index bitmap (Lari et al., PAPERS.md). Encodings are negotiated per
+// connection at kHello time — each client announces the encoding it wants
+// its broadcasts in, so heterogeneous fleets mix encodings — and every
+// frame is self-describing via the header's format byte, so decode never
+// needs the negotiation result.
+//
+// Spec grammar (the `--wire-encoding` flag):
+//
+//   f32                   lossless float32 (default; bit-for-bit oracles)
+//   fp16 | int8           stateless per-message quantization
+//   delta+f32|fp16|int8   encode the diff against the stream's previous
+//                         model, then quantize the diff
+//   topk:<frac>           send only the ceil(frac*dim) coordinates that
+//                         moved most since the stream's previous model
+//                         (fp16 values + index bitmap), frac in (0,1]
+//
+// Stateful encodings (delta, topk) chain per (sender -> receiver) stream:
+// the first frame is a keyframe (delta against zeros / k = dim), every
+// later frame carries a CRC of the reference model so a desynchronized
+// stream is detected instead of silently decoding garbage. Encode and
+// decode advance the reference identically, so a sender-side round-trip
+// is bit-identical to the receiver's decode — that is what keeps the
+// simulator's accounting and `fedms_node --verify` exact under lossy
+// encodings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/compression.h"
+#include "net/message.h"
+
+namespace fedms::fl {
+
+// Numeric tags stamped into the frame header's format byte. Values 0..2
+// mirror transport::PayloadFormat (raw/fp16/int8); the transport layer
+// static-asserts the overlap.
+inline constexpr std::uint8_t kWireFormatRaw = 0;
+inline constexpr std::uint8_t kWireFormatFp16 = 1;
+inline constexpr std::uint8_t kWireFormatInt8 = 2;
+inline constexpr std::uint8_t kWireFormatTopK = 3;
+inline constexpr std::uint8_t kWireFormatDeltaF32 = 4;
+inline constexpr std::uint8_t kWireFormatDeltaFp16 = 5;
+inline constexpr std::uint8_t kWireFormatDeltaInt8 = 6;
+inline constexpr std::uint8_t kWireFormatCount = 7;
+
+// The wire int8 path quantizes in finer blocks than the legacy upload
+// codec (64 vs 256): model deltas have spikier per-block ranges, and the
+// extra scales cost 6% of the payload for a visibly tighter error bound.
+inline constexpr std::size_t kWireInt8Block = 64;
+
+struct WireEncodingSpec {
+  std::string base = "f32";  // f32 | fp16 | int8
+  bool delta = false;
+  double topk = 0.0;  // 0 = off, else fraction in (0,1]
+
+  bool is_f32() const { return !delta && topk == 0.0 && base == "f32"; }
+  // Stateful encodings chain a per-stream reference model.
+  bool stateful() const { return delta || topk > 0.0; }
+  std::uint8_t format_tag() const;
+  // Canonical spec string; parse(to_string()) round-trips. Always short
+  // enough to ride in a kHello frame's 18 reserved header bytes.
+  std::string to_string() const;
+};
+
+// Parses `text` into *spec. Returns "" on success, a one-line error
+// otherwise. `spec` may be nullptr to validate only.
+std::string parse_wire_encoding(const std::string& text,
+                                WireEncodingSpec* spec);
+// "" = valid spec.
+std::string check_wire_encoding(const std::string& text);
+
+// Structural validation of a stateful (topk / delta*) wire payload
+// without reference state: lengths, k <= count, bitmap popcount == k,
+// zero padding bits. Returns "" when structurally valid so the frame
+// codec can reject corrupted scale/index metadata with a one-line error
+// before any reference chain is consulted.
+std::string validate_stateful_payload(std::uint8_t format_tag,
+                                      const std::uint8_t* data,
+                                      std::size_t size);
+
+struct WireEncodeResult {
+  std::vector<std::uint8_t> bytes;  // exact bytes shipped in the frame
+  std::vector<float> decoded;       // what the receiver reconstructs
+};
+
+// One direction of one (sender -> receiver) stream.
+class WireChannel {
+ public:
+  explicit WireChannel(WireEncodingSpec spec);
+
+  const WireEncodingSpec& spec() const { return spec_; }
+
+  // Encodes `values` under the channel's spec and advances the reference
+  // to the receiver-visible reconstruction.
+  WireEncodeResult encode(const std::vector<float>& values);
+
+  // Decodes one wire payload (any format tag — frames are
+  // self-describing) and advances the reference. Throws
+  // std::runtime_error on malformed bytes or a reference mismatch.
+  std::vector<float> decode(std::uint8_t format_tag,
+                            const std::uint8_t* data, std::size_t size);
+  std::vector<float> decode(std::uint8_t format_tag,
+                            const std::vector<std::uint8_t>& bytes);
+
+  // Low-level top-k payload builder with an explicit k (the channel's
+  // encode derives k from the spec fraction); exposed for edge-case
+  // tests (k = 0, k = dim).
+  static std::vector<std::uint8_t> encode_topk_payload(
+      const std::vector<float>& values, const std::vector<float>& reference,
+      std::size_t k, bool keyframe);
+  static std::size_t topk_count(double fraction, std::size_t dim);
+
+ private:
+  WireEncodingSpec spec_;
+  PayloadCodecPtr base_codec_;  // fp16/int8 bases (delta or stateless)
+  std::vector<float> reference_;
+  bool have_reference_ = false;
+};
+
+// Channels keyed by remote node, one book per direction (a node's upload
+// stream to PS p and its broadcast stream from PS p are distinct chains).
+class WireChannelBook {
+ public:
+  explicit WireChannelBook(WireEncodingSpec default_spec)
+      : default_spec_(std::move(default_spec)) {}
+
+  WireChannel& channel(const net::NodeId& remote);
+  // For per-peer negotiated specs (the PS side, from kHello announces).
+  WireChannel& channel(const net::NodeId& remote,
+                       const WireEncodingSpec& spec);
+
+ private:
+  WireEncodingSpec default_spec_;
+  std::map<net::NodeId, WireChannel> channels_;
+};
+
+// Decodes a transport message whose stateful payload was left undecoded
+// by the frame codec (payload empty, encoded bytes present): runs the
+// bytes through `book`'s channel for the sender and materializes
+// message.payload. No-op for already-decoded messages.
+void finish_wire_payload(net::Message& message, WireChannelBook& book);
+
+}  // namespace fedms::fl

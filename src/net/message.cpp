@@ -10,7 +10,11 @@ std::size_t payload_bytes(const Message& message) {
 
 std::size_t wire_size(const Message& message) {
   if (message.encoded_bytes > 0) {
-    FEDMS_EXPECTS(!message.payload.empty());
+    // An encoded size must come with data: either the decoded values or
+    // the encoded bytes themselves (stateful wire payloads are decoded
+    // lazily by the receiver's channel, so the payload may still be
+    // empty while the encoded buffer rides along).
+    FEDMS_EXPECTS(!message.payload.empty() || !message.encoded.empty());
     return kMessageHeaderBytes + message.encoded_bytes;
   }
   return kMessageHeaderBytes + payload_bytes(message);

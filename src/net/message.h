@@ -43,6 +43,14 @@ struct Message {
   // receiver's decode is bit-identical to what the sender observed).
   // Simulation paths may leave it empty: accounting only needs the size.
   std::vector<std::uint8_t> encoded;
+  // Wire-encoding format tag stamped into the frame header's format byte
+  // when encoded_bytes > 0 (fl::kWireFormat*). 0 = raw float32 / legacy
+  // session-codec framing.
+  std::uint8_t wire_format = 0;
+  // kHello only: the wire-encoding spec this peer wants its broadcasts
+  // in, carried in the frame header's reserved bytes (<= 18 ASCII chars;
+  // empty = lossless f32 default).
+  std::string hello_encoding;
 };
 
 // Raw serialized payload size (length prefix + floats), ignoring any codec.
@@ -52,9 +60,9 @@ std::size_t payload_bytes(const Message& message);
 // the length-prefixed float payload, or the encoded bytes when a codec was
 // applied. This is both what the simulation bills and what
 // transport::FrameCodec::encode emits (contract-checked there). Contract:
-// a nonzero encoded_bytes requires a non-empty decoded payload — an
-// "encoded" size on a message that carries nothing is always an
-// accounting bug.
+// a nonzero encoded_bytes requires a non-empty decoded payload or the
+// encoded buffer itself — an "encoded" size on a message that carries
+// nothing is always an accounting bug.
 std::size_t wire_size(const Message& message);
 
 // Frame layout budget shared with transport/frame.h: a fixed binary

@@ -63,6 +63,10 @@ AsyncFedMsRun::AsyncFedMsRun(fl::FedMsConfig config, RuntimeOptions options,
   FEDMS_EXPECTS(config_.byzantine_clients == 0);
   FEDMS_EXPECTS(config_.dp_clip_norm == 0.0);
   FEDMS_EXPECTS(config_.participation == 1.0);
+  // Wire encodings would need per-link channel state threaded through the
+  // event queue's retry/crash paths; CLI layers reject the combination
+  // with a friendlier one-liner before this fires.
+  FEDMS_EXPECTS(config_.wire_encoding == "f32");
   // Uniform network loss is expressed as FaultPlan::drop_rate here.
   FEDMS_EXPECTS(config_.network_loss_rate == 0.0);
   for (const ServerCrash& crash : options_.faults.crashes)

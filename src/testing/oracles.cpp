@@ -1,12 +1,15 @@
 #include "testing/oracles.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <tuple>
 
+#include "core/contracts.h"
+#include "fl/wire_encoding.h"
 #include "net/message.h"
 #include "obs/trace_merge.h"
 #include "transport/frame.h"
@@ -198,36 +201,301 @@ OracleResult check_canonical_stage_order(
   return std::nullopt;
 }
 
+namespace {
+
+// Acceptable fp16 round-trip of `target`: NaN stays NaN, values beyond the
+// binary16 range may saturate to inf, finite values stay within half a
+// binary16 ulp (checked as the generous |target|/1024 + 1e-6).
+bool half_roundtrip_ok(float target, double received) {
+  if (std::isnan(target)) return std::isnan(received);
+  if (std::isinf(target) || std::abs(target) > 65000.0f)
+    return !std::isfinite(received) || std::abs(received) > 65000.0;
+  return std::abs(received - double(target)) <=
+         std::abs(double(target)) / 1024.0 + 1e-6;
+}
+
+// Per-coordinate error bound for the wire int8 quantizer over `target`:
+// each kWireInt8Block-sized block is scaled by its finite max-abs / 127,
+// so the rounding error is at most half that step (doubled here for
+// slack). Non-finite coordinates are checked separately (NaN sentinel).
+std::vector<double> int8_error_bounds(const std::vector<float>& target) {
+  std::vector<double> bounds(target.size(), 0.0);
+  for (std::size_t begin = 0; begin < target.size();
+       begin += fl::kWireInt8Block) {
+    const std::size_t end =
+        std::min(begin + fl::kWireInt8Block, target.size());
+    double max_abs = 0.0;
+    for (std::size_t j = begin; j < end; ++j)
+      if (std::isfinite(target[j]))
+        max_abs = std::max(max_abs, std::abs(double(target[j])));
+    const double bound = max_abs / 127.0 + 1e-7;
+    for (std::size_t j = begin; j < end; ++j) bounds[j] = bound;
+  }
+  return bounds;
+}
+
+// Every wire encoding the negotiation can produce, exercised on the same
+// model stream the fuzz schedule generated.
+constexpr const char* kWireOracleEncodings[] = {
+    "f32",       "fp16",       "int8",      "topk:0.25",
+    "delta+f32", "delta+fp16", "delta+int8"};
+
+// Rejection probes: corrupted scale/index metadata must come back as a
+// one-line error (no newline, non-empty), never as decoded floats.
+OracleResult check_wire_rejections(const fl::ModelVector& model) {
+  const transport::FrameCodec codec("none");
+  const auto one_line = [](const std::string& text) {
+    return !text.empty() && text.find('\n') == std::string::npos;
+  };
+
+  // Top-k: flipping one index-bitmap bit breaks popcount(bitmap) == k.
+  fl::WireEncodingSpec topk_spec;
+  FEDMS_EXPECTS(fl::parse_wire_encoding("topk:0.5", &topk_spec).empty());
+  fl::WireChannel topk_sender(topk_spec);
+  (void)topk_sender.encode(model);  // keyframe (k = dim)
+  const fl::WireEncodeResult second = topk_sender.encode(model);
+  std::vector<std::uint8_t> bad_bitmap = second.bytes;
+  // Stateful header: flags byte + u32 reference CRC, then u32 count,
+  // u32 k, and the index bitmap.
+  const std::size_t bitmap_offset = 5 + 8;
+  FEDMS_EXPECTS(bad_bitmap.size() > bitmap_offset);
+  bad_bitmap[bitmap_offset] ^= 0x01;
+  const std::string bitmap_error = fl::validate_stateful_payload(
+      fl::kWireFormatTopK, bad_bitmap.data(), bad_bitmap.size());
+  if (!one_line(bitmap_error))
+    return violation("wire",
+                     "corrupted top-k index bitmap not rejected with a "
+                     "one-line error by structural validation");
+  net::Message tampered;
+  tampered.from = net::server_id(0);
+  tampered.to = net::client_id(0);
+  tampered.kind = net::MessageKind::kModelBroadcast;
+  tampered.round = 1;
+  tampered.payload = second.decoded;
+  tampered.encoded = bad_bitmap;
+  tampered.encoded_bytes = bad_bitmap.size();
+  tampered.wire_format = fl::kWireFormatTopK;
+  const transport::FrameCodec::DecodeResult frame_result =
+      codec.decode(codec.encode(tampered));
+  if (frame_result.error != transport::FrameError::kBadPayload)
+    return violation(
+        "wire",
+        format("frame codec returned %s for a corrupted top-k bitmap "
+               "(expected bad-payload)",
+               transport::to_string(frame_result.error)));
+
+  // Truncation inside the half-value section.
+  std::vector<std::uint8_t> truncated = second.bytes;
+  truncated.resize(truncated.size() - 1);
+  if (!one_line(fl::validate_stateful_payload(
+          fl::kWireFormatTopK, truncated.data(), truncated.size())))
+    return violation("wire",
+                     "truncated top-k payload not rejected with a one-line "
+                     "error");
+
+  // Delta+int8: zeroing the embedded block-size scale metadata.
+  fl::WireEncodingSpec delta_spec;
+  FEDMS_EXPECTS(fl::parse_wire_encoding("delta+int8", &delta_spec).empty());
+  fl::WireChannel delta_sender(delta_spec);
+  const fl::WireEncodeResult keyframe = delta_sender.encode(model);
+  std::vector<std::uint8_t> bad_scale = keyframe.bytes;
+  // Int8 buffer header behind the stateful prefix: u32 count, u32 block.
+  const std::size_t block_offset = 5 + 4;
+  FEDMS_EXPECTS(bad_scale.size() >= block_offset + 4);
+  for (std::size_t b = 0; b < 4; ++b) bad_scale[block_offset + b] = 0;
+  if (!one_line(fl::validate_stateful_payload(
+          fl::kWireFormatDeltaInt8, bad_scale.data(), bad_scale.size())))
+    return violation("wire",
+                     "zeroed int8 block-size metadata not rejected with a "
+                     "one-line error");
+
+  // Reference-CRC flip on a live stream: the receiving channel must report
+  // desynchronization instead of adding the delta to the wrong reference.
+  fl::WireChannel delta_receiver(delta_spec);
+  (void)delta_receiver.decode(fl::kWireFormatDeltaInt8, keyframe.bytes);
+  fl::WireEncodeResult delta_frame = delta_sender.encode(model);
+  delta_frame.bytes[1] ^= 0xff;
+  try {
+    (void)delta_receiver.decode(fl::kWireFormatDeltaInt8,
+                                delta_frame.bytes);
+    return violation("wire",
+                     "corrupted reference CRC decoded instead of raising a "
+                     "desynchronization error");
+  } catch (const std::exception& error) {
+    if (!one_line(error.what()))
+      return violation("wire",
+                       "reference-CRC rejection is not a one-line error");
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 OracleResult check_wire_roundtrip(
     const std::vector<fl::ModelVector>& models) {
   const transport::FrameCodec codec("none");
-  for (std::size_t i = 0; i < models.size(); ++i) {
-    net::Message message;
-    message.from = net::server_id(0);
-    message.to = net::client_id(0);
-    message.kind = net::MessageKind::kModelBroadcast;
-    message.round = i;
-    message.payload = models[i];
-    const std::vector<std::uint8_t> encoded = codec.encode(message);
-    const transport::FrameCodec::DecodeResult decoded =
-        codec.decode(encoded);
-    if (!decoded.ok())
-      return violation(
-          "wire", format("model %zu failed to decode: %s", i,
-                         transport::to_string(decoded.error)));
-    if (decoded.message.payload.size() != models[i].size())
-      return violation(
-          "wire", format("model %zu changed size across the wire: %zu -> "
-                         "%zu",
-                         i, models[i].size(),
-                         decoded.message.payload.size()));
-    if (!models[i].empty() &&
-        std::memcmp(decoded.message.payload.data(), models[i].data(),
-                    models[i].size() * sizeof(float)) != 0)
-      return violation(
-          "wire",
-          format("model %zu payload not bit-identical after round-trip", i));
+  for (const char* encoding : kWireOracleEncodings) {
+    fl::WireEncodingSpec spec;
+    const std::string parse_error =
+        fl::parse_wire_encoding(encoding, &spec);
+    if (!parse_error.empty())
+      return violation("wire", format("built-in spec %s rejected: %s",
+                                      encoding, parse_error.c_str()));
+    fl::WireChannel sender(spec);
+    fl::WireChannel receiver(spec);
+    std::vector<float> reference;  // receiver-visible model before frame i
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      const fl::ModelVector& model = models[i];
+      net::Message message;
+      message.from = net::server_id(0);
+      message.to = net::client_id(0);
+      message.kind = net::MessageKind::kModelBroadcast;
+      message.round = i;
+      fl::WireEncodeResult wire;
+      if (spec.is_f32() || model.empty()) {
+        // The frame layer refuses zero-length compressed payloads, so an
+        // empty model always ships raw; the wire channels stay untouched
+        // and their references carry over to the next non-empty frame.
+        message.payload = model;
+      } else {
+        wire = sender.encode(model);
+        message.payload = wire.decoded;
+        message.encoded = wire.bytes;
+        message.encoded_bytes = wire.bytes.size();
+        message.wire_format = spec.format_tag();
+      }
+      const std::vector<std::uint8_t> frame = codec.encode(message);
+      const transport::FrameCodec::DecodeResult decoded =
+          codec.decode(frame);
+      if (!decoded.ok())
+        return violation(
+            "wire", format("%s model %zu failed to decode: %s", encoding, i,
+                           transport::to_string(decoded.error)));
+      std::vector<float> received;
+      if (decoded.message.payload.empty() &&
+          decoded.message.encoded_bytes > 0) {
+        // Stateful frame: the codec validated the structure and left the
+        // bytes for the receiver's per-stream channel.
+        try {
+          received = receiver.decode(decoded.message.wire_format,
+                                     decoded.message.encoded);
+        } catch (const std::exception& error) {
+          return violation(
+              "wire", format("%s model %zu: receiver rejected its own "
+                             "stream: %s",
+                             encoding, i, error.what()));
+        }
+      } else {
+        received = std::move(decoded.message.payload);
+      }
+
+      // Receiver reconstruction == sender round-trip, bit for bit, for
+      // EVERY encoding — the invariant behind `fedms_node --verify` and
+      // the simulator's exact accounting under lossy wire paths.
+      const std::vector<float>& expect =
+          (spec.is_f32() || model.empty()) ? model : wire.decoded;
+      if (received.size() != expect.size())
+        return violation(
+            "wire", format("%s model %zu changed size across the wire: "
+                           "%zu -> %zu",
+                           encoding, i, expect.size(), received.size()));
+      if (!expect.empty() &&
+          std::memcmp(received.data(), expect.data(),
+                      expect.size() * sizeof(float)) != 0)
+        return violation(
+            "wire", format("%s model %zu: receiver decode diverged from "
+                           "the sender round-trip",
+                           encoding, i));
+
+      // Independent per-encoding error bound against the original model.
+      const bool keyframe = reference.size() != model.size();
+      if (spec.is_f32() || spec.base == "f32") {
+        // Lossless bases: f32 bit-for-bit; delta+f32 exact up to one
+        // float add/subtract rounding (checked below via slack only).
+        if (spec.is_f32() && !model.empty() &&
+            std::memcmp(received.data(), model.data(),
+                        model.size() * sizeof(float)) != 0)
+          return violation(
+              "wire",
+              format("f32 model %zu payload not bit-identical after "
+                     "round-trip",
+                     i));
+      }
+      if (!spec.is_f32()) {
+        std::vector<float> target;  // what the lossy base codec quantized
+        if (spec.delta) {
+          target.resize(model.size());
+          for (std::size_t j = 0; j < model.size(); ++j)
+            target[j] =
+                keyframe ? model[j] : model[j] - reference[j];
+        } else if (spec.topk == 0.0) {
+          target = model;
+        }
+        std::vector<double> bounds;
+        if (spec.topk == 0.0 && spec.base == "int8")
+          bounds = int8_error_bounds(target);
+        for (std::size_t j = 0; j < model.size(); ++j) {
+          const double ref_j =
+              (spec.stateful() && !keyframe) ? double(reference[j]) : 0.0;
+          const double got = double(received[j]);
+          if (spec.topk > 0.0) {
+            // Every coordinate is either exactly the reference (not
+            // selected this round) or within fp16 of the sender's value.
+            if (!keyframe &&
+                std::memcmp(&received[j], &reference[j], sizeof(float)) ==
+                    0)
+              continue;
+            if (!half_roundtrip_ok(model[j], got))
+              return violation(
+                  "wire",
+                  format("%s model %zu coordinate %zu: shipped top-k "
+                         "value %.9g not an fp16 image of %.9g",
+                         encoding, i, j, got, double(model[j])));
+            continue;
+          }
+          if (!std::isfinite(model[j]) ||
+              (spec.delta && !keyframe && !std::isfinite(reference[j]))) {
+            // Non-finite inputs must stay visibly non-finite (fp16 keeps
+            // NaN/inf, int8 ships the -128 sentinel).
+            if (std::isfinite(got))
+              return violation(
+                  "wire",
+                  format("%s model %zu coordinate %zu: non-finite input "
+                         "decoded to finite %.9g",
+                         encoding, i, j, got));
+            continue;
+          }
+          const double quantized = got - ref_j;  // delta shipped this round
+          const double slack =
+              (std::abs(double(model[j])) + std::abs(ref_j)) * 1e-5 + 1e-6;
+          bool ok = true;
+          if (!std::isfinite(target[j])) {
+            // Finite-minus-finite can still overflow to inf; the shipped
+            // delta must stay non-finite rather than collapse silently.
+            ok = !std::isfinite(quantized);
+          } else if (spec.base == "f32") {
+            ok = std::abs(quantized - double(target[j])) <= slack;
+          } else if (spec.base == "fp16") {
+            ok = half_roundtrip_ok(target[j], quantized) ||
+                 std::abs(quantized - double(target[j])) <= slack;
+          } else {  // int8
+            ok = !std::isfinite(quantized) ||
+                 std::abs(quantized - double(target[j])) <=
+                     bounds[j] + slack;
+          }
+          if (!ok)
+            return violation(
+                "wire",
+                format("%s model %zu coordinate %zu: decoded %.9g "
+                       "violates the encoding's error bound around %.9g",
+                       encoding, i, j, got, double(model[j])));
+        }
+      }
+      if (spec.stateful() && !model.empty()) reference = wire.decoded;
+    }
   }
+  if (!models.empty() && models.front().size() >= 8)
+    return check_wire_rejections(models.front());
   return std::nullopt;
 }
 

@@ -24,9 +24,14 @@
 //                 local_training -> upload -> aggregation -> dissemination
 //                 -> filter order (fault-free runs only — stragglers may
 //                 legitimately interleave stages across clients).
-//   wire          FrameCodec round-trips every model bit-for-bit,
-//                 including non-finite payloads from NaN-poisoning
-//                 attacks.
+//   wire          the frame codec round-trips every model under EVERY
+//                 negotiated wire encoding: lossless f32 bit-for-bit
+//                 (including non-finite payloads from NaN-poisoning
+//                 attacks); lossy encodings decode bit-identically to the
+//                 sender's own round-trip and stay within the encoding's
+//                 error bound of the original; corrupted scale/index
+//                 metadata and reference-CRC flips are rejected with
+//                 one-line errors, never decoded.
 #pragma once
 
 #include <cstdint>
@@ -70,8 +75,14 @@ OracleResult check_trace_causality(
 OracleResult check_canonical_stage_order(
     const std::vector<obs::SpanRecord>& spans, const char* category);
 
-// FrameCodec round-trip: encode + decode every model and compare the float
-// payloads bitwise (memcmp, so NaN payloads compare too).
+// Wire round-trip over every negotiated encoding (f32, fp16, int8,
+// topk:0.25, delta+{f32,fp16,int8}): frame-encode + decode each model as
+// one per-stream chain and require (a) the receiver's reconstruction to be
+// bitwise identical to the sender's own round-trip (memcmp, so NaN
+// payloads compare too), (b) lossless f32 to be bit-for-bit with the
+// original, (c) lossy decodes to stay within the encoding's error bound,
+// and (d) corrupted scale/index metadata to be rejected with one-line
+// errors.
 OracleResult check_wire_roundtrip(
     const std::vector<fl::ModelVector>& models);
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "core/contracts.h"
+#include "fl/wire_encoding.h"
 
 namespace fedms::transport {
 
@@ -79,6 +80,27 @@ PayloadFormat format_for_codec(const std::string& name) {
   return PayloadFormat::kRawFloat32;
 }
 
+// The fl layer's numeric format tags and this enum are the same values;
+// pin the overlap so neither can drift.
+static_assert(fl::kWireFormatRaw == std::uint8_t(PayloadFormat::kRawFloat32));
+static_assert(fl::kWireFormatFp16 == std::uint8_t(PayloadFormat::kFp16));
+static_assert(fl::kWireFormatInt8 == std::uint8_t(PayloadFormat::kInt8));
+static_assert(fl::kWireFormatTopK == std::uint8_t(PayloadFormat::kTopK));
+static_assert(fl::kWireFormatDeltaF32 ==
+              std::uint8_t(PayloadFormat::kDeltaF32));
+static_assert(fl::kWireFormatDeltaFp16 ==
+              std::uint8_t(PayloadFormat::kDeltaFp16));
+static_assert(fl::kWireFormatDeltaInt8 ==
+              std::uint8_t(PayloadFormat::kDeltaInt8));
+static_assert(fl::kWireFormatCount == kPayloadFormatCount);
+
+// Hello frames carry the announced wire-encoding spec in the reserved
+// bytes: NUL-padded, spec-grammar characters only.
+bool valid_hello_encoding_byte(std::uint8_t c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == ':' ||
+         c == '+' || c == '.';
+}
+
 }  // namespace
 
 const char* to_string(FrameError error) {
@@ -153,18 +175,29 @@ void FrameCodec::encode_to(const net::Message& message,
 
   // The compressed path ships the codec's output verbatim when the message
   // carries it; otherwise re-encode the (already lossy-round-tripped)
-  // payload — for the shipped codecs re-encoding the decoded values is
-  // size-stable, which the contract below pins.
+  // payload with the legacy session codec — for the shipped codecs
+  // re-encoding the decoded values is size-stable, which the contract
+  // below pins. Wire-channel messages (wire_format set) always carry the
+  // encoded bytes: stateful encodings cannot be re-derived here.
   std::vector<std::uint8_t> reencoded;
   const std::vector<std::uint8_t>* encoded = nullptr;
+  PayloadFormat format = PayloadFormat::kRawFloat32;
   if (compressed) {
-    FEDMS_EXPECTS(!message.payload.empty());
-    FEDMS_EXPECTS(payload_codec_ != nullptr);
-    if (!message.encoded.empty()) {
+    if (message.wire_format != 0) {
+      FEDMS_EXPECTS(message.wire_format < kPayloadFormatCount);
+      FEDMS_EXPECTS(!message.encoded.empty());
+      format = static_cast<PayloadFormat>(message.wire_format);
       encoded = &message.encoded;
     } else {
-      reencoded = payload_codec_->encode(message.payload);
-      encoded = &reencoded;
+      FEDMS_EXPECTS(!message.payload.empty());
+      FEDMS_EXPECTS(payload_codec_ != nullptr);
+      format = compressed_format_;
+      if (!message.encoded.empty()) {
+        encoded = &message.encoded;
+      } else {
+        reencoded = payload_codec_->encode(message.payload);
+        encoded = &reencoded;
+      }
     }
     FEDMS_EXPECTS(encoded->size() == message.encoded_bytes);
   }
@@ -180,8 +213,7 @@ void FrameCodec::encode_to(const net::Message& message,
   put_u32(frame + kOffMagic, kFrameMagic);
   put_u16(frame + kOffVersion, kProtocolVersion);
   frame[kOffKind] = static_cast<std::uint8_t>(message.kind);
-  frame[kOffFormat] = static_cast<std::uint8_t>(
-      compressed ? compressed_format_ : PayloadFormat::kRawFloat32);
+  frame[kOffFormat] = static_cast<std::uint8_t>(format);
   put_u64(frame + kOffRound, message.round);
   put_u64(frame + kOffFromIndex, message.from.index);
   put_u64(frame + kOffToIndex, message.to.index);
@@ -189,6 +221,12 @@ void FrameCodec::encode_to(const net::Message& message,
   frame[kOffFromKind] =
       message.from.kind == net::NodeKind::kServer ? 1 : 0;
   frame[kOffToKind] = message.to.kind == net::NodeKind::kServer ? 1 : 0;
+  if (message.kind == net::MessageKind::kHello &&
+      !message.hello_encoding.empty()) {
+    FEDMS_EXPECTS(message.hello_encoding.size() <= kReservedBytes);
+    std::memcpy(frame + kOffReserved, message.hello_encoding.data(),
+                message.hello_encoding.size());
+  }
 
   std::uint8_t* payload = frame + net::kFrameHeaderBytes;
   if (compressed) {
@@ -256,8 +294,24 @@ FrameCodec::DecodeResult FrameCodec::decode(const std::uint8_t* data,
   const std::uint8_t from_kind = data[kOffFromKind];
   const std::uint8_t to_kind = data[kOffToKind];
   if (from_kind > 1 || to_kind > 1) return fail(FrameError::kBadNodeKind);
-  for (std::size_t i = 0; i < kReservedBytes; ++i)
-    if (data[kOffReserved + i] != 0) return fail(FrameError::kBadReserved);
+  std::string hello_encoding;
+  if (kind == std::uint8_t(net::MessageKind::kHello)) {
+    // Hello frames announce the peer's wire encoding in the reserved
+    // bytes: spec characters, then NUL padding to the end.
+    std::size_t i = 0;
+    while (i < kReservedBytes && data[kOffReserved + i] != 0) {
+      if (!valid_hello_encoding_byte(data[kOffReserved + i]))
+        return fail(FrameError::kBadReserved);
+      ++i;
+    }
+    hello_encoding.assign(
+        reinterpret_cast<const char*>(data + kOffReserved), i);
+    for (; i < kReservedBytes; ++i)
+      if (data[kOffReserved + i] != 0) return fail(FrameError::kBadReserved);
+  } else {
+    for (std::size_t i = 0; i < kReservedBytes; ++i)
+      if (data[kOffReserved + i] != 0) return fail(FrameError::kBadReserved);
+  }
 
   const std::size_t payload_len =
       *total - net::kFrameHeaderBytes - net::kFrameTrailerBytes;
@@ -274,6 +328,7 @@ FrameCodec::DecodeResult FrameCodec::decode(const std::uint8_t* data,
   message.to.kind =
       to_kind == 1 ? net::NodeKind::kServer : net::NodeKind::kClient;
   message.to.index = std::size_t(get_u64(data + kOffToIndex));
+  message.hello_encoding = std::move(hello_encoding);
 
   const std::uint8_t* payload = data + net::kFrameHeaderBytes;
   if (format == std::uint8_t(PayloadFormat::kRawFloat32)) {
@@ -286,20 +341,40 @@ FrameCodec::DecodeResult FrameCodec::decode(const std::uint8_t* data,
     if (count > 0)
       std::memcpy(message.payload.data(), payload + 8,
                   std::size_t(count) * sizeof(float));
-  } else {
-    // Compressed payload: both ends must have agreed on the session codec.
-    if (payload_codec_ == nullptr ||
-        format != std::uint8_t(compressed_format_))
-      return fail(FrameError::kBadFormat);
+  } else if (format == std::uint8_t(PayloadFormat::kFp16) ||
+             format == std::uint8_t(PayloadFormat::kInt8)) {
+    // Stateless quantized payload — self-describing, decodable without
+    // any session agreement. Prefer the session codec when it matches
+    // (the legacy upload-compression path); fall back to a static one.
     if (payload_len == 0) return fail(FrameError::kLengthMismatch);
     message.encoded.assign(payload, payload + payload_len);
+    static const fl::Fp16Codec fp16_codec;
+    static const fl::Int8Codec int8_codec;
+    const fl::PayloadCodec* codec =
+        payload_codec_ != nullptr && format == std::uint8_t(compressed_format_)
+            ? payload_codec_.get()
+            : (format == std::uint8_t(PayloadFormat::kFp16)
+                   ? static_cast<const fl::PayloadCodec*>(&fp16_codec)
+                   : static_cast<const fl::PayloadCodec*>(&int8_codec));
     try {
-      message.payload = payload_codec_->decode(message.encoded);
+      message.payload = codec->decode(message.encoded);
     } catch (const std::exception&) {
       return fail(FrameError::kBadPayload);
     }
     if (message.payload.empty()) return fail(FrameError::kBadPayload);
     message.encoded_bytes = payload_len;
+    message.wire_format = format;
+  } else {
+    // Stateful wire payload (top-k / delta): validate the structure —
+    // corrupted scale or index metadata is rejected here — but leave the
+    // floats to the receiver's per-stream fl::WireChannel
+    // (fl::finish_wire_payload).
+    if (payload_len == 0) return fail(FrameError::kLengthMismatch);
+    if (!fl::validate_stateful_payload(format, payload, payload_len).empty())
+      return fail(FrameError::kBadPayload);
+    message.encoded.assign(payload, payload + payload_len);
+    message.encoded_bytes = payload_len;
+    message.wire_format = format;
   }
   return result;
 }

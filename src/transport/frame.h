@@ -15,14 +15,25 @@
 //   32     8    payload length in bytes
 //   40     1    from node kind (0 = client, 1 = server)
 //   41     1    to node kind
-//   42     18   reserved, must be zero
+//   42     18   reserved — must be zero, except in kHello frames, where
+//               they carry the peer's announced wire-encoding spec as a
+//               NUL-padded ASCII string (empty = lossless f32). This is
+//               the per-connection negotiation: the PS broadcasts to each
+//               client in the encoding that client's hello announced.
 //   60     L    payload section
 //   60+L   4    CRC32C over bytes [0, 60+L)
 //
 // Payload section by format:
-//   kRawFloat32 : u64 value count + count×f32  (L = 8 + 4·count)
-//   kFp16/kInt8 : the fl::PayloadCodec's encoded buffer, verbatim
-//                 (L = Message::encoded_bytes)
+//   kRawFloat32    : u64 value count + count×f32  (L = 8 + 4·count)
+//   kFp16/kInt8    : the fl::PayloadCodec's encoded buffer, verbatim —
+//                    self-describing, decodable by any session codec
+//                    (L = Message::encoded_bytes)
+//   kTopK/kDelta*  : fl::wire_encoding stateful payload (flags byte,
+//                    reference CRC, then the top-k bitmap+values or the
+//                    base-codec diff buffer). decode() validates the
+//                    structure and returns the bytes undecoded — the
+//                    receiver's per-stream fl::WireChannel materializes
+//                    the floats (fl::finish_wire_payload).
 //
 // The encoder contract-checks that every frame's size equals
 // net::wire_size(message), so the simulated accounting and the real bytes
@@ -54,8 +65,12 @@ enum class PayloadFormat : std::uint8_t {
   kRawFloat32 = 0,
   kFp16 = 1,
   kInt8 = 2,
+  kTopK = 3,       // top-k partial sharing (bitmap + fp16 values)
+  kDeltaF32 = 4,   // diff vs the stream's previous model, raw f32
+  kDeltaFp16 = 5,  // diff, fp16-quantized
+  kDeltaInt8 = 6,  // diff, int8-per-block quantized
 };
-inline constexpr std::uint8_t kPayloadFormatCount = 3;
+inline constexpr std::uint8_t kPayloadFormatCount = 7;
 
 enum class FrameError {
   kNone = 0,
@@ -83,10 +98,12 @@ std::uint32_t crc32c_floats(const std::vector<float>& values);
 
 class FrameCodec {
  public:
-  // `payload_codec` is the session's upload compression spec ("none",
-  // "fp16", "int8") — the out-of-band agreement both ends derive from the
-  // run config. Frames carrying compressed payloads require the matching
-  // codec on both sides.
+  // `payload_codec` is the session's legacy upload-compression spec
+  // ("none", "fp16", "int8") — used to (re-)encode messages that carry an
+  // encoded size but no encoded buffer. Decoding is self-describing: any
+  // codec decodes any frame (kFp16/kInt8 through stateless codecs,
+  // kTopK/kDelta* validated structurally and left for the receiver's
+  // fl::WireChannel).
   explicit FrameCodec(const std::string& payload_codec = "none");
 
   const std::string& payload_codec() const { return payload_codec_name_; }

@@ -18,6 +18,7 @@
 #include "fl/compression.h"
 #include "fl/server.h"
 #include "fl/upload.h"
+#include "fl/wire_encoding.h"
 #include "obs/obs.h"
 #include "transport/frame.h"
 
@@ -187,6 +188,16 @@ NodeReport run_client_node(Transport& transport, const fl::Workload& data,
   if (fed.upload_compression != "none")
     codec = fl::make_codec(fed.upload_compression);
 
+  // Negotiated wire encoding: uploads are encoded per-target (one stream
+  // per PS link, so delta/top-k references track what that PS decoded);
+  // broadcasts arrive in the encoding our hello announced and stateful
+  // payloads are materialized per-source stream. f32 skips all of it.
+  fl::WireEncodingSpec wire_spec;
+  FEDMS_EXPECTS(fl::parse_wire_encoding(fed.wire_encoding, &wire_spec).empty());
+  const bool wired = !wire_spec.is_f32();
+  fl::WireChannelBook upload_channels(wire_spec);     // keyed by target PS
+  fl::WireChannelBook broadcast_channels(wire_spec);  // keyed by source PS
+
   obs::set_thread_label("client" + std::to_string(k));
 
   NodeReport report;
@@ -234,10 +245,23 @@ NodeReport run_client_node(Transport& transport, const fl::Workload& data,
           m.to = net::server_id(targets[i]);
           m.kind = net::MessageKind::kModelUpload;
           m.round = round;
-          m.payload =
-              (i + 1 == targets.size()) ? std::move(payload) : payload;
-          m.encoded_bytes = encoded_bytes;
-          m.encoded = (i + 1 == targets.size()) ? std::move(encoded) : encoded;
+          if (wired) {
+            // Sender-side round-trip: the payload we carry is exactly what
+            // the PS will decode, so simulator and transport stay
+            // bit-for-bit equal under every encoding.
+            fl::WireEncodeResult wire =
+                upload_channels.channel(m.to).encode(payload);
+            m.payload = std::move(wire.decoded);
+            m.encoded = std::move(wire.bytes);
+            m.encoded_bytes = m.encoded.size();
+            m.wire_format = wire_spec.format_tag();
+          } else {
+            m.payload =
+                (i + 1 == targets.size()) ? std::move(payload) : payload;
+            m.encoded_bytes = encoded_bytes;
+            m.encoded =
+                (i + 1 == targets.size()) ? std::move(encoded) : encoded;
+          }
           transport.send(std::move(m));
         }
       }
@@ -271,6 +295,7 @@ NodeReport run_client_node(Transport& transport, const fl::Workload& data,
         if (m->kind == net::MessageKind::kRoundSync) {
           ++syncs;
         } else if (m->kind == net::MessageKind::kModelBroadcast) {
+          if (wired) fl::finish_wire_payload(*m, broadcast_channels);
           candidates.emplace(m->from.index, std::move(m->payload));
         } else {
           protocol_error(report.self,
@@ -335,6 +360,15 @@ NodeReport run_server_node(Transport& transport,
         fl::make_aggregator(fed.server_aggregator)));
   server.set_initial_model(fl::initial_model(workload, fed));
 
+  // Upload decode is self-describing per frame; one stream per client so
+  // stateful references track each sender. Broadcast encode uses whatever
+  // encoding each client's hello announced (queried per round — by the
+  // dissemination stage every client has identified itself).
+  fl::WireEncodingSpec wire_spec;
+  FEDMS_EXPECTS(fl::parse_wire_encoding(fed.wire_encoding, &wire_spec).empty());
+  fl::WireChannelBook upload_channels(wire_spec);     // keyed by client
+  fl::WireChannelBook broadcast_channels(wire_spec);  // keyed by client
+
   obs::set_thread_label("server" + std::to_string(p));
 
   NodeReport report;
@@ -361,6 +395,7 @@ NodeReport run_server_node(Transport& transport,
         if (m->kind == net::MessageKind::kRoundSync) {
           ++syncs;
         } else if (m->kind == net::MessageKind::kModelUpload) {
+          fl::finish_wire_payload(*m, upload_channels);
           uploads.emplace(m->from.index, std::move(m->payload));
         } else {
           protocol_error(report.self,
@@ -389,8 +424,24 @@ NodeReport run_server_node(Transport& transport,
       m.kind = net::MessageKind::kModelBroadcast;
       m.round = round;
       m.payload = server.disseminate(round, k);
-      // Empty payload = crashed/silent PS: nothing goes on the wire.
+      // Empty payload = crashed/silent PS: nothing goes on the wire (the
+      // client's wire stream does not advance either — keyframes are
+      // per-frame flags, so a gap desynchronizes nothing).
       if (m.payload.empty()) continue;
+      const std::string announced = transport.peer_encoding(m.to);
+      fl::WireEncodingSpec spec;
+      if (!fl::parse_wire_encoding(announced, &spec).empty())
+        spec = fl::WireEncodingSpec{};  // unintelligible announce -> f32
+      if (!spec.is_f32()) {
+        // Encoded after any Byzantine tampering: the wire carries what the
+        // attack produced, quantized the way this client asked for.
+        fl::WireEncodeResult wire =
+            broadcast_channels.channel(m.to, spec).encode(m.payload);
+        m.payload = std::move(wire.decoded);
+        m.encoded = std::move(wire.bytes);
+        m.encoded_bytes = m.encoded.size();
+        m.wire_format = spec.format_tag();
+      }
       transport.send(std::move(m));
     }
     for (std::size_t k = 0; k < fed.clients; ++k) {
@@ -458,9 +509,11 @@ TransportRunSummary run_transport_experiment(
   std::vector<std::unique_ptr<InMemoryTransport>> client_endpoints;
   std::vector<std::unique_ptr<InMemoryTransport>> server_endpoints;
   for (std::size_t k = 0; k < fed.clients; ++k)
-    client_endpoints.push_back(hub.make_endpoint(net::client_id(k)));
+    client_endpoints.push_back(
+        hub.make_endpoint(net::client_id(k), fed.wire_encoding));
   for (std::size_t p = 0; p < fed.servers; ++p)
-    server_endpoints.push_back(hub.make_endpoint(net::server_id(p)));
+    server_endpoints.push_back(
+        hub.make_endpoint(net::server_id(p), fed.wire_encoding));
 
   TransportRunSummary summary;
   summary.clients.resize(fed.clients);

@@ -222,6 +222,12 @@ SocketTransport::Peer& SocketTransport::peer_for(const net::NodeId& id) {
   throw std::runtime_error("no connection to " + net::to_string(id));
 }
 
+std::string SocketTransport::peer_encoding(const net::NodeId& peer) const {
+  for (const Peer& p : peers_)
+    if (p.id == peer) return p.wire_encoding;
+  return "f32";
+}
+
 std::unique_ptr<SocketTransport> SocketTransport::listen_and_accept(
     const net::NodeId& self, const SocketAddress& address,
     std::size_t expected_peers, const SocketTransportOptions& options,
@@ -295,6 +301,8 @@ std::unique_ptr<SocketTransport> SocketTransport::listen_and_accept(
     transport->add_peer(fd, hello->from);
     transport->stats_.count_received(*hello,
                                      FrameCodec::framed_size(*hello));
+    if (!hello->hello_encoding.empty())
+      transport->peers_.back().wire_encoding = hello->hello_encoding;
     transport->peers_.back().rx.assign(
         buffer.begin() + std::ptrdiff_t(hello_bytes), buffer.end());
   }
@@ -320,6 +328,8 @@ std::unique_ptr<SocketTransport> SocketTransport::connect_mesh(
     hello.from = self;
     hello.to = net::server_id(s);
     hello.kind = net::MessageKind::kHello;
+    if (options.wire_encoding != "f32")
+      hello.hello_encoding = options.wire_encoding;
     transport->send(std::move(hello));
   }
   return transport;

@@ -66,6 +66,9 @@ int connect_with_retry(const SocketAddress& address,
 struct SocketTransportOptions {
   // Session payload codec — must match the run's upload_compression.
   std::string payload_codec = "none";
+  // Wire-encoding spec announced in our kHello frames (connect_mesh):
+  // the encoding we want broadcasts to us in. "f32" = no announcement.
+  std::string wire_encoding = "f32";
   // Connect retry while the listener comes up.
   runtime::Backoff connect_backoff{0.05, 2.0, 10};
   // Transit corruption injection (sender side, data frames only).
@@ -105,6 +108,8 @@ class SocketTransport final : public Transport {
   void send(net::Message message) override;
   std::optional<net::Message> receive(double timeout_seconds) override;
   const EndpointStats& stats() const override { return stats_; }
+  // From the peer's hello (listen_and_accept side); "f32" otherwise.
+  std::string peer_encoding(const net::NodeId& peer) const override;
 
   std::size_t peer_count() const { return peers_.size(); }
 
@@ -114,6 +119,7 @@ class SocketTransport final : public Transport {
     net::NodeId id;
     std::vector<std::uint8_t> rx;  // partial inbound frame bytes
     bool closed = false;
+    std::string wire_encoding = "f32";  // from the peer's hello
   };
 
   SocketTransport(const net::NodeId& self,

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "core/contracts.h"
+#include "fl/wire_encoding.h"
 
 namespace fedms::transport {
 
@@ -89,12 +90,14 @@ void InMemoryHub::set_deterministic(bool on) {
 }
 
 std::unique_ptr<InMemoryTransport> InMemoryHub::make_endpoint(
-    const net::NodeId& self) {
+    const net::NodeId& self, const std::string& wire_encoding) {
+  FEDMS_EXPECTS(fl::check_wire_encoding(wire_encoding).empty());
   std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<InMemoryTransport> endpoint(
       new InMemoryTransport(*this, self));
   const bool inserted = endpoints_.emplace(self, endpoint.get()).second;
   FEDMS_EXPECTS(inserted);  // one endpoint per node id
+  encodings_[self] = wire_encoding;
   return endpoint;
 }
 
@@ -177,6 +180,13 @@ std::optional<net::Message> InMemoryTransport::receive(
     double timeout_seconds) {
   FEDMS_EXPECTS(hub_ != nullptr);
   return hub_->receive_for(*this, timeout_seconds);
+}
+
+std::string InMemoryTransport::peer_encoding(const net::NodeId& peer) const {
+  FEDMS_EXPECTS(hub_ != nullptr);
+  std::lock_guard<std::mutex> lock(hub_->mutex_);
+  const auto it = hub_->encodings_.find(peer);
+  return it != hub_->encodings_.end() ? it->second : "f32";
 }
 
 }  // namespace fedms::transport

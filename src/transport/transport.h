@@ -80,6 +80,15 @@ class Transport {
   virtual std::optional<net::Message> receive(double timeout_seconds) = 0;
 
   virtual const EndpointStats& stats() const = 0;
+
+  // The wire-encoding spec `peer` announced in its kHello frame — the
+  // encoding it wants payloads sent to it in. "f32" when the peer never
+  // announced one (or the backend has no negotiation, like the in-memory
+  // hub before registration).
+  virtual std::string peer_encoding(const net::NodeId& peer) const {
+    (void)peer;
+    return "f32";
+  }
 };
 
 class InMemoryTransport;
@@ -110,7 +119,10 @@ class InMemoryHub {
   // a slow machine. Default off — production callers keep real deadlines.
   void set_deterministic(bool on);
 
-  std::unique_ptr<InMemoryTransport> make_endpoint(const net::NodeId& self);
+  // `wire_encoding` is the spec this endpoint would announce in a kHello
+  // on a real transport; other endpoints observe it via peer_encoding().
+  std::unique_ptr<InMemoryTransport> make_endpoint(
+      const net::NodeId& self, const std::string& wire_encoding = "f32");
 
   // Direction totals of delivered traffic, as billed by the underlying
   // SimNetwork (control frames included; see EndpointStats for the
@@ -130,6 +142,7 @@ class InMemoryHub {
   std::condition_variable cv_;
   net::SimNetwork network_;
   std::map<net::NodeId, InMemoryTransport*> endpoints_;
+  std::map<net::NodeId, std::string> encodings_;
   double corrupt_rate_ = 0.0;
   core::Rng corrupt_rng_;
   bool deterministic_ = false;
@@ -143,6 +156,7 @@ class InMemoryTransport final : public Transport {
   void send(net::Message message) override;
   std::optional<net::Message> receive(double timeout_seconds) override;
   const EndpointStats& stats() const override { return stats_; }
+  std::string peer_encoding(const net::NodeId& peer) const override;
 
  private:
   friend class InMemoryHub;

@@ -132,6 +132,28 @@ def main():
     # Non-numeric value for a numeric flag.
     expect_error(sim, ["--rounds", "banana"], ["--rounds"])
 
+    # Malformed --wire-encoding specs: unknown names and top-k fractions
+    # outside (0, 1].
+    expect_error(sim, ["--wire-encoding", "nope"],
+                 ["--wire-encoding", "unknown wire encoding"])
+    expect_error(sim, ["--wire-encoding", "topk:0"],
+                 ["--wire-encoding", "topk fraction must be in (0, 1]"])
+    expect_error(sim, ["--wire-encoding", "topk:1.5"],
+                 ["--wire-encoding", "topk fraction must be in (0, 1]"])
+    expect_error(node, ["--mode", "launch", "--wire-encoding", "f64"],
+                 ["--wire-encoding", "unknown wire encoding"])
+    expect_error(node, ["--mode", "launch", "--wire-encoding", "topk:1.5"],
+                 ["topk fraction must be in (0, 1]"])
+    # Invalid combinations: one payload codec at a time, wire streams need
+    # the sync engine, and stateful streams cannot absorb dropped frames.
+    expect_error(sim, ["--wire-encoding", "fp16", "--compression", "int8"],
+                 ["--wire-encoding", "cannot be combined"])
+    expect_error(sim, ["--wire-encoding", "int8", "--runtime", "async"],
+                 ["--wire-encoding", "requires --runtime sync"])
+    expect_error(node, ["--mode", "launch", "--wire-encoding", "delta+int8",
+                        "--corrupt-rate", "0.1"],
+                 ["--corrupt-rate", "desynchronize"])
+
     if failures:
         for f in failures:
             print("FAIL:", f)

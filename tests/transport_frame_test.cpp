@@ -6,6 +6,7 @@
 
 #include "core/rng.h"
 #include "fl/compression.h"
+#include "fl/wire_encoding.h"
 #include "net/message.h"
 
 namespace fedms::transport {
@@ -127,7 +128,9 @@ TEST(FrameCodec, ReencodesWhenEncodedBufferNotCarried) {
   EXPECT_EQ(decoded.message.payload, original.payload);
 }
 
-TEST(FrameCodec, CompressedFrameNeedsMatchingSessionCodec) {
+TEST(FrameCodec, CompressedFramesAreSelfDescribing) {
+  // Negotiated encodings mean a receiver cannot know the sender's codec in
+  // advance: stateless fp16/int8 frames decode under ANY session codec.
   const FrameCodec fp16_codec("fp16");
   const fl::PayloadCodecPtr fp16 = fl::make_codec("fp16");
   net::Message m = make_message(net::MessageKind::kModelUpload, 8);
@@ -136,11 +139,92 @@ TEST(FrameCodec, CompressedFrameNeedsMatchingSessionCodec) {
   m.payload = fp16->decode(m.encoded);
   const auto frame = fp16_codec.encode(m);
 
-  // A session without the codec cannot interpret the payload.
   const FrameCodec plain_codec;
   const auto decoded = plain_codec.decode(frame);
+  ASSERT_TRUE(decoded.ok()) << to_string(decoded.error);
+  EXPECT_EQ(decoded.message.payload, m.payload);
+  EXPECT_EQ(decoded.message.encoded, m.encoded);
+}
+
+TEST(FrameCodec, StatefulFramesValidateAndDeferDecoding) {
+  // Top-k / delta frames need the receiver's per-stream reference, which
+  // the codec does not have: decode() validates the structure and returns
+  // the bytes undecoded (empty payload, encoded carried).
+  fl::WireEncodingSpec spec;
+  ASSERT_EQ(fl::parse_wire_encoding("topk:0.5", &spec), "");
+  fl::WireChannel sender(spec);
+  net::Message m = make_message(net::MessageKind::kModelBroadcast, 24);
+  fl::WireEncodeResult wire = sender.encode(m.payload);
+  m.payload = wire.decoded;
+  m.encoded = wire.bytes;
+  m.encoded_bytes = wire.bytes.size();
+  m.wire_format = fl::kWireFormatTopK;
+
+  const FrameCodec codec;
+  const auto frame = codec.encode(m);
+  EXPECT_EQ(frame.size(), net::wire_size(m));
+  const auto decoded = codec.decode(frame);
+  ASSERT_TRUE(decoded.ok()) << to_string(decoded.error);
+  EXPECT_TRUE(decoded.message.payload.empty());
+  EXPECT_EQ(decoded.message.encoded, wire.bytes);
+  EXPECT_EQ(decoded.message.wire_format, fl::kWireFormatTopK);
+
+  // The receiver's channel materializes the floats bit-identically to the
+  // sender's own round-trip.
+  fl::WireChannel receiver(spec);
+  net::Message finished = decoded.message;
+  fl::WireChannelBook book(spec);
+  fl::finish_wire_payload(finished, book);
+  EXPECT_EQ(finished.payload, wire.decoded);
+}
+
+TEST(FrameCodec, CorruptedStatefulMetadataIsBadPayload) {
+  fl::WireEncodingSpec spec;
+  ASSERT_EQ(fl::parse_wire_encoding("topk:0.5", &spec), "");
+  fl::WireChannel sender(spec);
+  net::Message m = make_message(net::MessageKind::kModelBroadcast, 24);
+  (void)sender.encode(m.payload);  // keyframe: k == dim
+  fl::WireEncodeResult wire = sender.encode(m.payload);
+  // Flip one index-bitmap bit: popcount(bitmap) no longer matches k. The
+  // CRC is recomputed by encode(), so only the structural check can catch
+  // this (a tampering sender, not line noise).
+  wire.bytes[5 + 8] ^= 0x01;
+  m.payload = wire.decoded;
+  m.encoded = wire.bytes;
+  m.encoded_bytes = wire.bytes.size();
+  m.wire_format = fl::kWireFormatTopK;
+  const FrameCodec codec;
+  const auto decoded = codec.decode(codec.encode(m));
   EXPECT_FALSE(decoded.ok());
-  EXPECT_EQ(decoded.error, FrameError::kBadFormat);
+  EXPECT_EQ(decoded.error, FrameError::kBadPayload);
+}
+
+TEST(FrameCodec, HelloCarriesAnnouncedEncodingInReservedBytes) {
+  const FrameCodec codec;
+  for (const char* announced : {"", "fp16", "topk:0.25", "delta+int8"}) {
+    net::Message hello = make_message(net::MessageKind::kHello, 0);
+    hello.hello_encoding = announced;
+    const auto frame = codec.encode(hello);
+    const auto decoded = codec.decode(frame);
+    ASSERT_TRUE(decoded.ok()) << to_string(decoded.error);
+    EXPECT_EQ(decoded.message.hello_encoding, announced);
+  }
+}
+
+TEST(FrameCodec, HelloEncodingBadCharsetIsBadReserved) {
+  const FrameCodec codec;
+  net::Message hello = make_message(net::MessageKind::kHello, 0);
+  hello.hello_encoding = "fp16";
+  auto frame = codec.encode(hello);
+  // Reserved bytes start at offset 42; inject an uppercase byte (outside
+  // the spec charset) and re-seal the CRC so only the charset check fires.
+  frame[42] = 'F';
+  const std::uint32_t crc = crc32c(frame.data(), frame.size() - 4);
+  for (int i = 0; i < 4; ++i)
+    frame[frame.size() - 4 + i] = std::uint8_t(crc >> (8 * i));
+  const auto decoded = codec.decode(frame);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error, FrameError::kBadReserved);
 }
 
 TEST(FrameCodec, EverySingleByteTruncationIsRejected) {

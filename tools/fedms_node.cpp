@@ -36,11 +36,13 @@
 
 #include "byz/attack.h"
 #include "core/cli.h"
+#include "core/contracts.h"
 #include "core/thread_pool.h"
 #include "eventloop/server.h"
 #include "fl/aggregators.h"
 #include "fl/experiment.h"
 #include "fl/upload.h"
+#include "fl/wire_encoding.h"
 #include "obs/obs.h"
 #include "obs/trace_merge.h"
 #include "transport/frame.h"
@@ -96,6 +98,10 @@ transport::SocketTransportOptions socket_options(const NodeCli& cli,
                                                  const net::NodeId& self) {
   transport::SocketTransportOptions options;
   options.payload_codec = cli.fed.upload_compression;
+  // Only clients announce: broadcasts come back in this encoding. Uploads
+  // need no announcement — frames are self-describing.
+  if (self.kind == net::NodeKind::kClient)
+    options.wire_encoding = cli.fed.wire_encoding;
   options.corrupt_rate = cli.corrupt_rate;
   // Distinct deterministic corruption stream per process.
   options.corrupt_seed =
@@ -352,6 +358,7 @@ std::vector<std::string> child_args(const NodeCli& cli, const char* role,
       "--server-aggregator", cli.fed.server_aggregator,
       "--attack", cli.fed.attack,
       "--compression", cli.fed.upload_compression,
+      "--wire-encoding", cli.fed.wire_encoding,
       "--seed", std::to_string(cli.fed.seed),
       "--eval-every", std::to_string(cli.fed.eval_every),
       "--participation", exact_double(cli.fed.participation),
@@ -495,6 +502,9 @@ int main(int argc, char** argv) {
   flags.add_string("server-aggregator", "mean", "PS-side aggregation rule");
   flags.add_string("attack", "noise", "Byzantine PS behaviour");
   flags.add_string("compression", "none", "upload codec: none | fp16 | int8");
+  flags.add_string("wire-encoding", "f32",
+                   "negotiated wire encoding: f32 | fp16 | int8 | "
+                   "delta+<base> | topk:<frac>");
   flags.add_int("samples", 600, "synthetic dataset size");
   flags.add_double("alpha", 10.0, "Dirichlet D_alpha heterogeneity");
   flags.add_string("model", "mlp", "client model: mlp | logistic | ...");
@@ -535,6 +545,7 @@ int main(int argc, char** argv) {
   cli.fed.server_aggregator = flags.get_string("server-aggregator");
   cli.fed.attack = flags.get_string("attack");
   cli.fed.upload_compression = flags.get_string("compression");
+  cli.fed.wire_encoding = flags.get_string("wire-encoding");
   cli.fed.seed = std::uint64_t(flags.get_int("seed"));
   cli.fed.eval_every = std::size_t(flags.get_int("eval-every"));
   cli.fed.participation = flags.get_double("participation");
@@ -581,6 +592,18 @@ int main(int argc, char** argv) {
       throw std::runtime_error(
           "--verify requires --corrupt-rate 0 (corruption changes the "
           "result by design)");
+    {
+      fl::WireEncodingSpec wire_spec;
+      FEDMS_EXPECTS(
+          fl::parse_wire_encoding(cli.fed.wire_encoding, &wire_spec)
+              .empty());  // fed.check() already validated the spec
+      if (wire_spec.stateful() && cli.corrupt_rate > 0.0)
+        throw std::runtime_error(
+            "--corrupt-rate with stateful --wire-encoding \"" +
+            cli.fed.wire_encoding +
+            "\" would desynchronize delta/top-k streams (a dropped frame "
+            "breaks the reference chain); use f32/fp16/int8");
+    }
     if (cli.mode == "client" || cli.mode == "server") {
       if (cli.backend == "unix" && cli.socket_dir.empty())
         throw std::runtime_error("--socket-dir is required with unix sockets");

@@ -60,6 +60,9 @@ int main(int argc, char** argv) {
   // Communication extensions.
   flags.add_string("compression", "none",
                    "upload payload codec: none | fp16 | int8");
+  flags.add_string("wire-encoding", "f32",
+                   "negotiated wire encoding: f32 | fp16 | int8 | "
+                   "delta+<base> | topk:<frac>");
   flags.add_double("participation", 1.0,
                    "fraction of clients active per round");
   flags.add_double("loss-rate", 0.0, "network message loss probability");
@@ -131,6 +134,7 @@ int main(int argc, char** argv) {
   fed.byzantine_clients = std::size_t(flags.get_int("byzantine-clients"));
   fed.client_attack = flags.get_string("client-attack");
   fed.upload_compression = flags.get_string("compression");
+  fed.wire_encoding = flags.get_string("wire-encoding");
   fed.participation = flags.get_double("participation");
   fed.network_loss_rate = flags.get_double("loss-rate");
   fed.dp_clip_norm = flags.get_double("dp-clip");
@@ -164,6 +168,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   const bool async = runtime_kind == "async";
+  if (async && fed.wire_encoding != "f32")
+    return cli_error("--wire-encoding \"" + fed.wire_encoding +
+                     "\" requires --runtime sync (the event-driven engine "
+                     "has no per-link wire streams)");
   runtime::RuntimeOptions runtime_options;
   runtime_options.compute_seconds = flags.get_double("compute-time");
   runtime_options.upload_window_seconds = flags.get_double("upload-window");
