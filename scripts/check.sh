@@ -194,6 +194,62 @@ trap 'rm -rf "$fuzz_repro_dir" "$trace_dir" "$sweep_dir"' EXIT
 diff -r "$sweep_dir/serial" "$sweep_dir/packed"
 echo "sweep smoke OK (8 cells byte-identical across --jobs 1 and $jobs)"
 
+echo "== determinism gate (fenv rounding-mode sweep) =="
+# The determinism contract (ARCHITECTURE.md "Determinism contract"): the
+# unit suite and the multi-process --verify smoke must hold under every
+# fenv rounding mode — FEDMS_ROUNDING_MODE pins the whole process pre-main,
+# --rounding-mode pins it per tool and is forwarded to forked node
+# processes. Only numeric RESULTS may differ between modes; every
+# differential oracle (streaming vs nth_element vs reference filter,
+# sharded vs serial, sim vs processes) must agree bit-for-bit WITHIN one.
+for mode in nearest upward downward towardzero; do
+  if ! FEDMS_ROUNDING_MODE="$mode" ctest --test-dir "$build" -L unit \
+      --output-on-failure -j "$jobs" > "$sweep_dir/ctest-$mode.log" 2>&1; then
+    cat "$sweep_dir/ctest-$mode.log"
+    echo "determinism gate FAILED: unit suite broke under mode $mode"
+    exit 1
+  fi
+  "$build/tools/fedms_node" --mode inmem --rounding-mode "$mode" \
+    --clients 4 --servers 2 --byzantine 1 --rounds 2 --samples 400 \
+    --verify > /dev/null
+  echo "determinism OK under $mode (unit suite + inmem --verify)"
+done
+# Sharded filter across thread counts under a directed mode: the event-loop
+# runtime with 1/2/4 filter threads must stay bit-for-bit against the
+# serial simulator even when every reduction rounds toward zero.
+for threads in 1 2 4; do
+  "$build/tools/fedms_node" --mode launch --backend unix \
+    --clients 8 --servers 4 --byzantine 1 --rounds 2 --samples 400 \
+    --runtime eventloop --filter-threads "$threads" \
+    --rounding-mode towardzero --verify > /dev/null
+done
+echo "determinism OK (event-loop --filter-threads 1/2/4 under towardzero)"
+# Sweep bit-equality under a non-default mode, with a one-line
+# first-divergent-CRC diff on mismatch (diff -r would dump whole files).
+FEDMS_ROUNDING_MODE=upward "$build/tools/fedms_sweep" \
+  --scenario "$repo/examples/churn.json" --seeds 4 \
+  --defenses trmean:0.2,mean --jobs 1 \
+  --out-dir "$sweep_dir/mode-serial" > /dev/null
+FEDMS_ROUNDING_MODE=upward "$build/tools/fedms_sweep" \
+  --scenario "$repo/examples/churn.json" --seeds 4 \
+  --defenses trmean:0.2,mean --jobs "$jobs" \
+  --out-dir "$sweep_dir/mode-packed" > /dev/null
+python3 - "$sweep_dir/mode-serial" "$sweep_dir/mode-packed" <<'PY'
+import pathlib, sys, zlib
+a, b = (pathlib.Path(p) for p in sys.argv[1:3])
+files_a = sorted(p.relative_to(a) for p in a.rglob("*") if p.is_file())
+files_b = sorted(p.relative_to(b) for p in b.rglob("*") if p.is_file())
+assert files_a == files_b, \
+    f"file sets differ: {sorted(set(files_a) ^ set(files_b))}"
+for rel in files_a:
+    ca = zlib.crc32((a / rel).read_bytes())
+    cb = zlib.crc32((b / rel).read_bytes())
+    if ca != cb:
+        sys.exit(f"first divergent cell: {rel} "
+                 f"(crc {ca:08x} vs {cb:08x})")
+print(f"sweep bit-equality OK under upward ({len(files_a)} files)")
+PY
+
 echo "== configure + build (ASan + UBSan) =="
 cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DFEDMS_SANITIZE=ON

@@ -1,0 +1,79 @@
+#include "core/rounding.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+// GCC parses but ignores the pragma (it warns); -frounding-math on this TU
+// (src/core/CMakeLists.txt) is what actually stops FP motion across the
+// fesetround boundary there.
+#if defined(__clang__)
+#pragma STDC FENV_ACCESS ON
+#endif
+
+namespace fedms::core {
+
+ScopedRoundingMode::ScopedRoundingMode(int mode) : saved_(std::fegetround()) {
+  std::fesetround(mode);
+}
+
+ScopedRoundingMode::~ScopedRoundingMode() { std::fesetround(saved_); }
+
+const int* all_rounding_modes() {
+  static const int modes[kRoundingModeCount] = {FE_TONEAREST, FE_UPWARD,
+                                                FE_DOWNWARD, FE_TOWARDZERO};
+  return modes;
+}
+
+const char* rounding_mode_name(int mode) {
+  switch (mode) {
+    case FE_TONEAREST: return "nearest";
+    case FE_UPWARD: return "upward";
+    case FE_DOWNWARD: return "downward";
+    case FE_TOWARDZERO: return "towardzero";
+  }
+  return "?";
+}
+
+bool parse_rounding_mode(const std::string& text, int* mode) {
+  if (text == "nearest") return *mode = FE_TONEAREST, true;
+  if (text == "upward") return *mode = FE_UPWARD, true;
+  if (text == "downward") return *mode = FE_DOWNWARD, true;
+  if (text == "towardzero") return *mode = FE_TOWARDZERO, true;
+  return false;
+}
+
+std::string check_rounding_mode_spec(const std::string& spec) {
+  int mode = FE_TONEAREST;
+  if (spec.empty() || parse_rounding_mode(spec, &mode)) return "";
+  return "unknown rounding mode \"" + spec +
+         "\" (expected nearest | upward | downward | towardzero)";
+}
+
+namespace {
+
+// Pre-main: FEDMS_ROUNDING_MODE=<nearest|upward|downward|towardzero> pins
+// the process-wide mode before any test or tool code runs — threads
+// created later inherit it ([cfenv]) — so scripts/check.sh can run the
+// entire unit suite under each mode without touching every test binary.
+// Runs in every binary that uses ScopedRoundingMode (the ctor above is
+// out-of-line in this TU for exactly that reason). A malformed value is a
+// hard error: silently training under the wrong mode would defeat the
+// sweep.
+const int g_env_rounding_mode = [] {
+  const char* text = std::getenv("FEDMS_ROUNDING_MODE");
+  if (text == nullptr || *text == '\0') return std::fegetround();
+  int mode = FE_TONEAREST;
+  if (!parse_rounding_mode(text, &mode)) {
+    std::fprintf(stderr,
+                 "FEDMS_ROUNDING_MODE: unknown mode \"%s\" (expected "
+                 "nearest | upward | downward | towardzero)\n",
+                 text);
+    std::exit(1);
+  }
+  std::fesetround(mode);
+  return mode;
+}();
+
+}  // namespace
+
+}  // namespace fedms::core

@@ -1,0 +1,67 @@
+// Explicit fenv.h rounding-mode control — the determinism contract's
+// foundation (ARCHITECTURE.md "Determinism contract").
+//
+// Every differential oracle in the repo (sync-vs-async parity, sim-vs-node
+// --verify, sweep --jobs equality, the fuzz harness) demands bit-identical
+// floats. That only holds when the FPU rounding mode is part of the
+// contract: the same pinned reduction order produces different — but still
+// deterministic — bits under FE_UPWARD than under FE_TONEAREST, so every
+// compared execution must run under the *same* mode, and mode-sensitive
+// derivations (the trim-count snap) must pin their own.
+//
+// Two hazards this header exists to manage:
+//
+//   * [cfenv]/C11 F.8.4: a new thread starts with the floating-point
+//     environment of the thread that *created* it, captured at creation
+//     time. A ThreadPool built before a mode switch therefore runs its
+//     workers in the stale mode — the caller must re-establish its own
+//     mode inside each task (sharded_by_coordinate and the conv batch
+//     fan-out do; see core/thread_pool.h).
+//   * Compilers assume FE_TONEAREST unless told otherwise: TUs that
+//     compute under a ScopedRoundingMode are built with -frounding-math
+//     (and #pragma STDC FENV_ACCESS where the compiler honors it) so FP
+//     expressions are neither constant-folded nor hoisted across the
+//     fesetround boundary.
+#pragma once
+
+#include <cfenv>
+#include <cstddef>
+#include <string>
+
+namespace fedms::core {
+
+// RAII fesetround: establishes `mode` for the current thread's scope and
+// restores the previous mode on exit. Out-of-line on purpose — every
+// binary that links a user of this class also links rounding.cpp, whose
+// static initializer applies the FEDMS_ROUNDING_MODE environment override
+// before main() (see rounding.cpp).
+class ScopedRoundingMode {
+ public:
+  explicit ScopedRoundingMode(int mode);
+  ~ScopedRoundingMode();
+
+  ScopedRoundingMode(const ScopedRoundingMode&) = delete;
+  ScopedRoundingMode& operator=(const ScopedRoundingMode&) = delete;
+
+ private:
+  int saved_;
+};
+
+// The four IEEE-754 modes in the canonical sweep order:
+// FE_TONEAREST, FE_UPWARD, FE_DOWNWARD, FE_TOWARDZERO.
+inline constexpr std::size_t kRoundingModeCount = 4;
+const int* all_rounding_modes();  // kRoundingModeCount entries
+
+// Stable spelling for logs/CLI: "nearest" | "upward" | "downward" |
+// "towardzero" ("?" for an unknown mode value).
+const char* rounding_mode_name(int mode);
+
+// Parses a spelling from rounding_mode_name. Returns false (and leaves
+// *mode untouched) on anything else.
+bool parse_rounding_mode(const std::string& text, int* mode);
+
+// CLI front-door validation: one-line error for an unknown spelling,
+// "" = valid. Accepts the empty string (= "leave the ambient mode alone").
+std::string check_rounding_mode_spec(const std::string& spec);
+
+}  // namespace fedms::core

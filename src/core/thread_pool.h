@@ -5,6 +5,16 @@
 // With `worker_count == 0` the pool degrades to inline execution on the
 // calling thread, which is the default on single-core hosts and keeps the
 // per-client RNG streams identical regardless of parallelism.
+//
+// Floating-point caveat ([cfenv]/C11 F.8.4): each worker thread captures
+// the floating-point environment of the thread that CONSTRUCTED the pool,
+// at construction time. A caller that switched rounding modes after the
+// pool was built therefore must not assume its mode inside tasks —
+// numeric kernels that fan out through parallel_for re-establish the
+// caller's mode per task with core::ScopedRoundingMode (see
+// sharded_by_coordinate in fl/aggregators.cpp and the conv batch fan-out
+// in tensor/conv_im2col.cpp). The determinism contract in ARCHITECTURE.md
+// makes this a requirement for any new parallel kernel.
 #pragma once
 
 #include <condition_variable>

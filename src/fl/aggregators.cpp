@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cfenv>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
 
 #include "core/contracts.h"
+#include "core/rounding.h"
 #include "core/thread_pool.h"
+
+// This TU computes under runtime-switched fenv rounding modes (the
+// determinism contract sweeps all four) and pins its own mode inside the
+// trim-count snap; it is compiled with -frounding-math (GCC ignores the
+// pragma) so FP expressions are not folded or moved across fesetround.
+#if defined(__clang__)
+#pragma STDC FENV_ACCESS ON
+#endif
 
 namespace fedms::fl {
 
@@ -24,8 +34,17 @@ void check_models(const std::vector<ModelVector>& models) {
 
 // NaN-aware comparison key: NaN sorts as +∞ so the trim removes it from
 // the high side (±∞ already order correctly and land in the tails).
+// −0.0 canonicalizes to +0.0: the two zeros compare equal, so which one a
+// selection routine leaves in a tail vs the kept window is tie-break
+// dependent — and x + (−0.0) vs x + (+0.0) round differently under
+// FE_DOWNWARD (0.0 + (−0.0) = −0.0 there). After canonicalization every
+// pair of equal-comparing floats is bit-identical, so tie resolution can
+// never change a sum. (The explicit compare, not `v + 0.0f`, which is
+// itself mode-dependent for v = −0.0.)
 inline float sort_key(float v) {
-  return std::isnan(v) ? std::numeric_limits<float>::infinity() : v;
+  if (std::isnan(v)) return std::numeric_limits<float>::infinity();
+  if (v == 0.0f) return 0.0f;
+  return v;
 }
 
 // Bounded-insertion tails for the trimmed mean's small-trim fast path.
@@ -79,6 +98,53 @@ void mean_range(const std::vector<ModelVector>& models, std::size_t j0,
   }
 }
 
+// ---- canonical per-column trimmed-mean arithmetic ----
+//
+// The determinism contract (ARCHITECTURE.md) requires the streaming fast
+// path, the selection fallback (trimmed_mean_selection), and the full-sort
+// oracle (trimmed_mean_reference) to agree BITWISE, per rounding mode, for
+// every input. That only holds if all three execute the same FP operations
+// in the same order, so the arithmetic is pinned to one case analysis over
+// the canonicalized column (sort_key applied — equal floats bit-identical,
+// so tail selection ties cannot change any sum):
+//
+//   1. trim == 0:        out = float(total / kept), total = Σ double(v_i)
+//                        in MODEL order.
+//   2. trim in (0, kMaxFastTrim] and the column all-finite:
+//                        out = float((total − tails) / kept) with total as
+//                        above and tails = Σ_{t<trim} (low[t] + high[t]) in
+//                        double, low/high the trim smallest/largest values
+//                        each sorted ASCENDING.
+//   3. otherwise (±∞/NaN in the column, or trim > kMaxFastTrim):
+//                        out = float((Σ kept values ASCENDING) / kept)
+//                        (total − tails is unusable here: ∞ − ∞ = NaN).
+//
+// Which case applies depends only on (trim, column contents) — never on
+// thread count, shard boundary, or rounding mode — so every execution
+// shape lands on identical bits.
+
+// Cases 2/3 over a gathered, canonicalized column. `total` must be the
+// model-order double sum of column[0..p); reorders column[]. Case 1 is
+// inlined at the call sites (no selection needed).
+float kept_window_mean(float* column, std::size_t p, std::size_t trim,
+                       double total, bool finite) {
+  const std::size_t kept = p - 2 * trim;
+  std::nth_element(column, column + trim, column + p);
+  std::nth_element(column + trim, column + (p - trim), column + p);
+  if (finite && trim <= kMaxFastTrim) {
+    std::sort(column, column + trim);
+    std::sort(column + (p - trim), column + p);
+    double tails = 0.0;
+    for (std::size_t i = 0; i < trim; ++i)
+      tails += double(column[i]) + double(column[p - trim + i]);
+    return static_cast<float>((total - tails) / double(kept));
+  }
+  std::sort(column + trim, column + (p - trim));
+  double acc = 0.0;
+  for (std::size_t i = trim; i < p - trim; ++i) acc += column[i];
+  return static_cast<float>(acc / double(kept));
+}
+
 // Trimmed mean of coordinates [j0, j1) into out — the per-shard kernel.
 // All scratch is call-local, so shards never share mutable state and the
 // per-coordinate arithmetic is identical to a serial full-range call.
@@ -89,22 +155,23 @@ void trimmed_mean_range(const std::vector<ModelVector>& models,
   const std::size_t kept = p - 2 * trim;
   std::vector<float> scratch(p);
 
-  // Gathers coordinate j into `scratch` and computes the kept-window mean
-  // by two-sided selection: partition the trim smallest to the front, then
-  // the trim largest past the kept window. The kept values are exactly the
-  // sorted ranks [trim, p - trim); their within-window order is irrelevant
-  // to the (double-accumulated) mean. Handles non-finite values and any
-  // trim — the general path.
+  // Gathers coordinate j into `scratch` and applies the canonical case
+  // analysis above — the general path for any trim and any column.
   auto select_mean = [&](std::size_t j) {
     float* column = scratch.data();
-    for (std::size_t i = 0; i < p; ++i) column[i] = sort_key(models[i][j]);
-    if (trim > 0) {
-      std::nth_element(column, column + trim, column + p);
-      std::nth_element(column + trim, column + (p - trim), column + p);
+    double total = 0.0;
+    bool finite = true;
+    for (std::size_t i = 0; i < p; ++i) {
+      const float v = sort_key(models[i][j]);
+      column[i] = v;
+      finite &= bool(std::isfinite(v));
+      total += v;
     }
-    double acc = 0.0;
-    for (std::size_t i = trim; i < p - trim; ++i) acc += column[i];
-    out[j] = static_cast<float>(acc / double(kept));
+    if (trim == 0) {
+      out[j] = static_cast<float>(total / double(kept));
+      return;
+    }
+    out[j] = kept_window_mean(column, p, trim, total, finite);
   };
 
   if (trim == 0 || trim > kMaxFastTrim) {
@@ -116,11 +183,12 @@ void trimmed_mean_range(const std::vector<ModelVector>& models,
   // matrix model-major in cache-sized coordinate blocks, maintaining per
   // coordinate a running total plus the trim smallest/largest values by
   // bounded insertion (expected O(p + trim log p) updates per coordinate
-  // on random input); the kept-window sum is total − tails. That
-  // subtraction is only valid when every value is finite (∞ − ∞ = NaN),
-  // so columns carrying ±∞/NaN — the Byzantine case — are redone with the
-  // selection path above. All per-block state (totals + both tails) stays
-  // L1-resident.
+  // on random input). The combine below IS canonical case 2 verbatim —
+  // model-order total, ascending tails (bounded insertion keeps both tails
+  // sorted), total − tails — so it lands on the same bits as select_mean.
+  // Columns carrying ±∞/NaN — the Byzantine case — are redone with the
+  // selection path above (canonical case 3; ∞ − ∞ = NaN rules case 2
+  // out). All per-block state (totals + both tails) stays L1-resident.
   std::vector<double> totals(kBlock);
   std::vector<float> low(kBlock * trim), high(kBlock * trim);
   std::vector<std::size_t> nlow(kBlock), nhigh(kBlock);
@@ -160,6 +228,12 @@ void trimmed_mean_range(const std::vector<ModelVector>& models,
 // boundaries aligned to kBlock (so the fast path's blocking is unchanged).
 // Oversplits 4x per worker: the nonfinite-column fallback makes shard cost
 // uneven under Byzantine input.
+//
+// Each shard re-establishes the CALLER's rounding mode before computing:
+// pool workers inherit the fenv of the thread that created the pool
+// ([cfenv]), so a pool built before a mode switch would otherwise compute
+// shards under a stale mode and diverge from the serial path — the
+// "incidentally bit-identical" hazard the determinism contract closes.
 template <typename RangeFn>
 ModelVector sharded_by_coordinate(std::size_t d, core::ThreadPool& pool,
                                   const RangeFn& range) {
@@ -170,7 +244,9 @@ ModelVector sharded_by_coordinate(std::size_t d, core::ThreadPool& pool,
   shards = std::min(shards, blocks);
   const std::size_t width =
       ((blocks + shards - 1) / shards) * kBlock;  // per-shard coordinates
+  const int caller_mode = std::fegetround();
   pool.parallel_for(shards, [&](std::size_t s) {
+    const core::ScopedRoundingMode mode(caller_mode);
     const std::size_t j0 = s * width;
     const std::size_t j1 = std::min(d, j0 + width);
     if (j0 < j1) range(j0, j1, out);
@@ -197,6 +273,13 @@ std::size_t beta_trim_count(double beta, std::size_t count) {
   // unit short of what the text means. 1e-4 covers both error sources for
   // any count ≤ 100 while staying far below the 1/count spacing of
   // intentional β choices.
+  //
+  // Pinned to round-to-nearest: under an ambient directed mode the β·count
+  // product and the epsilon add each shift by an ulp, so a β sitting on
+  // the snap boundary could trim one unit more or fewer depending on the
+  // caller's FPU state — a robustness count must never be a function of
+  // the rounding mode.
+  const core::ScopedRoundingMode nearest(FE_TONEAREST);
   const std::size_t trim =
       static_cast<std::size_t>(beta * double(count) + 1e-4);
   return trim;
@@ -209,9 +292,14 @@ std::size_t client_trim_target(double beta, std::size_t servers,
   // the run topology; recognize that case across any double representation
   // the coupling survived and return the integer B itself. An ablation
   // sweeping β independently of B lands outside the 1e-3 window and keeps
-  // its exact ⌊β·P⌋.
-  if (std::abs(beta * double(servers) - double(byzantine)) < 1e-3)
-    return byzantine;
+  // its exact ⌊β·P⌋. Mode-pinned for the same reason as beta_trim_count:
+  // the 1e-3 window test must not flip with the ambient rounding mode.
+  bool coupled = false;
+  {
+    const core::ScopedRoundingMode nearest(FE_TONEAREST);
+    coupled = std::abs(beta * double(servers) - double(byzantine)) < 1e-3;
+  }
+  if (coupled) return byzantine;
   return beta_trim_count(beta, servers);
 }
 
@@ -288,14 +376,64 @@ ModelVector trimmed_mean_reference(const std::vector<ModelVector>& models,
   const std::size_t d = models.front().size();
   const std::size_t kept = p - 2 * trim;
 
+  // Gather + full sort per column, then the canonical case analysis
+  // (total in model order BEFORE sorting; a fully sorted column is a valid
+  // input to both selection cases — nth_element on sorted data is a
+  // no-op, the tails/kept window are already ascending).
   ModelVector out(d);
   std::vector<float> column(p);
   for (std::size_t j = 0; j < d; ++j) {
-    for (std::size_t i = 0; i < p; ++i) column[i] = sort_key(models[i][j]);
+    double total = 0.0;
+    bool finite = true;
+    for (std::size_t i = 0; i < p; ++i) {
+      const float v = sort_key(models[i][j]);
+      column[i] = v;
+      finite &= bool(std::isfinite(v));
+      total += v;
+    }
+    if (trim == 0) {
+      out[j] = static_cast<float>(total / double(kept));
+      continue;
+    }
     std::sort(column.begin(), column.end());
+    if (finite && trim <= kMaxFastTrim) {
+      double tails = 0.0;
+      for (std::size_t i = 0; i < trim; ++i)
+        tails += double(column[i]) + double(column[p - trim + i]);
+      out[j] = static_cast<float>((total - tails) / double(kept));
+      continue;
+    }
     double acc = 0.0;
     for (std::size_t i = trim; i < p - trim; ++i) acc += column[i];
     out[j] = static_cast<float>(acc / double(kept));
+  }
+  return out;
+}
+
+ModelVector trimmed_mean_selection(const std::vector<ModelVector>& models,
+                                   std::size_t trim) {
+  check_models(models);
+  const std::size_t p = models.size();
+  FEDMS_EXPECTS(2 * trim < p);
+  const std::size_t d = models.front().size();
+  const std::size_t kept = p - 2 * trim;
+
+  ModelVector out(d);
+  std::vector<float> column(p);
+  for (std::size_t j = 0; j < d; ++j) {
+    double total = 0.0;
+    bool finite = true;
+    for (std::size_t i = 0; i < p; ++i) {
+      const float v = sort_key(models[i][j]);
+      column[i] = v;
+      finite &= bool(std::isfinite(v));
+      total += v;
+    }
+    if (trim == 0) {
+      out[j] = static_cast<float>(total / double(kept));
+      continue;
+    }
+    out[j] = kept_window_mean(column.data(), p, trim, total, finite);
   }
   return out;
 }

@@ -49,8 +49,10 @@ ModelVector mean_aggregate(const std::vector<ModelVector>& models);
 // The trimmed mean and the PS mean are per-coordinate independent, so
 // their cost shards across cores by coordinate range with bit-identical
 // output (each coordinate's arithmetic is untouched; shards are aligned
-// to the cache-block width). The event-loop runtime uses this so filter
-// cost scales with cores, not clients.
+// to the cache-block width, and every shard re-establishes the caller's
+// fenv rounding mode — pool workers inherit the mode of the thread that
+// built the pool, not the caller's). The event-loop runtime uses this so
+// filter cost scales with cores, not clients.
 //
 // `set_aggregation_pool` installs a process-global pool consulted by
 // `trimmed_mean` / `mean_aggregate` (and hence by ParameterServer and
@@ -101,7 +103,9 @@ std::size_t degraded_trim_count(std::size_t target, std::size_t received);
 // The paper's trmean_β: per coordinate, discard the ⌊β·P⌋ largest and
 // ⌊β·P⌋ smallest values and average the rest (e.g. trmean_0.2 over
 // {1,2,3,4,5} = mean{2,3,4} = 3). Non-finite values sort as +∞ so NaN
-// poisoning lands in the trimmed tail whenever the trim budget covers it.
+// poisoning lands in the trimmed tail whenever the trim budget covers it;
+// −0.0 canonicalizes to +0.0 so equal-comparing values are bit-identical
+// and tie-breaks can never change a sum.
 // Precondition: 0 ≤ β < 0.5 and at least one value survives the trim.
 //
 // Implementation: coordinates are processed in cache-sized blocks — the
@@ -112,6 +116,12 @@ std::size_t degraded_trim_count(std::size_t target, std::size_t received);
 // (or a large trim) use two-sided std::nth_element selection (O(P))
 // instead of a full sort (O(P log P)). Every client runs this filter every
 // round, so it is the client-side hot loop Fed-MS adds over FedAvg.
+//
+// Determinism contract (ARCHITECTURE.md): the per-column arithmetic is
+// pinned to one canonical case analysis, so this function,
+// trimmed_mean_selection, and trimmed_mean_reference return BITWISE
+// identical vectors for every input, per rounding mode, for any thread
+// count or shard width.
 ModelVector trimmed_mean(const std::vector<ModelVector>& models, double beta);
 
 // Explicit-trim overload: discards exactly `trim` values per side. The
@@ -124,11 +134,20 @@ ModelVector trimmed_mean(const std::vector<ModelVector>& models,
 
 // The seed's per-coordinate gather + full-sort implementation, kept as the
 // oracle for the equivalence tests and the baseline in micro_aggregators.
-// Identical semantics (including NaN-sorts-as-+∞); only summation order
-// inside the kept window may differ, which double accumulation absorbs.
+// Identical semantics (including NaN-sorts-as-+∞), and since the
+// determinism contract identical BITS: it runs the same canonical
+// per-column arithmetic as trimmed_mean, just over a fully sorted column.
 ModelVector trimmed_mean_reference(const std::vector<ModelVector>& models,
                                    double beta);
 ModelVector trimmed_mean_reference(const std::vector<ModelVector>& models,
+                                   std::size_t trim);
+
+// The two-sided nth_element selection path, forced for every column (the
+// fallback trimmed_mean takes for ±∞/NaN columns and large trims). Test
+// hook for the exhaustive small-P enumeration, which proves streaming ==
+// selection == reference bitwise over all sign/NaN/±∞/duplicate patterns.
+// Precondition: 2·trim < models.size().
+ModelVector trimmed_mean_selection(const std::vector<ModelVector>& models,
                                    std::size_t trim);
 
 // Per-coordinate median (lower of the two middles for even counts — the

@@ -1,8 +1,11 @@
 #include "metrics/recorder.h"
 
+#include <cfenv>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
+
+#include "core/rounding.h"
 
 namespace fedms::metrics {
 
@@ -22,6 +25,10 @@ Series series_from_run(const std::string& figure, const std::string& name,
 void Recorder::add(Series series) { series_.push_back(std::move(series)); }
 
 void Recorder::write_csv(std::ostream& os) const {
+  // Decimal formatting follows the ambient fenv mode; CSVs emitted by a
+  // run pinned to a directed mode must still be byte-identical to the
+  // nearest-mode run of the same data.
+  const core::ScopedRoundingMode nearest(FE_TONEAREST);
   os << "figure,series,attack,round,accuracy,loss,train_loss\n";
   for (const auto& s : series_)
     for (const auto& p : s.points)

@@ -1,10 +1,12 @@
 #include "metrics/table.h"
 
+#include <cfenv>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
 #include "core/contracts.h"
+#include "core/rounding.h"
 
 namespace fedms::metrics {
 
@@ -41,6 +43,9 @@ void Table::print(std::ostream& os) const {
 }
 
 std::string Table::fmt(double value, int precision) {
+  // Decimal formatting obeys the ambient fenv mode; emitted tables (and
+  // CSV built on fmt) must be byte-identical whatever mode a run pins.
+  const core::ScopedRoundingMode nearest(FE_TONEAREST);
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << value;
   return os.str();

@@ -1,9 +1,11 @@
 #include "runtime/fault.h"
 
+#include <cfenv>
 #include <cstdlib>
 #include <sstream>
 
 #include "core/contracts.h"
+#include "core/rounding.h"
 
 namespace fedms::runtime {
 
@@ -25,6 +27,9 @@ std::vector<std::string> split(const std::string& text, char sep) {
 }
 
 bool parse_double(const std::string& text, double* out) {
+  // strtod rounds per the ambient fenv mode; plan text must parse to the
+  // same rates regardless of the mode the process runs under.
+  const core::ScopedRoundingMode nearest(FE_TONEAREST);
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
   if (end == text.c_str() || *end != '\0') return false;
@@ -280,6 +285,10 @@ bool FaultPlan::try_parse(const std::string& spec, FaultPlan* out,
 }
 
 std::string FaultPlan::to_string() const {
+  // Binary→decimal formatting of the rates is rounding-mode-sensitive;
+  // pin nearest so the canonical spec text is mode-independent and
+  // parse(to_string()) round-trips under any ambient fenv mode.
+  const core::ScopedRoundingMode nearest(FE_TONEAREST);
   std::ostringstream os;
   const char* sep = "";
   if (!crashes.empty()) {

@@ -1,5 +1,9 @@
 #include "tensor/conv_im2col.h"
 
+#include <algorithm>
+#include <cfenv>
+
+#include "core/rounding.h"
 #include "core/thread_pool.h"
 #include "obs/obs.h"
 #include "tensor/gemm.h"
@@ -168,10 +172,25 @@ Tensor conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
 
   core::ThreadPool* pool = g_conv_pool;
   if (pool != nullptr && pool->worker_count() > 0 && N > 1) {
-    // Each worker allocates from its own thread-local Workspace and writes
-    // a disjoint output slice, so the fan-out is race-free and the result
-    // is bit-identical to the serial loop.
-    pool->parallel_for(N, run_image);
+    // Bit-identical by construction, not by accident (the determinism
+    // contract): the batch is cut into contiguous image chunks with fixed
+    // boundaries (a pure function of N and the worker count), each chunk
+    // runs its images in ascending order, every worker allocates from its
+    // own thread-local Workspace and writes a disjoint output slice, and —
+    // since pool workers inherit the fenv of the thread that BUILT the
+    // pool, not of this caller — each chunk re-establishes the caller's
+    // rounding mode before computing. Per-image arithmetic is fully
+    // independent (im2col + a serial GEMM per image), so the result never
+    // depends on which worker ran which chunk.
+    const int caller_mode = std::fegetround();
+    const std::size_t chunks = std::min(N, pool->worker_count() * 4);
+    const std::size_t width = (N + chunks - 1) / chunks;
+    pool->parallel_for(chunks, [&](std::size_t c) {
+      const core::ScopedRoundingMode mode(caller_mode);
+      const std::size_t n0 = c * width;
+      const std::size_t n1 = std::min(N, n0 + width);
+      for (std::size_t n = n0; n < n1; ++n) run_image(n);
+    });
   } else {
     for (std::size_t n = 0; n < N; ++n) run_image(n);
   }

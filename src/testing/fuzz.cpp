@@ -1,12 +1,15 @@
 #include "testing/fuzz.h"
 
+#include <cfenv>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "byz/attack.h"
+#include "core/rounding.h"
 #include "data/convex.h"
 #include "fl/experiment.h"
 #include "fl/fedms.h"
@@ -90,6 +93,7 @@ struct FilterObserver {
   std::vector<bool> is_byzantine;
   bool attack_nonfinite = false;
   bool inject = false;
+  bool inject_drift = false;
   std::size_t servers = 0;
   double beta = -1.0;  // < 0: filter is not trmean, never inject
 
@@ -101,6 +105,7 @@ struct FilterObserver {
       : is_byzantine(byzantine_mask(schedule.fed_config())),
         attack_nonfinite(byz::attack_traits(schedule.attack).nonfinite),
         inject(options.inject_under_trim),
+        inject_drift(options.inject_mode_drift),
         servers(schedule.servers) {
     if (const auto b = fl::trmean_beta(schedule.client_filter)) beta = *b;
   }
@@ -115,6 +120,16 @@ struct FilterObserver {
             fl::beta_trim_count(beta, event.candidates.size());
         if (bad < event.trim && event.candidates.size() > 2 * bad)
           event.filtered = fl::trimmed_mean(event.candidates, bad);
+      }
+      if (inject_drift && event.trim != fl::kNoTrim) {
+        // The mode-drift plant: recompute the filter with the rounding
+        // mode pinned to nearest while the run itself executes under the
+        // schedule's ambient mode. When that mode is "nearest" this is a
+        // bitwise no-op (the determinism contract guarantees recomputing
+        // yields identical bits); under any directed mode the double sums
+        // land on different ulps and the parity oracle catches the drift.
+        const core::ScopedRoundingMode nearest(FE_TONEAREST);
+        event.filtered = fl::trimmed_mean(event.candidates, event.trim);
       }
       if (wire_sample.size() < 3 && !event.candidates.empty())
         wire_sample.push_back(event.candidates.front());
@@ -371,6 +386,14 @@ FuzzOutcome run_transport(const FuzzSchedule& schedule) {
 
 FuzzOutcome run_schedule(const FuzzSchedule& schedule,
                          const FuzzOptions& options) {
+  // Entire case — both execution paths and every oracle — runs under the
+  // schedule's rounding mode; the caller's ambient mode is restored on
+  // exit, so a corpus sweep can interleave modes freely.
+  int fenv_mode = FE_TONEAREST;
+  if (!core::parse_rounding_mode(schedule.rounding_mode, &fenv_mode))
+    throw std::runtime_error("unknown rounding_mode \"" +
+                             schedule.rounding_mode + "\"");
+  const core::ScopedRoundingMode scoped(fenv_mode);
   switch (schedule.kind) {
     case ScheduleKind::kParity: return run_parity(schedule, options);
     case ScheduleKind::kFault: return run_fault(schedule, options);
@@ -390,7 +413,9 @@ std::string repro_json(const FuzzSchedule& schedule,
         << "\", \"inject_under_trim\": "
         << (options.inject_under_trim ? "true" : "false")
         << ", \"inject_ghost_churn\": "
-        << (options.inject_ghost_churn ? "true" : "false") << "}\n";
+        << (options.inject_ghost_churn ? "true" : "false")
+        << ", \"inject_mode_drift\": "
+        << (options.inject_mode_drift ? "true" : "false") << "}\n";
   return text.substr(0, brace) + extra.str() + "}\n";
 }
 
@@ -403,10 +428,12 @@ Repro load_repro(const std::string& text) {
     repro.detail = r->at("detail").as_string();
     repro.options.inject_under_trim =
         r->at("inject_under_trim").as_bool();
-    // find(): repro files written before the ghost-churn plant existed
-    // stay loadable.
+    // find(): repro files written before these plants existed stay
+    // loadable.
     if (const Json* ghost = r->find("inject_ghost_churn"))
       repro.options.inject_ghost_churn = ghost->as_bool();
+    if (const Json* drift = r->find("inject_mode_drift"))
+      repro.options.inject_mode_drift = drift->as_bool();
   }
   return repro;
 }
@@ -514,6 +541,32 @@ FuzzSchedule churn_ghost_scenario() {
   drop.kind = "broadcast";
   drop.occurrence = 0;
   s.events.push_back(drop);
+  return s;
+}
+
+FuzzSchedule mode_drift_scenario() {
+  FuzzSchedule s;
+  s.seed = 0;
+  s.kind = ScheduleKind::kParity;
+  s.clients = 5;
+  s.servers = 5;
+  s.byzantine = 1;
+  s.rounds = 2;
+  s.local_iterations = 1;
+  // Sparse uploads give every honest PS a different client subset, so the
+  // candidate columns hold DISTINCT values and the kept-window sums are
+  // inexact — with "full" all honest broadcasts are identical and
+  // 3v/3 = v is exact under every mode, hiding the plant.
+  s.upload = "sparse";
+  s.client_filter = "trmean:0.2";
+  s.attack = "noise";
+  s.byzantine_placement = "first";
+  s.run_seed = 0x5eed0005;
+  s.data_seed = 0x5eed0006;
+  // The load-bearing knob: any directed mode exposes the plant. Under
+  // "nearest" the same plant is a bitwise no-op and the case passes —
+  // the self-test asserts both directions.
+  s.rounding_mode = "downward";
   return s;
 }
 

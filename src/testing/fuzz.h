@@ -40,6 +40,14 @@ struct FuzzOptions {
   // plan. A churned-out client then trains anyway, and the trace oracle
   // must report "trained 1 times (expected 0)".
   bool inject_ghost_churn = false;
+  // Self-test numerics plant: the async client filter recomputes its
+  // output under pinned round-to-nearest while the rest of the run (and
+  // the sync baseline) executes under the schedule's ambient rounding
+  // mode. Under any directed mode the recomputed sums land on different
+  // ulps, models drift, and the parity oracle must fire; under "nearest"
+  // the recompute is bitwise a no-op (that IS the determinism contract)
+  // and the run must stay clean.
+  bool inject_mode_drift = false;
 };
 
 struct FuzzOutcome {
@@ -98,5 +106,13 @@ FuzzSchedule under_trim_scenario();
 // execution time, client 1 trains in rounds 1–2 anyway, and the trace
 // oracle fires; shrinking strips the decoys down to the single leave.
 FuzzSchedule churn_ghost_scenario();
+
+// Hand-built regression scenario for the mode-drift plant: a fault-free
+// parity case under rounding_mode "downward" with a trmean filter. With
+// inject_mode_drift the async filter recomputes under nearest while the
+// sync baseline rounds downward, the per-round model CRCs diverge, and
+// the parity oracle fires. No schedule events — shrinking is trivially a
+// fixed point (the bug lives on the numerics axis, not the event list).
+FuzzSchedule mode_drift_scenario();
 
 }  // namespace fedms::testing

@@ -1,9 +1,12 @@
 #include "testing/json_min.h"
 
 #include <cctype>
+#include <cfenv>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+
+#include "core/rounding.h"
 
 namespace fedms::testing {
 
@@ -79,6 +82,10 @@ class JsonParser {
     }
     if (consume_literal("null")) return value;
     if (c == '-' || (c >= '0' && c <= '9')) {
+      // Decimal→binary conversion is rounding-mode-sensitive; a repro or
+      // schedule file must parse to the same bits whatever fenv mode the
+      // run executes under, so the conversion is pinned to nearest.
+      const core::ScopedRoundingMode nearest(FE_TONEAREST);
       char* end = nullptr;
       value.type_ = Json::Type::kNumber;
       value.number_ = std::strtod(text_.c_str() + pos_, &end);
@@ -251,6 +258,11 @@ std::string json_escape(const std::string& text) {
 }
 
 std::string json_double(double value) {
+  // Both directions of the round-trip are pinned to nearest: snprintf's
+  // binary→decimal shortening and the strtod check drift by one digit in
+  // the last place under directed fenv modes, which would make a file
+  // written under one mode parse to different bits under another.
+  const core::ScopedRoundingMode nearest(FE_TONEAREST);
   char buffer[40];
   // Shortest representation that strtod round-trips exactly: try
   // increasing precision until the parse gives the bits back.

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "core/rng.h"
+#include "core/rounding.h"
 #include "testing/json_min.h"
 
 namespace fedms::testing {
@@ -164,6 +165,7 @@ std::string FuzzSchedule::to_json() const {
   os << "  \"participation\": " << json_double(participation) << ",\n";
   os << "  \"run_seed\": \"" << u64_text(run_seed) << "\",\n";
   os << "  \"data_seed\": \"" << u64_text(data_seed) << "\",\n";
+  os << "  \"rounding_mode\": \"" << json_escape(rounding_mode) << "\",\n";
   os << "  \"compute_seconds\": " << json_double(compute_seconds) << ",\n";
   os << "  \"upload_window_seconds\": " << json_double(upload_window_seconds)
      << ",\n";
@@ -215,6 +217,14 @@ FuzzSchedule FuzzSchedule::from_json(const std::string& text) {
   s.participation = root.at("participation").as_number();
   s.run_seed = root.at("run_seed").as_u64();
   s.data_seed = root.at("data_seed").as_u64();
+  // Older repro files predate the numerics axis; they ran under nearest.
+  if (const Json* mode = root.find("rounding_mode")) {
+    s.rounding_mode = mode->as_string();
+    int parsed = 0;
+    if (!core::parse_rounding_mode(s.rounding_mode, &parsed))
+      throw std::runtime_error("unknown rounding_mode \"" + s.rounding_mode +
+                               "\" (nearest|upward|downward|towardzero)");
+  }
   s.compute_seconds = root.at("compute_seconds").as_number();
   s.upload_window_seconds = root.at("upload_window_seconds").as_number();
   s.broadcast_timeout_seconds =
@@ -268,6 +278,19 @@ FuzzSchedule generate_schedule(std::uint64_t seed) {
   core::Rng rng = seeds.make_rng("fuzz-schedule");
   FuzzSchedule s;
   s.seed = seed;
+
+  // Numerics axis on its own stream: consuming a draw from the main
+  // schedule RNG would shift every later draw and silently rewrite the
+  // schedule of every historical corpus seed. Biased toward nearest (the
+  // production mode) with each directed mode at 10%.
+  {
+    core::Rng mode_rng = seeds.make_rng("fuzz-rounding-mode");
+    const double mode_draw = mode_rng.uniform();
+    s.rounding_mode = mode_draw < 0.70   ? "nearest"
+                      : mode_draw < 0.80 ? "upward"
+                      : mode_draw < 0.90 ? "downward"
+                                         : "towardzero";
+  }
 
   const double kind_draw = rng.uniform();
   s.kind = kind_draw < 0.45   ? ScheduleKind::kParity

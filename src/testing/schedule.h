@@ -95,6 +95,14 @@ struct FuzzSchedule {
   std::uint64_t run_seed = 1;
   std::uint64_t data_seed = 42;
 
+  // fenv rounding mode the whole case executes under (the fuzz space's
+  // numerics axis): "nearest" | "upward" | "downward" | "towardzero".
+  // run_schedule() installs it scoped around the run and restores the
+  // ambient mode on exit. Drawn from its own named RNG stream so existing
+  // corpus seeds keep their exact historical schedules; absent from old
+  // repro JSON (defaults to "nearest").
+  std::string rounding_mode = "nearest";
+
   // Runtime windows (the "server timeout" axis of the fuzz space).
   double compute_seconds = 0.05;
   double upload_window_seconds = 0.25;

@@ -132,6 +132,13 @@ def main():
     # Non-numeric value for a numeric flag.
     expect_error(sim, ["--rounds", "banana"], ["--rounds"])
 
+    # Malformed --rounding-mode: the fenv pin must name the four modes.
+    expect_error(sim, ["--rounding-mode", "bogus"],
+                 ["--rounding-mode", 'unknown rounding mode "bogus"',
+                  "nearest | upward | downward | towardzero"])
+    expect_error(node, ["--mode", "launch", "--rounding-mode", "to-nearest"],
+                 ["--rounding-mode", "unknown rounding mode"])
+
     # Malformed --wire-encoding specs: unknown names and top-k fractions
     # outside (0, 1].
     expect_error(sim, ["--wire-encoding", "nope"],

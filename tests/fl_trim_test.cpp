@@ -3,6 +3,7 @@
 // client filter must discard exactly B per side at full quorum — across
 // every double representation of β = B/P the pipeline produces — and
 // min(B, ⌊(P'−1)/2⌋) per side once the candidate set is thinned to P' < P.
+#include <cfenv>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -10,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/rounding.h"
 #include "fl/aggregators.h"
 
 namespace fedms::fl {
@@ -77,6 +79,39 @@ TEST(TrimTarget, OldBetaDerivationUnderTrimmedDegradedQuorums) {
           << "B=" << byzantine << " P=" << servers << " P'=" << received;
     }
   });
+}
+
+// The trim-count snap sits on a ⌊·⌋ boundary: β·P + 1e-4 for a coupled
+// β = B/P lands within ulps of the integer B, so an ambient directed
+// rounding mode could once push it across the floor and change the trim by
+// one. beta_trim_count / client_trim_target now pin FE_TONEAREST around
+// the derivation, so every (B, P) — and every degraded P' — must produce
+// the identical count under all four fenv modes, including the six-digit
+// text round-trip of β the CLI performs.
+TEST(TrimTarget, CountsAreRoundingModeIndependent) {
+  for (std::size_t m = 0; m < core::kRoundingModeCount; ++m) {
+    const int fenv_mode = core::all_rounding_modes()[m];
+    const core::ScopedRoundingMode mode(fenv_mode);
+    for_each_topology([&](std::size_t servers, std::size_t byzantine) {
+      const double beta = double(byzantine) / double(servers);
+      EXPECT_EQ(beta_trim_count(beta, servers), byzantine)
+          << "mode=" << core::rounding_mode_name(fenv_mode)
+          << " B=" << byzantine << " P=" << servers;
+      EXPECT_EQ(client_trim_target(beta, servers, byzantine), byzantine)
+          << "mode=" << core::rounding_mode_name(fenv_mode)
+          << " B=" << byzantine << " P=" << servers;
+      const double parsed = std::stod(std::to_string(beta));
+      EXPECT_EQ(client_trim_target(parsed, servers, byzantine), byzantine)
+          << "mode=" << core::rounding_mode_name(fenv_mode)
+          << " B=" << byzantine << " P=" << servers << " (text round-trip)";
+      for (std::size_t received = 1; received <= servers; ++received)
+        EXPECT_EQ(degraded_trim_count(byzantine, received),
+                  std::min(byzantine, (received - 1) / 2))
+            << "mode=" << core::rounding_mode_name(fenv_mode)
+            << " B=" << byzantine << " P=" << servers
+            << " P'=" << received;
+    });
+  }
 }
 
 // Behavioral check: B all-NaN models among a degraded quorum. NaN sorts as

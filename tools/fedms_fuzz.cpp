@@ -131,6 +131,7 @@ std::string report_failure(const testing::FuzzSchedule& schedule,
   std::string plant_flags;
   if (options.inject_under_trim) plant_flags += " --inject-under-trim";
   if (options.inject_ghost_churn) plant_flags += " --inject-ghost-churn";
+  if (options.inject_mode_drift) plant_flags += " --inject-mode-drift";
   std::printf("  rerun seed:    ./build/tools/fedms_fuzz --seed 0x%llx%s\n",
               static_cast<unsigned long long>(schedule.seed),
               plant_flags.c_str());
@@ -266,9 +267,10 @@ int check_plant(const char* label, const testing::FuzzSchedule& scenario,
 }
 
 // End-to-end pipeline checks against hand-planted bugs: the PR 4
-// degraded-set under-trim regression (envelope oracle) and a ghost-churn
+// degraded-set under-trim regression (envelope oracle), a ghost-churn
 // membership desync (trace oracle, exercising the churn machinery plus
-// the shrinker's invalid-candidate guard).
+// the shrinker's invalid-candidate guard), and a rounding-mode drift
+// (parity oracle, exercising the fuzz space's numerics axis).
 int self_test(const std::string& repro_dir) {
   testing::FuzzOptions under_trim;
   under_trim.inject_under_trim = true;
@@ -278,8 +280,28 @@ int self_test(const std::string& repro_dir) {
 
   testing::FuzzOptions ghost;
   ghost.inject_ghost_churn = true;
-  return check_plant("ghost-churn", testing::churn_ghost_scenario(), ghost,
-                     "trace", repro_dir, /*max_events=*/1);
+  if (check_plant("ghost-churn", testing::churn_ghost_scenario(), ghost,
+                  "trace", repro_dir, /*max_events=*/1) != 0)
+    return 1;
+
+  // The mode-drift plant is only visible under a directed rounding mode:
+  // under "nearest" the forced-nearest recompute is bitwise a no-op (that
+  // is the determinism contract), so the armed plant must still pass —
+  // checked first, then the directed-mode scenario must trip parity.
+  testing::FuzzOptions drift;
+  drift.inject_mode_drift = true;
+  testing::FuzzSchedule nearest = testing::mode_drift_scenario();
+  nearest.rounding_mode = "nearest";
+  const testing::FuzzOutcome noop = testing::run_schedule(nearest, drift);
+  if (!noop.passed()) {
+    std::printf("self-test [mode-drift] FAILED: armed plant under nearest "
+                "should be a bitwise no-op but tripped %s (%s)\n",
+                noop.violation->oracle.c_str(),
+                noop.violation->detail.c_str());
+    return 1;
+  }
+  return check_plant("mode-drift", testing::mode_drift_scenario(), drift,
+                     "parity", repro_dir, /*max_events=*/0);
 }
 
 }  // namespace
@@ -307,9 +329,14 @@ int main(int argc, char** argv) {
                  "execute schedules with their join/leave events ignored "
                  "while the causality oracle still expects them (oracle "
                  "calibration)");
+  flags.add_bool("inject-mode-drift", false,
+                 "recompute every client filter under round-to-nearest "
+                 "regardless of the schedule's rounding mode (oracle "
+                 "calibration)");
   flags.add_bool("self-test", false,
                  "verify the fail->repro->replay->shrink pipeline against "
-                 "the planted under-trim and ghost-churn bugs");
+                 "the planted under-trim, ghost-churn, and mode-drift "
+                 "bugs");
   flags.add_string("repro-dir", ".",
                    "directory for repro files written on failure");
   if (!flags.parse(argc, argv)) return 1;
@@ -323,6 +350,7 @@ int main(int argc, char** argv) {
   testing::FuzzOptions options;
   options.inject_under_trim = flags.get_bool("inject-under-trim");
   options.inject_ghost_churn = flags.get_bool("inject-ghost-churn");
+  options.inject_mode_drift = flags.get_bool("inject-mode-drift");
 
   if (!flags.get_string("seed").empty()) {
     const std::uint64_t seed =

@@ -34,9 +34,12 @@
 #include <string>
 #include <vector>
 
+#include <cfenv>
+
 #include "byz/attack.h"
 #include "core/cli.h"
 #include "core/contracts.h"
+#include "core/rounding.h"
 #include "core/thread_pool.h"
 #include "eventloop/server.h"
 #include "fl/aggregators.h"
@@ -56,6 +59,11 @@ using namespace fedms;
 
 // C99 hexfloat: the child re-parses exactly the launcher's double, so the
 // per-node participation draws replay the verify simulator's bit-for-bit.
+// Hex-float text is exact in both directions — unlike decimal, where
+// snprintf/strtod obey the ambient fenv mode (to_string(0.3) becomes
+// "0.299999" under FE_TOWARDZERO) and a forked node would train with
+// different flag values than the parent's reference simulator.  EVERY
+// double forwarded through child_args must go through this.
 std::string exact_double(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof buffer, "%a", value);
@@ -68,6 +76,7 @@ struct NodeCli {
   std::string mode = "inmem";
   std::string backend = "unix";
   std::string runtime = "blocking";
+  std::string rounding_mode;  // "" = leave the ambient fenv mode alone
   std::size_t filter_threads = 0;
   std::size_t index = 0;
   std::string socket_dir;
@@ -340,12 +349,13 @@ std::vector<std::string> child_args(const NodeCli& cli, const char* role,
       "--index", std::to_string(index),
       "--backend", cli.backend,
       "--runtime", cli.runtime,
+      "--rounding-mode", cli.rounding_mode,
       "--filter-threads", std::to_string(cli.filter_threads),
       "--socket-dir", cli.socket_dir,
       "--report-dir", cli.report_dir,
       "--tcp-port-base", std::to_string(cli.tcp_port_base),
-      "--timeout", std::to_string(cli.timeout_seconds),
-      "--corrupt-rate", std::to_string(cli.corrupt_rate),
+      "--timeout", exact_double(cli.timeout_seconds),
+      "--corrupt-rate", exact_double(cli.corrupt_rate),
       "--corrupt-seed", std::to_string(cli.corrupt_seed),
       "--clients", std::to_string(cli.fed.clients),
       "--servers", std::to_string(cli.fed.servers),
@@ -364,9 +374,9 @@ std::vector<std::string> child_args(const NodeCli& cli, const char* role,
       "--participation", exact_double(cli.fed.participation),
       "--participation-strategy", cli.fed.participation_strategy,
       "--samples", std::to_string(cli.workload.samples),
-      "--alpha", std::to_string(cli.workload.dirichlet_alpha),
+      "--alpha", exact_double(cli.workload.dirichlet_alpha),
       "--model", cli.workload.model,
-      "--lr", std::to_string(cli.workload.learning_rate),
+      "--lr", exact_double(cli.workload.learning_rate),
       "--batch", std::to_string(cli.workload.batch_size),
   };
   if (!cli.trace_dir.empty()) {
@@ -467,6 +477,10 @@ int main(int argc, char** argv) {
   flags.add_string("runtime", "blocking",
                    "PS runtime: blocking (one blocking transport) | "
                    "eventloop (epoll reactor multiplexing all clients)");
+  flags.add_string("rounding-mode", "",
+                   "pin the fenv rounding mode for this process (and every "
+                   "forked node): nearest | upward | downward | towardzero "
+                   "(default: leave the ambient mode)");
   flags.add_int("filter-threads", 0,
                 "shard trimmed-mean/mean aggregation across this many "
                 "threads (0 = serial; output is bit-identical either way)");
@@ -524,6 +538,7 @@ int main(int argc, char** argv) {
   cli.index = std::size_t(flags.get_int("index"));
   cli.backend = flags.get_string("backend");
   cli.runtime = flags.get_string("runtime");
+  cli.rounding_mode = flags.get_string("rounding-mode");
   cli.filter_threads = std::size_t(flags.get_int("filter-threads"));
   cli.socket_dir = flags.get_string("socket-dir");
   cli.report_dir = flags.get_string("report-dir");
@@ -580,6 +595,18 @@ int main(int argc, char** argv) {
       throw std::runtime_error("--backend must be unix or tcp");
     if (cli.runtime != "blocking" && cli.runtime != "eventloop")
       throw std::runtime_error("--runtime must be blocking or eventloop");
+    if (const std::string e =
+            core::check_rounding_mode_spec(cli.rounding_mode);
+        !e.empty())
+      throw std::runtime_error("--rounding-mode: " + e);
+    if (!cli.rounding_mode.empty()) {
+      // Installed before any node thread exists, so every thread (and,
+      // via child_args, every forked node process) inherits the mode.
+      int fenv_mode = FE_TONEAREST;
+      FEDMS_EXPECTS(
+          core::parse_rounding_mode(cli.rounding_mode, &fenv_mode));
+      std::fesetround(fenv_mode);
+    }
     if (cli.runtime == "eventloop" && cli.mode == "inmem")
       throw std::runtime_error(
           "--runtime eventloop needs real sockets (use --mode launch, "

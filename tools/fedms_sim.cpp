@@ -13,8 +13,11 @@
 #include <cstdio>
 #include <iostream>
 
+#include <cfenv>
+
 #include "byz/attack.h"
 #include "core/cli.h"
+#include "core/rounding.h"
 #include "fl/aggregators.h"
 #include "fl/experiment.h"
 #include "fl/upload.h"
@@ -104,6 +107,10 @@ int main(int argc, char** argv) {
   flags.add_int("workers", 0,
                 "worker threads for client training (0 = inline; results "
                 "are identical either way)");
+  flags.add_string("rounding-mode", "",
+                   "pin the fenv rounding mode for the whole run: nearest | "
+                   "upward | downward | towardzero (default: leave the "
+                   "ambient mode)");
   flags.add_string("csv", "", "also write per-round series to this file");
   flags.add_string("json", "",
                    "write the first repeat's full telemetry as JSON");
@@ -160,6 +167,17 @@ int main(int argc, char** argv) {
     return cli_error("--upload: " + e);
   if (const std::string e = byz::check_attack_name(fed.attack); !e.empty())
     return cli_error("--attack: " + e);
+  if (const std::string e =
+          core::check_rounding_mode_spec(flags.get_string("rounding-mode"));
+      !e.empty())
+    return cli_error("--rounding-mode: " + e);
+  if (!flags.get_string("rounding-mode").empty()) {
+    // Installed before the worker pool exists, so every training thread
+    // inherits the mode ([cfenv]: threads capture the creator's fenv).
+    int fenv_mode = FE_TONEAREST;
+    core::parse_rounding_mode(flags.get_string("rounding-mode"), &fenv_mode);
+    std::fesetround(fenv_mode);
+  }
 
   const std::string runtime_kind = flags.get_string("runtime");
   if (runtime_kind != "sync" && runtime_kind != "async") {
