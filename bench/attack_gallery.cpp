@@ -1,20 +1,29 @@
-// Attack gallery: final accuracy of Fed-MS (trmean_0.2) versus undefended
-// FedAvg (mean) under EVERY server-side attack in the zoo, at the paper's
-// ε = 20% — one table summarizing the whole threat surface.
+// Attack gallery: final accuracy of EVERY defense in the zoo under EVERY
+// server-side attack, at the paper's ε = 20% — one (defense x attack)
+// table summarizing the whole threat surface.
 //
-// Expected shape: Fed-MS stays near the attack-free ceiling for every
-// filterable attack; "edgeoftrim" and "alie" (lies hidden inside the benign
-// range) cost a bounded slice rather than collapsing — the behaviour
-// Lemma 2's Pσ²/(P−2B)² error term describes; vanilla collapses under
-// value-replacing attacks and merely degrades under mild ones.
+// The defense axis is fl::default_defense_zoo(P, B): vanilla mean, the
+// paper's trmean:B/P, median, krum/multikrum/bulyan (when admissible),
+// geomedian, the adaptive estimator (no B fed in — it infers the trim
+// from inter-server disagreement), and fedgreed (root-batch loss
+// selection).
+//
+// Expected shape: robust filters stay near the attack-free ceiling for
+// every filterable attack; "edgeoftrim" and "alie" (lies hidden inside
+// the benign range) cost a bounded slice rather than collapsing — the
+// behaviour Lemma 2's Pσ²/(P−2B)² error term describes; vanilla collapses
+// under value-replacing attacks and merely degrades under mild ones; the
+// adaptive column should track trmean (over-estimation costs variance,
+// never the envelope).
 
 #include "byz/attack.h"
 #include "common.h"
+#include "fl/aggregators.h"
 
 int main(int argc, char** argv) {
   using namespace fedms;
   core::CliFlags flags(
-      "attack_gallery: Fed-MS vs undefended FedAvg under every server-side "
+      "attack_gallery: every defense in the zoo vs every server-side "
       "attack in the zoo");
   benchcommon::add_common_flags(flags);
   flags.add_double("eps", 0.2, "fraction of Byzantine PSs");
@@ -27,12 +36,16 @@ int main(int argc, char** argv) {
       flags.get_double("eps") * double(base.servers) + 0.5);
   fl::WorkloadConfig workload = benchcommon::workload_from_flags(flags);
 
+  const std::vector<std::string> defenses =
+      fl::default_defense_zoo(base.servers, base.byzantine);
+
   std::printf("# Attack gallery — %s\n", base.to_string().c_str());
-  metrics::Table table(
-      {"attack", "Fed-MS (trmean:0.2)", "VanillaFL (mean)"});
+  std::vector<std::string> header{"attack"};
+  header.insert(header.end(), defenses.begin(), defenses.end());
+  metrics::Table table(std::move(header));
   for (const auto& attack : byz::list_attack_names()) {
     std::vector<std::string> row{attack};
-    for (const char* filter : {"trmean:0.2", "mean"}) {
+    for (const std::string& filter : defenses) {
       fl::FedMsConfig fed = base;
       fed.attack = attack;
       if (attack == "benign") fed.byzantine = 0;
@@ -48,6 +61,8 @@ int main(int argc, char** argv) {
       "\n# Reading: 'benign' is the ceiling. Value-replacing attacks "
       "(random, zero, signflip,\n# nan, collusion) are trimmed out "
       "entirely; range-hugging attacks (alie, edgeoftrim)\n# survive the "
-      "trim but are bounded; crash merely removes a minority of models.\n");
+      "trim but are bounded; crash merely removes a minority of models.\n# "
+      "The adaptive column infers its trim per round; fedgreed keeps the "
+      "P-2B servers\n# whose models score best on a held-out root batch.\n");
   return 0;
 }

@@ -194,6 +194,35 @@ trap 'rm -rf "$fuzz_repro_dir" "$trace_dir" "$sweep_dir"' EXIT
 diff -r "$sweep_dir/serial" "$sweep_dir/packed"
 echo "sweep smoke OK (8 cells byte-identical across --jobs 1 and $jobs)"
 
+echo "== matrix smoke (micro-matrix vs committed golden surface) =="
+# The (defense x attack) matrix runner: the seeded 2x2x2 micro-matrix must
+# be byte-identical across --jobs and reproduce the committed golden
+# surface within a per-cell accuracy tolerance. (Exact byte equality with
+# the golden is pinned by ctest's tool_fedms_matrix_equality; this stage
+# is the regression alarm with headroom for intentional retuning.)
+"$build/tools/fedms_matrix" --defenses mean,adaptive --attacks signflip,nan \
+  --seeds 2 --jobs 1 --out-dir "$sweep_dir/matrix-serial" > /dev/null
+"$build/tools/fedms_matrix" --defenses mean,adaptive --attacks signflip,nan \
+  --seeds 2 --jobs "$jobs" --out-dir "$sweep_dir/matrix-packed" > /dev/null
+diff -r "$sweep_dir/matrix-serial" "$sweep_dir/matrix-packed"
+python3 - "$sweep_dir/matrix-serial/surface.json" \
+  "$repo/tests/golden/matrix_surface.json" <<'PY'
+import json, sys
+produced = json.load(open(sys.argv[1]))
+golden = json.load(open(sys.argv[2]))
+tol = 0.02
+cells = {(c["defense"], c["attack"], c["seed"]): c["accuracy"]
+         for c in produced["cells"]}
+want = {(c["defense"], c["attack"], c["seed"]): c["accuracy"]
+        for c in golden["cells"]}
+assert cells.keys() == want.keys(), \
+    f"cell sets differ: {sorted(set(cells) ^ set(want))}"
+bad = [(k, cells[k], want[k]) for k in sorted(want)
+       if abs(cells[k] - want[k]) > tol]
+assert not bad, f"cells off golden by more than {tol}: {bad}"
+print(f"matrix smoke OK ({len(want)} cells within {tol} of the golden)")
+PY
+
 echo "== determinism gate (fenv rounding-mode sweep) =="
 # The determinism contract (ARCHITECTURE.md "Determinism contract"): the
 # unit suite and the multi-process --verify smoke must hold under every
@@ -258,15 +287,18 @@ cmake --build "$asan_build" -j "$jobs" \
            transport_frame_test transport_inmem_test transport_socket_test \
            eventloop_test eventloop_churn_test fl_wire_encoding_test \
            tensor_gemm_test tensor_workspace_test \
-           fedms_node fedms_sweep
+           fl_aggregator_properties_test fedms_node fedms_sweep fedms_matrix
 
 echo "== runtime + transport + kernel tests under ASan/UBSan =="
 # Death tests fork; ASan is fine with that but needs the default allocator
-# not to complain about the intentional aborts.
+# not to complain about the intentional aborts. The aggregator property
+# suite covers the whole defense zoo (adaptive estimation, fedgreed
+# selection, sharded pools) with every allocation checked.
 for t in runtime_event_queue_test runtime_fault_test runtime_async_test \
          transport_frame_test transport_inmem_test transport_socket_test \
          eventloop_test eventloop_churn_test fl_wire_encoding_test \
-         tensor_gemm_test tensor_workspace_test; do
+         tensor_gemm_test tensor_workspace_test \
+         fl_aggregator_properties_test; do
   "$asan_build/tests/$t"
 done
 
@@ -286,6 +318,13 @@ echo "== sweep runner under ASan/UBSan =="
 # Churn + handoff + thread-pool cell packing with every allocation checked.
 "$asan_build/tools/fedms_sweep" --scenario "$repo/examples/churn.json" \
   --seeds 2 --jobs "$jobs" --out-dir "$sweep_dir/asan" > /dev/null
+
+echo "== matrix runner under ASan/UBSan =="
+# The adaptive-B estimator and the fedgreed root-batch scorer end to end
+# (per-round estimation, held-out evaluation, cell packing) under ASan.
+"$asan_build/tools/fedms_matrix" --defenses adaptive,fedgreed:5 \
+  --attacks signflip,nan --seeds 1 --jobs "$jobs" \
+  --out-dir "$sweep_dir/matrix-asan" > /dev/null
 
 echo "== configure + build (TSan) =="
 cmake -B "$tsan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cfenv>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 
@@ -553,8 +554,23 @@ ModelVector bulyan(const std::vector<ModelVector>& models,
     // Krum needs pool > f_local + 2; clamp f for the shrinking pool.
     const std::size_t f_local = std::min(f, pool.size() - 3);
     const std::vector<double> scores = krum_scores(pool, f_local);
-    const std::size_t best = static_cast<std::size_t>(
-        std::min_element(scores.begin(), scores.end()) - scores.begin());
+    // Exact score ties are GENERIC here, not an edge case: once the pool
+    // shrinks to f_local + 3 the score is the distance to the single
+    // nearest neighbour, so any mutual-nearest pair ties bit-for-bit. A
+    // positional tie-break would make the selected set depend on input
+    // order; breaking ties by model content keeps bulyan permutation
+    // invariant (canonicalized coordinates so ±0.0/NaN compare stably).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pool.size(); ++i) {
+      if (scores[i] > scores[best]) continue;
+      if (scores[i] < scores[best] ||
+          std::lexicographical_compare(
+              pool[i].begin(), pool[i].end(), pool[best].begin(),
+              pool[best].end(), [](float a, float b) {
+                return sort_key(a) < sort_key(b);
+              }))
+        best = i;
+    }
     selected.push_back(pool[best]);
     pool.erase(pool.begin() + std::ptrdiff_t(best));
   }
@@ -675,6 +691,129 @@ ModelVector BulyanAggregator::aggregate(
   return bulyan(models, byzantine_count_);
 }
 
+namespace {
+
+// Squared L2 distance of every model to the coordinate median, in double;
+// a model with any non-finite coordinate (or an overflowing sum) scores
+// +∞. The shared disagreement metric behind the adaptive estimator and
+// FedGreed's dataset-free proxy score. Caller pins the rounding mode.
+std::vector<double> median_distance_scores(
+    const std::vector<ModelVector>& models) {
+  const ModelVector center = coordinate_median(models);
+  const std::size_t d = center.size();
+  std::vector<double> scores(models.size());
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = double(models[i][j]) - double(center[j]);
+      acc += delta * delta;
+    }
+    scores[i] =
+        std::isfinite(acc) ? acc : std::numeric_limits<double>::infinity();
+  }
+  return scores;
+}
+
+}  // namespace
+
+AdaptiveTrimAggregator::AdaptiveTrimAggregator(std::size_t initial_estimate)
+    : initial_estimate_(initial_estimate) {}
+
+std::size_t AdaptiveTrimAggregator::estimate_trim(
+    const std::vector<ModelVector>& models) const {
+  check_models(models);
+  const std::size_t p = models.size();
+  // The trimmed mean needs a survivor: B̂ can never exceed ⌊(P−1)/2⌋ —
+  // the over-estimation side of the Chen/Zhang/Huang trade-off is capped
+  // by feasibility, not by knowledge of B.
+  const std::size_t cap = (p - 1) / 2;
+  if (cap == 0) return 0;
+
+  // Pinned to nearest for the same reason as beta_trim_count: the outlier
+  // threshold comparison is a robustness-count derivation and must not
+  // move with the ambient fenv.
+  const core::ScopedRoundingMode nearest(FE_TONEAREST);
+  const std::vector<double> scores = median_distance_scores(models);
+  std::vector<double> sorted = scores;
+  const std::size_t mid = (p - 1) / 2;  // lower median, honest-anchored
+  std::nth_element(sorted.begin(), sorted.begin() + std::ptrdiff_t(mid),
+                   sorted.end());
+  const double median_score = sorted[mid];
+  const double threshold =
+      std::isfinite(median_score)
+          ? 4.0 * median_score + 1e-9
+          : std::numeric_limits<double>::infinity();
+  std::size_t outliers = 0;
+  for (const double score : scores)
+    if (!std::isfinite(score) || score > threshold) ++outliers;
+  return std::min(std::max(outliers, initial_estimate_), cap);
+}
+
+ModelVector AdaptiveTrimAggregator::aggregate(
+    const std::vector<ModelVector>& models) const {
+  return trimmed_mean(models, estimate_trim(models));
+}
+
+std::string AdaptiveTrimAggregator::name() const {
+  return "adaptive:" + std::to_string(initial_estimate_);
+}
+
+FedGreedAggregator::FedGreedAggregator(std::size_t select)
+    : select_(select) {
+  FEDMS_EXPECTS(select > 0);
+}
+
+ModelVector FedGreedAggregator::aggregate(
+    const std::vector<ModelVector>& models) const {
+  check_models(models);
+  const std::size_t n = models.size();
+  std::vector<double> scores(n);
+  {
+    // The selected SET must be identical under every fenv mode (it decides
+    // which bits reach the mean), so scoring — including the root-batch
+    // forward pass — runs pinned to nearest.
+    const core::ScopedRoundingMode nearest(FE_TONEAREST);
+    if (root_score_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double score = root_score_(models[i]);
+        scores[i] = std::isfinite(score)
+                        ? score
+                        : std::numeric_limits<double>::infinity();
+      }
+    } else {
+      scores = median_distance_scores(models);
+    }
+  }
+  const std::size_t keep = std::min(select_, n);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  // Ties (identical candidates, equal losses) break by candidate index so
+  // the selection is a pure function of the scores.
+  std::partial_sort(order.begin(), order.begin() + std::ptrdiff_t(keep),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b])
+                        return scores[a] < scores[b];
+                      return a < b;
+                    });
+  std::vector<ModelVector> selected;
+  selected.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i)
+    selected.push_back(models[order[i]]);
+  return mean_aggregate(selected);
+}
+
+std::string FedGreedAggregator::name() const {
+  return "fedgreed:" + std::to_string(select_);
+}
+
+bool install_fedgreed_root_score(Aggregator& filter,
+                                 FedGreedAggregator::RootScoreFn score) {
+  auto* fedgreed = dynamic_cast<FedGreedAggregator*>(&filter);
+  if (fedgreed == nullptr) return false;
+  fedgreed->set_root_score(std::move(score));
+  return true;
+}
+
 ModelVector aggregate_or_mean(const Aggregator& rule,
                               const std::vector<ModelVector>& models) {
   FEDMS_EXPECTS(!models.empty());
@@ -694,6 +833,15 @@ ModelVector apply_client_filter(const Aggregator& rule,
                                 std::size_t* trim_used) {
   FEDMS_EXPECTS(!models.empty());
   if (trim_used != nullptr) *trim_used = kNoTrim;
+  if (const auto* adaptive =
+          dynamic_cast<const AdaptiveTrimAggregator*>(&rule)) {
+    // B is unknown to the adaptive rule by construction: the configured
+    // (servers, byzantine) pair is deliberately ignored and the per-call
+    // estimate over the candidates that actually arrived is the trim.
+    const std::size_t trim = adaptive->estimate_trim(models);
+    if (trim_used != nullptr) *trim_used = trim;
+    return trimmed_mean(models, trim);
+  }
   if (const auto* trmean =
           dynamic_cast<const TrimmedMeanAggregator*>(&rule)) {
     const std::size_t target =
@@ -731,8 +879,11 @@ bool parse_full_count(const std::string& text, std::size_t* out) {
 std::string check_aggregator_spec(const std::string& spec) {
   static const char* kKnown =
       "expected mean | trmean:<beta> | median | krum:<f> | "
-      "multikrum:<f>:<m> | bulyan:<f> | geomedian";
-  if (spec == "mean" || spec == "median" || spec == "geomedian") return "";
+      "multikrum:<f>:<m> | bulyan:<f> | geomedian | adaptive[:<init>] | "
+      "fedgreed:<k>";
+  if (spec == "mean" || spec == "median" || spec == "geomedian" ||
+      spec == "adaptive")
+    return "";
   const auto colon = spec.find(':');
   const std::string head = spec.substr(0, colon);
   const std::string arg =
@@ -762,6 +913,20 @@ std::string check_aggregator_spec(const std::string& spec) {
         !parse_full_count(arg.substr(second + 1), &m) || m == 0)
       return "multikrum needs \"multikrum:<f>:<m>\" with integer f and "
              "m >= 1, got \"" + spec + "\"";
+    return "";
+  }
+  if (head == "adaptive") {
+    std::size_t init = 0;
+    if (!parse_full_count(arg, &init))
+      return "adaptive needs an integer initial estimate, got \"" + spec +
+             "\" (" + kKnown + ")";
+    return "";
+  }
+  if (head == "fedgreed") {
+    std::size_t k = 0;
+    if (!parse_full_count(arg, &k) || k == 0)
+      return "fedgreed needs an integer server count k >= 1, got \"" +
+             spec + "\" (" + kKnown + ")";
     return "";
   }
   return "unknown aggregator \"" + spec + "\" (" + kKnown + ")";
@@ -813,6 +978,7 @@ AggregatorPtr make_aggregator(const std::string& spec) {
   if (spec == "median") return std::make_unique<MedianAggregator>();
   if (spec == "geomedian")
     return std::make_unique<GeometricMedianAggregator>();
+  if (spec == "adaptive") return std::make_unique<AdaptiveTrimAggregator>();
   const auto colon = spec.find(':');
   const std::string head = spec.substr(0, colon);
   const std::string arg =
@@ -836,8 +1002,45 @@ AggregatorPtr make_aggregator(const std::string& spec) {
         std::stoul(arg.substr(0, second_colon)),
         std::stoul(arg.substr(second_colon + 1)));
   }
+  if (head == "adaptive") {
+    FEDMS_EXPECTS(!arg.empty());
+    return std::make_unique<AdaptiveTrimAggregator>(std::stoul(arg));
+  }
+  if (head == "fedgreed") {
+    FEDMS_EXPECTS(!arg.empty());
+    return std::make_unique<FedGreedAggregator>(std::stoul(arg));
+  }
   FEDMS_EXPECTS(!"unknown aggregator spec");
   return nullptr;
+}
+
+std::vector<std::string> default_defense_zoo(std::size_t servers,
+                                             std::size_t byzantine) {
+  FEDMS_EXPECTS(servers >= 1 && 2 * byzantine <= servers);
+  // β = B/P is an FP division whose last bit moves with the ambient
+  // rounding mode; render the spec text under a pinned mode so the zoo is
+  // byte-identical for any caller fenv (mode-proof text, as everywhere).
+  char beta[32];
+  {
+    const core::ScopedRoundingMode nearest(FE_TONEAREST);
+    std::snprintf(beta, sizeof beta, "%.6g",
+                  double(byzantine) / double(servers));
+  }
+  const std::size_t keep =
+      servers > 2 * byzantine ? servers - 2 * byzantine : 1;
+  std::vector<std::string> zoo;
+  zoo.push_back("mean");
+  zoo.push_back(std::string("trmean:") + beta);
+  zoo.push_back("median");
+  zoo.push_back("krum:" + std::to_string(byzantine));
+  zoo.push_back("multikrum:" + std::to_string(byzantine) + ":" +
+                std::to_string(keep));
+  if (servers >= 4 * byzantine + 3)
+    zoo.push_back("bulyan:" + std::to_string(byzantine));
+  zoo.push_back("geomedian");
+  zoo.push_back("adaptive");
+  zoo.push_back("fedgreed:" + std::to_string(keep));
+  return zoo;
 }
 
 }  // namespace fedms::fl

@@ -9,6 +9,7 @@
 // the client-side filter and compare them under *server-side* attacks.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -241,9 +242,93 @@ class BulyanAggregator final : public Aggregator {
   std::size_t byzantine_count_;
 };
 
+// Trimmed mean for the unknown-B setting. Chen/Zhang/Huang's trade-off —
+// over-estimating the Byzantine count costs bounded variance while
+// under-estimating forfeits the robustness guarantee entirely — so the
+// per-call estimate B̂ is biased up and floored at `initial_estimate`:
+//
+//   1. center  = coordinate median of the candidates (selection only, no
+//      FP arithmetic, so it is rounding-mode independent);
+//   2. score_i = Σ_j (model_i[j] − center[j])² in double; a model with any
+//      non-finite coordinate (or an overflowing sum) scores +∞;
+//   3. a candidate is an outlier when score_i > 4·median(score) + 1e-9
+//      (strictly greater: P identical candidates flag nobody) or is
+//      non-finite — the honest majority (2B < P) anchors both the center
+//      and the median score;
+//   4. B̂ = min(max(#outliers, initial_estimate), ⌊(P−1)/2⌋) — never more
+//      than the trimmed mean can survive, never below the floor.
+//
+// The estimation arithmetic runs pinned to FE_TONEAREST (a robustness
+// count must not depend on the caller's fenv — the same contract as
+// beta_trim_count); the final trimmed_mean then executes under the
+// ambient mode and shards across the aggregation pool bit-identically
+// like every trimmed mean.
+class AdaptiveTrimAggregator final : public Aggregator {
+ public:
+  explicit AdaptiveTrimAggregator(std::size_t initial_estimate = 1);
+  ModelVector aggregate(const std::vector<ModelVector>& models) const override;
+  std::string name() const override;
+  std::size_t initial_estimate() const { return initial_estimate_; }
+
+  // The per-call B̂ — the per-side trim aggregate() will apply. Exposed so
+  // apply_client_filter can report it to the Theorem-1 envelope oracle and
+  // tests can pin the over/under-estimation invariants directly.
+  std::size_t estimate_trim(const std::vector<ModelVector>& models) const;
+
+ private:
+  std::size_t initial_estimate_;
+};
+
+// FedGreed-style selection (Kritharakis et al.): score every candidate by
+// its loss on a held-out root batch and average the `select` lowest-loss
+// models. The root scorer is installed by the experiment layer
+// (install_fedgreed_root_score — a real root-batch evaluation drawn from
+// FedMsConfig::fedgreed_root_samples held-out test examples); without one
+// the self-contained proxy score is the squared L2 distance to the
+// coordinate median, so the rule stays well-defined for convex/fuzz
+// harnesses that have no dataset. Scoring runs pinned to FE_TONEAREST so
+// the selected SET is rounding-mode independent (ties break by candidate
+// index); the final mean executes under the ambient mode and shards like
+// every mean. The scorer is stateful and NOT thread-safe — every runtime
+// applies the client filter serially (or per-process).
+class FedGreedAggregator final : public Aggregator {
+ public:
+  using RootScoreFn = std::function<double(const ModelVector&)>;
+
+  explicit FedGreedAggregator(std::size_t select);
+  ModelVector aggregate(const std::vector<ModelVector>& models) const override;
+  std::string name() const override;
+  std::size_t select() const { return select_; }
+
+  void set_root_score(RootScoreFn score) { root_score_ = std::move(score); }
+  bool has_root_score() const { return bool(root_score_); }
+
+ private:
+  std::size_t select_;
+  RootScoreFn root_score_;
+};
+
+// Installs `score` when `filter` is a FedGreedAggregator; returns false
+// (no-op) for every other rule. The experiment layers (sim, node runner,
+// scenario engine) call this with the root-batch evaluator so all
+// execution paths derive the identical selection — the --verify contract.
+bool install_fedgreed_root_score(Aggregator& filter,
+                                 FedGreedAggregator::RootScoreFn score);
+
 // Factory for CLI use: "mean", "trmean:<beta>", "median", "krum:<f>",
-// "multikrum:<f>:<m>", "bulyan:<f>", "geomedian".
+// "multikrum:<f>:<m>", "bulyan:<f>", "geomedian", "adaptive[:<init>]",
+// "fedgreed:<k>".
 AggregatorPtr make_aggregator(const std::string& spec);
+
+// The defense zoo for a (P, B) topology: every rule family the factory
+// knows, parameterized from the topology — mean, trmean:B/P, median,
+// krum:B, multikrum:B:(P−2B), bulyan:B (only when P ≥ 4B + 3, its
+// precondition), geomedian, adaptive, fedgreed:(P−2B).
+// bench/attack_gallery and tools/fedms_matrix iterate this list; the
+// trmean β text is rendered under a pinned rounding mode so the specs are
+// byte-identical for any caller fenv.
+std::vector<std::string> default_defense_zoo(std::size_t servers,
+                                             std::size_t byzantine);
 
 // Applies `rule` when its preconditions hold for models.size() (e.g. the
 // trimmed mean needs at least one survivor, Krum needs n > f + 2); falls
@@ -257,10 +342,12 @@ ModelVector aggregate_or_mean(const Aggregator& rule,
 // degraded_trim_count(client_trim_target(β, P, B), P') per side — the
 // count the robustness analysis needs, derived from the integer B when the
 // configured β is coupled to it, and never under-trimming below B while
-// the candidate set still out-votes the Byzantine minority. Any other rule
-// falls through to aggregate_or_mean. All three execution paths (sync sim,
-// event-driven runtime, transport nodes) call this one helper, so the
-// filter stays bit-for-bit identical across them.
+// the candidate set still out-votes the Byzantine minority. The adaptive
+// trimmed mean instead trims its own per-call estimate B̂ (B is unknown to
+// it by construction — the configured B is deliberately ignored). Any
+// other rule falls through to aggregate_or_mean. All three execution
+// paths (sync sim, event-driven runtime, transport nodes) call this one
+// helper, so the filter stays bit-for-bit identical across them.
 ModelVector apply_client_filter(const Aggregator& rule,
                                 const std::vector<ModelVector>& models,
                                 std::size_t servers, std::size_t byzantine);
@@ -270,10 +357,11 @@ ModelVector apply_client_filter(const Aggregator& rule,
 inline constexpr std::size_t kNoTrim = static_cast<std::size_t>(-1);
 
 // As above, additionally reporting through *trim_used the per-side trim
-// actually applied (kNoTrim for non-trimmed-mean rules). The fuzz
-// harness's Theorem-1 envelope oracle keys on this value: whenever
-// trim_used >= #Byzantine candidates in the input, the output must lie in
-// the coordinate-wise honest envelope.
+// actually applied (the fixed derivation for trmean, the per-call B̂ for
+// adaptive, kNoTrim for every non-trimming rule). The fuzz harness's
+// Theorem-1 envelope oracle keys on this value: whenever trim_used >=
+// #Byzantine candidates in the input, the output must lie in the
+// coordinate-wise honest envelope.
 ModelVector apply_client_filter(const Aggregator& rule,
                                 const std::vector<ModelVector>& models,
                                 std::size_t servers, std::size_t byzantine,

@@ -24,6 +24,9 @@ std::string FedMsConfig::check() const {
     return os.str();
   }
   if (local_iterations == 0) return "--local-iterations must be >= 1";
+  if (fedgreed_root_samples == 0)
+    return "--fedgreed-root must be >= 1 (the fedgreed filter scores "
+           "candidates on a non-empty root batch)";
   if (rounds == 0) return "--rounds must be >= 1";
   if (eval_every == 0) return "--eval-every must be >= 1";
   if (!(network_loss_rate >= 0.0 && network_loss_rate < 1.0))
@@ -78,6 +81,8 @@ std::string FedMsConfig::to_string() const {
        << ") ps_agg=" << server_aggregator;
   if (participation < 1.0) os << " participation=" << participation;
   if (wire_encoding != "f32") os << " wire=" << wire_encoding;
+  if (client_filter.rfind("fedgreed:", 0) == 0)
+    os << " fedgreed_root=" << fedgreed_root_samples;
   return os.str();
 }
 

@@ -19,6 +19,11 @@ struct FedMsConfig {
   // Client-side defense Def(): an aggregator spec. The paper's Fed-MS is
   // trmean:<β> with β = B/P; Vanilla FL (no defense) is "mean".
   std::string client_filter = "trmean:0.2";
+  // Root-batch size for the fedgreed:<k> filter: every client scores the
+  // P disseminated models by their loss on this many held-out test
+  // examples (drawn once per run on the "fedgreed-root" stream) and
+  // averages the k lowest-loss ones. Ignored by every other filter.
+  std::size_t fedgreed_root_samples = 64;
   // PS-side aggregation of the uploaded local models. The paper uses the
   // plain mean; a robust rule here defends against Byzantine *clients*
   // (the extension experiments).

@@ -1,6 +1,9 @@
 #include "fl/experiment.h"
 
+#include <algorithm>
+
 #include "core/contracts.h"
+#include "fl/aggregators.h"
 #include "data/synthetic.h"
 #include "nn/model_zoo.h"
 #include "nn/params.h"
@@ -141,6 +144,41 @@ std::vector<float> initial_model(const WorkloadConfig& workload,
   return nn::flatten_state(*model);
 }
 
+bool install_fedgreed_scorer(Aggregator& filter, const Workload& data,
+                             const WorkloadConfig& workload,
+                             const FedMsConfig& fed) {
+  if (dynamic_cast<FedGreedAggregator*>(&filter) == nullptr) return false;
+  FEDMS_EXPECTS(data.test.size() > 0);
+  const core::SeedSequence seeds(fed.seed);
+
+  // A fixed uniform draw from the held-out test split: every process that
+  // builds this filter (simulator, each client node, scenario cell)
+  // derives the identical batch from (seed, test size) alone.
+  core::Rng rng = seeds.make_rng("fedgreed-root");
+  std::vector<std::size_t> root(data.test.size());
+  for (std::size_t i = 0; i < root.size(); ++i) root[i] = i;
+  rng.shuffle(root);
+  root.resize(std::min(fed.fedgreed_root_samples, data.test.size()));
+  std::sort(root.begin(), root.end());
+
+  NnLearnerOptions options;
+  options.batch_size = workload.batch_size;
+  options.eval_sample_cap = 0;  // score on the whole root batch
+  // The scorer never trains: the {0} sample pool and its RNG stream are
+  // ctor requirements only. Candidate state is fully overwritten per call
+  // (trainable parameters AND batch-norm stats), so scores are a pure
+  // function of the candidate bits.
+  auto scorer = std::make_shared<NnLearner>(
+      data.train, std::vector<std::size_t>{0}, data.test,
+      build_model(workload, seeds.derive("model-init")), options,
+      seeds.make_rng("fedgreed-scorer"), std::move(root));
+  return install_fedgreed_root_score(
+      filter, [scorer](const std::vector<float>& candidate) {
+        scorer->set_parameters(candidate);
+        return scorer->evaluate().loss;
+      });
+}
+
 Experiment make_experiment(const WorkloadConfig& workload,
                            const FedMsConfig& fed) {
   Experiment experiment;
@@ -148,6 +186,8 @@ Experiment make_experiment(const WorkloadConfig& workload,
   auto learners = make_nn_learners(*experiment.data, workload, fed);
   experiment.run =
       std::make_unique<FedMsRun>(fed, std::move(learners));
+  install_fedgreed_scorer(experiment.run->client_filter(), *experiment.data,
+                          workload, fed);
   return experiment;
 }
 

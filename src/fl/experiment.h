@@ -82,6 +82,21 @@ LearnerPtr make_nn_learner(const Workload& data,
 std::vector<float> initial_model(const WorkloadConfig& workload,
                                  const FedMsConfig& fed);
 
+// The fedgreed:<k> root-batch scorer: loss of a candidate model on a
+// fixed root batch of min(fed.fedgreed_root_samples, test-set size)
+// held-out test examples drawn once on the "fedgreed-root" stream.
+// Installs it on `filter` and returns true when the filter is a
+// FedGreedAggregator; no-op (false) for every other rule. Every execution
+// path with a dataset (sync sim, transport client nodes, scenario engine)
+// calls this right after building its client filter, so the loss-based
+// selection derives bit-identically everywhere — the --verify contract.
+// The closure owns its scorer model but references `data`, which must
+// outlive the filter; it is stateful, matching the serial filter calls of
+// every runtime.
+bool install_fedgreed_scorer(Aggregator& filter, const Workload& data,
+                             const WorkloadConfig& workload,
+                             const FedMsConfig& fed);
+
 // One-call experiment: workload + learners + FedMsRun::run().
 RunResult run_experiment(const WorkloadConfig& workload,
                          const FedMsConfig& fed);

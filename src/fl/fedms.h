@@ -86,6 +86,10 @@ class FedMsRun {
   net::SimNetwork& network() { return network_; }
   // Mutable before run(): configure heterogeneous per-node links etc.
   net::LatencyModel& latency_model() { return latency_; }
+  // The client-side Def() built from config.client_filter. Mutable before
+  // run() so the experiment layer can install the fedgreed root scorer
+  // (fl::install_fedgreed_scorer).
+  Aggregator& client_filter() { return *filter_; }
 
  private:
   void execute_round(std::uint64_t round, RunResult& result);

@@ -517,6 +517,7 @@ AsyncRunResult run_async_experiment(const fl::WorkloadConfig& workload,
   const fl::Workload data = fl::make_workload(workload, fed);
   auto learners = fl::make_nn_learners(data, workload, fed);
   AsyncFedMsRun run(fed, options, std::move(learners));
+  fl::install_fedgreed_scorer(run.client_filter(), data, workload, fed);
   return run.run();
 }
 

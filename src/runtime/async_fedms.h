@@ -121,7 +121,8 @@ struct FilterEvent {
   // Candidate origin PS indices, ascending, parallel to `candidates`.
   const std::vector<std::size_t>& servers;
   const std::vector<fl::ModelVector>& candidates;
-  // Per-side trim actually applied (fl::kNoTrim for non-trmean rules).
+  // Per-side trim actually applied (fl::kNoTrim for non-trimming rules;
+  // the adaptive filter reports its per-call estimate B̂ here).
   std::size_t trim = 0;
   // The model about to be installed; hooks may rewrite it in place.
   fl::ModelVector& filtered;
@@ -164,6 +165,10 @@ class AsyncFedMsRun {
   // switches) through here, from a round-start hook only.
   std::vector<fl::ParameterServer>& mutable_servers() { return servers_; }
   const RuntimeOptions& options() const { return options_; }
+  // The client-side Def() built from config.client_filter. Mutable before
+  // run() so scenario drivers can install the fedgreed root scorer
+  // (fl::install_fedgreed_scorer).
+  fl::Aggregator& client_filter() { return *filter_; }
 
  private:
   struct ClientState {

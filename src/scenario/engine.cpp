@@ -45,6 +45,8 @@ ScenarioOutcome run_scenario(const Scenario& scenario, std::uint64_t seed,
     nn.push_back(dynamic_cast<fl::NnLearner*>(learner.get()));
 
   runtime::AsyncFedMsRun run(fed, options, std::move(learners));
+  fl::install_fedgreed_scorer(run.client_filter(), data, scenario.workload,
+                              fed);
   const core::SeedSequence seeds(seed);
   run.set_round_start_hook([&](std::uint64_t round) {
     for (const ScenarioEvent& event : scenario.events) {

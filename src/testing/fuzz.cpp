@@ -94,6 +94,8 @@ struct FilterObserver {
   bool attack_nonfinite = false;
   bool inject = false;
   bool inject_drift = false;
+  bool inject_adaptive = false;
+  bool adaptive_filter = false;  // the schedule's filter is adaptive[:...]
   std::size_t servers = 0;
   double beta = -1.0;  // < 0: filter is not trmean, never inject
 
@@ -106,6 +108,8 @@ struct FilterObserver {
         attack_nonfinite(byz::attack_traits(schedule.attack).nonfinite),
         inject(options.inject_under_trim),
         inject_drift(options.inject_mode_drift),
+        inject_adaptive(options.inject_adaptive_undertrim),
+        adaptive_filter(schedule.client_filter.rfind("adaptive", 0) == 0),
         servers(schedule.servers) {
     if (const auto b = fl::trmean_beta(schedule.client_filter)) beta = *b;
   }
@@ -120,6 +124,15 @@ struct FilterObserver {
             fl::beta_trim_count(beta, event.candidates.size());
         if (bad < event.trim && event.candidates.size() > 2 * bad)
           event.filtered = fl::trimmed_mean(event.candidates, bad);
+      }
+      if (inject_adaptive && adaptive_filter &&
+          event.trim != fl::kNoTrim && event.trim > 0 &&
+          event.candidates.size() > 2 * (event.trim - 1)) {
+        // The estimator-under-shoot plant: the filtered model is rebuilt
+        // with one trim fewer than the (honest, reported) estimate B̂.
+        // Whenever B̂ exactly covered the Byzantine candidates, the
+        // envelope oracle now sees an attacked value inside the mean.
+        event.filtered = fl::trimmed_mean(event.candidates, event.trim - 1);
       }
       if (inject_drift && event.trim != fl::kNoTrim) {
         // The mode-drift plant: recompute the filter with the rounding
@@ -415,7 +428,9 @@ std::string repro_json(const FuzzSchedule& schedule,
         << ", \"inject_ghost_churn\": "
         << (options.inject_ghost_churn ? "true" : "false")
         << ", \"inject_mode_drift\": "
-        << (options.inject_mode_drift ? "true" : "false") << "}\n";
+        << (options.inject_mode_drift ? "true" : "false")
+        << ", \"inject_adaptive_undertrim\": "
+        << (options.inject_adaptive_undertrim ? "true" : "false") << "}\n";
   return text.substr(0, brace) + extra.str() + "}\n";
 }
 
@@ -434,6 +449,8 @@ Repro load_repro(const std::string& text) {
       repro.options.inject_ghost_churn = ghost->as_bool();
     if (const Json* drift = r->find("inject_mode_drift"))
       repro.options.inject_mode_drift = drift->as_bool();
+    if (const Json* undertrim = r->find("inject_adaptive_undertrim"))
+      repro.options.inject_adaptive_undertrim = undertrim->as_bool();
   }
   return repro;
 }
@@ -488,6 +505,38 @@ FuzzSchedule under_trim_scenario() {
   drop.from = 4;  // an honest PS (placement "first" makes PS 0 Byzantine)
   drop.to_server = false;
   drop.to = 0;
+  drop.kind = "broadcast";
+  drop.occurrence = 0;
+  s.events.push_back(drop);
+  return s;
+}
+
+FuzzSchedule adaptive_under_trim_scenario() {
+  FuzzSchedule s;
+  s.seed = 0;
+  s.kind = ScheduleKind::kFault;
+  s.clients = 2;
+  s.servers = 5;
+  s.byzantine = 1;
+  s.rounds = 1;
+  s.local_iterations = 1;
+  s.upload = "full";
+  s.client_filter = "adaptive";
+  s.attack = "signflip";
+  s.byzantine_placement = "first";
+  s.run_seed = 0x5eed0007;
+  s.data_seed = 0x5eed0008;
+  // Decoy the shrinker must strip: the estimator sees all five candidates
+  // either way (client 1 merely loses one honest broadcast), so the
+  // violation survives the drop's removal and the minimal schedule is
+  // event-free — the plant lives in the estimator, not the fault plan.
+  ScheduleEvent drop;
+  drop.action = EventAction::kDrop;
+  drop.round = 0;
+  drop.from_server = true;
+  drop.from = 4;  // an honest PS (placement "first" makes PS 0 Byzantine)
+  drop.to_server = false;
+  drop.to = 1;
   drop.kind = "broadcast";
   drop.occurrence = 0;
   s.events.push_back(drop);

@@ -48,6 +48,13 @@ struct FuzzOptions {
   // the recompute is bitwise a no-op (that IS the determinism contract)
   // and the run must stay clean.
   bool inject_mode_drift = false;
+  // Self-test estimator plant: whenever the adaptive filter trims, the
+  // filtered model is recomputed with the trim clamped one below the
+  // estimate B̂ while the reported trim stays honest — the Chen/Zhang/
+  // Huang under-estimation failure mode. The envelope oracle scores the
+  // (honest) trim as covering the Byzantine candidates, the under-trimmed
+  // mean lets the attacked candidate through, and "envelope" must fire.
+  bool inject_adaptive_undertrim = false;
 };
 
 struct FuzzOutcome {
@@ -97,6 +104,15 @@ FuzzSchedule shrink_schedule(const FuzzSchedule& schedule,
 // min(B, ⌊(P'−1)/2⌋) = 1, the planted ⌊β·P'⌋ = 0 lets the sign-flipped
 // candidate into the mean, and the envelope oracle fires.
 FuzzSchedule under_trim_scenario();
+
+// Hand-built regression scenario for the adaptive-undertrim plant: P = 5,
+// B = 1, adaptive filter, signflip, full uploads, plus one decoy
+// broadcast drop. The estimator flags the sign-flipped candidate (B̂ = 1
+// covers the single Byzantine PS), the plant recomputes the filtered
+// model with trim B̂ − 1 = 0, the attacked candidate enters the mean, and
+// the envelope oracle fires; shrinking strips the decoy to zero events
+// (the bug lives in the estimator, not the fault schedule).
+FuzzSchedule adaptive_under_trim_scenario();
 
 // Hand-built regression scenario for the ghost-churn plant: 3 clients,
 // client 1 leaves at round 1 of 3, plus decoy events — a message drop and

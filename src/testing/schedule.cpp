@@ -332,6 +332,30 @@ FuzzSchedule generate_schedule(std::uint64_t seed) {
     s.client_filter = "mean";
   }
 
+  // Defense-zoo axis on its own stream (same rationale as the numerics
+  // axis: a draw from the main RNG would shift every later draw and
+  // rewrite the schedule of every historical corpus seed). A fraction of
+  // parity/fault cases swap the trmean/mean filter for another zoo
+  // member; the transport kind keeps the paper's filters — its oracle
+  // asserts exact cross-engine equality on a real NN workload, so the
+  // cheap filters keep that lane fast while parity/fault cover the zoo.
+  {
+    core::Rng defense_rng = seeds.make_rng("fuzz-defense");
+    if (s.kind != ScheduleKind::kTransport && defense_rng.uniform() < 0.35) {
+      const std::size_t keep =
+          s.servers > 2 * s.byzantine ? s.servers - 2 * s.byzantine : 1;
+      std::vector<std::string> zoo = {
+          "median", "geomedian", "adaptive",
+          "krum:" + std::to_string(s.byzantine),
+          "multikrum:" + std::to_string(s.byzantine) + ":" +
+              std::to_string(keep),
+          "fedgreed:" + std::to_string(keep)};
+      if (s.servers >= 4 * s.byzantine + 3)
+        zoo.push_back("bulyan:" + std::to_string(s.byzantine));
+      s.client_filter = zoo[defense_rng.uniform_index(zoo.size())];
+    }
+  }
+
   if (s.byzantine == 0) {
     s.attack = "benign";
   } else if (s.kind == ScheduleKind::kTransport) {

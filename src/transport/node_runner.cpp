@@ -181,6 +181,9 @@ NodeReport run_client_node(Transport& transport, const fl::Workload& data,
   const core::SeedSequence seeds(fed.seed);
   fl::LearnerPtr learner = fl::make_nn_learner(data, workload, fed, k);
   const fl::AggregatorPtr filter = fl::make_aggregator(fed.client_filter);
+  // Same root batch, scorer model, and eval path as the simulator, so the
+  // fedgreed selection — and hence --verify — is bit-identical per client.
+  fl::install_fedgreed_scorer(*filter, data, workload, fed);
   const fl::UploadStrategyPtr upload = fl::make_upload_strategy(fed.upload);
   core::Rng ps_choice = seeds.make_rng("ps-choice", k);
   core::Rng participation_rng = seeds.make_rng("participation");

@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
-"""Negative-path CLI contract test for fedms_sim, fedms_node, fedms_sweep.
+"""Negative-path CLI contract test for the fedms tools.
 
 Every malformed invocation must exit with code 1 (a clean error path, not
 a signal/abort) and print a one-line actionable message on stderr that
 names the offending flag or constraint.  Run by ctest as:
 
-    cli_negative_test.py <fedms_sim> <fedms_node> [fedms_sweep]
+    cli_negative_test.py <fedms_sim> <fedms_node> [fedms_sweep [fedms_matrix]]
 """
 import os
 import subprocess
@@ -92,14 +92,34 @@ def check_sweep(sweep):
         os.unlink(path)
 
 
+def check_matrix(matrix):
+    # Flag misuse: unknown flags, out-of-range grid parameters.
+    expect_error(matrix, ["--no-such-flag"],
+                 ["unknown flag", "--no-such-flag"])
+    expect_error(matrix, ["--seeds", "0"], ["--seeds must be >= 1"])
+    expect_error(matrix, ["--jobs", "0"], ["--jobs must be >= 1"])
+    expect_error(matrix, ["--scenario", "/no/such/matrix.json"],
+                 ["/no/such/matrix.json"])
+
+    # Malformed axes: every spec/name is validated before any cell runs.
+    expect_error(matrix, ["--defenses", "quantum"],
+                 ['defense "quantum"', "unknown aggregator"])
+    expect_error(matrix, ["--defenses", "mean,fedgreed:0"],
+                 ['defense "fedgreed:0"', "fedgreed needs an integer"])
+    expect_error(matrix, ["--attacks", "no-such-attack"],
+                 ['attack "no-such-attack"'])
+
+
 def main():
-    if len(sys.argv) not in (3, 4):
+    if len(sys.argv) not in (3, 4, 5):
         print("usage: cli_negative_test.py <fedms_sim> <fedms_node> "
-              "[fedms_sweep]")
+              "[fedms_sweep [fedms_matrix]]")
         return 2
     sim, node = sys.argv[1], sys.argv[2]
-    if len(sys.argv) == 4:
+    if len(sys.argv) >= 4:
         check_sweep(sys.argv[3])
+    if len(sys.argv) >= 5:
+        check_matrix(sys.argv[4])
 
     # Unknown flag: the flag parser itself must reject it.
     expect_error(sim, ["--no-such-flag"], ["unknown flag", "--no-such-flag"])
@@ -120,6 +140,19 @@ def main():
 
     # Unknown aggregator / attack / upload names.
     expect_error(sim, ["--client-filter", "quantum"], ["--client-filter"])
+    # The adaptive/fedgreed spec grammar: malformed parameters must name
+    # the expected shape, not abort inside make_aggregator.
+    expect_error(sim, ["--client-filter", "adaptive:bad"],
+                 ["--client-filter",
+                  "adaptive needs an integer initial estimate"])
+    expect_error(sim, ["--client-filter", "fedgreed:0"],
+                 ["--client-filter",
+                  "fedgreed needs an integer server count k >= 1"])
+    expect_error(sim, ["--client-filter", "fedgreed:"],
+                 ["--client-filter", "fedgreed needs an integer"])
+    expect_error(node, ["--mode", "launch", "--client-filter",
+                        "adaptive:bad"],
+                 ["adaptive needs an integer initial estimate"])
     expect_error(sim, ["--attack", "no-such-attack"], ["attack"])
     expect_error(sim, ["--upload", "no-such-upload"], ["upload"])
 

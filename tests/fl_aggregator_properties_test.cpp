@@ -1,0 +1,304 @@
+// Property tests over the WHOLE defense zoo — every spec make_aggregator
+// accepts. Four families of invariants:
+//
+//   * permutation invariance: aggregate(models) is (approximately, and for
+//     pure-selection rules bitwise) independent of input order;
+//   * selection rules stay inside their input: krum and multikrum:<f>:1
+//     return an input model bit-for-bit, wider selections stay within the
+//     per-coordinate input envelope;
+//   * robustness envelope: with ≤ B poisoned candidates, median / trmean /
+//     adaptive land inside the per-coordinate BENIGN envelope — including
+//     under all-NaN poisoning (NaN sorts as +∞ into the trimmed tail),
+//     where vanilla mean provably does not;
+//   * determinism: the adaptive estimate B̂ never under-trims below the
+//     scripted B, never exceeds ⌊(P−1)/2⌋, and is identical under all four
+//     fenv rounding modes; every spec's aggregate() is bitwise identical
+//     serial vs sharded across an aggregation pool of {2, 4} workers under
+//     all four modes (the eventloop --filter-threads contract).
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/rounding.h"
+#include "core/thread_pool.h"
+#include "fl/aggregators.h"
+
+namespace fedms::fl {
+namespace {
+
+// Every spec shape the factory accepts, parameterized for a P = 9, f = 1
+// topology (bulyan's P >= 4f + 3 precondition holds).
+const char* const kZooSpecs[] = {
+    "mean",           "trmean:0.2", "median",     "geomedian",
+    "krum:1",         "multikrum:1:1", "multikrum:1:3", "bulyan:1",
+    "adaptive",       "adaptive:2",    "fedgreed:1",    "fedgreed:3",
+};
+
+// Rules whose output is a single selected input vector (bitwise member of
+// the input set) — and therefore exactly permutation invariant.
+bool selects_single_input(const std::string& spec) {
+  return spec == "krum:1" || spec == "multikrum:1:1" || spec == "fedgreed:1";
+}
+
+std::vector<ModelVector> random_models(std::size_t count, std::size_t dim,
+                                       std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<ModelVector> models(count);
+  for (auto& model : models) {
+    model.resize(dim);
+    for (float& v : model) v = float(rng.normal(0.0, 3.0));
+  }
+  return models;
+}
+
+void expect_bitwise_equal(const ModelVector& a, const ModelVector& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    // Bit-level comparison: NaN == NaN must hold, -0.0 != +0.0 must fail.
+    std::uint32_t bits_a, bits_b;
+    static_assert(sizeof(float) == sizeof(std::uint32_t));
+    std::memcpy(&bits_a, &a[j], sizeof bits_a);
+    std::memcpy(&bits_b, &b[j], sizeof bits_b);
+    ASSERT_EQ(bits_a, bits_b) << label << " coordinate " << j;
+  }
+}
+
+void expect_close(const ModelVector& a, const ModelVector& b,
+                  const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double tol = 1e-4 * std::max(1.0, std::fabs(double(a[j])));
+    ASSERT_NEAR(a[j], b[j], tol) << label << " coordinate " << j;
+  }
+}
+
+bool bitwise_member_of(const ModelVector& model,
+                       const std::vector<ModelVector>& set) {
+  for (const ModelVector& candidate : set)
+    if (std::memcmp(model.data(), candidate.data(),
+                    model.size() * sizeof(float)) == 0)
+      return true;
+  return false;
+}
+
+// Overt poisoning: scale + sign-flip pushes every coordinate far outside
+// the benign range, the attack the robustness envelope is stated against.
+void poison_overt(ModelVector& model) {
+  for (float& v : model) v = -100.0f * v - 50.0f;
+}
+
+void poison_nan(ModelVector& model) {
+  for (float& v : model) v = std::numeric_limits<float>::quiet_NaN();
+}
+
+const int kModes[] = {FE_TONEAREST, FE_UPWARD, FE_DOWNWARD, FE_TOWARDZERO};
+
+TEST(AggregatorProperties, PermutationInvarianceForEverySpec) {
+  for (const char* spec : kZooSpecs) {
+    const AggregatorPtr rule = make_aggregator(spec);
+    auto models = random_models(9, 65, 0xfeed0001);
+    const ModelVector forward = rule->aggregate(models);
+
+    // A full reversal plus a rotation: two structurally different orders.
+    std::vector<ModelVector> reversed(models.rbegin(), models.rend());
+    std::vector<ModelVector> rotated(models.begin() + 4, models.end());
+    rotated.insert(rotated.end(), models.begin(), models.begin() + 4);
+
+    for (const auto& permuted : {reversed, rotated}) {
+      const ModelVector out = rule->aggregate(permuted);
+      if (selects_single_input(spec) || std::string(spec) == "median") {
+        // Pure selection (no order-dependent FP accumulation): bitwise.
+        expect_bitwise_equal(forward, out, spec);
+      } else {
+        // Summation order changes ulps; the property is semantic.
+        expect_close(forward, out, spec);
+      }
+    }
+  }
+}
+
+TEST(AggregatorProperties, KrumFamilySelectsInputModels) {
+  auto models = random_models(9, 48, 0xfeed0002);
+  for (const char* spec : {"krum:1", "multikrum:1:1", "fedgreed:1"}) {
+    const AggregatorPtr rule = make_aggregator(spec);
+    const ModelVector out = rule->aggregate(models);
+    EXPECT_TRUE(bitwise_member_of(out, models))
+        << spec << " output is not an input model";
+  }
+}
+
+TEST(AggregatorProperties, WideSelectionsStayInInputEnvelope) {
+  auto models = random_models(9, 48, 0xfeed0003);
+  for (const char* spec : {"multikrum:1:3", "bulyan:1", "fedgreed:3"}) {
+    const AggregatorPtr rule = make_aggregator(spec);
+    const ModelVector out = rule->aggregate(models);
+    std::size_t bad = 0;
+    EXPECT_TRUE(within_coordinate_envelope(out, models, 1e-6, &bad))
+        << spec << " escapes the input envelope at coordinate " << bad;
+  }
+}
+
+// With ≤ B overtly poisoned candidates, the robust filters must land in
+// the coordinate-wise envelope of the BENIGN candidates alone — the
+// Theorem-1 guarantee the fuzz oracle enforces at runtime.
+TEST(AggregatorProperties, RobustFiltersStayInBenignEnvelope) {
+  const std::size_t servers = 9, byzantine = 2;
+  auto models = random_models(servers, 80, 0xfeed0004);
+  const std::vector<ModelVector> benign(models.begin() + byzantine,
+                                        models.end());
+  poison_overt(models[0]);
+  poison_overt(models[1]);
+
+  // trmean at the coupled β = B/P, the coordinate median, and the
+  // adaptive estimator (which must infer a trim covering both outliers).
+  for (const char* spec : {"trmean:0.223", "median", "adaptive"}) {
+    const AggregatorPtr rule = make_aggregator(spec);
+    const ModelVector out = rule->aggregate(models);
+    std::size_t bad = 0;
+    EXPECT_TRUE(within_coordinate_envelope(out, benign, 1e-6, &bad))
+        << spec << " escapes the benign envelope at coordinate " << bad;
+  }
+}
+
+TEST(AggregatorProperties, NanPoisoningIsTrimmedByRobustFilters) {
+  const std::size_t servers = 9, byzantine = 2;
+  auto models = random_models(servers, 80, 0xfeed0005);
+  const std::vector<ModelVector> benign(models.begin() + byzantine,
+                                        models.end());
+  poison_nan(models[0]);
+  poison_nan(models[1]);
+
+  for (const char* spec : {"trmean:0.223", "median", "adaptive"}) {
+    const AggregatorPtr rule = make_aggregator(spec);
+    const ModelVector out = rule->aggregate(models);
+    EXPECT_EQ(first_nonfinite_coordinate(out), out.size())
+        << spec << " leaked a non-finite coordinate";
+    std::size_t bad = 0;
+    EXPECT_TRUE(within_coordinate_envelope(out, benign, 1e-6, &bad))
+        << spec << " escapes the benign envelope at coordinate " << bad;
+  }
+
+  // The contrast that makes the property meaningful: the vanilla mean has
+  // no trim budget, so the NaNs flow straight through.
+  const ModelVector mean = MeanAggregator().aggregate(models);
+  EXPECT_LT(first_nonfinite_coordinate(mean), mean.size())
+      << "mean unexpectedly filtered NaN poisoning";
+}
+
+// Chen/Zhang/Huang trade-off, pinned as invariants: in scripted
+// overt-attack fixtures the estimate never under-trims below the true B
+// (under-estimation forfeits the guarantee) and never exceeds
+// ⌊(P−1)/2⌋ (more than that and no survivor is guaranteed).
+TEST(AggregatorProperties, AdaptiveEstimateNeverUnderTrimsOvertAttacks) {
+  const AdaptiveTrimAggregator adaptive;
+  for (const std::size_t servers : {std::size_t(5), std::size_t(7),
+                                    std::size_t(9), std::size_t(11)}) {
+    const std::size_t cap = (servers - 1) / 2;
+    for (std::size_t b = 1; b <= cap; ++b) {
+      for (const bool use_nan : {false, true}) {
+        auto models =
+            random_models(servers, 40, 0xfeed0006 + 97 * servers + b);
+        for (std::size_t i = 0; i < b; ++i)
+          use_nan ? poison_nan(models[i]) : poison_overt(models[i]);
+        const std::size_t estimate = adaptive.estimate_trim(models);
+        EXPECT_GE(estimate, b)
+            << "under-trim at P=" << servers << " B=" << b
+            << (use_nan ? " (nan)" : " (overt)");
+        EXPECT_LE(estimate, cap)
+            << "over-cap at P=" << servers << " B=" << b;
+      }
+    }
+  }
+}
+
+TEST(AggregatorProperties, AdaptiveEstimateRespectsCapAndFloor) {
+  auto models = random_models(5, 32, 0xfeed0007);
+  // Initial estimate above the cap: clamped to ⌊(P−1)/2⌋ = 2.
+  EXPECT_EQ(AdaptiveTrimAggregator(10).estimate_trim(models),
+            std::size_t(2));
+  // P identical candidates flag nobody; the floor is the initial estimate.
+  const std::vector<ModelVector> identical(7, ModelVector(16, 0.5f));
+  EXPECT_EQ(AdaptiveTrimAggregator(1).estimate_trim(identical),
+            std::size_t(1));
+  EXPECT_EQ(AdaptiveTrimAggregator(2).estimate_trim(identical),
+            std::size_t(2));
+}
+
+// The estimation arithmetic is pinned to FE_TONEAREST, so B̂ must be
+// identical whatever the caller's fenv — a robustness COUNT depending on
+// the rounding mode would break the determinism contract.
+TEST(AggregatorProperties, AdaptiveEstimateIsRoundingModeIndependent) {
+  const AdaptiveTrimAggregator adaptive;
+  auto models = random_models(9, 120, 0xfeed0008);
+  poison_overt(models[3]);
+  std::size_t nearest_estimate = 0;
+  {
+    const core::ScopedRoundingMode mode(FE_TONEAREST);
+    nearest_estimate = adaptive.estimate_trim(models);
+  }
+  EXPECT_GE(nearest_estimate, std::size_t(1));
+  for (const int fe_mode : kModes) {
+    const core::ScopedRoundingMode mode(fe_mode);
+    EXPECT_EQ(adaptive.estimate_trim(models), nearest_estimate)
+        << "estimate drifts under fenv mode " << fe_mode;
+  }
+}
+
+// apply_client_filter must report the adaptive B̂ as the applied trim —
+// that report is what the Theorem-1 envelope oracle scores against.
+TEST(AggregatorProperties, ClientFilterReportsAdaptiveTrim) {
+  const AdaptiveTrimAggregator adaptive;
+  auto models = random_models(7, 50, 0xfeed0009);
+  poison_overt(models[0]);
+  std::size_t trim_used = kNoTrim;
+  const ModelVector out =
+      apply_client_filter(adaptive, models, 7, 1, &trim_used);
+  EXPECT_EQ(trim_used, adaptive.estimate_trim(models));
+  expect_bitwise_equal(out, adaptive.aggregate(models),
+                       "apply_client_filter(adaptive)");
+}
+
+// The eventloop --filter-threads contract, stated over the WHOLE zoo:
+// installing an aggregation pool of 2 or 4 workers must not move a single
+// bit of any rule's output, under any of the four fenv rounding modes,
+// including NaN/±∞ columns for the trimming rules.
+TEST(AggregatorProperties, ShardedPoolBitIdenticalUnderAllRoundingModes) {
+  core::ThreadPool pool2(2), pool4(4);
+  for (const char* spec : kZooSpecs) {
+    const AggregatorPtr rule = make_aggregator(spec);
+    auto models = random_models(9, 200, 0xfeed000a);
+    if (std::string(spec) == "trmean:0.2" ||
+        std::string(spec).rfind("adaptive", 0) == 0 ||
+        std::string(spec) == "median") {
+      // The trimming family is NaN-aware by contract; plant some.
+      models[0][0] = std::numeric_limits<float>::quiet_NaN();
+      models[4][100] = std::numeric_limits<float>::infinity();
+      models[8][199] = -std::numeric_limits<float>::infinity();
+    }
+    for (const int fe_mode : kModes) {
+      const core::ScopedRoundingMode mode(fe_mode);
+      set_aggregation_pool(nullptr);
+      const ModelVector serial = rule->aggregate(models);
+      for (core::ThreadPool* pool : {&pool2, &pool4}) {
+        set_aggregation_pool(pool);
+        const ModelVector sharded = rule->aggregate(models);
+        expect_bitwise_equal(serial, sharded,
+                             std::string(spec) + " under fenv mode " +
+                                 std::to_string(fe_mode) + " with " +
+                                 std::to_string(pool->worker_count()) +
+                                 " workers");
+      }
+      set_aggregation_pool(nullptr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedms::fl

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Bit-equality contract of fedms_matrix across --jobs values.
+
+Every matrix cell is a pure function of (scenario, defense, attack, seed);
+packing cells across the thread pool must not change a single output byte
+of the per-cell files or the aggregated accuracy surface.  A seeded 2x2x2
+micro-matrix must also reproduce the committed golden surface exactly —
+the same artifact scripts/check.sh regression-gates.  Run by ctest as:
+
+    matrix_equality_test.py <path-to-fedms_matrix> <golden-surface.json>
+"""
+import os
+import subprocess
+import sys
+import tempfile
+
+MICRO = ["--defenses", "mean,adaptive", "--attacks", "signflip,nan",
+         "--seeds", "2"]
+
+
+def run_matrix(binary, out_dir, jobs):
+    proc = subprocess.run(
+        [binary] + MICRO + ["--jobs", str(jobs), "--out-dir", out_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, timeout=600)
+    if proc.returncode != 0:
+        print("FAIL: fedms_matrix --jobs %d exited %d\nstderr: %s"
+              % (jobs, proc.returncode,
+                 proc.stderr.decode("utf-8", "replace")))
+        sys.exit(1)
+
+
+def read_tree(root):
+    files = {}
+    for name in sorted(os.listdir(root)):
+        with open(os.path.join(root, name), "rb") as f:
+            files[name] = f.read()
+    return files
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: matrix_equality_test.py <fedms_matrix> "
+              "<golden-surface.json>")
+        return 2
+    binary, golden_path = sys.argv[1], sys.argv[2]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trees = {}
+        for jobs in (1, 2, 4):
+            out_dir = os.path.join(tmp, "jobs%d" % jobs)
+            run_matrix(binary, out_dir, jobs)
+            trees[jobs] = read_tree(out_dir)
+
+        reference = trees[1]
+        if not reference:
+            print("FAIL: matrix produced no output files")
+            return 1
+        if "surface.json" not in reference:
+            print("FAIL: matrix produced no surface.json")
+            return 1
+        for jobs in (2, 4):
+            if sorted(trees[jobs]) != sorted(reference):
+                print("FAIL: file sets differ between --jobs 1 and --jobs "
+                      "%d: %r vs %r"
+                      % (jobs, sorted(reference), sorted(trees[jobs])))
+                return 1
+            for name, blob in reference.items():
+                if trees[jobs][name] != blob:
+                    print("FAIL: %s differs between --jobs 1 and --jobs %d"
+                          % (name, jobs))
+                    return 1
+
+        with open(golden_path, "rb") as f:
+            golden = f.read()
+        if reference["surface.json"] != golden:
+            print("FAIL: seeded micro-matrix surface diverges from the "
+                  "committed golden %s" % golden_path)
+            print("--- golden ---")
+            print(golden.decode("utf-8", "replace"))
+            print("--- produced ---")
+            print(reference["surface.json"].decode("utf-8", "replace"))
+            return 1
+
+        print("ok: %d matrix files byte-identical across --jobs 1/2/4; "
+              "surface matches the committed golden"
+              % len(reference))
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

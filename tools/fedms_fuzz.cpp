@@ -132,6 +132,8 @@ std::string report_failure(const testing::FuzzSchedule& schedule,
   if (options.inject_under_trim) plant_flags += " --inject-under-trim";
   if (options.inject_ghost_churn) plant_flags += " --inject-ghost-churn";
   if (options.inject_mode_drift) plant_flags += " --inject-mode-drift";
+  if (options.inject_adaptive_undertrim)
+    plant_flags += " --inject-adaptive-undertrim";
   std::printf("  rerun seed:    ./build/tools/fedms_fuzz --seed 0x%llx%s\n",
               static_cast<unsigned long long>(schedule.seed),
               plant_flags.c_str());
@@ -267,15 +269,26 @@ int check_plant(const char* label, const testing::FuzzSchedule& scenario,
 }
 
 // End-to-end pipeline checks against hand-planted bugs: the PR 4
-// degraded-set under-trim regression (envelope oracle), a ghost-churn
-// membership desync (trace oracle, exercising the churn machinery plus
-// the shrinker's invalid-candidate guard), and a rounding-mode drift
-// (parity oracle, exercising the fuzz space's numerics axis).
+// degraded-set under-trim regression (envelope oracle), an adaptive
+// estimator that under-shoots the true B (envelope oracle again, via the
+// adaptive filter's reported B̂), a ghost-churn membership desync (trace
+// oracle, exercising the churn machinery plus the shrinker's
+// invalid-candidate guard), and a rounding-mode drift (parity oracle,
+// exercising the fuzz space's numerics axis).
 int self_test(const std::string& repro_dir) {
   testing::FuzzOptions under_trim;
   under_trim.inject_under_trim = true;
   if (check_plant("under-trim", testing::under_trim_scenario(), under_trim,
                   "envelope", repro_dir, /*max_events=*/10) != 0)
+    return 1;
+
+  // The decoy drop must shrink away entirely: the adaptive plant fires on
+  // every filter decision regardless of the fault schedule.
+  testing::FuzzOptions adaptive;
+  adaptive.inject_adaptive_undertrim = true;
+  if (check_plant("adaptive-undertrim",
+                  testing::adaptive_under_trim_scenario(), adaptive,
+                  "envelope", repro_dir, /*max_events=*/0) != 0)
     return 1;
 
   testing::FuzzOptions ghost;
@@ -333,10 +346,14 @@ int main(int argc, char** argv) {
                  "recompute every client filter under round-to-nearest "
                  "regardless of the schedule's rounding mode (oracle "
                  "calibration)");
+  flags.add_bool("inject-adaptive-undertrim", false,
+                 "rebuild every adaptive filter decision with one trim "
+                 "fewer than the reported estimate B-hat (oracle "
+                 "calibration)");
   flags.add_bool("self-test", false,
                  "verify the fail->repro->replay->shrink pipeline against "
-                 "the planted under-trim, ghost-churn, and mode-drift "
-                 "bugs");
+                 "the planted under-trim, adaptive-undertrim, ghost-churn, "
+                 "and mode-drift bugs");
   flags.add_string("repro-dir", ".",
                    "directory for repro files written on failure");
   if (!flags.parse(argc, argv)) return 1;
@@ -351,6 +368,8 @@ int main(int argc, char** argv) {
   options.inject_under_trim = flags.get_bool("inject-under-trim");
   options.inject_ghost_churn = flags.get_bool("inject-ghost-churn");
   options.inject_mode_drift = flags.get_bool("inject-mode-drift");
+  options.inject_adaptive_undertrim =
+      flags.get_bool("inject-adaptive-undertrim");
 
   if (!flags.get_string("seed").empty()) {
     const std::uint64_t seed =

@@ -365,6 +365,7 @@ std::vector<std::string> child_args(const NodeCli& cli, const char* role,
       "--local-iters", std::to_string(cli.fed.local_iterations),
       "--upload", cli.fed.upload,
       "--client-filter", cli.fed.client_filter,
+      "--fedgreed-root", std::to_string(cli.fed.fedgreed_root_samples),
       "--server-aggregator", cli.fed.server_aggregator,
       "--attack", cli.fed.attack,
       "--compression", cli.fed.upload_compression,
@@ -513,6 +514,8 @@ int main(int argc, char** argv) {
   flags.add_string("upload", "sparse", "sparse | full | multi:<m>");
   flags.add_string("client-filter", "trmean:0.2",
                    "client-side defense Def()");
+  flags.add_int("fedgreed-root", 64,
+                "fedgreed: held-out test samples in the root batch");
   flags.add_string("server-aggregator", "mean", "PS-side aggregation rule");
   flags.add_string("attack", "noise", "Byzantine PS behaviour");
   flags.add_string("compression", "none", "upload codec: none | fp16 | int8");
@@ -557,6 +560,8 @@ int main(int argc, char** argv) {
   cli.fed.local_iterations = std::size_t(flags.get_int("local-iters"));
   cli.fed.upload = flags.get_string("upload");
   cli.fed.client_filter = flags.get_string("client-filter");
+  cli.fed.fedgreed_root_samples =
+      std::size_t(flags.get_int("fedgreed-root"));
   cli.fed.server_aggregator = flags.get_string("server-aggregator");
   cli.fed.attack = flags.get_string("attack");
   cli.fed.upload_compression = flags.get_string("compression");

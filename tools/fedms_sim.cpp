@@ -48,7 +48,10 @@ int main(int argc, char** argv) {
                    "upload strategy: sparse | full | multi:<m>");
   flags.add_string("client-filter", "trmean:0.2",
                    "client-side defense Def(): mean | trmean:<b> | median | "
-                   "krum:<f> | multikrum:<f>:<m> | bulyan:<f> | geomedian");
+                   "krum:<f> | multikrum:<f>:<m> | bulyan:<f> | geomedian | "
+                   "adaptive[:<init>] | fedgreed:<k>");
+  flags.add_int("fedgreed-root", 64,
+                "fedgreed: held-out test samples in the root batch");
   flags.add_string("server-aggregator", "mean",
                    "PS-side aggregation rule (same specs as client-filter)");
   flags.add_string("attack", "noise",
@@ -136,6 +139,7 @@ int main(int argc, char** argv) {
   fed.local_iterations = std::size_t(flags.get_int("local-iters"));
   fed.upload = flags.get_string("upload");
   fed.client_filter = flags.get_string("client-filter");
+  fed.fedgreed_root_samples = std::size_t(flags.get_int("fedgreed-root"));
   fed.server_aggregator = flags.get_string("server-aggregator");
   fed.attack = flags.get_string("attack");
   fed.byzantine_clients = std::size_t(flags.get_int("byzantine-clients"));
